@@ -1,0 +1,42 @@
+// Ablation A6: sensitivity to the Secure RAM size. The paper fixes 64 KB
+// (security: small silicon is hard to probe); this sweeps the budget and
+// shows where the RAM-bounded algorithms start/stop paying reduction
+// passes, bloom degradation and extra MJoin passes.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+
+using namespace ghostdb;
+using plan::VisStrategy;
+
+int main(int argc, char** argv) {
+  double scale = bench::ScaleArg(argc, argv, 0.05);
+  bench::Banner("Ablation A6", "Secure RAM size sweep (Query Q, sV=0.2, "
+                "sH=0.1, Cross-Post)", scale);
+
+  std::printf("%-10s %10s %12s %12s\n", "ram_KiB", "time_s", "buffers",
+              "peak_used");
+  for (size_t kib : {16, 32, 64, 128, 256, 512}) {
+    workload::SyntheticConfig wl;
+    wl.scale = scale;
+    auto cfg = workload::SyntheticDbConfig(wl);
+    cfg.exec.result_row_limit = 4;
+    cfg.device.ram_bytes = kib * 1024;
+    core::GhostDB db(cfg);
+    auto st = workload::BuildSynthetic(&db, wl);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    auto m =
+        bench::Run(db, workload::QueryQ(0.2, 0.1, 1, true),
+                   bench::Pin(db, "T1", VisStrategy::kCrossPostFilter));
+    std::printf("%-10zu %10.3f %12zu %12u\n", kib, bench::Sec(m.total_ns),
+                kib * 1024 / 2048, m.peak_ram_buffers);
+  }
+  std::printf("\nexpectation: diminishing returns past 64-128 KB — the "
+              "paper's constraint costs little once the fully indexed "
+              "model removes the need for big working sets\n");
+  return 0;
+}

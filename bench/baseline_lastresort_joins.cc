@@ -1,0 +1,268 @@
+// Ablation A5: why GhostDB is fully indexed (paper section 3.1). Runs the
+// join chain sigma(T12) |><| T1 |><| T0 three ways on the same device:
+//   * GhostDB's climbing-index plan (Cross-Pre);
+//   * block-nested-loop over the hidden images ("last resort"): RAM-sized
+//     chunks of the outer id set, one full scan of the inner per chunk;
+//   * sort-merge over the hidden images: externally sort the inner on its
+//     fk (write-heavy on flash), then merge with the sorted outer.
+// With 64 KB of RAM the last-resort algorithms pay multiple scans/passes
+// over the million-row root table; the indexed plan touches only what it
+// needs.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/coding.h"
+#include "storage/fixed_table.h"
+#include "storage/run.h"
+
+using namespace ghostdb;
+using catalog::RowId;
+using plan::VisStrategy;
+
+namespace {
+
+// sigma(h2 < dial) on a table's hidden image: returns matching ids.
+std::vector<RowId> HiddenScan(core::GhostDB& db, const std::string& table,
+                              const std::string& column, double sel) {
+  auto t = *db.schema().FindTable(table);
+  const auto& image = db.store().tables[t];
+  auto c = *db.schema().table(t).FindColumn(column);
+  auto buf = db.device().ram().AcquireOne("scan");
+  storage::FixedTableReader reader(&db.device().flash(),
+                                   image.hidden_image.value(),
+                                   buf->data());
+  std::vector<uint8_t> row(image.hidden_image->row_width);
+  std::vector<RowId> out;
+  catalog::Value cut = workload::Dial(sel);
+  const auto& col = db.schema().table(t).columns[c];
+  for (RowId r = 0; r < image.row_count; ++r) {
+    if (!reader.ReadRow(r, row.data()).ok()) std::exit(1);
+    auto v = catalog::Value::Decode(row.data() + image.hidden_offsets[c],
+                                    col.type, col.width);
+    if (v.Compare(cut) < 0) out.push_back(r);
+  }
+  return out;
+}
+
+// Block-nested-loop semi-join: which rows of `parent` have fk in `keys`?
+// RAM-sized chunks of `keys`; one full hidden-image scan per chunk.
+std::vector<RowId> BnlSemiJoin(core::GhostDB& db, const std::string& parent,
+                               const std::string& fk_col,
+                               const std::vector<RowId>& keys) {
+  auto t = *db.schema().FindTable(parent);
+  const auto& image = db.store().tables[t];
+  auto c = *db.schema().table(t).FindColumn(fk_col);
+  uint32_t off = image.hidden_offsets[c];
+  auto& ram = db.device().ram();
+  auto chunk_buf = ram.Acquire(ram.free_buffers() - 2, "bnl-chunk");
+  size_t chunk_cap = chunk_buf->size() / 4;
+  auto buf = ram.AcquireOne("bnl-scan");
+  std::vector<uint8_t> row(image.hidden_image->row_width);
+  std::vector<RowId> out;
+  for (size_t base = 0; base < keys.size(); base += chunk_cap) {
+    size_t end = std::min(keys.size(), base + chunk_cap);
+    storage::FixedTableReader reader(&db.device().flash(),
+                                     image.hidden_image.value(),
+                                     buf->data());
+    for (RowId r = 0; r < image.row_count; ++r) {
+      if (!reader.ReadRow(r, row.data()).ok()) std::exit(1);
+      RowId fk = DecodeFixed32(row.data() + off);
+      if (std::binary_search(keys.begin() + static_cast<long>(base),
+                             keys.begin() + static_cast<long>(end), fk)) {
+        out.push_back(r);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Sort-merge semi-join: externally sort (fk, id) pairs of `parent` by fk
+// (chunk-sort + write runs + merge passes), then merge with sorted keys.
+std::vector<RowId> SortMergeSemiJoin(core::GhostDB& db,
+                                     const std::string& parent,
+                                     const std::string& fk_col,
+                                     const std::vector<RowId>& keys) {
+  auto t = *db.schema().FindTable(parent);
+  const auto& image = db.store().tables[t];
+  auto c = *db.schema().table(t).FindColumn(fk_col);
+  uint32_t off = image.hidden_offsets[c];
+  auto& ram = db.device().ram();
+  auto& flash = db.device().flash();
+  storage::PageAllocator scratch(&flash);  // separate temp space
+
+  // Pass 1: scan, chunk-sort (fk,id) pairs, write sorted runs.
+  std::vector<storage::RunRef> runs;
+  {
+    auto chunk_buf = ram.Acquire(ram.free_buffers() - 3, "sm-chunk");
+    size_t cap = chunk_buf->size() / 8;
+    auto scan_buf = ram.AcquireOne("sm-scan");
+    auto write_buf = ram.AcquireOne("sm-write");
+    storage::FixedTableReader reader(&flash, image.hidden_image.value(),
+                                     scan_buf->data());
+    std::vector<uint8_t> row(image.hidden_image->row_width);
+    std::vector<std::pair<RowId, RowId>> pairs;
+    pairs.reserve(cap);
+    auto flush = [&]() {
+      if (pairs.empty()) return;
+      std::sort(pairs.begin(), pairs.end());
+      storage::RunWriter w(&flash, &scratch, write_buf->data(), "sm-run");
+      for (auto& [fk, id] : pairs) {
+        if (!w.AppendU32(fk).ok() || !w.AppendU32(id).ok()) std::exit(1);
+      }
+      auto ref = w.Finish();
+      if (!ref.ok()) std::exit(1);
+      runs.push_back(*ref);
+      pairs.clear();
+    };
+    for (RowId r = 0; r < image.row_count; ++r) {
+      if (!reader.ReadRow(r, row.data()).ok()) std::exit(1);
+      pairs.emplace_back(DecodeFixed32(row.data() + off), r);
+      if (pairs.size() == cap) flush();
+    }
+    flush();
+  }
+  // Pass 2: hierarchical k-way merge of the (fk,id) runs until they fit
+  // the RAM fan-in (classic external merge sort under 64 KB).
+  while (runs.size() > static_cast<size_t>(ram.free_buffers() - 2)) {
+    size_t take = ram.free_buffers() - 2;
+    auto in_bufs = ram.Acquire(static_cast<uint32_t>(take), "sm-fanin");
+    auto out_buf = ram.AcquireOne("sm-fanout");
+    if (!in_bufs.ok() || !out_buf.ok()) std::exit(1);
+    std::vector<std::unique_ptr<storage::RunReader>> readers;
+    std::vector<std::pair<RowId, RowId>> heads(take);
+    std::vector<bool> valid(take);
+    for (size_t i = 0; i < take; ++i) {
+      readers.push_back(std::make_unique<storage::RunReader>(
+          &flash, runs[i], in_bufs->data() + i * 2048));
+      uint8_t enc[8];
+      auto n = readers[i]->Read(enc, 8);
+      valid[i] = n.ok() && *n == 8;
+      if (valid[i]) {
+        heads[i] = {DecodeFixed32(enc), DecodeFixed32(enc + 4)};
+      }
+    }
+    storage::RunWriter w(&flash, &scratch, out_buf->data(), "sm-run");
+    while (true) {
+      int best = -1;
+      for (size_t i = 0; i < take; ++i) {
+        if (valid[i] && (best < 0 || heads[i] < heads[best])) {
+          best = static_cast<int>(i);
+        }
+      }
+      if (best < 0) break;
+      if (!w.AppendU32(heads[best].first).ok() ||
+          !w.AppendU32(heads[best].second).ok()) {
+        std::exit(1);
+      }
+      uint8_t enc[8];
+      auto n = readers[best]->Read(enc, 8);
+      valid[best] = n.ok() && *n == 8;
+      if (valid[best]) {
+        heads[best] = {DecodeFixed32(enc), DecodeFixed32(enc + 4)};
+      }
+    }
+    auto merged = w.Finish();
+    if (!merged.ok()) std::exit(1);
+    for (size_t i = 0; i < take; ++i) {
+      (void)storage::FreeRun(&scratch, runs[i], "sm-run");
+    }
+    runs.erase(runs.begin(), runs.begin() + static_cast<long>(take));
+    runs.push_back(*merged);
+  }
+
+  // Final pass: merge the remaining runs against the sorted key list.
+  std::vector<RowId> out;
+  {
+    auto bufs = ram.Acquire(static_cast<uint32_t>(runs.size()), "sm-merge");
+    if (!bufs.ok()) std::exit(1);
+    struct Cursor {
+      std::unique_ptr<storage::RunReader> r;
+      RowId fk, id;
+      bool valid;
+      void Next() {
+        uint8_t enc[8];
+        auto n = r->Read(enc, 8);
+        valid = n.ok() && *n == 8;
+        if (valid) {
+          fk = DecodeFixed32(enc);
+          id = DecodeFixed32(enc + 4);
+        }
+      }
+    };
+    std::vector<Cursor> cursors(runs.size());
+    for (size_t i = 0; i < runs.size(); ++i) {
+      cursors[i].r = std::make_unique<storage::RunReader>(
+          &flash, runs[i], bufs->data() + i * 2048);
+      cursors[i].Next();
+    }
+    while (true) {
+      Cursor* best = nullptr;
+      for (auto& cur : cursors) {
+        if (cur.valid && (best == nullptr || cur.fk < best->fk)) best = &cur;
+      }
+      if (best == nullptr) break;
+      if (std::binary_search(keys.begin(), keys.end(), best->fk)) {
+        out.push_back(best->id);
+      }
+      best->Next();
+    }
+    for (auto& run : runs) {
+      (void)storage::FreeRun(&scratch, run, "sm-run");
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = bench::ScaleArg(argc, argv, 0.05);
+  bench::Banner("Baseline A5",
+                "last-resort joins vs the fully indexed model "
+                "(sigma_h2<0.1(T12) |><| T1 |><| T0)", scale);
+  std::unique_ptr<core::GhostDB> db(bench::BuildSyntheticDb(scale));
+  auto& clock = db->device().clock();
+
+  // Indexed plan (hidden-only query; result = T0 ids).
+  std::string sql =
+      "SELECT T0.id FROM T0, T1, T12 WHERE T0.fk1 = T1.id AND "
+      "T1.fk12 = T12.id AND T12.h2 < " +
+      workload::Dial(0.1).ToString();
+  auto m = bench::Run(*db, sql, plan::PlanChoice{});
+  uint64_t indexed_rows = m.result_rows;
+  double indexed_s = bench::Sec(m.total_ns);
+
+  // Block-nested-loop chain.
+  SimNanos t0 = clock.now();
+  auto t12 = HiddenScan(*db, "T12", "h2", 0.1);
+  auto t1_bnl = BnlSemiJoin(*db, "T1", "fk12", t12);
+  auto t0_bnl = BnlSemiJoin(*db, "T0", "fk1", t1_bnl);
+  double bnl_s = ToSeconds(clock.now() - t0);
+
+  // Sort-merge chain.
+  t0 = clock.now();
+  auto t12b = HiddenScan(*db, "T12", "h2", 0.1);
+  auto t1_sm = SortMergeSemiJoin(*db, "T1", "fk12", t12b);
+  auto t0_sm = SortMergeSemiJoin(*db, "T0", "fk1", t1_sm);
+  double sm_s = ToSeconds(clock.now() - t0);
+
+  std::printf("%-28s %10s %12s\n", "algorithm", "time_s", "result_rows");
+  std::printf("%-28s %10.3f %12llu\n", "GhostDB (climbing index)",
+              indexed_s, static_cast<unsigned long long>(indexed_rows));
+  std::printf("%-28s %10.3f %12llu\n", "block-nested-loop", bnl_s,
+              static_cast<unsigned long long>(t0_bnl.size()));
+  std::printf("%-28s %10.3f %12llu\n", "sort-merge", sm_s,
+              static_cast<unsigned long long>(t0_sm.size()));
+  if (t0_bnl.size() != indexed_rows || t0_sm.size() != indexed_rows) {
+    std::printf("WARNING: result cardinalities disagree!\n");
+    return 1;
+  }
+  std::printf("\npaper section 3.1: last-resort joins degenerate when the "
+              "smaller operand exceeds RAM; the fully indexed model avoids "
+              "them entirely\n");
+  return 0;
+}

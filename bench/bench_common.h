@@ -1,0 +1,104 @@
+// Shared helpers for the figure-reproduction benches. Every bench is
+// deterministic: times are *simulated* seconds from the device cost model
+// (the paper's own evaluation platform was an I/O-accurate simulator, so
+// this is apples to apples). Scale is configurable:
+//   ./fig08_cross_filtering --scale 0.2      (1.0 = the paper's 10M-row T0)
+// or via GHOSTDB_SCALE. The default keeps the full suite under a few
+// minutes; curve shapes and crossover selectivities are scale-invariant.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "plan/strategy.h"
+#include "workload/medical.h"
+#include "workload/synthetic.h"
+
+namespace ghostdb::bench {
+
+inline double ScaleArg(int argc, char** argv, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale") == 0) {
+      return std::atof(argv[i + 1]);
+    }
+  }
+  if (const char* env = std::getenv("GHOSTDB_SCALE")) {
+    return std::atof(env);
+  }
+  return fallback;
+}
+
+inline void Banner(const char* figure, const char* what, double scale) {
+  std::printf("=== %s: %s ===\n", figure, what);
+  std::printf("scale %.3f (1.0 = paper size); times are simulated seconds "
+              "(I/O-accurate device model)\n\n", scale);
+}
+
+/// Builds the synthetic database once (slowest part of each bench).
+inline core::GhostDB* BuildSyntheticDb(double scale) {
+  workload::SyntheticConfig wl;
+  wl.scale = scale;
+  auto cfg = workload::SyntheticDbConfig(wl);
+  cfg.exec.result_row_limit = 4;  // results stay on the secure display
+  auto* db = new core::GhostDB(cfg);
+  auto st = workload::BuildSynthetic(db, wl);
+  if (!st.ok()) {
+    std::fprintf(stderr, "synthetic build failed: %s\n",
+                 st.ToString().c_str());
+    std::exit(1);
+  }
+  return db;
+}
+
+inline core::GhostDB* BuildMedicalDb(double scale) {
+  workload::MedicalConfig wl;
+  wl.scale = scale;
+  auto cfg = workload::MedicalDbConfig(wl);
+  cfg.exec.result_row_limit = 4;
+  auto* db = new core::GhostDB(cfg);
+  auto st = workload::BuildMedical(db, wl);
+  if (!st.ok()) {
+    std::fprintf(stderr, "medical build failed: %s\n",
+                 st.ToString().c_str());
+    std::exit(1);
+  }
+  return db;
+}
+
+/// Pins one strategy on the table carrying the visible selection.
+inline plan::PlanChoice Pin(core::GhostDB& db, const std::string& table,
+                            plan::VisStrategy strategy,
+                            plan::ProjectAlgo project =
+                                plan::ProjectAlgo::kProject) {
+  plan::PlanChoice plan;
+  auto t = db.schema().FindTable(table);
+  if (t.ok()) plan.vis[*t] = strategy;
+  plan.project = project;
+  return plan;
+}
+
+/// Runs a pinned query and returns its metrics (aborts on error).
+inline exec::QueryMetrics Run(core::GhostDB& db, const std::string& sql,
+                              const plan::PlanChoice& plan) {
+  auto r = db.QueryWithPlan(sql, plan);
+  if (!r.ok()) {
+    std::fprintf(stderr, "query failed: %s\nsql: %s\n",
+                 r.status().ToString().c_str(), sql.c_str());
+    std::exit(1);
+  }
+  return r->metrics;
+}
+
+inline double Sec(SimNanos ns) { return ToSeconds(ns); }
+
+/// The selectivity sweep used by Figs 8-13 (log-spaced like the paper's
+/// x-axis).
+inline std::vector<double> SvSweep() {
+  return {0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5};
+}
+
+}  // namespace ghostdb::bench

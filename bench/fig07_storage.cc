@@ -1,0 +1,104 @@
+// Figure 7: storage cost of the indexing schemes vs the number of indexed
+// hidden attributes per table, plus the real (medical) dataset sizes.
+// Every structure is actually built and its flash pages counted.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "workload/index_schemes.h"
+
+using namespace ghostdb;
+using workload::IndexScheme;
+
+int main(int argc, char** argv) {
+  double scale = bench::ScaleArg(argc, argv, 0.02);
+  bench::Banner("Figure 7", "storage cost of indexing schemes", scale);
+
+  // Synthetic dataset, staged only (structures are built per scheme).
+  workload::SyntheticConfig wl;
+  wl.scale = scale;
+  auto cfg = workload::SyntheticDbConfig(wl);
+  cfg.retain_staged_data = true;
+  core::GhostDB db(cfg);
+  auto st = workload::StageSynthetic(&db, wl);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  // Staging finalizes the schema lazily via MutableStaging.
+  const auto& staged = db.staged();
+
+  double to_paper = 1.0 / scale;  // linear extrapolation to 10M-row T0
+  std::printf("synthetic dataset (sizes in MB at paper scale, measured at "
+              "scale %.3f and scaled x%.0f; DBSize constant)\n\n",
+              scale, to_paper);
+  std::printf("%-8s %10s %11s %10s %10s %8s\n", "k-attrs", "FullIndex",
+              "BasicIndex", "StarIndex", "JoinIndex", "DBSize");
+  for (int k = 0; k <= 5; ++k) {
+    double mb[4] = {0, 0, 0, 0};
+    double data_mb = 0;
+    int i = 0;
+    for (auto scheme :
+         {IndexScheme::kFullIndex, IndexScheme::kBasicIndex,
+          IndexScheme::kStarIndex, IndexScheme::kJoinIndex}) {
+      auto sizes = workload::MeasureScheme(db.schema(), staged, scheme, k);
+      if (!sizes.ok()) {
+        std::fprintf(stderr, "%s\n", sizes.status().ToString().c_str());
+        return 1;
+      }
+      mb[i++] = sizes->index_mb() * to_paper;
+      data_mb = sizes->data_mb() * to_paper;
+    }
+    std::printf("%-8d %10.0f %11.0f %10.0f %10.0f %8.0f\n", k, mb[0], mb[1],
+                mb[2], mb[3], data_mb);
+  }
+  std::printf("\npaper (Fig 7, 10M-row T0): FullIndex ~1200, BasicIndex "
+              "~1150, StarIndex ~700, JoinIndex ~400, DBSize ~1100 MB at 5 "
+              "attrs; Full ~= Basic >> Star > Join.\n"
+              "note: linear extrapolation overstates B+-tree leaf overhead "
+              "— attribute values stay ~unique at small scale while the "
+              "paper's 10M rows share ~1M distinct values; run with a "
+              "larger --scale for tighter absolute numbers.\n");
+
+  // Real (medical) dataset.
+  workload::MedicalConfig med;
+  med.scale = scale * 5;  // the medical dataset is ~8x smaller
+  auto med_cfg = workload::MedicalDbConfig(med);
+  med_cfg.retain_staged_data = true;
+  core::GhostDB med_db(med_cfg);
+  // Stage without building: reuse BuildMedical's staging through a private
+  // path — stage by building schema+rows then measuring on staged data.
+  {
+    // BuildMedical also builds the device image; acceptable at this scale,
+    // and retain_staged_data keeps what MeasureScheme needs.
+    auto med_st = workload::BuildMedical(&med_db, med);
+    if (!med_st.ok()) {
+      std::fprintf(stderr, "%s\n", med_st.ToString().c_str());
+      return 1;
+    }
+  }
+  double med_to_paper = 1.0 / med.scale;
+  std::printf("\nmedical dataset (MB at paper scale: 4.5K doctors, 14K "
+              "patients, 1.3M measurements)\n");
+  std::printf("%-12s %8s   %s\n", "scheme", "ours", "paper");
+  const double paper_mb[4] = {57, 56, 36, 26};
+  int i = 0;
+  for (auto scheme :
+       {IndexScheme::kFullIndex, IndexScheme::kBasicIndex,
+        IndexScheme::kStarIndex, IndexScheme::kJoinIndex}) {
+    // Index all (non-fk) hidden attributes, as the paper did.
+    auto sizes =
+        workload::MeasureScheme(med_db.schema(), med_db.staged(), scheme, 99);
+    if (!sizes.ok()) {
+      std::fprintf(stderr, "%s\n", sizes.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-12s %8.0f   %.0f\n",
+                std::string(workload::IndexSchemeName(scheme)).c_str(),
+                sizes->index_mb() * med_to_paper, paper_mb[i++]);
+    if (scheme == IndexScheme::kJoinIndex) {
+      std::printf("%-12s %8.0f   %d\n", "DBSize",
+                  sizes->data_mb() * med_to_paper, 169);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 10: Pre- vs Post-Filtering when the Cross optimization does NOT
+// apply, plus the NoFilter baseline. The Post-Filter column reports
+// "n/a (bloom infeasible)" where the filter would inject more false
+// positives than it eliminates — the paper stops the curve at sV = 0.5.
+//
+// To disable Cross, the query places the hidden selection OUTSIDE T1's
+// subtree (on T2), so the Visible selection on T1 cannot be intersected
+// early.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench_common.h"
+
+using namespace ghostdb;
+using plan::VisStrategy;
+
+int main(int argc, char** argv) {
+  double scale = bench::ScaleArg(argc, argv, 0.3);
+  bench::Banner("Figure 10",
+                "Pre vs Post filtering, Cross not applicable (hidden "
+                "selection on T2, visible on T1, sH=0.1)", scale);
+  std::unique_ptr<core::GhostDB> db(bench::BuildSyntheticDb(scale));
+
+  std::printf("%-8s %12s %12s %12s\n", "sV", "Pre-Filter", "Post-Filter",
+              "NoFilter");
+  for (double sv : bench::SvSweep()) {
+    std::string sql =
+        "SELECT T0.id, T1.id, T1.v1 FROM T0, T1, T2 WHERE "
+        "T0.fk1 = T1.id AND T0.fk2 = T2.id AND T1.v1 < " +
+        workload::Dial(sv).ToString() + " AND T2.h1 < " +
+        workload::Dial(0.1).ToString();
+    auto pre =
+        bench::Run(*db, sql, bench::Pin(*db, "T1", VisStrategy::kPreFilter));
+    auto post = bench::Run(*db, sql,
+                           bench::Pin(*db, "T1", VisStrategy::kPostFilter));
+    auto nof = bench::Run(*db, sql,
+                          bench::Pin(*db, "T1", VisStrategy::kNoFilter));
+    // When the bloom was infeasible the executor fell back to NoFilter
+    // behaviour; report it the way the paper plots it (curve stops).
+    bool bloom_used = post.bloom_fpr_estimate > 0.0;
+    std::printf("%-8.3f %12.3f ", sv, bench::Sec(pre.total_ns));
+    if (bloom_used) {
+      std::printf("%12.3f ", bench::Sec(post.total_ns));
+    } else {
+      std::printf("%12s ", "n/a");
+    }
+    std::printf("%12.3f\n", bench::Sec(nof.total_ns));
+  }
+  std::printf("\npaper: Post beats Pre above sV~0.05 (30%% at sV=0.1); "
+              "Post's curve stops at sV=0.5 (bloom can no longer help)\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 12: projection algorithms under a Cross-Pre-Filtering QEP_SJ.
+// Query Q augmented with a projection on a hidden attribute (T1.h2):
+// Project (section 4) vs Project-NoBF vs Brute-Force.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+
+using namespace ghostdb;
+using plan::ProjectAlgo;
+using plan::VisStrategy;
+
+int main(int argc, char** argv) {
+  double scale = bench::ScaleArg(argc, argv, 0.05);
+  bench::Banner("Figure 12",
+                "Projection algorithms under Cross-Pre-Filtering "
+                "(Query Q + T1.h2 projection, sH=0.1)", scale);
+  std::unique_ptr<core::GhostDB> db(bench::BuildSyntheticDb(scale));
+
+  std::printf("%-8s %12s %14s %13s\n", "sV", "Project", "Project-NoBF",
+              "Brute-Force");
+  for (double sv : bench::SvSweep()) {
+    std::string sql =
+        workload::QueryQ(sv, 0.1, /*projected_vis_attrs=*/1,
+                         /*project_hidden=*/true);
+    double t[3];
+    int i = 0;
+    for (auto algo : {ProjectAlgo::kProject, ProjectAlgo::kProjectNoBF,
+                      ProjectAlgo::kBruteForce}) {
+      auto metrics = bench::Run(
+          *db, sql,
+          bench::Pin(*db, "T1", VisStrategy::kCrossPreFilter, algo));
+      t[i++] = bench::Sec(metrics.total_ns);
+    }
+    std::printf("%-8.3f %12.3f %14.3f %13.3f\n", sv, t[0], t[1], t[2]);
+  }
+  std::printf("\npaper: Project ~60%% faster than Brute-Force at sV=0.1, "
+              "gap grows with sV; NoBF pays extra MJoin passes\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Wall-clock micro-benchmarks (google-benchmark) of the hot primitives:
+// crypto (AES block, ChaCha20 page, SHA-256), Bloom insert/probe, encoded
+// key comparison, B+-tree page search, RNG. These measure the host
+// implementation, not the simulated device.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "catalog/value.h"
+#include "common/rng.h"
+#include "crypto/aes.h"
+#include "crypto/chacha20.h"
+#include "crypto/hash.h"
+#include "crypto/sha256.h"
+#include "device/ram_manager.h"
+#include "exec/bloom.h"
+
+namespace {
+
+using namespace ghostdb;
+
+void BM_AesEncryptBlock(benchmark::State& state) {
+  uint8_t key[16] = {1, 2, 3};
+  crypto::Aes128 aes(key);
+  uint8_t block[16] = {0};
+  for (auto _ : state) {
+    aes.EncryptBlock(block, block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_AesEncryptBlock);
+
+void BM_ChaCha20Page(benchmark::State& state) {
+  uint8_t key[32] = {7};
+  uint8_t nonce[12] = {9};
+  crypto::ChaCha20 cipher(key, nonce);
+  std::vector<uint8_t> page(2048, 0xAB);
+  for (auto _ : state) {
+    cipher.Crypt(page.data(), page.size());
+    benchmark::DoNotOptimize(page.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_ChaCha20Page);
+
+void BM_Sha256Page(benchmark::State& state) {
+  std::vector<uint8_t> page(2048, 0x5C);
+  for (auto _ : state) {
+    auto digest = crypto::Sha256::Hash(page.data(), page.size());
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_Sha256Page);
+
+void BM_BloomInsert(benchmark::State& state) {
+  device::RamManager ram(64 * 1024, 2048);
+  auto bloom = exec::BloomFilter::Create(&ram, 100000, 32);
+  Rng rng(3);
+  for (auto _ : state) {
+    bloom->Insert(static_cast<catalog::RowId>(rng.Next()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomInsert);
+
+void BM_BloomProbe(benchmark::State& state) {
+  device::RamManager ram(64 * 1024, 2048);
+  auto bloom = exec::BloomFilter::Create(&ram, 100000, 32);
+  for (catalog::RowId id = 0; id < 100000; ++id) bloom->Insert(id * 3);
+  Rng rng(4);
+  size_t hits = 0;
+  for (auto _ : state) {
+    hits += bloom->MightContain(static_cast<catalog::RowId>(rng.Next()));
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomProbe);
+
+void BM_CompareEncodedStrings(benchmark::State& state) {
+  uint8_t a[10], b[10];
+  catalog::Value::String("042731").Encode(a, 10);
+  catalog::Value::String("042732").Encode(b, 10);
+  for (auto _ : state) {
+    int c = catalog::CompareEncoded(catalog::DataType::kString, 10, a, b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompareEncodedStrings);
+
+void BM_HashId(benchmark::State& state) {
+  Rng rng(5);
+  for (auto _ : state) {
+    uint64_t h = crypto::HashId(static_cast<uint32_t>(rng.Next()), 0x51);
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashId);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNext);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,220 @@
+#include "catalog/schema.h"
+
+#include <algorithm>
+#include <set>
+
+namespace ghostdb::catalog {
+
+std::optional<ColumnId> TableDef::FindColumn(
+    const std::string& column_name) const {
+  for (ColumnId i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column_name) return i;
+  }
+  return std::nullopt;
+}
+
+Status Schema::AddTable(TableDef def) {
+  if (finalized_) {
+    return Status::InvalidArgument("schema is finalized");
+  }
+  if (def.name.empty()) {
+    return Status::InvalidArgument("table name must not be empty");
+  }
+  if (by_name_.count(def.name)) {
+    return Status::AlreadyExists("table '" + def.name + "' already declared");
+  }
+  std::set<std::string> seen;
+  for (auto& col : def.columns) {
+    if (col.name == "id") {
+      return Status::InvalidArgument(
+          "column name 'id' is reserved for the surrogate key (table '" +
+          def.name + "')");
+    }
+    if (!seen.insert(col.name).second) {
+      return Status::AlreadyExists("duplicate column '" + col.name +
+                                   "' in table '" + def.name + "'");
+    }
+    if (col.type == DataType::kString && col.width == 0) {
+      return Status::InvalidArgument("CHAR column '" + col.name +
+                                     "' needs a positive width");
+    }
+    if (col.type != DataType::kString) {
+      col.width = FixedWidth(col.type);
+    }
+    // An entirely-hidden table hides every column.
+    if (def.hidden) col.hidden = true;
+  }
+  by_name_[def.name] = static_cast<TableId>(tables_.size());
+  tables_.push_back(std::move(def));
+  return Status::OK();
+}
+
+Status Schema::Finalize() {
+  if (finalized_) return Status::OK();
+  if (tables_.empty()) {
+    return Status::InvalidArgument("schema has no tables");
+  }
+  tree_.assign(tables_.size(), TableTreeInfo{});
+
+  // Resolve foreign keys -> parent/child edges.
+  for (TableId t = 0; t < tables_.size(); ++t) {
+    for (ColumnId c = 0; c < tables_[t].columns.size(); ++c) {
+      const ColumnDef& col = tables_[t].columns[c];
+      if (!col.is_foreign_key()) continue;
+      if (col.type != DataType::kInt32) {
+        return Status::InvalidArgument(
+            "foreign key '" + tables_[t].name + "." + col.name +
+            "' must be INT (4-byte surrogate ids)");
+      }
+      auto it = by_name_.find(col.references);
+      if (it == by_name_.end()) {
+        return Status::InvalidArgument("foreign key '" + tables_[t].name +
+                                       "." + col.name +
+                                       "' references unknown table '" +
+                                       col.references + "'");
+      }
+      TableId child = it->second;
+      if (child == t) {
+        return Status::InvalidArgument("self-referencing foreign key in '" +
+                                       tables_[t].name + "'");
+      }
+      if (tree_[child].parent != kInvalidTable) {
+        return Status::InvalidArgument(
+            "table '" + tables_[child].name +
+            "' is referenced by more than one table; the schema must be a "
+            "tree (paper section 3)");
+      }
+      tree_[child].parent = t;
+      tree_[child].parent_fk = c;
+      tree_[t].children.push_back(child);
+    }
+  }
+
+  // Exactly one root: a table with no parent. (Tables with neither parent
+  // nor children are also roots, which we reject for multi-table schemas.)
+  std::vector<TableId> roots;
+  for (TableId t = 0; t < tables_.size(); ++t) {
+    if (tree_[t].parent == kInvalidTable) roots.push_back(t);
+  }
+  if (roots.size() != 1) {
+    return Status::InvalidArgument(
+        "schema must form a single tree; found " +
+        std::to_string(roots.size()) + " root candidates");
+  }
+  root_ = roots[0];
+
+  // Depths + ancestors via BFS from the root; also detects unreachable
+  // tables (cycles among non-roots would leave parents set but disconnected
+  // from the root).
+  std::vector<bool> reached(tables_.size(), false);
+  std::vector<TableId> queue = {root_};
+  reached[root_] = true;
+  for (size_t q = 0; q < queue.size(); ++q) {
+    TableId t = queue[q];
+    for (TableId child : tree_[t].children) {
+      if (reached[child]) {
+        return Status::InvalidArgument("cycle detected in schema tree");
+      }
+      reached[child] = true;
+      tree_[child].depth = tree_[t].depth + 1;
+      tree_[child].ancestors = tree_[t].ancestors;
+      tree_[child].ancestors.insert(tree_[child].ancestors.begin(), t);
+      queue.push_back(child);
+    }
+  }
+  for (TableId t = 0; t < tables_.size(); ++t) {
+    if (!reached[t]) {
+      return Status::InvalidArgument("table '" + tables_[t].name +
+                                     "' is not connected to the schema tree");
+    }
+  }
+
+  // Descendants: pre-order DFS below each table.
+  for (TableId t = 0; t < tables_.size(); ++t) {
+    std::vector<TableId> stack(tree_[t].children.rbegin(),
+                               tree_[t].children.rend());
+    while (!stack.empty()) {
+      TableId d = stack.back();
+      stack.pop_back();
+      tree_[t].descendants.push_back(d);
+      for (auto it = tree_[d].children.rbegin(); it != tree_[d].children.rend();
+           ++it) {
+        stack.push_back(*it);
+      }
+    }
+  }
+
+  finalized_ = true;
+  return Status::OK();
+}
+
+Result<TableId> Schema::FindTable(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("unknown table '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<ColumnId> Schema::VisibleColumns(TableId id) const {
+  std::vector<ColumnId> out;
+  const auto& cols = tables_[id].columns;
+  for (ColumnId c = 0; c < cols.size(); ++c) {
+    if (!cols[c].hidden) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<ColumnId> Schema::HiddenColumns(TableId id) const {
+  std::vector<ColumnId> out;
+  const auto& cols = tables_[id].columns;
+  for (ColumnId c = 0; c < cols.size(); ++c) {
+    if (cols[c].hidden) out.push_back(c);
+  }
+  return out;
+}
+
+uint32_t Schema::HiddenRowWidth(TableId id) const {
+  uint32_t width = 0;
+  for (ColumnId c : HiddenColumns(id)) width += tables_[id].columns[c].width;
+  return width;
+}
+
+uint32_t Schema::VisibleRowWidth(TableId id) const {
+  uint32_t width = 0;
+  for (ColumnId c : VisibleColumns(id)) width += tables_[id].columns[c].width;
+  return width;
+}
+
+uint32_t Schema::FullRowWidth(TableId id) const {
+  uint32_t width = kRowIdWidth;
+  for (const auto& col : tables_[id].columns) width += col.width;
+  return width;
+}
+
+bool Schema::IsAncestorOrSelf(TableId table, TableId maybe_ancestor) const {
+  if (table == maybe_ancestor) return true;
+  const auto& anc = tree_[table].ancestors;
+  return std::find(anc.begin(), anc.end(), maybe_ancestor) != anc.end();
+}
+
+std::string Schema::ToDdl() const {
+  std::string out;
+  for (const auto& t : tables_) {
+    out += "CREATE TABLE " + t.name + " (id INT";
+    for (const auto& c : t.columns) {
+      out += ", " + c.name + " ";
+      if (c.type == DataType::kString) {
+        out += "CHAR(" + std::to_string(c.width) + ")";
+      } else {
+        out += std::string(DataTypeName(c.type));
+      }
+      if (c.is_foreign_key()) out += " REFERENCES " + c.references;
+      if (c.hidden) out += " HIDDEN";
+    }
+    out += ");\n";
+  }
+  return out;
+}
+
+}  // namespace ghostdb::catalog

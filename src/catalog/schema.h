@@ -1,0 +1,115 @@
+// Schema: tables, HIDDEN annotations, tree-structure validation, and the
+// Visible/Hidden vertical partitioning of section 2.1.
+//
+// The paper's query model (section 3, Fig 3) assumes a tree-structured
+// schema: one Root table (T0, the largest/central table) plus Node tables
+// reachable from it through key/foreign-key joins. Every table carries a
+// dense 4-byte surrogate id, replicated on both Untrusted and Secure.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ghostdb::catalog {
+
+/// Dense table index within a schema.
+using TableId = uint32_t;
+/// Dense column index within a table (excludes the implicit `id`).
+using ColumnId = uint32_t;
+/// Dense 4-byte surrogate tuple id (paper Table 1).
+using RowId = uint32_t;
+
+constexpr uint32_t kRowIdWidth = 4;
+constexpr TableId kInvalidTable = static_cast<TableId>(-1);
+
+/// One column declaration.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kInt32;
+  uint32_t width = 4;        ///< On-flash width in bytes.
+  bool hidden = false;       ///< Declared HIDDEN in CREATE TABLE.
+  /// Non-empty when this column is a foreign key: the referenced table.
+  std::string references;
+
+  bool is_foreign_key() const { return !references.empty(); }
+};
+
+/// One table declaration. The surrogate primary key `id` is implicit and
+/// replicated on both sides (never listed in `columns`).
+struct TableDef {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  bool hidden = false;  ///< Entire table declared HIDDEN.
+
+  /// Looks up a column index by name.
+  std::optional<ColumnId> FindColumn(const std::string& column_name) const;
+};
+
+/// Derived tree metadata for one table.
+struct TableTreeInfo {
+  TableId parent = kInvalidTable;        ///< The (unique) table referencing us.
+  ColumnId parent_fk = 0;                ///< Column in parent referencing us.
+  std::vector<TableId> children;         ///< Tables we reference via FKs.
+  std::vector<TableId> ancestors;        ///< Path to the root (nearest first).
+  std::vector<TableId> descendants;      ///< All tables below us (pre-order).
+  uint32_t depth = 0;                    ///< Root is depth 0.
+};
+
+/// \brief A validated, tree-structured GhostDB schema.
+class Schema {
+ public:
+  /// Adds a table; fails on duplicate names or duplicate column names.
+  Status AddTable(TableDef def);
+
+  /// Validates tree structure and freezes the schema:
+  ///  * every FK references an existing table;
+  ///  * each table is referenced by at most one other table (tree, not DAG);
+  ///  * exactly one root; no cycles;
+  ///  * FK columns are 4-byte INT.
+  /// Must be called before the tree accessors below.
+  Status Finalize();
+
+  bool finalized() const { return finalized_; }
+  size_t table_count() const { return tables_.size(); }
+
+  Result<TableId> FindTable(const std::string& name) const;
+  const TableDef& table(TableId id) const { return tables_[id]; }
+  const TableTreeInfo& tree(TableId id) const { return tree_[id]; }
+  TableId root() const { return root_; }
+
+  /// Visible (non-hidden) column ids of a table, in declaration order.
+  std::vector<ColumnId> VisibleColumns(TableId id) const;
+  /// Hidden column ids of a table (includes hidden FKs).
+  std::vector<ColumnId> HiddenColumns(TableId id) const;
+
+  /// Byte width of one row of the Hidden partition (hidden columns only,
+  /// id implicit by position).
+  uint32_t HiddenRowWidth(TableId id) const;
+  /// Byte width of one row of the Visible partition.
+  uint32_t VisibleRowWidth(TableId id) const;
+  /// Byte width of the full (unpartitioned) row including the 4-byte id.
+  uint32_t FullRowWidth(TableId id) const;
+
+  /// True if `maybe_ancestor` is on `table`'s path to the root (or equal).
+  bool IsAncestorOrSelf(TableId table, TableId maybe_ancestor) const;
+
+  /// Renders the schema as CREATE TABLE statements (round-trips through the
+  /// SQL parser).
+  std::string ToDdl() const;
+
+ private:
+  bool finalized_ = false;
+  std::vector<TableDef> tables_;
+  std::map<std::string, TableId> by_name_;
+  std::vector<TableTreeInfo> tree_;
+  TableId root_ = kInvalidTable;
+};
+
+}  // namespace ghostdb::catalog

@@ -1,0 +1,100 @@
+#include "catalog/stats.h"
+
+#include <algorithm>
+
+namespace ghostdb::catalog {
+
+std::string_view CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs) {
+  int c = lhs.Compare(rhs);
+  switch (op) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+ColumnStats ColumnStats::Build(std::vector<Value> values,
+                               size_t max_quantiles) {
+  ColumnStats stats;
+  stats.row_count_ = values.size();
+  if (values.empty()) return stats;
+  std::sort(values.begin(), values.end(),
+            [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+  // Distinct estimate by a linear pass over the sorted data.
+  uint64_t distinct = 1;
+  for (size_t i = 1; i < values.size(); ++i) {
+    if (values[i].Compare(values[i - 1]) != 0) ++distinct;
+  }
+  stats.distinct_estimate_ = distinct;
+  size_t q = std::min(max_quantiles, values.size());
+  stats.quantiles_.reserve(q);
+  for (size_t i = 0; i < q; ++i) {
+    size_t idx = (i * (values.size() - 1)) / (q - 1 == 0 ? 1 : q - 1);
+    stats.quantiles_.push_back(values[idx]);
+  }
+  return stats;
+}
+
+double ColumnStats::EstimateSelectivity(CompareOp op,
+                                        const Value& literal) const {
+  if (row_count_ == 0 || quantiles_.empty()) return 0.0;
+  // Fraction of quantile boundaries strictly below / equal to the literal.
+  size_t below = 0, equal = 0;
+  for (const auto& b : quantiles_) {
+    int c = b.Compare(literal);
+    if (c < 0) ++below;
+    if (c == 0) ++equal;
+  }
+  double n = static_cast<double>(quantiles_.size());
+  double frac_lt = below / n;
+  double frac_eq =
+      equal > 0
+          ? std::max(equal / n, 1.0 / static_cast<double>(distinct_estimate_))
+          : (1.0 / static_cast<double>(std::max<uint64_t>(distinct_estimate_,
+                                                          1)));
+  switch (op) {
+    case CompareOp::kEq:
+      return std::min(1.0, frac_eq);
+    case CompareOp::kNe:
+      return std::max(0.0, 1.0 - frac_eq);
+    case CompareOp::kLt:
+      return frac_lt;
+    case CompareOp::kLe:
+      return std::min(1.0, frac_lt + frac_eq);
+    case CompareOp::kGt:
+      return std::max(0.0, 1.0 - frac_lt - frac_eq);
+    case CompareOp::kGe:
+      return std::max(0.0, 1.0 - frac_lt);
+  }
+  return 0.5;
+}
+
+}  // namespace ghostdb::catalog

@@ -1,0 +1,149 @@
+#include "catalog/value.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace ghostdb::catalog {
+
+std::string_view DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt32:
+      return "INT";
+    case DataType::kInt64:
+      return "BIGINT";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "CHAR";
+  }
+  return "?";
+}
+
+uint32_t FixedWidth(DataType type) {
+  switch (type) {
+    case DataType::kInt32:
+      return 4;
+    case DataType::kInt64:
+      return 8;
+    case DataType::kDouble:
+      return 8;
+    case DataType::kString:
+      return 0;  // declared per column
+  }
+  return 0;
+}
+
+namespace {
+
+// Compares strings under space-padded semantics (CHAR(n) collation).
+int ComparePadded(const std::string& a, const std::string& b) {
+  size_t n = std::max(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t ca = i < a.size() ? static_cast<uint8_t>(a[i]) : ' ';
+    uint8_t cb = i < b.size() ? static_cast<uint8_t>(b[i]) : ' ';
+    if (ca != cb) return ca < cb ? -1 : 1;
+  }
+  return 0;
+}
+
+template <typename T>
+int Spaceship(T a, T b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int CompareEncoded(DataType type, uint32_t width, const uint8_t* a,
+                   const uint8_t* b) {
+  switch (type) {
+    case DataType::kInt32: {
+      int32_t va = static_cast<int32_t>(DecodeFixed32(a));
+      int32_t vb = static_cast<int32_t>(DecodeFixed32(b));
+      return Spaceship(va, vb);
+    }
+    case DataType::kInt64: {
+      int64_t va = static_cast<int64_t>(DecodeFixed64(a));
+      int64_t vb = static_cast<int64_t>(DecodeFixed64(b));
+      return Spaceship(va, vb);
+    }
+    case DataType::kDouble:
+      return Spaceship(DecodeDouble(a), DecodeDouble(b));
+    case DataType::kString:
+      return std::memcmp(a, b, width);
+  }
+  return 0;
+}
+
+int Value::Compare(const Value& other) const {
+  switch (type()) {
+    case DataType::kInt32:
+      return Spaceship(AsInt32(), other.AsInt32());
+    case DataType::kInt64:
+      return Spaceship(AsInt64(), other.AsInt64());
+    case DataType::kDouble:
+      return Spaceship(AsDouble(), other.AsDouble());
+    case DataType::kString:
+      return ComparePadded(AsString(), other.AsString());
+  }
+  return 0;
+}
+
+void Value::Encode(uint8_t* dst, uint32_t width) const {
+  switch (type()) {
+    case DataType::kInt32:
+      EncodeFixed32(dst, static_cast<uint32_t>(AsInt32()));
+      break;
+    case DataType::kInt64:
+      EncodeFixed64(dst, static_cast<uint64_t>(AsInt64()));
+      break;
+    case DataType::kDouble:
+      EncodeDouble(dst, AsDouble());
+      break;
+    case DataType::kString: {
+      const std::string& s = AsString();
+      size_t copy = std::min<size_t>(s.size(), width);
+      std::memcpy(dst, s.data(), copy);
+      std::memset(dst + copy, ' ', width - copy);
+      break;
+    }
+  }
+}
+
+Value Value::Decode(const uint8_t* src, DataType type, uint32_t width) {
+  switch (type) {
+    case DataType::kInt32:
+      return Int32(static_cast<int32_t>(DecodeFixed32(src)));
+    case DataType::kInt64:
+      return Int64(static_cast<int64_t>(DecodeFixed64(src)));
+    case DataType::kDouble:
+      return Double(DecodeDouble(src));
+    case DataType::kString: {
+      size_t len = width;
+      while (len > 0 && src[len - 1] == ' ') --len;
+      return String(std::string(reinterpret_cast<const char*>(src), len));
+    }
+  }
+  return Value();
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kInt32:
+      return std::to_string(AsInt32());
+    case DataType::kInt64:
+      return std::to_string(AsInt64());
+    case DataType::kDouble: {
+      std::string s = std::to_string(AsDouble());
+      return s;
+    }
+    case DataType::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+}  // namespace ghostdb::catalog

@@ -1,0 +1,92 @@
+// Typed values with fixed-width on-flash encodings.
+//
+// GhostDB follows the paper's storage math: every column has a declared
+// byte width (e.g. char(20), int(4)), rows are fixed-width, and 4-byte
+// surrogate ids (Table 1). Strings use binary collation and are
+// space-padded to their declared width.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ghostdb::catalog {
+
+/// Column data types.
+enum class DataType : uint8_t { kInt32, kInt64, kDouble, kString };
+
+/// Human-readable type name ("INT", "BIGINT", "DOUBLE", "CHAR").
+std::string_view DataTypeName(DataType type);
+
+/// Default/intrinsic width in bytes (strings take their declared width).
+uint32_t FixedWidth(DataType type);
+
+/// Three-way comparison of two encoded cells of the same type/width without
+/// materializing Values (strings memcmp their padded encodings; numerics
+/// decode cheaply). Used by index builders and the B+-tree.
+int CompareEncoded(DataType type, uint32_t width, const uint8_t* a,
+                   const uint8_t* b);
+
+/// \brief A typed SQL value.
+class Value {
+ public:
+  Value() : data_(int32_t{0}) {}
+
+  static Value Int32(int32_t v) { return Value(v); }
+  static Value Int64(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value String(std::string v) { return Value(std::move(v)); }
+
+  DataType type() const {
+    switch (data_.index()) {
+      case 0:
+        return DataType::kInt32;
+      case 1:
+        return DataType::kInt64;
+      case 2:
+        return DataType::kDouble;
+      default:
+        return DataType::kString;
+    }
+  }
+
+  int32_t AsInt32() const { return std::get<int32_t>(data_); }
+  int64_t AsInt64() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Three-way comparison; both values must have the same type. Strings use
+  /// binary collation over their space-padded encodings (trailing spaces are
+  /// insignificant).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const {
+    return type() == other.type() && Compare(other) == 0;
+  }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Encodes into exactly `width` bytes at `dst` (little-endian for
+  /// numerics; space-padded / truncated for strings).
+  void Encode(uint8_t* dst, uint32_t width) const;
+
+  /// Decodes a value of `type` from `width` bytes (strings lose trailing
+  /// spaces).
+  static Value Decode(const uint8_t* src, DataType type, uint32_t width);
+
+  /// Renders for EXPLAIN / error messages.
+  std::string ToString() const;
+
+ private:
+  explicit Value(int32_t v) : data_(v) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+
+  std::variant<int32_t, int64_t, double, std::string> data_;
+};
+
+}  // namespace ghostdb::catalog

@@ -1,0 +1,56 @@
+// Little-endian fixed-width integer encoding, used by every on-flash format.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace ghostdb {
+
+inline void EncodeFixed16(uint8_t* dst, uint16_t v) {
+  dst[0] = static_cast<uint8_t>(v);
+  dst[1] = static_cast<uint8_t>(v >> 8);
+}
+
+inline uint16_t DecodeFixed16(const uint8_t* src) {
+  return static_cast<uint16_t>(src[0]) |
+         (static_cast<uint16_t>(src[1]) << 8);
+}
+
+inline void EncodeFixed32(uint8_t* dst, uint32_t v) {
+  dst[0] = static_cast<uint8_t>(v);
+  dst[1] = static_cast<uint8_t>(v >> 8);
+  dst[2] = static_cast<uint8_t>(v >> 16);
+  dst[3] = static_cast<uint8_t>(v >> 24);
+}
+
+inline uint32_t DecodeFixed32(const uint8_t* src) {
+  return static_cast<uint32_t>(src[0]) |
+         (static_cast<uint32_t>(src[1]) << 8) |
+         (static_cast<uint32_t>(src[2]) << 16) |
+         (static_cast<uint32_t>(src[3]) << 24);
+}
+
+inline void EncodeFixed64(uint8_t* dst, uint64_t v) {
+  for (int i = 0; i < 8; ++i) dst[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+inline uint64_t DecodeFixed64(const uint8_t* src) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(src[i]) << (8 * i);
+  return v;
+}
+
+inline void EncodeDouble(uint8_t* dst, double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  EncodeFixed64(dst, bits);
+}
+
+inline double DecodeDouble(const uint8_t* src) {
+  uint64_t bits = DecodeFixed64(src);
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+}  // namespace ghostdb

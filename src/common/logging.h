@@ -1,0 +1,50 @@
+// Minimal leveled logger. Off by default so tests and benches stay quiet;
+// examples turn it on to narrate what the engine does.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ghostdb {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log configuration.
+class Logger {
+ public:
+  static LogLevel& Threshold() {
+    static LogLevel level = LogLevel::kOff;
+    return level;
+  }
+
+  static bool Enabled(LogLevel level) {
+    return static_cast<int>(level) >= static_cast<int>(Threshold());
+  }
+
+  static void Emit(LogLevel level, const std::string& msg) {
+    static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+    std::cerr << "[ghostdb " << names[static_cast<int>(level)] << "] " << msg
+              << "\n";
+  }
+};
+
+namespace internal {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() {
+    if (Logger::Enabled(level_)) Logger::Emit(level_, stream_.str());
+  }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace ghostdb
+
+#define GHOSTDB_LOG(level)                                            \
+  ::ghostdb::internal::LogMessage(::ghostdb::LogLevel::level).stream()

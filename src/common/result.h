@@ -1,0 +1,68 @@
+// Result<T>: Status + value, the return type of fallible value-producing
+// operations (Arrow idiom).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ghostdb {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Usage:
+/// \code
+///   Result<int> r = Parse(s);
+///   if (!r.ok()) return r.status();
+///   int v = r.ValueUnsafe();
+/// \endcode
+/// or with the GHOSTDB_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an errored result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  /// Returns the held value. Precondition: ok().
+  const T& ValueUnsafe() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueUnsafe() & {
+    assert(ok());
+    return *value_;
+  }
+  T ValueUnsafe() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the held value or `fallback` if errored.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return ValueUnsafe(); }
+  T& operator*() & { return ValueUnsafe(); }
+  const T* operator->() const { return &ValueUnsafe(); }
+  T* operator->() { return &ValueUnsafe(); }
+
+ private:
+  Status status_;  // OK iff value_ engaged
+  std::optional<T> value_;
+};
+
+}  // namespace ghostdb

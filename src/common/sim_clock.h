@@ -1,0 +1,78 @@
+// Simulated clock. The paper's evaluation platform is an I/O-accurate (not
+// cycle-accurate) simulator: time advances only through flash I/O and channel
+// transfers. Every advance is attributed to a named category so benches can
+// regenerate the paper's cost decompositions (Figs 15-16: Merge / SJoin /
+// Store / Project).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/units.h"
+
+namespace ghostdb {
+
+/// \brief Accumulates simulated time, split by category.
+///
+/// Operators enter a category scope; all costs charged while the scope is
+/// alive are attributed to that category (plus the running total).
+class SimClock {
+ public:
+  /// Adds `ns` simulated nanoseconds to the running total and the current
+  /// category.
+  void Advance(SimNanos ns) {
+    now_ += ns;
+    categories_[current_] += ns;
+  }
+
+  /// Total simulated time since construction / Reset().
+  SimNanos now() const { return now_; }
+
+  /// Time charged to `category` so far (0 if never charged).
+  SimNanos Category(const std::string& category) const {
+    auto it = categories_.find(category);
+    return it == categories_.end() ? 0 : it->second;
+  }
+
+  /// All category totals (for reporting).
+  const std::map<std::string, SimNanos>& categories() const {
+    return categories_;
+  }
+
+  /// Zeroes the clock and all categories.
+  void Reset() {
+    now_ = 0;
+    categories_.clear();
+    current_ = "other";
+  }
+
+  /// RAII category scope; restores the previous category when destroyed.
+  class Scope {
+   public:
+    Scope(SimClock* clock, std::string category)
+        : clock_(clock), previous_(clock->current_) {
+      clock_->current_ = std::move(category);
+    }
+    ~Scope() { clock_->current_ = std::move(previous_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    SimClock* clock_;
+    std::string previous_;
+  };
+
+  /// Enters `category`; costs are attributed to it until the scope dies.
+  Scope Enter(std::string category) { return Scope(this, std::move(category)); }
+
+  /// Name of the currently active category.
+  const std::string& current_category() const { return current_; }
+
+ private:
+  SimNanos now_ = 0;
+  std::string current_ = "other";
+  std::map<std::string, SimNanos> categories_;
+};
+
+}  // namespace ghostdb

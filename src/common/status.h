@@ -1,0 +1,122 @@
+// Status: the error-reporting currency of GhostDB (RocksDB/Arrow idiom).
+// Library code never throws; every fallible operation returns a Status or a
+// Result<T> (see result.h).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ghostdb {
+
+/// Error categories used across the library.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kCorruption = 3,
+  kIOError = 4,
+  kResourceExhausted = 5,   // e.g. Secure RAM budget exceeded
+  kNotSupported = 6,
+  kOutOfRange = 7,
+  kAlreadyExists = 8,
+  kSecurityViolation = 9,   // an operation would leak Hidden data
+  kInternal = 10,
+};
+
+/// \brief Outcome of a fallible operation: a code plus a human-readable
+/// message. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// \name Factory helpers, one per StatusCode.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status SecurityViolation(std::string msg) {
+    return Status(StatusCode::kSecurityViolation, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// @}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsSecurityViolation() const {
+    return code_ == StatusCode::kSecurityViolation;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// Renders e.g. "IOError: flash page 12 out of range".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Human-readable name of a status code ("OK", "NotFound", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+}  // namespace ghostdb
+
+/// Propagates a non-OK Status to the caller.
+#define GHOSTDB_RETURN_NOT_OK(expr)            \
+  do {                                         \
+    ::ghostdb::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error propagates the Status,
+/// otherwise assigns the value to `lhs`.
+#define GHOSTDB_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto GHOSTDB_CONCAT_(_res_, __LINE__) = (expr);                  \
+  if (!GHOSTDB_CONCAT_(_res_, __LINE__).ok())                      \
+    return GHOSTDB_CONCAT_(_res_, __LINE__).status();              \
+  lhs = std::move(GHOSTDB_CONCAT_(_res_, __LINE__)).ValueUnsafe()
+
+#define GHOSTDB_CONCAT_IMPL_(a, b) a##b
+#define GHOSTDB_CONCAT_(a, b) GHOSTDB_CONCAT_IMPL_(a, b)

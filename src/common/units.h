@@ -1,0 +1,32 @@
+// Simulated-time and size units. The whole cost model is expressed in
+// integral nanoseconds of *simulated* time so results are exact and
+// platform-independent.
+#pragma once
+
+#include <cstdint>
+
+namespace ghostdb {
+
+/// Simulated time in nanoseconds.
+using SimNanos = uint64_t;
+
+constexpr SimNanos kNanosecond = 1;
+constexpr SimNanos kMicrosecond = 1000;
+constexpr SimNanos kMillisecond = 1000 * kMicrosecond;
+constexpr SimNanos kSecond = 1000 * kMillisecond;
+
+constexpr uint64_t kKiB = 1024;
+constexpr uint64_t kMiB = 1024 * kKiB;
+constexpr uint64_t kGiB = 1024 * kMiB;
+
+/// Converts simulated nanoseconds to fractional seconds (for reporting).
+inline double ToSeconds(SimNanos ns) {
+  return static_cast<double>(ns) / static_cast<double>(kSecond);
+}
+
+/// Converts simulated nanoseconds to fractional milliseconds.
+inline double ToMillis(SimNanos ns) {
+  return static_cast<double>(ns) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace ghostdb

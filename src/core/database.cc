@@ -1,0 +1,193 @@
+#include "core/database.h"
+
+#include "crypto/sha256.h"
+#include "sql/binder.h"
+
+namespace ghostdb::core {
+
+using catalog::TableId;
+
+GhostDB::GhostDB(GhostDBConfig config) : config_(std::move(config)) {
+  if (config_.encrypt_external_flash &&
+      !config_.device.flash.cipher_key.has_value()) {
+    // Derive the at-rest key from the device master secret.
+    const char* label = "ghostdb-at-rest-key";
+    auto digest = crypto::Sha256::Hash(
+        reinterpret_cast<const uint8_t*>(label), 19);
+    std::array<uint8_t, 32> key{};
+    std::copy(digest.begin(), digest.end(), key.begin());
+    config_.device.flash.cipher_key = key;
+  }
+  device_ = std::make_unique<device::SecureDevice>(config_.device);
+  allocator_ = std::make_unique<storage::PageAllocator>(&device_->flash());
+}
+
+Status GhostDB::Execute(const std::string& sql) {
+  GHOSTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
+  if (auto* create = std::get_if<sql::CreateTableStmt>(&stmt)) {
+    if (built_) {
+      return Status::NotSupported("schema changes after Build()");
+    }
+    return schema_.AddTable(create->def);
+  }
+  if (auto* insert = std::get_if<sql::InsertStmt>(&stmt)) {
+    if (built_) {
+      return Status::NotSupported(
+          "updates after Build() are outside this prototype's scope "
+          "(the paper treats updates as untime-critical, section 2.3)");
+    }
+    if (!schema_.finalized()) {
+      GHOSTDB_RETURN_NOT_OK(schema_.Finalize());
+      staged_.clear();
+      for (TableId t = 0; t < schema_.table_count(); ++t) {
+        staged_.emplace_back(&schema_, t);
+      }
+    }
+    GHOSTDB_ASSIGN_OR_RETURN(TableId t, schema_.FindTable(insert->table));
+    return staged_[t].AppendRow(insert->values);
+  }
+  return Status::InvalidArgument(
+      "Execute() handles CREATE TABLE / INSERT; use Query() for SELECT");
+}
+
+Result<TableData*> GhostDB::MutableStaging(const std::string& table) {
+  if (built_) {
+    return Status::NotSupported("staging after Build()");
+  }
+  if (!schema_.finalized()) {
+    GHOSTDB_RETURN_NOT_OK(schema_.Finalize());
+    staged_.clear();
+    for (TableId t = 0; t < schema_.table_count(); ++t) {
+      staged_.emplace_back(&schema_, t);
+    }
+  }
+  GHOSTDB_ASSIGN_OR_RETURN(TableId t, schema_.FindTable(table));
+  return &staged_[t];
+}
+
+Status GhostDB::Build() {
+  if (built_) return Status::OK();
+  if (!schema_.finalized()) {
+    GHOSTDB_RETURN_NOT_OK(schema_.Finalize());
+    staged_.clear();
+    for (TableId t = 0; t < schema_.table_count(); ++t) {
+      staged_.emplace_back(&schema_, t);
+    }
+  }
+  untrusted_ = std::make_unique<untrusted::UntrustedEngine>(
+      &schema_, &device_->channel());
+  if (config_.indexed_attrs_by_name.has_value()) {
+    std::map<TableId, std::vector<catalog::ColumnId>> resolved;
+    for (const auto& [table_name, columns] :
+         *config_.indexed_attrs_by_name) {
+      GHOSTDB_ASSIGN_OR_RETURN(TableId t, schema_.FindTable(table_name));
+      for (const auto& column_name : columns) {
+        auto c = schema_.table(t).FindColumn(column_name);
+        if (!c.has_value()) {
+          return Status::NotFound("indexed column '" + table_name + "." +
+                                  column_name + "' not found");
+        }
+        resolved[t].push_back(*c);
+      }
+      resolved.try_emplace(t);  // ensure entry exists even if empty
+    }
+    config_.loader.indexed_attrs = std::move(resolved);
+  }
+  Loader loader(&schema_, device_.get(), allocator_.get(), untrusted_.get(),
+                config_.loader);
+  GHOSTDB_ASSIGN_OR_RETURN(store_, loader.Load(staged_));
+  executor_ = std::make_unique<exec::SecureExecutor>(
+      device_.get(), allocator_.get(), &schema_, &store_, untrusted_.get(),
+      config_.exec);
+  planner_ =
+      std::make_unique<plan::Planner>(&schema_, &store_, config_.planner);
+  if (!config_.retain_staged_data) {
+    staged_.clear();
+    staged_.shrink_to_fit();
+  }
+  built_ = true;
+  return Status::OK();
+}
+
+Result<sql::BoundQuery> GhostDB::BindSelect(const std::string& sql,
+                                            bool* explain) {
+  GHOSTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
+  auto* select = std::get_if<sql::SelectStmt>(&stmt);
+  if (select == nullptr) {
+    return Status::InvalidArgument("Query() expects a SELECT");
+  }
+  if (explain != nullptr) *explain = select->explain;
+  return sql::Bind(*select, schema_, sql);
+}
+
+Result<exec::QueryResult> GhostDB::RunSelect(const sql::BoundQuery& query,
+                                             const plan::PlanChoice* pinned) {
+  if (!built_) {
+    return Status::InvalidArgument("call Build() before querying");
+  }
+  exec::MetricSnapshot baseline = exec::MetricSnapshot::Take(device_.get());
+  // The query text is the only information that leaves the key.
+  untrusted_->ReceiveQuery(query.sql);
+  // Visible selectivities, computed by Untrusted from visible data.
+  std::map<TableId, uint64_t> vis_counts;
+  for (TableId t : query.tables) {
+    if (!query.HasVisiblePredicateOn(t)) continue;
+    GHOSTDB_ASSIGN_OR_RETURN(uint64_t count,
+                             untrusted_->ServeVisibleCount(query, t));
+    vis_counts[t] = count;
+  }
+  plan::PlanChoice plan;
+  if (pinned != nullptr) {
+    plan = *pinned;
+  } else {
+    GHOSTDB_ASSIGN_OR_RETURN(plan,
+                             planner_->Choose(query, vis_counts,
+                                              config_.exec));
+  }
+  if (query.explain) {
+    exec::QueryResult result;
+    result.columns = {"plan"};
+    result.rows = {{catalog::Value::String(
+        planner_->Explain(query, plan, vis_counts))}};
+    result.total_rows = 1;
+    return result;
+  }
+  return executor_->Execute(query, plan, &baseline);
+}
+
+Result<exec::QueryResult> GhostDB::Query(const std::string& sql) {
+  GHOSTDB_ASSIGN_OR_RETURN(sql::BoundQuery query,
+                           BindSelect(sql, nullptr));
+  return RunSelect(query, nullptr);
+}
+
+Result<exec::QueryResult> GhostDB::QueryWithPlan(
+    const std::string& sql, const plan::PlanChoice& plan) {
+  GHOSTDB_ASSIGN_OR_RETURN(sql::BoundQuery query,
+                           BindSelect(sql, nullptr));
+  return RunSelect(query, &plan);
+}
+
+Result<std::string> GhostDB::Explain(const std::string& sql) {
+  GHOSTDB_ASSIGN_OR_RETURN(sql::BoundQuery query,
+                           BindSelect(sql, nullptr));
+  query.explain = true;
+  GHOSTDB_ASSIGN_OR_RETURN(exec::QueryResult result,
+                           RunSelect(query, nullptr));
+  return result.rows[0][0].AsString();
+}
+
+std::string GhostDB::StorageReport() const {
+  std::string out = "flash pages by structure:\n";
+  for (const auto& [tag, pages] : allocator_->usage_by_tag()) {
+    if (pages == 0) continue;
+    out += "  " + tag + ": " + std::to_string(pages) + "\n";
+  }
+  out += "total used: " + std::to_string(allocator_->used_pages()) +
+         " pages (" +
+         std::to_string(allocator_->used_pages() * 2048 / 1024 / 1024) +
+         " MiB)\n";
+  return out;
+}
+
+}  // namespace ghostdb::core

@@ -1,0 +1,104 @@
+// GhostDB: the public facade.
+//
+// Usage:
+//   ghostdb::core::GhostDB db;
+//   db.Execute("CREATE TABLE Patients (id INT, name CHAR(20) HIDDEN, ...)");
+//   db.Execute("INSERT INTO Patients VALUES (...)");   // staged
+//   db.Build();                                        // partition + index
+//   auto r = db.Query("SELECT ... FROM ... WHERE ..."); // leak-free
+//
+// The object owns both worlds: the Untrusted engine (visible partitions)
+// and the Secure device (hidden partitions, SKTs, climbing indexes), wired
+// by the audited channel. Only the query text ever crosses to Untrusted.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "core/loader.h"
+#include "core/secure_store.h"
+#include "core/table_data.h"
+#include "device/secure_device.h"
+#include "exec/executor.h"
+#include "plan/planner.h"
+#include "sql/parser.h"
+#include "storage/page_allocator.h"
+#include "untrusted/engine.h"
+
+namespace ghostdb::core {
+
+struct GhostDBConfig {
+  device::DeviceConfig device;
+  /// Encrypt external NAND pages (the chip sits outside the secure
+  /// perimeter, Fig 2). Zero simulated-time cost; real crypto exercised.
+  bool encrypt_external_flash = true;
+  /// Keep the staged (owner-side) data after Build() — used by tests to
+  /// cross-check results against the reference oracle.
+  bool retain_staged_data = false;
+  /// Name-based alternative to loader.indexed_attrs (resolved at Build()).
+  std::optional<std::map<std::string, std::vector<std::string>>>
+      indexed_attrs_by_name;
+  LoaderConfig loader;
+  exec::ExecConfig exec;
+  plan::PlannerConfig planner;
+};
+
+/// \brief The GhostDB engine.
+class GhostDB {
+ public:
+  explicit GhostDB(GhostDBConfig config = {});
+
+  /// Executes a DDL or INSERT statement (before Build()).
+  Status Execute(const std::string& sql);
+
+  /// Bulk-stages packed rows for `table` (before Build()).
+  Result<TableData*> MutableStaging(const std::string& table);
+
+  /// Finalizes the schema, partitions the data, and builds the Secure-side
+  /// fully indexed model. Must be called once, before the first query.
+  Status Build();
+
+  /// Runs a SELECT (or EXPLAIN SELECT). The planner picks strategies.
+  Result<exec::QueryResult> Query(const std::string& sql);
+
+  /// Runs a SELECT under a pinned plan (benches compare strategies).
+  Result<exec::QueryResult> QueryWithPlan(const std::string& sql,
+                                          const plan::PlanChoice& plan);
+
+  /// EXPLAIN text for a query without executing it.
+  Result<std::string> Explain(const std::string& sql);
+
+  bool built() const { return built_; }
+  const catalog::Schema& schema() const { return schema_; }
+  device::SecureDevice& device() { return *device_; }
+  storage::PageAllocator& allocator() { return *allocator_; }
+  untrusted::UntrustedEngine& untrusted() { return *untrusted_; }
+  const SecureStore& store() const { return store_; }
+  /// Staged data (only if retain_staged_data).
+  const std::vector<TableData>& staged() const { return staged_; }
+
+  /// Storage report: live flash pages per structure tag.
+  std::string StorageReport() const;
+
+ private:
+  Result<sql::BoundQuery> BindSelect(const std::string& sql, bool* explain);
+  Result<exec::QueryResult> RunSelect(const sql::BoundQuery& query,
+                                      const plan::PlanChoice* pinned);
+
+  GhostDBConfig config_;
+  catalog::Schema schema_;
+  std::vector<TableData> staged_;
+  std::unique_ptr<device::SecureDevice> device_;
+  std::unique_ptr<storage::PageAllocator> allocator_;
+  std::unique_ptr<untrusted::UntrustedEngine> untrusted_;
+  SecureStore store_;
+  std::unique_ptr<exec::SecureExecutor> executor_;
+  std::unique_ptr<plan::Planner> planner_;
+  bool built_ = false;
+};
+
+}  // namespace ghostdb::core

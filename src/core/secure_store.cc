@@ -1,0 +1,37 @@
+#include "core/secure_store.h"
+
+namespace ghostdb::core {
+
+Result<uint32_t> SecureStore::LevelFor(const catalog::Schema& schema,
+                                       catalog::TableId owner,
+                                       catalog::TableId target,
+                                       bool self_level) {
+  if (target == owner) {
+    if (!self_level) {
+      return Status::Internal("id index has no self level");
+    }
+    return 0u;
+  }
+  const auto& ancestors = schema.tree(owner).ancestors;
+  for (uint32_t i = 0; i < ancestors.size(); ++i) {
+    if (ancestors[i] == target) {
+      return (self_level ? 1u : 0u) + i;
+    }
+  }
+  return Status::Internal("table '" + schema.table(target).name +
+                          "' is not an ancestor of '" +
+                          schema.table(owner).name + "'");
+}
+
+uint64_t SecureStore::TotalPages() const {
+  uint64_t pages = 0;
+  for (const auto& t : tables) {
+    if (t.hidden_image) pages += t.hidden_image->run.page_count();
+    if (t.skt) pages += t.skt->run.page_count();
+    for (const auto& [col, idx] : t.attr_indexes) pages += idx.total_pages();
+    if (t.id_index) pages += t.id_index->total_pages();
+  }
+  return pages;
+}
+
+}  // namespace ghostdb::core

@@ -1,0 +1,73 @@
+#include "core/table_data.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace ghostdb::core {
+
+TableData::TableData(const catalog::Schema* schema, catalog::TableId table)
+    : schema_(schema), table_(table) {
+  const auto& cols = schema->table(table).columns;
+  offsets_.reserve(cols.size());
+  uint32_t off = 0;
+  for (const auto& c : cols) {
+    offsets_.push_back(off);
+    off += c.width;
+  }
+  row_width_ = off;
+}
+
+Status TableData::AppendRow(const std::vector<catalog::Value>& values) {
+  const auto& cols = schema_->table(table_).columns;
+  if (values.size() != cols.size()) {
+    return Status::InvalidArgument(
+        "row for '" + schema_->table(table_).name + "' needs " +
+        std::to_string(cols.size()) + " values, got " +
+        std::to_string(values.size()));
+  }
+  size_t base = bytes_.size();
+  bytes_.resize(base + row_width_);
+  for (size_t c = 0; c < cols.size(); ++c) {
+    if (values[c].type() != cols[c].type) {
+      // Accept int32 literals for int64/double columns.
+      if (cols[c].type == catalog::DataType::kInt64 &&
+          values[c].type() == catalog::DataType::kInt32) {
+        catalog::Value::Int64(values[c].AsInt32())
+            .Encode(bytes_.data() + base + offsets_[c], cols[c].width);
+        continue;
+      }
+      if (cols[c].type == catalog::DataType::kDouble &&
+          values[c].type() == catalog::DataType::kInt32) {
+        catalog::Value::Double(values[c].AsInt32())
+            .Encode(bytes_.data() + base + offsets_[c], cols[c].width);
+        continue;
+      }
+      bytes_.resize(base);
+      return Status::InvalidArgument("type mismatch for column '" +
+                                     cols[c].name + "'");
+    }
+    values[c].Encode(bytes_.data() + base + offsets_[c], cols[c].width);
+  }
+  count_ += 1;
+  return Status::OK();
+}
+
+void TableData::AppendPackedRow(const uint8_t* row) {
+  size_t base = bytes_.size();
+  bytes_.resize(base + row_width_);
+  std::memcpy(bytes_.data() + base, row, row_width_);
+  count_ += 1;
+}
+
+catalog::Value TableData::Get(catalog::RowId row, catalog::ColumnId c) const {
+  const auto& col = schema_->table(table_).columns[c];
+  return catalog::Value::Decode(CellPtr(row, c), col.type, col.width);
+}
+
+catalog::RowId TableData::GetFk(catalog::RowId row,
+                                catalog::ColumnId c) const {
+  return DecodeFixed32(CellPtr(row, c));
+}
+
+}  // namespace ghostdb::core

@@ -1,0 +1,57 @@
+// Owner-side staging of table contents before they are split between
+// Untrusted and Secure. Rows are kept packed (fixed-width, declaration
+// order, ids implicit) so staging a million-row table costs megabytes, not
+// gigabytes of heap-allocated Values.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/value.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ghostdb::core {
+
+/// \brief Packed staged rows of one table.
+class TableData {
+ public:
+  TableData() = default;
+  TableData(const catalog::Schema* schema, catalog::TableId table);
+
+  /// Appends a row given as Values (declaration order, no id).
+  Status AppendRow(const std::vector<catalog::Value>& values);
+
+  /// Appends a row already packed to the full row width (no id).
+  void AppendPackedRow(const uint8_t* row);
+
+  uint64_t row_count() const { return count_; }
+  uint32_t row_width() const { return row_width_; }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+  /// Byte offset of column `c` within a packed row.
+  uint32_t ColumnOffset(catalog::ColumnId c) const { return offsets_[c]; }
+
+  /// Decodes one value.
+  catalog::Value Get(catalog::RowId row, catalog::ColumnId c) const;
+
+  /// Reads a foreign-key column (must be INT) of one row.
+  catalog::RowId GetFk(catalog::RowId row, catalog::ColumnId c) const;
+
+  /// Raw pointer to a column cell.
+  const uint8_t* CellPtr(catalog::RowId row, catalog::ColumnId c) const {
+    return bytes_.data() + static_cast<uint64_t>(row) * row_width_ +
+           offsets_[c];
+  }
+
+ private:
+  const catalog::Schema* schema_ = nullptr;
+  catalog::TableId table_ = 0;
+  uint32_t row_width_ = 0;
+  std::vector<uint32_t> offsets_;
+  std::vector<uint8_t> bytes_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace ghostdb::core

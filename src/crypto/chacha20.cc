@@ -1,0 +1,75 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+
+namespace ghostdb::crypto {
+
+namespace {
+
+inline uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d = Rotl(d ^ a, 16);
+  c += d;
+  b = Rotl(b ^ c, 12);
+  a += b;
+  d = Rotl(d ^ a, 8);
+  c += d;
+  b = Rotl(b ^ c, 7);
+}
+
+inline uint32_t Load32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(const uint8_t key[kKeySize],
+                   const uint8_t nonce[kNonceSize]) {
+  for (int i = 0; i < 8; ++i) key_words_[i] = Load32(key + 4 * i);
+  for (int i = 0; i < 3; ++i) nonce_words_[i] = Load32(nonce + 4 * i);
+}
+
+void ChaCha20::Block(uint32_t counter, uint8_t out[kBlockSize]) const {
+  // "expand 32-byte k"
+  uint32_t state[16] = {0x61707865, 0x3320646e, 0x79622d32, 0x6b206574,
+                        key_words_[0], key_words_[1], key_words_[2],
+                        key_words_[3], key_words_[4], key_words_[5],
+                        key_words_[6], key_words_[7], counter,
+                        nonce_words_[0], nonce_words_[1], nonce_words_[2]};
+  uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    uint32_t v = x[i] + state[i];
+    out[4 * i + 0] = static_cast<uint8_t>(v);
+    out[4 * i + 1] = static_cast<uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<uint8_t>(v >> 24);
+  }
+}
+
+void ChaCha20::Crypt(uint8_t* data, size_t len, uint32_t counter) const {
+  uint8_t keystream[kBlockSize];
+  size_t off = 0;
+  while (off < len) {
+    Block(counter++, keystream);
+    size_t take = std::min(len - off, kBlockSize);
+    for (size_t i = 0; i < take; ++i) data[off + i] ^= keystream[i];
+    off += take;
+  }
+}
+
+}  // namespace ghostdb::crypto

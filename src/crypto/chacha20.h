@@ -1,0 +1,34 @@
+// ChaCha20 stream cipher (RFC 8439), from scratch. Used for at-rest
+// encryption of external NAND pages: pure ARX, so it stays fast in portable
+// scalar code, unlike software AES. AES-CTR remains in use for the sealed
+// Hidden-data channel.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace ghostdb::crypto {
+
+/// \brief ChaCha20 keystream generator / stream cipher.
+class ChaCha20 {
+ public:
+  static constexpr size_t kKeySize = 32;
+  static constexpr size_t kNonceSize = 12;
+  static constexpr size_t kBlockSize = 64;
+
+  ChaCha20(const uint8_t key[kKeySize], const uint8_t nonce[kNonceSize]);
+
+  /// XORs keystream into `data` in place. `counter` selects the starting
+  /// 64-byte keystream block (RFC 8439 block counter), letting flash pages be
+  /// (de)ciphered independently.
+  void Crypt(uint8_t* data, size_t len, uint32_t counter = 0) const;
+
+ private:
+  void Block(uint32_t counter, uint8_t out[kBlockSize]) const;
+
+  std::array<uint32_t, 8> key_words_;
+  std::array<uint32_t, 3> nonce_words_;
+};
+
+}  // namespace ghostdb::crypto

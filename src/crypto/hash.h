@@ -1,0 +1,38 @@
+// Fast non-cryptographic 64-bit hashing (xxhash-style avalanche mix) used by
+// Bloom filters. The paper's Bloom filters need k independent hash functions;
+// we derive them from one 64-bit hash with distinct odd multipliers
+// (Kirsch-Mitzenmacher double hashing preserves the false-positive bound).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ghostdb::crypto {
+
+/// 64-bit mix of a 64-bit value (splitmix64 finalizer).
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Hashes a 32-bit id with a seed; distinct seeds give independent functions.
+inline uint64_t HashId(uint32_t id, uint64_t seed) {
+  return Mix64((static_cast<uint64_t>(id) << 1 | 1) * 0x9E3779B97F4A7C15ULL +
+               seed * 0xC2B2AE3D27D4EB4FULL);
+}
+
+/// Hashes an arbitrary byte string (FNV-1a core + avalanche finish).
+inline uint64_t HashBytes(const uint8_t* data, size_t len, uint64_t seed) {
+  uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+}  // namespace ghostdb::crypto

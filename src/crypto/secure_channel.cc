@@ -1,0 +1,79 @@
+#include "crypto/secure_channel.h"
+
+#include <cstring>
+
+#include "crypto/aes.h"
+#include "crypto/sha256.h"
+
+namespace ghostdb::crypto {
+
+namespace {
+constexpr size_t kNonceSize = 12;
+constexpr size_t kTagSize = HmacSha256::kTagSize;
+}  // namespace
+
+DeviceKeys DeviceKeys::Derive(const uint8_t* master, size_t master_len) {
+  DeviceKeys keys;
+  // Expand: HMAC(master, label || counter), two blocks.
+  auto block1 = HmacSha256::Mac(
+      master, master_len, reinterpret_cast<const uint8_t*>("ghostdb-enc\x01"),
+      12);
+  auto block2 = HmacSha256::Mac(
+      master, master_len, reinterpret_cast<const uint8_t*>("ghostdb-mac\x02"),
+      12);
+  std::memcpy(keys.encryption_key, block1.data(), sizeof(keys.encryption_key));
+  std::memcpy(keys.mac_key, block2.data(), sizeof(keys.mac_key));
+  return keys;
+}
+
+SealedBlob Seal(const DeviceKeys& keys, const std::vector<uint8_t>& plaintext,
+                uint64_t nonce_seed) {
+  SealedBlob blob;
+  blob.bytes.resize(kNonceSize + plaintext.size() + kTagSize);
+
+  // Nonce: derived deterministically from the seed (unique per blob).
+  uint8_t seed_bytes[8];
+  for (int i = 0; i < 8; ++i)
+    seed_bytes[i] = static_cast<uint8_t>(nonce_seed >> (8 * i));
+  auto nonce_digest =
+      HmacSha256::Mac(keys.mac_key, sizeof(keys.mac_key), seed_bytes, 8);
+  std::memcpy(blob.bytes.data(), nonce_digest.data(), kNonceSize);
+
+  // Encrypt.
+  std::memcpy(blob.bytes.data() + kNonceSize, plaintext.data(),
+              plaintext.size());
+  Aes128Ctr ctr(keys.encryption_key, blob.bytes.data());
+  ctr.Crypt(blob.bytes.data() + kNonceSize, plaintext.size());
+
+  // Authenticate nonce || ciphertext (encrypt-then-MAC).
+  auto tag = HmacSha256::Mac(keys.mac_key, sizeof(keys.mac_key),
+                             blob.bytes.data(), kNonceSize + plaintext.size());
+  std::memcpy(blob.bytes.data() + kNonceSize + plaintext.size(), tag.data(),
+              kTagSize);
+  return blob;
+}
+
+Result<std::vector<uint8_t>> Open(const DeviceKeys& keys,
+                                  const SealedBlob& blob) {
+  if (blob.bytes.size() < kNonceSize + kTagSize) {
+    return Status::Corruption("sealed blob too short");
+  }
+  size_t ct_len = blob.bytes.size() - kNonceSize - kTagSize;
+  auto tag = HmacSha256::Mac(keys.mac_key, sizeof(keys.mac_key),
+                             blob.bytes.data(), kNonceSize + ct_len);
+  // Constant-time comparison.
+  uint8_t diff = 0;
+  for (size_t i = 0; i < kTagSize; ++i)
+    diff |= static_cast<uint8_t>(tag[i] ^
+                                 blob.bytes[kNonceSize + ct_len + i]);
+  if (diff != 0) {
+    return Status::Corruption("sealed blob authentication failed");
+  }
+  std::vector<uint8_t> plaintext(blob.bytes.begin() + kNonceSize,
+                                 blob.bytes.begin() + kNonceSize + ct_len);
+  Aes128Ctr ctr(keys.encryption_key, blob.bytes.data());
+  ctr.Crypt(plaintext.data(), plaintext.size());
+  return plaintext;
+}
+
+}  // namespace ghostdb::crypto

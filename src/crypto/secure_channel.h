@@ -1,0 +1,41 @@
+// Sealing of Hidden-data transfers: AES-128-CTR encryption + HMAC-SHA-256
+// authentication. The database owner seals Hidden partitions; only the key
+// (which holds the device keys) can open them. Models the paper's "secure
+// channel (e.g., using secure socket layer or a USB key burned by the
+// database owner)".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ghostdb::crypto {
+
+/// \brief Key material shared between database owner and the Secure device.
+struct DeviceKeys {
+  uint8_t encryption_key[16];
+  uint8_t mac_key[32];
+
+  /// Deterministically derives device keys from a master secret (HKDF-like
+  /// expansion with SHA-256).
+  static DeviceKeys Derive(const uint8_t* master, size_t master_len);
+};
+
+/// \brief A sealed blob: nonce || ciphertext || tag.
+struct SealedBlob {
+  std::vector<uint8_t> bytes;
+};
+
+/// Encrypts + authenticates `plaintext` under `keys`. `nonce_seed`
+/// disambiguates blobs sealed under the same keys (e.g. table id).
+SealedBlob Seal(const DeviceKeys& keys, const std::vector<uint8_t>& plaintext,
+                uint64_t nonce_seed);
+
+/// Verifies and decrypts a sealed blob. Fails with Corruption if the tag
+/// does not match (tampered or truncated data).
+Result<std::vector<uint8_t>> Open(const DeviceKeys& keys,
+                                  const SealedBlob& blob);
+
+}  // namespace ghostdb::crypto

@@ -1,0 +1,29 @@
+#include "device/channel.h"
+
+#include "crypto/hash.h"
+
+namespace ghostdb::device {
+
+void Channel::Transfer(Direction direction, const std::string& label,
+                       const uint8_t* payload, uint64_t bytes) {
+  uint64_t digest = 0;
+  if (payload != nullptr) {
+    digest = crypto::HashBytes(payload, bytes, /*seed=*/0x6864);
+  }
+  transcript_.push_back(ChannelMessage{direction, label, bytes, digest});
+  if (throughput_ > 0 && bytes > 0) {
+    auto scope = clock_->Enter("comm");
+    clock_->Advance(static_cast<SimNanos>(
+        static_cast<double>(bytes) / throughput_ * kSecond));
+  }
+}
+
+uint64_t Channel::BytesMoved(Direction direction) const {
+  uint64_t total = 0;
+  for (const auto& m : transcript_) {
+    if (m.direction == direction) total += m.bytes;
+  }
+  return total;
+}
+
+}  // namespace ghostdb::device

@@ -1,0 +1,76 @@
+#include "device/ram_manager.h"
+
+#include <algorithm>
+
+namespace ghostdb::device {
+
+BufferHandle& BufferHandle::operator=(BufferHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    manager_ = other.manager_;
+    data_ = other.data_;
+    size_ = other.size_;
+    buffers_ = other.buffers_;
+    other.manager_ = nullptr;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.buffers_ = 0;
+  }
+  return *this;
+}
+
+BufferHandle::~BufferHandle() { Release(); }
+
+void BufferHandle::Release() {
+  if (manager_ != nullptr) {
+    manager_->ReleaseBuffers(data_, buffers_);
+    manager_ = nullptr;
+    data_ = nullptr;
+    size_ = 0;
+    buffers_ = 0;
+  }
+}
+
+RamManager::RamManager(size_t ram_bytes, size_t buffer_size)
+    : ram_bytes_(ram_bytes),
+      buffer_size_(buffer_size),
+      total_buffers_(static_cast<uint32_t>(ram_bytes / buffer_size)),
+      arena_(ram_bytes, 0),
+      buffer_used_(total_buffers_, false) {}
+
+Result<BufferHandle> RamManager::Acquire(uint32_t buffers, std::string owner) {
+  if (buffers == 0) {
+    return Status::InvalidArgument("cannot acquire zero buffers");
+  }
+  // First-fit search for a contiguous free range.
+  uint32_t run = 0;
+  for (uint32_t i = 0; i < total_buffers_; ++i) {
+    run = buffer_used_[i] ? 0 : run + 1;
+    if (run == buffers) {
+      uint32_t first = i + 1 - buffers;
+      for (uint32_t b = first; b <= i; ++b) buffer_used_[b] = true;
+      used_buffers_ += buffers;
+      peak_used_buffers_ = std::max(peak_used_buffers_, used_buffers_);
+      owners_.emplace_back(owner, buffers);
+      return BufferHandle(this, arena_.data() + first * buffer_size_,
+                          static_cast<size_t>(buffers) * buffer_size_,
+                          buffers);
+    }
+  }
+  return Status::ResourceExhausted(
+      "secure RAM exhausted: " + owner + " wants " + std::to_string(buffers) +
+      " buffers, " + std::to_string(free_buffers()) + " free of " +
+      std::to_string(total_buffers_));
+}
+
+void RamManager::ReleaseBuffers(uint8_t* data, uint32_t buffers) {
+  uint32_t first = static_cast<uint32_t>((data - arena_.data()) / buffer_size_);
+  for (uint32_t b = first; b < first + buffers; ++b) buffer_used_[b] = false;
+  used_buffers_ -= buffers;
+}
+
+std::vector<std::pair<std::string, uint32_t>> RamManager::Owners() const {
+  return owners_;
+}
+
+}  // namespace ghostdb::device

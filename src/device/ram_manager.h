@@ -1,0 +1,93 @@
+// The Secure chip's RAM: 64 KB split into 2 KB buffers (the flash I/O unit),
+// i.e. 32 buffers (paper sections 2.2, 3.4). The budget is enforced, not
+// advisory — running out of buffers is what forces the paper's reduction
+// phases, Bloom-filter degradation, and multi-pass MJoin.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ghostdb::device {
+
+class RamManager;
+
+/// \brief RAII handle over one or more contiguous RAM buffers.
+class BufferHandle {
+ public:
+  BufferHandle() = default;
+  BufferHandle(BufferHandle&& other) noexcept { *this = std::move(other); }
+  BufferHandle& operator=(BufferHandle&& other) noexcept;
+  ~BufferHandle();
+
+  BufferHandle(const BufferHandle&) = delete;
+  BufferHandle& operator=(const BufferHandle&) = delete;
+
+  /// Pointer to the buffer memory (size() bytes).
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  uint32_t buffer_count() const { return buffers_; }
+  bool valid() const { return manager_ != nullptr; }
+
+  /// Releases the buffers back to the manager.
+  void Release();
+
+ private:
+  friend class RamManager;
+  BufferHandle(RamManager* manager, uint8_t* data, size_t size,
+               uint32_t buffers)
+      : manager_(manager), data_(data), size_(size), buffers_(buffers) {}
+
+  RamManager* manager_ = nullptr;
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  uint32_t buffers_ = 0;
+};
+
+/// \brief Allocates the device's scarce RAM in buffer-sized units.
+class RamManager {
+ public:
+  /// `ram_bytes` must be a multiple of `buffer_size`.
+  RamManager(size_t ram_bytes, size_t buffer_size);
+
+  /// Acquires `buffers` contiguous buffers; fails with ResourceExhausted if
+  /// fewer are free. `owner` labels the allocation for diagnostics.
+  Result<BufferHandle> Acquire(uint32_t buffers, std::string owner);
+
+  /// Acquires one buffer.
+  Result<BufferHandle> AcquireOne(std::string owner) {
+    return Acquire(1, std::move(owner));
+  }
+
+  uint32_t total_buffers() const { return total_buffers_; }
+  uint32_t free_buffers() const { return total_buffers_ - used_buffers_; }
+  uint32_t used_buffers() const { return used_buffers_; }
+  uint32_t peak_used_buffers() const { return peak_used_buffers_; }
+  size_t buffer_size() const { return buffer_size_; }
+  size_t ram_bytes() const { return ram_bytes_; }
+
+  /// Zeros the peak-usage watermark (between queries).
+  void ResetPeak() { peak_used_buffers_ = used_buffers_; }
+
+  /// Diagnostic: current owners and their buffer counts.
+  std::vector<std::pair<std::string, uint32_t>> Owners() const;
+
+ private:
+  friend class BufferHandle;
+  void ReleaseBuffers(uint8_t* data, uint32_t buffers);
+
+  size_t ram_bytes_;
+  size_t buffer_size_;
+  uint32_t total_buffers_;
+  uint32_t used_buffers_ = 0;
+  uint32_t peak_used_buffers_ = 0;
+  std::vector<uint8_t> arena_;
+  std::vector<bool> buffer_used_;  // per-buffer occupancy
+  std::vector<std::pair<std::string, uint32_t>> owners_;
+};
+
+}  // namespace ghostdb::device

@@ -1,0 +1,107 @@
+#include "exec/aggregate.h"
+
+namespace ghostdb::exec {
+
+using catalog::DataType;
+using catalog::Value;
+
+std::string_view AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kNone:
+      return "";
+    case AggFunc::kCountStar:
+      return "COUNT(*)";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+Status Aggregator::Accumulate(const Value& v) {
+  count_ += 1;
+  switch (func_) {
+    case AggFunc::kNone:
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return Status::OK();
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      switch (v.type()) {
+        case DataType::kInt32:
+          int_sum_ += v.AsInt32();
+          double_sum_ += v.AsInt32();
+          return Status::OK();
+        case DataType::kInt64:
+          int_sum_ += v.AsInt64();
+          double_sum_ += static_cast<double>(v.AsInt64());
+          return Status::OK();
+        case DataType::kDouble:
+          double_sum_ += v.AsDouble();
+          return Status::OK();
+        case DataType::kString:
+          return Status::InvalidArgument("SUM/AVG over CHAR column");
+      }
+      return Status::OK();
+    case AggFunc::kMin:
+      if (!min_.has_value() || v.Compare(*min_) < 0) min_ = v;
+      return Status::OK();
+    case AggFunc::kMax:
+      if (!max_.has_value() || v.Compare(*max_) > 0) max_ = v;
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+catalog::DataType Aggregator::OutputType() const {
+  switch (func_) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return DataType::kInt64;
+    case AggFunc::kSum:
+      return input_type_ == DataType::kDouble ? DataType::kDouble
+                                              : DataType::kInt64;
+    case AggFunc::kAvg:
+      return DataType::kDouble;
+    default:
+      return input_type_;
+  }
+}
+
+Result<Value> Aggregator::Finish() const {
+  switch (func_) {
+    case AggFunc::kNone:
+      return Status::Internal("Finish on non-aggregate");
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return Value::Int64(static_cast<int64_t>(count_));
+    case AggFunc::kSum:
+      if (input_type_ == DataType::kDouble) {
+        return Value::Double(double_sum_);
+      }
+      return Value::Int64(int_sum_);
+    case AggFunc::kAvg:
+      if (count_ == 0) return Value::Double(0);
+      return Value::Double(double_sum_ / static_cast<double>(count_));
+    case AggFunc::kMin:
+      if (!min_.has_value()) {
+        return Status::NotFound("MIN over an empty result");
+      }
+      return *min_;
+    case AggFunc::kMax:
+      if (!max_.has_value()) {
+        return Status::NotFound("MAX over an empty result");
+      }
+      return *max_;
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace ghostdb::exec

@@ -1,0 +1,55 @@
+// Aggregate evaluation over query results. The paper lists "the efficient
+// implementation of aggregate operators" as future work (section 7); this
+// implements the straightforward variant: aggregates are folded on the
+// Secure device as final result rows stream out of QEP_P, so per-row data
+// still never leaves the key — only the aggregate value reaches the secure
+// display.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ghostdb::exec {
+
+/// Aggregate functions over the result of a Select-Project-Join block.
+enum class AggFunc : uint8_t { kNone, kCountStar, kCount, kSum, kAvg, kMin,
+                               kMax };
+
+std::string_view AggFuncName(AggFunc f);
+
+/// \brief Streaming accumulator for one aggregate output column.
+class Aggregator {
+ public:
+  Aggregator(AggFunc func, catalog::DataType input_type)
+      : func_(func), input_type_(input_type) {}
+
+  /// Folds one input value (ignored for COUNT(*)).
+  Status Accumulate(const catalog::Value& v);
+  /// Folds a COUNT(*) row.
+  void AccumulateRow() { count_ += 1; }
+
+  /// The final value (COUNT yields INT64; SUM follows the input type with
+  /// integer widening; AVG is DOUBLE; MIN/MAX keep the input type).
+  /// Empty inputs yield 0 for counts and NULL-like zero values otherwise.
+  Result<catalog::Value> Finish() const;
+
+  /// Result column type.
+  catalog::DataType OutputType() const;
+
+ private:
+  AggFunc func_;
+  catalog::DataType input_type_;
+  uint64_t count_ = 0;
+  int64_t int_sum_ = 0;
+  double double_sum_ = 0;
+  std::optional<catalog::Value> min_;
+  std::optional<catalog::Value> max_;
+};
+
+}  // namespace ghostdb::exec

@@ -1,0 +1,57 @@
+#include "exec/bloom.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "crypto/hash.h"
+
+namespace ghostdb::exec {
+
+Result<BloomFilter> BloomFilter::Create(device::RamManager* ram,
+                                        uint64_t expected_n,
+                                        uint32_t max_buffers,
+                                        double target_bits_per_element) {
+  uint64_t want_bits =
+      static_cast<uint64_t>(std::max(1.0, target_bits_per_element) *
+                            static_cast<double>(std::max<uint64_t>(
+                                expected_n, 1)));
+  uint64_t want_buffers =
+      (want_bits / 8 + ram->buffer_size() - 1) / ram->buffer_size();
+  uint32_t buffers = static_cast<uint32_t>(std::min<uint64_t>(
+      std::max<uint64_t>(want_buffers, 1), max_buffers));
+  GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle handle,
+                           ram->Acquire(buffers, "bloom"));
+  std::memset(handle.data(), 0, handle.size());
+  uint64_t m_bits = static_cast<uint64_t>(handle.size()) * 8;
+  // Optimal k = ln2 * m/n, clamped to [1, 8].
+  double ratio = expected_n == 0
+                     ? 8.0
+                     : static_cast<double>(m_bits) /
+                           static_cast<double>(expected_n);
+  uint32_t k = static_cast<uint32_t>(std::lround(0.6931 * ratio));
+  k = std::max<uint32_t>(1, std::min<uint32_t>(k, 8));
+  return BloomFilter(std::move(handle), m_bits, k);
+}
+
+void BloomFilter::Insert(catalog::RowId id) {
+  // Kirsch-Mitzenmacher double hashing: h_i = h1 + i*h2.
+  uint64_t h1 = crypto::HashId(id, 0x51ul);
+  uint64_t h2 = crypto::HashId(id, 0xB10Dull);
+  for (uint32_t i = 0; i < k_; ++i) {
+    uint64_t bit = (h1 + i * h2) % m_bits_;
+    bits_.data()[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+  }
+  inserted_ += 1;
+}
+
+bool BloomFilter::MightContain(catalog::RowId id) const {
+  uint64_t h1 = crypto::HashId(id, 0x51ul);
+  uint64_t h2 = crypto::HashId(id, 0xB10Dull);
+  for (uint32_t i = 0; i < k_; ++i) {
+    uint64_t bit = (h1 + i * h2) % m_bits_;
+    if ((bits_.data()[bit / 8] & (1u << (bit % 8))) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace ghostdb::exec

@@ -1,0 +1,290 @@
+#include "exec/merge.h"
+
+#include <algorithm>
+
+namespace ghostdb::exec {
+
+using catalog::RowId;
+
+uint64_t MergeGroup::TotalIds() const {
+  uint64_t n = 0;
+  for (const auto& [area, range] : sublists) n += range.count;
+  for (const auto& run : runs) n += run.bytes / 4;
+  if (has_ram_ids) n += ram_ids.size();
+  if (has_iota) n += iota_n;
+  return n;
+}
+
+Status MergeExec::ReduceGroup(MergeGroup* group, size_t target_streams) {
+  stats_.reduction_rounds += 1;
+  // Workspace: every free buffer minus one reader and one writer.
+  uint32_t free = ram_->free_buffers();
+  if (free < 3) {
+    return Status::ResourceExhausted(
+        "merge reduction needs at least 3 free buffers");
+  }
+  GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle read_buf,
+                           ram_->AcquireOne("merge-reduce-read"));
+  GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle write_buf,
+                           ram_->AcquireOne("merge-reduce-write"));
+  GHOSTDB_ASSIGN_OR_RETURN(
+      device::BufferHandle sort_area,
+      ram_->Acquire(ram_->free_buffers(), "merge-reduce-sort"));
+  size_t capacity_ids = sort_area.size() / 4;
+
+  // Pass 1: stream every sublist and run of the group, chunk-sort-write.
+  // (Ids are staged in the sort area, modeled host-side; the I/O below is
+  // what the device would pay.)
+  std::vector<RowId> staging;
+  staging.reserve(capacity_ids);
+  std::vector<storage::RunRef> new_runs;
+
+  auto flush_staging = [&]() -> Status {
+    if (staging.empty()) return Status::OK();
+    std::sort(staging.begin(), staging.end());
+    storage::RunWriter writer(device_, allocator_, write_buf.data(),
+                              "merge-tmp");
+    for (RowId id : staging) {
+      GHOSTDB_RETURN_NOT_OK(writer.AppendU32(id));
+    }
+    GHOSTDB_ASSIGN_OR_RETURN(storage::RunRef run, writer.Finish());
+    stats_.reduction_ids_written += staging.size();
+    new_runs.push_back(std::move(run));
+    staging.clear();
+    return Status::OK();
+  };
+
+  auto drain_source = [&](IdSource* src) -> Status {
+    GHOSTDB_RETURN_NOT_OK(src->Prime());
+    while (src->valid()) {
+      staging.push_back(src->head());
+      if (staging.size() == capacity_ids) {
+        GHOSTDB_RETURN_NOT_OK(flush_staging());
+      }
+      GHOSTDB_RETURN_NOT_OK(src->Advance());
+    }
+    return Status::OK();
+  };
+
+  for (const auto& [area, range] : group->sublists) {
+    PostingIdSource src(device_, area, range, read_buf.data());
+    GHOSTDB_RETURN_NOT_OK(drain_source(&src));
+  }
+  for (const auto& run : group->runs) {
+    RunIdSource src(device_, run, read_buf.data());
+    GHOSTDB_RETURN_NOT_OK(drain_source(&src));
+    GHOSTDB_RETURN_NOT_OK(storage::FreeRun(allocator_, run, "merge-tmp"));
+  }
+  GHOSTDB_RETURN_NOT_OK(flush_staging());
+  group->sublists.clear();
+  group->runs.clear();
+
+  // Pass 2+: k-way merge runs until few enough remain.
+  uint32_t fan_in = ram_->free_buffers() + sort_area.buffer_count() - 1;
+  sort_area.Release();  // reuse as per-run stream buffers below
+  while (new_runs.size() > target_streams) {
+    size_t take = std::min<size_t>(fan_in, new_runs.size());
+    if (take < 2) {
+      return Status::ResourceExhausted("merge reduction cannot make progress");
+    }
+    GHOSTDB_ASSIGN_OR_RETURN(
+        device::BufferHandle stream_bufs,
+        ram_->Acquire(static_cast<uint32_t>(take), "merge-reduce-fanin"));
+    std::vector<std::unique_ptr<RunIdSource>> sources;
+    for (size_t i = 0; i < take; ++i) {
+      sources.push_back(std::make_unique<RunIdSource>(
+          device_, new_runs[i],
+          stream_bufs.data() + i * ram_->buffer_size()));
+      GHOSTDB_RETURN_NOT_OK(sources.back()->Prime());
+    }
+    storage::RunWriter writer(device_, allocator_, write_buf.data(),
+                              "merge-tmp");
+    while (true) {
+      // Union-merge: emit the global min (keeping duplicates is harmless).
+      bool any = false;
+      RowId min_id = 0;
+      for (auto& s : sources) {
+        if (s->valid() && (!any || s->head() < min_id)) {
+          min_id = s->head();
+          any = true;
+        }
+      }
+      if (!any) break;
+      GHOSTDB_RETURN_NOT_OK(writer.AppendU32(min_id));
+      stats_.reduction_ids_written += 1;
+      for (auto& s : sources) {
+        while (s->valid() && s->head() == min_id) {
+          GHOSTDB_RETURN_NOT_OK(s->Advance());
+        }
+      }
+    }
+    GHOSTDB_ASSIGN_OR_RETURN(storage::RunRef merged, writer.Finish());
+    for (size_t i = 0; i < take; ++i) {
+      GHOSTDB_RETURN_NOT_OK(
+          storage::FreeRun(allocator_, new_runs[i], "merge-tmp"));
+    }
+    new_runs.erase(new_runs.begin(),
+                   new_runs.begin() + static_cast<long>(take));
+    new_runs.push_back(std::move(merged));
+  }
+  group->runs = std::move(new_runs);
+  return Status::OK();
+}
+
+Status MergeExec::StreamingMerge(
+    std::vector<MergeGroup>& groups,
+    const std::function<Status(RowId)>& sink, uint32_t usable_buffers) {
+  size_t total_streams = 0;
+  for (auto& g : groups) total_streams += g.FlashStreams();
+  stats_.peak_streams =
+      std::max<uint32_t>(stats_.peak_streams,
+                         static_cast<uint32_t>(total_streams));
+
+  device::BufferHandle stream_bufs;
+  size_t window = ram_->buffer_size();
+  if (total_streams > 0) {
+    uint32_t buffers_needed = static_cast<uint32_t>(total_streams);
+    if (policy_ == MergeOverflowPolicy::kSubBuffer &&
+        total_streams > usable_buffers) {
+      // Split the usable buffers into equal sub-buffers (paper alt. 2).
+      buffers_needed = usable_buffers;
+      size_t bytes = static_cast<size_t>(usable_buffers) *
+                     ram_->buffer_size() / total_streams;
+      window = std::max<size_t>(64, bytes & ~size_t{3});
+    }
+    GHOSTDB_ASSIGN_OR_RETURN(stream_bufs,
+                             ram_->Acquire(buffers_needed, "merge-streams"));
+  }
+
+  // Wire up sources, slicing the buffer arena into windows.
+  std::vector<std::vector<std::unique_ptr<IdSource>>> group_sources(
+      groups.size());
+  size_t cursor = 0;
+  auto next_window = [&]() {
+    uint8_t* p = stream_bufs.data() + cursor;
+    cursor += window;
+    return p;
+  };
+  uint32_t window_bytes = static_cast<uint32_t>(window);
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    auto& g = groups[gi];
+    for (const auto& [area, range] : g.sublists) {
+      group_sources[gi].push_back(std::make_unique<PostingIdSource>(
+          device_, area, range, next_window(), window_bytes));
+    }
+    for (const auto& run : g.runs) {
+      group_sources[gi].push_back(std::make_unique<RunIdSource>(
+          device_, run, next_window(), window_bytes));
+    }
+    if (g.has_ram_ids) {
+      group_sources[gi].push_back(
+          std::make_unique<VectorIdSource>(g.ram_ids));
+    }
+    if (g.has_iota) {
+      group_sources[gi].push_back(std::make_unique<IotaIdSource>(g.iota_n));
+    }
+  }
+  for (auto& sources : group_sources) {
+    for (auto& s : sources) {
+      GHOSTDB_RETURN_NOT_OK(s->Prime());
+    }
+  }
+
+  // Intersection of unions, streaming.
+  auto group_min = [&](size_t gi, RowId* out) {
+    bool any = false;
+    RowId min_id = 0;
+    for (auto& s : group_sources[gi]) {
+      if (s->valid() && (!any || s->head() < min_id)) {
+        min_id = s->head();
+        any = true;
+      }
+    }
+    *out = min_id;
+    return any;
+  };
+
+  while (true) {
+    // Candidate: max over group minima; if any group is exhausted, done.
+    RowId candidate = 0;
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+      RowId gmin;
+      if (!group_min(gi, &gmin)) return Status::OK();
+      candidate = std::max(candidate, gmin);
+    }
+    // Advance every group to >= candidate; restart if any overshoots.
+    bool aligned = true;
+    for (size_t gi = 0; gi < groups.size() && aligned; ++gi) {
+      for (auto& s : group_sources[gi]) {
+        while (s->valid() && s->head() < candidate) {
+          GHOSTDB_RETURN_NOT_OK(s->Advance());
+        }
+      }
+      RowId gmin;
+      if (!group_min(gi, &gmin)) return Status::OK();
+      if (gmin > candidate) aligned = false;
+    }
+    if (!aligned) continue;
+    GHOSTDB_RETURN_NOT_OK(sink(candidate));
+    stats_.ids_emitted += 1;
+    for (auto& sources : group_sources) {
+      for (auto& s : sources) {
+        while (s->valid() && s->head() == candidate) {
+          GHOSTDB_RETURN_NOT_OK(s->Advance());
+        }
+      }
+    }
+  }
+}
+
+Status MergeExec::Run(std::vector<MergeGroup> groups,
+                      const std::function<Status(RowId)>& sink,
+                      uint32_t reserve_buffers) {
+  if (groups.empty()) return Status::OK();
+  if (ram_->free_buffers() <= reserve_buffers) {
+    return Status::ResourceExhausted("merge has no usable RAM buffers");
+  }
+  uint32_t usable = ram_->free_buffers() - reserve_buffers;
+
+  // Stream capacity: one full buffer per stream under the reduction
+  // policy; 64-byte sub-buffers at minimum under the sub-buffer policy
+  // (beyond that even sub-buffering cannot help and reduction kicks in).
+  {
+    size_t stream_cap =
+        policy_ == MergeOverflowPolicy::kReduction
+            ? usable
+            : usable * ram_->buffer_size() / 64;
+    // Shrink groups until every flash stream can own a (sub-)buffer.
+    while (true) {
+      size_t total = 0;
+      for (auto& g : groups) total += g.FlashStreams();
+      if (total <= stream_cap) break;
+      // Reduce the fattest group to its fair allowance.
+      size_t fattest = 0;
+      for (size_t gi = 1; gi < groups.size(); ++gi) {
+        if (groups[gi].FlashStreams() > groups[fattest].FlashStreams()) {
+          fattest = gi;
+        }
+      }
+      size_t others = total - groups[fattest].FlashStreams();
+      size_t allowance =
+          stream_cap > others + 1 ? stream_cap - others : 1;
+      if (groups[fattest].FlashStreams() <= allowance) {
+        return Status::Internal("merge reduction made no progress");
+      }
+      GHOSTDB_RETURN_NOT_OK(ReduceGroup(&groups[fattest], allowance));
+    }
+  }
+
+  GHOSTDB_RETURN_NOT_OK(StreamingMerge(groups, sink, usable));
+
+  // Consume input runs (reduction already freed what it replaced).
+  for (auto& g : groups) {
+    for (const auto& run : g.runs) {
+      GHOSTDB_RETURN_NOT_OK(storage::FreeRun(allocator_, run, "merge-tmp"));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ghostdb::exec

@@ -1,0 +1,104 @@
+// The Merge operator (paper sections 3.3-3.4): evaluates
+//   (L1 ∩ L2 ∩ ... ∩ Lk)    where each Li = (Li1 ∪ Li2 ∪ ... ∪ Lij)
+// over sorted id (sub)lists, in bounded RAM.
+//
+// Every flash-resident sublist/run needs one RAM buffer to stream. When the
+// total number of streams exceeds the buffers available, Merge first runs a
+// REDUCTION PHASE (the paper's alternative 1): it loads as many ids of one
+// group as fit in RAM, sorts them, writes them back as a single sorted run,
+// and repeats — shrinking the group's stream count until everything fits.
+// (Alternative 2 — sub-buffer splitting — is implemented as an option for
+// the ablation bench; it trades extra page reads for avoiding temp writes.)
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "device/ram_manager.h"
+#include "exec/id_source.h"
+#include "flash/flash.h"
+#include "storage/btree.h"
+#include "storage/page_allocator.h"
+#include "storage/run.h"
+
+namespace ghostdb::exec {
+
+/// One union group: sublists from climbing indexes, temporary sorted runs,
+/// and/or an in-RAM sorted id list (a Vis stream).
+struct MergeGroup {
+  /// Climbing-index sublists: (postings area, range). Sorted individually.
+  std::vector<std::pair<const storage::RunRef*, storage::PostingRange>>
+      sublists;
+  /// Temporary sorted runs (consumed and freed by Merge).
+  std::vector<storage::RunRef> runs;
+  /// In-RAM sorted ids (arrives via the dedicated comm buffer: no RAM
+  /// buffer charge). At most one per group.
+  std::vector<catalog::RowId> ram_ids;
+  bool has_ram_ids = false;
+  /// The id universe [0, iota_n): free, implicit ids (used when no
+  /// predicate restricts the anchor path).
+  catalog::RowId iota_n = 0;
+  bool has_iota = false;
+
+  uint64_t TotalIds() const;
+  size_t FlashStreams() const { return sublists.size() + runs.size(); }
+};
+
+/// How Merge copes with more streams than buffers.
+enum class MergeOverflowPolicy {
+  kReduction,   ///< paper alternative 1: pre-union sublists into runs
+  kSubBuffer,   ///< paper alternative 2: split buffers into sub-buffers
+};
+
+/// Execution statistics (observable costs for tests and benches).
+struct MergeStats {
+  uint32_t reduction_rounds = 0;
+  uint64_t reduction_ids_written = 0;
+  uint64_t ids_emitted = 0;
+  uint32_t peak_streams = 0;
+};
+
+/// \brief RAM-bounded n-ary intersection-of-unions over sorted id streams.
+class MergeExec {
+ public:
+  MergeExec(flash::FlashDevice* device, device::RamManager* ram,
+            storage::PageAllocator* allocator, SimClock* clock,
+            MergeOverflowPolicy policy = MergeOverflowPolicy::kReduction)
+      : device_(device),
+        ram_(ram),
+        allocator_(allocator),
+        clock_(clock),
+        policy_(policy) {}
+
+  /// Runs the merge; emits ascending, deduplicated ids that appear in every
+  /// group. `reserve_buffers` RAM buffers are left free for downstream
+  /// pipelined operators. Groups' temporary runs are freed.
+  Status Run(std::vector<MergeGroup> groups,
+             const std::function<Status(catalog::RowId)>& sink,
+             uint32_t reserve_buffers = 0);
+
+  const MergeStats& stats() const { return stats_; }
+
+ private:
+  /// Reduces `group` so it uses at most `target_streams` flash streams.
+  Status ReduceGroup(MergeGroup* group, size_t target_streams);
+
+  /// Final streaming phase; one buffer (or sub-buffer) per flash stream.
+  Status StreamingMerge(std::vector<MergeGroup>& groups,
+                        const std::function<Status(catalog::RowId)>& sink,
+                        uint32_t usable_buffers);
+
+  flash::FlashDevice* device_;
+  device::RamManager* ram_;
+  storage::PageAllocator* allocator_;
+  SimClock* clock_;
+  MergeOverflowPolicy policy_;
+  MergeStats stats_;
+};
+
+}  // namespace ghostdb::exec

@@ -1,0 +1,56 @@
+// Fixed-stride row runs on flash: materialized intermediate results such as
+// the SJoin output F' (<id_anchor, id_Ti, ...> rows) and the per-table
+// projection outputs (<pos, vlist, hlist> rows). Rows are packed
+// back-to-back across page boundaries (streamed sequentially, never
+// random-accessed), with the leading 4 bytes always a sort key (anchor id
+// or position).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/coding.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/run.h"
+
+namespace ghostdb::exec {
+
+/// \brief Streams fixed-stride rows out of a run, with lookahead on the
+/// leading 4-byte key.
+class RowRunReader {
+ public:
+  RowRunReader(flash::FlashDevice* device, storage::RunRef ref,
+               uint32_t row_width, uint8_t* buffer)
+      : reader_(device, std::move(ref), buffer), row_width_(row_width) {
+    row_.resize(row_width);
+  }
+
+  Status Prime() { return Advance(); }
+  bool valid() const { return has_row_; }
+  /// Leading u32 of the current row (anchor id or position).
+  catalog::RowId key() const { return DecodeFixed32(row_.data()); }
+  const uint8_t* row() const { return row_.data(); }
+  uint32_t row_width() const { return row_width_; }
+
+  Status Advance() {
+    GHOSTDB_ASSIGN_OR_RETURN(size_t n, reader_.Read(row_.data(), row_width_));
+    if (n == row_width_) {
+      has_row_ = true;
+    } else if (n == 0) {
+      has_row_ = false;
+    } else {
+      return Status::Corruption("torn row in row run");
+    }
+    return Status::OK();
+  }
+
+ private:
+  storage::RunReader reader_;
+  uint32_t row_width_;
+  std::vector<uint8_t> row_;
+  bool has_row_ = false;
+};
+
+}  // namespace ghostdb::exec

@@ -1,0 +1,120 @@
+#include "plan/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ghostdb::plan {
+
+namespace {
+constexpr uint32_t kIdBytes = 4;
+}
+
+SimNanos MergeReductionCost(const CostParams& p, uint64_t sublists,
+                            uint64_t total_ids, uint32_t buffers) {
+  if (sublists <= buffers || total_ids == 0) return 0;
+  // One chunk-sort pass reads + writes all ids; k-way passes follow until
+  // the run count fits.
+  uint64_t bytes = total_ids * kIdBytes;
+  uint64_t pages = (bytes + p.page_size - 1) / p.page_size;
+  uint64_t ids_per_chunk =
+      std::max<uint64_t>(1, static_cast<uint64_t>(buffers - 2) *
+                                (p.page_size / kIdBytes));
+  double runs = std::ceil(static_cast<double>(total_ids) /
+                          static_cast<double>(ids_per_chunk));
+  double fan_in = std::max<double>(2.0, buffers - 1);
+  double passes = 1.0;  // the chunk-sort pass
+  while (runs > buffers) {
+    runs = std::ceil(runs / fan_in);
+    passes += 1.0;
+  }
+  return static_cast<SimNanos>(
+      passes * static_cast<double>(pages) *
+      static_cast<double>(p.FullPageRead() + p.FullPageWrite()));
+}
+
+SimNanos ClimbAndMergeCost(const CostParams& p, uint64_t probes,
+                           uint64_t leaves, double fanout,
+                           uint32_t buffers_for_merge) {
+  if (probes == 0) return 0;
+  // Sorted probes share leaf pages: touched leaves = min(probes, leaves).
+  uint64_t leaf_reads = std::min(probes, std::max<uint64_t>(leaves, 1));
+  uint64_t posting_ids =
+      static_cast<uint64_t>(static_cast<double>(probes) * fanout);
+  uint64_t posting_pages =
+      (posting_ids * kIdBytes + p.page_size - 1) / p.page_size;
+  SimNanos cost = (leaf_reads + posting_pages) * p.FullPageRead();
+  cost += MergeReductionCost(p, probes, posting_ids, buffers_for_merge);
+  return cost;
+}
+
+SimNanos SJoinCost(const CostParams& p, uint64_t input_ids,
+                   uint64_t anchor_rows, uint32_t skt_row_width) {
+  if (input_ids == 0 || anchor_rows == 0) return 0;
+  uint64_t rows_per_page = std::max<uint32_t>(1, p.page_size / skt_row_width);
+  uint64_t skt_pages = (anchor_rows + rows_per_page - 1) / rows_per_page;
+  // Probability a page holds at least one hit (uniform spread).
+  double hit_rate = static_cast<double>(input_ids) /
+                    static_cast<double>(anchor_rows);
+  double page_touch =
+      1.0 - std::pow(1.0 - hit_rate, static_cast<double>(rows_per_page));
+  return static_cast<SimNanos>(static_cast<double>(skt_pages) * page_touch *
+                               static_cast<double>(p.FullPageRead()));
+}
+
+SimNanos StoreCost(const CostParams& p, uint64_t rows, uint32_t row_width) {
+  uint64_t pages =
+      (rows * static_cast<uint64_t>(row_width) + p.page_size - 1) /
+      p.page_size;
+  return pages * p.FullPageWrite();
+}
+
+StrategyCosts EstimateStrategyCosts(const CostParams& p,
+                                    const SjCostInputs& in) {
+  StrategyCosts out;
+  if (in.table_rows == 0) return out;
+  double fanout = static_cast<double>(in.anchor_rows) /
+                  static_cast<double>(in.table_rows);
+  uint32_t merge_buffers = p.ram_buffers > 6 ? p.ram_buffers - 6 : 2;
+
+  // Hidden side work shared by every strategy: the hidden selections climb
+  // to the anchor on their own.
+  uint64_t hidden_anchor_ids = static_cast<uint64_t>(
+      in.hidden_subtree_sel * in.hidden_other_sel *
+      static_cast<double>(in.anchor_rows));
+
+  // --- Pre-Filter: one id-index probe per Vis id.
+  out.pre = ClimbAndMergeCost(p, in.vis_count, in.id_index_leaves, fanout,
+                              merge_buffers);
+
+  // --- Cross-Pre: probes shrink by the subtree hidden selectivity.
+  uint64_t cross_probes = static_cast<uint64_t>(
+      static_cast<double>(in.vis_count) * in.hidden_subtree_sel);
+  out.cross_pre =
+      in.cross_possible
+          ? ClimbAndMergeCost(p, cross_probes, in.id_index_leaves, fanout,
+                              merge_buffers)
+          : out.pre;
+
+  // --- Post-Filter: the bloom is RAM-only; the price is SJoin over the
+  // un-prefiltered hidden result plus storing the (superset) F'.
+  auto post_cost = [&](uint64_t bloom_n) {
+    SimNanos sjoin = SJoinCost(p, hidden_anchor_ids, in.anchor_rows,
+                               in.skt_row_width);
+    SimNanos store = StoreCost(p, hidden_anchor_ids, 8);
+    (void)bloom_n;
+    return sjoin + store;
+  };
+  uint64_t post_n = in.vis_count;
+  uint64_t cross_post_n = cross_probes;
+  double ram_bits = static_cast<double>(p.ram_buffers) * p.page_size * 8.0;
+  out.post_feasible =
+      post_n == 0 || ram_bits / static_cast<double>(post_n) >= 2.0;
+  out.cross_post_feasible =
+      cross_post_n == 0 ||
+      ram_bits / static_cast<double>(cross_post_n) >= 2.0;
+  out.post = post_cost(post_n);
+  out.cross_post = post_cost(cross_post_n);
+  return out;
+}
+
+}  // namespace ghostdb::plan

@@ -1,0 +1,80 @@
+// Analytic cost model for the strategy optimizer (the paper lists a
+// cost-based optimizer as future work; this is our implementation of it).
+//
+// Costs are expressed in simulated nanoseconds using the Table 1 device
+// parameters, mirroring the operator implementations:
+//  * CI probes: one leaf page per probe batch locality + postings transfer;
+//  * Merge: streaming when sublists fit in buffers, otherwise external
+//    reduction passes (read + write per pass);
+//  * SJoin: fraction of SKT pages touched given a uniform hit rate;
+//  * Store: pages written for F';
+//  * Bloom: RAM-only (free), but feasibility depends on achievable m/n.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace ghostdb::plan {
+
+/// Device constants the model needs.
+struct CostParams {
+  uint32_t page_size = 2048;
+  SimNanos read_latency = 25 * kMicrosecond;
+  SimNanos write_latency = 200 * kMicrosecond;
+  SimNanos byte_latency = 50;
+  uint32_t ram_buffers = 32;
+  double channel_bytes_per_sec = 1.5e6;
+
+  SimNanos FullPageRead() const {
+    return read_latency + static_cast<SimNanos>(page_size) * byte_latency;
+  }
+  SimNanos FullPageWrite() const {
+    return write_latency + static_cast<SimNanos>(page_size) * byte_latency;
+  }
+};
+
+/// Estimated QEP_SJ shape for one candidate strategy.
+struct SjCostInputs {
+  uint64_t vis_count = 0;        ///< |Vis selection| on Ti
+  uint64_t table_rows = 0;       ///< |Ti|
+  uint64_t anchor_rows = 0;      ///< |anchor|
+  double hidden_subtree_sel = 1.0;  ///< product of hidden sels under Ti
+  double hidden_other_sel = 1.0;    ///< hidden sels outside Ti's subtree
+  uint64_t id_index_leaves = 0;  ///< leaf pages of Ti's id index
+  bool cross_possible = false;
+  uint32_t skt_row_width = 8;    ///< bytes per anchor SKT row
+};
+
+/// Cost of climbing `probes` sorted ids of Ti to the anchor, unioning the
+/// resulting sublists (`probes * fanout` ids) with bounded RAM.
+SimNanos ClimbAndMergeCost(const CostParams& p, uint64_t probes,
+                           uint64_t leaves, double fanout,
+                           uint32_t buffers_for_merge);
+
+/// External-merge cost of unioning `sublists` sorted lists totalling
+/// `total_ids` ids with `buffers` RAM buffers (0 when it fits streaming).
+SimNanos MergeReductionCost(const CostParams& p, uint64_t sublists,
+                            uint64_t total_ids, uint32_t buffers);
+
+/// SJoin cost: reading the touched fraction of the anchor SKT.
+SimNanos SJoinCost(const CostParams& p, uint64_t input_ids,
+                   uint64_t anchor_rows, uint32_t skt_row_width);
+
+/// Store cost: materializing `rows` rows of `row_width` bytes.
+SimNanos StoreCost(const CostParams& p, uint64_t rows, uint32_t row_width);
+
+/// Estimated total QEP_SJ cost of each strategy for one visible table.
+struct StrategyCosts {
+  SimNanos pre = 0;
+  SimNanos cross_pre = 0;
+  SimNanos post = 0;
+  SimNanos cross_post = 0;
+  bool post_feasible = false;
+  bool cross_post_feasible = false;
+};
+
+StrategyCosts EstimateStrategyCosts(const CostParams& p,
+                                    const SjCostInputs& in);
+
+}  // namespace ghostdb::plan

@@ -1,0 +1,146 @@
+#include "plan/planner.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ghostdb::plan {
+
+using catalog::TableId;
+
+double Planner::HiddenSubtreeSelectivity(const sql::BoundQuery& query,
+                                         TableId subtree_root) const {
+  double sel = 1.0;
+  for (const auto& p : query.predicates) {
+    if (!p.hidden || p.on_id) continue;
+    if (!schema_->IsAncestorOrSelf(p.table, subtree_root)) continue;
+    const auto& stats = store_->tables[p.table].hidden_stats;
+    auto it = stats.find(p.column);
+    if (it == stats.end()) {
+      sel *= 0.1;  // no statistics: assume a selective predicate
+    } else {
+      sel *= it->second.EstimateSelectivity(p.op, p.value);
+    }
+  }
+  return sel;
+}
+
+Result<PlanChoice> Planner::Choose(
+    const sql::BoundQuery& query,
+    const std::map<TableId, uint64_t>& vis_counts,
+    const exec::ExecConfig& exec_config) const {
+  PlanChoice plan;
+  plan.project = ProjectAlgo::kProject;
+
+  for (TableId t : query.tables) {
+    if (!query.HasVisiblePredicateOn(t)) continue;
+    uint64_t table_rows = store_->tables[t].row_count;
+    auto cnt = vis_counts.find(t);
+    uint64_t vis_count =
+        cnt != vis_counts.end() ? cnt->second : table_rows;
+    double sv = table_rows == 0
+                    ? 0.0
+                    : static_cast<double>(vis_count) /
+                          static_cast<double>(table_rows);
+    double subtree_sel = HiddenSubtreeSelectivity(query, t);
+    bool cross = subtree_sel < 1.0;  // hidden predicates exist in subtree
+
+    if (config_.mode == PlannerConfig::Mode::kRule) {
+      if (sv <= config_.pre_filter_threshold) {
+        plan.vis[t] = cross ? VisStrategy::kCrossPreFilter
+                            : VisStrategy::kPreFilter;
+      } else {
+        // Feasibility of a Bloom filter within the device RAM.
+        uint64_t n = static_cast<uint64_t>(
+            static_cast<double>(vis_count) * (cross ? subtree_sel : 1.0));
+        double ram_bits = static_cast<double>(
+                              exec_config.bloom_max_buffers) *
+                          2048.0 * 8.0;
+        bool feasible =
+            n == 0 || ram_bits / static_cast<double>(n) >=
+                          exec_config.bloom_min_bpe;
+        if (feasible) {
+          plan.vis[t] = cross ? VisStrategy::kCrossPostFilter
+                              : VisStrategy::kPostFilter;
+        } else if (cross) {
+          plan.vis[t] = VisStrategy::kCrossPreFilter;
+        } else {
+          plan.vis[t] = VisStrategy::kNoFilter;
+        }
+      }
+      continue;
+    }
+
+    // Cost mode.
+    CostParams params;
+    SjCostInputs in;
+    in.vis_count = vis_count;
+    in.table_rows = table_rows;
+    in.anchor_rows = store_->tables[query.anchor].row_count;
+    in.hidden_subtree_sel = subtree_sel;
+    in.hidden_other_sel =
+        HiddenSubtreeSelectivity(query, query.anchor) /
+        std::max(subtree_sel, 1e-12);
+    in.cross_possible = cross;
+    const auto& image = store_->tables[t];
+    in.id_index_leaves =
+        image.id_index.has_value()
+            ? image.id_index->leaf_run.page_count()
+            : 1;
+    const auto& anchor_image = store_->tables[query.anchor];
+    in.skt_row_width =
+        anchor_image.skt.has_value() ? anchor_image.skt->row_width : 8;
+    StrategyCosts costs = EstimateStrategyCosts(params, in);
+
+    VisStrategy best = VisStrategy::kPreFilter;
+    SimNanos best_cost = costs.pre;
+    if (cross && costs.cross_pre < best_cost) {
+      best = VisStrategy::kCrossPreFilter;
+      best_cost = costs.cross_pre;
+    }
+    if (costs.post_feasible && costs.post < best_cost) {
+      best = VisStrategy::kPostFilter;
+      best_cost = costs.post;
+    }
+    if (cross && costs.cross_post_feasible && costs.cross_post < best_cost) {
+      best = VisStrategy::kCrossPostFilter;
+      best_cost = costs.cross_post;
+    }
+    plan.vis[t] = best;
+  }
+  return plan;
+}
+
+std::string Planner::Explain(
+    const sql::BoundQuery& query, const PlanChoice& plan,
+    const std::map<TableId, uint64_t>& vis_counts) const {
+  std::ostringstream out;
+  out << "GhostDB plan (anchor " << schema_->table(query.anchor).name
+      << ")\n";
+  for (const auto& p : query.predicates) {
+    out << "  " << (p.hidden ? "hidden " : "visible") << " predicate: "
+        << p.ToString(*schema_) << "\n";
+  }
+  for (const auto& [t, strategy] : plan.vis) {
+    out << "  " << schema_->table(t).name << " visible selection -> "
+        << VisStrategyName(strategy);
+    auto it = vis_counts.find(t);
+    if (it != vis_counts.end() && store_->tables[t].row_count > 0) {
+      out << "  (sV=" <<
+          static_cast<double>(it->second) /
+              static_cast<double>(store_->tables[t].row_count)
+          << ")";
+    }
+    out << "\n";
+  }
+  for (const auto& p : query.predicates) {
+    if (p.hidden && !p.on_id) {
+      out << "  hidden selection " << p.ToString(*schema_)
+          << " -> climbing index to "
+          << schema_->table(query.anchor).name << "\n";
+    }
+  }
+  out << "  projection -> " << ProjectAlgoName(plan.project) << "\n";
+  return out.str();
+}
+
+}  // namespace ghostdb::plan

@@ -1,0 +1,62 @@
+// Strategy selection. Two modes:
+//  * kRule — the paper's observed decision rules (section 6.4): prefer
+//    Cross variants whenever applicable; Pre-filtering for selective
+//    Visible selections, Post-filtering otherwise, degrading to NoFilter
+//    when the Bloom filter cannot be made effective (Fig 10);
+//  * kCost — the cost-based optimizer the paper leaves as future work,
+//    built on plan/cost_model.h.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "core/secure_store.h"
+#include "exec/executor.h"
+#include "plan/cost_model.h"
+#include "plan/strategy.h"
+#include "sql/binder.h"
+
+namespace ghostdb::plan {
+
+struct PlannerConfig {
+  enum class Mode { kRule, kCost };
+  Mode mode = Mode::kRule;
+  /// Rule mode: Visible selectivity at or below this prefers Pre-filtering
+  /// (the paper's crossover sits near 0.1; Fig 9/10).
+  double pre_filter_threshold = 0.1;
+};
+
+/// \brief Chooses Visible-selection strategies and the projection
+/// algorithm for a bound query.
+class Planner {
+ public:
+  Planner(const catalog::Schema* schema, const core::SecureStore* store,
+          PlannerConfig config)
+      : schema_(schema), store_(store), config_(config) {}
+
+  /// `vis_counts`: per table with visible predicates, the Vis result count
+  /// (supplied by Untrusted; visible information).
+  Result<PlanChoice> Choose(const sql::BoundQuery& query,
+                            const std::map<catalog::TableId, uint64_t>&
+                                vis_counts,
+                            const exec::ExecConfig& exec_config) const;
+
+  /// Estimated combined selectivity of the hidden predicates on tables in
+  /// `subtree_root`'s subtree (1.0 when none).
+  double HiddenSubtreeSelectivity(const sql::BoundQuery& query,
+                                  catalog::TableId subtree_root) const;
+
+  /// Human-readable plan description (EXPLAIN).
+  std::string Explain(const sql::BoundQuery& query, const PlanChoice& plan,
+                      const std::map<catalog::TableId, uint64_t>& vis_counts)
+      const;
+
+ private:
+  const catalog::Schema* schema_;
+  const core::SecureStore* store_;
+  PlannerConfig config_;
+};
+
+}  // namespace ghostdb::plan

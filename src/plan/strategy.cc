@@ -1,0 +1,47 @@
+#include "plan/strategy.h"
+
+namespace ghostdb::plan {
+
+std::string_view VisStrategyName(VisStrategy s) {
+  switch (s) {
+    case VisStrategy::kPreFilter:
+      return "Pre-Filter";
+    case VisStrategy::kCrossPreFilter:
+      return "Cross-Pre-Filter";
+    case VisStrategy::kPostFilter:
+      return "Post-Filter";
+    case VisStrategy::kCrossPostFilter:
+      return "Cross-Post-Filter";
+    case VisStrategy::kPostSelect:
+      return "Post-Select";
+    case VisStrategy::kCrossPostSelect:
+      return "Cross-Post-Select";
+    case VisStrategy::kNoFilter:
+      return "No-Filter";
+  }
+  return "?";
+}
+
+std::string_view ProjectAlgoName(ProjectAlgo a) {
+  switch (a) {
+    case ProjectAlgo::kProject:
+      return "Project";
+    case ProjectAlgo::kProjectNoBF:
+      return "Project-NoBF";
+    case ProjectAlgo::kBruteForce:
+      return "Brute-Force";
+  }
+  return "?";
+}
+
+std::string PlanChoice::ToString(const catalog::Schema& schema) const {
+  std::string out;
+  for (const auto& [table, strategy] : vis) {
+    out += schema.table(table).name + ": " +
+           std::string(VisStrategyName(strategy)) + "; ";
+  }
+  out += "projection: " + std::string(ProjectAlgoName(project));
+  return out;
+}
+
+}  // namespace ghostdb::plan

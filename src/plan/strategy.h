@@ -1,0 +1,44 @@
+// Query-execution strategies (paper section 3.3) and the plan choice the
+// planner hands to the executor.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "catalog/schema.h"
+
+namespace ghostdb::plan {
+
+/// How a table's Visible selection is combined with Hidden computation.
+enum class VisStrategy {
+  kPreFilter,       ///< climb each Vis id through the id index before joins
+  kCrossPreFilter,  ///< intersect Vis with Hidden selections first, then climb
+  kPostFilter,      ///< Bloom filter over Vis ids, probe after SJoin
+  kCrossPostFilter, ///< Bloom over (Vis ∩ Hidden-at-Ti), probe after SJoin
+  kPostSelect,      ///< exact in-RAM selection over the SJoin result
+  kCrossPostSelect, ///< Post-Select over (Vis ∩ Hidden-at-Ti)
+  kNoFilter,        ///< postpone the Visible selection to projection time
+};
+
+std::string_view VisStrategyName(VisStrategy s);
+
+/// Projection algorithm (paper section 4 / Figs 12-13).
+enum class ProjectAlgo {
+  kProject,      ///< section 4 algorithm (BF-filtered MJoin)
+  kProjectNoBF,  ///< same without the Bloom filtering of Vis values
+  kBruteForce,   ///< QEP_SJ rows in RAM, random accesses to vlist/hlist
+};
+
+std::string_view ProjectAlgoName(ProjectAlgo a);
+
+/// A fully decided plan: one strategy per table carrying Visible
+/// predicates, plus the projection algorithm.
+struct PlanChoice {
+  std::map<catalog::TableId, VisStrategy> vis;
+  ProjectAlgo project = ProjectAlgo::kProject;
+
+  std::string ToString(const catalog::Schema& schema) const;
+};
+
+}  // namespace ghostdb::plan

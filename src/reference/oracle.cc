@@ -1,0 +1,94 @@
+#include "reference/oracle.h"
+
+#include <map>
+
+namespace ghostdb::reference {
+
+using catalog::ColumnId;
+using catalog::RowId;
+using catalog::TableId;
+using catalog::Value;
+
+Result<std::vector<std::vector<Value>>> Evaluate(
+    const catalog::Schema& schema,
+    const std::vector<core::TableData>& staged,
+    const sql::BoundQuery& query) {
+  TableId anchor = query.anchor;
+
+  // Path from the anchor to each query table (fk chain).
+  // id_of(t, anchor_row): follow parent fks downward.
+  auto id_of = [&](TableId t, RowId anchor_row) -> RowId {
+    // Build the chain anchor -> ... -> t using tree parents.
+    std::vector<TableId> chain;  // from t up to anchor (exclusive)
+    TableId walk = t;
+    while (walk != anchor) {
+      chain.push_back(walk);
+      walk = schema.tree(walk).parent;
+    }
+    RowId row = anchor_row;
+    TableId at = anchor;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      ColumnId fk = schema.tree(*it).parent_fk;
+      row = staged[at].GetFk(row, fk);
+      at = *it;
+    }
+    return row;
+  };
+
+  std::vector<std::vector<Value>> out;
+  uint64_t anchor_rows = staged[anchor].row_count();
+  for (RowId a = 0; a < anchor_rows; ++a) {
+    bool pass = true;
+    std::map<TableId, RowId> ids;
+    for (TableId t : query.tables) ids[t] = id_of(t, a);
+    for (const auto& p : query.predicates) {
+      Value v = p.on_id
+                    ? Value::Int32(static_cast<int32_t>(ids[p.table]))
+                    : staged[p.table].Get(ids[p.table], p.column);
+      if (!catalog::EvalCompare(v, p.op, p.value)) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    std::vector<Value> row;
+    row.reserve(query.select.size());
+    for (const auto& item : query.select) {
+      if (item.is_id) {
+        row.push_back(Value::Int32(static_cast<int32_t>(ids[item.table])));
+      } else {
+        row.push_back(staged[item.table].Get(ids[item.table], item.column));
+      }
+    }
+    out.push_back(std::move(row));
+  }
+
+  // Aggregates: fold the per-row values exactly as the device does.
+  if (query.HasAggregates()) {
+    std::vector<exec::Aggregator> aggs;
+    for (const auto& item : query.select) {
+      catalog::DataType input_type =
+          item.is_id ? catalog::DataType::kInt32
+                     : schema.table(item.table).columns[item.column].type;
+      aggs.emplace_back(item.agg, input_type);
+    }
+    for (const auto& row : out) {
+      for (size_t i = 0; i < query.select.size(); ++i) {
+        if (query.select[i].agg == exec::AggFunc::kCountStar) {
+          aggs[i].AccumulateRow();
+        } else {
+          GHOSTDB_RETURN_NOT_OK(aggs[i].Accumulate(row[i]));
+        }
+      }
+    }
+    std::vector<Value> agg_row;
+    for (auto& a : aggs) {
+      GHOSTDB_ASSIGN_OR_RETURN(Value v, a.Finish());
+      agg_row.push_back(std::move(v));
+    }
+    return std::vector<std::vector<Value>>{std::move(agg_row)};
+  }
+  return out;
+}
+
+}  // namespace ghostdb::reference

@@ -1,0 +1,22 @@
+// Reference evaluator ("oracle"): computes the exact answer of a bound
+// query over the owner-side staged data with naive nested joins, ignoring
+// all privacy and device constraints. Tests compare GhostDB's answers
+// against it row for row.
+#pragma once
+
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "core/table_data.h"
+#include "sql/binder.h"
+
+namespace ghostdb::reference {
+
+/// Evaluates `query` over `staged` (indexed by TableId). Rows come back in
+/// ascending anchor-id order — the same order GhostDB produces.
+Result<std::vector<std::vector<catalog::Value>>> Evaluate(
+    const catalog::Schema& schema, const std::vector<core::TableData>& staged,
+    const sql::BoundQuery& query);
+
+}  // namespace ghostdb::reference

@@ -1,0 +1,79 @@
+// Abstract syntax for the GhostDB SQL dialect:
+//   CREATE TABLE t (id INT, col TYPE [REFERENCES t2] [HIDDEN], ...) [HIDDEN];
+//   INSERT INTO t VALUES (...);
+//   [EXPLAIN] SELECT cols FROM tables WHERE joins AND predicates;
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/stats.h"
+#include "catalog/value.h"
+#include "exec/aggregate.h"
+
+namespace ghostdb::sql {
+
+/// A possibly table-qualified column reference; `column` may be "id".
+struct ColumnRef {
+  std::string table;   ///< empty if unqualified
+  std::string column;
+
+  std::string ToString() const {
+    return table.empty() ? column : table + "." + column;
+  }
+};
+
+/// One SELECT-list item: a column, or an aggregate over a column / `*`.
+struct SelectItem {
+  ColumnRef ref;                              ///< unused for COUNT(*)
+  exec::AggFunc agg = exec::AggFunc::kNone;
+};
+
+/// One selection conjunct: column op literal.
+struct PredicateExpr {
+  ColumnRef column;
+  catalog::CompareOp op;
+  catalog::Value value;
+};
+
+/// One equi-join conjunct: left = right (one side a foreign key, the other
+/// the referenced table's id).
+struct JoinExpr {
+  ColumnRef left;
+  ColumnRef right;
+};
+
+/// A FROM-list entry with an optional alias (`Measurements M`).
+struct FromTable {
+  std::string table;
+  std::string alias;  ///< empty when none
+
+  const std::string& effective_name() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+struct SelectStmt {
+  bool star = false;              ///< SELECT *
+  std::vector<SelectItem> items;  ///< when !star
+  std::vector<FromTable> from;
+  std::vector<JoinExpr> joins;
+  std::vector<PredicateExpr> predicates;
+  bool explain = false;           ///< EXPLAIN SELECT ...
+};
+
+struct CreateTableStmt {
+  catalog::TableDef def;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<catalog::Value> values;  ///< full row, id excluded (assigned)
+};
+
+using Statement = std::variant<CreateTableStmt, InsertStmt, SelectStmt>;
+
+}  // namespace ghostdb::sql

@@ -1,0 +1,78 @@
+// Binds a parsed SELECT against the schema and validates it against the
+// paper's query model: Select-Project-Join over a subtree of the schema
+// tree, equi-joins on key/foreign-key only, conjunctive exact-match or
+// range selections (section 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/stats.h"
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace ghostdb::sql {
+
+/// A resolved output column (possibly an aggregate over it).
+struct BoundColumn {
+  catalog::TableId table;
+  bool is_id = false;          ///< the surrogate id
+  catalog::ColumnId column = 0;  ///< valid when !is_id
+  exec::AggFunc agg = exec::AggFunc::kNone;
+  std::string display;         ///< "T1.v1" / "SUM(T1.v1)" for headers
+};
+
+/// A resolved selection conjunct.
+struct BoundPredicate {
+  catalog::TableId table;
+  bool on_id = false;          ///< predicate on the surrogate id
+  catalog::ColumnId column = 0;
+  bool hidden = false;         ///< column lives on Secure
+  catalog::CompareOp op;
+  catalog::Value value;
+
+  std::string ToString(const catalog::Schema& schema) const;
+};
+
+/// A resolved join edge: parent's FK column -> child table id.
+struct BoundJoin {
+  catalog::TableId parent;
+  catalog::ColumnId parent_fk;
+  catalog::TableId child;
+};
+
+/// \brief A validated Select-Project-Join query.
+struct BoundQuery {
+  std::vector<catalog::TableId> tables;  ///< FROM tables (deduped, in order)
+  catalog::TableId anchor;  ///< FROM table nearest the schema root
+  std::vector<BoundColumn> select;
+  std::vector<BoundPredicate> predicates;
+  std::vector<BoundJoin> joins;
+  bool explain = false;
+  std::string sql;  ///< original text (what the spy sees)
+
+  /// Predicates on `table` evaluable by Untrusted (visible columns + id).
+  std::vector<BoundPredicate> VisiblePredicatesOn(catalog::TableId t) const;
+  /// Predicates on `table` only evaluable on Secure.
+  std::vector<BoundPredicate> HiddenPredicatesOn(catalog::TableId t) const;
+  bool HasVisiblePredicateOn(catalog::TableId t) const {
+    return !VisiblePredicatesOn(t).empty();
+  }
+  /// Visible columns of `table` appearing in the SELECT list.
+  std::vector<catalog::ColumnId> ProjectedVisibleColumns(
+      const catalog::Schema& schema, catalog::TableId t) const;
+  /// Hidden columns of `table` appearing in the SELECT list.
+  std::vector<catalog::ColumnId> ProjectedHiddenColumns(
+      const catalog::Schema& schema, catalog::TableId t) const;
+  /// True if the SELECT list references `table` at all.
+  bool ProjectsTable(catalog::TableId t) const;
+  /// True if the SELECT list is made of aggregates (single-row result).
+  bool HasAggregates() const;
+};
+
+/// Binds `stmt` (with original text `sql`) against `schema`.
+Result<BoundQuery> Bind(const SelectStmt& stmt, const catalog::Schema& schema,
+                        std::string sql);
+
+}  // namespace ghostdb::sql

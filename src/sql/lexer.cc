@@ -1,0 +1,132 @@
+#include "sql/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace ghostdb::sql {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kKeywords = {
+      "CREATE", "TABLE",  "HIDDEN",  "REFERENCES", "INT",    "INTEGER",
+      "BIGINT", "FLOAT",  "DOUBLE",  "CHAR",       "SELECT", "FROM",
+      "WHERE",  "AND",    "INSERT",  "INTO",       "VALUES", "BETWEEN",
+      "EXPLAIN", "COUNT", "SUM",     "AVG",        "MIN",    "MAX"};
+  return kKeywords;
+}
+
+std::string ToUpper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+}  // namespace
+
+bool IsKeyword(const std::string& upper) {
+  return Keywords().count(upper) > 0;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_' || input[j] == '-')) {
+        // '-' appears in the paper's column names (first-name, patient-id).
+        // Accept it inside identifiers when followed by a letter.
+        if (input[j] == '-' &&
+            (j + 1 >= n ||
+             !std::isalnum(static_cast<unsigned char>(input[j + 1])))) {
+          break;
+        }
+        ++j;
+      }
+      std::string word = input.substr(i, j - i);
+      std::string upper = ToUpper(word);
+      if (IsKeyword(upper)) {
+        tokens.push_back({TokenType::kKeyword, upper, start});
+      } else {
+        tokens.push_back({TokenType::kIdentifier, word, start});
+      }
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])) &&
+         (tokens.empty() || (tokens.back().type == TokenType::kSymbol &&
+                             tokens.back().text != ")")))) {
+      size_t j = i + 1;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '.')) {
+        if (input[j] == '.') {
+          if (is_float) break;
+          is_float = true;
+        }
+        ++j;
+      }
+      tokens.push_back({is_float ? TokenType::kFloat : TokenType::kInteger,
+                        input.substr(i, j - i), start});
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (input[j] == '\'') {
+          if (j + 1 < n && input[j + 1] == '\'') {  // escaped quote
+            text.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text.push_back(input[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at byte " +
+                                       std::to_string(start));
+      }
+      tokens.push_back({TokenType::kString, text, start});
+      i = j;
+      continue;
+    }
+    // Multi-char operators first.
+    auto two = input.substr(i, 2);
+    if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+      tokens.push_back({TokenType::kSymbol, two, start});
+      i += 2;
+      continue;
+    }
+    if (std::string("(),;.*=<>").find(c) != std::string::npos) {
+      tokens.push_back({TokenType::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at byte " +
+                                   std::to_string(start));
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace ghostdb::sql

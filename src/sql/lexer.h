@@ -1,0 +1,37 @@
+// SQL tokenizer. Users issue completely standard SQL (paper section 7);
+// the only extension is the HIDDEN keyword in CREATE TABLE.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ghostdb::sql {
+
+enum class TokenType : uint8_t {
+  kIdentifier,   ///< table / column names (case-preserved)
+  kKeyword,      ///< upper-cased reserved word
+  kInteger,      ///< integer literal
+  kFloat,        ///< floating literal
+  kString,       ///< 'quoted' literal (quotes stripped, '' unescaped)
+  kSymbol,       ///< punctuation / operator: ( ) , ; . * = <> != < <= > >=
+  kEnd,          ///< end of input
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   ///< normalized: keywords upper-case, symbols verbatim
+  size_t offset = 0;  ///< byte offset in the input, for error messages
+};
+
+/// Splits `input` into tokens; fails on unterminated strings or stray
+/// characters.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+/// True if `word` (upper-case) is a reserved keyword.
+bool IsKeyword(const std::string& upper);
+
+}  // namespace ghostdb::sql

@@ -1,0 +1,18 @@
+// Recursive-descent parser for the GhostDB SQL dialect.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace ghostdb::sql {
+
+/// Parses one statement (a trailing ';' is accepted).
+Result<Statement> Parse(const std::string& input);
+
+/// Parses a ';'-separated script into statements.
+Result<std::vector<Statement>> ParseScript(const std::string& input);
+
+}  // namespace ghostdb::sql

@@ -1,0 +1,354 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace ghostdb::storage {
+
+namespace {
+
+constexpr uint32_t kPageHeaderBytes = 4;  // u16 entry count + 2 reserved
+
+// Type-aware comparison of encoded keys (see catalog::CompareEncoded).
+int CompareEncodedKeys(catalog::DataType type, uint32_t width,
+                       const uint8_t* a, const uint8_t* b) {
+  return catalog::CompareEncoded(type, width, a, b);
+}
+
+}  // namespace
+
+uint64_t BTreeRef::total_pages() const {
+  uint64_t pages = leaf_run.page_count();
+  for (const auto& r : node_runs) pages += r.page_count();
+  for (const auto& r : postings) pages += r.page_count();
+  return pages;
+}
+
+BTreeBuilder::BTreeBuilder(flash::FlashDevice* device,
+                           PageAllocator* allocator,
+                           catalog::DataType key_type, uint32_t key_width,
+                           uint32_t levels, std::string tag)
+    : device_(device),
+      allocator_(allocator),
+      key_type_(key_type),
+      key_width_(key_width),
+      levels_(levels),
+      tag_(std::move(tag)),
+      page_size_(device->config().page_size),
+      leaf_stride_(key_width + levels * 8),
+      leaf_capacity_((page_size_ - kPageHeaderBytes) / leaf_stride_),
+      scratch_(page_size_),
+      leaf_buffer_(page_size_),
+      leaf_page_(page_size_, 0),
+      posting_cursor_(levels, 0),
+      level_id_counts_(levels, 0),
+      last_key_(key_width, 0) {
+  for (uint32_t l = 0; l < levels_; ++l) {
+    posting_buffers_.emplace_back(page_size_);
+    posting_writers_.push_back(std::make_unique<RunWriter>(
+        device_, allocator_, posting_buffers_.back().data(),
+        tag_ + ".post" + std::to_string(l)));
+  }
+  leaf_writer_ = std::make_unique<RunWriter>(device_, allocator_,
+                                             leaf_buffer_.data(),
+                                             tag_ + ".leaf");
+}
+
+BTreeBuilder::~BTreeBuilder() = default;
+
+Status BTreeBuilder::Add(
+    const catalog::Value& key,
+    const std::vector<std::vector<catalog::RowId>>& level_ids) {
+  if (level_ids.size() != levels_) {
+    return Status::InvalidArgument("climbing index expects " +
+                                   std::to_string(levels_) + " levels");
+  }
+  std::vector<uint8_t> encoded(key_width_);
+  key.Encode(encoded.data(), key_width_);
+  if (has_last_key_ &&
+      CompareEncodedKeys(key_type_, key_width_, encoded.data(),
+                         last_key_.data()) <= 0) {
+    return Status::InvalidArgument(
+        "bulk build requires strictly ascending keys");
+  }
+  last_key_ = encoded;
+  has_last_key_ = true;
+
+  // Serialize the leaf entry: key | per-level (start, count).
+  uint8_t* slot =
+      leaf_page_.data() + kPageHeaderBytes + leaf_fill_ * leaf_stride_;
+  std::memcpy(slot, encoded.data(), key_width_);
+  for (uint32_t l = 0; l < levels_; ++l) {
+    const auto& ids = level_ids[l];
+    EncodeFixed32(slot + key_width_ + l * 8, posting_cursor_[l]);
+    EncodeFixed32(slot + key_width_ + l * 8 + 4,
+                  static_cast<uint32_t>(ids.size()));
+    for (catalog::RowId id : ids) {
+      GHOSTDB_RETURN_NOT_OK(posting_writers_[l]->AppendU32(id));
+    }
+    posting_cursor_[l] += static_cast<uint32_t>(ids.size());
+    level_id_counts_[l] += ids.size();
+  }
+  if (leaf_fill_ == 0) {
+    separators_.push_back(encoded);
+  }
+  leaf_fill_ += 1;
+  entry_count_ += 1;
+  if (leaf_fill_ == leaf_capacity_) {
+    GHOSTDB_RETURN_NOT_OK(FlushLeaf());
+  }
+  return Status::OK();
+}
+
+Status BTreeBuilder::FlushLeaf() {
+  EncodeFixed16(leaf_page_.data(), static_cast<uint16_t>(leaf_fill_));
+  GHOSTDB_RETURN_NOT_OK(leaf_writer_->Append(leaf_page_.data(), page_size_));
+  std::fill(leaf_page_.begin(), leaf_page_.end(), 0);
+  leaf_fill_ = 0;
+  return Status::OK();
+}
+
+Result<BTreeRef> BTreeBuilder::Finish() {
+  if (leaf_fill_ > 0) {
+    GHOSTDB_RETURN_NOT_OK(FlushLeaf());
+  }
+  BTreeRef ref;
+  ref.key_type = key_type_;
+  ref.key_width = key_width_;
+  ref.levels = levels_;
+  ref.entry_count = entry_count_;
+  ref.level_id_counts = level_id_counts_;
+  GHOSTDB_ASSIGN_OR_RETURN(ref.leaf_run, leaf_writer_->Finish());
+  for (uint32_t l = 0; l < levels_; ++l) {
+    GHOSTDB_ASSIGN_OR_RETURN(RunRef area, posting_writers_[l]->Finish());
+    ref.postings.push_back(std::move(area));
+  }
+  if (entry_count_ == 0) {
+    ref.height = 0;
+    return ref;
+  }
+
+  // Build internal levels bottom-up from the leaf separators.
+  uint32_t node_stride = key_width_ + 4;
+  uint32_t node_capacity = (page_size_ - kPageHeaderBytes) / node_stride;
+  std::vector<std::vector<uint8_t>> child_keys = separators_;
+  ref.height = 1;
+  while (child_keys.size() > 1) {
+    RunWriter writer(device_, allocator_, scratch_.data(),
+                     tag_ + ".node" + std::to_string(ref.height));
+    std::vector<std::vector<uint8_t>> next_keys;
+    std::vector<uint8_t> page(page_size_, 0);
+    uint32_t fill = 0;
+    for (uint32_t child = 0; child < child_keys.size(); ++child) {
+      if (fill == 0) next_keys.push_back(child_keys[child]);
+      uint8_t* slot = page.data() + kPageHeaderBytes + fill * node_stride;
+      std::memcpy(slot, child_keys[child].data(), key_width_);
+      EncodeFixed32(slot + key_width_, child);
+      fill += 1;
+      if (fill == node_capacity || child + 1 == child_keys.size()) {
+        EncodeFixed16(page.data(), static_cast<uint16_t>(fill));
+        GHOSTDB_RETURN_NOT_OK(writer.Append(page.data(), page_size_));
+        std::fill(page.begin(), page.end(), 0);
+        fill = 0;
+      }
+    }
+    GHOSTDB_ASSIGN_OR_RETURN(RunRef run, writer.Finish());
+    ref.node_runs.push_back(std::move(run));
+    child_keys = std::move(next_keys);
+    ref.height += 1;
+  }
+  ref.root_page = 0;  // run-relative index of the single top-level page
+  return ref;
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+BTreeReader::BTreeReader(flash::FlashDevice* device, const BTreeRef* ref)
+    : device_(device), ref_(ref) {}
+
+Result<std::unique_ptr<BTreeReader>> BTreeReader::Open(
+    flash::FlashDevice* device, device::RamManager* ram, const BTreeRef* ref) {
+  auto reader = std::unique_ptr<BTreeReader>(new BTreeReader(device, ref));
+  uint32_t buffers = std::max<uint32_t>(ref->height, 1);
+  GHOSTDB_ASSIGN_OR_RETURN(reader->buffers_,
+                           ram->Acquire(buffers, "btree-path"));
+  reader->loaded_page_.assign(buffers, -1);
+  return reader;
+}
+
+Status BTreeReader::LoadLevelPage(uint32_t level, uint32_t run_page_index) {
+  if (loaded_page_[level] == static_cast<int64_t>(run_page_index)) {
+    return Status::OK();
+  }
+  const RunRef& run =
+      level == 0 ? ref_->leaf_run : ref_->node_runs[level - 1];
+  uint8_t* buf = buffers_.data() + level * device_->config().page_size;
+  GHOSTDB_RETURN_NOT_OK(
+      device_->ReadFullPage(run.PageAt(run_page_index), buf));
+  loaded_page_[level] = run_page_index;
+  pages_loaded_ += 1;
+  return Status::OK();
+}
+
+int BTreeReader::CompareKeyAt(const uint8_t* entry_key,
+                              const uint8_t* needle) const {
+  return CompareEncodedKeys(ref_->key_type, ref_->key_width, entry_key,
+                            needle);
+}
+
+Result<uint32_t> BTreeReader::DescendToLeaf(const uint8_t* encoded_key) {
+  uint32_t page_index = ref_->root_page;
+  uint32_t node_stride = ref_->key_width + 4;
+  for (uint32_t level = ref_->height - 1; level >= 1; --level) {
+    GHOSTDB_RETURN_NOT_OK(LoadLevelPage(level, page_index));
+    const uint8_t* page =
+        buffers_.data() + level * device_->config().page_size;
+    uint16_t count = DecodeFixed16(page);
+    // Rightmost child whose separator <= needle (else leftmost child).
+    uint32_t lo = 0, hi = count;  // first entry with key > needle
+    while (lo < hi) {
+      uint32_t mid = (lo + hi) / 2;
+      const uint8_t* k = page + kPageHeaderBytes + mid * node_stride;
+      if (CompareKeyAt(k, encoded_key) <= 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    uint32_t pick = lo > 0 ? lo - 1 : 0;
+    const uint8_t* slot = page + kPageHeaderBytes + pick * node_stride;
+    page_index = DecodeFixed32(slot + ref_->key_width);
+  }
+  return page_index;
+}
+
+Result<bool> BTreeReader::SeekLowerBound(const catalog::Value& key) {
+  cursor_valid_ = false;
+  if (ref_->entry_count == 0) return false;
+  std::vector<uint8_t> encoded(ref_->key_width);
+  key.Encode(encoded.data(), ref_->key_width);
+  GHOSTDB_ASSIGN_OR_RETURN(uint32_t leaf, DescendToLeaf(encoded.data()));
+  GHOSTDB_RETURN_NOT_OK(LoadLevelPage(0, leaf));
+  const uint8_t* page = buffers_.data();
+  uint16_t count = DecodeFixed16(page);
+  uint32_t stride = ref_->key_width + ref_->levels * 8;
+  uint32_t lo = 0, hi = count;  // first entry with key >= needle
+  while (lo < hi) {
+    uint32_t mid = (lo + hi) / 2;
+    const uint8_t* k = page + kPageHeaderBytes + mid * stride;
+    if (CompareKeyAt(k, encoded.data()) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == count) {
+    // Past the last key of this leaf: the answer is the next leaf's first
+    // entry, if any.
+    if (leaf + 1 >= ref_->leaf_run.page_count()) return false;
+    leaf += 1;
+    GHOSTDB_RETURN_NOT_OK(LoadLevelPage(0, leaf));
+    lo = 0;
+  }
+  cursor_valid_ = true;
+  cursor_leaf_ = leaf;
+  cursor_slot_ = lo;
+  return true;
+}
+
+Result<bool> BTreeReader::SeekToFirst() {
+  cursor_valid_ = false;
+  if (ref_->entry_count == 0) return false;
+  GHOSTDB_RETURN_NOT_OK(LoadLevelPage(0, 0));
+  cursor_valid_ = true;
+  cursor_leaf_ = 0;
+  cursor_slot_ = 0;
+  return true;
+}
+
+Result<BTreeEntry> BTreeReader::Current() {
+  if (!cursor_valid_) return Status::Internal("btree cursor invalid");
+  GHOSTDB_RETURN_NOT_OK(LoadLevelPage(0, cursor_leaf_));
+  const uint8_t* page = buffers_.data();
+  uint32_t stride = ref_->key_width + ref_->levels * 8;
+  const uint8_t* slot = page + kPageHeaderBytes + cursor_slot_ * stride;
+  BTreeEntry entry;
+  entry.key =
+      catalog::Value::Decode(slot, ref_->key_type, ref_->key_width);
+  entry.ranges.resize(ref_->levels);
+  for (uint32_t l = 0; l < ref_->levels; ++l) {
+    entry.ranges[l].start = DecodeFixed32(slot + ref_->key_width + l * 8);
+    entry.ranges[l].count =
+        DecodeFixed32(slot + ref_->key_width + l * 8 + 4);
+  }
+  return entry;
+}
+
+Result<bool> BTreeReader::Next() {
+  if (!cursor_valid_) return false;
+  GHOSTDB_RETURN_NOT_OK(LoadLevelPage(0, cursor_leaf_));
+  uint16_t count = DecodeFixed16(buffers_.data());
+  if (cursor_slot_ + 1 < count) {
+    cursor_slot_ += 1;
+    return true;
+  }
+  if (cursor_leaf_ + 1 >= ref_->leaf_run.page_count()) {
+    cursor_valid_ = false;
+    return false;
+  }
+  cursor_leaf_ += 1;
+  cursor_slot_ = 0;
+  GHOSTDB_RETURN_NOT_OK(LoadLevelPage(0, cursor_leaf_));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// PostingCursor
+// ---------------------------------------------------------------------------
+
+PostingCursor::PostingCursor(flash::FlashDevice* device, const RunRef* area,
+                             PostingRange range, uint8_t* buffer,
+                             uint32_t window_bytes)
+    : device_(device),
+      area_(area),
+      buffer_(buffer),
+      page_size_(device->config().page_size),
+      window_(window_bytes == 0 ? device->config().page_size : window_bytes),
+      next_elem_(range.start),
+      remaining_(range.count) {}
+
+Status PostingCursor::Prime() { return Advance(); }
+
+Status PostingCursor::Advance() {
+  if (remaining_ == 0) {
+    has_head_ = false;
+    return Status::OK();
+  }
+  uint32_t ids_per_page = page_size_ / 4;
+  bool in_window = window_elems_ > 0 && next_elem_ >= window_first_elem_ &&
+                   next_elem_ < window_first_elem_ + window_elems_;
+  if (!in_window) {
+    // Load a fresh window: clipped to the page, the range, and the window
+    // capacity; only those bytes are transferred (partial page read).
+    uint32_t first_in_page = next_elem_ % ids_per_page;
+    uint32_t elems = std::min(
+        {remaining_, ids_per_page - first_in_page, window_ / 4});
+    GHOSTDB_RETURN_NOT_OK(
+        device_->ReadPage(area_->PageAt(next_elem_ / ids_per_page), buffer_,
+                          first_in_page * 4, elems * 4));
+    window_first_elem_ = next_elem_;
+    window_elems_ = elems;
+  }
+  head_ = DecodeFixed32(buffer_ + (next_elem_ - window_first_elem_) * 4);
+  has_head_ = true;
+  next_elem_ += 1;
+  remaining_ -= 1;
+  return Status::OK();
+}
+
+}  // namespace ghostdb::storage

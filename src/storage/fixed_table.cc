@@ -1,0 +1,112 @@
+#include "storage/fixed_table.h"
+
+#include <cstring>
+
+namespace ghostdb::storage {
+
+namespace {
+constexpr uint32_t kExtentPages = 64;
+}
+
+FixedTableBuilder::FixedTableBuilder(flash::FlashDevice* device,
+                                     PageAllocator* allocator,
+                                     uint8_t* buffer, uint32_t row_width,
+                                     std::string tag)
+    : device_(device),
+      allocator_(allocator),
+      buffer_(buffer),
+      row_width_(row_width),
+      tag_(std::move(tag)),
+      page_size_(device->config().page_size),
+      rows_per_page_(device->config().page_size / row_width) {}
+
+Status FixedTableBuilder::AppendRow(const uint8_t* row) {
+  if (rows_per_page_ == 0) {
+    return Status::InvalidArgument("row width exceeds page size");
+  }
+  std::memcpy(buffer_ + rows_in_page_ * row_width_, row, row_width_);
+  rows_in_page_ += 1;
+  row_count_ += 1;
+  if (rows_in_page_ == rows_per_page_) {
+    GHOSTDB_RETURN_NOT_OK(FlushPage());
+  }
+  return Status::OK();
+}
+
+Status FixedTableBuilder::FlushPage() {
+  uint32_t have = 0;
+  for (auto& e : extents_) have += e.second;
+  if (pages_used_ == have) {
+    GHOSTDB_ASSIGN_OR_RETURN(uint32_t first,
+                             allocator_->Alloc(kExtentPages, tag_));
+    if (!extents_.empty() &&
+        extents_.back().first + extents_.back().second == first) {
+      extents_.back().second += kExtentPages;
+    } else {
+      extents_.emplace_back(first, kExtentPages);
+    }
+  }
+  uint32_t idx = pages_used_;
+  uint32_t lpn = 0;
+  for (auto& e : extents_) {
+    if (idx < e.second) {
+      lpn = e.first + idx;
+      break;
+    }
+    idx -= e.second;
+  }
+  uint32_t fill = rows_in_page_ * row_width_;
+  if (fill < page_size_) std::memset(buffer_ + fill, 0, page_size_ - fill);
+  GHOSTDB_RETURN_NOT_OK(device_->WritePage(lpn, buffer_));
+  pages_used_ += 1;
+  rows_in_page_ = 0;
+  return Status::OK();
+}
+
+Result<FixedTableRef> FixedTableBuilder::Finish() {
+  if (finished_) return Status::Internal("FixedTableBuilder finished twice");
+  finished_ = true;
+  if (rows_in_page_ > 0) {
+    GHOSTDB_RETURN_NOT_OK(FlushPage());
+  }
+  uint32_t have = 0;
+  for (auto& e : extents_) have += e.second;
+  if (have > pages_used_) {
+    uint32_t extra = have - pages_used_;
+    auto& last = extents_.back();
+    GHOSTDB_RETURN_NOT_OK(
+        allocator_->Free(last.first + last.second - extra, extra, tag_));
+    last.second -= extra;
+    if (last.second == 0) extents_.pop_back();
+  }
+  FixedTableRef ref;
+  ref.run.extents = std::move(extents_);
+  ref.run.bytes = static_cast<uint64_t>(pages_used_) * page_size_;
+  ref.row_width = row_width_;
+  ref.rows_per_page = rows_per_page_;
+  ref.row_count = row_count_;
+  return ref;
+}
+
+FixedTableReader::FixedTableReader(flash::FlashDevice* device,
+                                   const FixedTableRef& ref, uint8_t* buffer)
+    : device_(device), ref_(ref), buffer_(buffer) {}
+
+Status FixedTableReader::ReadRow(catalog::RowId row, uint8_t* dst) {
+  if (row >= ref_.row_count) {
+    return Status::OutOfRange("row " + std::to_string(row) + " past end (" +
+                              std::to_string(ref_.row_count) + " rows)");
+  }
+  int64_t page = row / ref_.rows_per_page;
+  if (page != buffered_page_) {
+    GHOSTDB_RETURN_NOT_OK(device_->ReadFullPage(
+        ref_.run.PageAt(static_cast<uint32_t>(page)), buffer_));
+    buffered_page_ = page;
+    pages_touched_ += 1;
+  }
+  uint32_t slot = row % ref_.rows_per_page;
+  std::memcpy(dst, buffer_ + slot * ref_.row_width, ref_.row_width);
+  return Status::OK();
+}
+
+}  // namespace ghostdb::storage

@@ -1,0 +1,51 @@
+#include "storage/page_allocator.h"
+
+#include <algorithm>
+
+namespace ghostdb::storage {
+
+Result<uint32_t> PageAllocator::Alloc(uint32_t count, const std::string& tag) {
+  if (count == 0) {
+    return Status::InvalidArgument("cannot allocate zero pages");
+  }
+  // First fit in the free list.
+  for (size_t i = 0; i < free_list_.size(); ++i) {
+    if (free_list_[i].second >= count) {
+      uint32_t first = free_list_[i].first;
+      free_list_[i].first += count;
+      free_list_[i].second -= count;
+      if (free_list_[i].second == 0) {
+        free_list_.erase(free_list_.begin() + static_cast<long>(i));
+      }
+      used_pages_ += count;
+      high_water_ = std::max(high_water_, used_pages_);
+      usage_by_tag_[tag] += count;
+      return first;
+    }
+  }
+  if (next_ + count > limit_) {
+    return Status::ResourceExhausted(
+        "flash space exhausted: want " + std::to_string(count) + " pages, " +
+        std::to_string(limit_ - next_) + " fresh remain (tag " + tag + ")");
+  }
+  uint32_t first = next_;
+  next_ += count;
+  used_pages_ += count;
+  high_water_ = std::max(high_water_, used_pages_);
+  usage_by_tag_[tag] += count;
+  return first;
+}
+
+Status PageAllocator::Free(uint32_t first, uint32_t count,
+                           const std::string& tag) {
+  if (count == 0) return Status::OK();
+  for (uint32_t p = first; p < first + count; ++p) {
+    GHOSTDB_RETURN_NOT_OK(device_->Trim(p));
+  }
+  free_list_.emplace_back(first, count);
+  used_pages_ -= count;
+  usage_by_tag_[tag] -= count;
+  return Status::OK();
+}
+
+}  // namespace ghostdb::storage

@@ -1,0 +1,49 @@
+// Logical page allocation over the flash device's flat page space.
+// Structures (SKTs, climbing indexes, hidden images, temporary runs) each
+// own page ranges; released ranges are recycled and trimmed so the FTL can
+// garbage-collect them. Per-tag accounting feeds the Fig 7 storage report.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "flash/flash.h"
+
+namespace ghostdb::storage {
+
+/// \brief First-fit allocator of contiguous logical page ranges.
+class PageAllocator {
+ public:
+  explicit PageAllocator(flash::FlashDevice* device)
+      : device_(device), limit_(device->config().logical_pages) {}
+
+  /// Allocates `count` contiguous pages; `tag` labels usage for accounting.
+  Result<uint32_t> Alloc(uint32_t count, const std::string& tag);
+
+  /// Returns a range; the pages are trimmed on the device.
+  Status Free(uint32_t first, uint32_t count, const std::string& tag);
+
+  uint32_t used_pages() const { return used_pages_; }
+  uint32_t high_water_pages() const { return high_water_; }
+  uint32_t capacity_pages() const { return limit_; }
+
+  /// Live page count per tag (for storage reports).
+  const std::map<std::string, int64_t>& usage_by_tag() const {
+    return usage_by_tag_;
+  }
+
+ private:
+  flash::FlashDevice* device_;
+  uint32_t limit_;
+  uint32_t next_ = 0;  // bump pointer; freed ranges go to the free list
+  std::vector<std::pair<uint32_t, uint32_t>> free_list_;  // (first, count)
+  uint32_t used_pages_ = 0;
+  uint32_t high_water_ = 0;
+  std::map<std::string, int64_t> usage_by_tag_;
+};
+
+}  // namespace ghostdb::storage

@@ -1,0 +1,169 @@
+#include "storage/run.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace ghostdb::storage {
+
+namespace {
+// Pages per allocation extent while a run grows.
+constexpr uint32_t kExtentPages = 64;
+}  // namespace
+
+RunWriter::RunWriter(flash::FlashDevice* device, PageAllocator* allocator,
+                     uint8_t* buffer, std::string tag)
+    : device_(device),
+      allocator_(allocator),
+      buffer_(buffer),
+      tag_(std::move(tag)),
+      page_size_(device->config().page_size) {}
+
+Status RunWriter::Append(const uint8_t* data, size_t len) {
+  while (len > 0) {
+    size_t take = std::min<size_t>(len, page_size_ - fill_);
+    std::memcpy(buffer_ + fill_, data, take);
+    fill_ += take;
+    bytes_ += take;
+    data += take;
+    len -= take;
+    if (fill_ == page_size_) {
+      GHOSTDB_RETURN_NOT_OK(FlushPage());
+    }
+  }
+  return Status::OK();
+}
+
+Status RunWriter::AppendU32(uint32_t v) {
+  uint8_t enc[4];
+  EncodeFixed32(enc, v);
+  return Append(enc, 4);
+}
+
+Status RunWriter::FlushPage() {
+  uint32_t have = 0;
+  for (auto& e : extents_) have += e.second;
+  if (pages_used_ == have) {
+    GHOSTDB_ASSIGN_OR_RETURN(uint32_t first,
+                             allocator_->Alloc(kExtentPages, tag_));
+    if (!extents_.empty() &&
+        extents_.back().first + extents_.back().second == first) {
+      extents_.back().second += kExtentPages;  // coalesce
+    } else {
+      extents_.emplace_back(first, kExtentPages);
+    }
+  }
+  // Locate the logical page for run-relative index pages_used_.
+  uint32_t idx = pages_used_;
+  uint32_t lpn = 0;
+  for (auto& e : extents_) {
+    if (idx < e.second) {
+      lpn = e.first + idx;
+      break;
+    }
+    idx -= e.second;
+  }
+  if (fill_ < page_size_) {
+    std::memset(buffer_ + fill_, 0, page_size_ - fill_);
+  }
+  GHOSTDB_RETURN_NOT_OK(device_->WritePage(lpn, buffer_));
+  pages_used_ += 1;
+  fill_ = 0;
+  return Status::OK();
+}
+
+Result<RunRef> RunWriter::Finish() {
+  if (finished_) {
+    return Status::Internal("RunWriter::Finish called twice");
+  }
+  finished_ = true;
+  if (fill_ > 0) {
+    GHOSTDB_RETURN_NOT_OK(FlushPage());
+  }
+  // Free unused tail pages of the last extent.
+  uint32_t have = 0;
+  for (auto& e : extents_) have += e.second;
+  if (have > pages_used_) {
+    uint32_t extra = have - pages_used_;
+    auto& last = extents_.back();
+    GHOSTDB_RETURN_NOT_OK(
+        allocator_->Free(last.first + last.second - extra, extra, tag_));
+    last.second -= extra;
+    if (last.second == 0) extents_.pop_back();
+  }
+  RunRef ref;
+  ref.bytes = bytes_;
+  ref.extents = std::move(extents_);
+  ref.tag = tag_;
+  return ref;
+}
+
+RunReader::RunReader(flash::FlashDevice* device, RunRef ref, uint8_t* buffer,
+                     uint32_t window_bytes)
+    : device_(device),
+      ref_(std::move(ref)),
+      buffer_(buffer),
+      page_size_(device->config().page_size),
+      window_(window_bytes == 0 ? device->config().page_size : window_bytes) {
+}
+
+Status RunReader::EnsureWindow() {
+  if (position_ >= window_start_ && position_ < window_end_) {
+    return Status::OK();
+  }
+  uint64_t page = position_ / page_size_;
+  uint32_t in_page = static_cast<uint32_t>(position_ % page_size_);
+  // Window never crosses a page and never exceeds the run's live bytes.
+  uint32_t len = std::min<uint32_t>(window_, page_size_ - in_page);
+  uint64_t live_in_run = ref_.bytes - position_;
+  if (len > live_in_run) len = static_cast<uint32_t>(live_in_run);
+  GHOSTDB_RETURN_NOT_OK(device_->ReadPage(
+      ref_.PageAt(static_cast<uint32_t>(page)), buffer_, in_page, len));
+  window_start_ = position_;
+  window_end_ = position_ + len;
+  return Status::OK();
+}
+
+Result<size_t> RunReader::Read(uint8_t* dst, size_t len) {
+  size_t produced = 0;
+  while (produced < len && position_ < ref_.bytes) {
+    GHOSTDB_RETURN_NOT_OK(EnsureWindow());
+    size_t take = std::min<size_t>(
+        {len - produced, static_cast<size_t>(window_end_ - position_)});
+    std::memcpy(dst + produced, buffer_ + (position_ - window_start_), take);
+    produced += take;
+    position_ += take;
+  }
+  return produced;
+}
+
+Status RunReader::Skip(uint64_t bytes) {
+  position_ = std::min<uint64_t>(position_ + bytes, ref_.bytes);
+  return Status::OK();
+}
+
+Status IdRunReader::Prime() { return Advance(); }
+
+Status IdRunReader::Advance() {
+  uint8_t enc[4];
+  GHOSTDB_ASSIGN_OR_RETURN(size_t n, reader_.Read(enc, 4));
+  if (n == 4) {
+    head_ = DecodeFixed32(enc);
+    has_head_ = true;
+  } else {
+    has_head_ = false;
+  }
+  return Status::OK();
+}
+
+Status FreeRun(PageAllocator* allocator, const RunRef& ref,
+               const std::string& fallback_tag) {
+  const std::string& tag = ref.tag.empty() ? fallback_tag : ref.tag;
+  for (const auto& e : ref.extents) {
+    GHOSTDB_RETURN_NOT_OK(allocator->Free(e.first, e.second, tag));
+  }
+  return Status::OK();
+}
+
+}  // namespace ghostdb::storage

@@ -1,0 +1,55 @@
+#include "untrusted/engine.h"
+
+#include "common/coding.h"
+
+namespace ghostdb::untrusted {
+
+using device::Direction;
+
+void UntrustedEngine::ReceiveQuery(const std::string& sql) {
+  channel_->Transfer(Direction::kToUntrusted, "query",
+                     reinterpret_cast<const uint8_t*>(sql.data()),
+                     sql.size());
+}
+
+Result<std::vector<catalog::RowId>> UntrustedEngine::ServeVisibleIds(
+    const sql::BoundQuery& query, catalog::TableId table) {
+  GHOSTDB_ASSIGN_OR_RETURN(
+      std::vector<catalog::RowId> ids,
+      store_.SelectIds(table, query.VisiblePredicatesOn(table)));
+  // Ship the sorted id list: 4 bytes per id.
+  std::vector<uint8_t> payload(ids.size() * 4);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EncodeFixed32(payload.data() + i * 4, ids[i]);
+  }
+  channel_->Transfer(Direction::kToSecure,
+                     "vis-ids:" + schema_->table(table).name, payload.data(),
+                     payload.size());
+  return ids;
+}
+
+Result<ProjectionPayload> UntrustedEngine::ServeProjection(
+    const sql::BoundQuery& query, catalog::TableId table,
+    const std::vector<catalog::ColumnId>& columns) {
+  GHOSTDB_ASSIGN_OR_RETURN(
+      ProjectionPayload payload,
+      store_.Project(table, query.VisiblePredicatesOn(table), columns));
+  channel_->Transfer(Direction::kToSecure,
+                     "vis-vals:" + schema_->table(table).name,
+                     payload.bytes.data(), payload.bytes.size());
+  return payload;
+}
+
+Result<uint64_t> UntrustedEngine::ServeVisibleCount(
+    const sql::BoundQuery& query, catalog::TableId table) {
+  GHOSTDB_ASSIGN_OR_RETURN(
+      std::vector<catalog::RowId> ids,
+      store_.SelectIds(table, query.VisiblePredicatesOn(table)));
+  uint8_t payload[8];
+  EncodeFixed64(payload, ids.size());
+  channel_->Transfer(Direction::kToSecure,
+                     "vis-count:" + schema_->table(table).name, payload, 8);
+  return static_cast<uint64_t>(ids.size());
+}
+
+}  // namespace ghostdb::untrusted

@@ -1,0 +1,51 @@
+// The Untrusted query agent: receives the (visible) query text, evaluates
+// Visible predicates/projections locally, and ships results over the
+// channel. Every byte it sends or receives goes through the audited channel
+// so the leak-freedom property is checkable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "device/channel.h"
+#include "sql/binder.h"
+#include "untrusted/visible_store.h"
+
+namespace ghostdb::untrusted {
+
+/// \brief Untrusted's query-serving facade.
+class UntrustedEngine {
+ public:
+  UntrustedEngine(const catalog::Schema* schema, device::Channel* channel)
+      : schema_(schema), channel_(channel), store_(schema) {}
+
+  VisibleStore& store() { return store_; }
+  const VisibleStore& store() const { return store_; }
+
+  /// Secure announces the query (the only information that ever leaves the
+  /// key). Charged as a Secure -> Untrusted transfer.
+  void ReceiveQuery(const std::string& sql);
+
+  /// Vis(Q, T, {id}): sorted ids of rows of `table` satisfying the query's
+  /// visible predicates on that table. Charged as Untrusted -> Secure.
+  Result<std::vector<catalog::RowId>> ServeVisibleIds(
+      const sql::BoundQuery& query, catalog::TableId table);
+
+  /// Vis(Q, T, {<id, vlist>}): sorted [id | visible values] rows for
+  /// projection. Charged as Untrusted -> Secure.
+  Result<ProjectionPayload> ServeProjection(
+      const sql::BoundQuery& query, catalog::TableId table,
+      const std::vector<catalog::ColumnId>& columns);
+
+  /// Count of rows satisfying the visible predicates (a tiny message used
+  /// by the planner; derived from visible data + the query only).
+  Result<uint64_t> ServeVisibleCount(const sql::BoundQuery& query,
+                                     catalog::TableId table);
+
+ private:
+  const catalog::Schema* schema_;
+  device::Channel* channel_;
+  VisibleStore store_;
+};
+
+}  // namespace ghostdb::untrusted

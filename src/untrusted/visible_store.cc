@@ -1,0 +1,149 @@
+#include "untrusted/visible_store.h"
+
+#include <cstring>
+#include <limits>
+
+namespace ghostdb::untrusted {
+
+using catalog::ColumnId;
+using catalog::RowId;
+using catalog::TableId;
+using catalog::Value;
+
+VisibleStore::VisibleStore(const catalog::Schema* schema) : schema_(schema) {
+  size_t n = schema->table_count();
+  partitions_.resize(n);
+  row_counts_.assign(n, 0);
+  row_widths_.assign(n, 0);
+  column_offsets_.resize(n);
+  for (TableId t = 0; t < n; ++t) {
+    const auto& cols = schema->table(t).columns;
+    column_offsets_[t].assign(cols.size(),
+                              std::numeric_limits<uint32_t>::max());
+    uint32_t offset = 0;
+    for (ColumnId c = 0; c < cols.size(); ++c) {
+      if (!cols[c].hidden) {
+        column_offsets_[t][c] = offset;
+        offset += cols[c].width;
+      }
+    }
+    row_widths_[t] = offset;
+  }
+}
+
+Status VisibleStore::LoadTable(TableId table, std::vector<uint8_t> packed,
+                               uint64_t count) {
+  if (row_widths_[table] == 0 && !packed.empty()) {
+    return Status::InvalidArgument("table has no visible columns");
+  }
+  if (packed.size() != count * row_widths_[table]) {
+    return Status::InvalidArgument("packed visible partition size mismatch");
+  }
+  partitions_[table] = std::move(packed);
+  row_counts_[table] = count;
+  return Status::OK();
+}
+
+bool VisibleStore::RowMatches(
+    TableId table, RowId row,
+    const std::vector<sql::BoundPredicate>& predicates) const {
+  const auto& cols = schema_->table(table).columns;
+  const uint8_t* base =
+      partitions_[table].data() + static_cast<uint64_t>(row) *
+                                      row_widths_[table];
+  for (const auto& p : predicates) {
+    if (p.on_id) {
+      if (!catalog::EvalCompare(Value::Int32(static_cast<int32_t>(row)), p.op,
+                                p.value)) {
+        return false;
+      }
+      continue;
+    }
+    uint32_t off = column_offsets_[table][p.column];
+    Value v = Value::Decode(base + off, cols[p.column].type,
+                            cols[p.column].width);
+    if (!catalog::EvalCompare(v, p.op, p.value)) return false;
+  }
+  return true;
+}
+
+Result<std::vector<RowId>> VisibleStore::SelectIds(
+    TableId table,
+    const std::vector<sql::BoundPredicate>& predicates) const {
+  for (const auto& p : predicates) {
+    if (!p.on_id && (p.hidden || p.table != table)) {
+      return Status::SecurityViolation(
+          "untrusted asked to evaluate a hidden predicate");
+    }
+  }
+  std::vector<RowId> out;
+  for (RowId row = 0; row < row_counts_[table]; ++row) {
+    if (RowMatches(table, row, predicates)) out.push_back(row);
+  }
+  return out;
+}
+
+Result<ProjectionPayload> VisibleStore::Project(
+    TableId table, const std::vector<sql::BoundPredicate>& predicates,
+    const std::vector<ColumnId>& columns) const {
+  const auto& cols = schema_->table(table).columns;
+  ProjectionPayload payload;
+  payload.row_width = 4;
+  for (ColumnId c : columns) {
+    if (cols[c].hidden) {
+      return Status::SecurityViolation(
+          "untrusted asked to project a hidden column");
+    }
+    payload.row_width += cols[c].width;
+  }
+  for (RowId row = 0; row < row_counts_[table]; ++row) {
+    if (!RowMatches(table, row, predicates)) continue;
+    size_t base = payload.bytes.size();
+    payload.bytes.resize(base + payload.row_width);
+    uint8_t* dst = payload.bytes.data() + base;
+    Value::Int32(static_cast<int32_t>(row)).Encode(dst, 4);
+    dst += 4;
+    const uint8_t* src = partitions_[table].data() +
+                         static_cast<uint64_t>(row) * row_widths_[table];
+    for (ColumnId c : columns) {
+      std::memcpy(dst, src + column_offsets_[table][c], cols[c].width);
+      dst += cols[c].width;
+    }
+    payload.rows += 1;
+  }
+  return payload;
+}
+
+Result<Value> VisibleStore::GetValue(TableId table, RowId row,
+                                     ColumnId column) const {
+  const auto& col = schema_->table(table).columns[column];
+  if (col.hidden) {
+    return Status::SecurityViolation("column is hidden");
+  }
+  if (row >= row_counts_[table]) {
+    return Status::OutOfRange("row out of range");
+  }
+  const uint8_t* base = partitions_[table].data() +
+                        static_cast<uint64_t>(row) * row_widths_[table];
+  return Value::Decode(base + column_offsets_[table][column], col.type,
+                       col.width);
+}
+
+Result<catalog::ColumnStats> VisibleStore::BuildStats(TableId table,
+                                                      ColumnId column) const {
+  const auto& col = schema_->table(table).columns[column];
+  if (col.hidden) {
+    return Status::SecurityViolation("column is hidden");
+  }
+  std::vector<Value> values;
+  values.reserve(row_counts_[table]);
+  for (RowId row = 0; row < row_counts_[table]; ++row) {
+    const uint8_t* base = partitions_[table].data() +
+                          static_cast<uint64_t>(row) * row_widths_[table];
+    values.push_back(Value::Decode(base + column_offsets_[table][column],
+                                   col.type, col.width));
+  }
+  return catalog::ColumnStats::Build(std::move(values));
+}
+
+}  // namespace ghostdb::untrusted

@@ -1,0 +1,80 @@
+// The Untrusted side: a powerful, insecure PC holding the Visible partition
+// of every table (visible columns, plus the replicated surrogate ids, which
+// are implicit in row order).
+//
+// Untrusted computes Visible predicates and projections of Visible columns
+// (paper section 3.3: "Because Untrusted is fast, we want Untrusted to do as
+// much work as possible") and ships results to Secure over the channel.
+// Untrusted CPU time is free in the simulation; only channel transfer is
+// charged — matching the paper's cost model.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/stats.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "sql/binder.h"
+
+namespace ghostdb::untrusted {
+
+/// Packed rows shipped for projections: `rows` rows of
+/// [id(4) | projected visible column values...].
+struct ProjectionPayload {
+  std::vector<uint8_t> bytes;
+  uint32_t row_width = 4;
+  uint64_t rows = 0;
+};
+
+/// \brief In-memory store of the Visible partitions.
+class VisibleStore {
+ public:
+  explicit VisibleStore(const catalog::Schema* schema);
+
+  /// Installs the visible partition of `table`: `count` rows of packed
+  /// visible columns (declaration order), row i belonging to id i.
+  Status LoadTable(catalog::TableId table, std::vector<uint8_t> packed,
+                   uint64_t count);
+
+  uint64_t row_count(catalog::TableId table) const {
+    return row_counts_[table];
+  }
+
+  /// Ids (ascending) of rows satisfying every predicate. All predicates
+  /// must be on visible columns (or the id) of `table`.
+  Result<std::vector<catalog::RowId>> SelectIds(
+      catalog::TableId table,
+      const std::vector<sql::BoundPredicate>& predicates) const;
+
+  /// Packed [id | columns...] rows (ascending id) for rows satisfying the
+  /// predicates, carrying the requested visible columns.
+  Result<ProjectionPayload> Project(
+      catalog::TableId table,
+      const std::vector<sql::BoundPredicate>& predicates,
+      const std::vector<catalog::ColumnId>& columns) const;
+
+  /// Decodes one visible column of one row (used by tests and the oracle).
+  Result<catalog::Value> GetValue(catalog::TableId table, catalog::RowId row,
+                                  catalog::ColumnId column) const;
+
+  /// Column statistics for the planner (visible side).
+  Result<catalog::ColumnStats> BuildStats(catalog::TableId table,
+                                          catalog::ColumnId column) const;
+
+ private:
+  bool RowMatches(catalog::TableId table, catalog::RowId row,
+                  const std::vector<sql::BoundPredicate>& predicates) const;
+
+  const catalog::Schema* schema_;
+  std::vector<std::vector<uint8_t>> partitions_;  // per table, packed rows
+  std::vector<uint64_t> row_counts_;
+  std::vector<uint32_t> row_widths_;
+  // Per table: byte offset of each visible column within a packed row
+  // (indexed by ColumnId; hidden columns map to UINT32_MAX).
+  std::vector<std::vector<uint32_t>> column_offsets_;
+};
+
+}  // namespace ghostdb::untrusted

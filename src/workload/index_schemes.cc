@@ -1,0 +1,259 @@
+#include "workload/index_schemes.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/sim_clock.h"
+#include "storage/btree.h"
+#include "storage/fixed_table.h"
+#include "storage/page_allocator.h"
+
+namespace ghostdb::workload {
+
+using catalog::ColumnId;
+using catalog::RowId;
+using catalog::TableId;
+using catalog::Value;
+
+std::string_view IndexSchemeName(IndexScheme scheme) {
+  switch (scheme) {
+    case IndexScheme::kFullIndex:
+      return "FullIndex";
+    case IndexScheme::kBasicIndex:
+      return "BasicIndex";
+    case IndexScheme::kStarIndex:
+      return "StarIndex";
+    case IndexScheme::kJoinIndex:
+      return "JoinIndex";
+  }
+  return "?";
+}
+
+namespace {
+
+// anc[t][level][row]: sorted ids of the level-th ancestor containing `row`.
+using AncestorMaps =
+    std::vector<std::vector<std::vector<std::vector<RowId>>>>;
+
+AncestorMaps BuildAncestorMaps(const catalog::Schema& schema,
+                               const std::vector<core::TableData>& staged) {
+  AncestorMaps anc(schema.table_count());
+  std::vector<TableId> order = {schema.root()};
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (TableId c : schema.tree(order[i]).children) order.push_back(c);
+  }
+  for (TableId t : order) {
+    if (t == schema.root()) continue;
+    TableId parent = schema.tree(t).parent;
+    ColumnId fk = schema.tree(t).parent_fk;
+    size_t levels = schema.tree(t).ancestors.size();
+    anc[t].resize(levels);
+    auto& direct = anc[t][0];
+    direct.assign(staged[t].row_count(), {});
+    for (RowId p = 0; p < staged[parent].row_count(); ++p) {
+      direct[staged[parent].GetFk(p, fk)].push_back(p);
+    }
+    for (size_t level = 1; level < levels; ++level) {
+      auto& out = anc[t][level];
+      out.assign(staged[t].row_count(), {});
+      const auto& parent_level = anc[parent][level - 1];
+      for (RowId r = 0; r < staged[t].row_count(); ++r) {
+        auto& dst = out[r];
+        for (RowId p : direct[r]) {
+          dst.insert(dst.end(), parent_level[p].begin(),
+                     parent_level[p].end());
+        }
+        std::sort(dst.begin(), dst.end());
+        dst.erase(std::unique(dst.begin(), dst.end()), dst.end());
+      }
+    }
+  }
+  return anc;
+}
+
+// Which posting levels a scheme's attribute index carries: level 0 = self,
+// level k = the k-th ancestor (nearest first).
+std::vector<int> AttrLevels(IndexScheme scheme, const catalog::Schema& schema,
+                            TableId t) {
+  size_t anc_count = schema.tree(t).ancestors.size();
+  std::vector<int> levels = {0};  // self
+  switch (scheme) {
+    case IndexScheme::kFullIndex:
+      for (size_t i = 0; i < anc_count; ++i) {
+        levels.push_back(static_cast<int>(i + 1));
+      }
+      break;
+    case IndexScheme::kBasicIndex:
+      if (anc_count > 0) levels.push_back(static_cast<int>(anc_count));
+      break;
+    case IndexScheme::kStarIndex:
+    case IndexScheme::kJoinIndex:
+      break;  // self only
+  }
+  return levels;
+}
+
+// Builds one attribute index with the selected posting levels and returns
+// its pages.
+Result<uint64_t> BuildAttrIndexPages(
+    flash::FlashDevice* device, storage::PageAllocator* allocator,
+    const catalog::Schema& schema,
+    const std::vector<core::TableData>& staged, const AncestorMaps& anc,
+    TableId t, ColumnId c, const std::vector<int>& levels) {
+  const auto& col = schema.table(t).columns[c];
+  const core::TableData& data = staged[t];
+  storage::BTreeBuilder builder(device, allocator, col.type, col.width,
+                                static_cast<uint32_t>(levels.size()),
+                                "scheme");
+  std::vector<RowId> order(data.row_count());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](RowId a, RowId b) {
+    int cv = catalog::CompareEncoded(col.type, col.width, data.CellPtr(a, c),
+                                     data.CellPtr(b, c));
+    if (cv != 0) return cv < 0;
+    return a < b;
+  });
+  std::vector<std::vector<RowId>> level_ids(levels.size());
+  size_t i = 0;
+  while (i < order.size()) {
+    const uint8_t* key_cell = data.CellPtr(order[i], c);
+    for (auto& l : level_ids) l.clear();
+    size_t j = i;
+    while (j < order.size() &&
+           catalog::CompareEncoded(col.type, col.width, key_cell,
+                                   data.CellPtr(order[j], c)) == 0) {
+      ++j;
+    }
+    for (size_t li = 0; li < levels.size(); ++li) {
+      auto& dst = level_ids[li];
+      if (levels[li] == 0) {
+        for (size_t k = i; k < j; ++k) dst.push_back(order[k]);
+      } else {
+        for (size_t k = i; k < j; ++k) {
+          const auto& src = anc[t][levels[li] - 1][order[k]];
+          dst.insert(dst.end(), src.begin(), src.end());
+        }
+        std::sort(dst.begin(), dst.end());
+        dst.erase(std::unique(dst.begin(), dst.end()), dst.end());
+      }
+    }
+    GHOSTDB_RETURN_NOT_OK(builder.Add(
+        Value::Decode(key_cell, col.type, col.width), level_ids));
+    i = j;
+  }
+  GHOSTDB_ASSIGN_OR_RETURN(storage::BTreeRef ref, builder.Finish());
+  return ref.total_pages();
+}
+
+}  // namespace
+
+Result<SchemeSizes> MeasureScheme(const catalog::Schema& schema,
+                                  const std::vector<core::TableData>& staged,
+                                  IndexScheme scheme,
+                                  int hidden_attrs_per_table) {
+  SchemeSizes sizes;
+  for (TableId t = 0; t < schema.table_count(); ++t) {
+    sizes.raw_data_bytes +=
+        staged[t].row_count() * schema.FullRowWidth(t);
+  }
+
+  // Scratch device (no cipher: sizes are what matter here).
+  SimClock clock;
+  flash::FlashConfig flash_cfg;
+  uint64_t need_pages = sizes.raw_data_bytes * 4 / 2048 + 8192;
+  flash_cfg.logical_pages = static_cast<uint32_t>(need_pages);
+  flash::FlashDevice device(flash_cfg, &clock);
+  storage::PageAllocator allocator(&device);
+  std::vector<uint8_t> scratch(2048);
+
+  AncestorMaps anc = BuildAncestorMaps(schema, staged);
+
+  // --- SKTs.
+  std::vector<TableId> skt_tables;
+  if (scheme == IndexScheme::kFullIndex) {
+    for (TableId t = 0; t < schema.table_count(); ++t) {
+      if (!schema.tree(t).descendants.empty()) skt_tables.push_back(t);
+    }
+  } else if (scheme == IndexScheme::kBasicIndex ||
+             scheme == IndexScheme::kStarIndex) {
+    if (!schema.tree(schema.root()).descendants.empty()) {
+      skt_tables.push_back(schema.root());
+    }
+  }
+  for (TableId t : skt_tables) {
+    const auto& desc = schema.tree(t).descendants;
+    uint32_t width = 4 * static_cast<uint32_t>(desc.size());
+    storage::FixedTableBuilder builder(&device, &allocator, scratch.data(),
+                                       width, "scheme");
+    std::vector<uint8_t> row(width, 0);  // ids don't affect page counts
+    for (RowId r = 0; r < staged[t].row_count(); ++r) {
+      GHOSTDB_RETURN_NOT_OK(builder.AppendRow(row.data()));
+    }
+    GHOSTDB_ASSIGN_OR_RETURN(storage::FixedTableRef ref, builder.Finish());
+    sizes.index_pages += ref.run.page_count();
+  }
+
+  // --- Attribute indexes (first k hidden non-FK attributes per table).
+  for (TableId t = 0; t < schema.table_count(); ++t) {
+    int indexed = 0;
+    std::vector<int> levels = AttrLevels(scheme, schema, t);
+    for (ColumnId c : schema.HiddenColumns(t)) {
+      if (schema.table(t).columns[c].is_foreign_key()) continue;
+      if (indexed >= hidden_attrs_per_table) break;
+      GHOSTDB_ASSIGN_OR_RETURN(
+          uint64_t pages,
+          BuildAttrIndexPages(&device, &allocator, schema, staged, anc, t, c,
+                              levels));
+      sizes.index_pages += pages;
+      ++indexed;
+    }
+  }
+
+  // --- Key / foreign-key indexes.
+  for (TableId t = 0; t < schema.table_count(); ++t) {
+    if (scheme == IndexScheme::kFullIndex ||
+        scheme == IndexScheme::kBasicIndex) {
+      // Id climbing index on non-root tables (ancestor levels only).
+      if (t == schema.root()) continue;
+      size_t anc_count = schema.tree(t).ancestors.size();
+      uint32_t levels =
+          scheme == IndexScheme::kFullIndex
+              ? static_cast<uint32_t>(anc_count)
+              : 1;  // root only
+      storage::BTreeBuilder builder(&device, &allocator,
+                                    catalog::DataType::kInt32, 4, levels,
+                                    "scheme");
+      std::vector<std::vector<RowId>> level_ids(levels);
+      for (RowId r = 0; r < staged[t].row_count(); ++r) {
+        if (scheme == IndexScheme::kFullIndex) {
+          for (uint32_t l = 0; l < levels; ++l) level_ids[l] = anc[t][l][r];
+        } else {
+          level_ids[0] = anc[t][anc_count - 1][r];  // root level
+        }
+        GHOSTDB_RETURN_NOT_OK(
+            builder.Add(Value::Int32(static_cast<int32_t>(r)), level_ids));
+      }
+      GHOSTDB_ASSIGN_OR_RETURN(storage::BTreeRef ref, builder.Finish());
+      sizes.index_pages += ref.total_pages();
+    } else if (scheme == IndexScheme::kJoinIndex) {
+      // Binary join indices (Valduriez): one (parent id, child id) pairs
+      // table per foreign-key edge, sorted on the parent id (implicit).
+      // The key index itself is the clustered table order: free.
+      for (ColumnId c = 0; c < schema.table(t).columns.size(); ++c) {
+        if (!schema.table(t).columns[c].is_foreign_key()) continue;
+        storage::FixedTableBuilder builder(&device, &allocator,
+                                           scratch.data(), 8, "scheme");
+        uint8_t row[8] = {0};
+        for (RowId r = 0; r < staged[t].row_count(); ++r) {
+          GHOSTDB_RETURN_NOT_OK(builder.AppendRow(row));
+        }
+        GHOSTDB_ASSIGN_OR_RETURN(storage::FixedTableRef ref,
+                                 builder.Finish());
+        sizes.index_pages += ref.run.page_count();
+      }
+    }
+  }
+  return sizes;
+}
+
+}  // namespace ghostdb::workload

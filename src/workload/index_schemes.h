@@ -1,0 +1,46 @@
+// Storage accounting for the indexing schemes compared in Fig 7:
+//  * FullIndex  — every non-leaf table gets an SKT; every indexed attribute
+//    gets a climbing index referencing ALL ancestor tables; id climbing
+//    indexes on every non-root table (this is GhostDB's model);
+//  * BasicIndex — a single SKT (root); climbing indexes reference the root
+//    (and self) only;
+//  * StarIndex  — root SKT + traditional selection indexes (self level
+//    only), as in bitmapped-join-index DW systems [O'Neil & Graefe];
+//  * JoinIndex  — no SKT; traditional indexes on all attributes including
+//    keys and foreign keys (binary join indices, Valduriez).
+//
+// Each scheme is actually built (into a scratch flash device) and its page
+// consumption measured — no estimation.
+#pragma once
+
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "core/table_data.h"
+
+namespace ghostdb::workload {
+
+enum class IndexScheme { kFullIndex, kBasicIndex, kStarIndex, kJoinIndex };
+
+std::string_view IndexSchemeName(IndexScheme scheme);
+
+struct SchemeSizes {
+  uint64_t index_pages = 0;  ///< SKTs + selection/join indexes
+  uint64_t raw_data_bytes = 0;  ///< Visible + Hidden data, no indexes
+
+  double index_mb() const {
+    return static_cast<double>(index_pages) * 2048.0 / 1e6;
+  }
+  double data_mb() const { return static_cast<double>(raw_data_bytes) / 1e6; }
+};
+
+/// Builds the scheme's structures over `staged` and measures them.
+/// `hidden_attrs_per_table` = number of (non-FK) hidden attributes indexed
+/// per table, taken in declaration order (the Fig 7 x-axis).
+Result<SchemeSizes> MeasureScheme(const catalog::Schema& schema,
+                                  const std::vector<core::TableData>& staged,
+                                  IndexScheme scheme,
+                                  int hidden_attrs_per_table);
+
+}  // namespace ghostdb::workload

@@ -1,0 +1,184 @@
+// Aggregate tests: the Aggregator unit, SQL parsing/binding of aggregate
+// selects, and end-to-end aggregates over hidden + visible data checked
+// against the oracle.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/database.h"
+#include "exec/aggregate.h"
+#include "reference/oracle.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "workload/synthetic.h"
+
+namespace ghostdb {
+namespace {
+
+using catalog::DataType;
+using catalog::Value;
+using exec::AggFunc;
+using exec::Aggregator;
+
+TEST(AggregatorTest, CountStar) {
+  Aggregator a(AggFunc::kCountStar, DataType::kInt32);
+  for (int i = 0; i < 7; ++i) a.AccumulateRow();
+  auto v = a.Finish();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt64(), 7);
+}
+
+TEST(AggregatorTest, SumIntWidensToInt64) {
+  Aggregator a(AggFunc::kSum, DataType::kInt32);
+  ASSERT_TRUE(a.Accumulate(Value::Int32(2'000'000'000)).ok());
+  ASSERT_TRUE(a.Accumulate(Value::Int32(2'000'000'000)).ok());
+  auto v = a.Finish();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->type(), DataType::kInt64);
+  EXPECT_EQ(v->AsInt64(), 4'000'000'000LL);
+}
+
+TEST(AggregatorTest, SumDouble) {
+  Aggregator a(AggFunc::kSum, DataType::kDouble);
+  ASSERT_TRUE(a.Accumulate(Value::Double(1.5)).ok());
+  ASSERT_TRUE(a.Accumulate(Value::Double(2.25)).ok());
+  auto v = a.Finish();
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->AsDouble(), 3.75);
+}
+
+TEST(AggregatorTest, AvgIsDouble) {
+  Aggregator a(AggFunc::kAvg, DataType::kInt32);
+  ASSERT_TRUE(a.Accumulate(Value::Int32(1)).ok());
+  ASSERT_TRUE(a.Accumulate(Value::Int32(2)).ok());
+  auto v = a.Finish();
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->AsDouble(), 1.5);
+}
+
+TEST(AggregatorTest, MinMaxKeepType) {
+  Aggregator mn(AggFunc::kMin, DataType::kString);
+  Aggregator mx(AggFunc::kMax, DataType::kString);
+  for (const char* s : {"pear", "apple", "quince"}) {
+    ASSERT_TRUE(mn.Accumulate(Value::String(s)).ok());
+    ASSERT_TRUE(mx.Accumulate(Value::String(s)).ok());
+  }
+  EXPECT_EQ(mn.Finish()->AsString(), "apple");
+  EXPECT_EQ(mx.Finish()->AsString(), "quince");
+}
+
+TEST(AggregatorTest, MinOverEmptyFails) {
+  Aggregator a(AggFunc::kMin, DataType::kInt32);
+  EXPECT_TRUE(a.Finish().status().IsNotFound());
+}
+
+TEST(AggregatorTest, SumOverStringRejected) {
+  Aggregator a(AggFunc::kSum, DataType::kString);
+  EXPECT_TRUE(a.Accumulate(Value::String("x")).IsInvalidArgument());
+}
+
+// --- SQL surface ---
+
+TEST(AggregateSqlTest, ParsesAggregates) {
+  auto stmt = sql::Parse(
+      "SELECT COUNT(*), SUM(t.a), AVG(b), MIN(t.c), MAX(t.d) FROM t");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  auto& select = std::get<sql::SelectStmt>(*stmt);
+  ASSERT_EQ(select.items.size(), 5u);
+  EXPECT_EQ(select.items[0].agg, AggFunc::kCountStar);
+  EXPECT_EQ(select.items[1].agg, AggFunc::kSum);
+  EXPECT_EQ(select.items[1].ref.ToString(), "t.a");
+  EXPECT_EQ(select.items[2].agg, AggFunc::kAvg);
+  EXPECT_EQ(select.items[4].agg, AggFunc::kMax);
+}
+
+TEST(AggregateSqlTest, RejectsMalformedAggregates) {
+  EXPECT_FALSE(sql::Parse("SELECT SUM(*) FROM t").ok());
+  EXPECT_FALSE(sql::Parse("SELECT COUNT( FROM t").ok());
+  EXPECT_FALSE(sql::Parse("SELECT MAX() FROM t").ok());
+}
+
+// --- End-to-end ---
+
+class AggregateE2eTest : public ::testing::Test {
+ protected:
+  AggregateE2eTest() {
+    workload::SyntheticConfig wl;
+    wl.scale = 0.002;
+    auto cfg = workload::SyntheticDbConfig(wl);
+    cfg.retain_staged_data = true;
+    db_ = std::make_unique<core::GhostDB>(cfg);
+    EXPECT_TRUE(workload::BuildSynthetic(db_.get(), wl).ok());
+  }
+
+  void ExpectMatchesOracle(const std::string& sql) {
+    auto stmt = sql::Parse(sql);
+    ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+    auto bound =
+        sql::Bind(std::get<sql::SelectStmt>(*stmt), db_->schema(), sql);
+    ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+    auto expected =
+        reference::Evaluate(db_->schema(), db_->staged(), *bound);
+    ASSERT_TRUE(expected.ok());
+    auto got = db_->Query(sql);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(got->rows.size(), expected->size()) << sql;
+    for (size_t i = 0; i < expected->size(); ++i) {
+      for (size_t j = 0; j < (*expected)[i].size(); ++j) {
+        if ((*expected)[i][j].type() == catalog::DataType::kDouble) {
+          EXPECT_NEAR(got->rows[i][j].AsDouble(),
+                      (*expected)[i][j].AsDouble(), 1e-9)
+              << sql;
+        } else {
+          EXPECT_EQ(got->rows[i][j], (*expected)[i][j]) << sql;
+        }
+      }
+    }
+  }
+
+  std::unique_ptr<core::GhostDB> db_;
+};
+
+TEST_F(AggregateE2eTest, CountStarOverHiddenSelection) {
+  ExpectMatchesOracle(
+      "SELECT COUNT(*) FROM T12 WHERE T12.h2 < '300000'");
+}
+
+TEST_F(AggregateE2eTest, CountOverJoin) {
+  ExpectMatchesOracle(
+      "SELECT COUNT(T0.id) FROM T0, T1, T12 WHERE T0.fk1 = T1.id AND "
+      "T1.fk12 = T12.id AND T1.v1 < '200000' AND T12.h2 < '500000'");
+}
+
+TEST_F(AggregateE2eTest, MinMaxOverHiddenAttribute) {
+  ExpectMatchesOracle(
+      "SELECT MIN(T1.h1), MAX(T1.h1) FROM T1 WHERE T1.v1 < '500000'");
+}
+
+TEST_F(AggregateE2eTest, MultipleAggregatesAcrossTables) {
+  ExpectMatchesOracle(
+      "SELECT COUNT(*), MIN(T12.h2), MAX(T1.v1) FROM T0, T1, T12 WHERE "
+      "T0.fk1 = T1.id AND T1.fk12 = T12.id AND T12.h2 < '400000'");
+}
+
+TEST_F(AggregateE2eTest, MixingAggAndPlainRejected) {
+  auto r = db_->Query("SELECT COUNT(*), T1.v1 FROM T1");
+  EXPECT_TRUE(r.status().IsNotSupported());
+}
+
+TEST_F(AggregateE2eTest, AggregateRowNeverLeavesTheKey) {
+  // The transcript for an aggregate query is identical in shape to the
+  // non-aggregate one: per-row data and the aggregate stay on the key.
+  db_->device().channel().ClearTranscript();
+  auto r = db_->Query("SELECT COUNT(*) FROM T1 WHERE T1.h1 < '300000'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->total_rows, 1u);
+  for (const auto& m : db_->device().channel().transcript()) {
+    if (m.direction == device::Direction::kToUntrusted) {
+      EXPECT_EQ(m.label, "query");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ghostdb

@@ -1,0 +1,274 @@
+// Catalog tests: values, schema tree validation, partitioning, stats.
+#include <gtest/gtest.h>
+
+#include "catalog/schema.h"
+#include "catalog/stats.h"
+#include "catalog/value.h"
+#include "common/rng.h"
+
+namespace ghostdb::catalog {
+namespace {
+
+TEST(ValueTest, TypeAndAccessors) {
+  EXPECT_EQ(Value::Int32(5).type(), DataType::kInt32);
+  EXPECT_EQ(Value::Int64(5).type(), DataType::kInt64);
+  EXPECT_EQ(Value::Double(1.5).type(), DataType::kDouble);
+  EXPECT_EQ(Value::String("x").type(), DataType::kString);
+  EXPECT_EQ(Value::Int32(-7).AsInt32(), -7);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, CompareInts) {
+  EXPECT_LT(Value::Int32(-5).Compare(Value::Int32(3)), 0);
+  EXPECT_GT(Value::Int32(7).Compare(Value::Int32(3)), 0);
+  EXPECT_EQ(Value::Int32(3).Compare(Value::Int32(3)), 0);
+}
+
+TEST(ValueTest, CompareStringsPadded) {
+  // CHAR(n) semantics: trailing spaces are insignificant.
+  EXPECT_EQ(Value::String("abc").Compare(Value::String("abc   ")), 0);
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_GT(Value::String("b").Compare(Value::String("ab")), 0);
+}
+
+TEST(ValueTest, EncodeDecodeRoundTrip) {
+  uint8_t buf[32];
+  Value::Int32(-123456).Encode(buf, 4);
+  EXPECT_EQ(Value::Decode(buf, DataType::kInt32, 4), Value::Int32(-123456));
+  Value::Int64(1LL << 40).Encode(buf, 8);
+  EXPECT_EQ(Value::Decode(buf, DataType::kInt64, 8),
+            Value::Int64(1LL << 40));
+  Value::Double(3.25).Encode(buf, 8);
+  EXPECT_EQ(Value::Decode(buf, DataType::kDouble, 8), Value::Double(3.25));
+  Value::String("hello").Encode(buf, 10);
+  EXPECT_EQ(buf[5], ' ');  // padded
+  EXPECT_EQ(Value::Decode(buf, DataType::kString, 10),
+            Value::String("hello"));
+}
+
+TEST(ValueTest, StringTruncatedToWidth) {
+  uint8_t buf[4];
+  Value::String("abcdefgh").Encode(buf, 4);
+  EXPECT_EQ(Value::Decode(buf, DataType::kString, 4), Value::String("abcd"));
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Int32(7).ToString(), "7");
+  EXPECT_EQ(Value::String("x").ToString(), "'x'");
+}
+
+// --- Schema ---
+
+Schema PaperSchema() {
+  // The Fig 3 tree: T0 -> {T1 -> {T11, T12}, T2}.
+  Schema s;
+  TableDef t0{"T0",
+              {{"fk1", DataType::kInt32, 4, true, "T1"},
+               {"fk2", DataType::kInt32, 4, true, "T2"},
+               {"v1", DataType::kString, 10, false, ""},
+               {"h1", DataType::kString, 10, true, ""}},
+              false};
+  TableDef t1{"T1",
+              {{"fk11", DataType::kInt32, 4, true, "T11"},
+               {"fk12", DataType::kInt32, 4, true, "T12"},
+               {"v1", DataType::kString, 10, false, ""},
+               {"h1", DataType::kString, 10, true, ""}},
+              false};
+  TableDef t2{"T2", {{"v1", DataType::kString, 10, false, ""}}, false};
+  TableDef t11{"T11", {{"h1", DataType::kString, 10, true, ""}}, false};
+  TableDef t12{"T12", {{"h2", DataType::kString, 10, true, ""}}, false};
+  EXPECT_TRUE(s.AddTable(t0).ok());
+  EXPECT_TRUE(s.AddTable(t1).ok());
+  EXPECT_TRUE(s.AddTable(t2).ok());
+  EXPECT_TRUE(s.AddTable(t11).ok());
+  EXPECT_TRUE(s.AddTable(t12).ok());
+  EXPECT_TRUE(s.Finalize().ok());
+  return s;
+}
+
+TEST(SchemaTest, PaperTreeValidates) {
+  Schema s = PaperSchema();
+  auto t0 = s.FindTable("T0");
+  ASSERT_TRUE(t0.ok());
+  EXPECT_EQ(s.root(), *t0);
+  auto t12 = s.FindTable("T12");
+  ASSERT_TRUE(t12.ok());
+  const auto& info = s.tree(*t12);
+  EXPECT_EQ(info.depth, 2u);
+  ASSERT_EQ(info.ancestors.size(), 2u);
+  EXPECT_EQ(s.table(info.ancestors[0]).name, "T1");  // nearest first
+  EXPECT_EQ(s.table(info.ancestors[1]).name, "T0");
+  // Descendants of T0 cover all other tables.
+  EXPECT_EQ(s.tree(*t0).descendants.size(), 4u);
+}
+
+TEST(SchemaTest, RejectsDuplicateTable) {
+  Schema s;
+  ASSERT_TRUE(s.AddTable({"A", {}, false}).ok());
+  EXPECT_TRUE(s.AddTable({"A", {}, false}).IsAlreadyExists());
+}
+
+TEST(SchemaTest, RejectsDuplicateColumn) {
+  Schema s;
+  TableDef t{"A",
+             {{"x", DataType::kInt32, 4, false, ""},
+              {"x", DataType::kInt32, 4, false, ""}},
+             false};
+  EXPECT_TRUE(s.AddTable(t).IsAlreadyExists());
+}
+
+TEST(SchemaTest, RejectsReservedIdColumn) {
+  Schema s;
+  TableDef t{"A", {{"id", DataType::kInt32, 4, false, ""}}, false};
+  EXPECT_TRUE(s.AddTable(t).IsInvalidArgument());
+}
+
+TEST(SchemaTest, RejectsUnknownFkTarget) {
+  Schema s;
+  TableDef t{"A", {{"fk", DataType::kInt32, 4, false, "Nope"}}, false};
+  ASSERT_TRUE(s.AddTable(t).ok());
+  EXPECT_TRUE(s.Finalize().IsInvalidArgument());
+}
+
+TEST(SchemaTest, RejectsDagShape) {
+  // Two tables referencing the same child: not a tree.
+  Schema s;
+  ASSERT_TRUE(s.AddTable({"C", {}, false}).ok());
+  ASSERT_TRUE(
+      s.AddTable({"A", {{"fk", DataType::kInt32, 4, false, "C"}}, false})
+          .ok());
+  ASSERT_TRUE(
+      s.AddTable({"B", {{"fk", DataType::kInt32, 4, false, "C"}}, false})
+          .ok());
+  EXPECT_TRUE(s.Finalize().IsInvalidArgument());
+}
+
+TEST(SchemaTest, RejectsTwoRoots) {
+  Schema s;
+  ASSERT_TRUE(s.AddTable({"A", {}, false}).ok());
+  ASSERT_TRUE(s.AddTable({"B", {}, false}).ok());
+  EXPECT_TRUE(s.Finalize().IsInvalidArgument());
+}
+
+TEST(SchemaTest, RejectsCycle) {
+  Schema s;
+  ASSERT_TRUE(
+      s.AddTable({"A", {{"fk", DataType::kInt32, 4, false, "B"}}, false})
+          .ok());
+  ASSERT_TRUE(
+      s.AddTable({"B", {{"fk", DataType::kInt32, 4, false, "A"}}, false})
+          .ok());
+  EXPECT_FALSE(s.Finalize().ok());
+}
+
+TEST(SchemaTest, RejectsNonIntFk) {
+  Schema s;
+  ASSERT_TRUE(s.AddTable({"B", {}, false}).ok());
+  ASSERT_TRUE(
+      s.AddTable({"A", {{"fk", DataType::kString, 8, false, "B"}}, false})
+          .ok());
+  EXPECT_TRUE(s.Finalize().IsInvalidArgument());
+}
+
+TEST(SchemaTest, HiddenTableHidesAllColumns) {
+  Schema s;
+  TableDef t{"A",
+             {{"x", DataType::kInt32, 4, false, ""},
+              {"y", DataType::kString, 8, false, ""}},
+             true};
+  ASSERT_TRUE(s.AddTable(t).ok());
+  ASSERT_TRUE(s.Finalize().ok());
+  auto id = s.FindTable("A");
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(s.VisibleColumns(*id).empty());
+  EXPECT_EQ(s.HiddenColumns(*id).size(), 2u);
+}
+
+TEST(SchemaTest, PartitionWidths) {
+  Schema s = PaperSchema();
+  auto t0 = s.FindTable("T0");
+  ASSERT_TRUE(t0.ok());
+  // Hidden: fk1(4) + fk2(4) + h1(10) = 18; Visible: v1(10).
+  EXPECT_EQ(s.HiddenRowWidth(*t0), 18u);
+  EXPECT_EQ(s.VisibleRowWidth(*t0), 10u);
+  EXPECT_EQ(s.FullRowWidth(*t0), 4u + 28u);
+}
+
+TEST(SchemaTest, IsAncestorOrSelf) {
+  Schema s = PaperSchema();
+  TableId t0 = *s.FindTable("T0");
+  TableId t1 = *s.FindTable("T1");
+  TableId t12 = *s.FindTable("T12");
+  TableId t2 = *s.FindTable("T2");
+  EXPECT_TRUE(s.IsAncestorOrSelf(t12, t1));
+  EXPECT_TRUE(s.IsAncestorOrSelf(t12, t0));
+  EXPECT_TRUE(s.IsAncestorOrSelf(t12, t12));
+  EXPECT_FALSE(s.IsAncestorOrSelf(t12, t2));
+  EXPECT_FALSE(s.IsAncestorOrSelf(t0, t1));
+}
+
+TEST(SchemaTest, DdlRoundTripRendering) {
+  Schema s = PaperSchema();
+  std::string ddl = s.ToDdl();
+  EXPECT_NE(ddl.find("CREATE TABLE T0"), std::string::npos);
+  EXPECT_NE(ddl.find("fk1 INT REFERENCES T1 HIDDEN"), std::string::npos);
+  EXPECT_NE(ddl.find("v1 CHAR(10)"), std::string::npos);
+}
+
+TEST(SchemaTest, CannotAddAfterFinalize) {
+  Schema s;
+  ASSERT_TRUE(s.AddTable({"A", {}, false}).ok());
+  ASSERT_TRUE(s.Finalize().ok());
+  EXPECT_TRUE(s.AddTable({"B", {}, false}).IsInvalidArgument());
+}
+
+// --- Compare ops & stats ---
+
+TEST(CompareOpTest, EvalAllOps) {
+  Value a = Value::Int32(5), b = Value::Int32(7);
+  EXPECT_TRUE(EvalCompare(a, CompareOp::kLt, b));
+  EXPECT_TRUE(EvalCompare(a, CompareOp::kLe, b));
+  EXPECT_TRUE(EvalCompare(a, CompareOp::kNe, b));
+  EXPECT_FALSE(EvalCompare(a, CompareOp::kEq, b));
+  EXPECT_FALSE(EvalCompare(a, CompareOp::kGt, b));
+  EXPECT_TRUE(EvalCompare(b, CompareOp::kGe, b));
+  EXPECT_TRUE(EvalCompare(b, CompareOp::kEq, b));
+}
+
+TEST(StatsTest, UniformSelectivityEstimates) {
+  Rng rng(17);
+  std::vector<Value> values;
+  for (int i = 0; i < 20000; ++i) {
+    values.push_back(Value::Int32(static_cast<int32_t>(rng.Uniform(1000))));
+  }
+  auto stats = ColumnStats::Build(std::move(values));
+  EXPECT_EQ(stats.row_count(), 20000u);
+  // P(x < 100) ~ 0.1 for uniform [0, 1000).
+  EXPECT_NEAR(stats.EstimateSelectivity(CompareOp::kLt, Value::Int32(100)),
+              0.1, 0.03);
+  EXPECT_NEAR(stats.EstimateSelectivity(CompareOp::kGe, Value::Int32(500)),
+              0.5, 0.05);
+  // Point predicate on ~1000 distinct values.
+  EXPECT_NEAR(stats.EstimateSelectivity(CompareOp::kEq, Value::Int32(42)),
+              0.001, 0.01);
+}
+
+TEST(StatsTest, EmptyColumn) {
+  auto stats = ColumnStats::Build({});
+  EXPECT_TRUE(stats.empty());
+  EXPECT_DOUBLE_EQ(
+      stats.EstimateSelectivity(CompareOp::kEq, Value::Int32(1)), 0.0);
+}
+
+TEST(StatsTest, ConstantColumn) {
+  std::vector<Value> values(100, Value::Int32(9));
+  auto stats = ColumnStats::Build(std::move(values));
+  EXPECT_EQ(stats.distinct_estimate(), 1u);
+  EXPECT_NEAR(stats.EstimateSelectivity(CompareOp::kEq, Value::Int32(9)),
+              1.0, 0.01);
+  EXPECT_NEAR(stats.EstimateSelectivity(CompareOp::kLt, Value::Int32(9)),
+              0.0, 0.01);
+}
+
+}  // namespace
+}  // namespace ghostdb::catalog

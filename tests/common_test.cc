@@ -1,0 +1,205 @@
+// Tests for the common substrate: Status/Result, coding, RNG, SimClock.
+#include <gtest/gtest.h>
+
+#include "common/coding.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace ghostdb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::NotFound("missing table");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing table");
+  EXPECT_EQ(s.ToString(), "NotFound: missing table");
+}
+
+TEST(StatusTest, AllCodesHaveDistinctNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
+  EXPECT_EQ(StatusCodeName(StatusCode::kSecurityViolation),
+            "SecurityViolation");
+  EXPECT_EQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto inner = []() -> Status { return Status::IOError("boom"); };
+  auto outer = [&]() -> Status {
+    GHOSTDB_RETURN_NOT_OK(inner());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsIOError());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto produce = [](bool good) -> Result<int> {
+    if (good) return 5;
+    return Status::NotFound("x");
+  };
+  auto consume = [&](bool good) -> Result<int> {
+    GHOSTDB_ASSIGN_OR_RETURN(int v, produce(good));
+    return v * 2;
+  };
+  EXPECT_EQ(*consume(true), 10);
+  EXPECT_TRUE(consume(false).status().IsNotFound());
+}
+
+TEST(CodingTest, Fixed16RoundTrip) {
+  uint8_t buf[2];
+  for (uint32_t v : {0u, 1u, 255u, 256u, 65535u}) {
+    EncodeFixed16(buf, static_cast<uint16_t>(v));
+    EXPECT_EQ(DecodeFixed16(buf), v);
+  }
+}
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  uint8_t buf[4];
+  for (uint32_t v : {0u, 1u, 0xDEADBEEFu, 0xFFFFFFFFu}) {
+    EncodeFixed32(buf, v);
+    EXPECT_EQ(DecodeFixed32(buf), v);
+  }
+}
+
+TEST(CodingTest, Fixed32IsLittleEndian) {
+  uint8_t buf[4];
+  EncodeFixed32(buf, 0x01020304u);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[3], 0x01);
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  uint8_t buf[8];
+  for (uint64_t v : {0ull, 1ull, 0x0123456789ABCDEFull, ~0ull}) {
+    EncodeFixed64(buf, v);
+    EXPECT_EQ(DecodeFixed64(buf), v);
+  }
+}
+
+TEST(CodingTest, DoubleRoundTrip) {
+  uint8_t buf[8];
+  for (double d : {0.0, -1.5, 3.14159265358979, 1e300, -1e-300}) {
+    EncodeDouble(buf, d);
+    EXPECT_EQ(DecodeDouble(buf), d);
+  }
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(SimClockTest, AdvanceAccumulates) {
+  SimClock clock;
+  clock.Advance(5);
+  clock.Advance(10);
+  EXPECT_EQ(clock.now(), 15u);
+}
+
+TEST(SimClockTest, CategoriesAttributeToCurrentScope) {
+  SimClock clock;
+  clock.Advance(1);  // "other"
+  {
+    auto scope = clock.Enter("merge");
+    clock.Advance(10);
+    {
+      auto inner = clock.Enter("sjoin");
+      clock.Advance(100);
+    }
+    clock.Advance(20);  // back to merge
+  }
+  clock.Advance(2);  // other again
+  EXPECT_EQ(clock.Category("merge"), 30u);
+  EXPECT_EQ(clock.Category("sjoin"), 100u);
+  EXPECT_EQ(clock.Category("other"), 3u);
+  EXPECT_EQ(clock.now(), 133u);
+}
+
+TEST(SimClockTest, ResetClearsEverything) {
+  SimClock clock;
+  {
+    auto scope = clock.Enter("x");
+    clock.Advance(10);
+  }
+  clock.Reset();
+  EXPECT_EQ(clock.now(), 0u);
+  EXPECT_EQ(clock.Category("x"), 0u);
+  EXPECT_EQ(clock.current_category(), "other");
+}
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_EQ(kMicrosecond, 1000u);
+  EXPECT_EQ(kSecond, 1000000000u);
+  EXPECT_DOUBLE_EQ(ToSeconds(1500000000ull), 1.5);
+  EXPECT_DOUBLE_EQ(ToMillis(2500000ull), 2.5);
+}
+
+}  // namespace
+}  // namespace ghostdb

@@ -1,0 +1,175 @@
+// Device-layer tests: RAM budget enforcement, channel cost + transcript,
+// SecureDevice wiring.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "device/channel.h"
+#include "device/ram_manager.h"
+#include "device/secure_device.h"
+
+namespace ghostdb::device {
+namespace {
+
+TEST(RamManagerTest, SixtyFourKiloBytesIs32Buffers) {
+  RamManager ram(64 * 1024, 2048);
+  EXPECT_EQ(ram.total_buffers(), 32u);
+  EXPECT_EQ(ram.free_buffers(), 32u);
+}
+
+TEST(RamManagerTest, AcquireAndAutoRelease) {
+  RamManager ram(64 * 1024, 2048);
+  {
+    auto h = ram.Acquire(4, "merge");
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ(h->size(), 4 * 2048u);
+    EXPECT_EQ(ram.free_buffers(), 28u);
+  }
+  EXPECT_EQ(ram.free_buffers(), 32u);
+}
+
+TEST(RamManagerTest, ExhaustionIsAHardError) {
+  RamManager ram(8 * 1024, 2048);  // 4 buffers
+  auto a = ram.Acquire(3, "a");
+  ASSERT_TRUE(a.ok());
+  auto b = ram.Acquire(2, "b");
+  EXPECT_TRUE(b.status().IsResourceExhausted());
+  auto c = ram.Acquire(1, "c");
+  EXPECT_TRUE(c.ok());
+}
+
+TEST(RamManagerTest, PeakTracksHighWaterMark) {
+  RamManager ram(64 * 1024, 2048);
+  {
+    auto a = ram.Acquire(10, "a");
+    ASSERT_TRUE(a.ok());
+    {
+      auto b = ram.Acquire(5, "b");
+      ASSERT_TRUE(b.ok());
+    }
+  }
+  EXPECT_EQ(ram.peak_used_buffers(), 15u);
+  ram.ResetPeak();
+  EXPECT_EQ(ram.peak_used_buffers(), 0u);
+}
+
+TEST(RamManagerTest, MoveTransfersOwnership) {
+  RamManager ram(64 * 1024, 2048);
+  auto a = ram.Acquire(2, "a");
+  ASSERT_TRUE(a.ok());
+  BufferHandle h = std::move(a.ValueUnsafe());
+  EXPECT_EQ(ram.used_buffers(), 2u);
+  BufferHandle h2 = std::move(h);
+  EXPECT_FALSE(h.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(ram.used_buffers(), 2u);
+  h2.Release();
+  EXPECT_EQ(ram.used_buffers(), 0u);
+}
+
+TEST(RamManagerTest, BuffersAreWritable) {
+  RamManager ram(64 * 1024, 2048);
+  auto h = ram.Acquire(1, "x");
+  ASSERT_TRUE(h.ok());
+  h->data()[0] = 0xAB;
+  h->data()[2047] = 0xCD;
+  EXPECT_EQ(h->data()[0], 0xAB);
+  EXPECT_EQ(h->data()[2047], 0xCD);
+}
+
+TEST(RamManagerTest, ZeroBuffersRejected) {
+  RamManager ram(64 * 1024, 2048);
+  EXPECT_TRUE(ram.Acquire(0, "x").status().IsInvalidArgument());
+}
+
+TEST(RamManagerTest, FragmentationHandledByFirstFit) {
+  RamManager ram(8 * 1024, 2048);  // 4 buffers
+  auto a = ram.Acquire(1, "a");
+  auto b = ram.Acquire(1, "b");
+  auto c = ram.Acquire(1, "c");
+  auto d = ram.Acquire(1, "d");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok() && d.ok());
+  b->Release();
+  d->Release();
+  // Two free buffers exist but are not contiguous.
+  EXPECT_TRUE(ram.Acquire(2, "e").status().IsResourceExhausted());
+  EXPECT_TRUE(ram.Acquire(1, "f").ok());
+}
+
+TEST(ChannelTest, TransferChargesCommTime) {
+  SimClock clock;
+  Channel ch(&clock, 1.5e6);  // 1.5 MB/s
+  ch.TransferSized(Direction::kToSecure, "vis", 1'500'000);
+  EXPECT_EQ(clock.Category("comm"), kSecond);
+  EXPECT_EQ(clock.now(), kSecond);
+}
+
+TEST(ChannelTest, TranscriptRecordsEverything) {
+  SimClock clock;
+  Channel ch(&clock, 1e6);
+  uint8_t payload[4] = {1, 2, 3, 4};
+  ch.Transfer(Direction::kToUntrusted, "query", payload, 4);
+  ch.TransferSized(Direction::kToSecure, "ids", 4000);
+  ASSERT_EQ(ch.transcript().size(), 2u);
+  EXPECT_EQ(ch.transcript()[0].label, "query");
+  EXPECT_EQ(ch.transcript()[0].bytes, 4u);
+  EXPECT_NE(ch.transcript()[0].content_digest, 0u);
+  EXPECT_EQ(ch.BytesMoved(Direction::kToSecure), 4000u);
+  EXPECT_EQ(ch.BytesMoved(Direction::kToUntrusted), 4u);
+}
+
+TEST(ChannelTest, SamePayloadSameDigest) {
+  SimClock clock;
+  Channel ch(&clock, 1e6);
+  uint8_t p1[3] = {7, 8, 9};
+  uint8_t p2[3] = {7, 8, 9};
+  uint8_t p3[3] = {7, 8, 10};
+  ch.Transfer(Direction::kToSecure, "a", p1, 3);
+  ch.Transfer(Direction::kToSecure, "b", p2, 3);
+  ch.Transfer(Direction::kToSecure, "c", p3, 3);
+  EXPECT_EQ(ch.transcript()[0].content_digest,
+            ch.transcript()[1].content_digest);
+  EXPECT_NE(ch.transcript()[0].content_digest,
+            ch.transcript()[2].content_digest);
+}
+
+TEST(ChannelTest, ThroughputAffectsCost) {
+  SimClock clock;
+  Channel slow(&clock, 0.3e6);
+  slow.TransferSized(Direction::kToSecure, "x", 300'000);
+  SimNanos slow_time = clock.now();
+  clock.Reset();
+  Channel fast(&clock, 10e6);
+  fast.TransferSized(Direction::kToSecure, "x", 300'000);
+  EXPECT_GT(slow_time, clock.now() * 30);
+}
+
+TEST(SecureDeviceTest, WiresComponentsTogether) {
+  DeviceConfig cfg;
+  cfg.flash.logical_pages = 128;
+  cfg.flash.pages_per_block = 4;
+  cfg.flash.spare_blocks = 2;
+  SecureDevice dev(cfg);
+  EXPECT_EQ(dev.ram().total_buffers(), 32u);
+  // Flash I/O advances the device clock.
+  std::vector<uint8_t> page(2048, 7);
+  ASSERT_TRUE(dev.flash().WritePage(0, page.data()).ok());
+  EXPECT_GT(dev.clock().now(), 0u);
+  // Channel shares the same clock.
+  SimNanos before = dev.clock().now();
+  dev.channel().TransferSized(Direction::kToSecure, "x", 15000);
+  EXPECT_GT(dev.clock().now(), before);
+}
+
+TEST(SecureDeviceTest, DefaultsMatchTable1) {
+  DeviceConfig cfg;
+  EXPECT_EQ(cfg.ram_bytes, 65536u);
+  EXPECT_EQ(cfg.buffer_size, 2048u);
+  EXPECT_EQ(cfg.flash.page_size, 2048u);
+  EXPECT_EQ(cfg.flash.read_page_latency, 25 * kMicrosecond);
+  EXPECT_EQ(cfg.flash.write_page_latency, 200 * kMicrosecond);
+  EXPECT_EQ(cfg.flash.byte_transfer_latency, 50u);
+  EXPECT_DOUBLE_EQ(cfg.channel_throughput_bytes_per_sec, 1.5e6);
+}
+
+}  // namespace
+}  // namespace ghostdb::device

@@ -1,0 +1,333 @@
+// Operator tests: Bloom filter calibration, Merge (streaming, reduction,
+// sub-buffer), id sources.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "device/ram_manager.h"
+#include "exec/bloom.h"
+#include "exec/id_source.h"
+#include "exec/merge.h"
+#include "flash/flash.h"
+#include "storage/btree.h"
+#include "storage/page_allocator.h"
+#include "storage/run.h"
+
+namespace ghostdb::exec {
+namespace {
+
+using catalog::RowId;
+
+class ExecTest : public ::testing::Test {
+ protected:
+  ExecTest() {
+    flash::FlashConfig cfg;
+    cfg.logical_pages = 16 * 1024;
+    device_ = std::make_unique<flash::FlashDevice>(cfg, &clock_);
+    allocator_ = std::make_unique<storage::PageAllocator>(device_.get());
+    ram_ = std::make_unique<device::RamManager>(64 * 1024, 2048);
+  }
+
+  // Writes a sorted id run to flash.
+  storage::RunRef MakeRun(const std::vector<RowId>& ids) {
+    std::vector<uint8_t> buf(2048);
+    storage::RunWriter w(device_.get(), allocator_.get(), buf.data(), "t");
+    for (RowId id : ids) EXPECT_TRUE(w.AppendU32(id).ok());
+    auto ref = w.Finish();
+    EXPECT_TRUE(ref.ok());
+    return *ref;
+  }
+
+  std::vector<RowId> RunMerge(std::vector<MergeGroup> groups,
+                              MergeOverflowPolicy policy =
+                                  MergeOverflowPolicy::kReduction) {
+    MergeExec merge(device_.get(), ram_.get(), allocator_.get(), &clock_,
+                    policy);
+    std::vector<RowId> out;
+    auto st = merge.Run(std::move(groups), [&](RowId id) {
+      out.push_back(id);
+      return Status::OK();
+    });
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    last_stats_ = merge.stats();
+    return out;
+  }
+
+  SimClock clock_;
+  std::unique_ptr<flash::FlashDevice> device_;
+  std::unique_ptr<storage::PageAllocator> allocator_;
+  std::unique_ptr<device::RamManager> ram_;
+  MergeStats last_stats_;
+};
+
+// --- Bloom ---
+
+TEST_F(ExecTest, BloomNoFalseNegatives) {
+  auto bloom = BloomFilter::Create(ram_.get(), 1000, 8);
+  ASSERT_TRUE(bloom.ok());
+  for (RowId id = 0; id < 1000; ++id) bloom->Insert(id * 3);
+  for (RowId id = 0; id < 1000; ++id) {
+    EXPECT_TRUE(bloom->MightContain(id * 3));
+  }
+}
+
+TEST_F(ExecTest, BloomFprNearPaperCalibration) {
+  // m/n = 8 with k = ln2*8 ≈ 5..6 hashes → fpr in the low percent range
+  // (the paper quotes 0.024 with k=4).
+  const uint64_t n = 10000;
+  auto bloom = BloomFilter::Create(ram_.get(), n, 32);
+  ASSERT_TRUE(bloom.ok());
+  ASSERT_GE(bloom->bits_per_element(n), 8.0);
+  for (RowId id = 0; id < n; ++id) bloom->Insert(id);
+  uint64_t fp = 0;
+  const uint64_t probes = 20000;
+  for (RowId id = 0; id < probes; ++id) {
+    if (bloom->MightContain(1000000 + id * 7)) ++fp;
+  }
+  double fpr = static_cast<double>(fp) / probes;
+  EXPECT_LT(fpr, 0.05);
+  EXPECT_NEAR(fpr, bloom->EstimatedFpr(n), 0.02);
+}
+
+TEST_F(ExecTest, BloomDegradesWhenRamCapped) {
+  // 200k ids but only 4 buffers (8 KB = 65536 bits): m/n ≈ 0.33 → fpr high.
+  const uint64_t n = 200000;
+  auto bloom = BloomFilter::Create(ram_.get(), n, 4);
+  ASSERT_TRUE(bloom.ok());
+  EXPECT_EQ(bloom->buffers_used(), 4u);
+  EXPECT_LT(bloom->bits_per_element(n), 1.0);
+  EXPECT_GT(bloom->EstimatedFpr(n), 0.2);
+}
+
+TEST_F(ExecTest, BloomRamIsAccounted) {
+  uint32_t before = ram_->free_buffers();
+  {
+    auto bloom = BloomFilter::Create(ram_.get(), 16 * 1024, 32);
+    ASSERT_TRUE(bloom.ok());
+    // 16Ki ids * 1 byte each = 8 buffers.
+    EXPECT_EQ(before - ram_->free_buffers(), bloom->buffers_used());
+  }
+  EXPECT_EQ(ram_->free_buffers(), before);
+}
+
+// --- IdSources ---
+
+TEST_F(ExecTest, VectorAndIotaSources) {
+  VectorIdSource v({3, 7, 9});
+  ASSERT_TRUE(v.Prime().ok());
+  EXPECT_TRUE(v.valid());
+  EXPECT_EQ(v.head(), 3u);
+  ASSERT_TRUE(v.Advance().ok());
+  EXPECT_EQ(v.head(), 7u);
+
+  IotaIdSource iota(3);
+  ASSERT_TRUE(iota.Prime().ok());
+  std::vector<RowId> got;
+  while (iota.valid()) {
+    got.push_back(iota.head());
+    ASSERT_TRUE(iota.Advance().ok());
+  }
+  EXPECT_EQ(got, std::vector<RowId>({0, 1, 2}));
+}
+
+// --- Merge ---
+
+TEST_F(ExecTest, MergeSingleGroupUnion) {
+  MergeGroup g;
+  g.runs.push_back(MakeRun({1, 3, 5, 7}));
+  g.runs.push_back(MakeRun({2, 3, 6}));
+  g.ram_ids = {5, 6, 10};
+  g.has_ram_ids = true;
+  auto out = RunMerge({std::move(g)});
+  EXPECT_EQ(out, std::vector<RowId>({1, 2, 3, 5, 6, 7, 10}));
+}
+
+TEST_F(ExecTest, MergeIntersectionOfGroups) {
+  MergeGroup a, b;
+  a.runs.push_back(MakeRun({1, 2, 3, 4, 5, 6}));
+  b.runs.push_back(MakeRun({2, 4, 6, 8}));
+  auto out = RunMerge({std::move(a), std::move(b)});
+  EXPECT_EQ(out, std::vector<RowId>({2, 4, 6}));
+}
+
+TEST_F(ExecTest, MergeIntersectionOfUnions) {
+  MergeGroup a, b;
+  a.runs.push_back(MakeRun({1, 5}));
+  a.runs.push_back(MakeRun({3, 7}));
+  b.runs.push_back(MakeRun({3, 5, 9}));
+  b.ram_ids = {1};
+  b.has_ram_ids = true;
+  auto out = RunMerge({std::move(a), std::move(b)});
+  EXPECT_EQ(out, std::vector<RowId>({1, 3, 5}));
+}
+
+TEST_F(ExecTest, MergeEmptyGroupYieldsNothing) {
+  MergeGroup a, b;
+  a.runs.push_back(MakeRun({1, 2, 3}));
+  // b empty.
+  auto out = RunMerge({std::move(a), std::move(b)});
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(ExecTest, MergeWithIota) {
+  MergeGroup a, b;
+  a.has_iota = true;
+  a.iota_n = 100;
+  b.runs.push_back(MakeRun({5, 50, 99, 150}));
+  auto out = RunMerge({std::move(a), std::move(b)});
+  EXPECT_EQ(out, std::vector<RowId>({5, 50, 99}));
+}
+
+TEST_F(ExecTest, MergeDeduplicatesWithinGroup) {
+  MergeGroup g;
+  g.runs.push_back(MakeRun({1, 2, 2, 3}));
+  g.runs.push_back(MakeRun({2, 3, 3}));
+  auto out = RunMerge({std::move(g)});
+  EXPECT_EQ(out, std::vector<RowId>({1, 2, 3}));
+}
+
+TEST_F(ExecTest, MergeManySublistsTriggersReduction) {
+  // 100 runs with 32 buffers forces the reduction phase.
+  Rng rng(5);
+  std::set<RowId> expected;
+  MergeGroup g;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<RowId> ids;
+    for (int j = 0; j < 50; ++j) {
+      RowId id = static_cast<RowId>(rng.Uniform(10000));
+      ids.push_back(id);
+      expected.insert(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    g.runs.push_back(MakeRun(ids));
+  }
+  auto out = RunMerge({std::move(g)});
+  EXPECT_EQ(out, std::vector<RowId>(expected.begin(), expected.end()));
+  EXPECT_GT(last_stats_.reduction_rounds, 0u);
+  EXPECT_GT(last_stats_.reduction_ids_written, 0u);
+}
+
+TEST_F(ExecTest, MergeReductionPreservesIntersection) {
+  Rng rng(9);
+  std::vector<RowId> big;
+  for (RowId id = 0; id < 5000; ++id) big.push_back(id);
+  MergeGroup a;  // 80 sublists covering [0,5000) with noise
+  std::set<RowId> a_union;
+  for (int i = 0; i < 80; ++i) {
+    std::vector<RowId> ids;
+    for (int j = 0; j < 120; ++j) {
+      RowId id = static_cast<RowId>(rng.Uniform(5000));
+      ids.push_back(id);
+      a_union.insert(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    a.runs.push_back(MakeRun(ids));
+  }
+  MergeGroup b;
+  std::vector<RowId> filter;
+  for (RowId id = 0; id < 5000; id += 3) filter.push_back(id);
+  b.runs.push_back(MakeRun(filter));
+
+  std::vector<RowId> expected;
+  for (RowId id : filter) {
+    if (a_union.count(id)) expected.push_back(id);
+  }
+  auto out = RunMerge({std::move(a), std::move(b)});
+  EXPECT_EQ(out, expected);
+}
+
+TEST_F(ExecTest, SubBufferPolicyAvoidsTempWrites) {
+  Rng rng(5);
+  auto make_group = [&]() {
+    MergeGroup g;
+    for (int i = 0; i < 60; ++i) {
+      std::vector<RowId> ids;
+      for (int j = 0; j < 40; ++j) {
+        ids.push_back(static_cast<RowId>(rng.Uniform(10000)));
+      }
+      std::sort(ids.begin(), ids.end());
+      g.runs.push_back(MakeRun(ids));
+    }
+    return g;
+  };
+  // Same inputs twice (deterministic rng per call order).
+  Rng rng_a(5);
+  rng = Rng(5);
+  auto g1 = make_group();
+  rng = Rng(5);
+  auto g2 = make_group();
+
+  uint64_t writes_before = device_->stats().pages_written;
+  auto out1 = RunMerge({std::move(g1)}, MergeOverflowPolicy::kReduction);
+  uint64_t reduction_writes =
+      device_->stats().pages_written - writes_before;
+
+  writes_before = device_->stats().pages_written;
+  auto out2 = RunMerge({std::move(g2)}, MergeOverflowPolicy::kSubBuffer);
+  uint64_t subbuffer_writes =
+      device_->stats().pages_written - writes_before;
+
+  EXPECT_EQ(out1, out2);
+  EXPECT_GT(reduction_writes, 0u);
+  EXPECT_EQ(subbuffer_writes, 0u);
+}
+
+TEST_F(ExecTest, MergeRespectsReserveBuffers) {
+  MergeGroup g;
+  for (int i = 0; i < 40; ++i) {
+    g.runs.push_back(MakeRun({static_cast<RowId>(i)}));
+  }
+  MergeExec merge(device_.get(), ram_.get(), allocator_.get(), &clock_);
+  // Reserve so much that reduction must kick in even for 40 streams.
+  std::vector<RowId> out;
+  auto hold = ram_->Acquire(10, "downstream");
+  ASSERT_TRUE(hold.ok());
+  std::vector<MergeGroup> groups;
+  groups.push_back(std::move(g));
+  auto st = merge.Run(
+      std::move(groups),
+      [&](RowId id) {
+        out.push_back(id);
+        return Status::OK();
+      },
+      /*reserve_buffers=*/5);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(out.size(), 40u);
+  EXPECT_GT(merge.stats().reduction_rounds, 0u);
+}
+
+TEST_F(ExecTest, MergeFreesTemporaryPages) {
+  Rng rng(3);
+  MergeGroup g;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<RowId> ids;
+    for (int j = 0; j < 60; ++j) {
+      ids.push_back(static_cast<RowId>(rng.Uniform(100000)));
+    }
+    std::sort(ids.begin(), ids.end());
+    g.runs.push_back(MakeRun(ids));
+  }
+  RunMerge({std::move(g)});
+  // All merge-tmp pages must be back.
+  auto it = allocator_->usage_by_tag().find("merge-tmp");
+  if (it != allocator_->usage_by_tag().end()) {
+    EXPECT_EQ(it->second, 0);
+  }
+  // Input runs are freed as well.
+  EXPECT_EQ(allocator_->usage_by_tag().at("t"), 0);
+}
+
+TEST_F(ExecTest, MergeChargesMergeCategoryOnly) {
+  MergeGroup g;
+  g.runs.push_back(MakeRun({1, 2, 3}));
+  auto scope = clock_.Enter("merge");
+  SimNanos before = clock_.Category("merge");
+  RunMerge({std::move(g)});
+  EXPECT_GT(clock_.Category("merge"), before);
+}
+
+}  // namespace
+}  // namespace ghostdb::exec

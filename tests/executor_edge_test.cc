@@ -1,0 +1,190 @@
+// Executor edge cases: several Visible selections with different pinned
+// strategies in one query, post strategies on subtree anchors, aggregates
+// under every strategy, and channel-throughput sensitivity.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/database.h"
+#include "plan/strategy.h"
+#include "reference/oracle.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace ghostdb {
+namespace {
+
+using catalog::Value;
+using core::GhostDB;
+using core::GhostDBConfig;
+using plan::PlanChoice;
+using plan::VisStrategy;
+
+class ExecutorEdgeTest : public ::testing::Test {
+ protected:
+  void Build(GhostDB* db, uint64_t seed = 99) {
+    ASSERT_TRUE(
+        db->Execute("CREATE TABLE D1 (id INT, v INT, h INT HIDDEN)").ok());
+    ASSERT_TRUE(
+        db->Execute("CREATE TABLE D2 (id INT, v INT, h INT HIDDEN)").ok());
+    ASSERT_TRUE(db->Execute(
+                      "CREATE TABLE F (id INT, fk1 INT REFERENCES D1 "
+                      "HIDDEN, fk2 INT REFERENCES D2 HIDDEN, v INT, "
+                      "h INT HIDDEN)")
+                    .ok());
+    Rng rng(seed);
+    auto stage = [&](const char* name, int n, bool fact) {
+      auto data = db->MutableStaging(name);
+      ASSERT_TRUE(data.ok());
+      for (int i = 0; i < n; ++i) {
+        std::vector<Value> row;
+        if (fact) {
+          row.push_back(Value::Int32(static_cast<int32_t>(rng.Uniform(150))));
+          row.push_back(Value::Int32(static_cast<int32_t>(rng.Uniform(120))));
+        }
+        row.push_back(Value::Int32(static_cast<int32_t>(rng.Uniform(100))));
+        row.push_back(Value::Int32(static_cast<int32_t>(rng.Uniform(100))));
+        ASSERT_TRUE((*data)->AppendRow(row).ok());
+      }
+    };
+    stage("D1", 150, false);
+    stage("D2", 120, false);
+    stage("F", 3000, true);
+    ASSERT_TRUE(db->Build().ok());
+  }
+
+  GhostDBConfig Config() {
+    GhostDBConfig cfg;
+    cfg.device.flash.logical_pages = 16 * 1024;
+    cfg.retain_staged_data = true;
+    return cfg;
+  }
+
+  void ExpectMatchesOracle(GhostDB* db, const std::string& sql,
+                           const PlanChoice* pinned = nullptr) {
+    auto stmt = sql::Parse(sql);
+    ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+    auto bound =
+        sql::Bind(std::get<sql::SelectStmt>(*stmt), db->schema(), sql);
+    ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+    auto expected =
+        reference::Evaluate(db->schema(), db->staged(), *bound);
+    ASSERT_TRUE(expected.ok());
+    auto got = pinned ? db->QueryWithPlan(sql, *pinned) : db->Query(sql);
+    ASSERT_TRUE(got.ok()) << sql << " -> " << got.status().ToString();
+    ASSERT_EQ(got->rows.size(), expected->size()) << sql;
+    for (size_t i = 0; i < expected->size(); ++i) {
+      EXPECT_EQ(got->rows[i], (*expected)[i]) << sql << " row " << i;
+    }
+  }
+
+  // Every ordered pair of strategies on the two dimension tables.
+  static std::vector<VisStrategy> AllStrategies() {
+    return {VisStrategy::kPreFilter,      VisStrategy::kCrossPreFilter,
+            VisStrategy::kPostFilter,     VisStrategy::kCrossPostFilter,
+            VisStrategy::kPostSelect,     VisStrategy::kNoFilter};
+  }
+};
+
+TEST_F(ExecutorEdgeTest, TwoVisibleTablesMixedStrategies) {
+  GhostDB db(Config());
+  Build(&db);
+  auto d1 = *db.schema().FindTable("D1");
+  auto d2 = *db.schema().FindTable("D2");
+  const std::string sql =
+      "SELECT F.id, D1.v, D2.v FROM F, D1, D2 WHERE F.fk1 = D1.id AND "
+      "F.fk2 = D2.id AND D1.v < 60 AND D2.v < 50 AND F.h < 70";
+  for (auto s1 : AllStrategies()) {
+    for (auto s2 :
+         {VisStrategy::kPreFilter, VisStrategy::kPostFilter,
+          VisStrategy::kNoFilter}) {
+      PlanChoice plan;
+      plan.vis[d1] = s1;
+      plan.vis[d2] = s2;
+      ExpectMatchesOracle(&db, sql, &plan);
+    }
+  }
+}
+
+TEST_F(ExecutorEdgeTest, VisiblePredicateOnAnchorWithPostStrategy) {
+  GhostDB db(Config());
+  Build(&db);
+  auto f = *db.schema().FindTable("F");
+  for (auto s : AllStrategies()) {
+    PlanChoice plan;
+    plan.vis[f] = s;
+    ExpectMatchesOracle(&db,
+                        "SELECT F.id, F.h FROM F, D1 WHERE F.fk1 = D1.id "
+                        "AND F.v < 40 AND D1.h < 50",
+                        &plan);
+  }
+}
+
+TEST_F(ExecutorEdgeTest, AggregatesUnderEveryStrategy) {
+  GhostDB db(Config());
+  Build(&db);
+  auto d1 = *db.schema().FindTable("D1");
+  for (auto s : AllStrategies()) {
+    PlanChoice plan;
+    plan.vis[d1] = s;
+    ExpectMatchesOracle(&db,
+                        "SELECT COUNT(*), MIN(F.h), MAX(D1.v) FROM F, D1 "
+                        "WHERE F.fk1 = D1.id AND D1.v < 55 AND F.h < 80",
+                        &plan);
+  }
+}
+
+TEST_F(ExecutorEdgeTest, ThroughputChangesTimeNotAnswers) {
+  GhostDB db(Config());
+  Build(&db);
+  const char* sql =
+      "SELECT F.id, D1.v FROM F, D1 WHERE F.fk1 = D1.id AND D1.v < 50 "
+      "AND F.h < 60";
+  db.device().channel().set_throughput(10e6);
+  auto fast = db.Query(sql);
+  ASSERT_TRUE(fast.ok());
+  db.device().channel().set_throughput(0.3e6);
+  auto slow = db.Query(sql);
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(fast->total_rows, slow->total_rows);
+  EXPECT_EQ(fast->rows, slow->rows);
+  EXPECT_GT(slow->metrics.total_ns, fast->metrics.total_ns);
+  EXPECT_GT(slow->metrics.categories.at("comm"),
+            fast->metrics.categories.at("comm"));
+}
+
+TEST_F(ExecutorEdgeTest, RepeatedQueriesLeaveNoResidue) {
+  GhostDB db(Config());
+  Build(&db);
+  uint32_t pages_before = db.allocator().used_pages();
+  for (int i = 0; i < 5; ++i) {
+    auto r = db.Query(
+        "SELECT F.id, D2.v FROM F, D2 WHERE F.fk2 = D2.id AND "
+        "D2.v < 40 AND F.h < 50");
+    ASSERT_TRUE(r.ok());
+    EXPECT_LE(r->metrics.peak_ram_buffers, 32u);
+  }
+  // Temporary flash space fully reclaimed after every query.
+  EXPECT_EQ(db.allocator().used_pages(), pages_before);
+  EXPECT_EQ(db.device().ram().used_buffers(), 0u);
+}
+
+TEST_F(ExecutorEdgeTest, WearAndGcVisibleInDeviceStats) {
+  GhostDB db(Config());
+  Build(&db);
+  // Queries write/trim temporaries: the FTL must keep absorbing them.
+  auto stats_before = db.device().flash().stats();
+  for (int i = 0; i < 10; ++i) {
+    auto r = db.Query(
+        "SELECT F.id FROM F, D1 WHERE F.fk1 = D1.id AND D1.v < 80 AND "
+        "F.h < 80");
+    ASSERT_TRUE(r.ok());
+  }
+  auto stats_after = db.device().flash().stats();
+  EXPECT_GT(stats_after.pages_read, stats_before.pages_read);
+  EXPECT_GT(stats_after.trims, stats_before.trims);
+}
+
+}  // namespace
+}  // namespace ghostdb

@@ -1,0 +1,329 @@
+// SQL front-end tests: lexer, parser, binder.
+#include <gtest/gtest.h>
+
+#include "catalog/schema.h"
+#include "sql/binder.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace ghostdb::sql {
+namespace {
+
+using catalog::CompareOp;
+using catalog::DataType;
+
+// --- Lexer ---
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT a.b, c FROM t WHERE x = 5;");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "a");
+  EXPECT_EQ((*tokens)[2].text, ".");
+  EXPECT_EQ(tokens->back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Tokenize("select From wHeRe hidden");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "FROM");
+  EXPECT_EQ((*tokens)[2].text, "WHERE");
+  EXPECT_EQ((*tokens)[3].text, "HIDDEN");
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto tokens = Tokenize("'it''s a test'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[0].text, "it's a test");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("SELECT 'oops").ok());
+}
+
+TEST(LexerTest, NumbersIntAndFloat) {
+  // Negative literals are recognized in operand position (after an
+  // operator), matching the grammar's use sites.
+  auto tokens = Tokenize("42 3.25 = -7");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kInteger);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kFloat);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kInteger);
+  EXPECT_EQ((*tokens)[3].text, "-7");
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  auto tokens = Tokenize("a <= b >= c <> d != e");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].text, "<=");
+  EXPECT_EQ((*tokens)[3].text, ">=");
+  EXPECT_EQ((*tokens)[5].text, "<>");
+  EXPECT_EQ((*tokens)[7].text, "!=");
+}
+
+TEST(LexerTest, HyphenatedIdentifiers) {
+  // The paper's medical schema uses first-name, patient-id, etc.
+  auto tokens = Tokenize("first-name");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "first-name");
+}
+
+// --- Parser ---
+
+TEST(ParserTest, CreateTableWithHidden) {
+  auto stmt = Parse(
+      "CREATE TABLE Patients (id INT, name CHAR(200) HIDDEN, age INT, "
+      "city CHAR(100), bodymassindex FLOAT HIDDEN)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  auto& create = std::get<CreateTableStmt>(*stmt);
+  EXPECT_EQ(create.def.name, "Patients");
+  ASSERT_EQ(create.def.columns.size(), 4u);  // id absorbed as surrogate
+  EXPECT_EQ(create.def.columns[0].name, "name");
+  EXPECT_TRUE(create.def.columns[0].hidden);
+  EXPECT_EQ(create.def.columns[0].width, 200u);
+  EXPECT_EQ(create.def.columns[1].name, "age");
+  EXPECT_FALSE(create.def.columns[1].hidden);
+  EXPECT_EQ(create.def.columns[3].type, DataType::kDouble);
+}
+
+TEST(ParserTest, CreateTableWithReferences) {
+  auto stmt = Parse(
+      "CREATE TABLE Measurements (id INT, patient_id INT REFERENCES "
+      "Patients HIDDEN, value DOUBLE)");
+  ASSERT_TRUE(stmt.ok());
+  auto& create = std::get<CreateTableStmt>(*stmt);
+  EXPECT_EQ(create.def.columns[0].references, "Patients");
+  EXPECT_TRUE(create.def.columns[0].hidden);
+}
+
+TEST(ParserTest, CreateHiddenTable) {
+  auto stmt = Parse("CREATE TABLE Secrets (id INT, x INT) HIDDEN");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(std::get<CreateTableStmt>(*stmt).def.hidden);
+}
+
+TEST(ParserTest, InsertValues) {
+  auto stmt = Parse("INSERT INTO t VALUES (1, 'abc', 2.5)");
+  ASSERT_TRUE(stmt.ok());
+  auto& insert = std::get<InsertStmt>(*stmt);
+  EXPECT_EQ(insert.table, "t");
+  ASSERT_EQ(insert.values.size(), 3u);
+  EXPECT_EQ(insert.values[0].AsInt32(), 1);
+  EXPECT_EQ(insert.values[1].AsString(), "abc");
+  EXPECT_DOUBLE_EQ(insert.values[2].AsDouble(), 2.5);
+}
+
+TEST(ParserTest, SelectWithJoinsAndPredicates) {
+  auto stmt = Parse(
+      "SELECT D.id, P.id, M.id FROM Measurements M, Doctors D, Patients P "
+      "WHERE M.pid = P.id AND P.did = D.id AND D.specialty = 'Psychiatrist' "
+      "AND P.bodymassindex > 25");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  auto& select = std::get<SelectStmt>(*stmt);
+  EXPECT_EQ(select.items.size(), 3u);
+  ASSERT_EQ(select.from.size(), 3u);
+  EXPECT_EQ(select.from[0].table, "Measurements");
+  EXPECT_EQ(select.from[0].alias, "M");
+  EXPECT_EQ(select.joins.size(), 2u);
+  EXPECT_EQ(select.predicates.size(), 2u);
+  EXPECT_EQ(select.predicates[1].op, CompareOp::kGt);
+}
+
+TEST(ParserTest, SelectStar) {
+  auto stmt = Parse("SELECT * FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(std::get<SelectStmt>(*stmt).star);
+}
+
+TEST(ParserTest, BetweenExpandsToRange) {
+  auto stmt = Parse("SELECT a FROM t WHERE a BETWEEN 5 AND 10");
+  ASSERT_TRUE(stmt.ok());
+  auto& select = std::get<SelectStmt>(*stmt);
+  ASSERT_EQ(select.predicates.size(), 2u);
+  EXPECT_EQ(select.predicates[0].op, CompareOp::kGe);
+  EXPECT_EQ(select.predicates[1].op, CompareOp::kLe);
+}
+
+TEST(ParserTest, ExplainSelect) {
+  auto stmt = Parse("EXPLAIN SELECT a FROM t WHERE a = 1");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(std::get<SelectStmt>(*stmt).explain);
+}
+
+TEST(ParserTest, RejectsGarbage) {
+  EXPECT_FALSE(Parse("DROP TABLE t").ok());
+  EXPECT_FALSE(Parse("SELECT FROM").ok());
+  EXPECT_FALSE(Parse("CREATE TABLE t (x NOTATYPE)").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t WHERE a ~ 5").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t extra garbage").ok());
+}
+
+TEST(ParserTest, NonEquiJoinRejected) {
+  EXPECT_FALSE(Parse("SELECT a FROM t, s WHERE t.x < s.y").ok());
+}
+
+TEST(ParserTest, ParseScriptMultipleStatements) {
+  auto script = ParseScript(
+      "CREATE TABLE a (id INT, x INT); CREATE TABLE b (id INT, y INT); "
+      "INSERT INTO a VALUES (1);");
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(script->size(), 3u);
+}
+
+// --- Binder ---
+
+catalog::Schema TestSchema() {
+  catalog::Schema s;
+  EXPECT_TRUE(s.AddTable({"T0",
+                          {{"fk1", DataType::kInt32, 4, true, "T1"},
+                           {"v0", DataType::kInt32, 4, false, ""},
+                           {"h0", DataType::kInt32, 4, true, ""}},
+                          false})
+                  .ok());
+  EXPECT_TRUE(s.AddTable({"T1",
+                          {{"fk12", DataType::kInt32, 4, true, "T12"},
+                           {"v1", DataType::kString, 10, false, ""},
+                           {"h1", DataType::kInt32, 4, true, ""}},
+                          false})
+                  .ok());
+  EXPECT_TRUE(s.AddTable({"T12",
+                          {{"v2", DataType::kInt32, 4, false, ""},
+                           {"h2", DataType::kInt32, 4, true, ""}},
+                          false})
+                  .ok());
+  EXPECT_TRUE(s.Finalize().ok());
+  return s;
+}
+
+Result<BoundQuery> BindSql(const catalog::Schema& schema,
+                           const std::string& text) {
+  auto stmt = Parse(text);
+  if (!stmt.ok()) return stmt.status();
+  return Bind(std::get<SelectStmt>(*stmt), schema, text);
+}
+
+TEST(BinderTest, BindsPaperStyleQuery) {
+  auto schema = TestSchema();
+  auto q = BindSql(schema,
+                   "SELECT T0.id FROM T0, T1, T12 WHERE T0.fk1 = T1.id AND "
+                   "T1.fk12 = T12.id AND T1.v1 = 'x' AND T12.h2 = 3");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->tables.size(), 3u);
+  EXPECT_EQ(schema.table(q->anchor).name, "T0");
+  EXPECT_EQ(q->joins.size(), 2u);
+  ASSERT_EQ(q->predicates.size(), 2u);
+  EXPECT_FALSE(q->predicates[0].hidden);
+  EXPECT_TRUE(q->predicates[1].hidden);
+}
+
+TEST(BinderTest, VisibleAndHiddenPredicateSplit) {
+  auto schema = TestSchema();
+  auto q = BindSql(schema,
+                   "SELECT T1.id FROM T1 WHERE T1.v1 = 'a' AND T1.h1 = 2");
+  ASSERT_TRUE(q.ok());
+  auto t1 = schema.FindTable("T1");
+  EXPECT_EQ(q->VisiblePredicatesOn(*t1).size(), 1u);
+  EXPECT_EQ(q->HiddenPredicatesOn(*t1).size(), 1u);
+}
+
+TEST(BinderTest, IdPredicateIsVisible) {
+  auto schema = TestSchema();
+  auto q = BindSql(schema, "SELECT T1.id FROM T1 WHERE T1.id < 100");
+  ASSERT_TRUE(q.ok());
+  auto t1 = schema.FindTable("T1");
+  EXPECT_EQ(q->VisiblePredicatesOn(*t1).size(), 1u);
+  EXPECT_TRUE(q->VisiblePredicatesOn(*t1)[0].on_id);
+}
+
+TEST(BinderTest, UnknownTableFails) {
+  auto schema = TestSchema();
+  EXPECT_TRUE(BindSql(schema, "SELECT x FROM Nope").status().IsNotFound());
+}
+
+TEST(BinderTest, UnknownColumnFails) {
+  auto schema = TestSchema();
+  EXPECT_TRUE(
+      BindSql(schema, "SELECT T1.nope FROM T1").status().IsNotFound());
+}
+
+TEST(BinderTest, AmbiguousColumnFails) {
+  auto schema = TestSchema();
+  // h1 exists only on T1, h2 only on T12 — but v1/v2 unique; use "id".
+  auto q = BindSql(schema,
+                   "SELECT id FROM T1, T12 WHERE T1.fk12 = T12.id");
+  EXPECT_TRUE(q.status().IsInvalidArgument());
+}
+
+TEST(BinderTest, DisconnectedFromFails) {
+  auto schema = TestSchema();
+  auto q = BindSql(schema, "SELECT T0.id FROM T0, T12");
+  EXPECT_TRUE(q.status().IsNotSupported());
+}
+
+TEST(BinderTest, JoinMustFollowForeignKey) {
+  auto schema = TestSchema();
+  // h0 is not a foreign key.
+  auto q = BindSql(schema,
+                   "SELECT T0.id FROM T0, T1 WHERE T0.h0 = T1.id");
+  EXPECT_FALSE(q.ok());
+}
+
+TEST(BinderTest, SelfJoinRejected) {
+  auto schema = TestSchema();
+  auto q = BindSql(schema, "SELECT a.id FROM T1 a, T1 b WHERE a.fk12 = b.id");
+  EXPECT_TRUE(q.status().IsNotSupported());
+}
+
+TEST(BinderTest, StarExpandsAllColumns) {
+  auto schema = TestSchema();
+  auto q = BindSql(schema, "SELECT * FROM T12");
+  ASSERT_TRUE(q.ok());
+  // id + v2 + h2.
+  EXPECT_EQ(q->select.size(), 3u);
+  EXPECT_EQ(q->select[0].display, "T12.id");
+  EXPECT_TRUE(q->select[0].is_id);
+}
+
+TEST(BinderTest, LiteralCoercion) {
+  auto schema = TestSchema();
+  // Integer literal against a CHAR column must fail.
+  EXPECT_FALSE(BindSql(schema, "SELECT T1.id FROM T1 WHERE T1.v1 = 5").ok());
+  // String against INT must fail.
+  EXPECT_FALSE(
+      BindSql(schema, "SELECT T1.id FROM T1 WHERE T1.h1 = 'x'").ok());
+}
+
+TEST(BinderTest, AliasResolution) {
+  auto schema = TestSchema();
+  auto q = BindSql(schema,
+                   "SELECT a.v1 FROM T1 a, T12 b WHERE a.fk12 = b.id AND "
+                   "b.h2 = 1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(schema.table(q->anchor).name, "T1");
+}
+
+TEST(BinderTest, AnchorIsNearestRoot) {
+  auto schema = TestSchema();
+  auto q = BindSql(schema,
+                   "SELECT T1.id FROM T1, T12 WHERE T1.fk12 = T12.id");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(schema.table(q->anchor).name, "T1");
+}
+
+TEST(BinderTest, ProjectedColumnHelpers) {
+  auto schema = TestSchema();
+  auto q = BindSql(schema,
+                   "SELECT T1.v1, T1.h1, T1.id FROM T1 WHERE T1.h1 > 0");
+  ASSERT_TRUE(q.ok());
+  auto t1 = *schema.FindTable("T1");
+  EXPECT_EQ(q->ProjectedVisibleColumns(schema, t1).size(), 1u);
+  EXPECT_EQ(q->ProjectedHiddenColumns(schema, t1).size(), 1u);
+  EXPECT_TRUE(q->ProjectsTable(t1));
+}
+
+}  // namespace
+}  // namespace ghostdb::sql

@@ -1,0 +1,183 @@
+// Untrusted-side tests: visible store predicate evaluation, projection
+// payloads, stats, and the engine's channel accounting.
+#include <gtest/gtest.h>
+
+#include "catalog/schema.h"
+#include "common/coding.h"
+#include "common/sim_clock.h"
+#include "device/channel.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "untrusted/engine.h"
+
+namespace ghostdb::untrusted {
+namespace {
+
+using catalog::ColumnId;
+using catalog::DataType;
+using catalog::RowId;
+using catalog::TableId;
+using catalog::Value;
+
+class UntrustedTest : public ::testing::Test {
+ protected:
+  UntrustedTest() : channel_(&clock_, 1.5e6) {
+    catalog::TableDef def{
+        "People",
+        {{"age", DataType::kInt32, 4, false, ""},
+         {"city", DataType::kString, 8, false, ""},
+         {"secret", DataType::kInt32, 4, true, ""}},
+        false};
+    EXPECT_TRUE(schema_.AddTable(def).ok());
+    EXPECT_TRUE(schema_.Finalize().ok());
+    engine_ = std::make_unique<UntrustedEngine>(&schema_, &channel_);
+
+    // Visible partition: age + city (secret is NOT here), row i = id i.
+    // Rows: (20+i%50, City<i%3>).
+    const uint32_t width = 12;
+    std::vector<uint8_t> packed(100 * width);
+    for (RowId i = 0; i < 100; ++i) {
+      Value::Int32(20 + static_cast<int32_t>(i % 50))
+          .Encode(packed.data() + i * width, 4);
+      Value::String("City" + std::to_string(i % 3))
+          .Encode(packed.data() + i * width + 4, 8);
+    }
+    EXPECT_TRUE(engine_->store().LoadTable(0, std::move(packed), 100).ok());
+  }
+
+  sql::BoundPredicate Pred(ColumnId col, catalog::CompareOp op, Value v,
+                           bool on_id = false) {
+    sql::BoundPredicate p;
+    p.table = 0;
+    p.on_id = on_id;
+    p.column = col;
+    p.hidden = false;
+    p.op = op;
+    p.value = std::move(v);
+    return p;
+  }
+
+  SimClock clock_;
+  device::Channel channel_;
+  catalog::Schema schema_;
+  std::unique_ptr<UntrustedEngine> engine_;
+};
+
+TEST_F(UntrustedTest, SelectIdsByIntPredicate) {
+  auto ids = engine_->store().SelectIds(
+      0, {Pred(0, catalog::CompareOp::kEq, Value::Int32(25))});
+  ASSERT_TRUE(ids.ok());
+  // age == 25 -> i % 50 == 5 -> ids 5 and 55.
+  EXPECT_EQ(*ids, (std::vector<RowId>{5, 55}));
+}
+
+TEST_F(UntrustedTest, SelectIdsConjunction) {
+  auto ids = engine_->store().SelectIds(
+      0, {Pred(0, catalog::CompareOp::kLt, Value::Int32(23)),
+          Pred(1, catalog::CompareOp::kEq, Value::String("City0"))});
+  ASSERT_TRUE(ids.ok());
+  for (RowId id : *ids) {
+    EXPECT_LT(id % 50, 3u);
+    EXPECT_EQ(id % 3, 0u);
+  }
+  EXPECT_FALSE(ids->empty());
+}
+
+TEST_F(UntrustedTest, SelectIdsOnIdPredicate) {
+  auto ids = engine_->store().SelectIds(
+      0, {Pred(0, catalog::CompareOp::kLt, Value::Int32(4), true)});
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(*ids, (std::vector<RowId>{0, 1, 2, 3}));
+}
+
+TEST_F(UntrustedTest, SelectIdsAreSorted) {
+  auto ids = engine_->store().SelectIds(
+      0, {Pred(1, catalog::CompareOp::kNe, Value::String("City1"))});
+  ASSERT_TRUE(ids.ok());
+  EXPECT_TRUE(std::is_sorted(ids->begin(), ids->end()));
+}
+
+TEST_F(UntrustedTest, ProjectionPayloadLayout) {
+  auto payload = engine_->store().Project(
+      0, {Pred(0, catalog::CompareOp::kEq, Value::Int32(25))}, {0, 1});
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(payload->rows, 2u);
+  EXPECT_EQ(payload->row_width, 4u + 4u + 8u);
+  // First row: id 5, age 25, City2.
+  EXPECT_EQ(DecodeFixed32(payload->bytes.data()), 5u);
+  EXPECT_EQ(Value::Decode(payload->bytes.data() + 4, DataType::kInt32, 4),
+            Value::Int32(25));
+  EXPECT_EQ(Value::Decode(payload->bytes.data() + 8, DataType::kString, 8),
+            Value::String("City2"));
+}
+
+TEST_F(UntrustedTest, HiddenColumnAccessRefused) {
+  auto ids = engine_->store().SelectIds(
+      0, {[&] {
+        auto p = Pred(2, catalog::CompareOp::kEq, Value::Int32(1));
+        p.hidden = true;
+        return p;
+      }()});
+  EXPECT_TRUE(ids.status().IsSecurityViolation());
+  EXPECT_TRUE(
+      engine_->store().Project(0, {}, {2}).status().IsSecurityViolation());
+  EXPECT_TRUE(
+      engine_->store().GetValue(0, 0, 2).status().IsSecurityViolation());
+  EXPECT_TRUE(
+      engine_->store().BuildStats(0, 2).status().IsSecurityViolation());
+}
+
+TEST_F(UntrustedTest, StatsEstimateFromVisibleData) {
+  auto stats = engine_->store().BuildStats(0, 0);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->row_count(), 100u);
+  // age uniform over [20, 70): P(age < 45) = 0.5.
+  EXPECT_NEAR(stats->EstimateSelectivity(catalog::CompareOp::kLt,
+                                         Value::Int32(45)),
+              0.5, 0.1);
+}
+
+TEST_F(UntrustedTest, EngineChargesChannelForServedData) {
+  // Bind a tiny query against the schema to drive the engine API.
+  auto stmt = sql::Parse("SELECT People.id FROM People WHERE age < 23");
+  ASSERT_TRUE(stmt.ok());
+  auto bound = sql::Bind(std::get<sql::SelectStmt>(*stmt), schema_,
+                         "SELECT ...");
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  SimNanos before = clock_.now();
+  auto ids = engine_->ServeVisibleIds(*bound, 0);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_FALSE(ids->empty());
+  EXPECT_GT(clock_.now(), before);  // transfer time charged
+  const auto& last = channel_.transcript().back();
+  EXPECT_EQ(last.label, "vis-ids:People");
+  EXPECT_EQ(last.bytes, ids->size() * 4);
+  EXPECT_EQ(static_cast<int>(last.direction),
+            static_cast<int>(device::Direction::kToSecure));
+}
+
+TEST_F(UntrustedTest, ServeVisibleCountMatchesIds) {
+  auto stmt = sql::Parse("SELECT People.id FROM People WHERE age >= 60");
+  ASSERT_TRUE(stmt.ok());
+  auto bound = sql::Bind(std::get<sql::SelectStmt>(*stmt), schema_, "q");
+  ASSERT_TRUE(bound.ok());
+  auto count = engine_->ServeVisibleCount(*bound, 0);
+  auto ids = engine_->ServeVisibleIds(*bound, 0);
+  ASSERT_TRUE(count.ok() && ids.ok());
+  EXPECT_EQ(*count, ids->size());
+}
+
+TEST_F(UntrustedTest, LoadRejectsSizeMismatch) {
+  std::vector<uint8_t> bad(13);  // not a multiple of the row width
+  EXPECT_FALSE(engine_->store().LoadTable(0, std::move(bad), 2).ok());
+}
+
+TEST_F(UntrustedTest, GetValueBoundsChecked) {
+  EXPECT_TRUE(engine_->store().GetValue(0, 100, 0).status().IsOutOfRange());
+  auto v = engine_->store().GetValue(0, 7, 1);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::String("City1"));
+}
+
+}  // namespace
+}  // namespace ghostdb::untrusted
