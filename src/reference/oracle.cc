@@ -1,6 +1,8 @@
 #include "reference/oracle.h"
 
+#include <algorithm>
 #include <map>
+#include <set>
 
 namespace ghostdb::reference {
 
@@ -86,7 +88,36 @@ Result<std::vector<std::vector<Value>>> Evaluate(
       GHOSTDB_ASSIGN_OR_RETURN(Value v, a.Finish());
       agg_row.push_back(std::move(v));
     }
-    return std::vector<std::vector<Value>>{std::move(agg_row)};
+    out = {std::move(agg_row)};
+  }
+
+  // DISTINCT keeps the first occurrence in anchor-id order; ORDER BY is a
+  // stable sort (ties stay in anchor-id order); LIMIT truncates last —
+  // exactly the semantics of the Distinct/Sort/Limit operators.
+  if (query.distinct) {
+    std::set<std::vector<Value>> seen;
+    std::vector<std::vector<Value>> unique;
+    for (auto& row : out) {
+      if (seen.insert(row).second) unique.push_back(std::move(row));
+    }
+    out = std::move(unique);
+  }
+  if (!query.order_by.empty()) {
+    std::stable_sort(out.begin(), out.end(),
+                     [&](const std::vector<Value>& a,
+                         const std::vector<Value>& b) {
+                       for (const auto& key : query.order_by) {
+                         int cmp = a[key.select_index].Compare(
+                             b[key.select_index]);
+                         if (cmp != 0) {
+                           return key.descending ? cmp > 0 : cmp < 0;
+                         }
+                       }
+                       return false;
+                     });
+  }
+  if (query.limit.has_value() && out.size() > *query.limit) {
+    out.resize(*query.limit);
   }
   return out;
 }

@@ -56,12 +56,21 @@ struct FromTable {
   }
 };
 
+/// One ORDER BY key: a select-list column and a direction.
+struct OrderExpr {
+  ColumnRef column;
+  bool descending = false;
+};
+
 struct SelectStmt {
   bool star = false;              ///< SELECT *
+  bool distinct = false;          ///< SELECT DISTINCT ...
   std::vector<SelectItem> items;  ///< when !star
   std::vector<FromTable> from;
   std::vector<JoinExpr> joins;
   std::vector<PredicateExpr> predicates;
+  std::vector<OrderExpr> order_by;
+  std::optional<uint64_t> limit;  ///< LIMIT n
   bool explain = false;           ///< EXPLAIN SELECT ...
 };
 

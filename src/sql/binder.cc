@@ -340,6 +340,44 @@ Result<BoundQuery> Bind(const SelectStmt& stmt, const Schema& schema,
           "GhostDB does not support");
     }
   }
+
+  // DISTINCT / ORDER BY / LIMIT.
+  q.distinct = stmt.distinct;
+  q.limit = stmt.limit;
+  if (q.HasAggregates()) {
+    if (q.distinct) {
+      return Status::NotSupported("SELECT DISTINCT over aggregates");
+    }
+    if (!stmt.order_by.empty()) {
+      return Status::NotSupported(
+          "ORDER BY over an aggregate-only SELECT (the result is one row)");
+    }
+  }
+  for (const auto& key : stmt.order_by) {
+    GHOSTDB_ASSIGN_OR_RETURN(ResolvedRef ref,
+                             ResolveColumn(key.column, schema, scope));
+    // Sort keys are resolved against the SELECT list: rows are ordered by
+    // values the query already materializes, so sorting adds no new data
+    // flow (and no new leak surface).
+    BoundOrderKey bound;
+    bound.descending = key.descending;
+    bool found = false;
+    for (size_t i = 0; i < q.select.size(); ++i) {
+      const BoundColumn& c = q.select[i];
+      if (c.agg == exec::AggFunc::kNone && c.table == ref.table &&
+          c.is_id == ref.is_id && (c.is_id || c.column == ref.column)) {
+        bound.select_index = i;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::NotSupported("ORDER BY column '" +
+                                  key.column.ToString() +
+                                  "' must appear in the SELECT list");
+    }
+    q.order_by.push_back(bound);
+  }
   return q;
 }
 

@@ -4,6 +4,7 @@
 // range selections (section 3).
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,12 @@ struct BoundJoin {
   catalog::TableId child;
 };
 
+/// A resolved ORDER BY key: an index into the SELECT list plus direction.
+struct BoundOrderKey {
+  size_t select_index = 0;
+  bool descending = false;
+};
+
 /// \brief A validated Select-Project-Join query.
 struct BoundQuery {
   std::vector<catalog::TableId> tables;  ///< FROM tables (deduped, in order)
@@ -49,6 +56,9 @@ struct BoundQuery {
   std::vector<BoundColumn> select;
   std::vector<BoundPredicate> predicates;
   std::vector<BoundJoin> joins;
+  bool distinct = false;
+  std::vector<BoundOrderKey> order_by;
+  std::optional<uint64_t> limit;
   bool explain = false;
   std::string sql;  ///< original text (what the spy sees)
 

@@ -13,7 +13,8 @@ const std::set<std::string>& Keywords() {
       "CREATE", "TABLE",  "HIDDEN",  "REFERENCES", "INT",    "INTEGER",
       "BIGINT", "FLOAT",  "DOUBLE",  "CHAR",       "SELECT", "FROM",
       "WHERE",  "AND",    "INSERT",  "INTO",       "VALUES", "BETWEEN",
-      "EXPLAIN", "COUNT", "SUM",     "AVG",        "MIN",    "MAX"};
+      "EXPLAIN", "COUNT", "SUM",     "AVG",        "MIN",    "MAX",
+      "DISTINCT", "ORDER", "BY",     "LIMIT",      "ASC",    "DESC"};
   return kKeywords;
 }
 

@@ -1,5 +1,6 @@
 #include "sql/parser.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "sql/lexer.h"
@@ -207,6 +208,7 @@ Result<Statement> ParseSelect(Cursor& cur) {
   SelectStmt stmt;
   if (cur.TryKeyword("EXPLAIN")) stmt.explain = true;
   GHOSTDB_RETURN_NOT_OK(cur.ExpectKeyword("SELECT"));
+  if (cur.TryKeyword("DISTINCT")) stmt.distinct = true;
   if (cur.TrySymbol("*")) {
     stmt.star = true;
   } else {
@@ -278,6 +280,34 @@ Result<Statement> ParseSelect(Cursor& cur) {
       if (!cur.TryKeyword("AND")) break;
     }
   }
+  if (cur.TryKeyword("ORDER")) {
+    GHOSTDB_RETURN_NOT_OK(cur.ExpectKeyword("BY"));
+    while (true) {
+      OrderExpr key;
+      GHOSTDB_ASSIGN_OR_RETURN(key.column, ParseColumnRef(cur));
+      if (cur.TryKeyword("DESC")) {
+        key.descending = true;
+      } else {
+        cur.TryKeyword("ASC");
+      }
+      stmt.order_by.push_back(std::move(key));
+      if (!cur.TrySymbol(",")) break;
+    }
+  }
+  if (cur.TryKeyword("LIMIT")) {
+    if (cur.Peek().type != TokenType::kInteger) {
+      return Status::InvalidArgument("expected integer after LIMIT near '" +
+                                     cur.Peek().text + "'");
+    }
+    std::string text = cur.Take().text;
+    errno = 0;
+    uint64_t limit = std::strtoull(text.c_str(), nullptr, 10);
+    if (errno == ERANGE) {
+      return Status::InvalidArgument("LIMIT value '" + text +
+                                     "' is out of range");
+    }
+    stmt.limit = limit;
+  }
   cur.TrySymbol(";");
   return Statement{std::move(stmt)};
 }
@@ -303,6 +333,29 @@ Result<Statement> Parse(const std::string& input) {
                                    "'");
   }
   return stmt;
+}
+
+Result<std::string> QueryShape(const std::string& input) {
+  GHOSTDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  std::string shape;
+  for (const Token& t : tokens) {
+    if (t.type == TokenType::kEnd) break;
+    // The optional statement terminator is not part of the shape:
+    // "SELECT ..." and "SELECT ...;" must share a cache entry.
+    if (t.type == TokenType::kSymbol && t.text == ";") continue;
+    if (!shape.empty()) shape.push_back(' ');
+    switch (t.type) {
+      case TokenType::kInteger:
+      case TokenType::kFloat:
+      case TokenType::kString:
+        shape.push_back('?');
+        break;
+      default:
+        shape += t.text;
+        break;
+    }
+  }
+  return shape;
 }
 
 Result<std::vector<Statement>> ParseScript(const std::string& input) {

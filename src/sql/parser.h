@@ -15,4 +15,10 @@ Result<Statement> Parse(const std::string& input);
 /// Parses a ';'-separated script into statements.
 Result<std::vector<Statement>> ParseScript(const std::string& input);
 
+/// Normalized query shape: the token stream with every literal replaced by
+/// '?'. Two statements differing only in constants share one shape — the
+/// plan-cache key. Shapes derive from the visible query text alone, so
+/// caching on them can never leak hidden information.
+Result<std::string> QueryShape(const std::string& input);
+
 }  // namespace ghostdb::sql
