@@ -1,1320 +1,20 @@
 #include "exec/executor.h"
 
-#include <algorithm>
-#include <cstring>
-#include <set>
-
-#include "common/coding.h"
-#include "exec/id_source.h"
-#include "exec/row_run.h"
-#include "exec/sjoin.h"
-#include "storage/fixed_table.h"
+#include <memory>
+#include <utility>
 
 namespace ghostdb::exec {
 
-using catalog::ColumnId;
-using catalog::RowId;
-using catalog::TableId;
-using catalog::Value;
-using plan::ProjectAlgo;
-using plan::VisStrategy;
-using sql::BoundPredicate;
 using sql::BoundQuery;
 
-namespace {
-
-/// Merges row runs (sorted, disjoint leading-u32 keys) into one run.
-Status MergeRowRuns(flash::FlashDevice* device, device::RamManager* ram,
-                    storage::PageAllocator* allocator,
-                    std::vector<storage::RunRef>* runs, uint32_t width,
-                    size_t target_count, const std::string& tag) {
-  while (runs->size() > target_count) {
-    uint32_t free = ram->free_buffers();
-    if (free < 3) {
-      return Status::ResourceExhausted("row-run merge needs 3 buffers");
-    }
-    size_t take = std::min<size_t>(free - 1, runs->size());
-    GHOSTDB_ASSIGN_OR_RETURN(
-        device::BufferHandle bufs,
-        ram->Acquire(static_cast<uint32_t>(take) + 1, "rowrun-merge"));
-    std::vector<std::unique_ptr<RowRunReader>> readers;
-    for (size_t i = 0; i < take; ++i) {
-      readers.push_back(std::make_unique<RowRunReader>(
-          device, (*runs)[i], width, bufs.data() + i * ram->buffer_size()));
-      GHOSTDB_RETURN_NOT_OK(readers.back()->Prime());
-    }
-    storage::RunWriter writer(device, allocator,
-                              bufs.data() + take * ram->buffer_size(), tag);
-    while (true) {
-      RowRunReader* best = nullptr;
-      for (auto& r : readers) {
-        if (r->valid() && (best == nullptr || r->key() < best->key())) {
-          best = r.get();
-        }
-      }
-      if (best == nullptr) break;
-      GHOSTDB_RETURN_NOT_OK(writer.Append(best->row(), width));
-      GHOSTDB_RETURN_NOT_OK(best->Advance());
-    }
-    GHOSTDB_ASSIGN_OR_RETURN(storage::RunRef merged, writer.Finish());
-    for (size_t i = 0; i < take; ++i) {
-      GHOSTDB_RETURN_NOT_OK(storage::FreeRun(allocator, (*runs)[i], tag));
-    }
-    runs->erase(runs->begin(), runs->begin() + static_cast<long>(take));
-    runs->push_back(std::move(merged));
-  }
-  return Status::OK();
-}
-
-}  // namespace
-
-std::optional<uint32_t> SecureExecutor::SjResult::ColumnOffset(
-    TableId t, TableId anchor) const {
-  if (t == anchor) return 0u;
-  for (uint32_t i = 0; i < column_tables.size(); ++i) {
-    if (column_tables[i] == t) return 4 + 4 * i;
-  }
-  return std::nullopt;
-}
-
-// ---------------------------------------------------------------------------
-// QEP_SJ
-// ---------------------------------------------------------------------------
-
-Status SecureExecutor::CollectPredicateSublists(const BoundPredicate& pred,
-                                                TableId target,
-                                                MergeGroup* group) {
-  const core::TableImage& image = store_->tables[pred.table];
-  auto it = image.attr_indexes.find(pred.column);
-  if (it == image.attr_indexes.end()) {
-    // No climbing index on this attribute: fall back to a hidden-image scan
-    // (ids of pred.table), then climb if needed.
-    GHOSTDB_ASSIGN_OR_RETURN(std::vector<RowId> ids,
-                             ScanHiddenPredicate(pred));
-    if (pred.table == target) {
-      group->ram_ids = std::move(ids);
-      group->has_ram_ids = true;
-      return Status::OK();
-    }
-    return ClimbIntoGroup(pred.table, target, ids, group);
-  }
-  const storage::BTreeRef& index = it->second;
-  if (!config_.climbing_enabled && target != pred.table) {
-    // Cascading baseline: resolve the selection at the self level, then
-    // climb id by id through the id indexes.
-    MergeGroup self_group;
-    GHOSTDB_RETURN_NOT_OK(
-        CollectPredicateSublists(pred, pred.table, &self_group));
-    std::vector<RowId> ids;
-    {
-      GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle buf,
-                               device_->ram().AcquireOne("cascade"));
-      for (const auto& [area, range] : self_group.sublists) {
-        storage::PostingCursor cursor(&device_->flash(), area, range,
-                                      buf.data());
-        GHOSTDB_RETURN_NOT_OK(cursor.Prime());
-        while (cursor.valid()) {
-          ids.push_back(cursor.head());
-          GHOSTDB_RETURN_NOT_OK(cursor.Advance());
-        }
-      }
-      std::sort(ids.begin(), ids.end());
-      ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-    }
-    return ClimbIntoGroup(pred.table, target, ids, group);
-  }
-  GHOSTDB_ASSIGN_OR_RETURN(
-      uint32_t level,
-      core::SecureStore::LevelFor(*schema_, pred.table, target,
-                                  /*self_level=*/true));
-  GHOSTDB_ASSIGN_OR_RETURN(
-      auto reader,
-      storage::BTreeReader::Open(&device_->flash(), &device_->ram(),
-                                 &index));
-  auto push_current = [&]() -> Status {
-    GHOSTDB_ASSIGN_OR_RETURN(storage::BTreeEntry entry, reader->Current());
-    if (entry.ranges[level].count > 0) {
-      group->sublists.emplace_back(&index.postings[level],
-                                   entry.ranges[level]);
-    }
-    return Status::OK();
-  };
-
-  switch (pred.op) {
-    case catalog::CompareOp::kEq: {
-      GHOSTDB_ASSIGN_OR_RETURN(bool found,
-                               reader->SeekLowerBound(pred.value));
-      if (!found) return Status::OK();
-      GHOSTDB_ASSIGN_OR_RETURN(storage::BTreeEntry entry, reader->Current());
-      if (entry.key == pred.value) {
-        GHOSTDB_RETURN_NOT_OK(push_current());
-      }
-      return Status::OK();
-    }
-    case catalog::CompareOp::kGe:
-    case catalog::CompareOp::kGt: {
-      GHOSTDB_ASSIGN_OR_RETURN(bool found,
-                               reader->SeekLowerBound(pred.value));
-      if (!found) return Status::OK();
-      while (true) {
-        GHOSTDB_ASSIGN_OR_RETURN(storage::BTreeEntry entry,
-                                 reader->Current());
-        if (!(pred.op == catalog::CompareOp::kGt &&
-              entry.key == pred.value)) {
-          GHOSTDB_RETURN_NOT_OK(push_current());
-        }
-        GHOSTDB_ASSIGN_OR_RETURN(bool more, reader->Next());
-        if (!more) break;
-      }
-      return Status::OK();
-    }
-    case catalog::CompareOp::kLt:
-    case catalog::CompareOp::kLe:
-    case catalog::CompareOp::kNe: {
-      GHOSTDB_ASSIGN_OR_RETURN(bool found, reader->SeekToFirst());
-      if (!found) return Status::OK();
-      while (true) {
-        GHOSTDB_ASSIGN_OR_RETURN(storage::BTreeEntry entry,
-                                 reader->Current());
-        int cmp = entry.key.Compare(pred.value);
-        if (pred.op == catalog::CompareOp::kLt && cmp >= 0) break;
-        if (pred.op == catalog::CompareOp::kLe && cmp > 0) break;
-        if (!(pred.op == catalog::CompareOp::kNe && cmp == 0)) {
-          GHOSTDB_RETURN_NOT_OK(push_current());
-        }
-        GHOSTDB_ASSIGN_OR_RETURN(bool more, reader->Next());
-        if (!more) break;
-      }
-      return Status::OK();
-    }
-  }
-  return Status::Internal("unhandled predicate operator");
-}
-
-Status SecureExecutor::ClimbIntoGroup(TableId from, TableId to,
-                                      const std::vector<RowId>& ids,
-                                      MergeGroup* group) {
-  if (from == to) {
-    group->ram_ids = ids;
-    group->has_ram_ids = true;
-    return Status::OK();
-  }
-  const core::TableImage& image = store_->tables[from];
-  if (!image.id_index.has_value()) {
-    return Status::Internal("missing id index on " +
-                            schema_->table(from).name);
-  }
-  GHOSTDB_ASSIGN_OR_RETURN(
-      uint32_t level,
-      core::SecureStore::LevelFor(*schema_, from, to, /*self_level=*/false));
-  GHOSTDB_ASSIGN_OR_RETURN(
-      auto reader,
-      storage::BTreeReader::Open(&device_->flash(), &device_->ram(),
-                                 &image.id_index.value()));
-  for (RowId id : ids) {
-    GHOSTDB_ASSIGN_OR_RETURN(
-        bool found,
-        reader->SeekLowerBound(Value::Int32(static_cast<int32_t>(id))));
-    if (!found) continue;
-    GHOSTDB_ASSIGN_OR_RETURN(storage::BTreeEntry entry, reader->Current());
-    if (entry.key.AsInt32() != static_cast<int32_t>(id)) continue;
-    if (entry.ranges[level].count > 0) {
-      group->sublists.emplace_back(&image.id_index->postings[level],
-                                   entry.ranges[level]);
-    }
-  }
-  return Status::OK();
-}
-
-Result<std::vector<RowId>> SecureExecutor::ScanHiddenPredicate(
-    const BoundPredicate& pred) {
-  const core::TableImage& image = store_->tables[pred.table];
-  if (!image.hidden_image.has_value()) {
-    return Status::Internal("hidden predicate on table without hidden image");
-  }
-  const auto& col = schema_->table(pred.table).columns[pred.column];
-  uint32_t offset = image.hidden_offsets[pred.column];
-  GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle buf,
-                           device_->ram().AcquireOne("hidden-scan"));
-  storage::FixedTableReader reader(&device_->flash(),
-                                   image.hidden_image.value(), buf.data());
-  std::vector<uint8_t> row(image.hidden_image->row_width);
-  std::vector<RowId> out;
-  for (RowId r = 0; r < image.row_count; ++r) {
-    GHOSTDB_RETURN_NOT_OK(reader.ReadRow(r, row.data()));
-    Value v = Value::Decode(row.data() + offset, col.type, col.width);
-    if (catalog::EvalCompare(v, pred.op, pred.value)) out.push_back(r);
-  }
-  return out;
-}
-
-Result<SecureExecutor::SjResult> SecureExecutor::RunQepSj(
-    const BoundQuery& query, std::vector<VisTable>* vis_tables,
-    QueryMetrics* metrics) {
-  TableId anchor = query.anchor;
-  const core::TableImage& anchor_image = store_->tables[anchor];
-  auto& ram = device_->ram();
-  auto& clock = device_->clock();
-
-  // Collect hidden predicates with fold bookkeeping.
-  std::vector<const BoundPredicate*> hidden_preds;
-  for (const auto& p : query.predicates) {
-    if (p.hidden && !p.on_id) hidden_preds.push_back(&p);
-  }
-  std::vector<bool> folded(hidden_preds.size(), false);
-
-  // Hidden predicates in the subtree of `t` (by index into hidden_preds).
-  auto subtree_preds = [&](TableId t) {
-    std::vector<size_t> out;
-    for (size_t i = 0; i < hidden_preds.size(); ++i) {
-      if (schema_->IsAncestorOrSelf(hidden_preds[i]->table, t)) {
-        out.push_back(i);
-      }
-    }
-    return out;
-  };
-
-  // Runs the Ti-level cross intersection: Vis(Ti) ∩ hidden selections in
-  // Ti's subtree, producing a sorted id list of Ti.
-  auto cross_intersect = [&](VisTable& vt,
-                             const std::vector<size_t>& preds,
-                             std::vector<RowId>* out) -> Status {
-    std::vector<MergeGroup> groups;
-    MergeGroup vis_group;
-    vis_group.ram_ids = vt.ids;
-    vis_group.has_ram_ids = true;
-    groups.push_back(std::move(vis_group));
-    for (size_t pi : preds) {
-      MergeGroup g;
-      GHOSTDB_RETURN_NOT_OK(
-          CollectPredicateSublists(*hidden_preds[pi], vt.table, &g));
-      groups.push_back(std::move(g));
-    }
-    MergeExec merge(&device_->flash(), &ram, allocator_, &clock,
-                    config_.merge_policy);
-    auto scope = clock.Enter("merge");
-    GHOSTDB_RETURN_NOT_OK(merge.Run(
-        std::move(groups),
-        [&](RowId id) {
-          out->push_back(id);
-          return Status::OK();
-        },
-        /*reserve_buffers=*/0));
-    metrics->merge.reduction_rounds += merge.stats().reduction_rounds;
-    metrics->merge.reduction_ids_written +=
-        merge.stats().reduction_ids_written;
-    return Status::OK();
-  };
-
-  std::vector<MergeGroup> anchor_groups;
-
-  // Visible-strategy handling.
-  for (auto& vt : *vis_tables) {
-    std::vector<size_t> foldable = subtree_preds(vt.table);
-    bool can_cross = !foldable.empty();
-    VisStrategy strategy = vt.strategy;
-    if (!can_cross && strategy == VisStrategy::kCrossPreFilter) {
-      strategy = VisStrategy::kPreFilter;
-    }
-    if (!can_cross && strategy == VisStrategy::kCrossPostFilter) {
-      strategy = VisStrategy::kPostFilter;
-    }
-    if (!can_cross && strategy == VisStrategy::kCrossPostSelect) {
-      strategy = VisStrategy::kPostSelect;
-    }
-    switch (strategy) {
-      case VisStrategy::kPreFilter: {
-        MergeGroup g;
-        GHOSTDB_RETURN_NOT_OK(
-            ClimbIntoGroup(vt.table, anchor, vt.ids, &g));
-        anchor_groups.push_back(std::move(g));
-        break;
-      }
-      case VisStrategy::kCrossPreFilter: {
-        std::vector<RowId> L;
-        GHOSTDB_RETURN_NOT_OK(cross_intersect(vt, foldable, &L));
-        for (size_t pi : foldable) folded[pi] = true;
-        MergeGroup g;
-        GHOSTDB_RETURN_NOT_OK(ClimbIntoGroup(vt.table, anchor, L, &g));
-        anchor_groups.push_back(std::move(g));
-        break;
-      }
-      case VisStrategy::kPostFilter:
-      case VisStrategy::kCrossPostFilter: {
-        std::vector<RowId> basis;
-        if (strategy == VisStrategy::kCrossPostFilter) {
-          GHOSTDB_RETURN_NOT_OK(cross_intersect(vt, foldable, &basis));
-        } else {
-          basis = vt.ids;
-        }
-        // Feasibility: enough RAM for an effective filter?
-        uint32_t max_buffers = std::min<uint32_t>(
-            config_.bloom_max_buffers,
-            ram.free_buffers() > 8 ? ram.free_buffers() - 8 : 1);
-        double achievable_bpe =
-            basis.empty()
-                ? 8.0
-                : static_cast<double>(max_buffers) * ram.buffer_size() * 8 /
-                      static_cast<double>(basis.size());
-        achievable_bpe = std::min(achievable_bpe, config_.bloom_target_bpe);
-        if (achievable_bpe < config_.bloom_min_bpe) {
-          // The filter would pass more noise than signal: postpone the
-          // selection to projection time (paper Fig 10).
-          vt.need_exact_at_projection = true;
-          break;
-        }
-        GHOSTDB_ASSIGN_OR_RETURN(
-            BloomFilter bloom,
-            BloomFilter::Create(&ram, basis.size(), max_buffers,
-                                config_.bloom_target_bpe));
-        for (RowId id : basis) bloom.Insert(id);
-        metrics->bloom_fpr_estimate = std::max(
-            metrics->bloom_fpr_estimate, bloom.EstimatedFpr(basis.size()));
-        vt.bloom.emplace(std::move(bloom));
-        vt.need_exact_at_projection = true;  // bloom passes false positives
-        break;
-      }
-      case VisStrategy::kPostSelect:
-      case VisStrategy::kCrossPostSelect:
-        vt.post_select = true;
-        if (strategy == VisStrategy::kCrossPostSelect && can_cross) {
-          // Intersect first: the in-RAM id set shrinks, so the exact
-          // selection needs fewer chunks/passes over F'. Still exact: F'
-          // rows already satisfy the folded hidden predicates.
-          std::vector<RowId> basis;
-          GHOSTDB_RETURN_NOT_OK(cross_intersect(vt, foldable, &basis));
-          vt.ids = std::move(basis);
-        }
-        break;
-      case VisStrategy::kNoFilter:
-        vt.need_exact_at_projection = true;
-        break;
-    }
-  }
-
-  // Unfolded hidden predicates contribute anchor-level groups.
-  for (size_t i = 0; i < hidden_preds.size(); ++i) {
-    if (folded[i]) continue;
-    MergeGroup g;
-    GHOSTDB_RETURN_NOT_OK(
-        CollectPredicateSublists(*hidden_preds[i], anchor, &g));
-    anchor_groups.push_back(std::move(g));
-  }
-
-  if (anchor_groups.empty()) {
-    MergeGroup g;
-    g.has_iota = true;
-    g.iota_n = static_cast<RowId>(anchor_image.row_count);
-    anchor_groups.push_back(std::move(g));
-  }
-
-  // Which non-anchor tables need id columns in F'.
-  SjResult sj;
-  {
-    std::set<TableId> cols;
-    for (TableId t : query.tables) {
-      if (t == anchor) continue;
-      if (query.ProjectsTable(t)) cols.insert(t);
-    }
-    for (auto& vt : *vis_tables) {
-      if (vt.table == anchor) continue;
-      if (vt.bloom.has_value() || vt.post_select ||
-          vt.need_exact_at_projection) {
-        cols.insert(vt.table);
-      }
-    }
-    sj.column_tables.assign(cols.begin(), cols.end());
-  }
-  sj.row_width = 4 + 4 * static_cast<uint32_t>(sj.column_tables.size());
-  bool need_sjoin = !sj.column_tables.empty();
-
-  // Probe offsets for bloom-filtered tables.
-  for (auto& vt : *vis_tables) {
-    if (!vt.bloom.has_value()) continue;
-    auto off = sj.ColumnOffset(vt.table, anchor);
-    if (!off.has_value()) {
-      return Status::Internal("bloom table missing from F' columns");
-    }
-    vt.probe_offset = *off;
-  }
-
-  GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle out_buf,
-                           ram.AcquireOne("fprime-writer"));
-  storage::RunWriter writer(&device_->flash(), allocator_, out_buf.data(),
-                            "fprime");
-
-  MergeExec merge(&device_->flash(), &ram, allocator_, &clock,
-                  config_.merge_policy);
-
-  if (need_sjoin) {
-    if (!anchor_image.skt.has_value()) {
-      return Status::Internal("anchor table has no SKT");
-    }
-    std::vector<uint32_t> slots;
-    for (TableId t : sj.column_tables) {
-      auto slot = anchor_image.SktSlotOf(t);
-      if (!slot.has_value()) {
-        return Status::Internal("table missing from anchor SKT");
-      }
-      slots.push_back(*slot);
-    }
-    GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle skt_buf,
-                             ram.AcquireOne("sjoin-skt"));
-    SJoinStage sjoin(
-        &device_->flash(), &anchor_image.skt.value(), slots, skt_buf.data(),
-        [&](const uint8_t* row, uint32_t width) -> Status {
-          // ProbeBF stages, pipelined.
-          for (auto& vt : *vis_tables) {
-            if (vt.bloom.has_value() &&
-                !vt.bloom->MightContain(
-                    DecodeFixed32(row + vt.probe_offset))) {
-              return Status::OK();
-            }
-          }
-          auto store_scope = clock.Enter("store");
-          sj.rows += 1;
-          return writer.Append(row, width);
-        });
-    {
-      auto merge_scope = clock.Enter("merge");
-      GHOSTDB_RETURN_NOT_OK(merge.Run(
-          std::move(anchor_groups),
-          [&](RowId id) {
-            auto sjoin_scope = clock.Enter("sjoin");
-            return sjoin.Consume(id);
-          },
-          /*reserve_buffers=*/0));
-    }
-  } else {
-    auto merge_scope = clock.Enter("merge");
-    GHOSTDB_RETURN_NOT_OK(merge.Run(
-        std::move(anchor_groups),
-        [&](RowId id) {
-          sj.rows += 1;
-          uint8_t enc[4];
-          EncodeFixed32(enc, id);
-          return writer.Append(enc, 4);
-        },
-        /*reserve_buffers=*/0));
-  }
-  metrics->merge.ids_emitted += merge.stats().ids_emitted;
-  metrics->merge.reduction_rounds += merge.stats().reduction_rounds;
-  metrics->merge.reduction_ids_written += merge.stats().reduction_ids_written;
-  metrics->merge.peak_streams =
-      std::max(metrics->merge.peak_streams, merge.stats().peak_streams);
-  GHOSTDB_ASSIGN_OR_RETURN(sj.fprime, writer.Finish());
-  out_buf.Release();
-
-  // Release QEP_SJ blooms: projection rebuilds its own (paper section 5).
-  for (auto& vt : *vis_tables) vt.bloom.reset();
-
-  // Exact Post-Select passes.
-  for (auto& vt : *vis_tables) {
-    if (!vt.post_select) continue;
-    auto off = sj.ColumnOffset(vt.table, anchor);
-    if (!off.has_value()) {
-      return Status::Internal("post-select table missing from F'");
-    }
-    auto scope = clock.Enter("post-select");
-    GHOSTDB_ASSIGN_OR_RETURN(SjResult filtered,
-                             PostSelectFilter(sj, *off, vt.ids));
-    filtered.column_tables = sj.column_tables;
-    filtered.row_width = sj.row_width;
-    GHOSTDB_RETURN_NOT_OK(
-        storage::FreeRun(allocator_, sj.fprime, "fprime"));
-    sj.fprime = std::move(filtered.fprime);
-    sj.rows = filtered.rows;
-  }
-  return sj;
-}
-
-Result<SecureExecutor::SjResult> SecureExecutor::PostSelectFilter(
-    const SjResult& sj, uint32_t probe_offset,
-    const std::vector<RowId>& ids) {
-  auto& ram = device_->ram();
-  // Chunked exact filtering: load as many probe ids into RAM as fit, scan
-  // F' per chunk, merge the per-chunk outputs back into anchor-id order.
-  uint32_t free = ram.free_buffers();
-  if (free < 4) {
-    return Status::ResourceExhausted("post-select needs 4 buffers");
-  }
-  GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle chunk_buf,
-                           ram.Acquire(free - 3, "post-select-chunk"));
-  size_t chunk_capacity = chunk_buf.size() / 4;
-  GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle io_bufs,
-                           ram.Acquire(2, "post-select-io"));
-
-  std::vector<storage::RunRef> chunk_runs;
-  uint64_t kept = 0;
-  for (size_t base = 0; base < std::max<size_t>(ids.size(), 1);
-       base += chunk_capacity) {
-    size_t end = std::min(ids.size(), base + chunk_capacity);
-    RowRunReader reader(&device_->flash(), sj.fprime, sj.row_width,
-                        io_bufs.data());
-    GHOSTDB_RETURN_NOT_OK(reader.Prime());
-    storage::RunWriter writer(&device_->flash(), allocator_,
-                              io_bufs.data() + ram.buffer_size(), "fprime");
-    while (reader.valid()) {
-      RowId probe = DecodeFixed32(reader.row() + probe_offset);
-      bool hit = std::binary_search(ids.begin() + static_cast<long>(base),
-                                    ids.begin() + static_cast<long>(end),
-                                    probe);
-      if (hit) {
-        GHOSTDB_RETURN_NOT_OK(writer.Append(reader.row(), sj.row_width));
-        kept += 1;
-      }
-      GHOSTDB_RETURN_NOT_OK(reader.Advance());
-    }
-    GHOSTDB_ASSIGN_OR_RETURN(storage::RunRef run, writer.Finish());
-    chunk_runs.push_back(std::move(run));
-    if (ids.empty()) break;
-  }
-  chunk_buf.Release();
-  io_bufs.Release();
-  GHOSTDB_RETURN_NOT_OK(MergeRowRuns(&device_->flash(), &ram, allocator_,
-                                     &chunk_runs, sj.row_width, 1,
-                                     "fprime"));
-  SjResult out;
-  out.fprime = chunk_runs.empty() ? storage::RunRef{} : chunk_runs[0];
-  out.rows = kept;
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// QEP_P: the section 4 Project algorithm (and its NoBF ablation)
-// ---------------------------------------------------------------------------
-
-namespace {
-
-/// Per-table MJoin state and outputs.
-struct MJoinTable {
-  TableId table;
-  std::vector<ColumnId> vis_cols;
-  std::vector<ColumnId> hid_cols;
-  uint32_t vis_width = 0;
-  uint32_t hid_width = 0;
-  uint32_t out_width = 4;  ///< pos + vis + hid
-  bool has_vis_side = false;
-  storage::RunRef column_run;              ///< Ti ids in pos order
-  std::vector<storage::RunRef> pass_runs;  ///< <pos, vlist, hlist> per pass
-  untrusted::ProjectionPayload payload;    ///< Vis values (sorted by id)
-};
-
-}  // namespace
-
-Status SecureExecutor::FoldOrEmit(const BoundQuery& query,
-                                  std::vector<Value> row,
-                                  QueryResult* result,
-                                  std::vector<Aggregator>* aggs) {
-  if (aggs != nullptr) {
-    for (size_t i = 0; i < query.select.size(); ++i) {
-      if (query.select[i].agg == AggFunc::kCountStar) {
-        (*aggs)[i].AccumulateRow();
-      } else {
-        GHOSTDB_RETURN_NOT_OK((*aggs)[i].Accumulate(row[i]));
-      }
-    }
-    return Status::OK();
-  }
-  if (result->rows.size() < config_.result_row_limit) {
-    result->rows.push_back(std::move(row));
-  }
-  return Status::OK();
-}
-
-Status SecureExecutor::RunProject(const BoundQuery& query,
-                                  const plan::PlanChoice& plan,
-                                  const SjResult& sj,
-                                  std::vector<VisTable>& vis_tables,
-                                  QueryResult* result,
-                                  QueryMetrics* metrics,
-                                  std::vector<Aggregator>* aggs) {
-  auto& ram = device_->ram();
-  auto& clock = device_->clock();
-  auto scope = clock.Enter("project");
-  TableId anchor = query.anchor;
-  bool use_bf = plan.project == ProjectAlgo::kProject;
-
-  auto vis_table_of = [&](TableId t) -> VisTable* {
-    for (auto& vt : vis_tables) {
-      if (vt.table == t) return &vt;
-    }
-    return nullptr;
-  };
-
-  // Which non-anchor tables need the MJoin treatment: projected value
-  // columns, or exactness recovery for approximate QEP_SJ filtering.
-  std::vector<MJoinTable> mjoin;
-  for (TableId t : query.tables) {
-    if (t == anchor) continue;
-    MJoinTable mt;
-    mt.table = t;
-    mt.vis_cols = query.ProjectedVisibleColumns(*schema_, t);
-    mt.hid_cols = query.ProjectedHiddenColumns(*schema_, t);
-    VisTable* vt = vis_table_of(t);
-    bool exact_needed = vt != nullptr && vt->need_exact_at_projection;
-    if (mt.vis_cols.empty() && mt.hid_cols.empty() && !exact_needed) {
-      continue;
-    }
-    for (ColumnId c : mt.vis_cols) {
-      mt.vis_width += schema_->table(t).columns[c].width;
-    }
-    for (ColumnId c : mt.hid_cols) {
-      mt.hid_width += schema_->table(t).columns[c].width;
-    }
-    mt.out_width = 4 + mt.vis_width + mt.hid_width;
-    mt.has_vis_side = vt != nullptr || !mt.vis_cols.empty();
-    mjoin.push_back(std::move(mt));
-  }
-
-  // Step 1: vertical partitioning — one pass over F' writes each needed
-  // Ti.id column run (root-order, duplicates preserved).
-  if (!mjoin.empty()) {
-    GHOSTDB_ASSIGN_OR_RETURN(
-        device::BufferHandle bufs,
-        ram.Acquire(static_cast<uint32_t>(mjoin.size()) + 1,
-                    "project-partition"));
-    RowRunReader reader(&device_->flash(), sj.fprime, sj.row_width,
-                        bufs.data());
-    GHOSTDB_RETURN_NOT_OK(reader.Prime());
-    std::vector<std::unique_ptr<storage::RunWriter>> writers;
-    std::vector<uint32_t> offsets;
-    for (size_t i = 0; i < mjoin.size(); ++i) {
-      writers.push_back(std::make_unique<storage::RunWriter>(
-          &device_->flash(), allocator_,
-          bufs.data() + (i + 1) * ram.buffer_size(), "project-col"));
-      auto off = sj.ColumnOffset(mjoin[i].table, anchor);
-      if (!off.has_value()) {
-        return Status::Internal("projected table missing from F'");
-      }
-      offsets.push_back(*off);
-    }
-    while (reader.valid()) {
-      for (size_t i = 0; i < mjoin.size(); ++i) {
-        GHOSTDB_RETURN_NOT_OK(
-            writers[i]->Append(reader.row() + offsets[i], 4));
-      }
-      GHOSTDB_RETURN_NOT_OK(reader.Advance());
-    }
-    for (size_t i = 0; i < mjoin.size(); ++i) {
-      GHOSTDB_ASSIGN_OR_RETURN(mjoin[i].column_run, writers[i]->Finish());
-    }
-  }
-
-  // Step 2+3: per table, Bloom over the column, probe Vis, MJoin passes.
-  for (auto& mt : mjoin) {
-    const core::TableImage& image = store_->tables[mt.table];
-
-    // Vis values stream (charged): rows passing Ti's visible predicates.
-    if (mt.has_vis_side) {
-      GHOSTDB_ASSIGN_OR_RETURN(
-          mt.payload,
-          untrusted_->ServeProjection(query, mt.table, mt.vis_cols));
-    }
-
-    // Bloom over QEPSJ.Ti.id, sized to the whole remaining RAM (paper
-    // section 5), minus what MJoin needs to stream.
-    std::optional<BloomFilter> bloom;
-    if (use_bf) {
-      uint32_t max_buffers =
-          ram.free_buffers() > 8 ? ram.free_buffers() - 8 : 1;
-      GHOSTDB_ASSIGN_OR_RETURN(
-          BloomFilter bf,
-          BloomFilter::Create(&ram, sj.rows, max_buffers,
-                              config_.bloom_target_bpe));
-      GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle col_buf,
-                               ram.AcquireOne("project-bf-scan"));
-      storage::IdRunReader ids(&device_->flash(), mt.column_run,
-                               col_buf.data());
-      GHOSTDB_RETURN_NOT_OK(ids.Prime());
-      while (ids.valid()) {
-        bf.Insert(ids.head());
-        GHOSTDB_RETURN_NOT_OK(ids.Advance());
-      }
-      bloom.emplace(std::move(bf));
-    }
-
-    // MJoin: stream [σVH ids (+vis values)] ⋈ TiH into RAM chunks; per
-    // chunk, scan QEPSJ.Ti.id and emit <pos, vlist, hlist>.
-    uint32_t reserve = 3;  // column reader + output writer + TiH reader
-    if (ram.free_buffers() <= reserve) {
-      return Status::ResourceExhausted("mjoin needs more buffers");
-    }
-    GHOSTDB_ASSIGN_OR_RETURN(
-        device::BufferHandle chunk_buf,
-        ram.Acquire(ram.free_buffers() - reserve, "mjoin-chunk"));
-    GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle io_bufs,
-                             ram.Acquire(3, "mjoin-io"));
-    uint32_t entry_width = 4 + mt.vis_width + mt.hid_width;
-    size_t chunk_capacity =
-        std::max<size_t>(1, chunk_buf.size() / entry_width);
-
-    std::optional<storage::FixedTableReader> hid_reader;
-    std::vector<uint8_t> hid_row;
-    if (!mt.hid_cols.empty()) {
-      if (!image.hidden_image.has_value()) {
-        return Status::Internal("hidden projection without hidden image");
-      }
-      hid_reader.emplace(&device_->flash(), image.hidden_image.value(),
-                         io_bufs.data() + 2 * ram.buffer_size());
-      hid_row.resize(image.hidden_image->row_width);
-    }
-
-    // σVH iteration state: either the payload rows or the id universe.
-    uint64_t payload_pos = 0;
-    RowId iota_next = 0;
-    RowId iota_n = static_cast<RowId>(image.row_count);
-    auto next_entry = [&](RowId* id, const uint8_t** values) -> bool {
-      while (true) {
-        if (mt.has_vis_side) {
-          if (payload_pos >= mt.payload.rows) return false;
-          const uint8_t* row =
-              mt.payload.bytes.data() + payload_pos * mt.payload.row_width;
-          *id = DecodeFixed32(row);
-          *values = row + 4;
-          payload_pos += 1;
-        } else {
-          if (iota_next >= iota_n) return false;
-          *id = iota_next++;
-          *values = nullptr;
-        }
-        if (bloom.has_value() && !bloom->MightContain(*id)) continue;
-        return true;
-      }
-    };
-
-    std::vector<RowId> chunk_ids;
-    std::vector<uint8_t> chunk_values;  // vis+hid per entry
-    chunk_ids.reserve(chunk_capacity);
-    bool stream_done = false;
-    while (!stream_done) {
-      chunk_ids.clear();
-      chunk_values.clear();
-      while (chunk_ids.size() < chunk_capacity) {
-        RowId id;
-        const uint8_t* values = nullptr;
-        if (!next_entry(&id, &values)) {
-          stream_done = true;
-          break;
-        }
-        chunk_ids.push_back(id);
-        size_t base = chunk_values.size();
-        chunk_values.resize(base + mt.vis_width + mt.hid_width);
-        if (mt.vis_width > 0 && values != nullptr) {
-          std::memcpy(chunk_values.data() + base, values, mt.vis_width);
-        }
-        if (hid_reader.has_value()) {
-          GHOSTDB_RETURN_NOT_OK(hid_reader->ReadRow(id, hid_row.data()));
-          uint8_t* dst = chunk_values.data() + base + mt.vis_width;
-          for (ColumnId c : mt.hid_cols) {
-            const auto& col = schema_->table(mt.table).columns[c];
-            std::memcpy(dst, hid_row.data() + image.hidden_offsets[c],
-                        col.width);
-            dst += col.width;
-          }
-        }
-      }
-      if (chunk_ids.empty()) break;
-      // Scan the column run; emit matches as <pos, values>.
-      storage::IdRunReader col(&device_->flash(), mt.column_run,
-                               io_bufs.data());
-      GHOSTDB_RETURN_NOT_OK(col.Prime());
-      storage::RunWriter out(&device_->flash(), allocator_,
-                             io_bufs.data() + ram.buffer_size(),
-                             "project-out");
-      uint32_t pos = 0;
-      std::vector<uint8_t> out_row(mt.out_width);
-      uint64_t emitted = 0;
-      while (col.valid()) {
-        RowId id = col.head();
-        auto it =
-            std::lower_bound(chunk_ids.begin(), chunk_ids.end(), id);
-        if (it != chunk_ids.end() && *it == id) {
-          size_t idx = static_cast<size_t>(it - chunk_ids.begin());
-          EncodeFixed32(out_row.data(), pos);
-          std::memcpy(out_row.data() + 4,
-                      chunk_values.data() + idx * (mt.vis_width +
-                                                   mt.hid_width),
-                      mt.vis_width + mt.hid_width);
-          GHOSTDB_RETURN_NOT_OK(out.Append(out_row.data(), mt.out_width));
-          emitted += 1;
-        }
-        pos += 1;
-        GHOSTDB_RETURN_NOT_OK(col.Advance());
-      }
-      GHOSTDB_ASSIGN_OR_RETURN(storage::RunRef run, out.Finish());
-      if (emitted > 0) {
-        mt.pass_runs.push_back(std::move(run));
-      } else {
-        GHOSTDB_RETURN_NOT_OK(
-            storage::FreeRun(allocator_, run, "project-out"));
-      }
-    }
-    GHOSTDB_RETURN_NOT_OK(
-        storage::FreeRun(allocator_, mt.column_run, "project-col"));
-    mt.column_run = storage::RunRef{};
-  }
-
-  // Anchor-side inputs for the final merge.
-  std::vector<ColumnId> anchor_vis_cols =
-      query.ProjectedVisibleColumns(*schema_, anchor);
-  std::vector<ColumnId> anchor_hid_cols =
-      query.ProjectedHiddenColumns(*schema_, anchor);
-  VisTable* anchor_vt = vis_table_of(anchor);
-  bool anchor_exact =
-      anchor_vt != nullptr && anchor_vt->need_exact_at_projection;
-  bool need_anchor_payload = !anchor_vis_cols.empty() || anchor_exact;
-  untrusted::ProjectionPayload anchor_payload;
-  if (need_anchor_payload) {
-    GHOSTDB_ASSIGN_OR_RETURN(
-        anchor_payload,
-        untrusted_->ServeProjection(query, anchor, anchor_vis_cols));
-  }
-
-  // Buffer budget for the final merge: F' + one per pass run + anchor TiH.
-  {
-    uint32_t needed = 1;
-    for (auto& mt : mjoin) {
-      needed += static_cast<uint32_t>(mt.pass_runs.size());
-    }
-    if (!anchor_hid_cols.empty()) needed += 1;
-    if (needed > ram.free_buffers()) {
-      for (auto& mt : mjoin) {
-        GHOSTDB_RETURN_NOT_OK(MergeRowRuns(
-            &device_->flash(), &ram, allocator_, &mt.pass_runs,
-            mt.out_width, 1, "project-out"));
-      }
-    }
-  }
-
-  // Final merge by position.
-  uint32_t final_buffers = 1;
-  for (auto& mt : mjoin) {
-    final_buffers += static_cast<uint32_t>(mt.pass_runs.size());
-  }
-  if (!anchor_hid_cols.empty()) final_buffers += 1;
-  GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle bufs,
-                           ram.Acquire(final_buffers, "final-merge"));
-  size_t buf_idx = 0;
-  auto next_buf = [&]() {
-    return bufs.data() + (buf_idx++) * ram.buffer_size();
-  };
-
-  RowRunReader fprime(&device_->flash(), sj.fprime, sj.row_width,
-                      next_buf());
-  GHOSTDB_RETURN_NOT_OK(fprime.Prime());
-
-  struct TableReaders {
-    MJoinTable* mt;
-    std::vector<std::unique_ptr<RowRunReader>> readers;
-  };
-  std::vector<TableReaders> table_readers;
-  for (auto& mt : mjoin) {
-    TableReaders tr;
-    tr.mt = &mt;
-    for (auto& run : mt.pass_runs) {
-      tr.readers.push_back(std::make_unique<RowRunReader>(
-          &device_->flash(), run, mt.out_width, next_buf()));
-      GHOSTDB_RETURN_NOT_OK(tr.readers.back()->Prime());
-    }
-    table_readers.push_back(std::move(tr));
-  }
-
-  const core::TableImage& anchor_image = store_->tables[anchor];
-  std::optional<storage::FixedTableReader> anchor_hid_reader;
-  std::vector<uint8_t> anchor_hid_row;
-  if (!anchor_hid_cols.empty()) {
-    if (!anchor_image.hidden_image.has_value()) {
-      return Status::Internal("anchor hidden projection without image");
-    }
-    anchor_hid_reader.emplace(&device_->flash(),
-                              anchor_image.hidden_image.value(), next_buf());
-    anchor_hid_row.resize(anchor_image.hidden_image->row_width);
-  }
-
-  uint64_t anchor_payload_pos = 0;
-  std::vector<const uint8_t*> mjoin_rows(mjoin.size());
-  std::vector<std::vector<uint8_t>> mjoin_row_copies(mjoin.size());
-
-  for (uint32_t pos = 0; fprime.valid(); ++pos) {
-    const uint8_t* frow = fprime.row();
-    RowId anchor_id = DecodeFixed32(frow);
-    bool drop = false;
-
-    for (size_t i = 0; i < table_readers.size() && !drop; ++i) {
-      auto& tr = table_readers[i];
-      mjoin_rows[i] = nullptr;
-      for (auto& r : tr.readers) {
-        while (r->valid() && r->key() < pos) {
-          GHOSTDB_RETURN_NOT_OK(r->Advance());
-        }
-        if (r->valid() && r->key() == pos) {
-          mjoin_row_copies[i].assign(r->row(), r->row() + tr.mt->out_width);
-          mjoin_rows[i] = mjoin_row_copies[i].data();
-        }
-      }
-      if (mjoin_rows[i] == nullptr) drop = true;
-    }
-
-    const uint8_t* anchor_vis_row = nullptr;
-    if (!drop && need_anchor_payload) {
-      while (anchor_payload_pos < anchor_payload.rows &&
-             DecodeFixed32(anchor_payload.bytes.data() +
-                           anchor_payload_pos * anchor_payload.row_width) <
-                 anchor_id) {
-        anchor_payload_pos += 1;
-      }
-      if (anchor_payload_pos < anchor_payload.rows &&
-          DecodeFixed32(anchor_payload.bytes.data() +
-                        anchor_payload_pos * anchor_payload.row_width) ==
-              anchor_id) {
-        anchor_vis_row = anchor_payload.bytes.data() +
-                         anchor_payload_pos * anchor_payload.row_width + 4;
-      } else {
-        drop = true;  // fails the anchor's visible selection
-      }
-    }
-
-    if (!drop) {
-      if (anchor_hid_reader.has_value()) {
-        GHOSTDB_RETURN_NOT_OK(
-            anchor_hid_reader->ReadRow(anchor_id, anchor_hid_row.data()));
-      }
-      result->total_rows += 1;
-      if (aggs != nullptr ||
-          result->rows.size() < config_.result_row_limit) {
-        std::vector<Value> out_row;
-        out_row.reserve(query.select.size());
-        for (const auto& item : query.select) {
-          const auto& cols = schema_->table(item.table).columns;
-          if (item.table == anchor) {
-            if (item.is_id) {
-              out_row.push_back(
-                  Value::Int32(static_cast<int32_t>(anchor_id)));
-            } else if (!cols[item.column].hidden) {
-              uint32_t off = 0;
-              for (ColumnId c : anchor_vis_cols) {
-                if (c == item.column) break;
-                off += cols[c].width;
-              }
-              out_row.push_back(Value::Decode(anchor_vis_row + off,
-                                              cols[item.column].type,
-                                              cols[item.column].width));
-            } else {
-              out_row.push_back(Value::Decode(
-                  anchor_hid_row.data() +
-                      anchor_image.hidden_offsets[item.column],
-                  cols[item.column].type, cols[item.column].width));
-            }
-            continue;
-          }
-          if (item.is_id) {
-            auto off = sj.ColumnOffset(item.table, anchor);
-            if (!off.has_value()) {
-              return Status::Internal("select id missing from F'");
-            }
-            out_row.push_back(Value::Int32(
-                static_cast<int32_t>(DecodeFixed32(frow + *off))));
-            continue;
-          }
-          // Value column of a non-anchor table: from its MJoin output.
-          size_t mi = 0;
-          while (mi < mjoin.size() && mjoin[mi].table != item.table) ++mi;
-          if (mi == mjoin.size()) {
-            return Status::Internal("projected table missing from MJoin");
-          }
-          const MJoinTable& mt = mjoin[mi];
-          const uint8_t* row = mjoin_rows[mi];
-          uint32_t off = 4;
-          bool found = false;
-          if (!cols[item.column].hidden) {
-            for (ColumnId c : mt.vis_cols) {
-              if (c == item.column) {
-                found = true;
-                break;
-              }
-              off += cols[c].width;
-            }
-          } else {
-            off += mt.vis_width;
-            for (ColumnId c : mt.hid_cols) {
-              if (c == item.column) {
-                found = true;
-                break;
-              }
-              off += cols[c].width;
-            }
-          }
-          if (!found) {
-            return Status::Internal("column missing from MJoin output");
-          }
-          out_row.push_back(Value::Decode(row + off,
-                                          cols[item.column].type,
-                                          cols[item.column].width));
-        }
-        GHOSTDB_RETURN_NOT_OK(
-            FoldOrEmit(query, std::move(out_row), result, aggs));
-      }
-    }
-    GHOSTDB_RETURN_NOT_OK(fprime.Advance());
-  }
-
-  // Cleanup projection temporaries.
-  for (auto& mt : mjoin) {
-    for (auto& run : mt.pass_runs) {
-      GHOSTDB_RETURN_NOT_OK(
-          storage::FreeRun(allocator_, run, "project-out"));
-    }
-  }
-  metrics->result_rows = result->total_rows;
-  return Status::OK();
-}
-
-// ---------------------------------------------------------------------------
-// Brute-Force projection baseline (Figs 12-13)
-// ---------------------------------------------------------------------------
-
-Status SecureExecutor::RunBruteForceProject(
-    const BoundQuery& query, const SjResult& sj,
-    std::vector<VisTable>& vis_tables, QueryResult* result,
-    QueryMetrics* metrics, std::vector<Aggregator>* aggs) {
-  auto& ram = device_->ram();
-  auto& clock = device_->clock();
-  auto scope = clock.Enter("project");
-  TableId anchor = query.anchor;
-
-  auto vis_table_of = [&](TableId t) -> VisTable* {
-    for (auto& vt : vis_tables) {
-      if (vt.table == t) return &vt;
-    }
-    return nullptr;
-  };
-
-  // Per-table state: spooled Vis values + hidden reader.
-  struct BruteTable {
-    TableId table;
-    std::vector<ColumnId> vis_cols;
-    std::vector<ColumnId> hid_cols;
-    untrusted::ProjectionPayload payload;
-    storage::RunRef spool;  ///< payload copied to flash (randomly accessed)
-    bool has_vis_side = false;
-    bool exact = false;
-    std::optional<storage::FixedTableReader> hid_reader;
-    std::vector<uint8_t> hid_row;
-    device::BufferHandle probe_buf;
-  };
-  std::vector<BruteTable> tables;
-  for (TableId t : query.tables) {
-    BruteTable bt;
-    bt.table = t;
-    bt.vis_cols = query.ProjectedVisibleColumns(*schema_, t);
-    bt.hid_cols = query.ProjectedHiddenColumns(*schema_, t);
-    VisTable* vt = vis_table_of(t);
-    bt.exact = vt != nullptr && vt->need_exact_at_projection;
-    if (bt.vis_cols.empty() && bt.hid_cols.empty() && !bt.exact) continue;
-    bt.has_vis_side = vt != nullptr || !bt.vis_cols.empty();
-    if (bt.has_vis_side) {
-      GHOSTDB_ASSIGN_OR_RETURN(
-          bt.payload, untrusted_->ServeProjection(query, t, bt.vis_cols));
-      // Spool to flash: Brute-Force random-accesses vlist there (paper
-      // section 6.5).
-      GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle wbuf,
-                               ram.AcquireOne("brute-spool"));
-      storage::RunWriter writer(&device_->flash(), allocator_, wbuf.data(),
-                                "brute-spool");
-      GHOSTDB_RETURN_NOT_OK(
-          writer.Append(bt.payload.bytes.data(), bt.payload.bytes.size()));
-      GHOSTDB_ASSIGN_OR_RETURN(bt.spool, writer.Finish());
-    }
-    if (!bt.hid_cols.empty()) {
-      const core::TableImage& image = store_->tables[t];
-      if (!image.hidden_image.has_value()) {
-        return Status::Internal("hidden projection without image");
-      }
-      GHOSTDB_ASSIGN_OR_RETURN(bt.probe_buf, ram.AcquireOne("brute-hid"));
-      bt.hid_reader.emplace(&device_->flash(), image.hidden_image.value(),
-                            bt.probe_buf.data());
-      bt.hid_row.resize(image.hidden_image->row_width);
-    }
-    tables.push_back(std::move(bt));
-  }
-
-  GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle fbuf,
-                           ram.AcquireOne("brute-fprime"));
-  GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle probe_buf,
-                           ram.AcquireOne("brute-probe"));
-  RowRunReader fprime(&device_->flash(), sj.fprime, sj.row_width,
-                      fbuf.data());
-  GHOSTDB_RETURN_NOT_OK(fprime.Prime());
-
-  while (fprime.valid()) {
-    const uint8_t* frow = fprime.row();
-    RowId anchor_id = DecodeFixed32(frow);
-    bool drop = false;
-    // Per table: resolve ids, fetch values with random accesses.
-    struct Resolved {
-      const uint8_t* vis_values = nullptr;
-      const uint8_t* hid_row = nullptr;
-    };
-    std::map<TableId, Resolved> resolved;
-    for (auto& bt : tables) {
-      RowId id;
-      if (bt.table == anchor) {
-        id = anchor_id;
-      } else {
-        auto off = sj.ColumnOffset(bt.table, anchor);
-        if (!off.has_value()) {
-          return Status::Internal("brute-force table missing from F'");
-        }
-        id = DecodeFixed32(frow + *off);
-      }
-      Resolved res;
-      if (bt.has_vis_side) {
-        // Cost model: one interpolated page probe into the spooled vlist
-        // (ids are uniform); correctness from the host-side payload.
-        uint64_t row_count = bt.payload.rows;
-        if (row_count > 0) {
-          uint64_t est_row = std::min<uint64_t>(
-              row_count - 1,
-              static_cast<uint64_t>(
-                  (static_cast<double>(id) /
-                   std::max<uint64_t>(store_->tables[bt.table].row_count,
-                                      1)) *
-                  static_cast<double>(row_count)));
-          uint64_t byte = est_row * bt.payload.row_width;
-          uint32_t page = static_cast<uint32_t>(
-              byte / device_->flash().config().page_size);
-          GHOSTDB_RETURN_NOT_OK(device_->flash().ReadPage(
-              bt.spool.PageAt(page), probe_buf.data(), 0,
-              device_->flash().config().page_size));
-        }
-        // Binary search the payload for the actual row.
-        uint64_t lo = 0, hi = bt.payload.rows;
-        const uint8_t* hit = nullptr;
-        while (lo < hi) {
-          uint64_t mid = (lo + hi) / 2;
-          const uint8_t* row =
-              bt.payload.bytes.data() + mid * bt.payload.row_width;
-          RowId rid = DecodeFixed32(row);
-          if (rid < id) {
-            lo = mid + 1;
-          } else if (rid > id) {
-            hi = mid;
-          } else {
-            hit = row + 4;
-            break;
-          }
-        }
-        if (hit == nullptr) {
-          drop = true;  // fails the visible selection (or bloom FP)
-          break;
-        }
-        res.vis_values = hit;
-      }
-      if (bt.hid_reader.has_value()) {
-        GHOSTDB_RETURN_NOT_OK(bt.hid_reader->ReadRow(id, bt.hid_row.data()));
-        res.hid_row = bt.hid_row.data();
-      }
-      resolved[bt.table] = res;
-    }
-
-    if (!drop) {
-      result->total_rows += 1;
-      if (aggs != nullptr ||
-          result->rows.size() < config_.result_row_limit) {
-        std::vector<Value> out_row;
-        for (const auto& item : query.select) {
-          const auto& cols = schema_->table(item.table).columns;
-          if (item.is_id) {
-            if (item.table == anchor) {
-              out_row.push_back(
-                  Value::Int32(static_cast<int32_t>(anchor_id)));
-            } else {
-              auto off = sj.ColumnOffset(item.table, anchor);
-              if (!off.has_value()) {
-                return Status::Internal("select id missing from F'");
-              }
-              out_row.push_back(Value::Int32(
-                  static_cast<int32_t>(DecodeFixed32(frow + *off))));
-            }
-            continue;
-          }
-          auto it = std::find_if(
-              tables.begin(), tables.end(),
-              [&](const BruteTable& bt) { return bt.table == item.table; });
-          if (it == tables.end()) {
-            return Status::Internal("projected table not resolved");
-          }
-          const Resolved& res = resolved[item.table];
-          if (!cols[item.column].hidden) {
-            uint32_t off = 0;
-            for (ColumnId c : it->vis_cols) {
-              if (c == item.column) break;
-              off += cols[c].width;
-            }
-            out_row.push_back(Value::Decode(res.vis_values + off,
-                                            cols[item.column].type,
-                                            cols[item.column].width));
-          } else {
-            const core::TableImage& image = store_->tables[item.table];
-            out_row.push_back(Value::Decode(
-                res.hid_row + image.hidden_offsets[item.column],
-                cols[item.column].type, cols[item.column].width));
-          }
-        }
-        GHOSTDB_RETURN_NOT_OK(
-            FoldOrEmit(query, std::move(out_row), result, aggs));
-      }
-    }
-    GHOSTDB_RETURN_NOT_OK(fprime.Advance());
-  }
-
-  for (auto& bt : tables) {
-    if (!bt.spool.extents.empty()) {
-      GHOSTDB_RETURN_NOT_OK(
-          storage::FreeRun(allocator_, bt.spool, "brute-spool"));
-    }
-  }
-  metrics->result_rows = result->total_rows;
-  return Status::OK();
-}
-
-// ---------------------------------------------------------------------------
-// Top level
-// ---------------------------------------------------------------------------
-
-MetricSnapshot MetricSnapshot::Take(device::SecureDevice* device) {
-  MetricSnapshot snap;
-  snap.clock_ns = device->clock().now();
-  snap.categories = device->clock().categories();
-  snap.flash = device->flash().stats();
-  snap.bytes_to_secure =
-      device->channel().BytesMoved(device::Direction::kToSecure);
-  snap.bytes_to_untrusted =
-      device->channel().BytesMoved(device::Direction::kToUntrusted);
-  return snap;
-}
-
-void MetricSnapshot::Delta(device::SecureDevice* device,
-                           QueryMetrics* metrics) const {
-  metrics->total_ns = device->clock().now() - clock_ns;
-  metrics->categories.clear();
-  for (const auto& [k, v] : device->clock().categories()) {
-    auto it = categories.find(k);
-    SimNanos before = it == categories.end() ? 0 : it->second;
-    if (v > before) metrics->categories[k] = v - before;
-  }
-  metrics->flash = device->flash().stats() - flash;
-  metrics->bytes_to_secure =
-      device->channel().BytesMoved(device::Direction::kToSecure) -
-      bytes_to_secure;
-  metrics->bytes_to_untrusted =
-      device->channel().BytesMoved(device::Direction::kToUntrusted) -
-      bytes_to_untrusted;
+Result<QueryResult> SecureExecutor::Execute(const BoundQuery& query,
+                                            const plan::PlanChoice& choice,
+                                            const MetricSnapshot* baseline) {
+  return Execute(query, plan::BuildPhysicalPlan(query, choice), baseline);
 }
 
 Result<QueryResult> SecureExecutor::Execute(const BoundQuery& query,
-                                            const plan::PlanChoice& plan,
+                                            const plan::PhysicalPlan& plan,
                                             const MetricSnapshot* baseline) {
   auto& ram = device_->ram();
   MetricSnapshot snap =
@@ -1323,62 +23,47 @@ Result<QueryResult> SecureExecutor::Execute(const BoundQuery& query,
   ram.ResetPeak();
 
   QueryMetrics metrics;
+  ExecContext ctx;
+  ctx.device = device_;
+  ctx.allocator = allocator_;
+  ctx.schema = schema_;
+  ctx.store = store_;
+  ctx.untrusted = untrusted_;
+  ctx.config = &config_;
+  ctx.query = &query;
+  ctx.choice = &plan.choice;
+  ctx.metrics = &metrics;
+  // Without value-level operators above the projection, rows beyond the
+  // materialization limit are counted but never decoded.
+  bool needs_all_values = query.HasAggregates() || query.distinct ||
+                          !query.order_by.empty() ||
+                          query.limit.has_value();
+  ctx.rows_demanded =
+      needs_all_values ? UINT64_MAX : config_.result_row_limit;
 
-  // Visible selections, one Vis request per table with visible predicates.
-  std::vector<VisTable> vis_tables;
-  for (TableId t : query.tables) {
-    if (!query.HasVisiblePredicateOn(t)) continue;
-    VisTable vt;
-    vt.table = t;
-    auto it = plan.vis.find(t);
-    vt.strategy =
-        it != plan.vis.end() ? it->second : VisStrategy::kCrossPreFilter;
-    GHOSTDB_ASSIGN_OR_RETURN(vt.ids,
-                             untrusted_->ServeVisibleIds(query, t));
-    vis_tables.push_back(std::move(vt));
-  }
-
-  GHOSTDB_ASSIGN_OR_RETURN(SjResult sj,
-                           RunQepSj(query, &vis_tables, &metrics));
-  metrics.qepsj_rows = sj.rows;
+  GHOSTDB_ASSIGN_OR_RETURN(std::unique_ptr<Operator> root,
+                           BuildOperatorTree(&ctx, plan));
+  GHOSTDB_RETURN_NOT_OK(root->Open());
+  metrics.qepsj_rows = ctx.pipeline.sj.rows;
 
   QueryResult result;
   for (const auto& c : query.select) result.columns.push_back(c.display);
-
-  // Aggregates (paper future work): folded on the device as rows stream
-  // out of the projection; only aggregate values reach the display.
-  std::vector<Aggregator> aggregators;
-  std::vector<Aggregator>* aggs = nullptr;
-  if (query.HasAggregates()) {
-    for (const auto& item : query.select) {
-      catalog::DataType input_type =
-          item.is_id ? catalog::DataType::kInt32
-                     : schema_->table(item.table).columns[item.column].type;
-      aggregators.emplace_back(item.agg, input_type);
+  while (true) {
+    GHOSTDB_ASSIGN_OR_RETURN(RowBatch batch, root->Next());
+    if (batch.empty()) break;
+    result.total_rows += batch.rows.size() + batch.skipped_rows;
+    for (auto& row : batch.rows) {
+      if (result.rows.size() < config_.result_row_limit) {
+        result.rows.push_back(std::move(row));
+      }
     }
-    aggs = &aggregators;
   }
+  GHOSTDB_RETURN_NOT_OK(root->Close());
+  root.reset();
 
-  if (plan.project == ProjectAlgo::kBruteForce) {
-    GHOSTDB_RETURN_NOT_OK(RunBruteForceProject(query, sj, vis_tables,
-                                               &result, &metrics, aggs));
-  } else {
-    GHOSTDB_RETURN_NOT_OK(
-        RunProject(query, plan, sj, vis_tables, &result, &metrics, aggs));
-  }
-
-  if (aggs != nullptr) {
-    std::vector<Value> agg_row;
-    for (auto& a : aggregators) {
-      GHOSTDB_ASSIGN_OR_RETURN(Value v, a.Finish());
-      agg_row.push_back(std::move(v));
-    }
-    result.rows = {std::move(agg_row)};
-    result.total_rows = 1;
-  }
-
-  vis_tables.clear();
-  GHOSTDB_RETURN_NOT_OK(storage::FreeRun(allocator_, sj.fprime, "fprime"));
+  ctx.pipeline.vis_tables.clear();
+  GHOSTDB_RETURN_NOT_OK(
+      storage::FreeRun(allocator_, ctx.pipeline.sj.fprime, "fprime"));
 
   snap.Delta(device_, &metrics);
   metrics.peak_ram_buffers = ram.peak_used_buffers();

@@ -1,6 +1,7 @@
-// The Secure-side query executor: composes Vis, CI, Merge, SJoin,
-// BuildBF/ProbeBF (QEP_SJ, paper section 3.3) and the Project algorithm
-// with its MJoin core (QEP_P, section 4) according to a PlanChoice.
+// The Secure-side query executor: a thin driver that instantiates the
+// physical-operator tree of a plan (plan/physical_plan.h) and pulls result
+// batches from its root. All query logic lives in the operators
+// (operator.h, operators_sj.h, operators_project.h, operators_rel.h).
 //
 // Everything here runs "on the key": flash I/O and channel transfers charge
 // the device clock under named categories (merge / sjoin / store / project /
@@ -8,84 +9,11 @@
 // from Hidden data is ever sent to Untrusted.
 #pragma once
 
-#include <functional>
-#include <map>
-#include <memory>
-#include <optional>
-#include <string>
-#include <vector>
-
-#include "catalog/schema.h"
-#include "common/result.h"
-#include "common/status.h"
-#include "core/secure_store.h"
-#include "device/secure_device.h"
-#include "exec/aggregate.h"
-#include "exec/bloom.h"
-#include "exec/merge.h"
+#include "exec/operator.h"
+#include "plan/physical_plan.h"
 #include "plan/strategy.h"
-#include "sql/binder.h"
-#include "storage/page_allocator.h"
-#include "untrusted/engine.h"
 
 namespace ghostdb::exec {
-
-/// Execution knobs (defaults follow the paper).
-struct ExecConfig {
-  MergeOverflowPolicy merge_policy = MergeOverflowPolicy::kReduction;
-  /// Bloom sizing target: m/n bits per element (paper: 8).
-  double bloom_target_bpe = 8.0;
-  /// Below this achievable m/n a Post-Filter is not worth executing
-  /// (Fig 10: the filter would inject more false positives than it kills).
-  double bloom_min_bpe = 2.0;
-  /// RAM cap for one QEP_SJ Bloom filter, in buffers.
-  uint32_t bloom_max_buffers = 16;
-  /// When false, hidden selections deliver only self-level ids and must
-  /// cascade through per-id index lookups to reach the anchor — the
-  /// baseline the climbing index replaces (section 3.2 motivation;
-  /// ablation A4).
-  bool climbing_enabled = true;
-  /// Keep at most this many result rows materialized for the caller
-  /// (counts stay exact; benches set a small limit).
-  uint64_t result_row_limit = UINT64_MAX;
-};
-
-/// Observable per-query costs.
-struct QueryMetrics {
-  SimNanos total_ns = 0;
-  std::map<std::string, SimNanos> categories;  ///< merge/sjoin/store/...
-  flash::FlashStats flash;
-  uint64_t bytes_to_secure = 0;
-  uint64_t bytes_to_untrusted = 0;
-  uint64_t qepsj_rows = 0;     ///< rows out of QEP_SJ (superset w/ blooms)
-  uint64_t result_rows = 0;    ///< exact final row count
-  uint32_t peak_ram_buffers = 0;
-  MergeStats merge;
-  double bloom_fpr_estimate = 0.0;  ///< worst filter used in QEP_SJ
-};
-
-/// A query answer, delivered to the secure rendering surface.
-struct QueryResult {
-  std::vector<std::string> columns;
-  std::vector<std::vector<catalog::Value>> rows;  ///< up to result_row_limit
-  uint64_t total_rows = 0;
-  QueryMetrics metrics;
-};
-
-/// \brief Cost-counter baseline: captured before the first query-related
-/// channel transfer so metrics include the query announcement and the
-/// planner's Vis-count exchanges.
-struct MetricSnapshot {
-  SimNanos clock_ns = 0;
-  std::map<std::string, SimNanos> categories;
-  flash::FlashStats flash;
-  uint64_t bytes_to_secure = 0;
-  uint64_t bytes_to_untrusted = 0;
-
-  static MetricSnapshot Take(device::SecureDevice* device);
-  /// Fills the delta since this snapshot into `metrics`.
-  void Delta(device::SecureDevice* device, QueryMetrics* metrics) const;
-};
 
 /// \brief Executes bound queries on the Secure device.
 class SecureExecutor {
@@ -106,72 +34,16 @@ class SecureExecutor {
   /// announced to Untrusted by the caller. `baseline`, when given, extends
   /// the cost accounting back to before the announcement.
   Result<QueryResult> Execute(const sql::BoundQuery& query,
-                              const plan::PlanChoice& plan,
+                              const plan::PhysicalPlan& plan,
+                              const MetricSnapshot* baseline = nullptr);
+
+  /// Convenience overload: lowers a bare PlanChoice first (benches and
+  /// tests pin strategy choices without building trees by hand).
+  Result<QueryResult> Execute(const sql::BoundQuery& query,
+                              const plan::PlanChoice& choice,
                               const MetricSnapshot* baseline = nullptr);
 
  private:
-  /// Per-table visible-strategy state.
-  struct VisTable {
-    catalog::TableId table;
-    plan::VisStrategy strategy;
-    std::vector<catalog::RowId> ids;   ///< Vis selection result (sorted)
-    std::optional<BloomFilter> bloom;  ///< for post strategies in QEP_SJ
-    uint32_t probe_offset = 0;         ///< byte offset of probe column in F'
-    bool need_exact_at_projection = false;
-    bool post_select = false;
-  };
-
-  /// Materialized QEP_SJ output F'.
-  struct SjResult {
-    storage::RunRef fprime;
-    /// Non-anchor id columns of F', ascending TableId.
-    std::vector<catalog::TableId> column_tables;
-    uint32_t row_width = 4;
-    uint64_t rows = 0;
-
-    std::optional<uint32_t> ColumnOffset(catalog::TableId t,
-                                         catalog::TableId anchor) const;
-  };
-
-  Result<SjResult> RunQepSj(const sql::BoundQuery& query,
-                            std::vector<VisTable>* vis_tables,
-                            QueryMetrics* metrics);
-
-  /// Collects the sublists of one hidden predicate at the `target` level.
-  Status CollectPredicateSublists(
-      const sql::BoundPredicate& pred, catalog::TableId target,
-      MergeGroup* group);
-
-  /// Probes `from`'s id climbing index for each id, adding the `to`-level
-  /// sublists to `group`.
-  Status ClimbIntoGroup(catalog::TableId from, catalog::TableId to,
-                        const std::vector<catalog::RowId>& ids,
-                        MergeGroup* group);
-
-  /// Fallback when a hidden attribute has no climbing index: sequential
-  /// scan of the hidden image.
-  Result<std::vector<catalog::RowId>> ScanHiddenPredicate(
-      const sql::BoundPredicate& pred);
-
-  /// Exact Post-Select pass: keeps F' rows whose probe column is in `ids`.
-  Result<SjResult> PostSelectFilter(const SjResult& sj, uint32_t probe_offset,
-                                    const std::vector<catalog::RowId>& ids);
-
-  Status RunProject(const sql::BoundQuery& query,
-                    const plan::PlanChoice& plan, const SjResult& sj,
-                    std::vector<VisTable>& vis_tables, QueryResult* result,
-                    QueryMetrics* metrics, std::vector<Aggregator>* aggs);
-  Status RunBruteForceProject(const sql::BoundQuery& query,
-                              const SjResult& sj,
-                              std::vector<VisTable>& vis_tables,
-                              QueryResult* result, QueryMetrics* metrics,
-                              std::vector<Aggregator>* aggs);
-  /// Folds `row` into the aggregators, or materializes it (up to the
-  /// configured limit).
-  Status FoldOrEmit(const sql::BoundQuery& query,
-                    std::vector<catalog::Value> row, QueryResult* result,
-                    std::vector<Aggregator>* aggs);
-
   device::SecureDevice* device_;
   storage::PageAllocator* allocator_;
   const catalog::Schema* schema_;

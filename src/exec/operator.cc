@@ -1,0 +1,143 @@
+#include "exec/operator.h"
+
+#include "exec/operators_project.h"
+#include "exec/operators_rel.h"
+#include "exec/operators_sj.h"
+
+namespace ghostdb::exec {
+
+Status Operator::Open() {
+  for (auto& child : children_) {
+    GHOSTDB_RETURN_NOT_OK(child->Open());
+  }
+  return Status::OK();
+}
+
+Status Operator::Close() {
+  for (auto& child : children_) {
+    GHOSTDB_RETURN_NOT_OK(child->Close());
+  }
+  return Status::OK();
+}
+
+std::optional<uint32_t> SjState::ColumnOffset(catalog::TableId t,
+                                              catalog::TableId anchor) const {
+  if (t == anchor) return 0u;
+  for (uint32_t i = 0; i < column_tables.size(); ++i) {
+    if (column_tables[i] == t) return 4 + 4 * i;
+  }
+  return std::nullopt;
+}
+
+MetricSnapshot MetricSnapshot::Take(device::SecureDevice* device) {
+  MetricSnapshot snap;
+  snap.clock_ns = device->clock().now();
+  snap.categories = device->clock().categories();
+  snap.flash = device->flash().stats();
+  snap.bytes_to_secure =
+      device->channel().BytesMoved(device::Direction::kToSecure);
+  snap.bytes_to_untrusted =
+      device->channel().BytesMoved(device::Direction::kToUntrusted);
+  return snap;
+}
+
+void MetricSnapshot::Delta(device::SecureDevice* device,
+                           QueryMetrics* metrics) const {
+  metrics->total_ns = device->clock().now() - clock_ns;
+  metrics->categories.clear();
+  for (const auto& [k, v] : device->clock().categories()) {
+    auto it = categories.find(k);
+    SimNanos before = it == categories.end() ? 0 : it->second;
+    if (v > before) metrics->categories[k] = v - before;
+  }
+  metrics->flash = device->flash().stats() - flash;
+  metrics->bytes_to_secure =
+      device->channel().BytesMoved(device::Direction::kToSecure) -
+      bytes_to_secure;
+  metrics->bytes_to_untrusted =
+      device->channel().BytesMoved(device::Direction::kToUntrusted) -
+      bytes_to_untrusted;
+}
+
+namespace {
+
+Result<std::unique_ptr<Operator>> BuildNode(ExecContext* ctx,
+                                            const plan::PhysicalPlan& plan,
+                                            int idx) {
+  if (idx < 0 || static_cast<size_t>(idx) >= plan.nodes.size()) {
+    return Status::Internal("physical plan node index out of range");
+  }
+  const plan::PhysicalNode& node = plan.nodes[idx];
+  std::vector<std::unique_ptr<Operator>> kids;
+  for (int c : node.children) {
+    GHOSTDB_ASSIGN_OR_RETURN(std::unique_ptr<Operator> kid,
+                             BuildNode(ctx, plan, c));
+    kids.push_back(std::move(kid));
+  }
+
+  std::unique_ptr<Operator> op;
+  switch (node.op) {
+    case plan::PhysicalOp::kVisSelect:
+      op = std::make_unique<VisSelectOp>(ctx);
+      break;
+    case plan::PhysicalOp::kBloomBuild:
+      op = std::make_unique<BloomBuildOp>(ctx);
+      break;
+    case plan::PhysicalOp::kMerge:
+      op = std::make_unique<MergeOp>(ctx);
+      break;
+    case plan::PhysicalOp::kSJoin: {
+      // SJoin drives its Merge child through a push sink (the paper's
+      // pipelined composition), so it needs the typed child.
+      if (kids.size() != 1 ||
+          plan.nodes[node.children[0]].op != plan::PhysicalOp::kMerge) {
+        return Status::Internal("SJoin node requires a Merge child");
+      }
+      op = std::make_unique<SJoinOp>(
+          ctx, static_cast<MergeOp*>(kids[0].get()));
+      break;
+    }
+    case plan::PhysicalOp::kPostSelect:
+      op = std::make_unique<PostSelectOp>(ctx);
+      break;
+    case plan::PhysicalOp::kProject:
+      op = std::make_unique<ProjectOp>(
+          ctx, plan.choice.project == plan::ProjectAlgo::kProject);
+      break;
+    case plan::PhysicalOp::kBruteForceProject:
+      op = std::make_unique<BruteForceProjectOp>(ctx);
+      break;
+    case plan::PhysicalOp::kAggregate:
+      op = std::make_unique<AggregateOp>(ctx);
+      break;
+    case plan::PhysicalOp::kDistinct:
+      op = std::make_unique<DistinctOp>(ctx);
+      break;
+    case plan::PhysicalOp::kSort:
+      op = std::make_unique<SortOp>(ctx);
+      break;
+    case plan::PhysicalOp::kLimit:
+      // The limit is a literal, so a cached plan (shape-keyed, literals
+      // normalized) must take it from the live bound query.
+      op = std::make_unique<LimitOp>(
+          ctx, ctx->query->limit.value_or(node.limit));
+      break;
+  }
+  if (op == nullptr) {
+    return Status::Internal("unknown physical operator");
+  }
+  for (auto& kid : kids) op->AddChild(std::move(kid));
+  return op;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Operator>> BuildOperatorTree(
+    ExecContext* ctx, const plan::PhysicalPlan& plan) {
+  if (plan.root < 0) {
+    return Status::Internal("physical plan has no root");
+  }
+  return BuildNode(ctx, plan, plan.root);
+}
+
+}  // namespace ghostdb::exec

@@ -1,0 +1,227 @@
+// The physical-operator execution engine.
+//
+// A query runs as a tree of Operators instantiated from a plan::PhysicalPlan.
+// All operators share one ExecContext, which owns the handles to the device
+// (simulated clock + 32-buffer RAM budget + flash + channel), the query
+// metrics, and the PipelineState flowing between the QEP_SJ stages.
+//
+// Two regimes, mirroring the paper:
+//  * Below the projection (VisSelect, BloomBuild, Merge, SJoin, PostSelect)
+//    operators work in id space under the strict RAM discipline. Their
+//    product is the flash-resident F' run in PipelineState — Project scans
+//    it multiple times, so it cannot be pulled value-at-a-time. Merge
+//    pushes ids into SJoin through a sink, exactly the paper's pipelined
+//    Merge -> SJoin -> ProbeBF -> Store composition.
+//  * From the projection upward (Project/BruteForceProject, Aggregate,
+//    Distinct, Sort, Limit) operators exchange RowBatch value batches via
+//    pull (Next()), which is where ORDER BY / LIMIT / DISTINCT and
+//    aggregation plug in.
+//
+// The security invariant is structural: no operator holds a channel handle
+// except through UntrustedEngine's audited request methods, so nothing
+// derived from Hidden data can reach Untrusted.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/value.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "core/secure_store.h"
+#include "device/secure_device.h"
+#include "exec/bloom.h"
+#include "exec/merge.h"
+#include "plan/physical_plan.h"
+#include "sql/binder.h"
+#include "storage/page_allocator.h"
+#include "storage/run.h"
+#include "untrusted/engine.h"
+
+namespace ghostdb::exec {
+
+/// Execution knobs (defaults follow the paper).
+struct ExecConfig {
+  MergeOverflowPolicy merge_policy = MergeOverflowPolicy::kReduction;
+  /// Bloom sizing target: m/n bits per element (paper: 8).
+  double bloom_target_bpe = 8.0;
+  /// Below this achievable m/n a Post-Filter is not worth executing
+  /// (Fig 10: the filter would inject more false positives than it kills).
+  double bloom_min_bpe = 2.0;
+  /// RAM cap for one QEP_SJ Bloom filter, in buffers.
+  uint32_t bloom_max_buffers = 16;
+  /// When false, hidden selections deliver only self-level ids and must
+  /// cascade through per-id index lookups to reach the anchor — the
+  /// baseline the climbing index replaces (section 3.2 motivation;
+  /// ablation A4).
+  bool climbing_enabled = true;
+  /// Keep at most this many result rows materialized for the caller
+  /// (counts stay exact; benches set a small limit).
+  uint64_t result_row_limit = UINT64_MAX;
+  /// Rows per RowBatch pulled through the value-level operators.
+  size_t batch_size = 256;
+};
+
+/// Observable per-query costs.
+struct QueryMetrics {
+  SimNanos total_ns = 0;
+  std::map<std::string, SimNanos> categories;  ///< merge/sjoin/store/...
+  flash::FlashStats flash;
+  uint64_t bytes_to_secure = 0;
+  uint64_t bytes_to_untrusted = 0;
+  uint64_t qepsj_rows = 0;     ///< rows out of QEP_SJ (superset w/ blooms)
+  uint64_t result_rows = 0;    ///< exact final row count
+  uint32_t peak_ram_buffers = 0;
+  MergeStats merge;
+  double bloom_fpr_estimate = 0.0;  ///< worst filter used in QEP_SJ
+  uint64_t plan_cache_hits = 0;     ///< 1 if this query reused a cached plan
+  uint64_t plan_cache_misses = 0;   ///< 1 if this query was planned afresh
+};
+
+/// A query answer, delivered to the secure rendering surface.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<catalog::Value>> rows;  ///< up to result_row_limit
+  uint64_t total_rows = 0;
+  QueryMetrics metrics;
+};
+
+/// \brief Cost-counter baseline: captured before the first query-related
+/// channel transfer so metrics include the query announcement and the
+/// planner's Vis-count exchanges.
+struct MetricSnapshot {
+  SimNanos clock_ns = 0;
+  std::map<std::string, SimNanos> categories;
+  flash::FlashStats flash;
+  uint64_t bytes_to_secure = 0;
+  uint64_t bytes_to_untrusted = 0;
+
+  static MetricSnapshot Take(device::SecureDevice* device);
+  /// Fills the delta since this snapshot into `metrics`.
+  void Delta(device::SecureDevice* device, QueryMetrics* metrics) const;
+};
+
+/// Per-table visible-strategy state, prepared by VisSelectOp and consumed
+/// by the downstream QEP_SJ operators.
+struct VisTable {
+  catalog::TableId table;
+  plan::VisStrategy strategy;
+  std::vector<catalog::RowId> ids;   ///< Vis selection result (sorted)
+  /// Basis for a Post-Filter Bloom: vt.ids, or Vis ∩ Hidden-at-Ti for the
+  /// Cross variant. Filled by VisSelectOp, consumed by BloomBuildOp.
+  std::vector<catalog::RowId> filter_basis;
+  bool has_filter_basis = false;
+  std::optional<BloomFilter> bloom;  ///< for post strategies in QEP_SJ
+  uint32_t probe_offset = 0;         ///< byte offset of probe column in F'
+  bool need_exact_at_projection = false;
+  bool post_select = false;
+};
+
+/// Materialized QEP_SJ output F'.
+struct SjState {
+  storage::RunRef fprime;
+  /// Non-anchor id columns of F', ascending TableId.
+  std::vector<catalog::TableId> column_tables;
+  uint32_t row_width = 4;
+  uint64_t rows = 0;
+
+  std::optional<uint32_t> ColumnOffset(catalog::TableId t,
+                                       catalog::TableId anchor) const;
+};
+
+/// Dataflow state shared by the id-space operators of one query.
+struct PipelineState {
+  std::vector<VisTable> vis_tables;
+  /// Hidden non-id predicates of the query, with fold bookkeeping (a
+  /// predicate folded into a Cross intersection must not be re-applied at
+  /// the anchor level).
+  std::vector<const sql::BoundPredicate*> hidden_preds;
+  std::vector<bool> folded;
+  /// Anchor-level merge groups assembled by VisSelectOp (pre-filter climbs)
+  /// and MergeOp (unfolded hidden selections, iota fallback).
+  std::vector<MergeGroup> anchor_groups;
+  SjState sj;
+};
+
+/// \brief Everything an operator needs: device resources (clock, RAM
+/// budget, flash, channel), catalog, store handles, config, and the
+/// per-query metrics + pipeline state.
+struct ExecContext {
+  device::SecureDevice* device = nullptr;
+  storage::PageAllocator* allocator = nullptr;
+  const catalog::Schema* schema = nullptr;
+  const core::SecureStore* store = nullptr;
+  untrusted::UntrustedEngine* untrusted = nullptr;
+  const ExecConfig* config = nullptr;
+  const sql::BoundQuery* query = nullptr;
+  const plan::PlanChoice* choice = nullptr;
+  QueryMetrics* metrics = nullptr;
+  PipelineState pipeline;
+  /// How many materialized rows the consumer can use. When the plan has no
+  /// value-level operators above the projection, the driver caps this at
+  /// result_row_limit so the projection skips decoding rows nobody will
+  /// see (counts stay exact via RowBatch::skipped_rows).
+  uint64_t rows_demanded = UINT64_MAX;
+
+  SimClock& clock() { return device->clock(); }
+  device::RamManager& ram() { return device->ram(); }
+  flash::FlashDevice& flash() { return device->flash(); }
+};
+
+/// A batch of materialized result rows. A batch carrying neither rows nor
+/// skipped rows signals end of stream.
+struct RowBatch {
+  std::vector<std::vector<catalog::Value>> rows;
+  /// Rows that passed all filters but were not materialized because the
+  /// consumer's demand (ExecContext::rows_demanded) is already met. They
+  /// still count toward total_rows.
+  uint64_t skipped_rows = 0;
+
+  bool empty() const { return rows.empty() && skipped_rows == 0; }
+};
+
+/// \brief Base class of all physical operators.
+///
+/// Lifecycle: Open() (children first, then own blocking work), Next() until
+/// an empty batch, Close() (own cleanup, then children). Close() must be
+/// safe after a partially consumed stream — LimitOp stops pulling early.
+class Operator {
+ public:
+  explicit Operator(ExecContext* ctx) : ctx_(ctx) {}
+  virtual ~Operator() = default;
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  virtual std::string_view name() const = 0;
+
+  /// Default: opens children in order.
+  virtual Status Open();
+
+  /// Pulls the next batch of rows; empty batch = end of stream.
+  virtual Result<RowBatch> Next() = 0;
+
+  /// Default: closes children in order.
+  virtual Status Close();
+
+  void AddChild(std::unique_ptr<Operator> child) {
+    children_.push_back(std::move(child));
+  }
+  Operator* child(size_t i = 0) const { return children_[i].get(); }
+  size_t child_count() const { return children_.size(); }
+
+ protected:
+  ExecContext* ctx_;
+  std::vector<std::unique_ptr<Operator>> children_;
+};
+
+/// Instantiates the concrete operator tree for `plan`. The returned root
+/// owns the whole tree.
+Result<std::unique_ptr<Operator>> BuildOperatorTree(
+    ExecContext* ctx, const plan::PhysicalPlan& plan);
+
+}  // namespace ghostdb::exec

@@ -1,0 +1,100 @@
+// The projection operators (paper section 4 / Figs 12-13): turn the
+// flash-resident F' into value rows. Open() runs the blocking passes
+// (vertical partitioning, per-table MJoin); Next() streams the final merge
+// by anchor position as RowBatches.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "exec/operator.h"
+#include "exec/row_run.h"
+#include "storage/fixed_table.h"
+
+namespace ghostdb::exec {
+
+/// \brief The section 4 Project algorithm: Bloom-filtered MJoin per
+/// projected table, then a final positional merge with the anchor's Vis
+/// payload and hidden image. `use_bf=false` is the NoBF ablation.
+class ProjectOp final : public Operator {
+ public:
+  ProjectOp(ExecContext* ctx, bool use_bf)
+      : Operator(ctx), use_bf_(use_bf) {}
+  std::string_view name() const override { return "Project"; }
+  Status Open() override;
+  Result<RowBatch> Next() override;
+  Status Close() override;
+
+ private:
+  /// Per-table MJoin state and outputs.
+  struct MJoinTable {
+    catalog::TableId table;
+    std::vector<catalog::ColumnId> vis_cols;
+    std::vector<catalog::ColumnId> hid_cols;
+    uint32_t vis_width = 0;
+    uint32_t hid_width = 0;
+    uint32_t out_width = 4;  ///< pos + vis + hid
+    bool has_vis_side = false;
+    storage::RunRef column_run;              ///< Ti ids in pos order
+    std::vector<storage::RunRef> pass_runs;  ///< <pos, vlist, hlist> per pass
+    untrusted::ProjectionPayload payload;    ///< Vis values (sorted by id)
+  };
+  struct TableReaders {
+    MJoinTable* mt;
+    std::vector<std::unique_ptr<RowRunReader>> readers;
+  };
+
+  bool use_bf_;
+  std::vector<MJoinTable> mjoin_;
+  std::vector<catalog::ColumnId> anchor_vis_cols_;
+  std::vector<catalog::ColumnId> anchor_hid_cols_;
+  bool need_anchor_payload_ = false;
+  untrusted::ProjectionPayload anchor_payload_;
+
+  // Final-merge streaming state (set up at the end of Open()).
+  device::BufferHandle bufs_;
+  std::optional<RowRunReader> fprime_;
+  std::vector<TableReaders> table_readers_;
+  std::optional<storage::FixedTableReader> anchor_hid_reader_;
+  std::vector<uint8_t> anchor_hid_row_;
+  uint64_t anchor_payload_pos_ = 0;
+  std::vector<const uint8_t*> mjoin_rows_;
+  std::vector<std::vector<uint8_t>> mjoin_row_copies_;
+  uint32_t pos_ = 0;
+  uint64_t emitted_ = 0;
+};
+
+/// \brief Brute-Force projection baseline: streams F' once, random-accessing
+/// the spooled Vis payloads and hidden images per row.
+class BruteForceProjectOp final : public Operator {
+ public:
+  explicit BruteForceProjectOp(ExecContext* ctx) : Operator(ctx) {}
+  std::string_view name() const override { return "BruteForceProject"; }
+  Status Open() override;
+  Result<RowBatch> Next() override;
+  Status Close() override;
+
+ private:
+  /// Per-table state: spooled Vis values + hidden reader.
+  struct BruteTable {
+    catalog::TableId table;
+    std::vector<catalog::ColumnId> vis_cols;
+    std::vector<catalog::ColumnId> hid_cols;
+    untrusted::ProjectionPayload payload;
+    storage::RunRef spool;  ///< payload copied to flash (randomly accessed)
+    bool has_vis_side = false;
+    bool exact = false;
+    std::optional<storage::FixedTableReader> hid_reader;
+    std::vector<uint8_t> hid_row;
+    device::BufferHandle probe_buf;
+  };
+
+  std::vector<BruteTable> tables_;
+  device::BufferHandle fbuf_;
+  device::BufferHandle probe_buf_;
+  std::optional<RowRunReader> fprime_;
+  uint64_t emitted_ = 0;
+};
+
+}  // namespace ghostdb::exec

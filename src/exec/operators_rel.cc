@@ -1,0 +1,126 @@
+#include "exec/operators_rel.h"
+
+#include <algorithm>
+
+namespace ghostdb::exec {
+
+using catalog::Value;
+
+// ---------------------------------------------------------------------------
+// AggregateOp
+// ---------------------------------------------------------------------------
+
+Status AggregateOp::Open() {
+  GHOSTDB_RETURN_NOT_OK(Operator::Open());
+  for (const auto& item : ctx_->query->select) {
+    catalog::DataType input_type =
+        item.is_id
+            ? catalog::DataType::kInt32
+            : ctx_->schema->table(item.table).columns[item.column].type;
+    aggregators_.emplace_back(item.agg, input_type);
+  }
+  return Status::OK();
+}
+
+Result<RowBatch> AggregateOp::Next() {
+  if (done_) return RowBatch{};
+  const auto& select = ctx_->query->select;
+  while (true) {
+    GHOSTDB_ASSIGN_OR_RETURN(RowBatch batch, child()->Next());
+    if (batch.empty()) break;
+    for (const auto& row : batch.rows) {
+      for (size_t i = 0; i < select.size(); ++i) {
+        if (select[i].agg == AggFunc::kCountStar) {
+          aggregators_[i].AccumulateRow();
+        } else {
+          GHOSTDB_RETURN_NOT_OK(aggregators_[i].Accumulate(row[i]));
+        }
+      }
+    }
+  }
+  std::vector<Value> agg_row;
+  agg_row.reserve(aggregators_.size());
+  for (auto& a : aggregators_) {
+    GHOSTDB_ASSIGN_OR_RETURN(Value v, a.Finish());
+    agg_row.push_back(std::move(v));
+  }
+  done_ = true;
+  RowBatch out;
+  out.rows.push_back(std::move(agg_row));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DistinctOp
+// ---------------------------------------------------------------------------
+
+Result<RowBatch> DistinctOp::Next() {
+  RowBatch out;
+  while (!child_done_ && out.rows.size() < ctx_->config->batch_size) {
+    GHOSTDB_ASSIGN_OR_RETURN(RowBatch batch, child()->Next());
+    if (batch.empty()) {
+      child_done_ = true;
+      break;
+    }
+    for (auto& row : batch.rows) {
+      if (seen_.insert(row).second) {
+        out.rows.push_back(std::move(row));
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SortOp
+// ---------------------------------------------------------------------------
+
+Result<RowBatch> SortOp::Next() {
+  if (!sorted_) {
+    while (true) {
+      GHOSTDB_ASSIGN_OR_RETURN(RowBatch batch, child()->Next());
+      if (batch.empty()) break;
+      for (auto& row : batch.rows) rows_.push_back(std::move(row));
+    }
+    const auto& keys = ctx_->query->order_by;
+    std::stable_sort(rows_.begin(), rows_.end(),
+                     [&](const std::vector<Value>& a,
+                         const std::vector<Value>& b) {
+                       for (const auto& key : keys) {
+                         int cmp = a[key.select_index].Compare(
+                             b[key.select_index]);
+                         if (cmp != 0) {
+                           return key.descending ? cmp > 0 : cmp < 0;
+                         }
+                       }
+                       return false;
+                     });
+    sorted_ = true;
+  }
+  RowBatch out;
+  while (cursor_ < rows_.size() &&
+         out.rows.size() < ctx_->config->batch_size) {
+    out.rows.push_back(std::move(rows_[cursor_]));
+    ++cursor_;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// LimitOp
+// ---------------------------------------------------------------------------
+
+Result<RowBatch> LimitOp::Next() {
+  if (emitted_ >= limit_) return RowBatch{};
+  GHOSTDB_ASSIGN_OR_RETURN(RowBatch batch, child()->Next());
+  if (batch.empty()) return batch;
+  uint64_t room = limit_ - emitted_;
+  if (batch.rows.size() > room) {
+    batch.rows.resize(static_cast<size_t>(room));
+  }
+  batch.skipped_rows = 0;  // rows beyond the limit do not exist
+  emitted_ += batch.rows.size();
+  return batch;
+}
+
+}  // namespace ghostdb::exec

@@ -1,0 +1,71 @@
+// Value-space operators above the projection: aggregation, DISTINCT,
+// ORDER BY, LIMIT. These run entirely on the Secure side — result rows
+// never cross the channel — so they add no observable behavior that could
+// depend on Hidden data.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "exec/aggregate.h"
+#include "exec/operator.h"
+
+namespace ghostdb::exec {
+
+/// \brief Folds the child stream into one row of aggregate values.
+/// Per-row data never leaves the key; only the final aggregate values reach
+/// the secure display.
+class AggregateOp final : public Operator {
+ public:
+  explicit AggregateOp(ExecContext* ctx) : Operator(ctx) {}
+  std::string_view name() const override { return "Aggregate"; }
+  Status Open() override;
+  Result<RowBatch> Next() override;
+
+ private:
+  std::vector<Aggregator> aggregators_;
+  bool done_ = false;
+};
+
+/// \brief Drops duplicate rows; the first occurrence (in anchor-id order)
+/// survives. The distinct set lives in Secure host memory.
+class DistinctOp final : public Operator {
+ public:
+  explicit DistinctOp(ExecContext* ctx) : Operator(ctx) {}
+  std::string_view name() const override { return "Distinct"; }
+  Result<RowBatch> Next() override;
+
+ private:
+  std::set<std::vector<catalog::Value>> seen_;
+  bool child_done_ = false;
+};
+
+/// \brief ORDER BY over select-list columns: a blocking stable sort (ties
+/// keep anchor-id order), streamed back out in batches.
+class SortOp final : public Operator {
+ public:
+  explicit SortOp(ExecContext* ctx) : Operator(ctx) {}
+  std::string_view name() const override { return "Sort"; }
+  Result<RowBatch> Next() override;
+
+ private:
+  std::vector<std::vector<catalog::Value>> rows_;
+  size_t cursor_ = 0;
+  bool sorted_ = false;
+};
+
+/// \brief Truncates the stream after `limit` rows and stops pulling its
+/// child — the only operator that ends a query early.
+class LimitOp final : public Operator {
+ public:
+  LimitOp(ExecContext* ctx, uint64_t limit)
+      : Operator(ctx), limit_(limit) {}
+  std::string_view name() const override { return "Limit"; }
+  Result<RowBatch> Next() override;
+
+ private:
+  uint64_t limit_;
+  uint64_t emitted_ = 0;
+};
+
+}  // namespace ghostdb::exec

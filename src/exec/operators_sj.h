@@ -1,0 +1,121 @@
+// The QEP_SJ operators (paper section 3.3): everything between the Visible
+// selections and the materialized semi-join output F'. These work in id
+// space under the device RAM discipline; their product is
+// PipelineState::sj.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace ghostdb::exec {
+
+/// \brief Resolves hidden selections into merge groups: climbing-index
+/// sublists, cascading per-id lookups (the A4 baseline), and the
+/// sequential-scan fallback for unindexed attributes. Shared by VisSelectOp
+/// (Cross intersections) and MergeOp (anchor-level groups).
+class HiddenSelector {
+ public:
+  explicit HiddenSelector(ExecContext* ctx) : ctx_(ctx) {}
+
+  /// Collects the sublists of one hidden predicate at the `target` level.
+  Status CollectPredicateSublists(const sql::BoundPredicate& pred,
+                                  catalog::TableId target, MergeGroup* group);
+
+  /// Probes `from`'s id climbing index for each id, adding the `to`-level
+  /// sublists to `group`.
+  Status ClimbIntoGroup(catalog::TableId from, catalog::TableId to,
+                        const std::vector<catalog::RowId>& ids,
+                        MergeGroup* group);
+
+  /// Fallback when a hidden attribute has no climbing index: sequential
+  /// scan of the hidden image.
+  Result<std::vector<catalog::RowId>> ScanHiddenPredicate(
+      const sql::BoundPredicate& pred);
+
+  /// Ti-level cross intersection: Vis(Ti) ∩ the hidden selections in Ti's
+  /// subtree (`pred_indices` into PipelineState::hidden_preds), producing a
+  /// sorted id list of Ti.
+  Status CrossIntersect(const VisTable& vt,
+                        const std::vector<size_t>& pred_indices,
+                        std::vector<catalog::RowId>* out);
+
+  /// Indices (into PipelineState::hidden_preds) of hidden predicates in
+  /// the subtree rooted at `t`.
+  std::vector<size_t> SubtreePredicates(catalog::TableId t) const;
+
+ private:
+  ExecContext* ctx_;
+};
+
+/// \brief Leaf: serves the Visible selections and applies the id-list side
+/// of each table's strategy — Cross intersections, Pre-Filter climbs into
+/// anchor groups, Post-Select marking, strategy demotion when no hidden
+/// predicate exists in the subtree.
+class VisSelectOp final : public Operator {
+ public:
+  explicit VisSelectOp(ExecContext* ctx) : Operator(ctx) {}
+  std::string_view name() const override { return "VisSelect"; }
+  Status Open() override;
+  Result<RowBatch> Next() override { return RowBatch{}; }
+};
+
+/// \brief BuildBF: sizes and fills one Bloom filter per (Cross)Post-Filter
+/// table from its filter basis, degrading to exact-at-projection when the
+/// achievable bits-per-element would make the filter counterproductive
+/// (Fig 10). The matching ProbeBF stages are fused into SJoinOp, as in the
+/// paper's pipelined composition.
+class BloomBuildOp final : public Operator {
+ public:
+  explicit BloomBuildOp(ExecContext* ctx) : Operator(ctx) {}
+  std::string_view name() const override { return "BloomBuild"; }
+  Status Open() override;
+  Result<RowBatch> Next() override { return RowBatch{}; }
+};
+
+/// \brief Assembles the anchor-level merge groups (unfolded hidden
+/// selections via climbing or cascading, iota when nothing restricts the
+/// anchor) and drives the RAM-bounded intersection-of-unions into a sink.
+class MergeOp final : public Operator {
+ public:
+  explicit MergeOp(ExecContext* ctx) : Operator(ctx) {}
+  std::string_view name() const override { return "Merge"; }
+  Status Open() override;
+  Result<RowBatch> Next() override { return RowBatch{}; }
+
+  /// Runs the merge over PipelineState::anchor_groups, pushing ascending
+  /// deduplicated anchor ids into `sink`. Called once, by SJoinOp::Open()
+  /// — the merge is pipelined into the semi-join, never materialized.
+  Status Drive(const std::function<Status(catalog::RowId)>& sink);
+};
+
+/// \brief Streams the merged anchor ids through the anchor's SKT, probing
+/// the Post-Filter Blooms on the way (ProbeBF), and materializes F' on
+/// flash.
+class SJoinOp final : public Operator {
+ public:
+  SJoinOp(ExecContext* ctx, MergeOp* merge) : Operator(ctx), merge_(merge) {}
+  std::string_view name() const override { return "SJoin"; }
+  Status Open() override;
+  Result<RowBatch> Next() override { return RowBatch{}; }
+
+ private:
+  MergeOp* merge_;
+};
+
+/// \brief Exact Post-Select passes: keeps F' rows whose probe column is in
+/// the table's in-RAM id list, chunked to the RAM budget.
+class PostSelectOp final : public Operator {
+ public:
+  explicit PostSelectOp(ExecContext* ctx) : Operator(ctx) {}
+  std::string_view name() const override { return "PostSelect"; }
+  Status Open() override;
+  Result<RowBatch> Next() override { return RowBatch{}; }
+
+ private:
+  Result<SjState> Filter(const SjState& sj, uint32_t probe_offset,
+                         const std::vector<catalog::RowId>& ids);
+};
+
+}  // namespace ghostdb::exec

@@ -1,0 +1,50 @@
+#include "exec/row_run.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace ghostdb::exec {
+
+Status MergeRowRuns(flash::FlashDevice* device, device::RamManager* ram,
+                    storage::PageAllocator* allocator,
+                    std::vector<storage::RunRef>* runs, uint32_t width,
+                    size_t target_count, const std::string& tag) {
+  while (runs->size() > target_count) {
+    uint32_t free = ram->free_buffers();
+    if (free < 3) {
+      return Status::ResourceExhausted("row-run merge needs 3 buffers");
+    }
+    size_t take = std::min<size_t>(free - 1, runs->size());
+    GHOSTDB_ASSIGN_OR_RETURN(
+        device::BufferHandle bufs,
+        ram->Acquire(static_cast<uint32_t>(take) + 1, "rowrun-merge"));
+    std::vector<std::unique_ptr<RowRunReader>> readers;
+    for (size_t i = 0; i < take; ++i) {
+      readers.push_back(std::make_unique<RowRunReader>(
+          device, (*runs)[i], width, bufs.data() + i * ram->buffer_size()));
+      GHOSTDB_RETURN_NOT_OK(readers.back()->Prime());
+    }
+    storage::RunWriter writer(device, allocator,
+                              bufs.data() + take * ram->buffer_size(), tag);
+    while (true) {
+      RowRunReader* best = nullptr;
+      for (auto& r : readers) {
+        if (r->valid() && (best == nullptr || r->key() < best->key())) {
+          best = r.get();
+        }
+      }
+      if (best == nullptr) break;
+      GHOSTDB_RETURN_NOT_OK(writer.Append(best->row(), width));
+      GHOSTDB_RETURN_NOT_OK(best->Advance());
+    }
+    GHOSTDB_ASSIGN_OR_RETURN(storage::RunRef merged, writer.Finish());
+    for (size_t i = 0; i < take; ++i) {
+      GHOSTDB_RETURN_NOT_OK(storage::FreeRun(allocator, (*runs)[i], tag));
+    }
+    runs->erase(runs->begin(), runs->begin() + static_cast<long>(take));
+    runs->push_back(std::move(merged));
+  }
+  return Status::OK();
+}
+
+}  // namespace ghostdb::exec

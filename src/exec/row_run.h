@@ -7,12 +7,15 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "catalog/schema.h"
 #include "common/coding.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "device/ram_manager.h"
+#include "storage/page_allocator.h"
 #include "storage/run.h"
 
 namespace ghostdb::exec {
@@ -52,5 +55,13 @@ class RowRunReader {
   std::vector<uint8_t> row_;
   bool has_row_ = false;
 };
+
+/// Merges row runs (sorted, disjoint leading-u32 keys) down to at most
+/// `target_count` runs, within the current free-buffer budget. Consumed
+/// runs are freed under `tag`.
+Status MergeRowRuns(flash::FlashDevice* device, device::RamManager* ram,
+                    storage::PageAllocator* allocator,
+                    std::vector<storage::RunRef>* runs, uint32_t width,
+                    size_t target_count, const std::string& tag);
 
 }  // namespace ghostdb::exec

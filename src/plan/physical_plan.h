@@ -1,0 +1,67 @@
+// The physical operator tree the planner hands to the execution engine.
+//
+// A PhysicalPlan lowers a decided PlanChoice (per-table Visible strategies +
+// projection algorithm) into an explicit pipeline of physical operators:
+//
+//   VisSelect -> BloomBuild -> Merge -> SJoin [-> PostSelect]
+//     -> Project | BruteForceProject
+//     [-> Aggregate] [-> Distinct] [-> Sort] [-> Limit]
+//
+// Nodes are stored flat (children by index) so plans are cheap to copy and
+// cache: the plan cache in core::GhostDB keys them by query shape.
+// Everything in a PhysicalPlan derives from the query text and Visible
+// statistics only — never from Hidden data — so a cached or explained plan
+// is safe to show Untrusted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "plan/strategy.h"
+#include "sql/binder.h"
+
+namespace ghostdb::plan {
+
+/// Physical operator kinds, one per exec-layer Operator class.
+enum class PhysicalOp : uint8_t {
+  kVisSelect,          ///< serve Vis ids, apply per-table strategy prep
+  kBloomBuild,         ///< BuildBF for (Cross)Post-Filter tables
+  kMerge,              ///< anchor-level intersection of unions
+  kSJoin,              ///< semi-join against the anchor SKT (ProbeBF fused)
+  kPostSelect,         ///< exact Post-Select passes over F'
+  kProject,            ///< section 4 Project (BF-filtered MJoin)
+  kBruteForceProject,  ///< Figs 12-13 baseline
+  kAggregate,          ///< fold rows into aggregate values
+  kDistinct,           ///< drop duplicate rows (first occurrence wins)
+  kSort,               ///< ORDER BY over select-list columns
+  kLimit,              ///< truncate the stream after N rows
+};
+
+std::string_view PhysicalOpName(PhysicalOp op);
+
+/// One node of the flat operator tree.
+struct PhysicalNode {
+  PhysicalOp op;
+  std::vector<int> children;  ///< indices into PhysicalPlan::nodes
+  uint64_t limit = 0;         ///< kLimit: row cap
+};
+
+/// \brief A fully lowered plan: strategy decisions plus the operator tree.
+struct PhysicalPlan {
+  PlanChoice choice;
+  std::vector<PhysicalNode> nodes;
+  int root = -1;
+
+  /// Indented tree rendering (EXPLAIN).
+  std::string ToString(const catalog::Schema& schema) const;
+};
+
+/// Lowers `choice` into the operator tree for `query`. Pure function of the
+/// bound query's visible shape and the choice.
+PhysicalPlan BuildPhysicalPlan(const sql::BoundQuery& query,
+                               PlanChoice choice);
+
+}  // namespace ghostdb::plan

@@ -110,6 +110,27 @@ Result<PlanChoice> Planner::Choose(
   return plan;
 }
 
+Result<PhysicalPlan> Planner::PlanQuery(
+    const sql::BoundQuery& query,
+    const std::map<TableId, uint64_t>& vis_counts,
+    const exec::ExecConfig& exec_config) const {
+  GHOSTDB_ASSIGN_OR_RETURN(PlanChoice choice,
+                           Choose(query, vis_counts, exec_config));
+  return BuildPhysicalPlan(query, std::move(choice));
+}
+
+std::string Planner::Explain(
+    const sql::BoundQuery& query, const PhysicalPlan& plan,
+    const std::map<TableId, uint64_t>& vis_counts) const {
+  std::string out = Explain(query, plan.choice, vis_counts);
+  out += "  pipeline:\n";
+  std::istringstream tree(plan.ToString(*schema_));
+  for (std::string line; std::getline(tree, line);) {
+    out += "    " + line + "\n";
+  }
+  return out;
+}
+
 std::string Planner::Explain(
     const sql::BoundQuery& query, const PlanChoice& plan,
     const std::map<TableId, uint64_t>& vis_counts) const {

@@ -15,6 +15,7 @@
 #include "core/secure_store.h"
 #include "exec/executor.h"
 #include "plan/cost_model.h"
+#include "plan/physical_plan.h"
 #include "plan/strategy.h"
 #include "sql/binder.h"
 
@@ -43,6 +44,13 @@ class Planner {
                                 vis_counts,
                             const exec::ExecConfig& exec_config) const;
 
+  /// Chooses strategies and lowers them into the physical operator tree —
+  /// the unit the execution engine runs and core::GhostDB caches.
+  Result<PhysicalPlan> PlanQuery(const sql::BoundQuery& query,
+                                 const std::map<catalog::TableId, uint64_t>&
+                                     vis_counts,
+                                 const exec::ExecConfig& exec_config) const;
+
   /// Estimated combined selectivity of the hidden predicates on tables in
   /// `subtree_root`'s subtree (1.0 when none).
   double HiddenSubtreeSelectivity(const sql::BoundQuery& query,
@@ -50,6 +58,12 @@ class Planner {
 
   /// Human-readable plan description (EXPLAIN).
   std::string Explain(const sql::BoundQuery& query, const PlanChoice& plan,
+                      const std::map<catalog::TableId, uint64_t>& vis_counts)
+      const;
+
+  /// EXPLAIN for a lowered plan: strategy summary plus the operator
+  /// pipeline.
+  std::string Explain(const sql::BoundQuery& query, const PhysicalPlan& plan,
                       const std::map<catalog::TableId, uint64_t>& vis_counts)
       const;
 
