@@ -120,6 +120,55 @@ Result<sql::BoundQuery> GhostDB::BindSelect(const std::string& sql,
   return sql::Bind(*select, schema_, sql);
 }
 
+Status GhostDB::ServeVisCounts(const sql::BoundQuery& query,
+                               std::map<TableId, uint64_t>* out) {
+  for (TableId t : query.tables) {
+    if (!query.HasVisiblePredicateOn(t)) continue;
+    GHOSTDB_ASSIGN_OR_RETURN(uint64_t count,
+                             untrusted_->ServeVisibleCount(query, t));
+    (*out)[t] = count;
+  }
+  return Status::OK();
+}
+
+Result<const PreparedQuery*> GhostDB::PrepareBound(
+    const sql::BoundQuery& query, bool* hit_out) {
+  GHOSTDB_ASSIGN_OR_RETURN(std::string shape, sql::QueryShape(query.sql));
+  auto it = plan_cache_.find(shape);
+  if (it != plan_cache_.end()) {
+    it->second.hits += 1;
+    if (hit_out != nullptr) *hit_out = true;
+    return &it->second;
+  }
+  // Visible selectivities, computed by Untrusted from visible data. Cache
+  // hits skip these round-trips entirely — the main per-query planning
+  // cost under throughput workloads.
+  std::map<TableId, uint64_t> vis_counts;
+  GHOSTDB_RETURN_NOT_OK(ServeVisCounts(query, &vis_counts));
+  GHOSTDB_ASSIGN_OR_RETURN(
+      plan::PhysicalPlan plan,
+      planner_->PlanQuery(query, vis_counts, config_.exec));
+  PreparedQuery prepared;
+  prepared.shape = shape;
+  prepared.plan = std::move(plan);
+  if (hit_out != nullptr) *hit_out = false;
+  auto [pos, inserted] =
+      plan_cache_.emplace(std::move(shape), std::move(prepared));
+  (void)inserted;
+  return &pos->second;
+}
+
+Result<const PreparedQuery*> GhostDB::Prepare(const std::string& sql) {
+  if (!built_) {
+    return Status::InvalidArgument("call Build() before Prepare()");
+  }
+  GHOSTDB_ASSIGN_OR_RETURN(sql::BoundQuery query, BindSelect(sql, nullptr));
+  // Planning consults Untrusted's visible counts, so the statement is
+  // announced exactly as at execution time.
+  untrusted_->ReceiveQuery(query.sql);
+  return PrepareBound(query, nullptr);
+}
+
 Result<exec::QueryResult> GhostDB::RunSelect(const sql::BoundQuery& query,
                                              const plan::PlanChoice* pinned) {
   if (!built_) {
@@ -128,23 +177,20 @@ Result<exec::QueryResult> GhostDB::RunSelect(const sql::BoundQuery& query,
   exec::MetricSnapshot baseline = exec::MetricSnapshot::Take(device_.get());
   // The query text is the only information that leaves the key.
   untrusted_->ReceiveQuery(query.sql);
-  // Visible selectivities, computed by Untrusted from visible data.
-  std::map<TableId, uint64_t> vis_counts;
-  for (TableId t : query.tables) {
-    if (!query.HasVisiblePredicateOn(t)) continue;
-    GHOSTDB_ASSIGN_OR_RETURN(uint64_t count,
-                             untrusted_->ServeVisibleCount(query, t));
-    vis_counts[t] = count;
-  }
-  plan::PlanChoice plan;
-  if (pinned != nullptr) {
-    plan = *pinned;
-  } else {
-    GHOSTDB_ASSIGN_OR_RETURN(plan,
-                             planner_->Choose(query, vis_counts,
-                                              config_.exec));
-  }
+
   if (query.explain) {
+    // EXPLAIN always plans afresh (never touches the cache): a cached
+    // tree would render the literals and selectivities of the statement
+    // that populated it, not this one.
+    std::map<TableId, uint64_t> vis_counts;
+    GHOSTDB_RETURN_NOT_OK(ServeVisCounts(query, &vis_counts));
+    plan::PhysicalPlan plan;
+    if (pinned != nullptr) {
+      plan = plan::BuildPhysicalPlan(query, *pinned);
+    } else {
+      GHOSTDB_ASSIGN_OR_RETURN(
+          plan, planner_->PlanQuery(query, vis_counts, config_.exec));
+    }
     exec::QueryResult result;
     result.columns = {"plan"};
     result.rows = {{catalog::Value::String(
@@ -152,7 +198,53 @@ Result<exec::QueryResult> GhostDB::RunSelect(const sql::BoundQuery& query,
     result.total_rows = 1;
     return result;
   }
-  return executor_->Execute(query, plan, &baseline);
+
+  plan::PhysicalPlan pinned_plan;
+  const plan::PhysicalPlan* plan = nullptr;
+  bool cache_hit = false;
+  bool cached_path = pinned == nullptr;
+  if (pinned != nullptr) {
+    // Pinned runs serve the Vis counts like a planner run would, so their
+    // transcripts and metrics stay comparable across strategies.
+    std::map<TableId, uint64_t> vis_counts;
+    GHOSTDB_RETURN_NOT_OK(ServeVisCounts(query, &vis_counts));
+    pinned_plan = plan::BuildPhysicalPlan(query, *pinned);
+    plan = &pinned_plan;
+  } else {
+    GHOSTDB_ASSIGN_OR_RETURN(const PreparedQuery* prepared,
+                             PrepareBound(query, &cache_hit));
+    plan = &prepared->plan;  // cache entries are pointer-stable
+  }
+  GHOSTDB_ASSIGN_OR_RETURN(exec::QueryResult result,
+                           executor_->Execute(query, *plan, &baseline));
+  if (cached_path) {
+    result.metrics.plan_cache_hits = cache_hit ? 1 : 0;
+    result.metrics.plan_cache_misses = cache_hit ? 0 : 1;
+  }
+  return result;
+}
+
+Result<BatchResult> GhostDB::QueryBatch(const std::vector<std::string>& sqls) {
+  if (!built_) {
+    return Status::InvalidArgument("call Build() before querying");
+  }
+  // One baseline spans the whole batch: `total` reports the batch-wide
+  // costs (statements still carry their own per-query metrics).
+  exec::MetricSnapshot baseline = exec::MetricSnapshot::Take(device_.get());
+  BatchResult batch;
+  batch.results.reserve(sqls.size());
+  for (const std::string& sql : sqls) {
+    GHOSTDB_ASSIGN_OR_RETURN(sql::BoundQuery query,
+                             BindSelect(sql, nullptr));
+    GHOSTDB_ASSIGN_OR_RETURN(exec::QueryResult result,
+                             RunSelect(query, nullptr));
+    batch.total.plan_cache_hits += result.metrics.plan_cache_hits;
+    batch.total.plan_cache_misses += result.metrics.plan_cache_misses;
+    batch.total.result_rows += result.total_rows;
+    batch.results.push_back(std::move(result));
+  }
+  baseline.Delta(device_.get(), &batch.total);
+  return batch;
 }
 
 Result<exec::QueryResult> GhostDB::Query(const std::string& sql) {

@@ -12,6 +12,7 @@
 // by the audited channel. Only the query text ever crosses to Untrusted.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,6 +48,24 @@ struct GhostDBConfig {
   plan::PlannerConfig planner;
 };
 
+/// \brief A cached physical plan, keyed on the query shape (statement text
+/// with literals normalized to '?'). Shapes derive from the visible query
+/// text only, so the cache's behavior can never depend on Hidden data.
+/// Literal-dependent pieces (predicate values, the LIMIT count) are always
+/// re-bound from the live statement at execution time.
+struct PreparedQuery {
+  std::string shape;
+  plan::PhysicalPlan plan;
+  uint64_t hits = 0;       ///< cache hits served by this entry
+};
+
+/// \brief Result of QueryBatch(): per-statement answers plus batch-level
+/// costs measured from a single MetricSnapshot baseline.
+struct BatchResult {
+  std::vector<exec::QueryResult> results;
+  exec::QueryMetrics total;  ///< deltas over the whole batch
+};
+
 /// \brief The GhostDB engine.
 class GhostDB {
  public:
@@ -62,10 +81,23 @@ class GhostDB {
   /// fully indexed model. Must be called once, before the first query.
   Status Build();
 
-  /// Runs a SELECT (or EXPLAIN SELECT). The planner picks strategies.
+  /// Runs a SELECT (or EXPLAIN SELECT). The planner picks strategies;
+  /// repeated query shapes reuse the cached plan and skip the planning
+  /// round-trips.
   Result<exec::QueryResult> Query(const std::string& sql);
 
-  /// Runs a SELECT under a pinned plan (benches compare strategies).
+  /// Binds and plans `sql`, caching the result by query shape. Later
+  /// Query()/QueryBatch() calls with the same shape reuse the plan. The
+  /// returned pointer stays valid for the lifetime of this GhostDB.
+  Result<const PreparedQuery*> Prepare(const std::string& sql);
+
+  /// Executes many statements against one MetricSnapshot baseline — the
+  /// throughput surface. Per-statement answers come back in order;
+  /// `total` carries the batch-wide costs and plan-cache hit counts.
+  Result<BatchResult> QueryBatch(const std::vector<std::string>& sqls);
+
+  /// Runs a SELECT under a pinned plan (benches compare strategies);
+  /// bypasses the plan cache.
   Result<exec::QueryResult> QueryWithPlan(const std::string& sql,
                                           const plan::PlanChoice& plan);
 
@@ -84,10 +116,22 @@ class GhostDB {
   /// Storage report: live flash pages per structure tag.
   std::string StorageReport() const;
 
+  /// Number of distinct query shapes currently cached.
+  size_t plan_cache_size() const { return plan_cache_.size(); }
+
  private:
   Result<sql::BoundQuery> BindSelect(const std::string& sql, bool* explain);
   Result<exec::QueryResult> RunSelect(const sql::BoundQuery& query,
                                       const plan::PlanChoice* pinned);
+  /// Plan-cache lookup / fill for an already-bound (and announced) query.
+  /// On a miss, serves the Vis counts, plans, and caches; `hit_out`
+  /// (optional) reports whether it was a hit.
+  Result<const PreparedQuery*> PrepareBound(const sql::BoundQuery& query,
+                                            bool* hit_out);
+  /// One vis-count exchange per table with visible predicates (the
+  /// planner's selectivity inputs; visible information only).
+  Status ServeVisCounts(const sql::BoundQuery& query,
+                        std::map<catalog::TableId, uint64_t>* out);
 
   GhostDBConfig config_;
   catalog::Schema schema_;
@@ -98,6 +142,9 @@ class GhostDB {
   SecureStore store_;
   std::unique_ptr<exec::SecureExecutor> executor_;
   std::unique_ptr<plan::Planner> planner_;
+  /// Plan cache: query shape -> prepared query. Entries are stable (the
+  /// map never erases), so Prepare() pointers stay valid.
+  std::map<std::string, PreparedQuery> plan_cache_;
   bool built_ = false;
 };
 
