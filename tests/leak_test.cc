@@ -127,6 +127,89 @@ TEST(LeakTest, TranscriptDependsOnlyOnQueryNotOnHiddenResultSize) {
   RunAndCompare("SELECT Fact.id FROM Fact WHERE Fact.h = 0 AND Fact.v < 99");
 }
 
+TEST(LeakTest, SortOperatorLeaksNothing) {
+  // ORDER BY sorts on the Secure side, after everything observable: key
+  // values, comparison counts, and the sorted order must not touch the
+  // channel.
+  RunAndCompare(
+      "SELECT Fact.id, Fact.h FROM Fact WHERE Fact.v < 50 AND Fact.h < 60 "
+      "ORDER BY Fact.h DESC");
+}
+
+TEST(LeakTest, LimitOperatorLeaksNothing) {
+  // LIMIT cuts the pull stream early; how early depends on hidden data,
+  // but all channel traffic happened before the projection stream starts.
+  RunAndCompare(
+      "SELECT Fact.id FROM Fact, Dim WHERE Fact.fk = Dim.id AND "
+      "Dim.h < 40 AND Fact.v < 50 LIMIT 5");
+}
+
+TEST(LeakTest, DistinctOperatorLeaksNothing) {
+  // The distinct set (its size is hidden-derived) lives on Secure only.
+  RunAndCompare(
+      "SELECT DISTINCT Fact.v FROM Fact WHERE Fact.h < 30 AND Fact.v < 80");
+}
+
+TEST(LeakTest, ComposedSortLimitDistinctLeaksNothing) {
+  RunAndCompare(
+      "SELECT DISTINCT Fact.v FROM Fact, Dim WHERE Fact.fk = Dim.id AND "
+      "Dim.h < 70 AND Fact.v < 60 ORDER BY Fact.v DESC LIMIT 3");
+}
+
+TEST(LeakTest, BatchPathTranscriptsAreHiddenIndependent) {
+  // QueryBatch() reuses cached plans after the first statement of each
+  // shape; cache behavior keys on the visible query text only, so the
+  // whole batch transcript must be hidden-independent.
+  GhostDB db1(Config()), db2(Config());
+  BuildDb(&db1, /*hidden_seed=*/21);
+  BuildDb(&db2, /*hidden_seed=*/22);
+  std::vector<std::string> sqls;
+  for (int i = 0; i < 12; ++i) {
+    sqls.push_back("SELECT Fact.id FROM Fact WHERE Fact.h < " +
+                   std::to_string(10 + 5 * i) + " AND Fact.v < 50");
+    sqls.push_back("SELECT DISTINCT Fact.v FROM Fact WHERE Fact.h >= " +
+                   std::to_string(3 * i) + " ORDER BY Fact.v LIMIT 4");
+  }
+  db1.device().channel().ClearTranscript();
+  db2.device().channel().ClearTranscript();
+  auto r1 = db1.QueryBatch(sqls);
+  auto r2 = db2.QueryBatch(sqls);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  ASSERT_GT(r1->total.plan_cache_hits, 0u);
+  ExpectIdenticalTranscripts(db1.device().channel().transcript(),
+                             db2.device().channel().transcript());
+}
+
+TEST(LeakTest, NewOperatorsSendZeroHiddenDerivedBytesToUntrusted) {
+  // For Sort/Limit/Distinct and the batch path alike, everything Secure
+  // ever sends Untrusted is the query announcements — nothing sized or
+  // timed by hidden data.
+  GhostDB db(Config());
+  BuildDb(&db, 42);
+  std::vector<std::string> sqls = {
+      "SELECT Fact.id, Fact.h FROM Fact WHERE Fact.v < 40 AND Fact.h < 50 "
+      "ORDER BY Fact.h",
+      "SELECT DISTINCT Fact.v FROM Fact WHERE Fact.h < 25",
+      "SELECT Fact.id FROM Fact, Dim WHERE Fact.fk = Dim.id AND "
+      "Dim.h < 35 AND Fact.v < 45 ORDER BY Fact.id DESC LIMIT 2",
+  };
+  db.device().channel().ClearTranscript();
+  auto batch = db.QueryBatch(sqls);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  uint64_t announced = 0;
+  for (const auto& m : db.device().channel().transcript()) {
+    if (m.direction == Direction::kToUntrusted) {
+      EXPECT_EQ(m.label, "query");  // only the visible statement text
+      announced += m.bytes;
+    }
+  }
+  uint64_t query_text_bytes = 0;
+  for (const auto& sql : sqls) query_text_bytes += sql.size();
+  EXPECT_EQ(announced, query_text_bytes);
+  EXPECT_EQ(batch->total.bytes_to_untrusted, query_text_bytes);
+}
+
 TEST(LeakTest, NoHiddenBytesEverReachUntrusted) {
   GhostDB db(Config());
   BuildDb(&db, 42);

@@ -1,0 +1,400 @@
+// Operator-pipeline tests: the new end-to-end SQL surface (ORDER BY /
+// LIMIT / DISTINCT) checked against the reference oracle on the Fig 3
+// schema, plus the servable API — Prepare() plan caching and QueryBatch()
+// throughput execution.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/database.h"
+#include "reference/oracle.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace ghostdb {
+namespace {
+
+using catalog::Value;
+using core::BatchResult;
+using core::GhostDB;
+using core::GhostDBConfig;
+using core::PreparedQuery;
+
+// The paper's Fig 3 tree with deterministic random data:
+//   T0(2000) -> T1(400) -> {T11(80), T12(60)}, T0 -> T2(100)
+class OperatorPipelineTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kT0 = 2000, kT1 = 400, kT2 = 100, kT11 = 80,
+                            kT12 = 60;
+
+  void BuildDb(GhostDB* db, uint64_t seed = 42) {
+    ASSERT_TRUE(db->Execute("CREATE TABLE T11 (id INT, v INT, h INT HIDDEN)")
+                    .ok());
+    ASSERT_TRUE(db->Execute("CREATE TABLE T12 (id INT, v INT, h INT HIDDEN)")
+                    .ok());
+    ASSERT_TRUE(db->Execute("CREATE TABLE T2 (id INT, v INT, h INT HIDDEN)")
+                    .ok());
+    ASSERT_TRUE(
+        db->Execute("CREATE TABLE T1 (id INT, fk11 INT REFERENCES T11 "
+                    "HIDDEN, fk12 INT REFERENCES T12 HIDDEN, v INT, "
+                    "vs CHAR(8), h INT HIDDEN)")
+            .ok());
+    ASSERT_TRUE(
+        db->Execute("CREATE TABLE T0 (id INT, fk1 INT REFERENCES T1 HIDDEN, "
+                    "fk2 INT REFERENCES T2 HIDDEN, v INT, h INT HIDDEN, "
+                    "hs CHAR(8) HIDDEN)")
+            .ok());
+
+    Rng rng(seed);
+    auto rint = [&](int bound) {
+      return Value::Int32(static_cast<int32_t>(rng.Uniform(bound)));
+    };
+    auto rstr = [&](const char* prefix) {
+      return Value::String(std::string(prefix) +
+                           std::to_string(rng.Uniform(50)));
+    };
+    auto stage = [&](const char* name, uint32_t n, auto make_row) {
+      auto data = db->MutableStaging(name);
+      ASSERT_TRUE(data.ok());
+      for (uint32_t i = 0; i < n; ++i) {
+        ASSERT_TRUE((*data)->AppendRow(make_row(i)).ok());
+      }
+    };
+    stage("T11", kT11, [&](uint32_t) {
+      return std::vector<Value>{rint(100), rint(100)};
+    });
+    stage("T12", kT12, [&](uint32_t) {
+      return std::vector<Value>{rint(100), rint(100)};
+    });
+    stage("T2", kT2, [&](uint32_t) {
+      return std::vector<Value>{rint(100), rint(100)};
+    });
+    stage("T1", kT1, [&](uint32_t) {
+      return std::vector<Value>{rint(kT11), rint(kT12), rint(100),
+                                rstr("s"), rint(100)};
+    });
+    stage("T0", kT0, [&](uint32_t) {
+      return std::vector<Value>{rint(kT1), rint(kT2), rint(100), rint(100),
+                                rstr("h")};
+    });
+    ASSERT_TRUE(db->Build().ok());
+  }
+
+  GhostDBConfig SmallConfig() {
+    GhostDBConfig cfg;
+    cfg.device.flash.logical_pages = 32 * 1024;
+    cfg.retain_staged_data = true;
+    return cfg;
+  }
+
+  void ExpectMatchesOracle(GhostDB* db, const std::string& sql) {
+    auto stmt = sql::Parse(sql);
+    ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+    auto bound =
+        sql::Bind(std::get<sql::SelectStmt>(*stmt), db->schema(), sql);
+    ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+    auto expected = reference::Evaluate(db->schema(), db->staged(), *bound);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+    auto got = db->Query(sql);
+    ASSERT_TRUE(got.ok()) << sql << " -> " << got.status().ToString();
+    ASSERT_EQ(got->total_rows, expected->size()) << sql;
+    ASSERT_EQ(got->rows.size(), expected->size()) << sql;
+    for (size_t i = 0; i < expected->size(); ++i) {
+      ASSERT_EQ(got->rows[i].size(), (*expected)[i].size());
+      for (size_t j = 0; j < (*expected)[i].size(); ++j) {
+        ASSERT_EQ(got->rows[i][j], (*expected)[i][j])
+            << sql << " row " << i << " col " << j;
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// ORDER BY / LIMIT / DISTINCT end-to-end vs the oracle
+// ---------------------------------------------------------------------------
+
+TEST_F(OperatorPipelineTest, OrderByVisibleAscending) {
+  GhostDB db(SmallConfig());
+  BuildDb(&db);
+  ExpectMatchesOracle(
+      &db, "SELECT T1.id, T1.v FROM T1 WHERE T1.h < 40 ORDER BY T1.v");
+}
+
+TEST_F(OperatorPipelineTest, OrderByHiddenDescending) {
+  GhostDB db(SmallConfig());
+  BuildDb(&db);
+  ExpectMatchesOracle(
+      &db, "SELECT T12.id, T12.h FROM T12 WHERE T12.h < 70 "
+           "ORDER BY T12.h DESC");
+}
+
+TEST_F(OperatorPipelineTest, OrderByMultipleKeys) {
+  GhostDB db(SmallConfig());
+  BuildDb(&db);
+  ExpectMatchesOracle(&db,
+                      "SELECT T1.v, T1.h, T1.id FROM T1 WHERE T1.h < 60 "
+                      "ORDER BY T1.v ASC, T1.h DESC");
+}
+
+TEST_F(OperatorPipelineTest, OrderByStringColumn) {
+  GhostDB db(SmallConfig());
+  BuildDb(&db);
+  ExpectMatchesOracle(
+      &db, "SELECT T1.id, T1.vs FROM T1 WHERE T1.h < 30 ORDER BY T1.vs");
+}
+
+TEST_F(OperatorPipelineTest, OrderByAcrossJoin) {
+  GhostDB db(SmallConfig());
+  BuildDb(&db);
+  ExpectMatchesOracle(&db,
+                      "SELECT T0.id, T1.v FROM T0, T1 WHERE "
+                      "T0.fk1 = T1.id AND T1.h < 25 ORDER BY T1.v DESC");
+}
+
+TEST_F(OperatorPipelineTest, LimitTruncatesAndCountsExactly) {
+  GhostDB db(SmallConfig());
+  BuildDb(&db);
+  ExpectMatchesOracle(&db, "SELECT T0.id FROM T0 WHERE T0.h < 80 LIMIT 7");
+  auto r = db.Query("SELECT T0.id FROM T0 WHERE T0.h < 80 LIMIT 7");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->total_rows, 7u);
+  EXPECT_EQ(r->rows.size(), 7u);
+}
+
+TEST_F(OperatorPipelineTest, LimitLargerThanResultIsHarmless) {
+  GhostDB db(SmallConfig());
+  BuildDb(&db);
+  ExpectMatchesOracle(
+      &db, "SELECT T12.id FROM T12 WHERE T12.h = 17 LIMIT 1000");
+}
+
+TEST_F(OperatorPipelineTest, Distinct) {
+  GhostDB db(SmallConfig());
+  BuildDb(&db);
+  ExpectMatchesOracle(&db, "SELECT DISTINCT T1.v FROM T1 WHERE T1.h < 50");
+}
+
+TEST_F(OperatorPipelineTest, DistinctAcrossJoin) {
+  GhostDB db(SmallConfig());
+  BuildDb(&db);
+  ExpectMatchesOracle(&db,
+                      "SELECT DISTINCT T1.v FROM T0, T1 WHERE "
+                      "T0.fk1 = T1.id AND T0.v < 40 AND T1.h < 60");
+}
+
+TEST_F(OperatorPipelineTest, DistinctOrderByLimitComposed) {
+  GhostDB db(SmallConfig());
+  BuildDb(&db);
+  ExpectMatchesOracle(&db,
+                      "SELECT DISTINCT T1.v FROM T1 WHERE T1.h < 70 "
+                      "ORDER BY T1.v DESC LIMIT 5");
+}
+
+TEST_F(OperatorPipelineTest, OrderByLimitAcrossThreeWayJoin) {
+  GhostDB db(SmallConfig());
+  BuildDb(&db);
+  ExpectMatchesOracle(&db,
+                      "SELECT T0.id, T1.v, T12.h FROM T0, T1, T12 WHERE "
+                      "T0.fk1 = T1.id AND T1.fk12 = T12.id AND T1.v < 30 "
+                      "AND T12.h < 40 ORDER BY T12.h, T0.id LIMIT 20");
+}
+
+TEST_F(OperatorPipelineTest, AggregateWithLimitStillOneRow) {
+  GhostDB db(SmallConfig());
+  BuildDb(&db);
+  ExpectMatchesOracle(
+      &db, "SELECT COUNT(*), MIN(T1.v) FROM T1 WHERE T1.h < 45 LIMIT 3");
+}
+
+TEST_F(OperatorPipelineTest, OrderByMustReferenceSelectList) {
+  GhostDB db(SmallConfig());
+  BuildDb(&db);
+  auto r = db.Query("SELECT T1.id FROM T1 WHERE T1.h < 40 ORDER BY T1.v");
+  EXPECT_TRUE(r.status().IsNotSupported()) << r.status().ToString();
+}
+
+TEST_F(OperatorPipelineTest, DistinctOverAggregatesRejected) {
+  GhostDB db(SmallConfig());
+  BuildDb(&db);
+  auto r = db.Query("SELECT DISTINCT COUNT(*) FROM T1");
+  EXPECT_TRUE(r.status().IsNotSupported()) << r.status().ToString();
+}
+
+TEST_F(OperatorPipelineTest, ExplainShowsPipeline) {
+  GhostDB db(SmallConfig());
+  BuildDb(&db);
+  auto text = db.Explain(
+      "SELECT DISTINCT T1.v FROM T1 WHERE T1.v < 50 AND T1.h < 40 "
+      "ORDER BY T1.v LIMIT 4");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("pipeline"), std::string::npos);
+  EXPECT_NE(text->find("Limit"), std::string::npos);
+  EXPECT_NE(text->find("Sort"), std::string::npos);
+  EXPECT_NE(text->find("Distinct"), std::string::npos);
+  EXPECT_NE(text->find("SJoin"), std::string::npos);
+  EXPECT_NE(text->find("VisSelect"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Prepare() and the plan cache
+// ---------------------------------------------------------------------------
+
+TEST_F(OperatorPipelineTest, PrepareCachesByShape) {
+  GhostDB db(SmallConfig());
+  BuildDb(&db);
+  auto p1 = db.Prepare("SELECT T1.id FROM T1 WHERE T1.v < 10 AND T1.h < 20");
+  ASSERT_TRUE(p1.ok()) << p1.status().ToString();
+  EXPECT_EQ(db.plan_cache_size(), 1u);
+  // Different literals, same shape: served from the cache.
+  auto p2 = db.Prepare("SELECT T1.id FROM T1 WHERE T1.v < 55 AND T1.h < 66");
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(*p1, *p2);
+  EXPECT_EQ((*p2)->hits, 1u);
+  EXPECT_EQ(db.plan_cache_size(), 1u);
+  // A different shape gets its own entry.
+  auto p3 = db.Prepare("SELECT T12.id FROM T12 WHERE T12.h = 3");
+  ASSERT_TRUE(p3.ok());
+  EXPECT_EQ(db.plan_cache_size(), 2u);
+}
+
+TEST_F(OperatorPipelineTest, QueryReusesPreparedPlan) {
+  GhostDB db(SmallConfig());
+  BuildDb(&db);
+  auto first =
+      db.Query("SELECT T1.id FROM T1 WHERE T1.v < 30 AND T1.h < 40");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->metrics.plan_cache_hits, 0u);
+  EXPECT_EQ(first->metrics.plan_cache_misses, 1u);
+  auto second =
+      db.Query("SELECT T1.id FROM T1 WHERE T1.v < 80 AND T1.h < 5");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->metrics.plan_cache_hits, 1u);
+  EXPECT_EQ(second->metrics.plan_cache_misses, 0u);
+}
+
+TEST_F(OperatorPipelineTest, CacheHitSkipsPlanningRoundTrips) {
+  GhostDB db(SmallConfig());
+  BuildDb(&db);
+  const char* sql = "SELECT T1.id FROM T1 WHERE T1.v < 30 AND T1.h < 40";
+  auto miss = db.Query(sql);
+  ASSERT_TRUE(miss.ok());
+  auto hit = db.Query(sql);
+  ASSERT_TRUE(hit.ok());
+  // The hit answers identically but moves fewer bytes to Secure (no
+  // vis-count exchange).
+  EXPECT_EQ(hit->total_rows, miss->total_rows);
+  EXPECT_LT(hit->metrics.bytes_to_secure, miss->metrics.bytes_to_secure);
+}
+
+TEST_F(OperatorPipelineTest, CachedPlanRebindsLimitLiteral) {
+  GhostDB db(SmallConfig());
+  BuildDb(&db);
+  auto r3 = db.Query("SELECT T0.id FROM T0 WHERE T0.h < 90 LIMIT 3");
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->total_rows, 3u);
+  // Same shape, different LIMIT literal: the cached plan must not pin the
+  // old limit.
+  auto r9 = db.Query("SELECT T0.id FROM T0 WHERE T0.h < 90 LIMIT 9");
+  ASSERT_TRUE(r9.ok());
+  EXPECT_EQ(r9->metrics.plan_cache_hits, 1u);
+  EXPECT_EQ(r9->total_rows, 9u);
+}
+
+TEST_F(OperatorPipelineTest, PinnedPlansBypassTheCache) {
+  GhostDB db(SmallConfig());
+  BuildDb(&db);
+  plan::PlanChoice pinned;
+  auto r = db.QueryWithPlan(
+      "SELECT T1.id FROM T1 WHERE T1.v < 30 AND T1.h < 40", pinned);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->metrics.plan_cache_hits, 0u);
+  EXPECT_EQ(r->metrics.plan_cache_misses, 0u);
+  EXPECT_EQ(db.plan_cache_size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// QueryBatch(): the throughput surface
+// ---------------------------------------------------------------------------
+
+TEST_F(OperatorPipelineTest, QueryBatchOf100MixedStatementsHitsTheCache) {
+  GhostDB db(SmallConfig());
+  BuildDb(&db);
+  // 100 statements over 5 shapes with rotating literals.
+  std::vector<std::string> sqls;
+  for (int i = 0; i < 100; ++i) {
+    switch (i % 5) {
+      case 0:
+        sqls.push_back("SELECT T1.id FROM T1 WHERE T1.v < " +
+                       std::to_string(5 + i % 60) + " AND T1.h < 40");
+        break;
+      case 1:
+        sqls.push_back("SELECT T12.id, T12.h FROM T12 WHERE T12.h < " +
+                       std::to_string(10 + i % 50));
+        break;
+      case 2:
+        sqls.push_back("SELECT T0.id, T1.v FROM T0, T1 WHERE "
+                       "T0.fk1 = T1.id AND T1.v < " +
+                       std::to_string(20 + i % 40) + " AND T1.h < 30");
+        break;
+      case 3:
+        sqls.push_back("SELECT DISTINCT T1.v FROM T1 WHERE T1.h < " +
+                       std::to_string(30 + i % 30) +
+                       " ORDER BY T1.v LIMIT 10");
+        break;
+      default:
+        sqls.push_back("SELECT COUNT(*) FROM T0 WHERE T0.v < " +
+                       std::to_string(15 + i % 70));
+        break;
+    }
+  }
+  auto batch = db.QueryBatch(sqls);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->results.size(), 100u);
+  // 5 shapes -> 5 misses, 95 hits.
+  EXPECT_EQ(batch->total.plan_cache_misses, 5u);
+  EXPECT_EQ(batch->total.plan_cache_hits, 95u);
+  EXPECT_GT(batch->total.plan_cache_hits, 0u);
+  EXPECT_EQ(db.plan_cache_size(), 5u);
+  // Batch-wide costs come from one baseline.
+  EXPECT_GT(batch->total.total_ns, 0u);
+  EXPECT_GT(batch->total.bytes_to_untrusted, 0u);
+
+  // Every statement's answer equals a standalone Query() on a fresh
+  // database (the batch path changes costs, never answers).
+  GhostDB fresh(SmallConfig());
+  BuildDb(&fresh);
+  for (size_t i = 0; i < sqls.size(); i += 17) {
+    auto solo = fresh.Query(sqls[i]);
+    ASSERT_TRUE(solo.ok());
+    ASSERT_EQ(solo->total_rows, batch->results[i].total_rows) << sqls[i];
+    ASSERT_EQ(solo->rows, batch->results[i].rows) << sqls[i];
+  }
+}
+
+TEST_F(OperatorPipelineTest, QueryBatchMatchesOracle) {
+  GhostDB db(SmallConfig());
+  BuildDb(&db);
+  std::vector<std::string> sqls = {
+      "SELECT T1.id, T1.v FROM T1 WHERE T1.h < 40 ORDER BY T1.v DESC",
+      "SELECT DISTINCT T12.v FROM T12 WHERE T12.h < 50",
+      "SELECT T0.id FROM T0 WHERE T0.h < 60 LIMIT 12",
+  };
+  auto batch = db.QueryBatch(sqls);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    auto stmt = sql::Parse(sqls[i]);
+    ASSERT_TRUE(stmt.ok());
+    auto bound = sql::Bind(std::get<sql::SelectStmt>(*stmt), db.schema(),
+                           sqls[i]);
+    ASSERT_TRUE(bound.ok());
+    auto expected = reference::Evaluate(db.schema(), db.staged(), *bound);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_EQ(batch->results[i].rows, *expected) << sqls[i];
+  }
+}
+
+}  // namespace
+}  // namespace ghostdb
