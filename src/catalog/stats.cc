@@ -23,7 +23,10 @@ std::string_view CompareOpName(CompareOp op) {
 }
 
 bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs) {
-  int c = lhs.Compare(rhs);
+  return EvalCompareResult(lhs.Compare(rhs), op);
+}
+
+bool EvalCompareResult(int c, CompareOp op) {
   switch (op) {
     case CompareOp::kEq:
       return c == 0;

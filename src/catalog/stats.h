@@ -28,6 +28,11 @@ std::string_view CompareOpName(CompareOp op);
 /// True if `lhs op rhs` holds.
 bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs);
 
+/// True if `cmp op 0` holds, where `cmp` is a three-way comparison result
+/// (Value::Compare / CompareEncoded). Lets scans evaluate predicates on
+/// encoded cells without materializing a Value per row.
+bool EvalCompareResult(int cmp, CompareOp op);
+
 /// \brief Equi-depth quantile sketch over one column.
 class ColumnStats {
  public:

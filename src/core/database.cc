@@ -134,11 +134,14 @@ Status GhostDB::ServeVisCounts(const sql::BoundQuery& query,
 Result<const PreparedQuery*> GhostDB::PrepareBound(
     const sql::BoundQuery& query, bool* hit_out) {
   GHOSTDB_ASSIGN_OR_RETURN(std::string shape, sql::QueryShape(query.sql));
-  auto it = plan_cache_.find(shape);
-  if (it != plan_cache_.end()) {
-    it->second.hits += 1;
+  auto it = plan_cache_index_.find(shape);
+  if (it != plan_cache_index_.end()) {
+    // Refresh recency: move the entry to the front of the LRU list.
+    plan_cache_.splice(plan_cache_.begin(), plan_cache_, it->second);
+    it->second = plan_cache_.begin();
+    it->second->hits += 1;
     if (hit_out != nullptr) *hit_out = true;
-    return &it->second;
+    return &*it->second;
   }
   // Visible selectivities, computed by Untrusted from visible data. Cache
   // hits skip these round-trips entirely — the main per-query planning
@@ -152,10 +155,15 @@ Result<const PreparedQuery*> GhostDB::PrepareBound(
   prepared.shape = shape;
   prepared.plan = std::move(plan);
   if (hit_out != nullptr) *hit_out = false;
-  auto [pos, inserted] =
-      plan_cache_.emplace(std::move(shape), std::move(prepared));
-  (void)inserted;
-  return &pos->second;
+  plan_cache_.push_front(std::move(prepared));
+  plan_cache_index_[std::move(shape)] = plan_cache_.begin();
+  if (config_.plan_cache_capacity != 0 &&
+      plan_cache_.size() > config_.plan_cache_capacity) {
+    plan_cache_index_.erase(plan_cache_.back().shape);
+    plan_cache_.pop_back();
+    plan_cache_evictions_ += 1;
+  }
+  return &plan_cache_.front();
 }
 
 Result<const PreparedQuery*> GhostDB::Prepare(const std::string& sql) {

@@ -12,9 +12,11 @@
 // by the audited channel. Only the query text ever crosses to Untrusted.
 #pragma once
 
+#include <list>
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "catalog/schema.h"
@@ -43,6 +45,11 @@ struct GhostDBConfig {
   /// Name-based alternative to loader.indexed_attrs (resolved at Build()).
   std::optional<std::map<std::string, std::vector<std::string>>>
       indexed_attrs_by_name;
+  /// Most query shapes the plan cache keeps (least-recently-used shapes
+  /// are evicted and re-planned on next use). 0 = unbounded. Shapes derive
+  /// from visible query text only, so eviction cannot depend on Hidden
+  /// data.
+  size_t plan_cache_capacity = 128;
   LoaderConfig loader;
   exec::ExecConfig exec;
   plan::PlannerConfig planner;
@@ -88,7 +95,9 @@ class GhostDB {
 
   /// Binds and plans `sql`, caching the result by query shape. Later
   /// Query()/QueryBatch() calls with the same shape reuse the plan. The
-  /// returned pointer stays valid for the lifetime of this GhostDB.
+  /// returned pointer stays valid until the entry is evicted (an entry can
+  /// only be evicted after `plan_cache_capacity` other shapes have been
+  /// prepared more recently).
   Result<const PreparedQuery*> Prepare(const std::string& sql);
 
   /// Executes many statements against one MetricSnapshot baseline — the
@@ -118,6 +127,8 @@ class GhostDB {
 
   /// Number of distinct query shapes currently cached.
   size_t plan_cache_size() const { return plan_cache_.size(); }
+  /// Shapes evicted by the LRU bound so far.
+  uint64_t plan_cache_evictions() const { return plan_cache_evictions_; }
 
  private:
   Result<sql::BoundQuery> BindSelect(const std::string& sql, bool* explain);
@@ -142,9 +153,13 @@ class GhostDB {
   SecureStore store_;
   std::unique_ptr<exec::SecureExecutor> executor_;
   std::unique_ptr<plan::Planner> planner_;
-  /// Plan cache: query shape -> prepared query. Entries are stable (the
-  /// map never erases), so Prepare() pointers stay valid.
-  std::map<std::string, PreparedQuery> plan_cache_;
+  /// Plan cache: prepared queries in recency order (front = most recently
+  /// used) with a shape index. The list gives pointer-stable entries while
+  /// they live and O(1) LRU eviction from the back.
+  std::list<PreparedQuery> plan_cache_;
+  std::unordered_map<std::string, std::list<PreparedQuery>::iterator>
+      plan_cache_index_;
+  uint64_t plan_cache_evictions_ = 0;
   bool built_ = false;
 };
 

@@ -1,5 +1,7 @@
 #include "exec/aggregate.h"
 
+#include "common/coding.h"
+
 namespace ghostdb::exec {
 
 using catalog::DataType;
@@ -60,6 +62,53 @@ Status Aggregator::Accumulate(const Value& v) {
   return Status::OK();
 }
 
+Status Aggregator::AccumulateEncoded(const uint8_t* src) {
+  count_ += 1;
+  switch (func_) {
+    case AggFunc::kNone:
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return Status::OK();
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      switch (input_type_) {
+        case DataType::kInt32: {
+          int32_t v = static_cast<int32_t>(DecodeFixed32(src));
+          int_sum_ += v;
+          double_sum_ += v;
+          return Status::OK();
+        }
+        case DataType::kInt64: {
+          int64_t v = static_cast<int64_t>(DecodeFixed64(src));
+          int_sum_ += v;
+          double_sum_ += static_cast<double>(v);
+          return Status::OK();
+        }
+        case DataType::kDouble:
+          double_sum_ += DecodeDouble(src);
+          return Status::OK();
+        case DataType::kString:
+          return Status::InvalidArgument("SUM/AVG over CHAR column");
+      }
+      return Status::OK();
+    case AggFunc::kMin:
+      if (min_enc_.empty() ||
+          catalog::CompareEncoded(input_type_, input_width_, src,
+                                  min_enc_.data()) < 0) {
+        min_enc_.assign(src, src + input_width_);
+      }
+      return Status::OK();
+    case AggFunc::kMax:
+      if (max_enc_.empty() ||
+          catalog::CompareEncoded(input_type_, input_width_, src,
+                                  max_enc_.data()) > 0) {
+        max_enc_.assign(src, src + input_width_);
+      }
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
 catalog::DataType Aggregator::OutputType() const {
   switch (func_) {
     case AggFunc::kCountStar:
@@ -91,11 +140,17 @@ Result<Value> Aggregator::Finish() const {
       if (count_ == 0) return Value::Double(0);
       return Value::Double(double_sum_ / static_cast<double>(count_));
     case AggFunc::kMin:
+      if (!min_enc_.empty()) {
+        return Value::Decode(min_enc_.data(), input_type_, input_width_);
+      }
       if (!min_.has_value()) {
         return Status::NotFound("MIN over an empty result");
       }
       return *min_;
     case AggFunc::kMax:
+      if (!max_enc_.empty()) {
+        return Value::Decode(max_enc_.data(), input_type_, input_width_);
+      }
       if (!max_.has_value()) {
         return Status::NotFound("MAX over an empty result");
       }

@@ -26,11 +26,16 @@ std::string_view AggFuncName(AggFunc f);
 /// \brief Streaming accumulator for one aggregate output column.
 class Aggregator {
  public:
-  Aggregator(AggFunc func, catalog::DataType input_type)
-      : func_(func), input_type_(input_type) {}
+  Aggregator(AggFunc func, catalog::DataType input_type,
+             uint32_t input_width = 0)
+      : func_(func), input_type_(input_type), input_width_(input_width) {}
 
   /// Folds one input value (ignored for COUNT(*)).
   Status Accumulate(const catalog::Value& v);
+  /// Folds one encoded cell of `input_width_` bytes without materializing
+  /// a Value: sums decode the numeric in place, MIN/MAX keep the encoded
+  /// bytes and compare via catalog::CompareEncoded.
+  Status AccumulateEncoded(const uint8_t* src);
   /// Folds a COUNT(*) row.
   void AccumulateRow() { count_ += 1; }
 
@@ -45,11 +50,14 @@ class Aggregator {
  private:
   AggFunc func_;
   catalog::DataType input_type_;
+  uint32_t input_width_ = 0;  ///< encoded cell width (encoded path only)
   uint64_t count_ = 0;
   int64_t int_sum_ = 0;
   double double_sum_ = 0;
   std::optional<catalog::Value> min_;
   std::optional<catalog::Value> max_;
+  std::vector<uint8_t> min_enc_;  ///< encoded-path MIN (empty = unset)
+  std::vector<uint8_t> max_enc_;  ///< encoded-path MAX (empty = unset)
 };
 
 }  // namespace ghostdb::exec

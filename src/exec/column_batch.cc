@@ -1,0 +1,65 @@
+#include "exec/column_batch.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "exec/operator.h"
+
+namespace ghostdb::exec {
+
+BatchLayout BatchLayout::Projection(const catalog::Schema& schema,
+                                    const sql::BoundQuery& query) {
+  BatchLayout layout;
+  for (const auto& item : query.select) {
+    if (item.is_id) {
+      layout.Add(catalog::DataType::kInt32, 4);
+    } else {
+      const auto& col = schema.table(item.table).columns[item.column];
+      layout.Add(col.type, col.width);
+    }
+  }
+  return layout;
+}
+
+ColumnBatch ColumnBatch::Make(const BatchLayout* layout,
+                              size_t reserve_rows) {
+  ColumnBatch batch;
+  batch.layout = layout;
+  batch.columns.resize(layout->cols.size());
+  for (size_t c = 0; c < layout->cols.size(); ++c) {
+    batch.columns[c].reserve(reserve_rows * layout->cols[c].width);
+  }
+  return batch;
+}
+
+void ColumnBatch::RowKey(uint32_t physical_row, std::string* out) const {
+  out->clear();
+  out->reserve(layout->row_width);
+  for (size_t c = 0; c < layout->cols.size(); ++c) {
+    const uint8_t* src = cell(c, physical_row);
+    // Doubles are the one type whose encoding is not canonical per value:
+    // -0.0 == 0.0 but their bit patterns differ. Canonicalize so byte
+    // equality stays value equality.
+    if (layout->cols[c].type == catalog::DataType::kDouble &&
+        DecodeDouble(src) == 0.0) {
+      uint8_t zero[8];
+      EncodeDouble(zero, 0.0);
+      out->append(reinterpret_cast<const char*>(zero), 8);
+      continue;
+    }
+    out->append(reinterpret_cast<const char*>(src),
+                layout->cols[c].width);
+  }
+}
+
+uint32_t SizeBatchRows(const BatchLayout& layout, const ExecConfig& config) {
+  uint32_t width = std::max<uint32_t>(layout.row_width, 1);
+  uint64_t rows = config.batch_bytes / width;
+  rows = std::max<uint64_t>(rows, config.min_batch_rows);
+  rows = std::min<uint64_t>(rows, config.max_batch_rows);
+  // Never 0: it would both stall the projection loop and collide with
+  // PhysicalPlan::batch_rows' "unsized" sentinel.
+  return static_cast<uint32_t>(std::max<uint64_t>(rows, 1));
+}
+
+}  // namespace ghostdb::exec

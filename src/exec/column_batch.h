@@ -1,0 +1,121 @@
+// Columnar value batches: the wire format of the value-space operators
+// (Project upward). A ColumnBatch holds one fixed-width encoded byte
+// column per output column — the same encodings catalog::Value::Encode
+// produces on flash — plus a selection vector, so filtering operators
+// (Distinct, Limit) drop rows without copying and comparison-heavy
+// operators (Sort, Distinct) work on encoded bytes via
+// catalog::CompareEncoded instead of materializing a Value per cell.
+//
+// Values are decoded exactly once, at the secure rendering surface
+// (SecureExecutor assembling the QueryResult). Nothing here touches the
+// channel: batches live entirely in Secure host memory, so their sizes,
+// layouts and row counts can depend on Hidden data without observable
+// effect — the transcript contract is unchanged from the row-at-a-time
+// engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/value.h"
+#include "sql/binder.h"
+
+namespace ghostdb::exec {
+
+struct ExecConfig;
+
+/// One fixed-width column of a value-operator edge.
+struct BatchColumn {
+  catalog::DataType type;
+  uint32_t width = 0;  ///< encoded bytes per cell (== on-flash width)
+};
+
+/// \brief The column layout of one value-operator edge. Layouts are owned
+/// by whoever defines the edge (ExecContext for the projection output,
+/// AggregateOp for its aggregate row) and outlive the batches that point
+/// at them.
+struct BatchLayout {
+  std::vector<BatchColumn> cols;
+  uint32_t row_width = 0;  ///< sum of column widths
+
+  void Add(catalog::DataType type, uint32_t width) {
+    cols.push_back({type, width});
+    row_width += width;
+  }
+
+  /// Layout of the projection output: one column per SELECT item, carrying
+  /// the item's source column encoding (aggregate items carry their input
+  /// column; AggregateOp re-layouts above). Surrogate ids are INT/4.
+  static BatchLayout Projection(const catalog::Schema& schema,
+                                const sql::BoundQuery& query);
+};
+
+/// \brief A columnar batch of result rows.
+///
+/// `rows` physical rows are stored per column; the live rows — the ones the
+/// batch logically carries, in stream order — are all physical rows unless
+/// `has_selection`, in which case `selection` lists their physical indexes
+/// (Sort emits a sorted permutation this way; Distinct/Limit emit subsets).
+/// A batch carrying neither live nor skipped rows signals end of stream.
+struct ColumnBatch {
+  const BatchLayout* layout = nullptr;
+  std::vector<std::vector<uint8_t>> columns;  ///< columns[c]: rows × width
+  uint32_t rows = 0;                          ///< physical rows stored
+  std::vector<uint32_t> selection;            ///< live physical row indexes
+  bool has_selection = false;  ///< false: all physical rows live, in order
+  /// Rows that passed all filters but were not materialized because the
+  /// consumer's demand (ExecContext::rows_demanded) is already met. They
+  /// still count toward total_rows.
+  uint64_t skipped_rows = 0;
+
+  /// An empty batch bound to `layout` with per-column space reserved for
+  /// `reserve_rows` rows.
+  static ColumnBatch Make(const BatchLayout* layout, size_t reserve_rows);
+
+  bool empty() const { return live() == 0 && skipped_rows == 0; }
+  /// Number of live rows.
+  size_t live() const { return has_selection ? selection.size() : rows; }
+  /// Physical index of the i-th live row.
+  uint32_t row_at(size_t i) const {
+    return has_selection ? selection[i] : static_cast<uint32_t>(i);
+  }
+
+  const uint8_t* cell(size_t c, uint32_t physical_row) const {
+    return columns[c].data() +
+           static_cast<size_t>(physical_row) * layout->cols[c].width;
+  }
+  /// Grows column `c` by one cell and returns its writable bytes. Append
+  /// every column of a row, then CommitRow().
+  uint8_t* AppendCell(size_t c) {
+    auto& col = columns[c];
+    size_t base = col.size();
+    col.resize(base + layout->cols[c].width);
+    return col.data() + base;
+  }
+  /// Appends one already-encoded cell to column `c` (no zero-fill pass).
+  void AppendBytes(size_t c, const uint8_t* src) {
+    columns[c].insert(columns[c].end(), src, src + layout->cols[c].width);
+  }
+  void CommitRow() { rows += 1; }
+
+  catalog::Value DecodeCell(size_t c, uint32_t physical_row) const {
+    const BatchColumn& col = layout->cols[c];
+    return catalog::Value::Decode(cell(c, physical_row), col.type,
+                                  col.width);
+  }
+  /// Concatenated encoded bytes of one physical row — the DISTINCT key.
+  /// Byte equality coincides with Value equality: strings are space-padded,
+  /// integers are bijective, and double zeros are canonicalized here
+  /// (-0.0 == 0.0 with distinct bit patterns).
+  void RowKey(uint32_t physical_row, std::string* out) const;
+};
+
+/// Rows per ColumnBatch for `layout` under `config`: the byte budget
+/// divided by the output row width, clamped to the configured bounds. A
+/// pure function of the visible query shape and schema, so the planner can
+/// size batches at plan time and cache the result.
+uint32_t SizeBatchRows(const BatchLayout& layout, const ExecConfig& config);
+
+}  // namespace ghostdb::exec

@@ -1,5 +1,6 @@
 #include "exec/executor.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -34,12 +35,35 @@ Result<QueryResult> SecureExecutor::Execute(const BoundQuery& query,
   ctx.choice = &plan.choice;
   ctx.metrics = &metrics;
   // Without value-level operators above the projection, rows beyond the
-  // materialization limit are counted but never decoded.
+  // materialization limit are counted but never encoded.
   bool needs_all_values = query.HasAggregates() || query.distinct ||
                           !query.order_by.empty() ||
                           query.limit.has_value();
   ctx.rows_demanded =
       needs_all_values ? UINT64_MAX : config_.result_row_limit;
+  // Planner-sized batches + cached layout; pinned plans lowered without a
+  // planner fall back to computing both here (same pure function of the
+  // visible shape).
+  BatchLayout pinned_layout;
+  if (plan.batch_rows != 0) {
+    ctx.value_layout = &plan.value_layout;
+    ctx.batch_rows = plan.batch_rows;
+  } else {
+    pinned_layout = BatchLayout::Projection(*schema_, query);
+    ctx.value_layout = &pinned_layout;
+    ctx.batch_rows = SizeBatchRows(pinned_layout, config_);
+  }
+  // When LIMIT pulls straight from the projection (no blocking operator
+  // between), batches larger than the limit only make the projection
+  // overshoot before the pull stops — cap at the live literal. This must
+  // happen here, not in the cached plan: shapes normalize the LIMIT count.
+  bool limit_above_project = query.limit.has_value() &&
+                             !query.HasAggregates() && !query.distinct &&
+                             query.order_by.empty();
+  if (limit_above_project && *query.limit < ctx.batch_rows) {
+    ctx.batch_rows =
+        std::max<uint32_t>(1, static_cast<uint32_t>(*query.limit));
+  }
 
   GHOSTDB_ASSIGN_OR_RETURN(std::unique_ptr<Operator> root,
                            BuildOperatorTree(&ctx, plan));
@@ -49,13 +73,20 @@ Result<QueryResult> SecureExecutor::Execute(const BoundQuery& query,
   QueryResult result;
   for (const auto& c : query.select) result.columns.push_back(c.display);
   while (true) {
-    GHOSTDB_ASSIGN_OR_RETURN(RowBatch batch, root->Next());
+    GHOSTDB_ASSIGN_OR_RETURN(ColumnBatch batch, root->Next());
     if (batch.empty()) break;
-    result.total_rows += batch.rows.size() + batch.skipped_rows;
-    for (auto& row : batch.rows) {
-      if (result.rows.size() < config_.result_row_limit) {
-        result.rows.push_back(std::move(row));
+    result.total_rows += batch.live() + batch.skipped_rows;
+    // The secure rendering surface is the one place cells are decoded.
+    for (size_t i = 0;
+         i < batch.live() && result.rows.size() < config_.result_row_limit;
+         ++i) {
+      uint32_t r = batch.row_at(i);
+      std::vector<catalog::Value> row;
+      row.reserve(batch.layout->cols.size());
+      for (size_t c = 0; c < batch.layout->cols.size(); ++c) {
+        row.push_back(batch.DecodeCell(c, r));
       }
+      result.rows.push_back(std::move(row));
     }
   }
   GHOSTDB_RETURN_NOT_OK(root->Close());

@@ -13,9 +13,11 @@
 //    pushes ids into SJoin through a sink, exactly the paper's pipelined
 //    Merge -> SJoin -> ProbeBF -> Store composition.
 //  * From the projection upward (Project/BruteForceProject, Aggregate,
-//    Distinct, Sort, Limit) operators exchange RowBatch value batches via
-//    pull (Next()), which is where ORDER BY / LIMIT / DISTINCT and
-//    aggregation plug in.
+//    Distinct, Sort, Limit) operators exchange columnar ColumnBatches
+//    (column_batch.h) via pull (Next()), which is where ORDER BY / LIMIT /
+//    DISTINCT and aggregation plug in. Cells stay in their fixed-width
+//    flash encodings end to end; Values are decoded once, at the secure
+//    rendering surface.
 //
 // The security invariant is structural: no operator holds a channel handle
 // except through UntrustedEngine's audited request methods, so nothing
@@ -32,6 +34,7 @@
 #include "catalog/schema.h"
 #include "catalog/value.h"
 #include "common/result.h"
+#include "exec/column_batch.h"
 #include "common/status.h"
 #include "core/secure_store.h"
 #include "device/secure_device.h"
@@ -63,8 +66,12 @@ struct ExecConfig {
   /// Keep at most this many result rows materialized for the caller
   /// (counts stay exact; benches set a small limit).
   uint64_t result_row_limit = UINT64_MAX;
-  /// Rows per RowBatch pulled through the value-level operators.
-  size_t batch_size = 256;
+  /// Byte budget per ColumnBatch pulled through the value-level operators.
+  /// The planner turns this into rows-per-batch for the query's output row
+  /// width (SizeBatchRows), clamped to [min_batch_rows, max_batch_rows].
+  size_t batch_bytes = 64 * 1024;
+  uint32_t min_batch_rows = 16;
+  uint32_t max_batch_rows = 4096;
 };
 
 /// Observable per-query costs.
@@ -162,27 +169,22 @@ struct ExecContext {
   const plan::PlanChoice* choice = nullptr;
   QueryMetrics* metrics = nullptr;
   PipelineState pipeline;
+  /// Column layout of the projection output (one column per SELECT item).
+  /// Points at the cached plan's layout (or driver-owned storage for
+  /// pinned plans); outlives every batch of the query.
+  const BatchLayout* value_layout = nullptr;
+  /// Rows per ColumnBatch through the value-level operators, sized by the
+  /// planner (SizeBatchRows) from the output row width.
+  uint32_t batch_rows = 256;
   /// How many materialized rows the consumer can use. When the plan has no
   /// value-level operators above the projection, the driver caps this at
-  /// result_row_limit so the projection skips decoding rows nobody will
-  /// see (counts stay exact via RowBatch::skipped_rows).
+  /// result_row_limit so the projection skips encoding rows nobody will
+  /// see (counts stay exact via ColumnBatch::skipped_rows).
   uint64_t rows_demanded = UINT64_MAX;
 
   SimClock& clock() { return device->clock(); }
   device::RamManager& ram() { return device->ram(); }
   flash::FlashDevice& flash() { return device->flash(); }
-};
-
-/// A batch of materialized result rows. A batch carrying neither rows nor
-/// skipped rows signals end of stream.
-struct RowBatch {
-  std::vector<std::vector<catalog::Value>> rows;
-  /// Rows that passed all filters but were not materialized because the
-  /// consumer's demand (ExecContext::rows_demanded) is already met. They
-  /// still count toward total_rows.
-  uint64_t skipped_rows = 0;
-
-  bool empty() const { return rows.empty() && skipped_rows == 0; }
 };
 
 /// \brief Base class of all physical operators.
@@ -203,7 +205,7 @@ class Operator {
   virtual Status Open();
 
   /// Pulls the next batch of rows; empty batch = end of stream.
-  virtual Result<RowBatch> Next() = 0;
+  virtual Result<ColumnBatch> Next() = 0;
 
   /// Default: closes children in order.
   virtual Status Close();

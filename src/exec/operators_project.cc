@@ -318,19 +318,99 @@ Status ProjectOp::Open() {
   }
   mjoin_rows_.resize(mjoin_.size());
   mjoin_row_copies_.resize(mjoin_.size());
-  return Status::OK();
+  return CompileCellSources();
 }
 
-Result<RowBatch> ProjectOp::Next() {
-  auto scope = ctx_->clock().Enter("project");
+Status ProjectOp::CompileCellSources() {
+  // One source per SELECT item, so the per-row work in Next() is a bounded
+  // memcpy of already-encoded bytes — the offset searches happen once here.
   const BoundQuery& query = *ctx_->query;
   const SjState& sj = ctx_->pipeline.sj;
   TableId anchor = query.anchor;
   const core::TableImage& anchor_image = ctx_->store->tables[anchor];
+  for (const auto& item : query.select) {
+    const auto& cols = ctx_->schema->table(item.table).columns;
+    CellSource src;
+    if (item.table == anchor) {
+      if (item.is_id) {
+        src.kind = CellSource::Kind::kAnchorId;
+        src.width = 4;
+      } else if (!cols[item.column].hidden) {
+        src.kind = CellSource::Kind::kAnchorVis;
+        for (ColumnId c : anchor_vis_cols_) {
+          if (c == item.column) break;
+          src.offset += cols[c].width;
+        }
+        src.width = cols[item.column].width;
+      } else {
+        src.kind = CellSource::Kind::kAnchorHid;
+        src.offset = anchor_image.hidden_offsets[item.column];
+        src.width = cols[item.column].width;
+      }
+      cell_sources_.push_back(src);
+      continue;
+    }
+    if (item.is_id) {
+      auto off = sj.ColumnOffset(item.table, anchor);
+      if (!off.has_value()) {
+        return Status::Internal("select id missing from F'");
+      }
+      src.kind = CellSource::Kind::kFPrimeId;
+      src.offset = *off;
+      src.width = 4;
+      cell_sources_.push_back(src);
+      continue;
+    }
+    // Value column of a non-anchor table: from its MJoin output row
+    // (<pos, vlist, hlist>).
+    size_t mi = 0;
+    while (mi < mjoin_.size() && mjoin_[mi].table != item.table) ++mi;
+    if (mi == mjoin_.size()) {
+      return Status::Internal("projected table missing from MJoin");
+    }
+    const MJoinTable& mt = mjoin_[mi];
+    // Both kinds read the same MJoin output row here (vlist and hlist are
+    // fused in <pos, vlist, hlist>); the kind still records which side the
+    // cell came from, matching BruteForceProjectOp's semantics.
+    src.kind = cols[item.column].hidden ? CellSource::Kind::kTableHid
+                                        : CellSource::Kind::kTableVis;
+    src.index = mi;
+    src.offset = 4;
+    bool found = false;
+    if (!cols[item.column].hidden) {
+      for (ColumnId c : mt.vis_cols) {
+        if (c == item.column) {
+          found = true;
+          break;
+        }
+        src.offset += cols[c].width;
+      }
+    } else {
+      src.offset += mt.vis_width;
+      for (ColumnId c : mt.hid_cols) {
+        if (c == item.column) {
+          found = true;
+          break;
+        }
+        src.offset += cols[c].width;
+      }
+    }
+    if (!found) {
+      return Status::Internal("column missing from MJoin output");
+    }
+    src.width = cols[item.column].width;
+    cell_sources_.push_back(src);
+  }
+  return Status::OK();
+}
 
-  RowBatch batch;
+Result<ColumnBatch> ProjectOp::Next() {
+  auto scope = ctx_->clock().Enter("project");
+
+  ColumnBatch batch =
+      ColumnBatch::Make(ctx_->value_layout, ctx_->batch_rows);
   while (fprime_.has_value() && fprime_->valid() &&
-         batch.rows.size() < ctx_->config->batch_size) {
+         batch.rows < ctx_->batch_rows) {
     const uint8_t* frow = fprime_->row();
     RowId anchor_id = DecodeFixed32(frow);
     bool drop = false;
@@ -379,78 +459,31 @@ Result<RowBatch> ProjectOp::Next() {
       if (emitted_ >= ctx_->rows_demanded) {
         batch.skipped_rows += 1;
       } else {
-        std::vector<Value> out_row;
-        out_row.reserve(query.select.size());
-        for (const auto& item : query.select) {
-          const auto& cols = ctx_->schema->table(item.table).columns;
-          if (item.table == anchor) {
-            if (item.is_id) {
-              out_row.push_back(
-                  Value::Int32(static_cast<int32_t>(anchor_id)));
-            } else if (!cols[item.column].hidden) {
-              uint32_t off = 0;
-              for (ColumnId c : anchor_vis_cols_) {
-                if (c == item.column) break;
-                off += cols[c].width;
-              }
-              out_row.push_back(Value::Decode(anchor_vis_row + off,
-                                              cols[item.column].type,
-                                              cols[item.column].width));
-            } else {
-              out_row.push_back(Value::Decode(
-                  anchor_hid_row_.data() +
-                      anchor_image.hidden_offsets[item.column],
-                  cols[item.column].type, cols[item.column].width));
+        for (size_t i = 0; i < cell_sources_.size(); ++i) {
+          const CellSource& src = cell_sources_[i];
+          switch (src.kind) {
+            case CellSource::Kind::kAnchorId: {
+              uint8_t enc[4];
+              EncodeFixed32(enc, anchor_id);
+              batch.AppendBytes(i, enc);
+              break;
             }
-            continue;
+            case CellSource::Kind::kFPrimeId:
+              batch.AppendBytes(i, frow + src.offset);
+              break;
+            case CellSource::Kind::kAnchorVis:
+              batch.AppendBytes(i, anchor_vis_row + src.offset);
+              break;
+            case CellSource::Kind::kAnchorHid:
+              batch.AppendBytes(i, anchor_hid_row_.data() + src.offset);
+              break;
+            case CellSource::Kind::kTableVis:
+            case CellSource::Kind::kTableHid:
+              batch.AppendBytes(i, mjoin_rows_[src.index] + src.offset);
+              break;
           }
-          if (item.is_id) {
-            auto off = sj.ColumnOffset(item.table, anchor);
-            if (!off.has_value()) {
-              return Status::Internal("select id missing from F'");
-            }
-            out_row.push_back(Value::Int32(
-                static_cast<int32_t>(DecodeFixed32(frow + *off))));
-            continue;
-          }
-          // Value column of a non-anchor table: from its MJoin output.
-          size_t mi = 0;
-          while (mi < mjoin_.size() && mjoin_[mi].table != item.table) {
-            ++mi;
-          }
-          if (mi == mjoin_.size()) {
-            return Status::Internal("projected table missing from MJoin");
-          }
-          const MJoinTable& mt = mjoin_[mi];
-          const uint8_t* row = mjoin_rows_[mi];
-          uint32_t off = 4;
-          bool found = false;
-          if (!cols[item.column].hidden) {
-            for (ColumnId c : mt.vis_cols) {
-              if (c == item.column) {
-                found = true;
-                break;
-              }
-              off += cols[c].width;
-            }
-          } else {
-            off += mt.vis_width;
-            for (ColumnId c : mt.hid_cols) {
-              if (c == item.column) {
-                found = true;
-                break;
-              }
-              off += cols[c].width;
-            }
-          }
-          if (!found) {
-            return Status::Internal("column missing from MJoin output");
-          }
-          out_row.push_back(Value::Decode(row + off,
-                                          cols[item.column].type,
-                                          cols[item.column].width));
         }
-        batch.rows.push_back(std::move(out_row));
+        batch.CommitRow();
         emitted_ += 1;
       }
     }
@@ -526,28 +559,69 @@ Status BruteForceProjectOp::Open() {
   GHOSTDB_ASSIGN_OR_RETURN(probe_buf_, ram.AcquireOne("brute-probe"));
   fprime_.emplace(&ctx_->flash(), sj.fprime, sj.row_width, fbuf_.data());
   GHOSTDB_RETURN_NOT_OK(fprime_->Prime());
+
+  // Compile one cell source per SELECT item (offsets into the per-table
+  // resolved vis/hid rows), so Next() emits encoded cells by memcpy.
+  vis_rows_.resize(tables_.size());
+  hid_rows_.resize(tables_.size());
+  for (const auto& item : query.select) {
+    const auto& cols = ctx_->schema->table(item.table).columns;
+    CellSource src;
+    if (item.is_id) {
+      if (item.table == query.anchor) {
+        src.kind = CellSource::Kind::kAnchorId;
+      } else {
+        auto off = sj.ColumnOffset(item.table, query.anchor);
+        if (!off.has_value()) {
+          return Status::Internal("select id missing from F'");
+        }
+        src.kind = CellSource::Kind::kFPrimeId;
+        src.offset = *off;
+      }
+      src.width = 4;
+      cell_sources_.push_back(src);
+      continue;
+    }
+    size_t ti = 0;
+    while (ti < tables_.size() && tables_[ti].table != item.table) ++ti;
+    if (ti == tables_.size()) {
+      return Status::Internal("projected table not resolved");
+    }
+    src.index = ti;
+    src.width = cols[item.column].width;
+    if (!cols[item.column].hidden) {
+      src.kind = CellSource::Kind::kTableVis;
+      for (ColumnId c : tables_[ti].vis_cols) {
+        if (c == item.column) break;
+        src.offset += cols[c].width;
+      }
+    } else {
+      src.kind = CellSource::Kind::kTableHid;
+      src.offset = ctx_->store->tables[item.table].hidden_offsets[item.column];
+    }
+    cell_sources_.push_back(src);
+  }
   return Status::OK();
 }
 
-Result<RowBatch> BruteForceProjectOp::Next() {
+Result<ColumnBatch> BruteForceProjectOp::Next() {
   auto scope = ctx_->clock().Enter("project");
   const BoundQuery& query = *ctx_->query;
   const SjState& sj = ctx_->pipeline.sj;
   TableId anchor = query.anchor;
 
-  RowBatch batch;
+  ColumnBatch batch =
+      ColumnBatch::Make(ctx_->value_layout, ctx_->batch_rows);
   while (fprime_.has_value() && fprime_->valid() &&
-         batch.rows.size() < ctx_->config->batch_size) {
+         batch.rows < ctx_->batch_rows) {
     const uint8_t* frow = fprime_->row();
     RowId anchor_id = DecodeFixed32(frow);
     bool drop = false;
     // Per table: resolve ids, fetch values with random accesses.
-    struct Resolved {
-      const uint8_t* vis_values = nullptr;
-      const uint8_t* hid_row = nullptr;
-    };
-    std::map<TableId, Resolved> resolved;
-    for (auto& bt : tables_) {
+    for (size_t ti = 0; ti < tables_.size(); ++ti) {
+      auto& bt = tables_[ti];
+      vis_rows_[ti] = nullptr;
+      hid_rows_[ti] = nullptr;
       RowId id;
       if (bt.table == anchor) {
         id = anchor_id;
@@ -558,7 +632,6 @@ Result<RowBatch> BruteForceProjectOp::Next() {
         }
         id = DecodeFixed32(frow + *off);
       }
-      Resolved res;
       if (bt.has_vis_side) {
         // Cost model: one interpolated page probe into the spooled vlist
         // (ids are uniform); correctness from the host-side payload.
@@ -599,61 +672,43 @@ Result<RowBatch> BruteForceProjectOp::Next() {
           drop = true;  // fails the visible selection (or bloom FP)
           break;
         }
-        res.vis_values = hit;
+        vis_rows_[ti] = hit;
       }
       if (bt.hid_reader.has_value()) {
         GHOSTDB_RETURN_NOT_OK(
             bt.hid_reader->ReadRow(id, bt.hid_row.data()));
-        res.hid_row = bt.hid_row.data();
+        hid_rows_[ti] = bt.hid_row.data();
       }
-      resolved[bt.table] = res;
     }
 
     if (!drop) {
       if (emitted_ >= ctx_->rows_demanded) {
         batch.skipped_rows += 1;
       } else {
-        std::vector<Value> out_row;
-        for (const auto& item : query.select) {
-          const auto& cols = ctx_->schema->table(item.table).columns;
-          if (item.is_id) {
-            if (item.table == anchor) {
-              out_row.push_back(
-                  Value::Int32(static_cast<int32_t>(anchor_id)));
-            } else {
-              auto off = sj.ColumnOffset(item.table, anchor);
-              if (!off.has_value()) {
-                return Status::Internal("select id missing from F'");
-              }
-              out_row.push_back(Value::Int32(
-                  static_cast<int32_t>(DecodeFixed32(frow + *off))));
+        for (size_t i = 0; i < cell_sources_.size(); ++i) {
+          const CellSource& src = cell_sources_[i];
+          switch (src.kind) {
+            case CellSource::Kind::kAnchorId: {
+              uint8_t enc[4];
+              EncodeFixed32(enc, anchor_id);
+              batch.AppendBytes(i, enc);
+              break;
             }
-            continue;
-          }
-          auto it = std::find_if(
-              tables_.begin(), tables_.end(),
-              [&](const BruteTable& bt) { return bt.table == item.table; });
-          if (it == tables_.end()) {
-            return Status::Internal("projected table not resolved");
-          }
-          const Resolved& res = resolved[item.table];
-          if (!cols[item.column].hidden) {
-            uint32_t off = 0;
-            for (ColumnId c : it->vis_cols) {
-              if (c == item.column) break;
-              off += cols[c].width;
-            }
-            out_row.push_back(Value::Decode(res.vis_values + off,
-                                            cols[item.column].type,
-                                            cols[item.column].width));
-          } else {
-            const core::TableImage& image = ctx_->store->tables[item.table];
-            out_row.push_back(Value::Decode(
-                res.hid_row + image.hidden_offsets[item.column],
-                cols[item.column].type, cols[item.column].width));
+            case CellSource::Kind::kFPrimeId:
+              batch.AppendBytes(i, frow + src.offset);
+              break;
+            case CellSource::Kind::kTableVis:
+              batch.AppendBytes(i, vis_rows_[src.index] + src.offset);
+              break;
+            case CellSource::Kind::kTableHid:
+              batch.AppendBytes(i, hid_rows_[src.index] + src.offset);
+              break;
+            case CellSource::Kind::kAnchorVis:
+            case CellSource::Kind::kAnchorHid:
+              return Status::Internal("unexpected brute-force cell source");
           }
         }
-        batch.rows.push_back(std::move(out_row));
+        batch.CommitRow();
         emitted_ += 1;
       }
     }

@@ -1,7 +1,10 @@
 // The projection operators (paper section 4 / Figs 12-13): turn the
 // flash-resident F' into value rows. Open() runs the blocking passes
-// (vertical partitioning, per-table MJoin); Next() streams the final merge
-// by anchor position as RowBatches.
+// (vertical partitioning, per-table MJoin) and compiles a per-SELECT-item
+// cell-source plan; Next() streams the final merge by anchor position as
+// columnar ColumnBatches, memcpy-ing each cell from its already-encoded
+// source (F' ids, Vis payload rows, hidden-image rows, MJoin output rows)
+// — no Value is materialized on the hot path.
 #pragma once
 
 #include <memory>
@@ -14,6 +17,23 @@
 
 namespace ghostdb::exec {
 
+/// \brief Where one output cell's encoded bytes come from, resolved once
+/// at Open() so the per-row work is a bounded memcpy.
+struct CellSource {
+  enum class Kind : uint8_t {
+    kAnchorId,   ///< the anchor surrogate id (encoded from the F' cursor)
+    kFPrimeId,   ///< a non-anchor id column of F' at `offset`
+    kAnchorVis,  ///< anchor Vis payload row at `offset`
+    kAnchorHid,  ///< anchor hidden-image row at `offset`
+    kTableVis,   ///< table `index`'s vis bytes at `offset`
+    kTableHid,   ///< table `index`'s hidden bytes at `offset`
+  };
+  Kind kind;
+  uint32_t offset = 0;  ///< byte offset within the source row
+  uint32_t width = 0;   ///< encoded cell width
+  size_t index = 0;     ///< per-table source index (kTableVis/kTableHid)
+};
+
 /// \brief The section 4 Project algorithm: Bloom-filtered MJoin per
 /// projected table, then a final positional merge with the anchor's Vis
 /// payload and hidden image. `use_bf=false` is the NoBF ablation.
@@ -23,7 +43,7 @@ class ProjectOp final : public Operator {
       : Operator(ctx), use_bf_(use_bf) {}
   std::string_view name() const override { return "Project"; }
   Status Open() override;
-  Result<RowBatch> Next() override;
+  Result<ColumnBatch> Next() override;
   Status Close() override;
 
  private:
@@ -45,12 +65,17 @@ class ProjectOp final : public Operator {
     std::vector<std::unique_ptr<RowRunReader>> readers;
   };
 
+  /// Resolves query.select into cell sources (kTableVis/kTableHid index
+  /// into mjoin_).
+  Status CompileCellSources();
+
   bool use_bf_;
   std::vector<MJoinTable> mjoin_;
   std::vector<catalog::ColumnId> anchor_vis_cols_;
   std::vector<catalog::ColumnId> anchor_hid_cols_;
   bool need_anchor_payload_ = false;
   untrusted::ProjectionPayload anchor_payload_;
+  std::vector<CellSource> cell_sources_;
 
   // Final-merge streaming state (set up at the end of Open()).
   device::BufferHandle bufs_;
@@ -72,7 +97,7 @@ class BruteForceProjectOp final : public Operator {
   explicit BruteForceProjectOp(ExecContext* ctx) : Operator(ctx) {}
   std::string_view name() const override { return "BruteForceProject"; }
   Status Open() override;
-  Result<RowBatch> Next() override;
+  Result<ColumnBatch> Next() override;
   Status Close() override;
 
  private:
@@ -94,6 +119,10 @@ class BruteForceProjectOp final : public Operator {
   device::BufferHandle fbuf_;
   device::BufferHandle probe_buf_;
   std::optional<RowRunReader> fprime_;
+  std::vector<CellSource> cell_sources_;
+  /// Per-tables_ resolved source rows for the row under the F' cursor.
+  std::vector<const uint8_t*> vis_rows_;
+  std::vector<const uint8_t*> hid_rows_;
   uint64_t emitted_ = 0;
 };
 

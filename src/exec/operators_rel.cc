@@ -1,6 +1,8 @@
 #include "exec/operators_rel.h"
 
 #include <algorithm>
+#include <cstring>
+#include <numeric>
 
 namespace ghostdb::exec {
 
@@ -12,41 +14,46 @@ using catalog::Value;
 
 Status AggregateOp::Open() {
   GHOSTDB_RETURN_NOT_OK(Operator::Open());
-  for (const auto& item : ctx_->query->select) {
-    catalog::DataType input_type =
-        item.is_id
-            ? catalog::DataType::kInt32
-            : ctx_->schema->table(item.table).columns[item.column].type;
-    aggregators_.emplace_back(item.agg, input_type);
+  const BatchLayout& in = *ctx_->value_layout;
+  for (size_t i = 0; i < ctx_->query->select.size(); ++i) {
+    const auto& item = ctx_->query->select[i];
+    aggregators_.emplace_back(item.agg, in.cols[i].type, in.cols[i].width);
+    catalog::DataType out_type = aggregators_.back().OutputType();
+    // MIN/MAX keep the input encoding (strings keep their declared width);
+    // COUNT/SUM/AVG emit fixed numerics.
+    uint32_t out_width = out_type == in.cols[i].type
+                             ? in.cols[i].width
+                             : catalog::FixedWidth(out_type);
+    out_layout_.Add(out_type, out_width);
   }
   return Status::OK();
 }
 
-Result<RowBatch> AggregateOp::Next() {
-  if (done_) return RowBatch{};
+Result<ColumnBatch> AggregateOp::Next() {
+  if (done_) return ColumnBatch{};
   const auto& select = ctx_->query->select;
   while (true) {
-    GHOSTDB_ASSIGN_OR_RETURN(RowBatch batch, child()->Next());
+    GHOSTDB_ASSIGN_OR_RETURN(ColumnBatch batch, child()->Next());
     if (batch.empty()) break;
-    for (const auto& row : batch.rows) {
+    for (size_t r = 0; r < batch.live(); ++r) {
+      uint32_t row = batch.row_at(r);
       for (size_t i = 0; i < select.size(); ++i) {
         if (select[i].agg == AggFunc::kCountStar) {
           aggregators_[i].AccumulateRow();
         } else {
-          GHOSTDB_RETURN_NOT_OK(aggregators_[i].Accumulate(row[i]));
+          GHOSTDB_RETURN_NOT_OK(
+              aggregators_[i].AccumulateEncoded(batch.cell(i, row)));
         }
       }
     }
   }
-  std::vector<Value> agg_row;
-  agg_row.reserve(aggregators_.size());
-  for (auto& a : aggregators_) {
-    GHOSTDB_ASSIGN_OR_RETURN(Value v, a.Finish());
-    agg_row.push_back(std::move(v));
-  }
   done_ = true;
-  RowBatch out;
-  out.rows.push_back(std::move(agg_row));
+  ColumnBatch out = ColumnBatch::Make(&out_layout_, 1);
+  for (size_t i = 0; i < aggregators_.size(); ++i) {
+    GHOSTDB_ASSIGN_OR_RETURN(Value v, aggregators_[i].Finish());
+    v.Encode(out.AppendCell(i), out_layout_.cols[i].width);
+  }
+  out.CommitRow();
   return out;
 }
 
@@ -54,72 +61,109 @@ Result<RowBatch> AggregateOp::Next() {
 // DistinctOp
 // ---------------------------------------------------------------------------
 
-Result<RowBatch> DistinctOp::Next() {
-  RowBatch out;
-  while (!child_done_ && out.rows.size() < ctx_->config->batch_size) {
-    GHOSTDB_ASSIGN_OR_RETURN(RowBatch batch, child()->Next());
+Result<ColumnBatch> DistinctOp::Next() {
+  // Per child batch: keep the live rows whose encoded bytes are new, as a
+  // selection over the same batch (RowKey keeps byte equality aligned with
+  // value equality). Loop past all-duplicate batches — an empty batch
+  // would end the stream.
+  std::string key;
+  while (!child_done_) {
+    GHOSTDB_ASSIGN_OR_RETURN(ColumnBatch batch, child()->Next());
     if (batch.empty()) {
       child_done_ = true;
       break;
     }
-    for (auto& row : batch.rows) {
-      if (seen_.insert(row).second) {
-        out.rows.push_back(std::move(row));
-      }
+    std::vector<uint32_t> keep;
+    for (size_t r = 0; r < batch.live(); ++r) {
+      uint32_t row = batch.row_at(r);
+      batch.RowKey(row, &key);
+      if (seen_.insert(key).second) keep.push_back(row);
+    }
+    batch.skipped_rows = 0;
+    if (!keep.empty()) {
+      batch.selection = std::move(keep);
+      batch.has_selection = true;
+      return batch;
     }
   }
-  return out;
+  return ColumnBatch{};
 }
 
 // ---------------------------------------------------------------------------
 // SortOp
 // ---------------------------------------------------------------------------
 
-Result<RowBatch> SortOp::Next() {
-  if (!sorted_) {
-    while (true) {
-      GHOSTDB_ASSIGN_OR_RETURN(RowBatch batch, child()->Next());
-      if (batch.empty()) break;
-      for (auto& row : batch.rows) rows_.push_back(std::move(row));
+Result<ColumnBatch> SortOp::Next() {
+  if (done_) return ColumnBatch{};
+  done_ = true;
+  // Blocking gather: densify the child's live rows into one batch (the
+  // working set is held either way; batches do not share storage).
+  while (true) {
+    GHOSTDB_ASSIGN_OR_RETURN(ColumnBatch batch, child()->Next());
+    if (batch.empty()) break;
+    if (data_.layout == nullptr) {
+      data_ = ColumnBatch::Make(batch.layout, batch.live());
     }
-    const auto& keys = ctx_->query->order_by;
-    std::stable_sort(rows_.begin(), rows_.end(),
-                     [&](const std::vector<Value>& a,
-                         const std::vector<Value>& b) {
-                       for (const auto& key : keys) {
-                         int cmp = a[key.select_index].Compare(
-                             b[key.select_index]);
-                         if (cmp != 0) {
-                           return key.descending ? cmp > 0 : cmp < 0;
-                         }
-                       }
-                       return false;
-                     });
-    sorted_ = true;
+    if (!batch.has_selection) {
+      // Dense batch: append each column region in one go.
+      for (size_t c = 0; c < batch.layout->cols.size(); ++c) {
+        data_.columns[c].insert(data_.columns[c].end(),
+                                batch.columns[c].begin(),
+                                batch.columns[c].end());
+      }
+      data_.rows += batch.rows;
+      continue;
+    }
+    for (size_t r = 0; r < batch.live(); ++r) {
+      uint32_t row = batch.row_at(r);
+      for (size_t c = 0; c < batch.layout->cols.size(); ++c) {
+        data_.AppendBytes(c, batch.cell(c, row));
+      }
+      data_.CommitRow();
+    }
   }
-  RowBatch out;
-  while (cursor_ < rows_.size() &&
-         out.rows.size() < ctx_->config->batch_size) {
-    out.rows.push_back(std::move(rows_[cursor_]));
-    ++cursor_;
-  }
-  return out;
+  if (data_.layout == nullptr) return ColumnBatch{};
+
+  // Stable sort of a permutation, comparing encoded key cells in place;
+  // ties keep arrival (anchor-id) order. The permutation becomes the
+  // selection vector of the single output batch.
+  const auto& keys = ctx_->query->order_by;
+  std::vector<uint32_t> perm(data_.rows);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(
+      perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+        for (const auto& key : keys) {
+          const BatchColumn& col = data_.layout->cols[key.select_index];
+          int cmp = catalog::CompareEncoded(
+              col.type, col.width, data_.cell(key.select_index, a),
+              data_.cell(key.select_index, b));
+          if (cmp != 0) return key.descending ? cmp > 0 : cmp < 0;
+        }
+        return false;
+      });
+  data_.selection = std::move(perm);
+  data_.has_selection = true;
+  return std::move(data_);
 }
 
 // ---------------------------------------------------------------------------
 // LimitOp
 // ---------------------------------------------------------------------------
 
-Result<RowBatch> LimitOp::Next() {
-  if (emitted_ >= limit_) return RowBatch{};
-  GHOSTDB_ASSIGN_OR_RETURN(RowBatch batch, child()->Next());
+Result<ColumnBatch> LimitOp::Next() {
+  if (emitted_ >= limit_) return ColumnBatch{};
+  GHOSTDB_ASSIGN_OR_RETURN(ColumnBatch batch, child()->Next());
   if (batch.empty()) return batch;
   uint64_t room = limit_ - emitted_;
-  if (batch.rows.size() > room) {
-    batch.rows.resize(static_cast<size_t>(room));
+  if (batch.live() > room) {
+    std::vector<uint32_t> keep;
+    keep.reserve(static_cast<size_t>(room));
+    for (size_t r = 0; r < room; ++r) keep.push_back(batch.row_at(r));
+    batch.selection = std::move(keep);
+    batch.has_selection = true;
   }
   batch.skipped_rows = 0;  // rows beyond the limit do not exist
-  emitted_ += batch.rows.size();
+  emitted_ += batch.live();
   return batch;
 }
 

@@ -1,10 +1,14 @@
 // Value-space operators above the projection: aggregation, DISTINCT,
 // ORDER BY, LIMIT. These run entirely on the Secure side — result rows
 // never cross the channel — so they add no observable behavior that could
-// depend on Hidden data.
+// depend on Hidden data. All of them work on the encoded columns of
+// ColumnBatch: DISTINCT hashes encoded row bytes, Sort compares encoded
+// sort keys (catalog::CompareEncoded), Limit and Distinct drop rows through
+// the selection vector without copying cells.
 #pragma once
 
-#include <set>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "exec/aggregate.h"
@@ -14,54 +18,60 @@ namespace ghostdb::exec {
 
 /// \brief Folds the child stream into one row of aggregate values.
 /// Per-row data never leaves the key; only the final aggregate values reach
-/// the secure display.
+/// the secure display. Inputs are accumulated from their encoded cells;
+/// the single output row uses this operator's own aggregate layout.
 class AggregateOp final : public Operator {
  public:
   explicit AggregateOp(ExecContext* ctx) : Operator(ctx) {}
   std::string_view name() const override { return "Aggregate"; }
   Status Open() override;
-  Result<RowBatch> Next() override;
+  Result<ColumnBatch> Next() override;
 
  private:
   std::vector<Aggregator> aggregators_;
+  BatchLayout out_layout_;  ///< aggregate result types (COUNT -> BIGINT...)
   bool done_ = false;
 };
 
 /// \brief Drops duplicate rows; the first occurrence (in anchor-id order)
-/// survives. The distinct set lives in Secure host memory.
+/// survives. The distinct set — a hash set over the concatenated encoded
+/// row bytes — lives in Secure host memory; surviving rows pass through as
+/// a selection over the child's batch, copy-free.
 class DistinctOp final : public Operator {
  public:
   explicit DistinctOp(ExecContext* ctx) : Operator(ctx) {}
   std::string_view name() const override { return "Distinct"; }
-  Result<RowBatch> Next() override;
+  Result<ColumnBatch> Next() override;
 
  private:
-  std::set<std::vector<catalog::Value>> seen_;
+  std::unordered_set<std::string> seen_;
   bool child_done_ = false;
 };
 
 /// \brief ORDER BY over select-list columns: a blocking stable sort (ties
-/// keep anchor-id order), streamed back out in batches.
+/// keep anchor-id order) of a permutation over the gathered columns — the
+/// keys are compared in their encodings, cells are never decoded — emitted
+/// as one batch whose selection vector is the sorted permutation.
 class SortOp final : public Operator {
  public:
   explicit SortOp(ExecContext* ctx) : Operator(ctx) {}
   std::string_view name() const override { return "Sort"; }
-  Result<RowBatch> Next() override;
+  Result<ColumnBatch> Next() override;
 
  private:
-  std::vector<std::vector<catalog::Value>> rows_;
-  size_t cursor_ = 0;
-  bool sorted_ = false;
+  ColumnBatch data_;  ///< all child rows, gathered densely
+  bool done_ = false;
 };
 
 /// \brief Truncates the stream after `limit` rows and stops pulling its
-/// child — the only operator that ends a query early.
+/// child — the only operator that ends a query early. Truncation trims the
+/// selection vector; cells are not touched.
 class LimitOp final : public Operator {
  public:
   LimitOp(ExecContext* ctx, uint64_t limit)
       : Operator(ctx), limit_(limit) {}
   std::string_view name() const override { return "Limit"; }
-  Result<RowBatch> Next() override;
+  Result<ColumnBatch> Next() override;
 
  private:
   uint64_t limit_;

@@ -192,6 +192,23 @@ Result<std::vector<RowId>> HiddenSelector::ScanHiddenPredicate(
                                    image.hidden_image.value(), buf.data());
   std::vector<uint8_t> row(image.hidden_image->row_width);
   std::vector<RowId> out;
+  // Fast path: compare encoded cells against the literal's encoding — no
+  // Value per row. Encode() truncates overlong string literals, so those
+  // keep the decode path to preserve full-literal comparison semantics.
+  bool encoded_ok = pred.value.type() == col.type &&
+                    (col.type != catalog::DataType::kString ||
+                     pred.value.AsString().size() <= col.width);
+  if (encoded_ok) {
+    std::vector<uint8_t> literal(col.width);
+    pred.value.Encode(literal.data(), col.width);
+    for (RowId r = 0; r < image.row_count; ++r) {
+      GHOSTDB_RETURN_NOT_OK(reader.ReadRow(r, row.data()));
+      int cmp = catalog::CompareEncoded(col.type, col.width,
+                                        row.data() + offset, literal.data());
+      if (catalog::EvalCompareResult(cmp, pred.op)) out.push_back(r);
+    }
+    return out;
+  }
   for (RowId r = 0; r < image.row_count; ++r) {
     GHOSTDB_RETURN_NOT_OK(reader.ReadRow(r, row.data()));
     Value v = Value::Decode(row.data() + offset, col.type, col.width);

@@ -58,7 +58,7 @@ class VisSelectOp final : public Operator {
   explicit VisSelectOp(ExecContext* ctx) : Operator(ctx) {}
   std::string_view name() const override { return "VisSelect"; }
   Status Open() override;
-  Result<RowBatch> Next() override { return RowBatch{}; }
+  Result<ColumnBatch> Next() override { return ColumnBatch{}; }
 };
 
 /// \brief BuildBF: sizes and fills one Bloom filter per (Cross)Post-Filter
@@ -71,7 +71,7 @@ class BloomBuildOp final : public Operator {
   explicit BloomBuildOp(ExecContext* ctx) : Operator(ctx) {}
   std::string_view name() const override { return "BloomBuild"; }
   Status Open() override;
-  Result<RowBatch> Next() override { return RowBatch{}; }
+  Result<ColumnBatch> Next() override { return ColumnBatch{}; }
 };
 
 /// \brief Assembles the anchor-level merge groups (unfolded hidden
@@ -82,7 +82,7 @@ class MergeOp final : public Operator {
   explicit MergeOp(ExecContext* ctx) : Operator(ctx) {}
   std::string_view name() const override { return "Merge"; }
   Status Open() override;
-  Result<RowBatch> Next() override { return RowBatch{}; }
+  Result<ColumnBatch> Next() override { return ColumnBatch{}; }
 
   /// Runs the merge over PipelineState::anchor_groups, pushing ascending
   /// deduplicated anchor ids into `sink`. Called once, by SJoinOp::Open()
@@ -98,7 +98,7 @@ class SJoinOp final : public Operator {
   SJoinOp(ExecContext* ctx, MergeOp* merge) : Operator(ctx), merge_(merge) {}
   std::string_view name() const override { return "SJoin"; }
   Status Open() override;
-  Result<RowBatch> Next() override { return RowBatch{}; }
+  Result<ColumnBatch> Next() override { return ColumnBatch{}; }
 
  private:
   MergeOp* merge_;
@@ -111,7 +111,7 @@ class PostSelectOp final : public Operator {
   explicit PostSelectOp(ExecContext* ctx) : Operator(ctx) {}
   std::string_view name() const override { return "PostSelect"; }
   Status Open() override;
-  Result<RowBatch> Next() override { return RowBatch{}; }
+  Result<ColumnBatch> Next() override { return ColumnBatch{}; }
 
  private:
   Result<SjState> Filter(const SjState& sj, uint32_t probe_offset,

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "catalog/schema.h"
+#include "exec/column_batch.h"
 #include "plan/strategy.h"
 #include "sql/binder.h"
 
@@ -54,6 +55,15 @@ struct PhysicalPlan {
   PlanChoice choice;
   std::vector<PhysicalNode> nodes;
   int root = -1;
+  /// Rows per ColumnBatch through the value-space operators, sized by the
+  /// planner from the output row width (exec::SizeBatchRows). Derived from
+  /// schema widths and the visible query shape only, so caching it is as
+  /// safe as caching the tree. 0 = let the executor size it.
+  uint32_t batch_rows = 0;
+  /// The projection-output column layout the sizing was computed from,
+  /// kept so cached executions don't rebuild it per statement. Empty when
+  /// the plan was lowered without a planner (pinned benches).
+  exec::BatchLayout value_layout;
 
   /// Indented tree rendering (EXPLAIN).
   std::string ToString(const catalog::Schema& schema) const;

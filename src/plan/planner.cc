@@ -116,13 +116,22 @@ Result<PhysicalPlan> Planner::PlanQuery(
     const exec::ExecConfig& exec_config) const {
   GHOSTDB_ASSIGN_OR_RETURN(PlanChoice choice,
                            Choose(query, vis_counts, exec_config));
-  return BuildPhysicalPlan(query, std::move(choice));
+  PhysicalPlan plan = BuildPhysicalPlan(query, std::move(choice));
+  // Batch sizing: a byte budget over the output row width. Widths are
+  // schema metadata (visible), so the sized plan (and the layout it was
+  // derived from) stays cacheable.
+  plan.value_layout = exec::BatchLayout::Projection(*schema_, query);
+  plan.batch_rows = exec::SizeBatchRows(plan.value_layout, exec_config);
+  return plan;
 }
 
 std::string Planner::Explain(
     const sql::BoundQuery& query, const PhysicalPlan& plan,
     const std::map<TableId, uint64_t>& vis_counts) const {
   std::string out = Explain(query, plan.choice, vis_counts);
+  if (plan.batch_rows != 0) {
+    out += "  batch: " + std::to_string(plan.batch_rows) + " rows\n";
+  }
   out += "  pipeline:\n";
   std::istringstream tree(plan.ToString(*schema_));
   for (std::string line; std::getline(tree, line);) {

@@ -1,0 +1,150 @@
+// Differential fuzzing: seeded random queries (filters, joins, ORDER BY /
+// LIMIT / DISTINCT, aggregates) over randomized Fig-3-schema databases,
+// asserting GhostDB's answers through the columnar pipeline equal the
+// reference oracle's. Failures print the reproducing seeds + SQL and are
+// appended to a failure file for CI artifact upload.
+//
+// Budget knobs (environment):
+//   GHOSTDB_FUZZ_ITERS         total queries (default 500)
+//   GHOSTDB_FUZZ_SEED          base seed (default 20070611)
+//   GHOSTDB_FUZZ_FAILURE_FILE  failing-seed log (default fuzz_failures.txt)
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/database.h"
+#include "fuzz_common.h"
+#include "reference/oracle.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace ghostdb {
+namespace {
+
+using core::GhostDB;
+
+using fuzztest::EnvOr;
+using fuzztest::FailureFile;
+
+void RecordFailure(const std::string& line) {
+  std::ofstream out(FailureFile(), std::ios::app);
+  out << line << "\n";
+}
+
+// Runs one query against GhostDB (cached-plan path or a pinned
+// Brute-Force plan) and the oracle; returns false on divergence.
+bool CheckQuery(GhostDB* db, const std::string& sql, bool brute_force,
+                std::string* why) {
+  auto stmt = sql::Parse(sql);
+  if (!stmt.ok()) {
+    *why = "parse: " + stmt.status().ToString();
+    return false;
+  }
+  auto bound =
+      sql::Bind(std::get<sql::SelectStmt>(*stmt), db->schema(), sql);
+  if (!bound.ok()) {
+    *why = "bind: " + bound.status().ToString();
+    return false;
+  }
+  auto expected = reference::Evaluate(db->schema(), db->staged(), *bound);
+  Result<exec::QueryResult> got =
+      brute_force
+          ? db->QueryWithPlan(
+                sql, [] {
+                  plan::PlanChoice c;
+                  c.project = plan::ProjectAlgo::kBruteForce;
+                  return c;
+                }())
+          : db->Query(sql);
+  if (!expected.ok() || !got.ok()) {
+    // Data-dependent errors (e.g. MIN over an empty result) must agree in
+    // kind, not just in failing — a masked engine error would hide here.
+    if (!expected.ok() && !got.ok() &&
+        expected.status().code() == got.status().code()) {
+      return true;
+    }
+    *why = "status mismatch: oracle=" + expected.status().ToString() +
+           " ghostdb=" + got.status().ToString();
+    return false;
+  }
+  if (got->total_rows != expected->size()) {
+    *why = "row count: ghostdb=" + std::to_string(got->total_rows) +
+           " oracle=" + std::to_string(expected->size());
+    return false;
+  }
+  if (got->rows.size() != expected->size()) {
+    *why = "materialized rows: " + std::to_string(got->rows.size()) +
+           " of " + std::to_string(expected->size());
+    return false;
+  }
+  for (size_t i = 0; i < expected->size(); ++i) {
+    if (got->rows[i].size() != (*expected)[i].size()) {
+      *why = "row " + std::to_string(i) + " arity";
+      return false;
+    }
+    for (size_t j = 0; j < (*expected)[i].size(); ++j) {
+      if (!(got->rows[i][j] == (*expected)[i][j])) {
+        *why = "row " + std::to_string(i) + " col " + std::to_string(j) +
+               ": ghostdb=" + got->rows[i][j].ToString() +
+               " oracle=" + (*expected)[i][j].ToString();
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(DifferentialFuzzTest, GhostDBMatchesOracleOnRandomQueries) {
+  const uint64_t iters = EnvOr("GHOSTDB_FUZZ_ITERS", 500);
+  const uint64_t base_seed =
+      EnvOr("GHOSTDB_FUZZ_SEED", 20070611, /*allow_zero=*/true);
+  // Start from a clean failure log: stale lines from a previous (since
+  // fixed) run must not survive a green rerun.
+  std::remove(FailureFile().c_str());
+  // Spread the budget over several database shapes; rebuilding dominates
+  // runtime, so shapes get a fixed share of queries each.
+  const uint64_t kQueriesPerDb = 125;
+  const uint64_t dbs = (iters + kQueriesPerDb - 1) / kQueriesPerDb;
+
+  uint64_t ran = 0, failures = 0;
+  for (uint64_t d = 0; d < dbs && ran < iters; ++d) {
+    uint64_t visible_seed = base_seed + 1000 * d;
+    uint64_t hidden_seed = base_seed + 1000 * d + 1;
+    GhostDB db(fuzztest::FuzzConfig(visible_seed, /*retain_staged=*/true));
+    Status built = fuzztest::BuildFuzzDb(&db, visible_seed, hidden_seed);
+    ASSERT_TRUE(built.ok()) << "db build failed for visible_seed="
+                            << visible_seed << ": " << built.ToString();
+    fuzztest::FuzzShape shape = fuzztest::MakeShape(visible_seed);
+    for (uint64_t q = 0; q < kQueriesPerDb && ran < iters; ++q, ++ran) {
+      uint64_t query_seed = base_seed ^ (d << 32) ^ (q * 0x9E3779B9ULL);
+      Rng rng(query_seed);
+      std::string sql = fuzztest::GenerateQuery(rng, shape);
+      bool brute_force = (q % 5) == 4;  // exercise both projection algos
+      std::string why;
+      if (!CheckQuery(&db, sql, brute_force, &why)) {
+        failures += 1;
+        std::string repro = "visible_seed=" + std::to_string(visible_seed) +
+                            " hidden_seed=" + std::to_string(hidden_seed) +
+                            " query_seed=" + std::to_string(query_seed) +
+                            (brute_force ? " [brute-force]" : "") +
+                            " sql=" + sql + " | " + why;
+        RecordFailure(repro);
+        ADD_FAILURE() << repro;
+        if (failures >= 10) {
+          FAIL() << "too many divergences; stopping early (see "
+                 << FailureFile() << ")";
+        }
+      }
+    }
+  }
+  EXPECT_EQ(ran, iters);
+  EXPECT_EQ(failures, 0u);
+}
+
+}  // namespace
+}  // namespace ghostdb

@@ -9,12 +9,15 @@
 // or request pattern influenced by Hidden data would show up here.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/database.h"
 #include "device/channel.h"
+#include "fuzz_common.h"
 #include "plan/strategy.h"
 
 namespace ghostdb {
@@ -245,6 +248,57 @@ TEST(LeakTest, VisibleStoreRefusesHiddenWork) {
   EXPECT_TRUE(ids.status().IsSecurityViolation());
   auto proj = db.untrusted().store().Project(*dim, {}, {1});
   EXPECT_TRUE(proj.status().IsSecurityViolation());
+}
+
+TEST(LeakTest, FuzzedQueryShapesAreTranscriptInvariant) {
+  // Property-style sweep over the fuzz query generator: for every query
+  // shape it produces, two databases that differ ONLY in hidden rows must
+  // drive the columnar pipeline through byte-identical transcripts. The
+  // user-facing status may differ with the data (e.g. MIN over an empty
+  // result) — only what crosses the channel is constrained.
+  uint64_t queries = fuzztest::EnvOr("GHOSTDB_LEAK_FUZZ_ITERS", 40);
+  uint64_t base_seed = fuzztest::EnvOr("GHOSTDB_LEAK_FUZZ_SEED", 20070611,
+                                       /*allow_zero=*/true);
+  // Rotate the visible seed every 20 queries so larger budgets also vary
+  // schema shape, cardinalities, CHAR widths, and index choices — all of
+  // which change the transcript a query produces.
+  const uint64_t kQueriesPerShape = 20;
+  for (uint64_t done = 0; done < queries;) {
+    uint64_t visible_seed = base_seed + 3000 * (done / kQueriesPerShape);
+    GhostDB db1(fuzztest::FuzzConfig(visible_seed, /*retain_staged=*/false));
+    GhostDB db2(fuzztest::FuzzConfig(visible_seed, /*retain_staged=*/false));
+    ASSERT_TRUE(fuzztest::BuildFuzzDb(&db1, visible_seed, 111).ok());
+    ASSERT_TRUE(fuzztest::BuildFuzzDb(&db2, visible_seed, 999).ok());
+    fuzztest::FuzzShape shape = fuzztest::MakeShape(visible_seed);
+    for (uint64_t i = 0; i < kQueriesPerShape && done < queries;
+         ++i, ++done) {
+      uint64_t query_seed = visible_seed ^ (i * 0x9E3779B9ULL);
+      Rng rng(query_seed);
+      std::string sql = fuzztest::GenerateQuery(rng, shape);
+      db1.device().channel().ClearTranscript();
+      db2.device().channel().ClearTranscript();
+      auto r1 = db1.Query(sql);
+      auto r2 = db2.Query(sql);
+      // The user-facing status may legitimately differ (it reflects hidden
+      // answers, shown only on the secure display); the transcripts may
+      // not.
+      (void)r1;
+      (void)r2;
+      std::string repro = "visible_seed=" + std::to_string(visible_seed) +
+                          " query_seed=" + std::to_string(query_seed) +
+                          " sql=" + sql;
+      SCOPED_TRACE(repro);
+      bool had_failure = ::testing::Test::HasFailure();
+      ExpectIdenticalTranscripts(db1.device().channel().transcript(),
+                                 db2.device().channel().transcript());
+      if (!had_failure && ::testing::Test::HasFailure()) {
+        // Mirror the differential harness: repro seeds land in the file
+        // CI uploads as an artifact.
+        std::ofstream out(fuzztest::FailureFile(), std::ios::app);
+        out << "[leak] " << repro << "\n";
+      }
+    }
+  }
 }
 
 TEST(LeakTest, PerStrategyTranscriptsAreHiddenIndependent) {

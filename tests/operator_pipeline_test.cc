@@ -315,6 +315,61 @@ TEST_F(OperatorPipelineTest, PinnedPlansBypassTheCache) {
   EXPECT_EQ(db.plan_cache_size(), 0u);
 }
 
+TEST_F(OperatorPipelineTest, PlanCacheEvictsLeastRecentlyUsedShape) {
+  GhostDBConfig cfg = SmallConfig();
+  cfg.plan_cache_capacity = 2;
+  GhostDB db(cfg);
+  BuildDb(&db);
+  const char* a = "SELECT T1.id FROM T1 WHERE T1.v < 10 AND T1.h < 20";
+  const char* b = "SELECT T12.id FROM T12 WHERE T12.h = 3";
+  const char* c = "SELECT T0.id FROM T0 WHERE T0.h < 50";
+  ASSERT_TRUE(db.Prepare(a).ok());
+  ASSERT_TRUE(db.Prepare(b).ok());
+  EXPECT_EQ(db.plan_cache_size(), 2u);
+  EXPECT_EQ(db.plan_cache_evictions(), 0u);
+  // Touch `a` so `b` is the least recently used, then overflow with `c`.
+  ASSERT_TRUE(db.Prepare(a).ok());
+  ASSERT_TRUE(db.Prepare(c).ok());
+  EXPECT_EQ(db.plan_cache_size(), 2u);
+  EXPECT_EQ(db.plan_cache_evictions(), 1u);
+  // `a` survived (recently used): hit. `b` was evicted: re-prepared, and
+  // the answer is unchanged.
+  auto ra = db.Query(a);
+  ASSERT_TRUE(ra.ok());
+  EXPECT_EQ(ra->metrics.plan_cache_hits, 1u);
+  auto rb_before = reference::Evaluate(
+      db.schema(), db.staged(),
+      *sql::Bind(std::get<sql::SelectStmt>(*sql::Parse(b)), db.schema(), b));
+  ASSERT_TRUE(rb_before.ok());
+  auto rb = db.Query(b);
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(rb->metrics.plan_cache_misses, 1u);
+  EXPECT_EQ(rb->rows, *rb_before);
+  EXPECT_EQ(db.plan_cache_evictions(), 2u);  // re-preparing b evicted c
+}
+
+TEST_F(OperatorPipelineTest, PlanCacheUnboundedWhenCapacityIsZero) {
+  GhostDBConfig cfg = SmallConfig();
+  cfg.plan_cache_capacity = 0;
+  GhostDB db(cfg);
+  BuildDb(&db);
+  for (int i = 0; i < 6; ++i) {
+    std::string sql = "SELECT T1.id FROM T1 WHERE T1.v < " +
+                      std::to_string(10 + i) + " AND T1.h < " +
+                      std::to_string(20 + i) + " LIMIT " +
+                      std::to_string(1 + i);
+    // Vary the shape via the select list, not just literals.
+    if (i % 2 == 1) {
+      sql = "SELECT T1.id, T1.v FROM T1 WHERE T1.h < " +
+            std::to_string(20 + i) + " ORDER BY T1.v LIMIT " +
+            std::to_string(1 + i);
+    }
+    ASSERT_TRUE(db.Query(sql).ok()) << sql;
+  }
+  EXPECT_EQ(db.plan_cache_size(), 2u);  // two shapes, never evicted
+  EXPECT_EQ(db.plan_cache_evictions(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // QueryBatch(): the throughput surface
 // ---------------------------------------------------------------------------
