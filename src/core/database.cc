@@ -1,5 +1,7 @@
 #include "core/database.h"
 
+#include <algorithm>
+
 #include "crypto/sha256.h"
 #include "sql/binder.h"
 
@@ -7,7 +9,15 @@ namespace ghostdb::core {
 
 using catalog::TableId;
 
-GhostDB::GhostDB(GhostDBConfig config) : config_(std::move(config)) {
+uint32_t DeclaredShapeWeight(const sql::BoundQuery& query) {
+  // Visible information only: the arbiter's fairness unit is the number of
+  // FROM tables the statement names. Never derived from hidden data or
+  // from execution outcomes.
+  return std::max<uint32_t>(1, static_cast<uint32_t>(query.tables.size()));
+}
+
+GhostDB::GhostDB(GhostDBConfig config)
+    : config_(std::move(config)), plan_cache_(config_.plan_cache_capacity) {
   if (config_.encrypt_external_flash &&
       !config_.device.flash.cipher_key.has_value()) {
     // Derive the at-rest key from the device master secret.
@@ -21,6 +31,8 @@ GhostDB::GhostDB(GhostDBConfig config) : config_(std::move(config)) {
   device_ = std::make_unique<device::SecureDevice>(config_.device);
   allocator_ = std::make_unique<storage::PageAllocator>(&device_->flash());
 }
+
+GhostDB::~GhostDB() = default;
 
 Status GhostDB::Execute(const std::string& sql) {
   GHOSTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
@@ -109,6 +121,58 @@ Status GhostDB::Build() {
   return Status::OK();
 }
 
+Result<std::unique_ptr<Session>> GhostDB::OpenSession(
+    SessionOptions options) {
+  if (!built_) {
+    return Status::InvalidArgument("call Build() before OpenSession()");
+  }
+  int32_t id;
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    id = next_session_id_++;
+  }
+  std::string name =
+      options.name.empty() ? "s" + std::to_string(id) : options.name;
+  auto& ram = device_->ram();
+  uint32_t quota = options.ram_quota_buffers;
+  if (quota == SessionOptions::kDefaultRamQuota) {
+    quota = std::max<uint32_t>(1, ram.total_buffers() / 4);
+  }
+  device::RamPartitionId partition = device::kSharedRamPartition;
+  if (quota > 0) {
+    // The partition pledge mutates the RAM manager, so take an admission:
+    // device state only ever changes under the arbiter's exclusion.
+    device::ChannelArbiter::Admission admission(&device_->arbiter(), -1, 1);
+    GHOSTDB_ASSIGN_OR_RETURN(partition, ram.CreatePartition(name, quota));
+  }
+  device_->arbiter().Register(id, name);
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    open_sessions_ += 1;
+  }
+  return std::unique_ptr<Session>(
+      new Session(this, id, std::move(name), partition));
+}
+
+void GhostDB::CloseSession(Session* session) {
+  if (session->partition_ != device::kSharedRamPartition) {
+    device::ChannelArbiter::Admission admission(&device_->arbiter(),
+                                                session->id_, 1);
+    // A failure here means the session still holds buffers — impossible
+    // once its last query finished (all operator handles are RAII); there
+    // is nothing useful to do with it in a destructor path.
+    device_->ram().ReleasePartition(session->partition_).ok();
+  }
+  device_->arbiter().Unregister(session->id_);
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  open_sessions_ -= 1;
+}
+
+size_t GhostDB::open_sessions() const {
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  return open_sessions_;
+}
+
 Result<sql::BoundQuery> GhostDB::BindSelect(const std::string& sql,
                                             bool* explain) {
   GHOSTDB_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
@@ -121,115 +185,174 @@ Result<sql::BoundQuery> GhostDB::BindSelect(const std::string& sql,
 }
 
 Status GhostDB::ServeVisCounts(const sql::BoundQuery& query,
+                               const untrusted::VisPrefetch* prefetch,
                                std::map<TableId, uint64_t>* out) {
   for (TableId t : query.tables) {
     if (!query.HasVisiblePredicateOn(t)) continue;
-    GHOSTDB_ASSIGN_OR_RETURN(uint64_t count,
-                             untrusted_->ServeVisibleCount(query, t));
+    GHOSTDB_ASSIGN_OR_RETURN(
+        uint64_t count, untrusted_->ServeVisibleCount(query, t, prefetch));
     (*out)[t] = count;
   }
   return Status::OK();
 }
 
-Result<const PreparedQuery*> GhostDB::PrepareBound(
-    const sql::BoundQuery& query, bool* hit_out) {
+Result<std::shared_ptr<const PreparedQuery>> GhostDB::PrepareBound(
+    const sql::BoundQuery& query, untrusted::VisPrefetch* prefetch,
+    PlanCache::Outcome* outcome_out) {
   GHOSTDB_ASSIGN_OR_RETURN(std::string shape, sql::QueryShape(query.sql));
-  auto it = plan_cache_index_.find(shape);
-  if (it != plan_cache_index_.end()) {
-    // Refresh recency: move the entry to the front of the LRU list.
-    plan_cache_.splice(plan_cache_.begin(), plan_cache_, it->second);
-    it->second = plan_cache_.begin();
-    it->second->hits += 1;
-    if (hit_out != nullptr) *hit_out = true;
-    return &*it->second;
-  }
-  // Visible selectivities, computed by Untrusted from visible data. Cache
-  // hits skip these round-trips entirely — the main per-query planning
-  // cost under throughput workloads.
-  std::map<TableId, uint64_t> vis_counts;
-  GHOSTDB_RETURN_NOT_OK(ServeVisCounts(query, &vis_counts));
+  // On a miss (or a stale stats stamp): visible selectivities, computed by
+  // Untrusted from visible data. Cache hits skip these round-trips
+  // entirely — the main per-query planning cost under throughput
+  // workloads.
+  auto plan_fn = [&]() -> Result<plan::PhysicalPlan> {
+    std::map<TableId, uint64_t> vis_counts;
+    GHOSTDB_RETURN_NOT_OK(ServeVisCounts(query, prefetch, &vis_counts));
+    return planner_->PlanQuery(query, vis_counts, config_.exec);
+  };
   GHOSTDB_ASSIGN_OR_RETURN(
-      plan::PhysicalPlan plan,
-      planner_->PlanQuery(query, vis_counts, config_.exec));
-  PreparedQuery prepared;
-  prepared.shape = shape;
-  prepared.plan = std::move(plan);
-  if (hit_out != nullptr) *hit_out = false;
-  plan_cache_.push_front(std::move(prepared));
-  plan_cache_index_[std::move(shape)] = plan_cache_.begin();
-  if (config_.plan_cache_capacity != 0 &&
-      plan_cache_.size() > config_.plan_cache_capacity) {
-    plan_cache_index_.erase(plan_cache_.back().shape);
-    plan_cache_.pop_back();
-    plan_cache_evictions_ += 1;
-  }
-  return &plan_cache_.front();
+      PlanCache::Outcome outcome,
+      plan_cache_.GetOrPlan(shape, stats_version_.load(), plan_fn));
+  if (outcome_out != nullptr) *outcome_out = outcome;
+  return outcome.entry;
 }
 
-Result<const PreparedQuery*> GhostDB::Prepare(const std::string& sql) {
+Result<std::shared_ptr<const PreparedQuery>> GhostDB::Prepare(
+    const std::string& sql) {
   if (!built_) {
     return Status::InvalidArgument("call Build() before Prepare()");
   }
   GHOSTDB_ASSIGN_OR_RETURN(sql::BoundQuery query, BindSelect(sql, nullptr));
+  device::ChannelArbiter::Admission admission(&device_->arbiter(), -1,
+                                              DeclaredShapeWeight(query));
   // Planning consults Untrusted's visible counts, so the statement is
   // announced exactly as at execution time.
   untrusted_->ReceiveQuery(query.sql);
-  return PrepareBound(query, nullptr);
+  return PrepareBound(query, nullptr, nullptr);
 }
 
-Result<exec::QueryResult> GhostDB::RunSelect(const sql::BoundQuery& query,
-                                             const plan::PlanChoice* pinned) {
+Result<exec::QueryResult> GhostDB::RunSelect(
+    const sql::BoundQuery& query, const plan::PlanChoice* pinned,
+    const exec::SessionBinding* session) {
   if (!built_) {
     return Status::InvalidArgument("call Build() before querying");
   }
-  exec::MetricSnapshot baseline = exec::MetricSnapshot::Take(device_.get());
-  // The query text is the only information that leaves the key.
-  untrusted_->ReceiveQuery(query.sql);
-
-  if (query.explain) {
-    // EXPLAIN always plans afresh (never touches the cache): a cached
-    // tree would render the literals and selectivities of the statement
-    // that populated it, not this one.
-    std::map<TableId, uint64_t> vis_counts;
-    GHOSTDB_RETURN_NOT_OK(ServeVisCounts(query, &vis_counts));
-    plan::PhysicalPlan plan;
-    if (pinned != nullptr) {
-      plan = plan::BuildPhysicalPlan(query, *pinned);
-    } else {
-      GHOSTDB_ASSIGN_OR_RETURN(
-          plan, planner_->PlanQuery(query, vis_counts, config_.exec));
-    }
-    exec::QueryResult result;
-    result.columns = {"plan"};
-    result.rows = {{catalog::Value::String(
-        planner_->Explain(query, plan, vis_counts))}};
-    result.total_rows = 1;
-    return result;
-  }
-
-  plan::PhysicalPlan pinned_plan;
-  const plan::PhysicalPlan* plan = nullptr;
-  bool cache_hit = false;
+  static const exec::SessionBinding kMainSession;
+  if (session == nullptr) session = &kMainSession;
+  exec::EncodedRows deferred;
+  PlanCache::Outcome outcome;
   bool cached_path = pinned == nullptr;
-  if (pinned != nullptr) {
-    // Pinned runs serve the Vis counts like a planner run would, so their
-    // transcripts and metrics stay comparable across strategies.
-    std::map<TableId, uint64_t> vis_counts;
-    GHOSTDB_RETURN_NOT_OK(ServeVisCounts(query, &vis_counts));
-    pinned_plan = plan::BuildPhysicalPlan(query, *pinned);
-    plan = &pinned_plan;
-  } else {
-    GHOSTDB_ASSIGN_OR_RETURN(const PreparedQuery* prepared,
-                             PrepareBound(query, &cache_hit));
-    plan = &prepared->plan;  // cache entries are pointer-stable
+  // PC-side speculation, before asking for the device: the visible
+  // answers this query will request are pure functions of the (already
+  // announced-to-be) visible statement, so the PC evaluates them while
+  // the key is still serving other sessions. Channel messages are
+  // recorded when the key requests them, unchanged in every byte.
+  untrusted::VisPrefetch prefetch;
+  if (!query.explain) {
+    GHOSTDB_ASSIGN_OR_RETURN(prefetch,
+                             untrusted_->PrefetchVisible(query));
   }
-  GHOSTDB_ASSIGN_OR_RETURN(exec::QueryResult result,
-                           executor_->Execute(query, *plan, &baseline));
+  Result<exec::QueryResult> result = [&]() -> Result<exec::QueryResult> {
+    // Admission = the device. Everything in this scope — baseline
+    // snapshot, announcement, planning round-trips, execution — runs with
+    // exclusive device access under this session's transcript tag.
+    device::ChannelArbiter::Admission admission(&device_->arbiter(),
+                                                session->id,
+                                                DeclaredShapeWeight(query));
+    exec::MetricSnapshot baseline =
+        exec::MetricSnapshot::Take(device_.get());
+    // The query text is the only information that leaves the key.
+    untrusted_->ReceiveQuery(query.sql);
+
+    if (query.explain) {
+      // EXPLAIN always plans afresh (never touches the cache): a cached
+      // tree would render the literals and selectivities of the statement
+      // that populated it, not this one.
+      std::map<TableId, uint64_t> vis_counts;
+      GHOSTDB_RETURN_NOT_OK(ServeVisCounts(query, nullptr, &vis_counts));
+      plan::PhysicalPlan plan;
+      if (pinned != nullptr) {
+        plan = plan::BuildPhysicalPlan(query, *pinned);
+      } else {
+        GHOSTDB_ASSIGN_OR_RETURN(
+            plan, planner_->PlanQuery(query, vis_counts, config_.exec));
+      }
+      exec::QueryResult result;
+      result.columns = {"plan"};
+      result.rows = {{catalog::Value::String(
+          planner_->Explain(query, plan, vis_counts))}};
+      result.total_rows = 1;
+      return result;
+    }
+
+    plan::PhysicalPlan pinned_plan;
+    std::shared_ptr<const PreparedQuery> prepared;
+    const plan::PhysicalPlan* plan = nullptr;
+    if (pinned != nullptr) {
+      // Pinned runs serve the Vis counts like a planner run would, so
+      // their transcripts and metrics stay comparable across strategies.
+      std::map<TableId, uint64_t> vis_counts;
+      GHOSTDB_RETURN_NOT_OK(ServeVisCounts(query, &prefetch, &vis_counts));
+      pinned_plan = plan::BuildPhysicalPlan(query, *pinned);
+      plan = &pinned_plan;
+    } else {
+      GHOSTDB_ASSIGN_OR_RETURN(prepared,
+                               PrepareBound(query, &prefetch, &outcome));
+      plan = &prepared->plan;  // the held snapshot keeps the plan alive
+    }
+    return executor_->Execute(query, *plan, &baseline, session, &deferred,
+                              &prefetch);
+  }();
+  if (!result.ok() || query.explain) return result;
+  // The rendering half of the surface: decode the captured cells to
+  // Values *after* the admission released, so one session's rendering
+  // overlaps the next session's device work. Purely local — the decode
+  // can touch nothing observable.
+  deferred.DecodeInto(&result.ValueUnsafe());
   if (cached_path) {
-    result.metrics.plan_cache_hits = cache_hit ? 1 : 0;
-    result.metrics.plan_cache_misses = cache_hit ? 0 : 1;
+    result.ValueUnsafe().metrics.plan_cache_hits = outcome.hit ? 1 : 0;
+    result.ValueUnsafe().metrics.plan_cache_replans =
+        outcome.replanned ? 1 : 0;
+    result.ValueUnsafe().metrics.plan_cache_misses =
+        outcome.hit || outcome.replanned ? 0 : 1;
   }
   return result;
+}
+
+Result<uint64_t> GhostDB::DrainSessions(
+    const std::vector<Session*>& sessions, bool stop_on_error) {
+  if (!built_) {
+    return Status::InvalidArgument("call Build() before querying");
+  }
+  auto any_error = [&] {
+    for (Session* s : sessions) {
+      if (s->saw_error()) return true;
+    }
+    return false;
+  };
+  uint64_t ran = 0;
+  for (;;) {
+    // Who is asking, at what declared weight — the arbiter's only inputs.
+    std::vector<std::pair<int32_t, uint32_t>> pending;
+    pending.reserve(sessions.size());
+    for (Session* s : sessions) {
+      uint32_t weight = 1;
+      if (s->BindHead(&weight)) pending.emplace_back(s->id(), weight);
+    }
+    // BindHead records bind failures as results without touching the
+    // device; in fail-fast mode they end the drain like any other error.
+    if (stop_on_error && any_error()) break;
+    if (pending.empty()) break;
+    int32_t pick = device_->arbiter().PickNext(pending);
+    for (Session* s : sessions) {
+      if (s->id() == pick) {
+        s->RunHead();
+        break;
+      }
+    }
+    ran += 1;
+    if (stop_on_error && any_error()) break;
+  }
+  return ran;
 }
 
 Result<BatchResult> GhostDB::QueryBatch(const std::vector<std::string>& sqls) {
@@ -239,17 +362,28 @@ Result<BatchResult> GhostDB::QueryBatch(const std::vector<std::string>& sqls) {
   // One baseline spans the whole batch: `total` reports the batch-wide
   // costs (statements still carry their own per-query metrics).
   exec::MetricSnapshot baseline = exec::MetricSnapshot::Take(device_.get());
+  // The degenerate scheduler case: one ephemeral session holding the whole
+  // stream, no dedicated RAM partition (the batch runs from the shared
+  // reserve, exactly like the sessionless path did).
+  SessionOptions options;
+  options.ram_quota_buffers = 0;
+  options.name = "batch";
+  GHOSTDB_ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
+                           OpenSession(std::move(options)));
+  for (const std::string& sql : sqls) session->Enqueue(sql);
+  // Fail fast: the first erroring statement ends the batch — later
+  // statements never reach the device (matching the pre-session loop).
+  GHOSTDB_RETURN_NOT_OK(
+      DrainSessions({session.get()}, /*stop_on_error=*/true).status());
+  std::vector<Result<exec::QueryResult>> results = session->TakeResults();
   BatchResult batch;
-  batch.results.reserve(sqls.size());
-  for (const std::string& sql : sqls) {
-    GHOSTDB_ASSIGN_OR_RETURN(sql::BoundQuery query,
-                             BindSelect(sql, nullptr));
-    GHOSTDB_ASSIGN_OR_RETURN(exec::QueryResult result,
-                             RunSelect(query, nullptr));
-    batch.total.plan_cache_hits += result.metrics.plan_cache_hits;
-    batch.total.plan_cache_misses += result.metrics.plan_cache_misses;
-    batch.total.result_rows += result.total_rows;
-    batch.results.push_back(std::move(result));
+  batch.results.reserve(results.size());
+  for (Result<exec::QueryResult>& r : results) {
+    GHOSTDB_RETURN_NOT_OK(r.status());
+    // Statement counters sum; baseline.Delta overwrites the device-derived
+    // fields with the batch-wide deltas below.
+    batch.total.Accumulate(r->metrics);
+    batch.results.push_back(std::move(*r));
   }
   baseline.Delta(device_.get(), &batch.total);
   return batch;
@@ -258,14 +392,14 @@ Result<BatchResult> GhostDB::QueryBatch(const std::vector<std::string>& sqls) {
 Result<exec::QueryResult> GhostDB::Query(const std::string& sql) {
   GHOSTDB_ASSIGN_OR_RETURN(sql::BoundQuery query,
                            BindSelect(sql, nullptr));
-  return RunSelect(query, nullptr);
+  return RunSelect(query, nullptr, nullptr);
 }
 
 Result<exec::QueryResult> GhostDB::QueryWithPlan(
     const std::string& sql, const plan::PlanChoice& plan) {
   GHOSTDB_ASSIGN_OR_RETURN(sql::BoundQuery query,
                            BindSelect(sql, nullptr));
-  return RunSelect(query, &plan);
+  return RunSelect(query, &plan, nullptr);
 }
 
 Result<std::string> GhostDB::Explain(const std::string& sql) {
@@ -273,7 +407,7 @@ Result<std::string> GhostDB::Explain(const std::string& sql) {
                            BindSelect(sql, nullptr));
   query.explain = true;
   GHOSTDB_ASSIGN_OR_RETURN(exec::QueryResult result,
-                           RunSelect(query, nullptr));
+                           RunSelect(query, nullptr, nullptr));
   return result.rows[0][0].AsString();
 }
 

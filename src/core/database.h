@@ -7,23 +7,34 @@
 //   db.Build();                                        // partition + index
 //   auto r = db.Query("SELECT ... FROM ... WHERE ..."); // leak-free
 //
+//   // Multi-session serving (the paper's one-key-many-principals case):
+//   auto alice = db.OpenSession({.name = "alice"});
+//   auto bob   = db.OpenSession({.name = "bob"});
+//   auto r1 = (*alice)->Query("SELECT ...");  // concurrent with bob's,
+//   auto r2 = (*bob)->Query("SELECT ...");    // arbitrated on the channel
+//
 // The object owns both worlds: the Untrusted engine (visible partitions)
 // and the Secure device (hidden partitions, SKTs, climbing indexes), wired
 // by the audited channel. Only the query text ever crosses to Untrusted.
+// Sessions share the store, the plan cache, and the device; the channel
+// arbiter serializes device access under a deterministic visible-only
+// policy and tags every transcript message with its session.
 #pragma once
 
-#include <list>
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "catalog/schema.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "core/loader.h"
+#include "core/plan_cache.h"
 #include "core/secure_store.h"
+#include "core/session.h"
 #include "core/table_data.h"
 #include "device/secure_device.h"
 #include "exec/executor.h"
@@ -55,17 +66,6 @@ struct GhostDBConfig {
   plan::PlannerConfig planner;
 };
 
-/// \brief A cached physical plan, keyed on the query shape (statement text
-/// with literals normalized to '?'). Shapes derive from the visible query
-/// text only, so the cache's behavior can never depend on Hidden data.
-/// Literal-dependent pieces (predicate values, the LIMIT count) are always
-/// re-bound from the live statement at execution time.
-struct PreparedQuery {
-  std::string shape;
-  plan::PhysicalPlan plan;
-  uint64_t hits = 0;       ///< cache hits served by this entry
-};
-
 /// \brief Result of QueryBatch(): per-statement answers plus batch-level
 /// costs measured from a single MetricSnapshot baseline.
 struct BatchResult {
@@ -77,6 +77,7 @@ struct BatchResult {
 class GhostDB {
  public:
   explicit GhostDB(GhostDBConfig config = {});
+  ~GhostDB();
 
   /// Executes a DDL or INSERT statement (before Build()).
   Status Execute(const std::string& sql);
@@ -88,21 +89,48 @@ class GhostDB {
   /// fully indexed model. Must be called once, before the first query.
   Status Build();
 
+  /// Opens a serving session: its own RAM partition (per SessionOptions),
+  /// metrics baseline, result surface, and transcript identity. Sessions
+  /// share the store and the plan cache; the channel arbiter interleaves
+  /// their device access. The GhostDB must outlive the session.
+  Result<std::unique_ptr<Session>> OpenSession(SessionOptions options = {});
+
+  /// The deterministic multi-session scheduler: executes every statement
+  /// queued (Session::Enqueue) on `sessions`, interleaving by the channel
+  /// arbiter's deficit-round-robin policy over declared shape weights —
+  /// visible inputs only, so the interleaving (and the global transcript)
+  /// is reproducible. Per-session results land on each session's result
+  /// surface in statement order. Returns the number of statements run.
+  /// With `stop_on_error`, draining stops at the first statement that
+  /// fails (its error is on the result surface; later statements stay
+  /// queued and unpaid-for).
+  Result<uint64_t> DrainSessions(const std::vector<Session*>& sessions,
+                                 bool stop_on_error = false);
+
+  /// Number of sessions currently open.
+  size_t open_sessions() const;
+
   /// Runs a SELECT (or EXPLAIN SELECT). The planner picks strategies;
   /// repeated query shapes reuse the cached plan and skip the planning
   /// round-trips.
   Result<exec::QueryResult> Query(const std::string& sql);
 
   /// Binds and plans `sql`, caching the result by query shape. Later
-  /// Query()/QueryBatch() calls with the same shape reuse the plan. The
-  /// returned pointer stays valid until the entry is evicted (an entry can
-  /// only be evicted after `plan_cache_capacity` other shapes have been
-  /// prepared more recently).
-  Result<const PreparedQuery*> Prepare(const std::string& sql);
+  /// Query()/QueryBatch() calls with the same shape (from any session)
+  /// reuse the plan. The returned snapshot stays valid and unchanging for
+  /// as long as the caller holds it — concurrent evictions or stats-stale
+  /// re-plans install fresh snapshots in the cache without touching this
+  /// one.
+  Result<std::shared_ptr<const PreparedQuery>> Prepare(
+      const std::string& sql);
 
   /// Executes many statements against one MetricSnapshot baseline — the
   /// throughput surface. Per-statement answers come back in order;
   /// `total` carries the batch-wide costs and plan-cache hit counts.
+  /// Implemented as the degenerate single-session case of the scheduler:
+  /// one ephemeral session, every statement queued to it, drained. Must
+  /// not run concurrently with live sessions (its batch-wide baseline
+  /// reads device counters outside any admission).
   Result<BatchResult> QueryBatch(const std::vector<std::string>& sqls);
 
   /// Runs a SELECT under a pinned plan (benches compare strategies);
@@ -125,24 +153,44 @@ class GhostDB {
   /// Storage report: live flash pages per structure tag.
   std::string StorageReport() const;
 
+  /// Declares that the catalog statistics changed (e.g. a future update
+  /// path refreshed the selectivity sketches): bumps the stats version, so
+  /// every cached plan stamped with an older version re-plans on its next
+  /// use instead of reusing a strategy chosen under dead selectivities.
+  void NotifyStatsChanged() { stats_version_.fetch_add(1); }
+  /// Current catalog stats version (starts at 1).
+  uint64_t stats_version() const { return stats_version_.load(); }
+
   /// Number of distinct query shapes currently cached.
   size_t plan_cache_size() const { return plan_cache_.size(); }
   /// Shapes evicted by the LRU bound so far.
-  uint64_t plan_cache_evictions() const { return plan_cache_evictions_; }
+  uint64_t plan_cache_evictions() const { return plan_cache_.evictions(); }
+  /// Cached plans re-planned because their stats stamp went stale.
+  uint64_t plan_cache_replans() const { return plan_cache_.replans(); }
 
  private:
+  friend class Session;
+
   Result<sql::BoundQuery> BindSelect(const std::string& sql, bool* explain);
+  /// Full arbitrated execution of a bound SELECT: admission, baseline,
+  /// announcement, plan-cache consult (unless `pinned`), execution under
+  /// `session`'s identity (nullptr = the "main" pseudo-session).
   Result<exec::QueryResult> RunSelect(const sql::BoundQuery& query,
-                                      const plan::PlanChoice* pinned);
+                                      const plan::PlanChoice* pinned,
+                                      const exec::SessionBinding* session);
   /// Plan-cache lookup / fill for an already-bound (and announced) query.
-  /// On a miss, serves the Vis counts, plans, and caches; `hit_out`
-  /// (optional) reports whether it was a hit.
-  Result<const PreparedQuery*> PrepareBound(const sql::BoundQuery& query,
-                                            bool* hit_out);
+  /// Caller holds the channel admission. `outcome` reports hit/replan.
+  Result<std::shared_ptr<const PreparedQuery>> PrepareBound(
+      const sql::BoundQuery& query, untrusted::VisPrefetch* prefetch,
+      PlanCache::Outcome* outcome);
   /// One vis-count exchange per table with visible predicates (the
   /// planner's selectivity inputs; visible information only).
   Status ServeVisCounts(const sql::BoundQuery& query,
+                        const untrusted::VisPrefetch* prefetch,
                         std::map<catalog::TableId, uint64_t>* out);
+  /// Detaches a closing session (releases its partition under admission
+  /// and unregisters it from the arbiter).
+  void CloseSession(Session* session);
 
   GhostDBConfig config_;
   catalog::Schema schema_;
@@ -153,14 +201,16 @@ class GhostDB {
   SecureStore store_;
   std::unique_ptr<exec::SecureExecutor> executor_;
   std::unique_ptr<plan::Planner> planner_;
-  /// Plan cache: prepared queries in recency order (front = most recently
-  /// used) with a shape index. The list gives pointer-stable entries while
-  /// they live and O(1) LRU eviction from the back.
-  std::list<PreparedQuery> plan_cache_;
-  std::unordered_map<std::string, std::list<PreparedQuery>::iterator>
-      plan_cache_index_;
-  uint64_t plan_cache_evictions_ = 0;
+  PlanCache plan_cache_;
+  std::atomic<uint64_t> stats_version_{1};
+  mutable std::mutex sessions_mu_;  // next_session_id_, open_sessions_
+  int32_t next_session_id_ = 0;
+  size_t open_sessions_ = 0;
   bool built_ = false;
 };
+
+/// Declared weight of a query for the channel arbiter: a pure function of
+/// the visible query shape (the number of FROM tables; >= 1).
+uint32_t DeclaredShapeWeight(const sql::BoundQuery& query);
 
 }  // namespace ghostdb::core

@@ -1,0 +1,93 @@
+// The shared plan cache: prepared physical plans keyed by query shape,
+// serving all sessions of one GhostDB.
+//
+// Shapes derive from the visible query text only (literals normalized to
+// '?'), so cache behavior — hits, LRU order, evictions — can never depend
+// on Hidden data, and sharing entries across sessions leaks nothing a
+// session could not already see: a cross-session hit reveals only that some
+// session posed the same visible shape, which the spy already learned from
+// the query announcements themselves.
+//
+// Entries are version-stamped with the catalog stats version current at
+// plan time. A hit whose stamp is stale re-plans instead of reusing a
+// strategy chosen under dead selectivities; re-plans are counted
+// separately from hits and misses.
+//
+// The cache is synchronized (one mutex) and entries are immutable
+// snapshots handed out as shared_ptr: a stale-stats re-plan installs a
+// fresh snapshot in the entry's LRU slot and eviction drops the cache's
+// reference, so a snapshot a caller still holds — from Prepare() on
+// another thread, or mid-execution — remains valid and unchanging for as
+// long as they hold it. Planning on a miss happens inside the lock — the
+// planner consults the channel, whose arbiter admission the caller
+// already holds, so the lock adds no new contention beyond the device's
+// own serialization.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "plan/physical_plan.h"
+
+namespace ghostdb::core {
+
+/// \brief A cached physical plan, keyed on the query shape (statement text
+/// with literals normalized to '?'). Shapes derive from the visible query
+/// text only, so the cache's behavior can never depend on Hidden data.
+/// Literal-dependent pieces (predicate values, the LIMIT count) are always
+/// re-bound from the live statement at execution time. Apart from the
+/// atomic hit counter, an entry never changes after construction.
+struct PreparedQuery {
+  std::string shape;
+  plan::PhysicalPlan plan;
+  std::atomic<uint64_t> hits{0};  ///< cache hits served by this entry
+  uint64_t stats_version = 0;     ///< catalog stats version at plan time
+};
+
+/// \brief Shape-keyed, LRU-bounded, synchronized plan cache.
+class PlanCache {
+ public:
+  /// `capacity` = most shapes kept (0 = unbounded).
+  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Outcome of GetOrPlan: exactly one of hit/miss/replanned is set.
+  struct Outcome {
+    std::shared_ptr<const PreparedQuery> entry;
+    bool hit = false;        ///< fresh entry reused as-is
+    bool replanned = false;  ///< entry existed but its stats stamp was stale
+  };
+
+  /// Looks up `shape`; on a miss (or a stale stats stamp) calls `plan_fn`
+  /// to produce a plan — under the cache lock, and under whatever channel
+  /// admission the caller holds — and stamps the new snapshot with
+  /// `stats_version`. The returned snapshot stays valid and unchanging for
+  /// as long as the caller holds it, regardless of concurrent re-plans or
+  /// evictions.
+  Result<Outcome> GetOrPlan(
+      const std::string& shape, uint64_t stats_version,
+      const std::function<Result<plan::PhysicalPlan>()>& plan_fn);
+
+  size_t size() const;
+  uint64_t evictions() const;
+  uint64_t replans() const;
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;
+  /// Recency order (front = most recently used) with a shape index.
+  std::list<std::shared_ptr<PreparedQuery>> entries_;
+  std::unordered_map<std::string,
+                     std::list<std::shared_ptr<PreparedQuery>>::iterator>
+      index_;
+  uint64_t evictions_ = 0;
+  uint64_t replans_ = 0;
+};
+
+}  // namespace ghostdb::core

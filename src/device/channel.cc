@@ -10,7 +10,8 @@ void Channel::Transfer(Direction direction, const std::string& label,
   if (payload != nullptr) {
     digest = crypto::HashBytes(payload, bytes, /*seed=*/0x6864);
   }
-  transcript_.push_back(ChannelMessage{direction, label, bytes, digest});
+  transcript_.push_back(
+      ChannelMessage{direction, label, bytes, digest, current_session_});
   if (throughput_ > 0 && bytes > 0) {
     auto scope = clock_->Enter("comm");
     clock_->Advance(static_cast<SimNanos>(

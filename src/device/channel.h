@@ -28,6 +28,12 @@ struct ChannelMessage {
   std::string label;        ///< e.g. "query", "vis:T1.id"
   uint64_t bytes;           ///< payload size
   uint64_t content_digest;  ///< 64-bit hash of the payload
+  /// Session the transfer belongs to (-1 = outside any session, e.g. the
+  /// build phase). Session ids and admission order are assigned from
+  /// visible information only, so tagging leaks nothing — and the tags let
+  /// the leak tests assert the *interleaved* multi-session transcript is
+  /// hidden-independent, attribution included.
+  int32_t session = -1;
 };
 
 /// \brief Simulated USB link with throughput accounting and transcript.
@@ -50,6 +56,12 @@ class Channel {
   const std::vector<ChannelMessage>& transcript() const { return transcript_; }
   void ClearTranscript() { transcript_.clear(); }
 
+  /// Session new transfers are attributed to. Set by the ChannelArbiter on
+  /// admission (and only then — the channel is exclusive to the admitted
+  /// session until release).
+  void set_current_session(int32_t session) { current_session_ = session; }
+  int32_t current_session() const { return current_session_; }
+
   /// Total bytes moved in `direction` since the transcript was cleared.
   uint64_t BytesMoved(Direction direction) const;
 
@@ -59,6 +71,7 @@ class Channel {
  private:
   SimClock* clock_;
   double throughput_;
+  int32_t current_session_ = -1;
   std::vector<ChannelMessage> transcript_;
 };
 

@@ -38,9 +38,115 @@ RamManager::RamManager(size_t ram_bytes, size_t buffer_size)
       arena_(ram_bytes, 0),
       buffer_used_(total_buffers_, false) {}
 
+uint32_t RamManager::reserve_free_buffers() const {
+  uint32_t in_use = shared_used_;
+  for (const Partition& p : partitions_) {
+    if (p.live && p.used > p.quota) in_use += p.used - p.quota;
+  }
+  uint32_t reserve = reserve_buffers();
+  return in_use >= reserve ? 0 : reserve - in_use;
+}
+
+uint32_t RamManager::HeadroomOf(RamPartitionId id) const {
+  if (id == kSharedRamPartition || id > partitions_.size() ||
+      !partitions_[id - 1].live) {
+    return reserve_free_buffers();
+  }
+  const Partition& p = partitions_[id - 1];
+  uint32_t quota_left = p.used >= p.quota ? 0 : p.quota - p.used;
+  return quota_left + reserve_free_buffers();
+}
+
+uint32_t RamManager::free_buffers() const {
+  return std::min(physical_free_buffers(), HeadroomOf(active_));
+}
+
+Result<RamPartitionId> RamManager::CreatePartition(std::string name,
+                                                   uint32_t quota_buffers) {
+  if (quota_buffers == 0) {
+    return Status::InvalidArgument("partition '" + name +
+                                   "' needs a nonzero quota");
+  }
+  if (pledged_ + quota_buffers > total_buffers_) {
+    return Status::ResourceExhausted(
+        "cannot pledge " + std::to_string(quota_buffers) +
+        " buffers to partition '" + name + "': " +
+        std::to_string(pledged_) + " of " + std::to_string(total_buffers_) +
+        " already pledged, " + std::to_string(reserve_buffers()) +
+        " left in the shared reserve");
+  }
+  pledged_ += quota_buffers;
+  // Reuse a released slot so long-lived servers opening/closing sessions
+  // don't grow the table without bound.
+  for (size_t i = 0; i < partitions_.size(); ++i) {
+    if (!partitions_[i].live) {
+      partitions_[i] = Partition{std::move(name), quota_buffers, 0, true};
+      return static_cast<RamPartitionId>(i + 1);
+    }
+  }
+  partitions_.push_back(Partition{std::move(name), quota_buffers, 0, true});
+  return static_cast<RamPartitionId>(partitions_.size());
+}
+
+Status RamManager::ReleasePartition(RamPartitionId id) {
+  if (id == kSharedRamPartition || id > partitions_.size() ||
+      !partitions_[id - 1].live) {
+    return Status::InvalidArgument("no such RAM partition: " +
+                                   std::to_string(id));
+  }
+  Partition& p = partitions_[id - 1];
+  if (p.used != 0) {
+    return Status::InvalidArgument(
+        "partition '" + p.name + "' still holds " + std::to_string(p.used) +
+        " buffers (" + DescribeOwners() + ")");
+  }
+  pledged_ -= p.quota;
+  p = Partition{};
+  if (active_ == id) active_ = kSharedRamPartition;
+  return Status::OK();
+}
+
+uint32_t RamManager::partition_quota(RamPartitionId id) const {
+  return id == kSharedRamPartition || id > partitions_.size()
+             ? 0
+             : partitions_[id - 1].quota;
+}
+
+uint32_t RamManager::partition_used(RamPartitionId id) const {
+  if (id == kSharedRamPartition) return shared_used_;
+  return id > partitions_.size() ? 0 : partitions_[id - 1].used;
+}
+
+const std::string& RamManager::partition_name(RamPartitionId id) const {
+  static const std::string kShared = "shared";
+  static const std::string kUnknown = "?";
+  if (id == kSharedRamPartition) return kShared;
+  if (id > partitions_.size() || !partitions_[id - 1].live) return kUnknown;
+  return partitions_[id - 1].name;
+}
+
 Result<BufferHandle> RamManager::Acquire(uint32_t buffers, std::string owner) {
   if (buffers == 0) {
     return Status::InvalidArgument("cannot acquire zero buffers");
+  }
+  if (buffers > HeadroomOf(active_)) {
+    // The active partition is out of budget: a per-session condition, not a
+    // device-wide one. Name who holds what so the failure is actionable.
+    const std::string& pname = partition_name(active_);
+    std::string msg = "RAM partition '" + pname + "' exhausted: '" + owner +
+                      "' wants " + std::to_string(buffers) + " buffers, ";
+    if (active_ == kSharedRamPartition) {
+      msg += "shared reserve has " +
+             std::to_string(reserve_free_buffers()) + " of " +
+             std::to_string(reserve_buffers()) + " free";
+    } else {
+      msg += "partition uses " + std::to_string(partition_used(active_)) +
+             " of quota " + std::to_string(partition_quota(active_)) +
+             ", shared reserve has " +
+             std::to_string(reserve_free_buffers()) + " free";
+    }
+    msg += " (held by: " + DescribeOwners() + ")";
+    return Status::ResourceExhausted(std::move(msg));
   }
   // First-fit search for a contiguous free range.
   uint32_t run = 0;
@@ -51,26 +157,58 @@ Result<BufferHandle> RamManager::Acquire(uint32_t buffers, std::string owner) {
       for (uint32_t b = first; b <= i; ++b) buffer_used_[b] = true;
       used_buffers_ += buffers;
       peak_used_buffers_ = std::max(peak_used_buffers_, used_buffers_);
-      owners_.emplace_back(owner, buffers);
+      if (active_ == kSharedRamPartition) {
+        shared_used_ += buffers;
+      } else {
+        partitions_[active_ - 1].used += buffers;
+      }
+      allocations_[first] = Allocation{owner, buffers, active_};
       return BufferHandle(this, arena_.data() + first * buffer_size_,
                           static_cast<size_t>(buffers) * buffer_size_,
                           buffers);
     }
   }
   return Status::ResourceExhausted(
-      "secure RAM exhausted: " + owner + " wants " + std::to_string(buffers) +
-      " buffers, " + std::to_string(free_buffers()) + " free of " +
-      std::to_string(total_buffers_));
+      "secure RAM exhausted: '" + owner + "' wants " +
+      std::to_string(buffers) + " buffers, " +
+      std::to_string(physical_free_buffers()) + " free of " +
+      std::to_string(total_buffers_) + " (held by: " + DescribeOwners() +
+      ")");
 }
 
 void RamManager::ReleaseBuffers(uint8_t* data, uint32_t buffers) {
   uint32_t first = static_cast<uint32_t>((data - arena_.data()) / buffer_size_);
   for (uint32_t b = first; b < first + buffers; ++b) buffer_used_[b] = false;
   used_buffers_ -= buffers;
+  auto it = allocations_.find(first);
+  if (it != allocations_.end()) {
+    RamPartitionId charged = it->second.partition;
+    if (charged == kSharedRamPartition) {
+      shared_used_ -= buffers;
+    } else if (charged <= partitions_.size()) {
+      partitions_[charged - 1].used -= buffers;
+    }
+    allocations_.erase(it);
+  }
 }
 
 std::vector<std::pair<std::string, uint32_t>> RamManager::Owners() const {
-  return owners_;
+  std::vector<std::pair<std::string, uint32_t>> out;
+  out.reserve(allocations_.size());
+  for (const auto& [first, alloc] : allocations_) {
+    out.emplace_back(alloc.owner, alloc.buffers);
+  }
+  return out;
+}
+
+std::string RamManager::DescribeOwners() const {
+  if (allocations_.empty()) return "none";
+  std::string out;
+  for (const auto& [first, alloc] : allocations_) {
+    if (!out.empty()) out += ", ";
+    out += alloc.owner + "=" + std::to_string(alloc.buffers);
+  }
+  return out;
 }
 
 }  // namespace ghostdb::device

@@ -2,9 +2,20 @@
 // i.e. 32 buffers (paper sections 2.2, 3.4). The budget is enforced, not
 // advisory — running out of buffers is what forces the paper's reduction
 // phases, Bloom-filter degradation, and multi-pass MJoin.
+//
+// Multi-session serving partitions this budget: each session pledges a
+// named partition with a fixed buffer quota, and the buffers left unpledged
+// form the shared reserve. An allocation is charged to the *active*
+// partition (a context-switch register the executor sets per query — device
+// execution is serialized by the channel arbiter, so there is exactly one
+// active partition at a time): first against the partition's quota, then
+// against the shared reserve. A session can therefore never consume another
+// session's guaranteed quota, and exhausting its own partition is a clean
+// per-session error, not a device-wide one.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -14,6 +25,11 @@
 namespace ghostdb::device {
 
 class RamManager;
+
+/// Identifies a RAM partition. 0 is the shared reserve (no quota of its
+/// own; capped only by what no partition has pledged).
+using RamPartitionId = uint32_t;
+inline constexpr RamPartitionId kSharedRamPartition = 0;
 
 /// \brief RAII handle over one or more contiguous RAM buffers.
 class BufferHandle {
@@ -54,8 +70,11 @@ class RamManager {
   /// `ram_bytes` must be a multiple of `buffer_size`.
   RamManager(size_t ram_bytes, size_t buffer_size);
 
-  /// Acquires `buffers` contiguous buffers; fails with ResourceExhausted if
-  /// fewer are free. `owner` labels the allocation for diagnostics.
+  /// Acquires `buffers` contiguous buffers, charged to the active
+  /// partition; fails with ResourceExhausted — naming the current owners
+  /// and their buffer counts — if the partition's headroom (quota plus
+  /// shared reserve) or the physical arena cannot cover them. `owner`
+  /// labels the allocation for diagnostics.
   Result<BufferHandle> Acquire(uint32_t buffers, std::string owner);
 
   /// Acquires one buffer.
@@ -63,31 +82,105 @@ class RamManager {
     return Acquire(1, std::move(owner));
   }
 
+  // -- Named partitions (per-session quotas) -------------------------------
+
+  /// Pledges `quota_buffers` of the arena to a named partition; fails with
+  /// ResourceExhausted when the pledge would exceed the unpledged reserve.
+  Result<RamPartitionId> CreatePartition(std::string name,
+                                         uint32_t quota_buffers);
+
+  /// Returns a partition's quota to the shared reserve. The partition must
+  /// hold no live allocations.
+  Status ReleasePartition(RamPartitionId id);
+
+  /// The partition new acquisitions are charged to. Device execution is
+  /// serialized (channel arbiter), so this acts like a context register:
+  /// the executor switches it per admitted query.
+  RamPartitionId active_partition() const { return active_; }
+  void SetActivePartition(RamPartitionId id) { active_ = id; }
+
+  /// RAII active-partition switch (restores the previous partition).
+  class PartitionScope {
+   public:
+    PartitionScope(RamManager* ram, RamPartitionId id)
+        : ram_(ram), previous_(ram->active_partition()) {
+      ram_->SetActivePartition(id);
+    }
+    ~PartitionScope() { ram_->SetActivePartition(previous_); }
+    PartitionScope(const PartitionScope&) = delete;
+    PartitionScope& operator=(const PartitionScope&) = delete;
+
+   private:
+    RamManager* ram_;
+    RamPartitionId previous_;
+  };
+
   uint32_t total_buffers() const { return total_buffers_; }
-  uint32_t free_buffers() const { return total_buffers_ - used_buffers_; }
+  /// Buffers the active partition may still acquire: the minimum of the
+  /// physical free count and the partition's headroom (remaining quota +
+  /// free shared reserve). The adaptive operators (merge reduction, Bloom
+  /// sizing, MJoin chunking) size themselves from this, so a session under
+  /// a small quota degrades to more passes instead of failing.
+  uint32_t free_buffers() const;
+  /// Buffers free in the arena, ignoring partition quotas.
+  uint32_t physical_free_buffers() const {
+    return total_buffers_ - used_buffers_;
+  }
   uint32_t used_buffers() const { return used_buffers_; }
   uint32_t peak_used_buffers() const { return peak_used_buffers_; }
   size_t buffer_size() const { return buffer_size_; }
   size_t ram_bytes() const { return ram_bytes_; }
 
+  /// Buffers not pledged to any partition (the shared reserve's size).
+  uint32_t reserve_buffers() const { return total_buffers_ - pledged_; }
+  /// Unused part of the shared reserve (what partition overflow and
+  /// shared-partition acquisitions still have available).
+  uint32_t reserve_free_buffers() const;
+
+  uint32_t partition_quota(RamPartitionId id) const;
+  uint32_t partition_used(RamPartitionId id) const;
+  const std::string& partition_name(RamPartitionId id) const;
+
   /// Zeros the peak-usage watermark (between queries).
   void ResetPeak() { peak_used_buffers_ = used_buffers_; }
 
-  /// Diagnostic: current owners and their buffer counts.
+  /// Diagnostic: current owners and their buffer counts (live allocations
+  /// only, in arena order).
   std::vector<std::pair<std::string, uint32_t>> Owners() const;
+  /// Owners rendered as "a=2, b=1" (or "none") for error messages.
+  std::string DescribeOwners() const;
 
  private:
   friend class BufferHandle;
   void ReleaseBuffers(uint8_t* data, uint32_t buffers);
+
+  struct Partition {
+    std::string name;
+    uint32_t quota = 0;
+    uint32_t used = 0;
+    bool live = false;
+  };
+  struct Allocation {
+    std::string owner;
+    uint32_t buffers = 0;
+    RamPartitionId partition = kSharedRamPartition;
+  };
+
+  /// Remaining headroom of `id`: quota left plus free reserve.
+  uint32_t HeadroomOf(RamPartitionId id) const;
 
   size_t ram_bytes_;
   size_t buffer_size_;
   uint32_t total_buffers_;
   uint32_t used_buffers_ = 0;
   uint32_t peak_used_buffers_ = 0;
+  uint32_t pledged_ = 0;      ///< sum of live partition quotas
+  uint32_t shared_used_ = 0;  ///< buffers held by shared-partition owners
+  RamPartitionId active_ = kSharedRamPartition;
   std::vector<uint8_t> arena_;
   std::vector<bool> buffer_used_;  // per-buffer occupancy
-  std::vector<std::pair<std::string, uint32_t>> owners_;
+  std::vector<Partition> partitions_;  // id - 1 indexes this
+  std::map<uint32_t, Allocation> allocations_;  // keyed by first buffer
 };
 
 }  // namespace ghostdb::device

@@ -7,6 +7,7 @@
 #include "common/sim_clock.h"
 #include "common/units.h"
 #include "device/channel.h"
+#include "device/channel_arbiter.h"
 #include "device/ram_manager.h"
 #include "flash/flash.h"
 
@@ -31,13 +32,20 @@ class SecureDevice {
         clock_(std::make_unique<SimClock>()),
         ram_(config.ram_bytes, config.buffer_size),
         flash_(config.flash, clock_.get()),
-        channel_(clock_.get(), config.channel_throughput_bytes_per_sec) {}
+        channel_(clock_.get(), config.channel_throughput_bytes_per_sec),
+        arbiter_(&channel_) {
+    // The "main" pseudo-session (-1): direct Query()/Prepare() calls and
+    // other pre-session surfaces arbitrate like everyone else, so all
+    // query-time device access is serialized through one gate.
+    arbiter_.Register(-1, "main");
+  }
 
   const DeviceConfig& config() const { return config_; }
   SimClock& clock() { return *clock_; }
   RamManager& ram() { return ram_; }
   flash::FlashDevice& flash() { return flash_; }
   Channel& channel() { return channel_; }
+  ChannelArbiter& arbiter() { return arbiter_; }
 
  private:
   DeviceConfig config_;
@@ -45,6 +53,7 @@ class SecureDevice {
   RamManager ram_;
   flash::FlashDevice flash_;
   Channel channel_;
+  ChannelArbiter arbiter_;
 };
 
 }  // namespace ghostdb::device

@@ -8,15 +8,74 @@ namespace ghostdb::exec {
 
 using sql::BoundQuery;
 
+void EncodedRows::AppendRow(const ColumnBatch& batch,
+                            uint32_t physical_row) {
+  if (layout.cols.empty()) layout = *batch.layout;
+  for (size_t c = 0; c < layout.cols.size(); ++c) {
+    const uint8_t* src = batch.cell(c, physical_row);
+    cells.insert(cells.end(), src, src + layout.cols[c].width);
+  }
+  row_count += 1;
+}
+
+void EncodedRows::DecodeInto(QueryResult* out) const {
+  out->rows.reserve(out->rows.size() + row_count);
+  const uint8_t* p = cells.data();
+  for (uint64_t r = 0; r < row_count; ++r) {
+    std::vector<catalog::Value> row;
+    row.reserve(layout.cols.size());
+    for (const BatchColumn& col : layout.cols) {
+      row.push_back(catalog::Value::Decode(p, col.type, col.width));
+      p += col.width;
+    }
+    out->rows.push_back(std::move(row));
+  }
+}
+
 Result<QueryResult> SecureExecutor::Execute(const BoundQuery& query,
                                             const plan::PlanChoice& choice,
-                                            const MetricSnapshot* baseline) {
-  return Execute(query, plan::BuildPhysicalPlan(query, choice), baseline);
+                                            const MetricSnapshot* baseline,
+                                            const SessionBinding* session) {
+  return Execute(query, plan::BuildPhysicalPlan(query, choice), baseline,
+                 session);
 }
 
 Result<QueryResult> SecureExecutor::Execute(const BoundQuery& query,
                                             const plan::PhysicalPlan& plan,
-                                            const MetricSnapshot* baseline) {
+                                            const MetricSnapshot* baseline,
+                                            const SessionBinding* session,
+                                            EncodedRows* deferred,
+                                            untrusted::VisPrefetch* prefetch) {
+  static const SessionBinding kMainSession;
+  if (session == nullptr) session = &kMainSession;
+  auto& ram = device_->ram();
+  // Context-switch the RAM budget onto the session's partition: every
+  // operator acquisition below is charged against the session's quota, and
+  // the adaptive operators see only the session's headroom.
+  device::RamManager::PartitionScope partition_scope(&ram,
+                                                     session->ram_partition);
+  Result<QueryResult> result =
+      ExecuteTree(query, plan, baseline, session, deferred, prefetch);
+  if (!result.ok() && result.status().IsResourceExhausted()) {
+    // Out-of-RAM is a per-session condition under partitioning: annotate
+    // the operator's error with whose budget ran dry and what it was, so
+    // "zero buffers free" becomes actionable.
+    return Status::ResourceExhausted(
+        result.status().message() + " [session '" + session->name +
+        "', RAM partition '" + ram.partition_name(session->ram_partition) +
+        "': " + std::to_string(ram.partition_used(session->ram_partition)) +
+        " used of quota " +
+        std::to_string(ram.partition_quota(session->ram_partition)) +
+        ", shared reserve " +
+        std::to_string(ram.reserve_free_buffers()) + " free]");
+  }
+  return result;
+}
+
+Result<QueryResult> SecureExecutor::ExecuteTree(
+    const BoundQuery& query, const plan::PhysicalPlan& plan,
+    const MetricSnapshot* baseline, const SessionBinding* session,
+    EncodedRows* deferred, untrusted::VisPrefetch* prefetch) {
   auto& ram = device_->ram();
   MetricSnapshot snap =
       baseline != nullptr ? *baseline : MetricSnapshot::Take(device_);
@@ -33,6 +92,8 @@ Result<QueryResult> SecureExecutor::Execute(const BoundQuery& query,
   ctx.config = &config_;
   ctx.query = &query;
   ctx.choice = &plan.choice;
+  ctx.session = session;
+  ctx.vis_prefetch = prefetch;
   ctx.metrics = &metrics;
   // Without value-level operators above the projection, rows beyond the
   // materialization limit are counted but never encoded.
@@ -76,11 +137,18 @@ Result<QueryResult> SecureExecutor::Execute(const BoundQuery& query,
     GHOSTDB_ASSIGN_OR_RETURN(ColumnBatch batch, root->Next());
     if (batch.empty()) break;
     result.total_rows += batch.live() + batch.skipped_rows;
-    // The secure rendering surface is the one place cells are decoded.
-    for (size_t i = 0;
-         i < batch.live() && result.rows.size() < config_.result_row_limit;
-         ++i) {
+    // The secure rendering surface. In deferred mode only the encoded
+    // cells are captured (memcpy) — the caller decodes after releasing
+    // its channel admission, off the device's critical section.
+    for (size_t i = 0; i < batch.live(); ++i) {
+      uint64_t materialized =
+          deferred != nullptr ? deferred->row_count : result.rows.size();
+      if (materialized >= config_.result_row_limit) break;
       uint32_t r = batch.row_at(i);
+      if (deferred != nullptr) {
+        deferred->AppendRow(batch, r);
+        continue;
+      }
       std::vector<catalog::Value> row;
       row.reserve(batch.layout->cols.size());
       for (size_t c = 0; c < batch.layout->cols.size(); ++c) {
@@ -101,12 +169,13 @@ Result<QueryResult> SecureExecutor::Execute(const BoundQuery& query,
   metrics.result_rows = result.total_rows;
 
   // Temporary flash space must all be returned: leaks here would slowly
-  // fill the key.
+  // fill the key. The check runs per session-query so a leak is pinned on
+  // the session that caused it, not on whoever runs next.
   if (allocator_->used_pages() != pages0) {
-    return Status::Internal("query leaked " +
-                            std::to_string(allocator_->used_pages() -
-                                           pages0) +
-                            " flash pages");
+    return Status::Internal(
+        "query leaked " +
+        std::to_string(allocator_->used_pages() - pages0) +
+        " flash pages (session '" + session->name + "')");
   }
   result.metrics = metrics;
   return result;

@@ -15,6 +15,27 @@
 
 namespace ghostdb::exec {
 
+/// \brief Result rows captured in their encoded (on-flash) cell format.
+///
+/// The secure rendering surface in two phases: under the channel
+/// admission, the executor only memcpys each live row's encoded cells here
+/// (cheap); the caller decodes to catalog::Values *after* releasing the
+/// device, so one session's rendering overlaps the next session's device
+/// work. Owns a copy of the layout, so it stays valid regardless of plan
+/// cache eviction.
+struct EncodedRows {
+  BatchLayout layout;
+  std::vector<uint8_t> cells;  ///< row-major: row_count × layout.row_width
+  uint64_t row_count = 0;
+
+  /// Copies the live physical row `r` of `batch` (binding the layout on
+  /// first use).
+  void AppendRow(const ColumnBatch& batch, uint32_t physical_row);
+  /// Decodes everything into `out->rows` (the one place cells become
+  /// Values on this path).
+  void DecodeInto(QueryResult* out) const;
+};
+
 /// \brief Executes bound queries on the Secure device.
 class SecureExecutor {
  public:
@@ -31,19 +52,40 @@ class SecureExecutor {
         config_(config) {}
 
   /// Runs `query` under `plan`. The query text must already have been
-  /// announced to Untrusted by the caller. `baseline`, when given, extends
-  /// the cost accounting back to before the announcement.
+  /// announced to Untrusted by the caller, and — in multi-session serving —
+  /// the caller must hold the channel arbiter's admission for `session`.
+  /// `baseline`, when given, extends the cost accounting back to before
+  /// the announcement. `session` (optional) scopes the run: RAM comes from
+  /// the session's partition, and the page-leak check reports against the
+  /// session. `deferred` (optional) switches the rendering surface to the
+  /// two-phase mode: the result comes back with `rows` empty and the
+  /// encoded cells in `deferred`, for the caller to DecodeInto() once it
+  /// has released its channel admission. `prefetch` (optional) carries the
+  /// PC's speculatively evaluated visible answers into the operators.
   Result<QueryResult> Execute(const sql::BoundQuery& query,
                               const plan::PhysicalPlan& plan,
-                              const MetricSnapshot* baseline = nullptr);
+                              const MetricSnapshot* baseline = nullptr,
+                              const SessionBinding* session = nullptr,
+                              EncodedRows* deferred = nullptr,
+                              untrusted::VisPrefetch* prefetch = nullptr);
 
   /// Convenience overload: lowers a bare PlanChoice first (benches and
   /// tests pin strategy choices without building trees by hand).
   Result<QueryResult> Execute(const sql::BoundQuery& query,
                               const plan::PlanChoice& choice,
-                              const MetricSnapshot* baseline = nullptr);
+                              const MetricSnapshot* baseline = nullptr,
+                              const SessionBinding* session = nullptr);
 
  private:
+  /// The tree-driving body of Execute(); runs with the RAM partition
+  /// already switched to the session's.
+  Result<QueryResult> ExecuteTree(const sql::BoundQuery& query,
+                                  const plan::PhysicalPlan& plan,
+                                  const MetricSnapshot* baseline,
+                                  const SessionBinding* session,
+                                  EncodedRows* deferred,
+                                  untrusted::VisPrefetch* prefetch);
+
   device::SecureDevice* device_;
   storage::PageAllocator* allocator_;
   const catalog::Schema* schema_;

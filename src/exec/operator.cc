@@ -41,6 +41,32 @@ MetricSnapshot MetricSnapshot::Take(device::SecureDevice* device) {
   return snap;
 }
 
+void QueryMetrics::Accumulate(const QueryMetrics& other) {
+  total_ns += other.total_ns;
+  for (const auto& [category, ns] : other.categories) {
+    categories[category] += ns;
+  }
+  flash.pages_read += other.flash.pages_read;
+  flash.pages_written += other.flash.pages_written;
+  flash.bytes_transferred += other.flash.bytes_transferred;
+  flash.blocks_erased += other.flash.blocks_erased;
+  flash.gc_page_copies += other.flash.gc_page_copies;
+  flash.trims += other.flash.trims;
+  bytes_to_secure += other.bytes_to_secure;
+  bytes_to_untrusted += other.bytes_to_untrusted;
+  qepsj_rows += other.qepsj_rows;
+  result_rows += other.result_rows;
+  peak_ram_buffers = std::max(peak_ram_buffers, other.peak_ram_buffers);
+  merge.reduction_rounds += other.merge.reduction_rounds;
+  merge.reduction_ids_written += other.merge.reduction_ids_written;
+  merge.ids_emitted += other.merge.ids_emitted;
+  merge.peak_streams = std::max(merge.peak_streams, other.merge.peak_streams);
+  bloom_fpr_estimate = std::max(bloom_fpr_estimate, other.bloom_fpr_estimate);
+  plan_cache_hits += other.plan_cache_hits;
+  plan_cache_misses += other.plan_cache_misses;
+  plan_cache_replans += other.plan_cache_replans;
+}
+
 void MetricSnapshot::Delta(device::SecureDevice* device,
                            QueryMetrics* metrics) const {
   metrics->total_ns = device->clock().now() - clock_ns;

@@ -88,6 +88,24 @@ struct QueryMetrics {
   double bloom_fpr_estimate = 0.0;  ///< worst filter used in QEP_SJ
   uint64_t plan_cache_hits = 0;     ///< 1 if this query reused a cached plan
   uint64_t plan_cache_misses = 0;   ///< 1 if this query was planned afresh
+  /// 1 if a cached plan existed but was stamped with a stale catalog stats
+  /// version, so the strategy was re-chosen under live selectivities
+  /// (neither a hit nor a miss).
+  uint64_t plan_cache_replans = 0;
+
+  /// Folds another query's metrics into this one (counters sum, peaks
+  /// take the max) — the single place the field list is walked, used by
+  /// session totals and batch totals alike.
+  void Accumulate(const QueryMetrics& other);
+};
+
+/// \brief Identity a query executes under: the session's id (transcript
+/// tag), display name (diagnostics), and RAM partition (buffer quota).
+/// Defaults describe the sessionless "main" path.
+struct SessionBinding {
+  int32_t id = -1;
+  std::string name = "main";
+  device::RamPartitionId ram_partition = device::kSharedRamPartition;
 };
 
 /// A query answer, delivered to the secure rendering surface.
@@ -167,6 +185,14 @@ struct ExecContext {
   const ExecConfig* config = nullptr;
   const sql::BoundQuery* query = nullptr;
   const plan::PlanChoice* choice = nullptr;
+  /// Session the query runs for. RAM acquisitions are charged to its
+  /// partition via the RamManager's active-partition register (set by the
+  /// executor), so operators need no per-call plumbing.
+  const SessionBinding* session = nullptr;
+  /// Visible answers the PC speculatively evaluated for this query while
+  /// the key served other sessions (may be null). Consumed by the Serve
+  /// calls; the channel interaction is identical either way.
+  untrusted::VisPrefetch* vis_prefetch = nullptr;
   QueryMetrics* metrics = nullptr;
   PipelineState pipeline;
   /// Column layout of the projection output (one column per SELECT item).

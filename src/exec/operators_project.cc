@@ -105,7 +105,8 @@ Status ProjectOp::Open() {
     if (mt.has_vis_side) {
       GHOSTDB_ASSIGN_OR_RETURN(
           mt.payload,
-          ctx_->untrusted->ServeProjection(query, mt.table, mt.vis_cols));
+          ctx_->untrusted->ServeProjection(query, mt.table, mt.vis_cols,
+                                           ctx_->vis_prefetch));
     }
 
     // Bloom over QEPSJ.Ti.id, sized to the whole remaining RAM (paper
@@ -261,7 +262,8 @@ Status ProjectOp::Open() {
   if (need_anchor_payload_) {
     GHOSTDB_ASSIGN_OR_RETURN(
         anchor_payload_,
-        ctx_->untrusted->ServeProjection(query, anchor, anchor_vis_cols_));
+        ctx_->untrusted->ServeProjection(query, anchor, anchor_vis_cols_,
+                                         ctx_->vis_prefetch));
   }
 
   // Buffer budget for the final merge: F' + one per pass run + anchor TiH.
@@ -531,7 +533,8 @@ Status BruteForceProjectOp::Open() {
     if (bt.has_vis_side) {
       GHOSTDB_ASSIGN_OR_RETURN(
           bt.payload,
-          ctx_->untrusted->ServeProjection(query, t, bt.vis_cols));
+          ctx_->untrusted->ServeProjection(query, t, bt.vis_cols,
+                                           ctx_->vis_prefetch));
       // Spool to flash: Brute-Force random-accesses vlist there (paper
       // section 6.5).
       GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle wbuf,

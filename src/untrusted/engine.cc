@@ -12,12 +12,55 @@ void UntrustedEngine::ReceiveQuery(const std::string& sql) {
                      sql.size());
 }
 
+Result<VisPrefetch> UntrustedEngine::PrefetchVisible(
+    const sql::BoundQuery& query) const {
+  VisPrefetch prefetch;
+  for (catalog::TableId t : query.tables) {
+    // Vis id lists: requested by VisSelectOp for every table with visible
+    // predicates, regardless of strategy.
+    if (query.HasVisiblePredicateOn(t)) {
+      GHOSTDB_ASSIGN_OR_RETURN(
+          std::vector<catalog::RowId> ids,
+          store_.SelectIds(t, query.VisiblePredicatesOn(t)));
+      prefetch.ids.emplace(t, std::move(ids));
+    }
+    // Projection payloads: requested by the projection operators for every
+    // table whose visible columns appear in the SELECT list. (Payloads
+    // that depend on the chosen strategy — exactness recovery with an
+    // empty column set — are left to the inline path, so speculation
+    // never does work the query might not pay for.)
+    std::vector<catalog::ColumnId> cols =
+        query.ProjectedVisibleColumns(*schema_, t);
+    if (!cols.empty()) {
+      GHOSTDB_ASSIGN_OR_RETURN(
+          ProjectionPayload payload,
+          store_.Project(t, query.VisiblePredicatesOn(t), cols));
+      prefetch.projections.emplace(
+          t, std::make_pair(std::move(cols), std::move(payload)));
+    }
+  }
+  return prefetch;
+}
+
 Result<std::vector<catalog::RowId>> UntrustedEngine::ServeVisibleIds(
-    const sql::BoundQuery& query, catalog::TableId table) {
-  GHOSTDB_ASSIGN_OR_RETURN(
-      std::vector<catalog::RowId> ids,
-      store_.SelectIds(table, query.VisiblePredicatesOn(table)));
-  // Ship the sorted id list: 4 bytes per id.
+    const sql::BoundQuery& query, catalog::TableId table,
+    VisPrefetch* prefetch) {
+  std::vector<catalog::RowId> ids;
+  bool prefetched = false;
+  if (prefetch != nullptr) {
+    auto it = prefetch->ids.find(table);
+    if (it != prefetch->ids.end()) {
+      ids = std::move(it->second);
+      prefetch->ids.erase(it);
+      prefetched = true;
+    }
+  }
+  if (!prefetched) {
+    GHOSTDB_ASSIGN_OR_RETURN(
+        ids, store_.SelectIds(table, query.VisiblePredicatesOn(table)));
+  }
+  // Ship the sorted id list: 4 bytes per id. The message is identical
+  // whether the answer was speculative or inline.
   std::vector<uint8_t> payload(ids.size() * 4);
   for (size_t i = 0; i < ids.size(); ++i) {
     EncodeFixed32(payload.data() + i * 4, ids[i]);
@@ -30,10 +73,22 @@ Result<std::vector<catalog::RowId>> UntrustedEngine::ServeVisibleIds(
 
 Result<ProjectionPayload> UntrustedEngine::ServeProjection(
     const sql::BoundQuery& query, catalog::TableId table,
-    const std::vector<catalog::ColumnId>& columns) {
-  GHOSTDB_ASSIGN_OR_RETURN(
-      ProjectionPayload payload,
-      store_.Project(table, query.VisiblePredicatesOn(table), columns));
+    const std::vector<catalog::ColumnId>& columns, VisPrefetch* prefetch) {
+  ProjectionPayload payload;
+  bool prefetched = false;
+  if (prefetch != nullptr) {
+    auto it = prefetch->projections.find(table);
+    if (it != prefetch->projections.end() && it->second.first == columns) {
+      payload = std::move(it->second.second);
+      prefetch->projections.erase(it);
+      prefetched = true;
+    }
+  }
+  if (!prefetched) {
+    GHOSTDB_ASSIGN_OR_RETURN(
+        payload,
+        store_.Project(table, query.VisiblePredicatesOn(table), columns));
+  }
   channel_->Transfer(Direction::kToSecure,
                      "vis-vals:" + schema_->table(table).name,
                      payload.bytes.data(), payload.bytes.size());
@@ -41,15 +96,28 @@ Result<ProjectionPayload> UntrustedEngine::ServeProjection(
 }
 
 Result<uint64_t> UntrustedEngine::ServeVisibleCount(
-    const sql::BoundQuery& query, catalog::TableId table) {
-  GHOSTDB_ASSIGN_OR_RETURN(
-      std::vector<catalog::RowId> ids,
-      store_.SelectIds(table, query.VisiblePredicatesOn(table)));
+    const sql::BoundQuery& query, catalog::TableId table,
+    const VisPrefetch* prefetch) {
+  uint64_t count = 0;
+  bool prefetched = false;
+  if (prefetch != nullptr) {
+    auto it = prefetch->ids.find(table);
+    if (it != prefetch->ids.end()) {
+      count = it->second.size();
+      prefetched = true;
+    }
+  }
+  if (!prefetched) {
+    GHOSTDB_ASSIGN_OR_RETURN(
+        std::vector<catalog::RowId> ids,
+        store_.SelectIds(table, query.VisiblePredicatesOn(table)));
+    count = ids.size();
+  }
   uint8_t payload[8];
-  EncodeFixed64(payload, ids.size());
+  EncodeFixed64(payload, count);
   channel_->Transfer(Direction::kToSecure,
                      "vis-count:" + schema_->table(table).name, payload, 8);
-  return static_cast<uint64_t>(ids.size());
+  return count;
 }
 
 }  // namespace ghostdb::untrusted

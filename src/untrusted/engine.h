@@ -2,9 +2,21 @@
 // Visible predicates/projections locally, and ships results over the
 // channel. Every byte it sends or receives goes through the audited channel
 // so the leak-freedom property is checkable.
+//
+// Multi-session serving adds speculative evaluation: the PC is a separate
+// processor from the key, so while the channel arbiter has the key serving
+// one session, the PC can already evaluate the *next* sessions' visible
+// requests — every request is a pure function of the visible statement
+// text, announced before execution. A VisPrefetch carries those
+// precomputed answers into the Serve*() calls; the channel interaction
+// (message order, labels, sizes, digests, simulated cost) is byte-for-byte
+// identical whether or not an answer was prefetched, so the transcript
+// contract is untouched.
 #pragma once
 
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "device/channel.h"
@@ -12,6 +24,18 @@
 #include "untrusted/visible_store.h"
 
 namespace ghostdb::untrusted {
+
+/// \brief Precomputed visible answers for one query (PC-side speculation).
+/// Entries are moved out as the Serve calls consume them.
+struct VisPrefetch {
+  /// Per table with visible predicates: the sorted Vis id list.
+  std::map<catalog::TableId, std::vector<catalog::RowId>> ids;
+  /// Per table the query certainly projects visible columns from: the
+  /// requested column set and its payload.
+  std::map<catalog::TableId,
+           std::pair<std::vector<catalog::ColumnId>, ProjectionPayload>>
+      projections;
+};
 
 /// \brief Untrusted's query-serving facade.
 class UntrustedEngine {
@@ -26,21 +50,37 @@ class UntrustedEngine {
   /// key). Charged as a Secure -> Untrusted transfer.
   void ReceiveQuery(const std::string& sql);
 
+  /// Speculatively evaluates every visible request `query` is certain to
+  /// make (Vis id lists for tables with visible predicates; projection
+  /// payloads for tables whose visible columns are projected) — exactly
+  /// the work the Serve calls would do, no more, so running it early never
+  /// costs anything the query would not pay anyway. Pure read of the
+  /// visible store: safe to run on a session's thread while another
+  /// session holds the channel. Touches no channel state.
+  Result<VisPrefetch> PrefetchVisible(const sql::BoundQuery& query) const;
+
   /// Vis(Q, T, {id}): sorted ids of rows of `table` satisfying the query's
   /// visible predicates on that table. Charged as Untrusted -> Secure.
+  /// `prefetch` (optional): consume the precomputed answer instead of
+  /// scanning now.
   Result<std::vector<catalog::RowId>> ServeVisibleIds(
-      const sql::BoundQuery& query, catalog::TableId table);
+      const sql::BoundQuery& query, catalog::TableId table,
+      VisPrefetch* prefetch = nullptr);
 
   /// Vis(Q, T, {<id, vlist>}): sorted [id | visible values] rows for
   /// projection. Charged as Untrusted -> Secure.
   Result<ProjectionPayload> ServeProjection(
       const sql::BoundQuery& query, catalog::TableId table,
-      const std::vector<catalog::ColumnId>& columns);
+      const std::vector<catalog::ColumnId>& columns,
+      VisPrefetch* prefetch = nullptr);
 
   /// Count of rows satisfying the visible predicates (a tiny message used
-  /// by the planner; derived from visible data + the query only).
+  /// by the planner; derived from visible data + the query only). Reads
+  /// the prefetched id list's size when available (without consuming it —
+  /// execution still needs the ids).
   Result<uint64_t> ServeVisibleCount(const sql::BoundQuery& query,
-                                     catalog::TableId table);
+                                     catalog::TableId table,
+                                     const VisPrefetch* prefetch = nullptr);
 
  private:
   const catalog::Schema* schema_;

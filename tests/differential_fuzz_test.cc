@@ -36,10 +36,13 @@ void RecordFailure(const std::string& line) {
   out << line << "\n";
 }
 
-// Runs one query against GhostDB (cached-plan path or a pinned
-// Brute-Force plan) and the oracle; returns false on divergence.
-bool CheckQuery(GhostDB* db, const std::string& sql, bool brute_force,
-                std::string* why) {
+// Compares an already-obtained GhostDB answer for `sql` against the
+// oracle; returns false on divergence. Shared by the single-stream sweep
+// and the multi-session drain mode (whose answers arrive via the session
+// result surface).
+bool CheckAgainstOracle(GhostDB* db, const std::string& sql,
+                        const Result<exec::QueryResult>& got,
+                        std::string* why) {
   auto stmt = sql::Parse(sql);
   if (!stmt.ok()) {
     *why = "parse: " + stmt.status().ToString();
@@ -52,15 +55,6 @@ bool CheckQuery(GhostDB* db, const std::string& sql, bool brute_force,
     return false;
   }
   auto expected = reference::Evaluate(db->schema(), db->staged(), *bound);
-  Result<exec::QueryResult> got =
-      brute_force
-          ? db->QueryWithPlan(
-                sql, [] {
-                  plan::PlanChoice c;
-                  c.project = plan::ProjectAlgo::kBruteForce;
-                  return c;
-                }())
-          : db->Query(sql);
   if (!expected.ok() || !got.ok()) {
     // Data-dependent errors (e.g. MIN over an empty result) must agree in
     // kind, not just in failing — a masked engine error would hide here.
@@ -97,6 +91,22 @@ bool CheckQuery(GhostDB* db, const std::string& sql, bool brute_force,
     }
   }
   return true;
+}
+
+// Runs one query against GhostDB (cached-plan path or a pinned
+// Brute-Force plan) and the oracle; returns false on divergence.
+bool CheckQuery(GhostDB* db, const std::string& sql, bool brute_force,
+                std::string* why) {
+  Result<exec::QueryResult> got =
+      brute_force
+          ? db->QueryWithPlan(
+                sql, [] {
+                  plan::PlanChoice c;
+                  c.project = plan::ProjectAlgo::kBruteForce;
+                  return c;
+                }())
+          : db->Query(sql);
+  return CheckAgainstOracle(db, sql, got, why);
 }
 
 TEST(DifferentialFuzzTest, GhostDBMatchesOracleOnRandomQueries) {
@@ -143,6 +153,54 @@ TEST(DifferentialFuzzTest, GhostDBMatchesOracleOnRandomQueries) {
     }
   }
   EXPECT_EQ(ran, iters);
+  EXPECT_EQ(failures, 0u);
+}
+
+TEST(DifferentialFuzzTest, InterleavedSessionsMatchOraclePerSession) {
+  // Multi-session mode: random queries dealt to K sessions, drained under
+  // the arbiter's interleaving (which varies with the deal), each
+  // session's answers checked in its own statement order. Correctness must
+  // be per-session — the interleaving may not bleed state across sessions.
+  const uint64_t rounds = EnvOr("GHOSTDB_SESSION_FUZZ_ROUNDS", 4);
+  const uint64_t base_seed =
+      EnvOr("GHOSTDB_FUZZ_SEED", 20070611, /*allow_zero=*/true);
+  const size_t kSessions = 4;
+  const size_t kQueriesPerRound = 60;
+
+  uint64_t failures = 0;
+  for (uint64_t round = 0; round < rounds; ++round) {
+    uint64_t visible_seed = base_seed + 500 * round + 17;
+    uint64_t hidden_seed = visible_seed + 1;
+    GhostDB db(fuzztest::FuzzConfig(visible_seed, /*retain_staged=*/true));
+    ASSERT_TRUE(fuzztest::BuildFuzzDb(&db, visible_seed, hidden_seed).ok());
+    fuzztest::FuzzShape shape = fuzztest::MakeShape(visible_seed);
+    Rng rng(visible_seed ^ 0xdeadbeefULL);
+    auto deal =
+        fuzztest::DealQueries(rng, shape, kQueriesPerRound, kSessions);
+    auto sessions = fuzztest::OpenFuzzSessions(&db, deal);
+    ASSERT_TRUE(sessions.ok()) << sessions.status().ToString();
+    std::vector<core::Session*> raw;
+    for (auto& s : *sessions) raw.push_back(s.get());
+    auto ran = db.DrainSessions(raw);
+    ASSERT_TRUE(ran.ok()) << ran.status().ToString();
+    EXPECT_EQ(*ran, kQueriesPerRound);
+    for (size_t s = 0; s < kSessions; ++s) {
+      auto results = (*sessions)[s]->TakeResults();
+      ASSERT_EQ(results.size(), deal[s].size());
+      for (size_t q = 0; q < results.size(); ++q) {
+        std::string why;
+        if (!CheckAgainstOracle(&db, deal[s][q], results[q], &why)) {
+          failures += 1;
+          std::string repro =
+              "[session] visible_seed=" + std::to_string(visible_seed) +
+              " hidden_seed=" + std::to_string(hidden_seed) + " session=" +
+              std::to_string(s) + " sql=" + deal[s][q] + " | " + why;
+          RecordFailure(repro);
+          ADD_FAILURE() << repro;
+        }
+      }
+    }
+  }
   EXPECT_EQ(failures, 0u);
 }
 

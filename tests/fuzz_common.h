@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -381,6 +382,45 @@ inline std::string GenerateQuery(Rng& rng, const FuzzShape& shape) {
     sql += " LIMIT " + std::to_string(1 + rng.Uniform(25));
   }
   return sql;
+}
+
+// ---------------------------------------------------------------------------
+// Multi-session fuzz mode
+// ---------------------------------------------------------------------------
+
+/// Deals `n` generated queries to `k` sessions. The deal (which session
+/// gets which query, and thus the arbiter's interleaving once the sessions
+/// drain) is drawn from `rng`, so different seeds exercise different
+/// interleavings; everything drawn is visible information (the queries and
+/// their assignment), never hidden data.
+inline std::vector<std::vector<std::string>> DealQueries(
+    Rng& rng, const FuzzShape& shape, size_t n, size_t k) {
+  std::vector<std::vector<std::string>> per_session(k);
+  for (size_t i = 0; i < n; ++i) {
+    per_session[rng.Uniform(k)].push_back(GenerateQuery(rng, shape));
+  }
+  return per_session;
+}
+
+/// Opens one session per deal slot with equal RAM quotas (an eighth of the
+/// arena each, so four sessions leave half the buffers in the shared
+/// reserve) and queues the dealt statements, ready for
+/// GhostDB::DrainSessions().
+inline Result<std::vector<std::unique_ptr<core::Session>>> OpenFuzzSessions(
+    core::GhostDB* db, const std::vector<std::vector<std::string>>& deal) {
+  std::vector<std::unique_ptr<core::Session>> sessions;
+  uint32_t quota =
+      std::max<uint32_t>(1, db->device().ram().total_buffers() / 8);
+  for (size_t s = 0; s < deal.size(); ++s) {
+    core::SessionOptions options;
+    options.name = "fuzz" + std::to_string(s);
+    options.ram_quota_buffers = quota;
+    GHOSTDB_ASSIGN_OR_RETURN(std::unique_ptr<core::Session> session,
+                             db->OpenSession(std::move(options)));
+    for (const std::string& sql : deal[s]) session->Enqueue(sql);
+    sessions.push_back(std::move(session));
+  }
+  return sessions;
 }
 
 }  // namespace ghostdb::fuzztest

@@ -73,8 +73,10 @@ void BuildDb(GhostDB* db, uint64_t hidden_seed) {
   ASSERT_TRUE(db->Build().ok());
 }
 
-// Transcript equality: direction, label, size, and content digest of every
-// message, in order.
+// Transcript equality: direction, label, size, content digest, and session
+// tag of every message, in order. Including the session tag makes this the
+// multi-session property: not just each message but the *interleaving* —
+// which session's message sits at position i — must be hidden-independent.
 void ExpectIdenticalTranscripts(const std::vector<ChannelMessage>& a,
                                 const std::vector<ChannelMessage>& b) {
   ASSERT_EQ(a.size(), b.size()) << "different number of channel messages";
@@ -85,6 +87,8 @@ void ExpectIdenticalTranscripts(const std::vector<ChannelMessage>& a,
     EXPECT_EQ(a[i].label, b[i].label) << "message " << i;
     EXPECT_EQ(a[i].bytes, b[i].bytes) << "message " << i;
     EXPECT_EQ(a[i].content_digest, b[i].content_digest)
+        << "message " << i << " (" << a[i].label << ")";
+    EXPECT_EQ(a[i].session, b[i].session)
         << "message " << i << " (" << a[i].label << ")";
   }
 }
@@ -299,6 +303,89 @@ TEST(LeakTest, FuzzedQueryShapesAreTranscriptInvariant) {
       }
     }
   }
+}
+
+TEST(LeakTest, FuzzedInterleavedSessionsAreTranscriptInvariant) {
+  // The multi-session headline property: random queries dealt to K
+  // sessions, drained under the arbiter, against two databases that differ
+  // ONLY in hidden data. The *global interleaved* transcript — message
+  // order, sizes, labels, digests, and session tags — must be
+  // byte-identical: neither any session's scheduling slot nor any message
+  // it causes may depend on any session's hidden data. This is strictly
+  // stronger than the single-query invariance above (an arbiter that
+  // consulted, say, result sizes would reorder admissions and fail here
+  // even if each individual query's messages were unchanged).
+  uint64_t rounds = fuzztest::EnvOr("GHOSTDB_SESSION_LEAK_ROUNDS", 3);
+  uint64_t base_seed = fuzztest::EnvOr("GHOSTDB_LEAK_FUZZ_SEED", 20070611,
+                                       /*allow_zero=*/true);
+  const size_t kSessions = 4;
+  const size_t kQueries = 40;
+  for (uint64_t round = 0; round < rounds; ++round) {
+    uint64_t visible_seed = base_seed + 700 * round + 23;
+    GhostDB db1(fuzztest::FuzzConfig(visible_seed, /*retain_staged=*/false));
+    GhostDB db2(fuzztest::FuzzConfig(visible_seed, /*retain_staged=*/false));
+    ASSERT_TRUE(fuzztest::BuildFuzzDb(&db1, visible_seed, 111).ok());
+    ASSERT_TRUE(fuzztest::BuildFuzzDb(&db2, visible_seed, 999).ok());
+    fuzztest::FuzzShape shape = fuzztest::MakeShape(visible_seed);
+    // One deal (visible information) replayed against both databases.
+    Rng rng(visible_seed ^ 0xabcddcbaULL);
+    auto deal = fuzztest::DealQueries(rng, shape, kQueries, kSessions);
+    auto s1 = fuzztest::OpenFuzzSessions(&db1, deal);
+    auto s2 = fuzztest::OpenFuzzSessions(&db2, deal);
+    ASSERT_TRUE(s1.ok() && s2.ok());
+    std::vector<core::Session*> raw1, raw2;
+    for (auto& s : *s1) raw1.push_back(s.get());
+    for (auto& s : *s2) raw2.push_back(s.get());
+    db1.device().channel().ClearTranscript();
+    db2.device().channel().ClearTranscript();
+    auto r1 = db1.DrainSessions(raw1);
+    auto r2 = db2.DrainSessions(raw2);
+    ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+    ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+    std::string repro = "visible_seed=" + std::to_string(visible_seed) +
+                        " sessions=" + std::to_string(kSessions) +
+                        " queries=" + std::to_string(kQueries);
+    SCOPED_TRACE(repro);
+    bool had_failure = ::testing::Test::HasFailure();
+    ExpectIdenticalTranscripts(db1.device().channel().transcript(),
+                               db2.device().channel().transcript());
+    if (!had_failure && ::testing::Test::HasFailure()) {
+      std::ofstream out(fuzztest::FailureFile(), std::ios::app);
+      out << "[session-leak] " << repro << "\n";
+    }
+  }
+}
+
+TEST(LeakTest, SessionTagsPartitionTheTranscriptByPrincipal) {
+  // Sanity on the tagging itself: in a drained two-session run, every
+  // query-time message carries one of the two session ids, and both appear.
+  GhostDB db(Config());
+  BuildDb(&db, 42);
+  core::SessionOptions oa, ob;
+  oa.name = "alice";
+  oa.ram_quota_buffers = 8;
+  ob.name = "bob";
+  ob.ram_quota_buffers = 8;
+  auto alice = db.OpenSession(std::move(oa));
+  auto bob = db.OpenSession(std::move(ob));
+  ASSERT_TRUE(alice.ok() && bob.ok());
+  (*alice)->Enqueue("SELECT Fact.id FROM Fact WHERE Fact.h < 40");
+  (*alice)->Enqueue("SELECT Dim.v FROM Dim WHERE Dim.h > 10");
+  (*bob)->Enqueue("SELECT Fact.v FROM Fact WHERE Fact.v < 50 AND "
+                  "Fact.h < 30");
+  db.device().channel().ClearTranscript();
+  auto ran = db.DrainSessions({alice->get(), bob->get()});
+  ASSERT_TRUE(ran.ok()) << ran.status().ToString();
+  EXPECT_EQ(*ran, 3u);
+  bool saw_alice = false, saw_bob = false;
+  for (const auto& m : db.device().channel().transcript()) {
+    ASSERT_TRUE(m.session == (*alice)->id() || m.session == (*bob)->id())
+        << "untagged message: " << m.label;
+    saw_alice |= m.session == (*alice)->id();
+    saw_bob |= m.session == (*bob)->id();
+  }
+  EXPECT_TRUE(saw_alice);
+  EXPECT_TRUE(saw_bob);
 }
 
 TEST(LeakTest, PerStrategyTranscriptsAreHiddenIndependent) {
