@@ -5,6 +5,10 @@
 //   ./fig08_cross_filtering --scale 0.2      (1.0 = the paper's 10M-row T0)
 // or via GHOSTDB_SCALE. The default keeps the full suite under a few
 // minutes; curve shapes and crossover selectivities are scale-invariant.
+// Machine-readable results: every bench can take `--json FILE` and emit a
+// JSON array of measurements (name, wall_ms, simulated seconds, flash and
+// spill counters) alongside the human-readable table — what CI uploads as
+// the BENCH_*.json trajectory artifacts.
 #pragma once
 
 #include <cstdio>
@@ -94,6 +98,79 @@ inline exec::QueryMetrics Run(core::GhostDB& db, const std::string& sql,
 }
 
 inline double Sec(SimNanos ns) { return ToSeconds(ns); }
+
+/// True when `flag` (e.g. "--smoke") appears among the arguments.
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// \brief Collects measurements and, when `--json FILE` was passed, writes
+/// them as a JSON array on destruction (or Write()). Without the flag it
+/// is a no-op, so benches can Record() unconditionally.
+class JsonReporter {
+ public:
+  JsonReporter(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) path_ = argv[i + 1];
+    }
+  }
+  ~JsonReporter() { Write(); }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// One measurement: wall-clock, simulated cost, and the observable
+  /// flash/spill counters of `m`. `status` is "ok" unless the run was
+  /// expected to fail (e.g. the no-spill baseline hitting its budget).
+  void Record(const std::string& name, double wall_ms, double sim_seconds,
+              const exec::QueryMetrics& m,
+              const std::string& status = "ok") {
+    if (!enabled()) return;
+    char buf[640];
+    std::snprintf(
+        buf, sizeof(buf),
+        "  {\"name\": \"%s\", \"status\": \"%s\", \"wall_ms\": %.3f, "
+        "\"sim_seconds\": %.6f, \"result_rows\": %llu, "
+        "\"flash_pages_read\": %llu, \"flash_pages_written\": %llu, "
+        "\"sort_spill_runs\": %llu, \"sort_spill_pages\": %llu, "
+        "\"topk_short_circuits\": %llu, \"peak_ram_buffers\": %u}",
+        name.c_str(), status.c_str(), wall_ms, sim_seconds,
+        static_cast<unsigned long long>(m.result_rows),
+        static_cast<unsigned long long>(m.flash.pages_read),
+        static_cast<unsigned long long>(m.flash.pages_written),
+        static_cast<unsigned long long>(m.sort_spill_runs),
+        static_cast<unsigned long long>(m.sort_spill_pages),
+        static_cast<unsigned long long>(m.topk_short_circuits),
+        m.peak_ram_buffers);
+    entries_.push_back(buf);
+  }
+
+  void Write() {
+    if (!enabled() || written_) return;
+    written_ = true;
+    FILE* out = std::fopen(path_.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(out, "[\n");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(out, "%s%s\n", entries_[i].c_str(),
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(out, "]\n");
+    std::fclose(out);
+    std::printf("json results -> %s (%zu entries)\n", path_.c_str(),
+                entries_.size());
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> entries_;
+  bool written_ = false;
+};
 
 /// The selectivity sweep used by Figs 8-13 (log-spaced like the paper's
 /// x-axis).

@@ -271,7 +271,8 @@ Result<exec::QueryResult> GhostDB::RunSelect(
       GHOSTDB_RETURN_NOT_OK(ServeVisCounts(query, nullptr, &vis_counts));
       plan::PhysicalPlan plan;
       if (pinned != nullptr) {
-        plan = plan::BuildPhysicalPlan(query, *pinned);
+        plan = plan::BuildPhysicalPlan(query, *pinned,
+                                       config_.exec.topk_fusion);
       } else {
         GHOSTDB_ASSIGN_OR_RETURN(
             plan, planner_->PlanQuery(query, vis_counts, config_.exec));
@@ -292,7 +293,8 @@ Result<exec::QueryResult> GhostDB::RunSelect(
       // their transcripts and metrics stay comparable across strategies.
       std::map<TableId, uint64_t> vis_counts;
       GHOSTDB_RETURN_NOT_OK(ServeVisCounts(query, &prefetch, &vis_counts));
-      pinned_plan = plan::BuildPhysicalPlan(query, *pinned);
+      pinned_plan = plan::BuildPhysicalPlan(query, *pinned,
+                                            config_.exec.topk_fusion);
       plan = &pinned_plan;
     } else {
       GHOSTDB_ASSIGN_OR_RETURN(prepared,

@@ -141,6 +141,17 @@ class RamManager {
   uint32_t partition_used(RamPartitionId id) const;
   const std::string& partition_name(RamPartitionId id) const;
 
+  /// The buffer budget a session on `id` can *plan* against: its pledged
+  /// quota, or the shared reserve's size for unpartitioned sessions. A
+  /// static property of the partition layout (not current occupancy), so
+  /// planner/executor sizing derived from it stays deterministic across
+  /// identical visible inputs — the relational tail's spill budget is
+  /// computed from this.
+  uint32_t partition_budget_buffers(RamPartitionId id) const {
+    uint32_t quota = partition_quota(id);
+    return quota != 0 ? quota : reserve_buffers();
+  }
+
   /// Zeros the peak-usage watermark (between queries).
   void ResetPeak() { peak_used_buffers_ = used_buffers_; }
 

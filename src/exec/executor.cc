@@ -36,8 +36,9 @@ Result<QueryResult> SecureExecutor::Execute(const BoundQuery& query,
                                             const plan::PlanChoice& choice,
                                             const MetricSnapshot* baseline,
                                             const SessionBinding* session) {
-  return Execute(query, plan::BuildPhysicalPlan(query, choice), baseline,
-                 session);
+  return Execute(query,
+                 plan::BuildPhysicalPlan(query, choice, config_.topk_fusion),
+                 baseline, session);
 }
 
 Result<QueryResult> SecureExecutor::Execute(const BoundQuery& query,
@@ -113,6 +114,20 @@ Result<QueryResult> SecureExecutor::ExecuteTree(
     pinned_layout = BatchLayout::Projection(*schema_, query);
     ctx.value_layout = &pinned_layout;
     ctx.batch_rows = SizeBatchRows(pinned_layout, config_);
+  }
+  // Relational-tail budget: the working set Sort/Distinct/top-K may hold
+  // in secure memory before spilling. Config override, else the session's
+  // RAM partition — both visible inputs, so two databases differing only
+  // in hidden data compute identical budgets (spill *timing* then depends
+  // only on arrived row counts, which never touch the channel).
+  {
+    uint32_t budget_buffers =
+        config_.sort_budget_buffers != 0
+            ? config_.sort_budget_buffers
+            : ram.partition_budget_buffers(session->ram_partition);
+    ctx.sort_budget_bytes =
+        static_cast<size_t>(std::max<uint32_t>(1, budget_buffers)) *
+        ram.buffer_size();
   }
   // When LIMIT pulls straight from the projection (no blocking operator
   // between), batches larger than the limit only make the projection

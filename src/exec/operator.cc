@@ -65,6 +65,9 @@ void QueryMetrics::Accumulate(const QueryMetrics& other) {
   plan_cache_hits += other.plan_cache_hits;
   plan_cache_misses += other.plan_cache_misses;
   plan_cache_replans += other.plan_cache_replans;
+  sort_spill_runs += other.sort_spill_runs;
+  sort_spill_pages += other.sort_spill_pages;
+  topk_short_circuits += other.topk_short_circuits;
 }
 
 void MetricSnapshot::Delta(device::SecureDevice* device,
@@ -141,6 +144,12 @@ Result<std::unique_ptr<Operator>> BuildNode(ExecContext* ctx,
       break;
     case plan::PhysicalOp::kSort:
       op = std::make_unique<SortOp>(ctx);
+      break;
+    case plan::PhysicalOp::kTopKSort:
+      // Like kLimit, k is a literal the cached (shape-keyed) plan
+      // normalizes away — take it from the live bound query.
+      op = std::make_unique<TopKSortOp>(
+          ctx, ctx->query->limit.value_or(node.limit));
       break;
     case plan::PhysicalOp::kLimit:
       // The limit is a literal, so a cached plan (shape-keyed, literals

@@ -72,6 +72,18 @@ struct ExecConfig {
   size_t batch_bytes = 64 * 1024;
   uint32_t min_batch_rows = 16;
   uint32_t max_batch_rows = 4096;
+  /// Working-set budget of the blocking relational tail (Sort, Distinct,
+  /// top-K), in device buffers. 0 = derive from the session's RAM
+  /// partition (its pledged quota, or the shared reserve when the session
+  /// pledged none) — visible inputs only, so the budget is cacheable.
+  /// Tests and benches set tiny values to force the spill paths.
+  uint32_t sort_budget_buffers = 0;
+  /// Past the budget: spill sorted runs to flash and stream the merge
+  /// (true), or fail with ResourceExhausted (false — the pre-spill
+  /// behavior, kept for comparison benches and tests).
+  bool spill_enabled = true;
+  /// Planner rewrite: fuse Sort -> Limit k into a bounded top-K heap.
+  bool topk_fusion = true;
 };
 
 /// Observable per-query costs.
@@ -92,6 +104,14 @@ struct QueryMetrics {
   /// version, so the strategy was re-chosen under live selectivities
   /// (neither a hit nor a miss).
   uint64_t plan_cache_replans = 0;
+  /// Sorted runs the relational tail wrote to flash (generation spills
+  /// plus intermediate merges) when a working set exceeded its budget.
+  uint64_t sort_spill_runs = 0;
+  /// Flash pages those spill runs occupied.
+  uint64_t sort_spill_pages = 0;
+  /// Rows the fused top-K sort rejected against the heap top without
+  /// buffering — the work a full sort would have materialized.
+  uint64_t topk_short_circuits = 0;
 
   /// Folds another query's metrics into this one (counters sum, peaks
   /// take the max) — the single place the field list is walked, used by
@@ -202,6 +222,11 @@ struct ExecContext {
   /// Rows per ColumnBatch through the value-level operators, sized by the
   /// planner (SizeBatchRows) from the output row width.
   uint32_t batch_rows = 256;
+  /// Byte budget for the blocking relational tail's secure working set
+  /// (Sort/Distinct/top-K). Derived by the executor from ExecConfig and
+  /// the session's RAM partition — a pure function of visible inputs.
+  /// Exceeding it spills (spill_enabled) or fails.
+  size_t sort_budget_bytes = SIZE_MAX;
   /// How many materialized rows the consumer can use. When the plan has no
   /// value-level operators above the projection, the driver caps this at
   /// result_row_limit so the projection skips encoding rows nobody will

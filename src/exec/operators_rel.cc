@@ -8,6 +8,63 @@ namespace ghostdb::exec {
 
 using catalog::Value;
 
+namespace {
+
+// ---------------------------------------------------------------------------
+// Spill-row helpers: a spill row is the concatenated encoded cells of one
+// output row plus a trailing u64 arrival sequence (kSpillSeqWidth), which
+// makes every comparator total and every sort stable.
+// ---------------------------------------------------------------------------
+
+std::vector<uint32_t> ColumnOffsets(const BatchLayout& layout) {
+  std::vector<uint32_t> offsets(layout.cols.size());
+  uint32_t off = 0;
+  for (size_t c = 0; c < layout.cols.size(); ++c) {
+    offsets[c] = off;
+    off += layout.cols[c].width;
+  }
+  return offsets;
+}
+
+void PackRow(const ColumnBatch& batch, uint32_t physical_row,
+             const std::vector<uint32_t>& offsets, uint64_t seq,
+             uint8_t* row_buf) {
+  for (size_t c = 0; c < batch.layout->cols.size(); ++c) {
+    std::memcpy(row_buf + offsets[c], batch.cell(c, physical_row),
+                batch.layout->cols[c].width);
+  }
+  EncodeFixed64(row_buf + batch.layout->row_width, seq);
+}
+
+/// ORDER BY keys over the spill-row encoding, ties by arrival.
+RowComparator OrderByComparator(const BatchLayout& layout,
+                                const std::vector<uint32_t>& offsets,
+                                const std::vector<sql::BoundOrderKey>& keys) {
+  std::vector<RowComparator::Key> cmp_keys;
+  for (const auto& key : keys) {
+    const BatchColumn& col = layout.cols[key.select_index];
+    cmp_keys.push_back(
+        {offsets[key.select_index], col.type, col.width, key.descending});
+  }
+  return RowComparator::ByKeys(std::move(cmp_keys), layout.row_width);
+}
+
+/// Relational-tail row budget for rows of `stride` bytes.
+uint64_t BudgetRows(const ExecContext* ctx, uint32_t stride) {
+  return std::max<uint64_t>(1, ctx->sort_budget_bytes / stride);
+}
+
+/// Appends one spill row's cells (sequence stripped) to a dense batch.
+void AppendSpillRow(ColumnBatch* out, const std::vector<uint32_t>& offsets,
+                    const uint8_t* row) {
+  for (size_t c = 0; c < out->layout->cols.size(); ++c) {
+    out->AppendBytes(c, row + offsets[c]);
+  }
+  out->CommitRow();
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // AggregateOp
 // ---------------------------------------------------------------------------
@@ -61,11 +118,78 @@ Result<ColumnBatch> AggregateOp::Next() {
 // DistinctOp
 // ---------------------------------------------------------------------------
 
+void DistinctOp::BindLayout(const ColumnBatch& batch) {
+  layout_ = batch.layout;
+  offsets_ = ColumnOffsets(*layout_);
+  row_buf_.resize(layout_->row_width + kSpillSeqWidth);
+}
+
+Status DistinctOp::StartSpill() {
+  // Phase A orders by every output column ascending (any total order over
+  // the row value works — it only has to cluster duplicates), ties by
+  // arrival so the earliest occurrence of each value pops first.
+  uint32_t stride = layout_->row_width + kSpillSeqWidth;
+  std::vector<RowComparator::Key> keys;
+  for (size_t c = 0; c < layout_->cols.size(); ++c) {
+    keys.push_back(
+        {offsets_[c], layout_->cols[c].type, layout_->cols[c].width, false});
+  }
+  by_value_ = std::make_unique<ExternalRowSorter>(
+      ctx_, stride, RowComparator::ByKeys(std::move(keys), layout_->row_width),
+      BudgetRows(ctx_, stride), /*drop_key_duplicates=*/true,
+      "distinct-spill");
+  return Status::OK();
+}
+
+Status DistinctOp::SpillRow(const ColumnBatch& batch, uint32_t row,
+                            std::string* key) {
+  uint64_t seq = seq_++;
+  batch.RowKey(row, key);
+  // Keys emitted by the hash phase stay authoritative: anything already in
+  // the frozen set is a duplicate of a row that already left the operator.
+  if (seen_.find(std::string_view(*key)) != seen_.end()) return Status::OK();
+  PackRow(batch, row, offsets_, seq, row_buf_.data());
+  return by_value_->Add(row_buf_.data());
+}
+
+Status DistinctOp::FinishSpill() {
+  GHOSTDB_RETURN_NOT_OK(by_value_->Finish());
+  // Phase B restores arrival order over the surviving (unique) rows, so
+  // the output is exactly the hash path's: first occurrences, in order.
+  uint32_t stride = layout_->row_width + kSpillSeqWidth;
+  by_arrival_ = std::make_unique<ExternalRowSorter>(
+      ctx_, stride, RowComparator::ByKeys({}, layout_->row_width),
+      BudgetRows(ctx_, stride), /*drop_key_duplicates=*/false,
+      "distinct-arrival");
+  while (true) {
+    GHOSTDB_ASSIGN_OR_RETURN(const uint8_t* row, by_value_->Next());
+    if (row == nullptr) break;
+    GHOSTDB_RETURN_NOT_OK(by_arrival_->Add(row));
+  }
+  ctx_->metrics->sort_spill_runs += by_value_->stats().runs_written;
+  ctx_->metrics->sort_spill_pages += by_value_->stats().pages_written;
+  GHOSTDB_RETURN_NOT_OK(by_value_->Close());  // phase A flash freed here
+  by_value_.reset();
+  return by_arrival_->Finish();
+}
+
+Result<ColumnBatch> DistinctOp::EmitSpilled() {
+  ColumnBatch out = ColumnBatch::Make(
+      layout_, std::min<uint64_t>(ctx_->batch_rows, 256));
+  while (out.rows < ctx_->batch_rows) {
+    GHOSTDB_ASSIGN_OR_RETURN(const uint8_t* row, by_arrival_->Next());
+    if (row == nullptr) break;
+    AppendSpillRow(&out, offsets_, row);
+  }
+  return out;  // empty batch = end of stream
+}
+
 Result<ColumnBatch> DistinctOp::Next() {
-  // Per child batch: keep the live rows whose encoded bytes are new, as a
-  // selection over the same batch (RowKey keeps byte equality aligned with
-  // value equality). Loop past all-duplicate batches — an empty batch
-  // would end the stream.
+  if (emitting_) return EmitSpilled();
+  // Streaming hash phase: per child batch, keep the live rows whose encoded
+  // bytes are new, as a selection over the same batch (RowKey keeps byte
+  // equality aligned with value equality). Loop past all-duplicate batches
+  // — an empty batch would end the stream.
   std::string key;
   while (!child_done_) {
     GHOSTDB_ASSIGN_OR_RETURN(ColumnBatch batch, child()->Next());
@@ -73,11 +197,35 @@ Result<ColumnBatch> DistinctOp::Next() {
       child_done_ = true;
       break;
     }
+    if (layout_ == nullptr) BindLayout(batch);
     std::vector<uint32_t> keep;
     for (size_t r = 0; r < batch.live(); ++r) {
       uint32_t row = batch.row_at(r);
+      if (spilling_) {
+        GHOSTDB_RETURN_NOT_OK(SpillRow(batch, row, &key));
+        continue;
+      }
       batch.RowKey(row, &key);
-      if (seen_.insert(key).second) keep.push_back(row);
+      if (seen_.find(std::string_view(key)) != seen_.end()) {
+        seq_ += 1;
+        continue;
+      }
+      if (seen_bytes_ + key.size() > ctx_->sort_budget_bytes) {
+        if (!ctx_->config->spill_enabled) {
+          return Status::ResourceExhausted(
+              "distinct set exceeds the relational-tail budget (" +
+              std::to_string(ctx_->sort_budget_bytes) +
+              " bytes) and spilling is disabled");
+        }
+        GHOSTDB_RETURN_NOT_OK(StartSpill());
+        spilling_ = true;
+        GHOSTDB_RETURN_NOT_OK(SpillRow(batch, row, &key));
+        continue;
+      }
+      seen_.insert(key);  // only genuinely new keys allocate
+      seen_bytes_ += key.size();
+      keep.push_back(row);
+      seq_ += 1;
     }
     batch.skipped_rows = 0;
     if (!keep.empty()) {
@@ -86,64 +234,197 @@ Result<ColumnBatch> DistinctOp::Next() {
       return batch;
     }
   }
-  return ColumnBatch{};
+  if (!spilling_) return ColumnBatch{};
+  GHOSTDB_RETURN_NOT_OK(FinishSpill());
+  emitting_ = true;
+  return EmitSpilled();
+}
+
+Status DistinctOp::Close() {
+  // by_value_ outlives FinishSpill only when the stream was abandoned
+  // early; fold whatever spill work actually happened either way.
+  for (auto* sorter : {by_value_.get(), by_arrival_.get()}) {
+    if (sorter == nullptr) continue;
+    ctx_->metrics->sort_spill_runs += sorter->stats().runs_written;
+    ctx_->metrics->sort_spill_pages += sorter->stats().pages_written;
+    GHOSTDB_RETURN_NOT_OK(sorter->Close());
+  }
+  return Operator::Close();
 }
 
 // ---------------------------------------------------------------------------
 // SortOp
 // ---------------------------------------------------------------------------
 
-Result<ColumnBatch> SortOp::Next() {
-  if (done_) return ColumnBatch{};
-  done_ = true;
-  // Blocking gather: densify the child's live rows into one batch (the
-  // working set is held either way; batches do not share storage).
+Status SortOp::Gather() {
   while (true) {
     GHOSTDB_ASSIGN_OR_RETURN(ColumnBatch batch, child()->Next());
     if (batch.empty()) break;
-    if (data_.layout == nullptr) {
-      data_ = ColumnBatch::Make(batch.layout, batch.live());
-    }
-    if (!batch.has_selection) {
-      // Dense batch: append each column region in one go.
-      for (size_t c = 0; c < batch.layout->cols.size(); ++c) {
-        data_.columns[c].insert(data_.columns[c].end(),
-                                batch.columns[c].begin(),
-                                batch.columns[c].end());
-      }
-      data_.rows += batch.rows;
-      continue;
+    if (layout_ == nullptr) {
+      layout_ = batch.layout;
+      offsets_ = ColumnOffsets(*layout_);
+      uint32_t stride = layout_->row_width + kSpillSeqWidth;
+      row_buf_.resize(stride);
+      sorter_ = std::make_unique<ExternalRowSorter>(
+          ctx_, stride,
+          OrderByComparator(*layout_, offsets_, ctx_->query->order_by),
+          BudgetRows(ctx_, stride), /*drop_key_duplicates=*/false,
+          "sort-spill");
     }
     for (size_t r = 0; r < batch.live(); ++r) {
-      uint32_t row = batch.row_at(r);
-      for (size_t c = 0; c < batch.layout->cols.size(); ++c) {
-        data_.AppendBytes(c, batch.cell(c, row));
-      }
-      data_.CommitRow();
+      PackRow(batch, batch.row_at(r), offsets_, seq_++, row_buf_.data());
+      GHOSTDB_RETURN_NOT_OK(sorter_->Add(row_buf_.data()));
     }
   }
-  if (data_.layout == nullptr) return ColumnBatch{};
+  if (sorter_ != nullptr) GHOSTDB_RETURN_NOT_OK(sorter_->Finish());
+  return Status::OK();
+}
 
-  // Stable sort of a permutation, comparing encoded key cells in place;
-  // ties keep arrival (anchor-id) order. The permutation becomes the
-  // selection vector of the single output batch.
-  const auto& keys = ctx_->query->order_by;
-  std::vector<uint32_t> perm(data_.rows);
-  std::iota(perm.begin(), perm.end(), 0);
-  std::stable_sort(
-      perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
-        for (const auto& key : keys) {
-          const BatchColumn& col = data_.layout->cols[key.select_index];
-          int cmp = catalog::CompareEncoded(
-              col.type, col.width, data_.cell(key.select_index, a),
-              data_.cell(key.select_index, b));
-          if (cmp != 0) return key.descending ? cmp > 0 : cmp < 0;
-        }
-        return false;
-      });
-  data_.selection = std::move(perm);
-  data_.has_selection = true;
-  return std::move(data_);
+Result<ColumnBatch> SortOp::Next() {
+  if (done_) return ColumnBatch{};
+  if (!gathered_) {
+    GHOSTDB_RETURN_NOT_OK(Gather());
+    gathered_ = true;
+  }
+  if (layout_ == nullptr) {  // empty input stream
+    done_ = true;
+    return ColumnBatch{};
+  }
+  ColumnBatch out = ColumnBatch::Make(
+      layout_, std::min<uint64_t>(ctx_->batch_rows, 256));
+  while (out.rows < ctx_->batch_rows) {
+    GHOSTDB_ASSIGN_OR_RETURN(const uint8_t* row, sorter_->Next());
+    if (row == nullptr) {
+      done_ = true;
+      break;
+    }
+    AppendSpillRow(&out, offsets_, row);
+  }
+  return out;
+}
+
+Status SortOp::Close() {
+  if (sorter_ != nullptr) {
+    ctx_->metrics->sort_spill_runs += sorter_->stats().runs_written;
+    ctx_->metrics->sort_spill_pages += sorter_->stats().pages_written;
+    GHOSTDB_RETURN_NOT_OK(sorter_->Close());
+  }
+  return Operator::Close();
+}
+
+// ---------------------------------------------------------------------------
+// TopKSortOp
+// ---------------------------------------------------------------------------
+
+Status TopKSortOp::Offer(const uint8_t* row) {
+  auto heap_less = [this](uint32_t a, uint32_t b) {
+    return cmp_.Compare(Slot(a), Slot(b)) < 0;
+  };
+  if (heap_.size() < k_) {
+    uint32_t slot = static_cast<uint32_t>(heap_.size());
+    arena_.insert(arena_.end(), row, row + stride_);
+    heap_.push_back(slot);
+    std::push_heap(heap_.begin(), heap_.end(), heap_less);
+    return Status::OK();
+  }
+  // Heap top = the worst kept row. A later arrival with equal keys
+  // compares greater (arrival tie-break), so it is rejected — exactly the
+  // stable Sort -> Limit semantics.
+  if (cmp_.Compare(row, Slot(heap_.front())) >= 0) {
+    short_circuits_ += 1;
+    return Status::OK();
+  }
+  std::pop_heap(heap_.begin(), heap_.end(), heap_less);
+  uint32_t slot = heap_.back();
+  std::copy(row, row + stride_,
+            arena_.begin() + static_cast<size_t>(slot) * stride_);
+  std::push_heap(heap_.begin(), heap_.end(), heap_less);
+  return Status::OK();
+}
+
+Status TopKSortOp::Gather() {
+  while (true) {
+    GHOSTDB_ASSIGN_OR_RETURN(ColumnBatch batch, child()->Next());
+    if (batch.empty()) break;
+    if (layout_ == nullptr) {
+      layout_ = batch.layout;
+      offsets_ = ColumnOffsets(*layout_);
+      stride_ = layout_->row_width + kSpillSeqWidth;
+      row_buf_.resize(stride_);
+      cmp_ = OrderByComparator(*layout_, offsets_, ctx_->query->order_by);
+      if (k_ > BudgetRows(ctx_, stride_)) {
+        // The heap itself would exceed the budget: degrade to the spilling
+        // sort, truncated at k rows on the way out.
+        sorter_ = std::make_unique<ExternalRowSorter>(
+            ctx_, stride_, cmp_, BudgetRows(ctx_, stride_),
+            /*drop_key_duplicates=*/false, "topk-spill");
+      } else {
+        arena_.reserve(static_cast<size_t>(k_) * stride_);
+      }
+    }
+    for (size_t r = 0; r < batch.live(); ++r) {
+      PackRow(batch, batch.row_at(r), offsets_, seq_++, row_buf_.data());
+      if (sorter_ != nullptr) {
+        GHOSTDB_RETURN_NOT_OK(sorter_->Add(row_buf_.data()));
+      } else {
+        GHOSTDB_RETURN_NOT_OK(Offer(row_buf_.data()));
+      }
+    }
+  }
+  if (sorter_ != nullptr) {
+    GHOSTDB_RETURN_NOT_OK(sorter_->Finish());
+  } else {
+    order_ = heap_;
+    std::sort(order_.begin(), order_.end(), [this](uint32_t a, uint32_t b) {
+      return cmp_.Compare(Slot(a), Slot(b)) < 0;
+    });
+  }
+  return Status::OK();
+}
+
+Result<ColumnBatch> TopKSortOp::Next() {
+  if (done_) return ColumnBatch{};
+  if (k_ == 0) {  // LIMIT 0 never pulls the child, like LimitOp
+    done_ = true;
+    return ColumnBatch{};
+  }
+  if (!gathered_) {
+    GHOSTDB_RETURN_NOT_OK(Gather());
+    gathered_ = true;
+  }
+  if (layout_ == nullptr) {
+    done_ = true;
+    return ColumnBatch{};
+  }
+  ColumnBatch out = ColumnBatch::Make(
+      layout_, std::min<uint64_t>(std::min<uint64_t>(ctx_->batch_rows, k_),
+                                  256));
+  if (sorter_ != nullptr) {
+    while (out.rows < ctx_->batch_rows && emitted_ < k_) {
+      GHOSTDB_ASSIGN_OR_RETURN(const uint8_t* row, sorter_->Next());
+      if (row == nullptr) break;
+      AppendSpillRow(&out, offsets_, row);
+      emitted_ += 1;
+    }
+    if (out.rows == 0 || emitted_ >= k_) done_ = true;
+  } else {
+    while (out.rows < ctx_->batch_rows && emit_pos_ < order_.size()) {
+      AppendSpillRow(&out, offsets_, Slot(order_[emit_pos_]));
+      emit_pos_ += 1;
+    }
+    if (emit_pos_ >= order_.size()) done_ = true;
+  }
+  return out;
+}
+
+Status TopKSortOp::Close() {
+  ctx_->metrics->topk_short_circuits += short_circuits_;
+  if (sorter_ != nullptr) {
+    ctx_->metrics->sort_spill_runs += sorter_->stats().runs_written;
+    ctx_->metrics->sort_spill_pages += sorter_->stats().pages_written;
+    GHOSTDB_RETURN_NOT_OK(sorter_->Close());
+  }
+  return Operator::Close();
 }
 
 // ---------------------------------------------------------------------------

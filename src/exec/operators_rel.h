@@ -1,18 +1,28 @@
 // Value-space operators above the projection: aggregation, DISTINCT,
-// ORDER BY, LIMIT. These run entirely on the Secure side — result rows
-// never cross the channel — so they add no observable behavior that could
-// depend on Hidden data. All of them work on the encoded columns of
-// ColumnBatch: DISTINCT hashes encoded row bytes, Sort compares encoded
-// sort keys (catalog::CompareEncoded), Limit and Distinct drop rows through
-// the selection vector without copying cells.
+// ORDER BY, LIMIT, and the fused top-K sort. These run entirely on the
+// Secure side — result rows never cross the channel — so they add no
+// observable behavior that could depend on Hidden data. All of them work
+// on the encoded columns of ColumnBatch: DISTINCT hashes encoded row
+// bytes, Sort compares encoded sort keys (catalog::CompareEncoded), Limit
+// and Distinct drop rows through the selection vector without copying
+// cells.
+//
+// The blocking operators (Sort, Distinct, TopKSort) are memory-bounded:
+// their working set is capped by the relational-tail budget the executor
+// derives from the session's RAM partition (ExecContext::sort_budget_*).
+// Past the budget they spill sorted runs to flash and stream the result
+// back through ExternalRowSorter — secure memory stays O(budget) no
+// matter how many rows the hidden predicates let through.
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
 #include "exec/aggregate.h"
 #include "exec/operator.h"
+#include "exec/spill_sort.h"
 
 namespace ghostdb::exec {
 
@@ -34,32 +44,118 @@ class AggregateOp final : public Operator {
 };
 
 /// \brief Drops duplicate rows; the first occurrence (in anchor-id order)
-/// survives. The distinct set — a hash set over the concatenated encoded
-/// row bytes — lives in Secure host memory; surviving rows pass through as
-/// a selection over the child's batch, copy-free.
+/// survives.
+///
+/// While the distinct set fits the relational-tail budget this is the
+/// streaming hash path: a set over concatenated encoded row bytes
+/// (heterogeneous string_view lookup, so only genuinely new keys
+/// allocate), survivors forwarded as selections, copy-free. Past the
+/// budget the operator switches to sort-based dedup: remaining rows are
+/// filtered against the frozen hash set, externally sorted by value with
+/// duplicates dropped, then re-sorted by arrival sequence so the output
+/// order (first occurrences, arrival order) is unchanged.
 class DistinctOp final : public Operator {
  public:
   explicit DistinctOp(ExecContext* ctx) : Operator(ctx) {}
   std::string_view name() const override { return "Distinct"; }
   Result<ColumnBatch> Next() override;
+  Status Close() override;
 
  private:
-  std::unordered_set<std::string> seen_;
+  /// Transparent hashing so lookups take string_view (no copy per probe).
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  /// Lazily binds layout-derived state to the first child batch.
+  void BindLayout(const ColumnBatch& batch);
+  /// Enters spill mode: remaining input flows through value-sorted dedup.
+  Status StartSpill();
+  /// Routes one live row into the spill sorter (unless its key is in the
+  /// frozen hash set). `key` is scratch.
+  Status SpillRow(const ColumnBatch& batch, uint32_t row, std::string* key);
+  /// Drains phase A (value order, deduped) into phase B (arrival order)
+  /// and starts emitting.
+  Status FinishSpill();
+  Result<ColumnBatch> EmitSpilled();
+
+  std::unordered_set<std::string, StringHash, std::equal_to<>> seen_;
+  size_t seen_bytes_ = 0;   ///< key bytes held by seen_ (budget accounting)
+  uint64_t seq_ = 0;        ///< arrival sequence across all input rows
+  const BatchLayout* layout_ = nullptr;
+  std::vector<uint32_t> offsets_;  ///< per-column byte offsets in a row
+  std::vector<uint8_t> row_buf_;   ///< one spill row (cells + sequence)
+  std::unique_ptr<ExternalRowSorter> by_value_;    ///< spill phase A
+  std::unique_ptr<ExternalRowSorter> by_arrival_;  ///< spill phase B
   bool child_done_ = false;
+  bool spilling_ = false;
+  bool emitting_ = false;
 };
 
-/// \brief ORDER BY over select-list columns: a blocking stable sort (ties
-/// keep anchor-id order) of a permutation over the gathered columns — the
-/// keys are compared in their encodings, cells are never decoded — emitted
-/// as one batch whose selection vector is the sorted permutation.
+/// \brief ORDER BY over select-list columns: a blocking sort — keys are
+/// compared in their encodings, ties keep anchor-id (arrival) order —
+/// bounded by the relational-tail budget; larger inputs spill sorted runs
+/// to flash and stream the merge back in planner-sized batches.
 class SortOp final : public Operator {
  public:
   explicit SortOp(ExecContext* ctx) : Operator(ctx) {}
   std::string_view name() const override { return "Sort"; }
   Result<ColumnBatch> Next() override;
+  Status Close() override;
 
  private:
-  ColumnBatch data_;  ///< all child rows, gathered densely
+  Status Gather();
+
+  const BatchLayout* layout_ = nullptr;
+  std::vector<uint32_t> offsets_;
+  std::vector<uint8_t> row_buf_;
+  std::unique_ptr<ExternalRowSorter> sorter_;
+  uint64_t seq_ = 0;
+  bool gathered_ = false;
+  bool done_ = false;
+};
+
+/// \brief The fused `ORDER BY ... LIMIT k` operator: a bounded k-row heap
+/// of encoded rows instead of materializing and sorting everything —
+/// O(n log k) compares, O(k) secure memory, no spill needed. Ties keep
+/// the stable arrival-order semantics of Sort → Limit. When k itself
+/// exceeds the relational-tail budget the operator degrades to the
+/// spilling sort truncated at k rows, so memory stays bounded either way.
+class TopKSortOp final : public Operator {
+ public:
+  TopKSortOp(ExecContext* ctx, uint64_t k) : Operator(ctx), k_(k) {}
+  std::string_view name() const override { return "TopKSort"; }
+  Result<ColumnBatch> Next() override;
+  Status Close() override;
+
+ private:
+  Status Gather();
+  Status Offer(const uint8_t* row);
+  const uint8_t* Slot(uint32_t slot) const {
+    return arena_.data() + static_cast<size_t>(slot) * stride_;
+  }
+
+  uint64_t k_;
+  const BatchLayout* layout_ = nullptr;
+  std::vector<uint32_t> offsets_;
+  uint32_t stride_ = 0;
+  RowComparator cmp_;
+  std::vector<uint8_t> row_buf_;
+  /// Heap mode (k within budget): k row slots, max-heap with the worst
+  /// kept row on top.
+  std::vector<uint8_t> arena_;
+  std::vector<uint32_t> heap_;
+  std::vector<uint32_t> order_;  ///< final ascending order of the slots
+  size_t emit_pos_ = 0;
+  /// Fallback (k past budget): full external sort, truncated at k.
+  std::unique_ptr<ExternalRowSorter> sorter_;
+  uint64_t emitted_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t short_circuits_ = 0;  ///< rows rejected against the heap top
+  bool gathered_ = false;
   bool done_ = false;
 };
 

@@ -5,10 +5,48 @@
 
 namespace ghostdb::exec {
 
-Status MergeRowRuns(flash::FlashDevice* device, device::RamManager* ram,
-                    storage::PageAllocator* allocator,
-                    std::vector<storage::RunRef>* runs, uint32_t width,
-                    size_t target_count, const std::string& tag) {
+RowComparator RowComparator::LeadingU32() {
+  RowComparator cmp;
+  cmp.leading_u32_ = true;
+  return cmp;
+}
+
+RowComparator RowComparator::ByKeys(std::vector<Key> keys,
+                                    uint32_t seq_offset) {
+  RowComparator cmp;
+  cmp.keys_ = std::move(keys);
+  cmp.seq_offset_ = seq_offset;
+  return cmp;
+}
+
+int RowComparator::CompareKeys(const uint8_t* a, const uint8_t* b) const {
+  if (leading_u32_) {
+    uint32_t ka = DecodeFixed32(a), kb = DecodeFixed32(b);
+    return ka < kb ? -1 : ka > kb ? 1 : 0;
+  }
+  for (const Key& key : keys_) {
+    int cmp = catalog::CompareEncoded(key.type, key.width, a + key.offset,
+                                      b + key.offset);
+    if (cmp != 0) return key.descending ? -cmp : cmp;
+  }
+  return 0;
+}
+
+int RowComparator::Compare(const uint8_t* a, const uint8_t* b) const {
+  int cmp = CompareKeys(a, b);
+  if (cmp != 0 || seq_offset_ == kNoSeq) return cmp;
+  uint64_t sa = DecodeFixed64(a + seq_offset_);
+  uint64_t sb = DecodeFixed64(b + seq_offset_);
+  return sa < sb ? -1 : sa > sb ? 1 : 0;
+}
+
+Status MergeRowRunsBy(flash::FlashDevice* device, device::RamManager* ram,
+                      storage::PageAllocator* allocator,
+                      std::vector<storage::RunRef>* runs, uint32_t width,
+                      size_t target_count, const std::string& tag,
+                      const RowComparator& cmp, bool drop_key_duplicates,
+                      SpillStats* stats) {
+  std::vector<uint8_t> last_emitted;
   while (runs->size() > target_count) {
     uint32_t free = ram->free_buffers();
     if (free < 3) {
@@ -26,18 +64,35 @@ Status MergeRowRuns(flash::FlashDevice* device, device::RamManager* ram,
     }
     storage::RunWriter writer(device, allocator,
                               bufs.data() + take * ram->buffer_size(), tag);
+    bool emitted_any = false;
+    last_emitted.clear();
     while (true) {
       RowRunReader* best = nullptr;
       for (auto& r : readers) {
-        if (r->valid() && (best == nullptr || r->key() < best->key())) {
+        if (r->valid() &&
+            (best == nullptr || cmp.Compare(r->row(), best->row()) < 0)) {
           best = r.get();
         }
       }
       if (best == nullptr) break;
-      GHOSTDB_RETURN_NOT_OK(writer.Append(best->row(), width));
+      // Under total order the earliest-arrived of a duplicate group pops
+      // first, so dropping later key-equal rows keeps the first occurrence.
+      bool duplicate = drop_key_duplicates && emitted_any &&
+                       cmp.CompareKeys(best->row(), last_emitted.data()) == 0;
+      if (!duplicate) {
+        GHOSTDB_RETURN_NOT_OK(writer.Append(best->row(), width));
+        if (drop_key_duplicates) {
+          last_emitted.assign(best->row(), best->row() + width);
+          emitted_any = true;
+        }
+      }
       GHOSTDB_RETURN_NOT_OK(best->Advance());
     }
     GHOSTDB_ASSIGN_OR_RETURN(storage::RunRef merged, writer.Finish());
+    if (stats != nullptr) {
+      stats->runs_written += 1;
+      stats->pages_written += merged.page_count();
+    }
     for (size_t i = 0; i < take; ++i) {
       GHOSTDB_RETURN_NOT_OK(storage::FreeRun(allocator, (*runs)[i], tag));
     }
@@ -45,6 +100,15 @@ Status MergeRowRuns(flash::FlashDevice* device, device::RamManager* ram,
     runs->push_back(std::move(merged));
   }
   return Status::OK();
+}
+
+Status MergeRowRuns(flash::FlashDevice* device, device::RamManager* ram,
+                    storage::PageAllocator* allocator,
+                    std::vector<storage::RunRef>* runs, uint32_t width,
+                    size_t target_count, const std::string& tag) {
+  return MergeRowRunsBy(device, ram, allocator, runs, width, target_count,
+                        tag, RowComparator::LeadingU32(),
+                        /*drop_key_duplicates=*/false);
 }
 
 }  // namespace ghostdb::exec

@@ -1,9 +1,10 @@
 // Fixed-stride row runs on flash: materialized intermediate results such as
 // the SJoin output F' (<id_anchor, id_Ti, ...> rows) and the per-table
-// projection outputs (<pos, vlist, hlist> rows). Rows are packed
-// back-to-back across page boundaries (streamed sequentially, never
-// random-accessed), with the leading 4 bytes always a sort key (anchor id
-// or position).
+// projection outputs (<pos, vlist, hlist> rows), plus the sorted spill runs
+// of the memory-bounded relational tail (Sort/Distinct/top-K). Rows are
+// packed back-to-back across page boundaries (streamed sequentially, never
+// random-accessed). Id-space runs lead with a 4-byte sort key (anchor id or
+// position); spill runs order by a RowComparator over encoded value cells.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "catalog/schema.h"
+#include "catalog/value.h"
 #include "common/coding.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -19,6 +21,53 @@
 #include "storage/run.h"
 
 namespace ghostdb::exec {
+
+/// Width of the trailing u64 arrival-sequence field of a relational-tail
+/// spill row (the stable-sort tie-break).
+inline constexpr uint32_t kSpillSeqWidth = 8;
+
+/// \brief Ordering over fixed-stride encoded rows: a list of typed key
+/// cells (compared via catalog::CompareEncoded, each ASC or DESC) plus an
+/// optional trailing arrival-sequence field (u64, always ascending) that
+/// makes the order total and keeps ties stable across spill generations.
+/// The legacy id-space runs order by their leading u32 instead.
+class RowComparator {
+ public:
+  struct Key {
+    uint32_t offset = 0;  ///< byte offset of the cell within the row
+    catalog::DataType type = catalog::DataType::kInt32;
+    uint32_t width = 4;
+    bool descending = false;
+  };
+
+  /// The id-space order: ascending on the leading 4-byte key.
+  static RowComparator LeadingU32();
+
+  /// Value-space order: `keys` in sequence, then the u64 arrival sequence
+  /// at `seq_offset` ascending (pass kNoSeq for none).
+  static RowComparator ByKeys(std::vector<Key> keys, uint32_t seq_offset);
+
+  static constexpr uint32_t kNoSeq = UINT32_MAX;
+
+  /// Three-way comparison on the declared keys only (no tie-break) — what
+  /// duplicate dropping considers "the same row".
+  int CompareKeys(const uint8_t* a, const uint8_t* b) const;
+
+  /// Total order: keys, then the arrival sequence (or the leading u32).
+  int Compare(const uint8_t* a, const uint8_t* b) const;
+
+ private:
+  std::vector<Key> keys_;
+  bool leading_u32_ = false;
+  uint32_t seq_offset_ = kNoSeq;
+};
+
+/// Flash work done by the spill machinery, folded into
+/// QueryMetrics::sort_spill_{runs,pages} by the owning operator.
+struct SpillStats {
+  uint64_t runs_written = 0;   ///< RunWriter::Finish calls (spills + merges)
+  uint64_t pages_written = 0;  ///< flash pages those runs occupy
+};
 
 /// \brief Streams fixed-stride rows out of a run, with lookahead on the
 /// leading 4-byte key.
@@ -56,9 +105,21 @@ class RowRunReader {
   bool has_row_ = false;
 };
 
+/// Merges row runs (each sorted under `cmp`) down to at most `target_count`
+/// runs, within the current free-buffer budget. Consumed runs are freed
+/// under `tag`. With `drop_key_duplicates`, rows comparing equal on the
+/// declared keys collapse to the earliest (smallest tie-break) one — the
+/// sort-based DISTINCT. `stats` (optional) accumulates the flash work.
+Status MergeRowRunsBy(flash::FlashDevice* device, device::RamManager* ram,
+                      storage::PageAllocator* allocator,
+                      std::vector<storage::RunRef>* runs, uint32_t width,
+                      size_t target_count, const std::string& tag,
+                      const RowComparator& cmp, bool drop_key_duplicates,
+                      SpillStats* stats = nullptr);
+
 /// Merges row runs (sorted, disjoint leading-u32 keys) down to at most
-/// `target_count` runs, within the current free-buffer budget. Consumed
-/// runs are freed under `tag`.
+/// `target_count` runs — the id-space shape (SJoin output, projection
+/// position lists).
 Status MergeRowRuns(flash::FlashDevice* device, device::RamManager* ram,
                     storage::PageAllocator* allocator,
                     std::vector<storage::RunRef>* runs, uint32_t width,

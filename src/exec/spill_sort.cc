@@ -1,0 +1,169 @@
+#include "exec/spill_sort.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ghostdb::exec {
+
+ExternalRowSorter::ExternalRowSorter(ExecContext* ctx, uint32_t row_width,
+                                     RowComparator cmp, uint64_t budget_rows,
+                                     bool drop_key_duplicates,
+                                     std::string tag)
+    : ctx_(ctx),
+      row_width_(row_width),
+      cmp_(std::move(cmp)),
+      budget_rows_(std::max<uint64_t>(1, budget_rows)),
+      dedup_(drop_key_duplicates),
+      tag_(std::move(tag)) {}
+
+ExternalRowSorter::~ExternalRowSorter() {
+  // Abandoned stream (LIMIT above, error unwind): free flash best-effort —
+  // the executor's page-leak check runs after the tree is destroyed.
+  if (!closed_) Close();  // nothing useful to do with a late free failure
+}
+
+Status ExternalRowSorter::Add(const uint8_t* row) {
+  if (finished_) return Status::Internal("Add() after Finish()");
+  if (gen_rows_ >= budget_rows_) {
+    if (!ctx_->config->spill_enabled) {
+      return Status::ResourceExhausted(
+          tag_ + " working set exceeds the relational-tail budget (" +
+          std::to_string(budget_rows_) +
+          " rows) and spilling is disabled");
+    }
+    GHOSTDB_RETURN_NOT_OK(SpillGeneration());
+  }
+  arena_.insert(arena_.end(), row, row + row_width_);
+  gen_rows_ += 1;
+  return Status::OK();
+}
+
+void ExternalRowSorter::SortGeneration() {
+  perm_.resize(gen_rows_);
+  std::iota(perm_.begin(), perm_.end(), 0);
+  std::sort(perm_.begin(), perm_.end(), [&](uint32_t a, uint32_t b) {
+    return cmp_.Compare(GenRow(a), GenRow(b)) < 0;
+  });
+}
+
+Status ExternalRowSorter::SpillGeneration() {
+  if (gen_rows_ == 0) return Status::OK();
+  SortGeneration();
+  GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle buf,
+                           ctx_->ram().AcquireOne(tag_));
+  storage::RunWriter writer(&ctx_->flash(), ctx_->allocator, buf.data(),
+                            tag_);
+  const uint8_t* prev = nullptr;
+  for (uint32_t index : perm_) {
+    const uint8_t* row = GenRow(index);
+    // The permutation is total-ordered (ties by arrival), so the first of
+    // a duplicate group is its earliest arrival.
+    if (dedup_ && prev != nullptr && cmp_.CompareKeys(row, prev) == 0) {
+      continue;
+    }
+    GHOSTDB_RETURN_NOT_OK(writer.Append(row, row_width_));
+    prev = row;
+  }
+  GHOSTDB_ASSIGN_OR_RETURN(storage::RunRef run, writer.Finish());
+  stats_.runs_written += 1;
+  stats_.pages_written += run.page_count();
+  runs_.push_back(std::move(run));
+  arena_.clear();
+  perm_.clear();
+  gen_rows_ = 0;
+  return Status::OK();
+}
+
+Status ExternalRowSorter::Finish() {
+  if (finished_) return Status::Internal("Finish() called twice");
+  finished_ = true;
+  if (runs_.empty()) {
+    SortGeneration();  // pure in-memory sort, emitted from the arena
+    return Status::OK();
+  }
+  GHOSTDB_RETURN_NOT_OK(SpillGeneration());
+  // The final merge streams one reader buffer per run; merge down first if
+  // the session's free buffers cannot cover the fan-in. Keep two buffers
+  // of headroom: the reader set is held while the consumer drains the
+  // stream, and that consumer may itself need to spill (DistinctOp's
+  // arrival-order phase feeds off this merge) — taking every free buffer
+  // here would starve it at exactly the input sizes where the run count
+  // matches the free-buffer count.
+  auto& ram = ctx_->ram();
+  uint32_t free = ram.free_buffers();
+  size_t fan_in = std::max<size_t>(1, free > 2 ? free - 2 : 1);
+  if (runs_.size() > fan_in) {
+    GHOSTDB_RETURN_NOT_OK(MergeRowRunsBy(&ctx_->flash(), &ram,
+                                         ctx_->allocator, &runs_, row_width_,
+                                         fan_in, tag_, cmp_, dedup_,
+                                         &stats_));
+  }
+  GHOSTDB_ASSIGN_OR_RETURN(
+      reader_bufs_,
+      ram.Acquire(static_cast<uint32_t>(runs_.size()), tag_));
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    readers_.push_back(std::make_unique<RowRunReader>(
+        &ctx_->flash(), runs_[i], row_width_,
+        reader_bufs_.data() + i * ram.buffer_size()));
+    GHOSTDB_RETURN_NOT_OK(readers_.back()->Prime());
+  }
+  current_.resize(row_width_);
+  return Status::OK();
+}
+
+Result<const uint8_t*> ExternalRowSorter::Next() {
+  if (!finished_) return Status::Internal("Next() before Finish()");
+  if (runs_.empty()) {
+    while (emit_pos_ < perm_.size()) {
+      const uint8_t* row = GenRow(perm_[emit_pos_]);
+      emit_pos_ += 1;
+      if (dedup_ && have_last_ &&
+          cmp_.CompareKeys(row, last_emitted_.data()) == 0) {
+        continue;
+      }
+      if (dedup_) {
+        last_emitted_.assign(row, row + row_width_);
+        have_last_ = true;
+      }
+      return row;
+    }
+    return static_cast<const uint8_t*>(nullptr);
+  }
+  while (true) {
+    RowRunReader* best = nullptr;
+    for (auto& r : readers_) {
+      if (r->valid() &&
+          (best == nullptr || cmp_.Compare(r->row(), best->row()) < 0)) {
+        best = r.get();
+      }
+    }
+    if (best == nullptr) return static_cast<const uint8_t*>(nullptr);
+    std::copy(best->row(), best->row() + row_width_, current_.begin());
+    GHOSTDB_RETURN_NOT_OK(best->Advance());
+    if (dedup_ && have_last_ &&
+        cmp_.CompareKeys(current_.data(), last_emitted_.data()) == 0) {
+      continue;
+    }
+    if (dedup_) {
+      last_emitted_ = current_;
+      have_last_ = true;
+    }
+    return current_.data();
+  }
+}
+
+Status ExternalRowSorter::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  readers_.clear();
+  reader_bufs_.Release();
+  Status status = Status::OK();
+  for (const storage::RunRef& run : runs_) {
+    Status freed = storage::FreeRun(ctx_->allocator, run, tag_);
+    if (status.ok()) status = freed;
+  }
+  runs_.clear();
+  return status;
+}
+
+}  // namespace ghostdb::exec

@@ -1,0 +1,103 @@
+// The memory-bounded sorting core behind the relational tail (SortOp,
+// DistinctOp's sort-based overflow path, TopKSortOp's large-k fallback).
+//
+// Rows are fixed-width encoded cells with a trailing u64 arrival sequence
+// (kSpillSeqWidth) that makes every RowComparator order total, so plain
+// std::sort reproduces the operators' stable (arrival-order-ties)
+// semantics. While the working set fits the relational-tail budget the
+// sorter is a plain in-memory permutation sort; past it, each full
+// generation is sorted and written to flash as a fixed-stride row run
+// (storage::RunWriter under the paper's one-buffer discipline), runs are
+// merged down to the fan-in the session's RAM partition can stream
+// (MergeRowRunsBy), and the result is pulled row-at-a-time through
+// RowRunReaders — O(budget) secure memory regardless of input size.
+//
+// Nothing here touches the channel: spill runs live on the device's own
+// flash, so whether (and how much) a query spills is invisible to
+// Untrusted — the transcript contract is unchanged.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "exec/operator.h"
+#include "exec/row_run.h"
+
+namespace ghostdb::exec {
+
+/// \brief External-memory sorter over fixed-width encoded rows.
+///
+/// Lifecycle: Add() every row, Finish(), then Next() until nullptr,
+/// then Close() (the destructor cleans up best-effort if the stream is
+/// abandoned early, e.g. by a LIMIT above).
+class ExternalRowSorter {
+ public:
+  /// `row_width` includes the trailing arrival sequence. `budget_rows`
+  /// bounds the in-memory generation (derived from visible inputs only).
+  /// With `drop_key_duplicates`, rows equal under cmp's keys collapse to
+  /// their first arrival — the sort-based DISTINCT.
+  ExternalRowSorter(ExecContext* ctx, uint32_t row_width, RowComparator cmp,
+                    uint64_t budget_rows, bool drop_key_duplicates,
+                    std::string tag);
+  ~ExternalRowSorter();
+
+  ExternalRowSorter(const ExternalRowSorter&) = delete;
+  ExternalRowSorter& operator=(const ExternalRowSorter&) = delete;
+
+  /// Appends one row (row_width bytes). Past the budget: spills the
+  /// current generation (spill_enabled) or fails with ResourceExhausted.
+  Status Add(const uint8_t* row);
+
+  /// Seals the input: sorts the tail generation and, if the sorter
+  /// spilled, merges runs down to a streamable fan-in.
+  Status Finish();
+
+  /// After Finish(): the next row in sorted order (valid until the next
+  /// call), or nullptr at end of stream.
+  Result<const uint8_t*> Next();
+
+  /// Releases reader buffers and frees all remaining spill runs.
+  Status Close();
+
+  bool spilled() const { return !runs_.empty(); }
+  uint64_t budget_rows() const { return budget_rows_; }
+  const SpillStats& stats() const { return stats_; }
+
+ private:
+  /// Sorts the current generation's permutation under the total order.
+  void SortGeneration();
+  /// Sorts and writes the current generation as one run, then resets it.
+  Status SpillGeneration();
+  const uint8_t* GenRow(uint32_t index) const {
+    return arena_.data() + static_cast<size_t>(index) * row_width_;
+  }
+
+  ExecContext* ctx_;
+  uint32_t row_width_;
+  RowComparator cmp_;
+  uint64_t budget_rows_;
+  bool dedup_;
+  std::string tag_;
+
+  std::vector<uint8_t> arena_;  ///< current generation, row-major
+  uint32_t gen_rows_ = 0;
+  std::vector<uint32_t> perm_;  ///< sorted order of the generation
+  std::vector<storage::RunRef> runs_;
+  SpillStats stats_;
+  bool finished_ = false;
+  bool closed_ = false;
+
+  // Emission state (after Finish()).
+  size_t emit_pos_ = 0;                     // in-memory mode cursor
+  device::BufferHandle reader_bufs_;        // one buffer per final run
+  std::vector<std::unique_ptr<RowRunReader>> readers_;
+  std::vector<uint8_t> current_;            // merge-mode output row
+  std::vector<uint8_t> last_emitted_;       // dedup reference
+  bool have_last_ = false;
+};
+
+}  // namespace ghostdb::exec

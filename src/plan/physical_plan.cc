@@ -18,12 +18,13 @@ std::string_view PhysicalOpName(PhysicalOp op) {
     case PhysicalOp::kDistinct: return "Distinct";
     case PhysicalOp::kSort: return "Sort";
     case PhysicalOp::kLimit: return "Limit";
+    case PhysicalOp::kTopKSort: return "TopKSort";
   }
   return "?";
 }
 
 PhysicalPlan BuildPhysicalPlan(const sql::BoundQuery& query,
-                               PlanChoice choice) {
+                               PlanChoice choice, bool fuse_topk) {
   PhysicalPlan plan;
   plan.choice = std::move(choice);
   auto add = [&](PhysicalOp op, int child) {
@@ -53,10 +54,18 @@ PhysicalPlan BuildPhysicalPlan(const sql::BoundQuery& query,
              node);
   if (query.HasAggregates()) node = add(PhysicalOp::kAggregate, node);
   if (query.distinct) node = add(PhysicalOp::kDistinct, node);
-  if (!query.order_by.empty()) node = add(PhysicalOp::kSort, node);
-  if (query.limit.has_value()) {
-    node = add(PhysicalOp::kLimit, node);
+  if (fuse_topk && !query.order_by.empty() && query.limit.has_value()) {
+    // Sort -> Limit k fuses into a bounded top-K heap. The decision keys
+    // on shape only (both clauses present), so fused plans cache like any
+    // other; k is re-bound from the live query at build time.
+    node = add(PhysicalOp::kTopKSort, node);
     plan.nodes.back().limit = *query.limit;
+  } else {
+    if (!query.order_by.empty()) node = add(PhysicalOp::kSort, node);
+    if (query.limit.has_value()) {
+      node = add(PhysicalOp::kLimit, node);
+      plan.nodes.back().limit = *query.limit;
+    }
   }
   plan.root = node;
   return plan;
@@ -70,6 +79,9 @@ std::string PhysicalPlan::ToString(const catalog::Schema& schema) const {
     out << std::string(static_cast<size_t>(depth) * 2, ' ') << "-> "
         << PhysicalOpName(node.op);
     if (node.op == PhysicalOp::kLimit) out << " " << node.limit;
+    if (node.op == PhysicalOp::kTopKSort) {
+      out << " " << node.limit << " (fused Sort+Limit)";
+    }
     if (node.op == PhysicalOp::kVisSelect) {
       for (const auto& [t, strategy] : choice.vis) {
         out << " " << schema.table(t).name << ":"

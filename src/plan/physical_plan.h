@@ -39,6 +39,7 @@ enum class PhysicalOp : uint8_t {
   kDistinct,           ///< drop duplicate rows (first occurrence wins)
   kSort,               ///< ORDER BY over select-list columns
   kLimit,              ///< truncate the stream after N rows
+  kTopKSort,           ///< fused Sort -> Limit k: bounded k-row heap
 };
 
 std::string_view PhysicalOpName(PhysicalOp op);
@@ -47,7 +48,7 @@ std::string_view PhysicalOpName(PhysicalOp op);
 struct PhysicalNode {
   PhysicalOp op;
   std::vector<int> children;  ///< indices into PhysicalPlan::nodes
-  uint64_t limit = 0;         ///< kLimit: row cap
+  uint64_t limit = 0;         ///< kLimit / kTopKSort: row cap
 };
 
 /// \brief A fully lowered plan: strategy decisions plus the operator tree.
@@ -70,8 +71,12 @@ struct PhysicalPlan {
 };
 
 /// Lowers `choice` into the operator tree for `query`. Pure function of the
-/// bound query's visible shape and the choice.
+/// bound query's visible shape and the choice. With `fuse_topk` (the
+/// default; ExecConfig::topk_fusion), a Sort -> Limit k tail becomes one
+/// fused TopKSort node — O(k) secure memory instead of a full materialized
+/// sort. The fusion keys on the *presence* of ORDER BY and LIMIT (shape
+/// information); k itself stays a literal the executor re-binds.
 PhysicalPlan BuildPhysicalPlan(const sql::BoundQuery& query,
-                               PlanChoice choice);
+                               PlanChoice choice, bool fuse_topk = true);
 
 }  // namespace ghostdb::plan

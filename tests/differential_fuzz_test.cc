@@ -156,6 +156,53 @@ TEST(DifferentialFuzzTest, GhostDBMatchesOracleOnRandomQueries) {
   EXPECT_EQ(failures, 0u);
 }
 
+TEST(DifferentialFuzzTest, MatchesOracleUnderForcedTinySortBudget) {
+  // Forced-small-sort-budget mode: the same random query sweep, but with
+  // the relational-tail budget pinned to one buffer, so every ORDER BY /
+  // DISTINCT / fused top-K that sees more than a handful of rows takes the
+  // spill (or large-k fallback) path instead of the in-memory one. Answers
+  // must stay oracle-exact.
+  const uint64_t iters = EnvOr("GHOSTDB_SPILL_FUZZ_ITERS", 150);
+  const uint64_t base_seed =
+      EnvOr("GHOSTDB_FUZZ_SEED", 20070611, /*allow_zero=*/true);
+  const uint64_t kQueriesPerDb = 75;
+  const uint64_t dbs = (iters + kQueriesPerDb - 1) / kQueriesPerDb;
+
+  uint64_t ran = 0, failures = 0;
+  for (uint64_t d = 0; d < dbs && ran < iters; ++d) {
+    uint64_t visible_seed = base_seed + 2000 * d + 7;
+    uint64_t hidden_seed = visible_seed + 1;
+    auto cfg = fuzztest::FuzzConfig(visible_seed, /*retain_staged=*/true);
+    cfg.exec.sort_budget_buffers = 1;
+    GhostDB db(cfg);
+    ASSERT_TRUE(fuzztest::BuildFuzzDb(&db, visible_seed, hidden_seed).ok());
+    fuzztest::FuzzShape shape = fuzztest::MakeShape(visible_seed);
+    for (uint64_t q = 0; q < kQueriesPerDb && ran < iters; ++q, ++ran) {
+      uint64_t query_seed =
+          (base_seed + 77) ^ (d << 32) ^ (q * 0x9E3779B9ULL);
+      Rng rng(query_seed);
+      std::string sql = fuzztest::GenerateQuery(rng, shape);
+      std::string why;
+      if (!CheckQuery(&db, sql, /*brute_force=*/(q % 7) == 6, &why)) {
+        failures += 1;
+        std::string repro =
+            "[tiny-sort-budget] visible_seed=" + std::to_string(visible_seed) +
+            " hidden_seed=" + std::to_string(hidden_seed) +
+            " query_seed=" + std::to_string(query_seed) + " sql=" + sql +
+            " | " + why;
+        RecordFailure(repro);
+        ADD_FAILURE() << repro;
+        if (failures >= 10) {
+          FAIL() << "too many divergences; stopping early (see "
+                 << FailureFile() << ")";
+        }
+      }
+    }
+  }
+  EXPECT_EQ(ran, iters);
+  EXPECT_EQ(failures, 0u);
+}
+
 TEST(DifferentialFuzzTest, InterleavedSessionsMatchOraclePerSession) {
   // Multi-session mode: random queries dealt to K sessions, drained under
   // the arbiter's interleaving (which varies with the deal), each

@@ -93,8 +93,9 @@ void ExpectIdenticalTranscripts(const std::vector<ChannelMessage>& a,
   }
 }
 
-void RunAndCompare(const std::string& sql) {
-  GhostDB db1(Config()), db2(Config());
+void RunAndCompare(const std::string& sql,
+                   const GhostDBConfig& config = Config()) {
+  GhostDB db1(config), db2(config);
   BuildDb(&db1, /*hidden_seed=*/111);
   BuildDb(&db2, /*hidden_seed=*/999);
   db1.device().channel().ClearTranscript();
@@ -161,6 +162,39 @@ TEST(LeakTest, ComposedSortLimitDistinctLeaksNothing) {
   RunAndCompare(
       "SELECT DISTINCT Fact.v FROM Fact, Dim WHERE Fact.fk = Dim.id AND "
       "Dim.h < 70 AND Fact.v < 60 ORDER BY Fact.v DESC LIMIT 3");
+}
+
+TEST(LeakTest, ForcedSpillShapesAreTranscriptInvariant) {
+  // Forced-spill shapes: a one-buffer relational-tail budget makes Sort
+  // and Distinct spill runs to flash, and makes the fused top-K take both
+  // its heap and its large-k fallback paths. How much each database spills
+  // depends on its hidden data (the predicates below admit hidden-chosen
+  // row counts) — but spilling is device-side flash work, so the channel
+  // transcripts must still be byte-identical.
+  GhostDBConfig tiny = Config();
+  tiny.exec.sort_budget_buffers = 1;
+  for (const char* sql : {
+           // Sort spill; hidden-dependent input size.
+           "SELECT Fact.id, Fact.h FROM Fact WHERE Fact.h < 60 "
+           "ORDER BY Fact.h DESC",
+           // One side may spill while the other stays in memory.
+           "SELECT Fact.id, Fact.h FROM Fact WHERE Fact.h < 10 "
+           "ORDER BY Fact.id",
+           // Distinct hash-overflow into sort-based dedup.
+           "SELECT DISTINCT Fact.v, Fact.h FROM Fact WHERE Fact.h < 80",
+           // Fused top-K (bounded heap).
+           "SELECT Fact.id, Fact.h FROM Fact WHERE Fact.h < 70 "
+           "ORDER BY Fact.h LIMIT 4",
+           // Fused top-K, k past the budget (spilling fallback).
+           "SELECT Fact.id, Fact.h FROM Fact WHERE Fact.h < 70 "
+           "ORDER BY Fact.h LIMIT 900",
+           // Everything composed across a join.
+           "SELECT DISTINCT Fact.v, Dim.v FROM Fact, Dim WHERE "
+           "Fact.fk = Dim.id AND Fact.h < 50 ORDER BY Fact.v LIMIT 200",
+       }) {
+    SCOPED_TRACE(sql);
+    RunAndCompare(sql, tiny);
+  }
 }
 
 TEST(LeakTest, BatchPathTranscriptsAreHiddenIndependent) {

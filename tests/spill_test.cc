@@ -1,0 +1,249 @@
+// The memory-bounded relational tail: ORDER BY / DISTINCT / ORDER BY+LIMIT
+// over inputs far larger than the session's relational-tail budget must
+// spill sorted runs to flash and still answer exactly like the oracle.
+// Before this machinery the only options were an unbounded secure working
+// set or (with the budget enforced, spill_enabled=false) a clean
+// ResourceExhausted — both covered here.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/database.h"
+#include "reference/oracle.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace ghostdb {
+namespace {
+
+using catalog::Value;
+using core::GhostDB;
+using core::GhostDBConfig;
+
+GhostDBConfig SpillConfig(uint32_t budget_buffers, bool spill_enabled = true) {
+  GhostDBConfig cfg;
+  cfg.device.flash.logical_pages = 32 * 1024;
+  cfg.retain_staged_data = true;  // for the oracle
+  cfg.exec.sort_budget_buffers = budget_buffers;
+  cfg.exec.spill_enabled = spill_enabled;
+  return cfg;
+}
+
+// One table, `rows` rows. v is drawn from a small domain so ORDER BY has
+// heavy ties (the stability-sensitive case) and DISTINCT has real
+// duplicates; d makes DISTINCT's key set wide enough to overflow a tiny
+// budget. h is hidden, with a predicate matching everything, so the whole
+// table flows through the secure relational tail.
+void BuildBig(GhostDB* db, uint32_t rows) {
+  ASSERT_TRUE(
+      db->Execute("CREATE TABLE R (id INT, v INT, d INT, h INT HIDDEN)")
+          .ok());
+  Rng rng(1234);
+  auto staging = db->MutableStaging("R");
+  ASSERT_TRUE(staging.ok());
+  for (uint32_t i = 0; i < rows; ++i) {
+    ASSERT_TRUE((*staging)
+                    ->AppendRow({Value::Int32(static_cast<int32_t>(
+                                     rng.Uniform(40))),
+                                 Value::Int32(static_cast<int32_t>(
+                                     rng.Uniform(100000))),
+                                 Value::Int32(static_cast<int32_t>(
+                                     rng.Uniform(100)))})
+                    .ok());
+  }
+  ASSERT_TRUE(db->Build().ok());
+}
+
+// Row-for-row equality against the reference evaluator.
+void ExpectMatchesOracle(GhostDB* db, const std::string& sql,
+                         const exec::QueryResult& got) {
+  auto stmt = sql::Parse(sql);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  auto bound =
+      sql::Bind(std::get<sql::SelectStmt>(*stmt), db->schema(), sql);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  auto expected = reference::Evaluate(db->schema(), db->staged(), *bound);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+  ASSERT_EQ(got.total_rows, expected->size()) << sql;
+  ASSERT_EQ(got.rows.size(), expected->size()) << sql;
+  for (size_t i = 0; i < expected->size(); ++i) {
+    ASSERT_EQ(got.rows[i].size(), (*expected)[i].size());
+    for (size_t j = 0; j < (*expected)[i].size(); ++j) {
+      ASSERT_TRUE(got.rows[i][j] == (*expected)[i][j])
+          << sql << " row " << i << " col " << j << ": got "
+          << got.rows[i][j].ToString() << " want "
+          << (*expected)[i][j].ToString();
+    }
+  }
+}
+
+TEST(SpillTest, OrderBySpillsAndMatchesOracle) {
+  GhostDB db(SpillConfig(/*budget_buffers=*/1));
+  BuildBig(&db, 4000);
+  auto r = db.Query(
+      "SELECT R.id, R.v FROM R WHERE R.h >= 0 ORDER BY R.v");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->metrics.sort_spill_runs, 0u);
+  EXPECT_GT(r->metrics.sort_spill_pages, 0u);
+  ExpectMatchesOracle(&db, "SELECT R.id, R.v FROM R WHERE R.h >= 0 "
+                           "ORDER BY R.v", *r);
+}
+
+TEST(SpillTest, MultiKeyDescendingSpillSortMatchesOracle) {
+  GhostDB db(SpillConfig(1));
+  BuildBig(&db, 3000);
+  const char* sql =
+      "SELECT R.v, R.d, R.id FROM R WHERE R.h >= 0 "
+      "ORDER BY R.v DESC, R.d";
+  auto r = db.Query(sql);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->metrics.sort_spill_runs, 0u);
+  ExpectMatchesOracle(&db, sql, *r);
+}
+
+TEST(SpillTest, DistinctSpillsAndMatchesOracle) {
+  GhostDB db(SpillConfig(1));
+  BuildBig(&db, 4000);
+  // v x d has ~4000 candidate keys of 8 bytes: far past a 2 KB budget.
+  const char* sql = "SELECT DISTINCT R.v, R.d FROM R WHERE R.h >= 0";
+  auto r = db.Query(sql);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->metrics.sort_spill_runs, 0u);
+  ExpectMatchesOracle(&db, sql, *r);
+}
+
+TEST(SpillTest, DistinctSpillSurvivesRunCountNearFreeBufferCount) {
+  // Regression: the final merge of Distinct's value phase holds one reader
+  // buffer per run while the arrival phase consumes the stream — and the
+  // arrival phase may need a spill buffer of its own. When the value
+  // phase's run count landed exactly on the free-buffer count, the merge
+  // once took every free buffer and the arrival spill failed with
+  // ResourceExhausted. Sweep row counts around that boundary (~32 runs of
+  // 128 rows under a 1-buffer budget).
+  for (uint32_t rows : {4000u, 4100u, 4200u, 4300u}) {
+    SCOPED_TRACE(rows);
+    GhostDB db(SpillConfig(1));
+    BuildBig(&db, rows);
+    const char* sql = "SELECT DISTINCT R.v, R.d FROM R WHERE R.h >= 0";
+    auto r = db.Query(sql);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ExpectMatchesOracle(&db, sql, *r);
+  }
+}
+
+TEST(SpillTest, TopKHeapStaysInMemoryAndMatchesOracle) {
+  GhostDB db(SpillConfig(1));
+  BuildBig(&db, 4000);
+  // k << n: the fused top-K keeps a 7-row heap; no spill, and almost all
+  // rows are rejected against the heap top without being buffered. Ties
+  // (v from a 40-value domain) must keep arrival order — the oracle's
+  // stable sort is the judge.
+  const char* sql =
+      "SELECT R.id, R.v FROM R WHERE R.h >= 0 ORDER BY R.v LIMIT 7";
+  auto r = db.Query(sql);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->metrics.sort_spill_runs, 0u);
+  EXPECT_GT(r->metrics.topk_short_circuits, 3000u);
+  ExpectMatchesOracle(&db, sql, *r);
+}
+
+TEST(SpillTest, TopKLargeKDegradesToSpillingSort) {
+  GhostDB db(SpillConfig(1));
+  BuildBig(&db, 4000);
+  // k itself exceeds the 1-buffer budget: the fused operator degrades to
+  // the external sort truncated at k, not an unbounded heap.
+  const char* sql =
+      "SELECT R.id, R.v FROM R WHERE R.h >= 0 ORDER BY R.v LIMIT 2000";
+  auto r = db.Query(sql);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->metrics.sort_spill_runs, 0u);
+  ExpectMatchesOracle(&db, sql, *r);
+}
+
+TEST(SpillTest, DistinctOrderByLimitComposedUnderTinyBudget) {
+  GhostDB db(SpillConfig(1));
+  BuildBig(&db, 3000);
+  const char* sql =
+      "SELECT DISTINCT R.v, R.d FROM R WHERE R.h >= 0 "
+      "ORDER BY R.v DESC LIMIT 9";
+  auto r = db.Query(sql);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ExpectMatchesOracle(&db, sql, *r);
+}
+
+TEST(SpillTest, SpillDisabledFailsCleanlyAndSmallQueriesStillRun) {
+  GhostDB db(SpillConfig(1, /*spill_enabled=*/false));
+  BuildBig(&db, 4000);
+  // The budget is enforced either way; without spilling it is a clean
+  // per-query ResourceExhausted, not an unbounded working set.
+  auto sort = db.Query(
+      "SELECT R.id, R.v FROM R WHERE R.h >= 0 ORDER BY R.v");
+  EXPECT_TRUE(sort.status().IsResourceExhausted())
+      << sort.status().ToString();
+  auto distinct = db.Query(
+      "SELECT DISTINCT R.v, R.d FROM R WHERE R.h >= 0");
+  EXPECT_TRUE(distinct.status().IsResourceExhausted())
+      << distinct.status().ToString();
+  // The fused top-K fits the budget, so the same data + ORDER BY still
+  // serves with LIMIT — the headline win of the fusion.
+  const char* topk =
+      "SELECT R.id, R.v FROM R WHERE R.h >= 0 ORDER BY R.v LIMIT 5";
+  auto r = db.Query(topk);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ExpectMatchesOracle(&db, topk, *r);
+  // And the failures left no flash behind.
+  auto again = db.Query(topk);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+}
+
+TEST(SpillTest, TinySessionPartitionSpillsInsteadOfFailing) {
+  // No config override: the budget derives from the session's own RAM
+  // partition quota. A 2-buffer session sorts 4000 rows by spilling.
+  GhostDB db(SpillConfig(/*budget_buffers=*/0));
+  BuildBig(&db, 4000);
+  core::SessionOptions options;
+  options.name = "tiny";
+  options.ram_quota_buffers = 2;
+  auto session = db.OpenSession(std::move(options));
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  const char* sql =
+      "SELECT R.id, R.v FROM R WHERE R.h >= 0 ORDER BY R.v";
+  auto r = (*session)->Query(sql);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->metrics.sort_spill_runs, 0u);
+  ExpectMatchesOracle(&db, sql, *r);
+}
+
+TEST(SpillTest, TinySessionPartitionWithoutSpillingIsResourceExhausted) {
+  GhostDB db(SpillConfig(0, /*spill_enabled=*/false));
+  BuildBig(&db, 4000);
+  core::SessionOptions options;
+  options.name = "tiny";
+  options.ram_quota_buffers = 2;
+  auto session = db.OpenSession(std::move(options));
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  auto r = (*session)->Query(
+      "SELECT R.id, R.v FROM R WHERE R.h >= 0 ORDER BY R.v");
+  EXPECT_TRUE(r.status().IsResourceExhausted()) << r.status().ToString();
+  // The failure names the session so "budget exceeded" is actionable.
+  EXPECT_NE(r.status().message().find("tiny"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(SpillTest, SpillCountersAccumulateIntoSessionTotals) {
+  GhostDB db(SpillConfig(1));
+  BuildBig(&db, 3000);
+  auto session = db.OpenSession({});
+  ASSERT_TRUE(session.ok());
+  auto r = (*session)->Query(
+      "SELECT R.id FROM R WHERE R.h >= 0 ORDER BY R.id");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*session)->metrics().sort_spill_runs,
+            r->metrics.sort_spill_runs);
+  EXPECT_GT((*session)->metrics().sort_spill_pages, 0u);
+}
+
+}  // namespace
+}  // namespace ghostdb
