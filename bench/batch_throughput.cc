@@ -3,20 +3,24 @@
 // figures (simulated device seconds), this measures the engine's own CPU —
 // the value-space pipeline, plan cache, and result assembly — which is
 // what the columnar batches are for. Usage: bench_batch_throughput
-// [statements, default 400].
+// [statements, default 400] [--json FILE] — the JSON results join the
+// BENCH_*.json trajectory artifacts CI uploads.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/rng.h"
 #include "core/database.h"
 
 using namespace ghostdb;
 
 int main(int argc, char** argv) {
-  int statements = argc > 1 ? std::atoi(argv[1]) : 400;
+  int statements =
+      argc > 1 && argv[1][0] != '-' ? std::atoi(argv[1]) : 400;
+  bench::JsonReporter json(argc, argv);
 
   core::GhostDBConfig cfg;
   cfg.device.flash.logical_pages = 256 * 1024;
@@ -55,11 +59,12 @@ int main(int argc, char** argv) {
   die(db.Build());
 
   // Mixed shapes with rotating literals: wide scans (hundreds of rows
-  // materialized), sorts, DISTINCT, joins, aggregates.
+  // materialized), sorts, DISTINCT, joins, aggregates, grouped
+  // aggregation.
   std::vector<std::string> sqls;
   sqls.reserve(statements);
   for (int i = 0; i < statements; ++i) {
-    switch (i % 5) {
+    switch (i % 6) {
       case 0:
         sqls.push_back("SELECT Fact.id, Fact.v, Fact.h FROM Fact WHERE "
                        "Fact.h < " + std::to_string(100 + i % 400));
@@ -79,9 +84,16 @@ int main(int argc, char** argv) {
                        std::to_string(150 + i % 100) +
                        " AND Fact.h < 300 LIMIT 200");
         break;
-      default:
+      case 4:
         sqls.push_back("SELECT COUNT(*), SUM(Fact.v), MAX(Fact.h) FROM "
                        "Fact WHERE Fact.h >= " + std::to_string(i % 500));
+        break;
+      default:
+        sqls.push_back("SELECT Dim.v, COUNT(*), SUM(Fact.v) FROM Fact, "
+                       "Dim WHERE Fact.fk = Dim.id AND Fact.h < " +
+                       std::to_string(400 + i % 300) +
+                       " GROUP BY Dim.v ORDER BY SUM(Fact.v) DESC "
+                       "LIMIT 10");
         break;
     }
   }
@@ -104,5 +116,9 @@ int main(int argc, char** argv) {
                   batch->total.plan_cache_misses));
   std::printf("simulated device time: %.3f s\n",
               static_cast<double>(batch->total.total_ns) / 1e9);
+  json.Record("batch_" + std::to_string(statements) + "_statements",
+              wall * 1e3, static_cast<double>(batch->total.total_ns) / 1e9,
+              batch->total);
+  json.Write();
   return 0;
 }

@@ -27,6 +27,28 @@ std::string_view AggFuncName(AggFunc f) {
   return "?";
 }
 
+bool AggRequiresInput(AggFunc f) {
+  return f == AggFunc::kSum || f == AggFunc::kAvg || f == AggFunc::kMin ||
+         f == AggFunc::kMax;
+}
+
+namespace {
+
+/// Overflow-checked integer summation: SUM keeps an exact INT64
+/// accumulator, and signed wrap near the INT64 extremes is UB — detect it
+/// and fail instead of returning a silently wrong (or undefined) total.
+/// AVG sums in double (its output is DOUBLE anyway), so it cannot
+/// overflow. Shared by the Value and encoded paths so both fail
+/// identically.
+Status AddChecked(int64_t* acc, int64_t v) {
+  if (__builtin_add_overflow(*acc, v, acc)) {
+    return Status::OutOfRange("SUM overflows INT64");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status Aggregator::Accumulate(const Value& v) {
   count_ += 1;
   switch (func_) {
@@ -38,11 +60,11 @@ Status Aggregator::Accumulate(const Value& v) {
     case AggFunc::kAvg:
       switch (v.type()) {
         case DataType::kInt32:
-          int_sum_ += v.AsInt32();
+          if (func_ == AggFunc::kSum) return AddChecked(&int_sum_, v.AsInt32());
           double_sum_ += v.AsInt32();
           return Status::OK();
         case DataType::kInt64:
-          int_sum_ += v.AsInt64();
+          if (func_ == AggFunc::kSum) return AddChecked(&int_sum_, v.AsInt64());
           double_sum_ += static_cast<double>(v.AsInt64());
           return Status::OK();
         case DataType::kDouble:
@@ -74,13 +96,13 @@ Status Aggregator::AccumulateEncoded(const uint8_t* src) {
       switch (input_type_) {
         case DataType::kInt32: {
           int32_t v = static_cast<int32_t>(DecodeFixed32(src));
-          int_sum_ += v;
+          if (func_ == AggFunc::kSum) return AddChecked(&int_sum_, v);
           double_sum_ += v;
           return Status::OK();
         }
         case DataType::kInt64: {
           int64_t v = static_cast<int64_t>(DecodeFixed64(src));
-          int_sum_ += v;
+          if (func_ == AggFunc::kSum) return AddChecked(&int_sum_, v);
           double_sum_ += static_cast<double>(v);
           return Status::OK();
         }
@@ -130,21 +152,28 @@ Result<Value> Aggregator::Finish() const {
       return Status::Internal("Finish on non-aggregate");
     case AggFunc::kCountStar:
     case AggFunc::kCount:
+      // The counter is u64; the SQL-facing type is INT64. The narrowing
+      // can only overflow for > 9.2e18 rows, but make it checked so a
+      // pathological count can never surface as a negative number.
+      if (count_ > static_cast<uint64_t>(INT64_MAX)) {
+        return Status::OutOfRange("COUNT overflows INT64");
+      }
       return Value::Int64(static_cast<int64_t>(count_));
     case AggFunc::kSum:
+      if (count_ == 0) return Status::NotFound("SUM over an empty input");
       if (input_type_ == DataType::kDouble) {
         return Value::Double(double_sum_);
       }
       return Value::Int64(int_sum_);
     case AggFunc::kAvg:
-      if (count_ == 0) return Value::Double(0);
+      if (count_ == 0) return Status::NotFound("AVG over an empty input");
       return Value::Double(double_sum_ / static_cast<double>(count_));
     case AggFunc::kMin:
       if (!min_enc_.empty()) {
         return Value::Decode(min_enc_.data(), input_type_, input_width_);
       }
       if (!min_.has_value()) {
-        return Status::NotFound("MIN over an empty result");
+        return Status::NotFound("MIN over an empty input");
       }
       return *min_;
     case AggFunc::kMax:
@@ -152,7 +181,7 @@ Result<Value> Aggregator::Finish() const {
         return Value::Decode(max_enc_.data(), input_type_, input_width_);
       }
       if (!max_.has_value()) {
-        return Status::NotFound("MAX over an empty result");
+        return Status::NotFound("MAX over an empty input");
       }
       return *max_;
   }

@@ -23,6 +23,14 @@ enum class AggFunc : uint8_t { kNone, kCountStar, kCount, kSum, kAvg, kMin,
 
 std::string_view AggFuncName(AggFunc f);
 
+/// True for aggregates whose result is undefined over an empty input
+/// (SUM/AVG/MIN/MAX). GhostDB has no NULLs, so instead of SQL's NULL row
+/// an aggregate query whose input is empty yields an *empty result* when
+/// any such aggregate is selected; COUNT-only selects still yield their
+/// zero row. The engine (AggregateOp / GroupAggregateOp) and the reference
+/// oracle both enforce this through the check here.
+bool AggRequiresInput(AggFunc f);
+
 /// \brief Streaming accumulator for one aggregate output column.
 class Aggregator {
  public:
@@ -30,7 +38,9 @@ class Aggregator {
              uint32_t input_width = 0)
       : func_(func), input_type_(input_type), input_width_(input_width) {}
 
-  /// Folds one input value (ignored for COUNT(*)).
+  /// Folds one input value (ignored for COUNT(*)). Integer SUM overflow
+  /// past INT64 is detected and fails with OutOfRange (identically in the
+  /// encoded path) instead of wrapping.
   Status Accumulate(const catalog::Value& v);
   /// Folds one encoded cell of `input_width_` bytes without materializing
   /// a Value: sums decode the numeric in place, MIN/MAX keep the encoded
@@ -39,9 +49,17 @@ class Aggregator {
   /// Folds a COUNT(*) row.
   void AccumulateRow() { count_ += 1; }
 
+  /// True once any input row/value was folded. Callers must check this
+  /// before Finish() for the AggRequiresInput functions: over an empty
+  /// input their result is undefined and Finish() fails with NotFound
+  /// (see AggRequiresInput for the engine-level semantics).
+  bool has_input() const { return count_ > 0; }
+
   /// The final value (COUNT yields INT64; SUM follows the input type with
   /// integer widening; AVG is DOUBLE; MIN/MAX keep the input type).
-  /// Empty inputs yield 0 for counts and NULL-like zero values otherwise.
+  /// COUNT narrowing from the internal u64 is checked (OutOfRange rather
+  /// than a negative count); SUM/AVG/MIN/MAX over an empty input fail
+  /// with NotFound.
   Result<catalog::Value> Finish() const;
 
   /// Result column type.

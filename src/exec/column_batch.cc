@@ -32,23 +32,27 @@ ColumnBatch ColumnBatch::Make(const BatchLayout* layout,
   return batch;
 }
 
+void ColumnBatch::AppendCellKey(size_t c, uint32_t physical_row,
+                                std::string* out) const {
+  const uint8_t* src = cell(c, physical_row);
+  // Doubles are the one type whose encoding is not canonical per value:
+  // -0.0 == 0.0 but their bit patterns differ. Canonicalize so byte
+  // equality stays value equality.
+  if (layout->cols[c].type == catalog::DataType::kDouble &&
+      DecodeDouble(src) == 0.0) {
+    uint8_t zero[8];
+    EncodeDouble(zero, 0.0);
+    out->append(reinterpret_cast<const char*>(zero), 8);
+    return;
+  }
+  out->append(reinterpret_cast<const char*>(src), layout->cols[c].width);
+}
+
 void ColumnBatch::RowKey(uint32_t physical_row, std::string* out) const {
   out->clear();
   out->reserve(layout->row_width);
   for (size_t c = 0; c < layout->cols.size(); ++c) {
-    const uint8_t* src = cell(c, physical_row);
-    // Doubles are the one type whose encoding is not canonical per value:
-    // -0.0 == 0.0 but their bit patterns differ. Canonicalize so byte
-    // equality stays value equality.
-    if (layout->cols[c].type == catalog::DataType::kDouble &&
-        DecodeDouble(src) == 0.0) {
-      uint8_t zero[8];
-      EncodeDouble(zero, 0.0);
-      out->append(reinterpret_cast<const char*>(zero), 8);
-      continue;
-    }
-    out->append(reinterpret_cast<const char*>(src),
-                layout->cols[c].width);
+    AppendCellKey(c, physical_row, out);
   }
 }
 

@@ -105,10 +105,14 @@ struct ColumnBatch {
     return catalog::Value::Decode(cell(c, physical_row), col.type,
                                   col.width);
   }
-  /// Concatenated encoded bytes of one physical row — the DISTINCT key.
-  /// Byte equality coincides with Value equality: strings are space-padded,
-  /// integers are bijective, and double zeros are canonicalized here
-  /// (-0.0 == 0.0 with distinct bit patterns).
+  /// Appends the canonicalized encoded bytes of one cell to `out`. Byte
+  /// equality of the appended bytes coincides with Value equality: strings
+  /// are space-padded, integers are bijective, and double zeros are
+  /// canonicalized here (-0.0 == 0.0 with distinct bit patterns). The
+  /// building block of RowKey and GroupAggregateOp's group keys.
+  void AppendCellKey(size_t c, uint32_t physical_row, std::string* out) const;
+  /// Concatenated canonical encoded bytes of one physical row — the
+  /// DISTINCT key.
   void RowKey(uint32_t physical_row, std::string* out) const;
 };
 

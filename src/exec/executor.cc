@@ -98,8 +98,8 @@ Result<QueryResult> SecureExecutor::ExecuteTree(
   ctx.metrics = &metrics;
   // Without value-level operators above the projection, rows beyond the
   // materialization limit are counted but never encoded.
-  bool needs_all_values = query.HasAggregates() || query.distinct ||
-                          !query.order_by.empty() ||
+  bool needs_all_values = query.HasAggregates() || query.grouped() ||
+                          query.distinct || !query.order_by.empty() ||
                           query.limit.has_value();
   ctx.rows_demanded =
       needs_all_values ? UINT64_MAX : config_.result_row_limit;
@@ -134,8 +134,8 @@ Result<QueryResult> SecureExecutor::ExecuteTree(
   // overshoot before the pull stops — cap at the live literal. This must
   // happen here, not in the cached plan: shapes normalize the LIMIT count.
   bool limit_above_project = query.limit.has_value() &&
-                             !query.HasAggregates() && !query.distinct &&
-                             query.order_by.empty();
+                             !query.HasAggregates() && !query.grouped() &&
+                             !query.distinct && query.order_by.empty();
   if (limit_above_project && *query.limit < ctx.batch_rows) {
     ctx.batch_rows =
         std::max<uint32_t>(1, static_cast<uint32_t>(*query.limit));

@@ -139,6 +139,9 @@ Result<std::unique_ptr<Operator>> BuildNode(ExecContext* ctx,
     case plan::PhysicalOp::kAggregate:
       op = std::make_unique<AggregateOp>(ctx);
       break;
+    case plan::PhysicalOp::kGroupAggregate:
+      op = std::make_unique<GroupAggregateOp>(ctx);
+      break;
     case plan::PhysicalOp::kDistinct:
       op = std::make_unique<DistinctOp>(ctx);
       break;

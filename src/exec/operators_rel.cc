@@ -105,6 +105,15 @@ Result<ColumnBatch> AggregateOp::Next() {
     }
   }
   done_ = true;
+  // GhostDB has no NULLs, so SQL's "one row of NULLs" for value aggregates
+  // over an empty input becomes an empty result instead: SUM/AVG/MIN/MAX
+  // with nothing to fold emit no row (COUNT-only selects keep their zero
+  // row). The reference oracle enforces the same rule.
+  for (size_t i = 0; i < aggregators_.size(); ++i) {
+    if (AggRequiresInput(select[i].agg) && !aggregators_[i].has_input()) {
+      return ColumnBatch{};
+    }
+  }
   ColumnBatch out = ColumnBatch::Make(&out_layout_, 1);
   for (size_t i = 0; i < aggregators_.size(); ++i) {
     GHOSTDB_ASSIGN_OR_RETURN(Value v, aggregators_[i].Finish());
@@ -112,6 +121,256 @@ Result<ColumnBatch> AggregateOp::Next() {
   }
   out.CommitRow();
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// GroupAggregateOp
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Budget estimate for one resident hash group: the canonical map key plus
+/// the raw key cells (both key_width bytes), the accumulators, and a fixed
+/// container overhead. A pure function of the visible query shape.
+size_t GroupBytes(size_t key_width, size_t agg_count) {
+  return 2 * key_width + agg_count * sizeof(Aggregator) + 64;
+}
+
+}  // namespace
+
+Status GroupAggregateOp::Open() {
+  GHOSTDB_RETURN_NOT_OK(Operator::Open());
+  in_layout_ = ctx_->value_layout;
+  in_offsets_ = ColumnOffsets(*in_layout_);
+  const auto& select = ctx_->query->select;
+  for (size_t i = 0; i < select.size(); ++i) {
+    const BatchColumn& in = in_layout_->cols[i];
+    if (select[i].agg == AggFunc::kNone) {
+      key_items_.push_back(i);
+      out_layout_.Add(in.type, in.width);
+    } else {
+      agg_items_.push_back(i);
+      Aggregator probe(select[i].agg, in.type, in.width);
+      catalog::DataType out_type = probe.OutputType();
+      uint32_t out_width = out_type == in.type ? in.width
+                                               : catalog::FixedWidth(out_type);
+      out_layout_.Add(out_type, out_width);
+    }
+  }
+  out_offsets_ = ColumnOffsets(out_layout_);
+  row_buf_.resize(in_layout_->row_width + kSpillSeqWidth);
+  out_buf_.resize(out_layout_.row_width + kSpillSeqWidth);
+  std::vector<RowComparator::Key> keys;
+  for (size_t i : key_items_) {
+    keys.push_back({in_offsets_[i], in_layout_->cols[i].type,
+                    in_layout_->cols[i].width, false});
+  }
+  key_cmp_ = RowComparator::ByKeys(std::move(keys), in_layout_->row_width);
+  return Status::OK();
+}
+
+std::vector<Aggregator> GroupAggregateOp::MakeAggregators() const {
+  std::vector<Aggregator> aggs;
+  aggs.reserve(agg_items_.size());
+  for (size_t i : agg_items_) {
+    aggs.emplace_back(ctx_->query->select[i].agg, in_layout_->cols[i].type,
+                      in_layout_->cols[i].width);
+  }
+  return aggs;
+}
+
+Status GroupAggregateOp::AccumulateInto(Group* g, const ColumnBatch& batch,
+                                        uint32_t row) {
+  for (size_t j = 0; j < agg_items_.size(); ++j) {
+    size_t i = agg_items_[j];
+    if (ctx_->query->select[i].agg == AggFunc::kCountStar) {
+      g->aggs[j].AccumulateRow();
+    } else {
+      GHOSTDB_RETURN_NOT_OK(g->aggs[j].AccumulateEncoded(batch.cell(i, row)));
+    }
+  }
+  return Status::OK();
+}
+
+Status GroupAggregateOp::AccumulatePacked(std::vector<Aggregator>* aggs,
+                                          const uint8_t* row) {
+  for (size_t j = 0; j < agg_items_.size(); ++j) {
+    size_t i = agg_items_[j];
+    if (ctx_->query->select[i].agg == AggFunc::kCountStar) {
+      (*aggs)[j].AccumulateRow();
+    } else {
+      GHOSTDB_RETURN_NOT_OK(
+          (*aggs)[j].AccumulateEncoded(row + in_offsets_[i]));
+    }
+  }
+  return Status::OK();
+}
+
+Status GroupAggregateOp::StartSpill() {
+  // Phase A clusters rows of one group adjacently (key cells ascending;
+  // CompareEncoded makes ±0.0 doubles one group, matching the canonical
+  // hash key) with arrival ties, so each group's rows stream out in
+  // arrival order — aggregates fold in exactly the order the hash path
+  // folds them, and the group's first row (whose raw key cells the output
+  // shows) pops first.
+  uint32_t stride = in_layout_->row_width + kSpillSeqWidth;
+  by_key_ = std::make_unique<ExternalRowSorter>(
+      ctx_, stride, key_cmp_, BudgetRows(ctx_, stride),
+      /*drop_key_duplicates=*/false, "group-spill");
+  return Status::OK();
+}
+
+Status GroupAggregateOp::FlushSpillGroup(const uint8_t* first_row,
+                                         std::vector<Aggregator>* aggs) {
+  size_t agg_idx = 0;
+  for (size_t i = 0; i < out_layout_.cols.size(); ++i) {
+    if (ctx_->query->select[i].agg == AggFunc::kNone) {
+      std::memcpy(out_buf_.data() + out_offsets_[i],
+                  first_row + in_offsets_[i], in_layout_->cols[i].width);
+    } else {
+      GHOSTDB_ASSIGN_OR_RETURN(Value v, (*aggs)[agg_idx++].Finish());
+      v.Encode(out_buf_.data() + out_offsets_[i], out_layout_.cols[i].width);
+    }
+  }
+  // Phase B restores first-arrival order over the folded groups.
+  EncodeFixed64(out_buf_.data() + out_layout_.row_width,
+                DecodeFixed64(first_row + in_layout_->row_width));
+  return by_arrival_->Add(out_buf_.data());
+}
+
+Status GroupAggregateOp::FinishSpill() {
+  GHOSTDB_RETURN_NOT_OK(by_key_->Finish());
+  uint32_t out_stride = out_layout_.row_width + kSpillSeqWidth;
+  by_arrival_ = std::make_unique<ExternalRowSorter>(
+      ctx_, out_stride, RowComparator::ByKeys({}, out_layout_.row_width),
+      BudgetRows(ctx_, out_stride), /*drop_key_duplicates=*/false,
+      "group-arrival");
+  std::vector<uint8_t> first_row;  // current group's first packed row
+  std::vector<Aggregator> aggs;
+  while (true) {
+    GHOSTDB_ASSIGN_OR_RETURN(const uint8_t* row, by_key_->Next());
+    if (row == nullptr) break;
+    if (!first_row.empty() &&
+        key_cmp_.CompareKeys(row, first_row.data()) == 0) {
+      GHOSTDB_RETURN_NOT_OK(AccumulatePacked(&aggs, row));
+      continue;
+    }
+    if (!first_row.empty()) {
+      GHOSTDB_RETURN_NOT_OK(FlushSpillGroup(first_row.data(), &aggs));
+    }
+    first_row.assign(row, row + row_buf_.size());
+    aggs = MakeAggregators();
+    GHOSTDB_RETURN_NOT_OK(AccumulatePacked(&aggs, row));
+  }
+  if (!first_row.empty()) {
+    GHOSTDB_RETURN_NOT_OK(FlushSpillGroup(first_row.data(), &aggs));
+  }
+  ctx_->metrics->sort_spill_runs += by_key_->stats().runs_written;
+  ctx_->metrics->sort_spill_pages += by_key_->stats().pages_written;
+  GHOSTDB_RETURN_NOT_OK(by_key_->Close());  // phase A flash freed here
+  by_key_.reset();
+  return by_arrival_->Finish();
+}
+
+Result<ColumnBatch> GroupAggregateOp::Emit() {
+  ColumnBatch out = ColumnBatch::Make(
+      &out_layout_, std::min<uint64_t>(ctx_->batch_rows, 256));
+  while (out.rows < ctx_->batch_rows) {
+    if (emit_group_ < groups_.size()) {
+      Group& g = groups_[emit_group_++];
+      size_t key_off = 0, agg_idx = 0;
+      for (size_t i = 0; i < out_layout_.cols.size(); ++i) {
+        if (ctx_->query->select[i].agg == AggFunc::kNone) {
+          out.AppendBytes(i, g.key_cells.data() + key_off);
+          key_off += in_layout_->cols[i].width;
+        } else {
+          GHOSTDB_ASSIGN_OR_RETURN(Value v, g.aggs[agg_idx++].Finish());
+          v.Encode(out.AppendCell(i), out_layout_.cols[i].width);
+        }
+      }
+      out.CommitRow();
+      continue;
+    }
+    if (by_arrival_ == nullptr) break;
+    GHOSTDB_ASSIGN_OR_RETURN(const uint8_t* row, by_arrival_->Next());
+    if (row == nullptr) break;
+    for (size_t c = 0; c < out_layout_.cols.size(); ++c) {
+      out.AppendBytes(c, row + out_offsets_[c]);
+    }
+    out.CommitRow();
+  }
+  if (out.rows == 0) done_ = true;
+  return out;
+}
+
+Result<ColumnBatch> GroupAggregateOp::Next() {
+  if (done_) return ColumnBatch{};
+  if (emitting_) return Emit();
+  std::string key;
+  while (true) {
+    GHOSTDB_ASSIGN_OR_RETURN(ColumnBatch batch, child()->Next());
+    if (batch.empty()) break;
+    for (size_t r = 0; r < batch.live(); ++r) {
+      uint32_t row = batch.row_at(r);
+      uint64_t seq = seq_++;
+      key.clear();
+      for (size_t i : key_items_) batch.AppendCellKey(i, row, &key);
+      // Known groups — frozen or not — keep folding in place: no new
+      // memory either way.
+      auto it = index_.find(std::string_view(key));
+      if (it != index_.end()) {
+        GHOSTDB_RETURN_NOT_OK(
+            AccumulateInto(&groups_[it->second], batch, row));
+        continue;
+      }
+      if (!spilling_) {
+        size_t group_bytes = GroupBytes(key.size(), agg_items_.size());
+        if (table_bytes_ + group_bytes > ctx_->sort_budget_bytes) {
+          if (!ctx_->config->spill_enabled) {
+            return Status::ResourceExhausted(
+                "group table exceeds the relational-tail budget (" +
+                std::to_string(ctx_->sort_budget_bytes) +
+                " bytes) and spilling is disabled");
+          }
+          GHOSTDB_RETURN_NOT_OK(StartSpill());
+          spilling_ = true;
+        } else {
+          Group g;
+          g.key_cells.reserve(key.size());
+          for (size_t i : key_items_) {
+            const uint8_t* src = batch.cell(i, row);
+            g.key_cells.insert(g.key_cells.end(), src,
+                               src + in_layout_->cols[i].width);
+          }
+          g.aggs = MakeAggregators();
+          GHOSTDB_RETURN_NOT_OK(AccumulateInto(&g, batch, row));
+          index_.emplace(key, groups_.size());
+          groups_.push_back(std::move(g));
+          table_bytes_ += group_bytes;
+          continue;
+        }
+      }
+      // A new group past the budget: reroute the row through sort-based
+      // grouping.
+      PackRow(batch, row, in_offsets_, seq, row_buf_.data());
+      GHOSTDB_RETURN_NOT_OK(by_key_->Add(row_buf_.data()));
+    }
+  }
+  if (spilling_) GHOSTDB_RETURN_NOT_OK(FinishSpill());
+  emitting_ = true;
+  return Emit();
+}
+
+Status GroupAggregateOp::Close() {
+  // by_key_ outlives FinishSpill only when the stream was abandoned early;
+  // fold whatever spill work actually happened either way.
+  for (auto* sorter : {by_key_.get(), by_arrival_.get()}) {
+    if (sorter == nullptr) continue;
+    ctx_->metrics->sort_spill_runs += sorter->stats().runs_written;
+    ctx_->metrics->sort_spill_pages += sorter->stats().pages_written;
+    GHOSTDB_RETURN_NOT_OK(sorter->Close());
+  }
+  return Operator::Close();
 }
 
 // ---------------------------------------------------------------------------

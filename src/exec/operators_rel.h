@@ -17,6 +17,7 @@
 
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -25,6 +26,15 @@
 #include "exec/spill_sort.h"
 
 namespace ghostdb::exec {
+
+/// Transparent hashing so hash containers over owned string keys can be
+/// probed with a string_view (no copy per lookup).
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 /// \brief Folds the child stream into one row of aggregate values.
 /// Per-row data never leaves the key; only the final aggregate values reach
@@ -40,6 +50,87 @@ class AggregateOp final : public Operator {
  private:
   std::vector<Aggregator> aggregators_;
   BatchLayout out_layout_;  ///< aggregate result types (COUNT -> BIGINT...)
+  bool done_ = false;
+};
+
+/// \brief Grouped aggregation (`SELECT k1, k2, AGG(x) ... GROUP BY k1,
+/// k2`): one output row per distinct combination of the plain (group-key)
+/// select items, aggregates folded per group, groups emitted in
+/// first-arrival order. Everything happens on the Secure side after the
+/// projection, so grouping adds no observable behavior.
+///
+/// While the group table fits the relational-tail budget this is a
+/// streaming hash phase exactly like DistinctOp's: groups are keyed by the
+/// concatenated canonical encoded bytes of the key cells (heterogeneous
+/// string_view lookup — only genuinely new groups allocate), and rows of
+/// known groups fold into their Aggregators in O(1) extra memory. Past the
+/// budget the group table freezes: rows of frozen groups keep folding in
+/// place, rows of new groups reroute through ExternalRowSorter sort-based
+/// grouping — sorted by key cells with arrival ties, folded key-adjacent
+/// on the way out, then re-sorted by first-arrival sequence. Every frozen
+/// group's first arrival precedes every rerouted group's, so the
+/// concatenated output (frozen groups, then rerouted ones) is byte-
+/// identical to the pure hash path's.
+class GroupAggregateOp final : public Operator {
+ public:
+  explicit GroupAggregateOp(ExecContext* ctx) : Operator(ctx) {}
+  std::string_view name() const override { return "GroupAggregate"; }
+  Status Open() override;
+  Result<ColumnBatch> Next() override;
+  Status Close() override;
+
+ private:
+  /// One group of the hash phase: the raw key cells of its first-arrival
+  /// row (what the group's output row shows) plus one accumulator per
+  /// aggregate select item.
+  struct Group {
+    std::vector<uint8_t> key_cells;
+    std::vector<Aggregator> aggs;
+  };
+
+  /// Fresh accumulators, one per aggregate select item.
+  std::vector<Aggregator> MakeAggregators() const;
+  /// Folds one live input row into a group's accumulators.
+  Status AccumulateInto(Group* g, const ColumnBatch& batch, uint32_t row);
+  /// Same, from a packed spill row.
+  Status AccumulatePacked(std::vector<Aggregator>* aggs, const uint8_t* row);
+  /// Enters spill mode: new-group rows flow through sort-based grouping.
+  Status StartSpill();
+  /// Drains phase A (key order, folding adjacent equal keys) into phase B
+  /// (first-arrival order) and seals it.
+  Status FinishSpill();
+  /// Renders one folded group as an output-layout row + first-arrival
+  /// sequence and hands it to phase B.
+  Status FlushSpillGroup(const uint8_t* first_row,
+                         std::vector<Aggregator>* aggs);
+  /// Streams the grouped output: hash groups first, then spilled ones.
+  Result<ColumnBatch> Emit();
+
+  std::vector<size_t> key_items_;  ///< select indexes with agg == kNone
+  std::vector<size_t> agg_items_;  ///< select indexes with an aggregate
+  BatchLayout out_layout_;  ///< key cells keep their input encoding;
+                            ///< aggregates their result encoding
+  std::vector<uint32_t> out_offsets_;
+  const BatchLayout* in_layout_ = nullptr;
+  std::vector<uint32_t> in_offsets_;
+  RowComparator key_cmp_;  ///< spill order: key cells, ties by arrival
+  std::vector<uint8_t> row_buf_;  ///< one packed input row + sequence
+  std::vector<uint8_t> out_buf_;  ///< one folded output row + sequence
+  uint64_t seq_ = 0;  ///< arrival sequence across all input rows
+
+  /// Hash phase: canonical key bytes -> index into groups_ (first-arrival
+  /// order).
+  std::unordered_map<std::string, size_t, TransparentStringHash,
+                     std::equal_to<>>
+      index_;
+  std::vector<Group> groups_;
+  size_t table_bytes_ = 0;  ///< budget accounting for the group table
+
+  std::unique_ptr<ExternalRowSorter> by_key_;      ///< spill phase A
+  std::unique_ptr<ExternalRowSorter> by_arrival_;  ///< spill phase B
+  bool spilling_ = false;
+  bool emitting_ = false;
+  size_t emit_group_ = 0;  ///< next hash group to emit
   bool done_ = false;
 };
 
@@ -62,14 +153,6 @@ class DistinctOp final : public Operator {
   Status Close() override;
 
  private:
-  /// Transparent hashing so lookups take string_view (no copy per probe).
-  struct StringHash {
-    using is_transparent = void;
-    size_t operator()(std::string_view s) const noexcept {
-      return std::hash<std::string_view>{}(s);
-    }
-  };
-
   /// Lazily binds layout-derived state to the first child batch.
   void BindLayout(const ColumnBatch& batch);
   /// Enters spill mode: remaining input flows through value-sorted dedup.
@@ -82,7 +165,8 @@ class DistinctOp final : public Operator {
   Status FinishSpill();
   Result<ColumnBatch> EmitSpilled();
 
-  std::unordered_set<std::string, StringHash, std::equal_to<>> seen_;
+  std::unordered_set<std::string, TransparentStringHash, std::equal_to<>>
+      seen_;
   size_t seen_bytes_ = 0;   ///< key bytes held by seen_ (budget accounting)
   uint64_t seq_ = 0;        ///< arrival sequence across all input rows
   const BatchLayout* layout_ = nullptr;

@@ -15,6 +15,7 @@ std::string_view PhysicalOpName(PhysicalOp op) {
     case PhysicalOp::kProject: return "Project";
     case PhysicalOp::kBruteForceProject: return "BruteForceProject";
     case PhysicalOp::kAggregate: return "Aggregate";
+    case PhysicalOp::kGroupAggregate: return "GroupAggregate";
     case PhysicalOp::kDistinct: return "Distinct";
     case PhysicalOp::kSort: return "Sort";
     case PhysicalOp::kLimit: return "Limit";
@@ -52,7 +53,14 @@ PhysicalPlan BuildPhysicalPlan(const sql::BoundQuery& query,
                  ? PhysicalOp::kBruteForceProject
                  : PhysicalOp::kProject,
              node);
-  if (query.HasAggregates()) node = add(PhysicalOp::kAggregate, node);
+  // GROUP BY subsumes the whole-result Aggregate; which one runs is shape
+  // information (the clause is part of the cached query shape), like
+  // kTopKSort below.
+  if (query.grouped()) {
+    node = add(PhysicalOp::kGroupAggregate, node);
+  } else if (query.HasAggregates()) {
+    node = add(PhysicalOp::kAggregate, node);
+  }
   if (query.distinct) node = add(PhysicalOp::kDistinct, node);
   if (fuse_topk && !query.order_by.empty() && query.limit.has_value()) {
     // Sort -> Limit k fuses into a bounded top-K heap. The decision keys

@@ -5,7 +5,7 @@
 //
 //   VisSelect -> BloomBuild -> Merge -> SJoin [-> PostSelect]
 //     -> Project | BruteForceProject
-//     [-> Aggregate] [-> Distinct] [-> Sort] [-> Limit]
+//     [-> Aggregate | GroupAggregate] [-> Distinct] [-> Sort] [-> Limit]
 //
 // Nodes are stored flat (children by index) so plans are cheap to copy and
 // cache: the plan cache in core::GhostDB keys them by query shape.
@@ -36,6 +36,7 @@ enum class PhysicalOp : uint8_t {
   kProject,            ///< section 4 Project (BF-filtered MJoin)
   kBruteForceProject,  ///< Figs 12-13 baseline
   kAggregate,          ///< fold rows into aggregate values
+  kGroupAggregate,     ///< GROUP BY: per-group aggregate folding
   kDistinct,           ///< drop duplicate rows (first occurrence wins)
   kSort,               ///< ORDER BY over select-list columns
   kLimit,              ///< truncate the stream after N rows

@@ -65,8 +65,7 @@ Result<std::vector<std::vector<Value>>> Evaluate(
     out.push_back(std::move(row));
   }
 
-  // Aggregates: fold the per-row values exactly as the device does.
-  if (query.HasAggregates()) {
+  auto make_aggregators = [&] {
     std::vector<exec::Aggregator> aggs;
     for (const auto& item : query.select) {
       catalog::DataType input_type =
@@ -74,21 +73,80 @@ Result<std::vector<std::vector<Value>>> Evaluate(
                      : schema.table(item.table).columns[item.column].type;
       aggs.emplace_back(item.agg, input_type);
     }
-    for (const auto& row : out) {
-      for (size_t i = 0; i < query.select.size(); ++i) {
-        if (query.select[i].agg == exec::AggFunc::kCountStar) {
-          aggs[i].AccumulateRow();
-        } else {
-          GHOSTDB_RETURN_NOT_OK(aggs[i].Accumulate(row[i]));
-        }
+    return aggs;
+  };
+  auto fold_row = [&](std::vector<exec::Aggregator>* aggs,
+                      const std::vector<Value>& row) -> Status {
+    for (size_t i = 0; i < query.select.size(); ++i) {
+      if (query.select[i].agg == exec::AggFunc::kCountStar) {
+        (*aggs)[i].AccumulateRow();
+      } else if (query.select[i].agg != exec::AggFunc::kNone) {
+        GHOSTDB_RETURN_NOT_OK((*aggs)[i].Accumulate(row[i]));
       }
     }
-    std::vector<Value> agg_row;
-    for (auto& a : aggs) {
-      GHOSTDB_ASSIGN_OR_RETURN(Value v, a.Finish());
-      agg_row.push_back(std::move(v));
+    return Status::OK();
+  };
+
+  if (query.grouped()) {
+    // GROUP BY: partition the per-row values by the plain (key) select
+    // items, fold aggregates per group, emit one row per group in
+    // first-arrival order showing the group's first-row key values —
+    // exactly GroupAggregateOp's semantics. Empty input: zero groups.
+    std::map<std::vector<Value>, size_t> index;
+    std::vector<std::vector<Value>> first_rows;
+    std::vector<std::vector<exec::Aggregator>> groups;
+    for (const auto& row : out) {
+      std::vector<Value> key;
+      for (size_t i = 0; i < query.select.size(); ++i) {
+        if (query.select[i].agg == exec::AggFunc::kNone) {
+          key.push_back(row[i]);
+        }
+      }
+      auto [it, fresh] = index.emplace(std::move(key), groups.size());
+      if (fresh) {
+        first_rows.push_back(row);
+        groups.push_back(make_aggregators());
+      }
+      GHOSTDB_RETURN_NOT_OK(fold_row(&groups[it->second], row));
     }
-    out = {std::move(agg_row)};
+    std::vector<std::vector<Value>> grouped;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      std::vector<Value> row;
+      for (size_t i = 0; i < query.select.size(); ++i) {
+        if (query.select[i].agg == exec::AggFunc::kNone) {
+          row.push_back(first_rows[g][i]);
+        } else {
+          GHOSTDB_ASSIGN_OR_RETURN(Value v, groups[g][i].Finish());
+          row.push_back(std::move(v));
+        }
+      }
+      grouped.push_back(std::move(row));
+    }
+    out = std::move(grouped);
+  } else if (query.HasAggregates()) {
+    // Whole-result aggregates: fold the per-row values exactly as the
+    // device does. GhostDB has no NULLs: value aggregates (SUM/AVG/MIN/
+    // MAX) over an empty input yield an empty result instead of SQL's
+    // NULL row; COUNT-only selects keep their zero row (AggregateOp
+    // applies the same rule).
+    bool needs_input = false;
+    for (const auto& item : query.select) {
+      needs_input |= exec::AggRequiresInput(item.agg);
+    }
+    if (out.empty() && needs_input) {
+      out.clear();
+    } else {
+      std::vector<exec::Aggregator> aggs = make_aggregators();
+      for (const auto& row : out) {
+        GHOSTDB_RETURN_NOT_OK(fold_row(&aggs, row));
+      }
+      std::vector<Value> agg_row;
+      for (auto& a : aggs) {
+        GHOSTDB_ASSIGN_OR_RETURN(Value v, a.Finish());
+        agg_row.push_back(std::move(v));
+      }
+      out = {std::move(agg_row)};
+    }
   }
 
   // DISTINCT keeps the first occurrence in anchor-id order; ORDER BY is a

@@ -56,9 +56,12 @@ struct FromTable {
   }
 };
 
-/// One ORDER BY key: a select-list column and a direction.
+/// One ORDER BY key: a select-list item and a direction. For grouped
+/// queries the key may be an aggregate (`ORDER BY SUM(v) DESC`); it must
+/// match an aggregate in the SELECT list.
 struct OrderExpr {
-  ColumnRef column;
+  ColumnRef column;                           ///< unused for COUNT(*)
+  exec::AggFunc agg = exec::AggFunc::kNone;
   bool descending = false;
 };
 
@@ -69,6 +72,7 @@ struct SelectStmt {
   std::vector<FromTable> from;
   std::vector<JoinExpr> joins;
   std::vector<PredicateExpr> predicates;
+  std::vector<ColumnRef> group_by;  ///< GROUP BY keys (plain columns)
   std::vector<OrderExpr> order_by;
   std::optional<uint64_t> limit;  ///< LIMIT n
   bool explain = false;           ///< EXPLAIN SELECT ...

@@ -94,6 +94,14 @@ Result<ResolvedRef> ResolveColumn(const ColumnRef& ref, const Schema& schema,
   return hits[0];
 }
 
+// True when select item `c` names the same column as the resolved
+// (table, is_id, column) triple — the identity GROUP BY / ORDER BY keys
+// and the plain-item-coverage check all resolve against.
+bool SameColumn(const BoundColumn& c, TableId table, bool is_id,
+                ColumnId column) {
+  return c.table == table && c.is_id == is_id && (is_id || c.column == column);
+}
+
 }  // namespace
 
 std::string BoundPredicate::ToString(const Schema& schema) const {
@@ -334,17 +342,67 @@ Result<BoundQuery> Bind(const SelectStmt& stmt, const Schema& schema,
       (out.agg == exec::AggFunc::kNone ? any_plain : any_agg) = true;
       q.select.push_back(std::move(out));
     }
-    if (any_agg && any_plain) {
+    if (any_agg && any_plain && stmt.group_by.empty()) {
       return Status::NotSupported(
-          "mixing aggregates and plain columns requires GROUP BY, which "
-          "GhostDB does not support");
+          "mixing aggregates and plain columns requires GROUP BY");
+    }
+  }
+
+  // GROUP BY: keys are resolved against the SELECT list, like ORDER BY —
+  // groups are keyed by values the query already materializes, so grouping
+  // adds no new data flow (and no new leak surface). Conversely every
+  // plain select item must be a group key (its value is only well-defined
+  // per group).
+  if (!stmt.group_by.empty()) {
+    if (stmt.star) {
+      return Status::NotSupported("GROUP BY with SELECT *");
+    }
+    if (stmt.distinct) {
+      return Status::NotSupported("SELECT DISTINCT with GROUP BY");
+    }
+    for (const auto& key : stmt.group_by) {
+      GHOSTDB_ASSIGN_OR_RETURN(ResolvedRef ref,
+                               ResolveColumn(key, schema, scope));
+      bool found = false;
+      for (size_t i = 0; i < q.select.size(); ++i) {
+        const BoundColumn& c = q.select[i];
+        if (c.agg == exec::AggFunc::kNone &&
+            SameColumn(c, ref.table, ref.is_id, ref.column)) {
+          // Duplicate GROUP BY keys collapse: grouping by (k, k) is
+          // grouping by k.
+          if (std::find(q.group_by.begin(), q.group_by.end(), i) ==
+              q.group_by.end()) {
+            q.group_by.push_back(i);
+          }
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::NotSupported(
+            "GROUP BY column '" + key.ToString() +
+            "' must appear in the SELECT list as a plain column");
+      }
+    }
+    for (size_t i = 0; i < q.select.size(); ++i) {
+      const BoundColumn& c = q.select[i];
+      if (c.agg != exec::AggFunc::kNone) continue;
+      bool is_key = false;
+      for (size_t k : q.group_by) {
+        is_key |= SameColumn(q.select[k], c.table, c.is_id, c.column);
+      }
+      if (!is_key) {
+        return Status::InvalidArgument(
+            "column '" + c.display +
+            "' must appear in GROUP BY or be inside an aggregate");
+      }
     }
   }
 
   // DISTINCT / ORDER BY / LIMIT.
   q.distinct = stmt.distinct;
   q.limit = stmt.limit;
-  if (q.HasAggregates()) {
+  if (q.HasAggregates() && !q.grouped()) {
     if (q.distinct) {
       return Status::NotSupported("SELECT DISTINCT over aggregates");
     }
@@ -354,27 +412,50 @@ Result<BoundQuery> Bind(const SelectStmt& stmt, const Schema& schema,
     }
   }
   for (const auto& key : stmt.order_by) {
-    GHOSTDB_ASSIGN_OR_RETURN(ResolvedRef ref,
-                             ResolveColumn(key.column, schema, scope));
     // Sort keys are resolved against the SELECT list: rows are ordered by
     // values the query already materializes, so sorting adds no new data
-    // flow (and no new leak surface).
+    // flow (and no new leak surface). For grouped queries a key may be an
+    // aggregate of the SELECT list (`ORDER BY SUM(v)`).
+    if (key.agg != exec::AggFunc::kNone && !q.grouped()) {
+      return Status::NotSupported(
+          "ORDER BY over an aggregate requires GROUP BY");
+    }
     BoundOrderKey bound;
     bound.descending = key.descending;
     bool found = false;
-    for (size_t i = 0; i < q.select.size(); ++i) {
-      const BoundColumn& c = q.select[i];
-      if (c.agg == exec::AggFunc::kNone && c.table == ref.table &&
-          c.is_id == ref.is_id && (c.is_id || c.column == ref.column)) {
-        bound.select_index = i;
-        found = true;
-        break;
+    if (key.agg == exec::AggFunc::kCountStar) {
+      for (size_t i = 0; i < q.select.size(); ++i) {
+        if (q.select[i].agg == exec::AggFunc::kCountStar) {
+          bound.select_index = i;
+          found = true;
+          break;
+        }
+      }
+    } else {
+      GHOSTDB_ASSIGN_OR_RETURN(ResolvedRef ref,
+                               ResolveColumn(key.column, schema, scope));
+      for (size_t i = 0; i < q.select.size(); ++i) {
+        const BoundColumn& c = q.select[i];
+        if (c.agg == key.agg &&
+            SameColumn(c, ref.table, ref.is_id, ref.column)) {
+          bound.select_index = i;
+          found = true;
+          break;
+        }
       }
     }
     if (!found) {
-      return Status::NotSupported("ORDER BY column '" +
-                                  key.column.ToString() +
-                                  "' must appear in the SELECT list");
+      std::string what;
+      if (key.agg == exec::AggFunc::kNone) {
+        what = "column '" + key.column.ToString() + "'";
+      } else if (key.agg == exec::AggFunc::kCountStar) {
+        what = "COUNT(*)";
+      } else {
+        what = std::string(exec::AggFuncName(key.agg)) + "(" +
+               key.column.ToString() + ")";
+      }
+      return Status::NotSupported("ORDER BY " + what +
+                                  " must appear in the SELECT list");
     }
     q.order_by.push_back(bound);
   }

@@ -56,6 +56,10 @@ struct BoundQuery {
   std::vector<BoundColumn> select;
   std::vector<BoundPredicate> predicates;
   std::vector<BoundJoin> joins;
+  /// GROUP BY keys as indexes into `select` (deduped, in GROUP BY order).
+  /// Every key is a plain select item, and every plain select item is a
+  /// key, so grouping by the plain select items is grouping by these.
+  std::vector<size_t> group_by;
   bool distinct = false;
   std::vector<BoundOrderKey> order_by;
   std::optional<uint64_t> limit;
@@ -77,8 +81,10 @@ struct BoundQuery {
       const catalog::Schema& schema, catalog::TableId t) const;
   /// True if the SELECT list references `table` at all.
   bool ProjectsTable(catalog::TableId t) const;
-  /// True if the SELECT list is made of aggregates (single-row result).
+  /// True if the SELECT list contains any aggregate.
   bool HasAggregates() const;
+  /// True for a GROUP BY query (one result row per group).
+  bool grouped() const { return !group_by.empty(); }
 };
 
 /// Binds `stmt` (with original text `sql`) against `schema`.

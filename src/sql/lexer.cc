@@ -14,7 +14,8 @@ const std::set<std::string>& Keywords() {
       "BIGINT", "FLOAT",  "DOUBLE",  "CHAR",       "SELECT", "FROM",
       "WHERE",  "AND",    "INSERT",  "INTO",       "VALUES", "BETWEEN",
       "EXPLAIN", "COUNT", "SUM",     "AVG",        "MIN",    "MAX",
-      "DISTINCT", "ORDER", "BY",     "LIMIT",      "ASC",    "DESC"};
+      "DISTINCT", "ORDER", "BY",     "LIMIT",      "ASC",    "DESC",
+      "GROUP"};
   return kKeywords;
 }
 

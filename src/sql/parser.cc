@@ -111,12 +111,39 @@ Result<ColumnRef> ParseColumnRef(Cursor& cur) {
   return ref;
 }
 
+/// An aggregate-or-column item: `AGG(col)`, `COUNT(*)`, or a plain column
+/// reference — the grammar shared by the SELECT list and (for grouped
+/// queries) ORDER BY keys.
+Result<SelectItem> ParseAggregateOrColumn(Cursor& cur) {
+  SelectItem item;
+  exec::AggFunc agg = exec::AggFunc::kNone;
+  if (cur.TryKeyword("COUNT")) agg = exec::AggFunc::kCount;
+  else if (cur.TryKeyword("SUM")) agg = exec::AggFunc::kSum;
+  else if (cur.TryKeyword("AVG")) agg = exec::AggFunc::kAvg;
+  else if (cur.TryKeyword("MIN")) agg = exec::AggFunc::kMin;
+  else if (cur.TryKeyword("MAX")) agg = exec::AggFunc::kMax;
+  if (agg != exec::AggFunc::kNone) {
+    GHOSTDB_RETURN_NOT_OK(cur.ExpectSymbol("("));
+    if (agg == exec::AggFunc::kCount && cur.TrySymbol("*")) {
+      item.agg = exec::AggFunc::kCountStar;
+    } else {
+      GHOSTDB_ASSIGN_OR_RETURN(item.ref, ParseColumnRef(cur));
+      item.agg = agg;
+    }
+    GHOSTDB_RETURN_NOT_OK(cur.ExpectSymbol(")"));
+  } else {
+    GHOSTDB_ASSIGN_OR_RETURN(item.ref, ParseColumnRef(cur));
+  }
+  return item;
+}
+
 Result<catalog::CompareOp> ParseCompareOp(Cursor& cur) {
   if (cur.Peek().type != TokenType::kSymbol) {
     return Status::InvalidArgument("expected comparison operator near '" +
                                    cur.Peek().text + "'");
   }
-  std::string sym = cur.Take().text;
+  Token token = cur.Take();
+  const std::string& sym = token.text;
   if (sym == "=") return catalog::CompareOp::kEq;
   if (sym == "<>" || sym == "!=") return catalog::CompareOp::kNe;
   if (sym == "<") return catalog::CompareOp::kLt;
@@ -213,26 +240,8 @@ Result<Statement> ParseSelect(Cursor& cur) {
     stmt.star = true;
   } else {
     while (true) {
-      SelectItem item;
       // Aggregate functions: COUNT(*|col) / SUM / AVG / MIN / MAX (col).
-      exec::AggFunc agg = exec::AggFunc::kNone;
-      if (cur.TryKeyword("COUNT")) agg = exec::AggFunc::kCount;
-      else if (cur.TryKeyword("SUM")) agg = exec::AggFunc::kSum;
-      else if (cur.TryKeyword("AVG")) agg = exec::AggFunc::kAvg;
-      else if (cur.TryKeyword("MIN")) agg = exec::AggFunc::kMin;
-      else if (cur.TryKeyword("MAX")) agg = exec::AggFunc::kMax;
-      if (agg != exec::AggFunc::kNone) {
-        GHOSTDB_RETURN_NOT_OK(cur.ExpectSymbol("("));
-        if (agg == exec::AggFunc::kCount && cur.TrySymbol("*")) {
-          item.agg = exec::AggFunc::kCountStar;
-        } else {
-          GHOSTDB_ASSIGN_OR_RETURN(item.ref, ParseColumnRef(cur));
-          item.agg = agg;
-        }
-        GHOSTDB_RETURN_NOT_OK(cur.ExpectSymbol(")"));
-      } else {
-        GHOSTDB_ASSIGN_OR_RETURN(item.ref, ParseColumnRef(cur));
-      }
+      GHOSTDB_ASSIGN_OR_RETURN(SelectItem item, ParseAggregateOrColumn(cur));
       stmt.items.push_back(std::move(item));
       if (!cur.TrySymbol(",")) break;
     }
@@ -280,11 +289,21 @@ Result<Statement> ParseSelect(Cursor& cur) {
       if (!cur.TryKeyword("AND")) break;
     }
   }
+  if (cur.TryKeyword("GROUP")) {
+    GHOSTDB_RETURN_NOT_OK(cur.ExpectKeyword("BY"));
+    while (true) {
+      GHOSTDB_ASSIGN_OR_RETURN(ColumnRef key, ParseColumnRef(cur));
+      stmt.group_by.push_back(std::move(key));
+      if (!cur.TrySymbol(",")) break;
+    }
+  }
   if (cur.TryKeyword("ORDER")) {
     GHOSTDB_RETURN_NOT_OK(cur.ExpectKeyword("BY"));
     while (true) {
       OrderExpr key;
-      GHOSTDB_ASSIGN_OR_RETURN(key.column, ParseColumnRef(cur));
+      GHOSTDB_ASSIGN_OR_RETURN(SelectItem item, ParseAggregateOrColumn(cur));
+      key.column = std::move(item.ref);
+      key.agg = item.agg;
       if (cur.TryKeyword("DESC")) {
         key.descending = true;
       } else {

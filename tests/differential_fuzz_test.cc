@@ -1,5 +1,6 @@
 // Differential fuzzing: seeded random queries (filters, joins, ORDER BY /
-// LIMIT / DISTINCT, aggregates) over randomized Fig-3-schema databases,
+// LIMIT / DISTINCT, aggregates, GROUP BY) over randomized Fig-3-schema
+// databases,
 // asserting GhostDB's answers through the columnar pipeline equal the
 // reference oracle's. Failures print the reproducing seeds + SQL and are
 // appended to a failure file for CI artifact upload.

@@ -2,7 +2,7 @@
 // randomized Fig-3-schema database builder and a seeded random query
 // generator covering the bound query model (conjunctive filters on visible
 // and hidden columns, key/fk joins along the schema tree, aggregates,
-// DISTINCT, ORDER BY, LIMIT).
+// GROUP BY, DISTINCT, ORDER BY, LIMIT).
 //
 // Determinism contract: everything visible — schema shape (CHAR widths),
 // cardinalities, visible column values, foreign keys, index choices — is
@@ -252,7 +252,8 @@ inline const char* CompareOpText(uint64_t pick) {
 
 /// One random query over the fuzz schema, drawn from `rng`. Always
 /// bindable: FROM sets are connected subtrees, ORDER BY references the
-/// select list, aggregates are never mixed with plain columns.
+/// select list, mixed aggregate/plain selects always carry a GROUP BY
+/// covering the plain items.
 inline std::string GenerateQuery(Rng& rng, const FuzzShape& shape) {
   using detail::FromSets;
   using detail::Tables;
@@ -273,34 +274,38 @@ inline std::string GenerateQuery(Rng& rng, const FuzzShape& shape) {
     int c = static_cast<int>(rng.Uniform(table.cols.size()));
     return {t, c, std::string(table.name) + "." + table.cols[c].name};
   };
+  // One random aggregate item's text ("COUNT(*)", "SUM(T0.v)", ...).
+  auto random_agg = [&]() -> std::string {
+    uint64_t f = rng.Uniform(6);
+    if (f == 0) return "COUNT(*)";
+    Item item = random_item();
+    detail::ColKind kind = item.col < 0
+                               ? detail::ColKind::kInt
+                               : Tables()[item.table].cols[item.col].kind;
+    bool numeric = kind != detail::ColKind::kStr;
+    if (item.col < 0 || f == 1) return "COUNT(" + item.text + ")";
+    if (numeric && (f == 2 || f == 3)) {
+      return (f == 2 ? "SUM(" : "AVG(") + item.text + ")";
+    }
+    return (f == 4 ? "MIN(" : "MAX(") + item.text + ")";
+  };
 
-  bool aggregate = rng.Chance(0.2);
-  std::vector<Item> items;
+  // Three select shapes: plain columns, whole-result aggregates, or
+  // grouped aggregation (plain keys + aggregates + GROUP BY).
+  uint64_t mode = rng.Uniform(10);
+  bool aggregate = mode >= 6 && mode < 8;
+  bool grouped = mode >= 8;
+  std::vector<Item> items;          // plain select items (keys if grouped)
+  std::vector<std::string> orderable;  // legal ORDER BY key texts
   std::string select;
   if (aggregate) {
     size_t n = 1 + rng.Uniform(3);
     for (size_t i = 0; i < n; ++i) {
       if (!select.empty()) select += ", ";
-      uint64_t f = rng.Uniform(6);
-      if (f == 0) {
-        select += "COUNT(*)";
-        continue;
-      }
-      Item item = random_item();
-      detail::ColKind kind = item.col < 0
-                                 ? detail::ColKind::kInt
-                                 : Tables()[item.table].cols[item.col].kind;
-      bool numeric = kind != detail::ColKind::kStr;
-      if (item.col < 0 || f == 1) {
-        select += "COUNT(" + item.text + ")";
-      } else if (numeric && (f == 2 || f == 3)) {
-        select += (f == 2 ? "SUM(" : "AVG(") + item.text + ")";
-      } else {
-        select += (f == 4 ? "MIN(" : "MAX(") + item.text + ")";
-      }
+      select += random_agg();
     }
   } else {
-    size_t n = 1 + rng.Uniform(4);
+    size_t n = grouped ? 1 + rng.Uniform(2) : 1 + rng.Uniform(4);
     for (size_t i = 0; i < n; ++i) {
       Item item = random_item();
       bool dup = false;
@@ -308,8 +313,26 @@ inline std::string GenerateQuery(Rng& rng, const FuzzShape& shape) {
       if (dup) continue;
       if (!select.empty()) select += ", ";
       select += item.text;
+      orderable.push_back(item.text);
       items.push_back(std::move(item));
     }
+  }
+  std::string group_clause;
+  if (grouped) {
+    // Keys first (every plain item must be a group key), then 0-2
+    // aggregate outputs — both are legal ORDER BY keys.
+    size_t naggs = rng.Uniform(3);
+    for (size_t i = 0; i < naggs; ++i) {
+      std::string agg = random_agg();
+      select += ", " + agg;
+      orderable.push_back(std::move(agg));
+    }
+    for (const auto& item : items) {
+      if (!group_clause.empty()) group_clause += ", ";
+      group_clause += item.text;
+    }
+    // Sometimes repeat a key: duplicate GROUP BY entries must collapse.
+    if (rng.Chance(0.15)) group_clause += ", " + items[0].text;
   }
 
   std::string from;
@@ -364,17 +387,18 @@ inline std::string GenerateQuery(Rng& rng, const FuzzShape& shape) {
   }
 
   std::string sql = "SELECT ";
-  if (!aggregate && rng.Chance(0.3)) sql += "DISTINCT ";
+  if (!aggregate && !grouped && rng.Chance(0.3)) sql += "DISTINCT ";
   sql += select + " FROM " + from;
   for (size_t i = 0; i < conjuncts.size(); ++i) {
     sql += (i == 0 ? " WHERE " : " AND ") + conjuncts[i];
   }
-  if (!aggregate && !items.empty() && rng.Chance(0.4)) {
-    size_t keys = 1 + rng.Uniform(items.size() > 1 ? 2 : 1);
+  if (!group_clause.empty()) sql += " GROUP BY " + group_clause;
+  if (!orderable.empty() && rng.Chance(0.4)) {
+    size_t keys = 1 + rng.Uniform(orderable.size() > 1 ? 2 : 1);
     sql += " ORDER BY ";
     for (size_t k = 0; k < keys; ++k) {
       if (k > 0) sql += ", ";
-      sql += items[rng.Uniform(items.size())].text;
+      sql += orderable[rng.Uniform(orderable.size())];
       if (rng.Chance(0.5)) sql += " DESC";
     }
   }

@@ -164,6 +164,19 @@ TEST(LeakTest, ComposedSortLimitDistinctLeaksNothing) {
       "Dim.h < 70 AND Fact.v < 60 ORDER BY Fact.v DESC LIMIT 3");
 }
 
+TEST(LeakTest, GroupedAggregationLeaksNothing) {
+  // The group table (how many groups, their keys, every aggregate) is
+  // hidden-derived and lives on Secure only; the grouped result never
+  // crosses the channel.
+  RunAndCompare(
+      "SELECT Fact.v, COUNT(*), SUM(Fact.h) FROM Fact WHERE Fact.h < 60 "
+      "GROUP BY Fact.v");
+  RunAndCompare(
+      "SELECT Fact.v, Dim.v, MIN(Fact.h) FROM Fact, Dim WHERE "
+      "Fact.fk = Dim.id AND Dim.h < 70 GROUP BY Fact.v, Dim.v "
+      "ORDER BY MIN(Fact.h) DESC LIMIT 5");
+}
+
 TEST(LeakTest, ForcedSpillShapesAreTranscriptInvariant) {
   // Forced-spill shapes: a one-buffer relational-tail budget makes Sort
   // and Distinct spill runs to flash, and makes the fused top-K take both
@@ -191,6 +204,21 @@ TEST(LeakTest, ForcedSpillShapesAreTranscriptInvariant) {
            // Everything composed across a join.
            "SELECT DISTINCT Fact.v, Dim.v FROM Fact, Dim WHERE "
            "Fact.fk = Dim.id AND Fact.h < 50 ORDER BY Fact.v LIMIT 200",
+           // Grouped aggregation: the hidden-dependent group count pushes
+           // the table past the 1-buffer budget, so the hash phase
+           // freezes and new groups reroute through sort-based grouping
+           // — both the hash and overflow paths run, device-side only.
+           "SELECT Fact.v, COUNT(*), SUM(Fact.h) FROM Fact WHERE "
+           "Fact.h < 80 GROUP BY Fact.v",
+           // Two-key grouping over a join with an aggregate sort on top
+           // (group spill feeding a sort spill).
+           "SELECT Fact.v, Dim.v, AVG(Fact.h), MAX(Fact.h) FROM Fact, "
+           "Dim WHERE Fact.fk = Dim.id AND Fact.h < 70 GROUP BY Fact.v, "
+           "Dim.v ORDER BY AVG(Fact.h) DESC LIMIT 30",
+           // Grouping with no aggregates (pure key dedup via the group
+           // table, spilling).
+           "SELECT Fact.v, Fact.h FROM Fact WHERE Fact.h < 90 "
+           "GROUP BY Fact.v, Fact.h",
        }) {
     SCOPED_TRACE(sql);
     RunAndCompare(sql, tiny);
