@@ -2,8 +2,12 @@
 // total query time, for projections of 1, 2 or 3 visible attributes
 // (Cross-Pre-Filtering, sV = 0.01, sH = 0.1). Below ~1.3 MB/s the channel
 // becomes the bottleneck.
+//
+// Usage: bench_fig14_throughput [scale=0.05] [--json FILE]
+#include <chrono>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -13,6 +17,7 @@ using plan::VisStrategy;
 
 int main(int argc, char** argv) {
   double scale = bench::ScaleArg(argc, argv, 0.05);
+  bench::JsonReporter json(argc, argv);
   bench::Banner("Figure 14",
                 "Impact of communication throughput (Cross-Pre, sV=0.01, "
                 "sH=0.1)", scale);
@@ -27,9 +32,18 @@ int main(int argc, char** argv) {
     double t[3];
     for (int attrs = 1; attrs <= 3; ++attrs) {
       std::string sql = workload::QueryQ(0.01, 0.1, attrs);
+      auto t0 = std::chrono::steady_clock::now();
       auto metrics = bench::Run(
           *db, sql, bench::Pin(*db, "T1", VisStrategy::kCrossPreFilter));
+      double wall_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
       t[attrs - 1] = bench::Sec(metrics.total_ns);
+      char name[64];
+      std::snprintf(name, sizeof(name), "mbps_%.2f_project%d", bps / 1e6,
+                    attrs);
+      json.Record(name, wall_ms, t[attrs - 1], metrics);
     }
     std::printf("%-12.2f %10.3f %10.3f %10.3f\n", bps / 1e6, t[0], t[1],
                 t[2]);

@@ -1,21 +1,22 @@
-// Multi-session serving throughput: host wall-clock of K concurrent
-// sessions over ONE shared GhostDB (one store, one plan cache, arbitrated
-// channel) versus the same total workload on K separate serial GhostDB
-// instances — the only other way to give each principal isolated metrics,
-// RAM budget, and result surface without a session layer.
+// Multi-session serving throughput, on two axes:
 //
-// Two comparisons are reported:
-//  * batch wall-clock (cold start -> all answers): the session layer's
-//    structural win — one store is partitioned, indexed, and encrypted
-//    once instead of K times, and the plan cache is shared;
-//  * serving-only wall-clock (builds excluded): sessions bind, render
-//    (decode), and run the PC's visible scans on their own threads, off
-//    the key's critical section — overlap that needs >1 host core to show
-//    up as wall-clock (on a single-core host it measures arbiter overhead,
-//    which should be near zero).
+//  * the session layer's structural win: K sessions over ONE shared GhostDB
+//    (one store partitioned/indexed/encrypted once, shared plan cache,
+//    arbitrated channel) versus K separate serial instances;
+//  * the morsel-pool scaling win: the same K-session drain with
+//    worker_threads 1 / 2 / 4. The drain itself is the deterministic
+//    single-threaded scheduler, so the pool is the *only* parallelism axis
+//    — wall-clock improvements are the worker pool's alone, and every
+//    width must produce identical answers (asserted).
 //
-// Usage: bench_multi_session_throughput [sessions, default 4]
-//                                       [statements/session, default 120]
+// Host CPU does the work that scales: sharded+SIMD visible scans and
+// projection payloads, parallel spill-generation sorts, morsel key
+// extraction for DISTINCT/GROUP BY. Device work (hidden scans, flash,
+// channel) stays serial under the arbiter, so the workload leans on
+// visible columns. Needs >1 host core for the widths to separate.
+//
+// Usage: bench_multi_session_throughput [sessions=4] [stmts/session=40]
+//                                       [--json FILE]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/rng.h"
 #include "core/database.h"
 
@@ -38,7 +40,8 @@ void Die(const Status& s) {
   }
 }
 
-// The serving dataset (same shape as bench_batch_throughput).
+// The serving dataset: a large, mostly visible Fact table (the PC-side
+// scans are what the pool shards) over a small Dim.
 void BuildDb(core::GhostDB* db) {
   Die(db->Execute("CREATE TABLE Dim (id INT, v INT, name CHAR(12), "
                   "h INT HIDDEN)"));
@@ -55,7 +58,7 @@ void BuildDb(core::GhostDB* db) {
   }
   auto fact = db->MutableStaging("Fact");
   Die(fact.status());
-  for (int i = 0; i < 20000; ++i) {
+  for (int i = 0; i < 60000; ++i) {
     Die((*fact)->AppendRow(
         {catalog::Value::Int32(static_cast<int32_t>(rng.Uniform(2000))),
          catalog::Value::Int32(static_cast<int32_t>(rng.Uniform(1000))),
@@ -65,7 +68,8 @@ void BuildDb(core::GhostDB* db) {
   Die(db->Build());
 }
 
-// One principal's statement stream: mixed shapes, rotating literals,
+// One principal's statement stream: shapes whose cost is host-side value
+// work (visible scans, sorts, DISTINCT, GROUP BY), rotating literals,
 // per-session offsets so streams differ without changing the shape mix.
 std::vector<std::string> SessionWorkload(int session, int statements) {
   std::vector<std::string> sqls;
@@ -74,148 +78,170 @@ std::vector<std::string> SessionWorkload(int session, int statements) {
     int lit = 37 * session + i;
     switch (i % 5) {
       case 0:
-        // Wide row-serving scan: visible tag column (prefetched payload)
-        // plus hidden columns, thousands of rows rendered per statement.
-        sqls.push_back("SELECT Fact.id, Fact.v, Fact.tag, Fact.h FROM "
-                       "Fact WHERE Fact.h < " +
-                       std::to_string(100 + lit % 400));
+        // Wide visible scan + projection payload: the sharded SIMD path.
+        sqls.push_back("SELECT Fact.id, Fact.v, Fact.tag FROM Fact "
+                       "WHERE Fact.v < " + std::to_string(600 + lit % 300));
         break;
       case 1:
+        // Large multi-key ORDER BY: parallel generation sorts; every
+        // comparator byte is morsel work.
         sqls.push_back("SELECT Fact.id, Fact.tag, Fact.v FROM Fact WHERE "
-                       "Fact.v < " + std::to_string(200 + lit % 300) +
-                       " AND Fact.h < 500 ORDER BY Fact.v DESC");
+                       "Fact.v < " + std::to_string(500 + lit % 300) +
+                       " ORDER BY Fact.v DESC, Fact.tag, Fact.id");
         break;
       case 2:
-        sqls.push_back("SELECT DISTINCT Fact.v FROM Fact WHERE Fact.h < " +
-                       std::to_string(300 + lit % 200));
+        // String-keyed sort: the memcmp comparator, all morsel-parallel.
+        sqls.push_back("SELECT Fact.tag, Fact.v, Fact.id FROM Fact WHERE "
+                       "Fact.v < " + std::to_string(500 + lit % 300) +
+                       " ORDER BY Fact.tag, Fact.v, Fact.id DESC");
         break;
       case 3:
-        sqls.push_back("SELECT Fact.id, Fact.tag, Dim.v, Dim.name FROM "
-                       "Fact, Dim WHERE Fact.fk = Dim.id AND Dim.v < " +
-                       std::to_string(150 + lit % 100) +
-                       " AND Fact.h < 300 LIMIT 200");
+        // Grouped aggregation: morsel key extraction + host folds.
+        sqls.push_back("SELECT Fact.tag, COUNT(*), SUM(Fact.v) FROM Fact "
+                       "WHERE Fact.v < " + std::to_string(600 + lit % 300) +
+                       " GROUP BY Fact.tag");
         break;
       default:
-        sqls.push_back("SELECT COUNT(*), SUM(Fact.v), MAX(Fact.h) FROM "
-                       "Fact WHERE Fact.h >= " + std::to_string(lit % 500));
+        // One joined + hidden-predicate shape so the serial device path
+        // (QEP_SJ, hidden scan) stays in the mix.
+        sqls.push_back("SELECT Fact.id, Fact.tag, Dim.v FROM Fact, Dim "
+                       "WHERE Fact.fk = Dim.id AND Dim.v < " +
+                       std::to_string(150 + lit % 100) +
+                       " AND Fact.h < 300 LIMIT 200");
         break;
     }
   }
   return sqls;
 }
 
-core::GhostDBConfig Config() {
+core::GhostDBConfig Config(uint32_t workers) {
   core::GhostDBConfig cfg;
   cfg.device.flash.logical_pages = 256 * 1024;
+  cfg.worker_threads = workers;
+  // Row counts stay exact; capping materialization keeps the serial
+  // decode-to-Values tail from flattening the scaling signal.
+  cfg.exec.result_row_limit = 64;
+  // A generous relational-tail budget: ORDER BY/DISTINCT working sets stay
+  // in memory, so their cost is the morsel-parallel generation sort rather
+  // than serialized spill I/O — the host-compute serving profile this
+  // bench scales across worker counts.
+  cfg.exec.sort_budget_buffers = 512;
   return cfg;
+}
+
+struct DrainOutcome {
+  double wall_s = 0.0;
+  uint64_t rows = 0;
+  exec::QueryMetrics totals;
+};
+
+// Builds a fresh shared store with `workers` pool width, opens K sessions,
+// queues every workload, and drains under the deterministic scheduler.
+DrainOutcome RunSharedStore(int sessions, int per_session, uint32_t workers) {
+  core::GhostDB db(Config(workers));
+  BuildDb(&db);
+  std::vector<std::unique_ptr<core::Session>> handles;
+  for (int s = 0; s < sessions; ++s) {
+    core::SessionOptions options;
+    options.name = "bench" + std::to_string(s);
+    // A healthy quota: sorts mostly stay in memory, so the serving cost is
+    // the host-side value work the pool shards, not serialized spill I/O.
+    options.ram_quota_buffers = 6;
+    auto session = db.OpenSession(std::move(options));
+    Die(session.status());
+    handles.push_back(std::move(*session));
+  }
+  for (int s = 0; s < sessions; ++s) {
+    for (std::string& sql : SessionWorkload(s, per_session)) {
+      handles[static_cast<size_t>(s)]->Enqueue(std::move(sql));
+    }
+  }
+  std::vector<core::Session*> raw;
+  for (auto& h : handles) raw.push_back(h.get());
+  auto t0 = std::chrono::steady_clock::now();
+  auto drained = db.DrainSessions(raw);
+  Die(drained.status());
+  DrainOutcome out;
+  out.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  for (auto& h : handles) {
+    for (auto& r : h->TakeResults()) {
+      Die(r.status());
+      out.rows += r->total_rows;
+    }
+    out.totals.Accumulate(h->metrics());
+  }
+  return out;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  int sessions = argc > 1 ? std::atoi(argv[1]) : 4;
-  int per_session = argc > 2 ? std::atoi(argv[2]) : 120;
-
-  // ---- K concurrent sessions, one shared store --------------------------
-  auto b0 = std::chrono::steady_clock::now();
-  core::GhostDB shared(Config());
-  BuildDb(&shared);
-  double multi_build =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - b0)
-          .count();
-  std::vector<std::unique_ptr<core::Session>> handles;
-  for (int s = 0; s < sessions; ++s) {
-    // Minimal guaranteed quota, maximal shared reserve: queries execute
-    // one at a time (the arbiter serializes the device), so the reserve
-    // lets the running query use nearly the full buffer budget — the same
-    // pass counts as a dedicated device — while the quota still
-    // guarantees each session a floor no neighbor can take.
-    core::SessionOptions options;
-    options.name = "bench" + std::to_string(s);
-    options.ram_quota_buffers = 1;
-    auto session = shared.OpenSession(std::move(options));
-    Die(session.status());
-    handles.push_back(std::move(*session));
-  }
-  uint64_t multi_rows = 0;
-  auto t0 = std::chrono::steady_clock::now();
-  {
-    std::vector<std::thread> threads;
-    std::vector<uint64_t> rows(static_cast<size_t>(sessions), 0);
-    for (int s = 0; s < sessions; ++s) {
-      threads.emplace_back([&, s] {
-        for (const std::string& sql :
-             SessionWorkload(s, per_session)) {
-          auto r = handles[static_cast<size_t>(s)]->Query(sql);
-          Die(r.status());
-          rows[static_cast<size_t>(s)] += r->rows.size();
-        }
-      });
-    }
-    for (auto& t : threads) t.join();
-    for (uint64_t r : rows) multi_rows += r;
-  }
-  auto t1 = std::chrono::steady_clock::now();
-  double multi_wall = std::chrono::duration<double>(t1 - t0).count();
-  uint64_t hits = 0, misses = 0;
-  for (auto& h : handles) {
-    auto m = h->metrics();
-    hits += m.plan_cache_hits;
-    misses += m.plan_cache_misses;
-  }
-
-  // ---- Baseline: K serial instances, own store each ---------------------
-  uint64_t serial_rows = 0;
-  double serial_build = 0.0, serial_wall = 0.0;
-  for (int s = 0; s < sessions; ++s) {
-    auto b1 = std::chrono::steady_clock::now();
-    core::GhostDB instance(Config());
-    BuildDb(&instance);
-    auto t2 = std::chrono::steady_clock::now();
-    serial_build += std::chrono::duration<double>(t2 - b1).count();
-    for (const std::string& sql : SessionWorkload(s, per_session)) {
-      auto r = instance.Query(sql);
-      Die(r.status());
-      serial_rows += r->rows.size();
-    }
-    serial_wall +=
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t2)
-            .count();
-  }
-
+  int sessions = argc > 1 && argv[1][0] != '-' ? std::atoi(argv[1]) : 4;
+  int per_session = argc > 2 && argv[2][0] != '-' ? std::atoi(argv[2]) : 40;
+  bench::JsonReporter json(argc, argv);
   int total = sessions * per_session;
-  double multi_total = multi_build + multi_wall;
-  double serial_total = serial_build + serial_wall;
   std::printf("multi-session serving: %d sessions x %d statements "
               "(%d total, %u host core%s)\n",
               sessions, per_session, total,
               std::thread::hardware_concurrency(),
               std::thread::hardware_concurrency() == 1 ? "" : "s");
-  std::printf("  K sessions, one store:   batch %.3f s "
-              "(build %.3f + serve %.3f; %.0f stmts/s, %llu rows, "
-              "plan cache %llu hits / %llu misses)\n",
-              multi_total, multi_build, multi_wall, total / multi_wall,
-              static_cast<unsigned long long>(multi_rows),
-              static_cast<unsigned long long>(hits),
-              static_cast<unsigned long long>(misses));
-  std::printf("  K serial instances:      batch %.3f s "
-              "(build %.3f + serve %.3f; %.0f stmts/s, %llu rows)\n",
-              serial_total, serial_build, serial_wall, total / serial_wall,
-              static_cast<unsigned long long>(serial_rows));
-  std::printf("  batch wall-clock:  %.2fx %s\n", serial_total / multi_total,
-              multi_total < serial_total ? "(sessions win)"
-                                         : "(REGRESSION: serial won)");
-  std::printf("  serving-only:      %.2fx%s\n", serial_wall / multi_wall,
-              std::thread::hardware_concurrency() == 1
-                  ? "  (single host core: session overlap — render, "
-                    "bind, PC prefetch — cannot parallelize here)"
-                  : "");
-  if (multi_rows != serial_rows) {
-    std::fprintf(stderr,
-                 "row mismatch between modes: %llu vs %llu\n",
-                 static_cast<unsigned long long>(multi_rows),
-                 static_cast<unsigned long long>(serial_rows));
-    return 1;
+
+  // ---- Baseline: K serial instances, own store each ---------------------
+  uint64_t serial_rows = 0;
+  double serial_wall = 0.0;
+  exec::QueryMetrics serial_totals;
+  auto b0 = std::chrono::steady_clock::now();
+  for (int s = 0; s < sessions; ++s) {
+    core::GhostDB instance(Config(1));
+    BuildDb(&instance);
+    auto t0 = std::chrono::steady_clock::now();
+    for (const std::string& sql : SessionWorkload(s, per_session)) {
+      auto r = instance.Query(sql);
+      Die(r.status());
+      serial_rows += r->total_rows;
+      serial_totals.Accumulate(r->metrics);
+    }
+    serial_wall +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
   }
-  return multi_total < serial_total ? 0 : 2;
+  double serial_batch =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - b0)
+          .count();
+  json.Record("serial_instances", serial_wall * 1e3,
+              bench::Sec(serial_totals.total_ns), serial_totals);
+  std::printf("  K serial instances:          batch %.3f s (serve %.3f; "
+              "%.0f stmts/s, %llu rows)\n",
+              serial_batch, serial_wall, total / serial_wall,
+              static_cast<unsigned long long>(serial_rows));
+
+  // ---- K sessions, one shared store, worker_threads axis ----------------
+  double wall_w1 = 0.0, wall_w4 = 0.0;
+  for (uint32_t workers : {1u, 2u, 4u}) {
+    DrainOutcome out = RunSharedStore(sessions, per_session, workers);
+    json.Record("sessions_w" + std::to_string(workers), out.wall_s * 1e3,
+                bench::Sec(out.totals.total_ns), out.totals);
+    std::printf("  K sessions, %u worker%s:      serve %.3f s "
+                "(%.0f stmts/s, %llu rows)\n",
+                workers, workers == 1 ? " " : "s", out.wall_s,
+                total / out.wall_s,
+                static_cast<unsigned long long>(out.rows));
+    if (out.rows != serial_rows) {
+      std::fprintf(stderr,
+                   "row mismatch vs serial baseline at %u workers: "
+                   "%llu vs %llu\n",
+                   workers, static_cast<unsigned long long>(out.rows),
+                   static_cast<unsigned long long>(serial_rows));
+      return 1;
+    }
+    if (workers == 1) wall_w1 = out.wall_s;
+    if (workers == 4) wall_w4 = out.wall_s;
+  }
+  std::printf("  worker-pool scaling (w1/w4): %.2fx%s\n", wall_w1 / wall_w4,
+              std::thread::hardware_concurrency() < 4
+                  ? "  (needs >=4 host cores to mean anything)"
+                  : "");
+  return 0;
 }

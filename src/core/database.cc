@@ -79,6 +79,26 @@ Result<TableData*> GhostDB::MutableStaging(const std::string& table) {
 
 Status GhostDB::Build() {
   if (built_) return Status::OK();
+  if (config_.worker_threads == 0) {
+    return Status::InvalidArgument(
+        "GhostDBConfig.worker_threads must be >= 1 (1 = serial)");
+  }
+  if (config_.worker_threads > 64) {
+    return Status::InvalidArgument(
+        "GhostDBConfig.worker_threads > 64 is absurd for a PC-side morsel "
+        "pool");
+  }
+  GHOSTDB_RETURN_NOT_OK(exec::ValidateExecConfig(config_.exec));
+  // Effective width: the explicit ExecConfig override if set, else the
+  // database-wide knob. Stamp it back into the exec config so the planner
+  // and executor see one value.
+  if (config_.exec.worker_threads == 0) {
+    config_.exec.worker_threads = config_.worker_threads;
+  }
+  if (config_.exec.worker_threads > 1) {
+    pool_ = std::make_unique<exec::ThreadPool>(config_.exec.worker_threads,
+                                               config_.pin_worker_threads);
+  }
   if (!schema_.finalized()) {
     GHOSTDB_RETURN_NOT_OK(schema_.Finalize());
     staged_.clear();
@@ -88,6 +108,7 @@ Status GhostDB::Build() {
   }
   untrusted_ = std::make_unique<untrusted::UntrustedEngine>(
       &schema_, &device_->channel());
+  untrusted_->set_pool(pool_.get());
   if (config_.indexed_attrs_by_name.has_value()) {
     std::map<TableId, std::vector<catalog::ColumnId>> resolved;
     for (const auto& [table_name, columns] :
@@ -110,7 +131,7 @@ Status GhostDB::Build() {
   GHOSTDB_ASSIGN_OR_RETURN(store_, loader.Load(staged_));
   executor_ = std::make_unique<exec::SecureExecutor>(
       device_.get(), allocator_.get(), &schema_, &store_, untrusted_.get(),
-      config_.exec);
+      config_.exec, pool_.get());
   planner_ =
       std::make_unique<plan::Planner>(&schema_, &store_, config_.planner);
   if (!config_.retain_staged_data) {

@@ -61,6 +61,14 @@ struct GhostDBConfig {
   /// from visible query text only, so eviction cannot depend on Hidden
   /// data.
   size_t plan_cache_capacity = 128;
+  /// Width of the PC-side morsel worker pool (calling thread included):
+  /// 1 = fully serial (no threads spawned), N = N-way parallel visible
+  /// scans / spill sorts / batch key extraction. Thread count never
+  /// changes results or the channel transcript — the leak sweep asserts
+  /// it. Build() rejects 0 and absurd values with InvalidArgument.
+  uint32_t worker_threads = 1;
+  /// Pin pool workers round-robin across cores (Linux; best-effort).
+  bool pin_worker_threads = true;
   LoaderConfig loader;
   exec::ExecConfig exec;
   plan::PlannerConfig planner;
@@ -142,6 +150,9 @@ class GhostDB {
   Result<std::string> Explain(const std::string& sql);
 
   bool built() const { return built_; }
+  /// The PC-side worker pool (null until Build(), or when
+  /// worker_threads == 1).
+  exec::ThreadPool* worker_pool() { return pool_.get(); }
   const catalog::Schema& schema() const { return schema_; }
   device::SecureDevice& device() { return *device_; }
   storage::PageAllocator& allocator() { return *allocator_; }
@@ -197,6 +208,7 @@ class GhostDB {
   std::vector<TableData> staged_;
   std::unique_ptr<device::SecureDevice> device_;
   std::unique_ptr<storage::PageAllocator> allocator_;
+  std::unique_ptr<exec::ThreadPool> pool_;  ///< outlives untrusted_/executor_
   std::unique_ptr<untrusted::UntrustedEngine> untrusted_;
   SecureStore store_;
   std::unique_ptr<exec::SecureExecutor> executor_;

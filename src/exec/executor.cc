@@ -96,6 +96,14 @@ Result<QueryResult> SecureExecutor::ExecuteTree(
   ctx.session = session;
   ctx.vis_prefetch = prefetch;
   ctx.metrics = &metrics;
+  // Morsel parallelism: the plan may clamp the degree (0 = use the pool's
+  // full width). Workers do pure host-side value compute only, so the
+  // degree is invisible to the transcript.
+  ctx.pool = pool_;
+  uint32_t pool_width = pool_ != nullptr ? pool_->width() : 1;
+  ctx.parallelism = plan.parallelism != 0
+                        ? std::min(plan.parallelism, pool_width)
+                        : pool_width;
   // Without value-level operators above the projection, rows beyond the
   // materialization limit are counted but never encoded.
   bool needs_all_values = query.HasAggregates() || query.grouped() ||

@@ -39,17 +39,21 @@ struct EncodedRows {
 /// \brief Executes bound queries on the Secure device.
 class SecureExecutor {
  public:
+  /// `pool` (optional) provides morsel-parallel host compute to the
+  /// operators; null runs everything inline.
   SecureExecutor(device::SecureDevice* device,
                  storage::PageAllocator* allocator,
                  const catalog::Schema* schema,
                  const core::SecureStore* store,
-                 untrusted::UntrustedEngine* untrusted, ExecConfig config)
+                 untrusted::UntrustedEngine* untrusted, ExecConfig config,
+                 ThreadPool* pool = nullptr)
       : device_(device),
         allocator_(allocator),
         schema_(schema),
         store_(store),
         untrusted_(untrusted),
-        config_(config) {}
+        config_(config),
+        pool_(pool) {}
 
   /// Runs `query` under `plan`. The query text must already have been
   /// announced to Untrusted by the caller, and — in multi-session serving —
@@ -92,6 +96,7 @@ class SecureExecutor {
   const core::SecureStore* store_;
   untrusted::UntrustedEngine* untrusted_;
   ExecConfig config_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace ghostdb::exec

@@ -6,6 +6,29 @@
 
 namespace ghostdb::exec {
 
+Status ValidateExecConfig(const ExecConfig& config) {
+  if (config.batch_bytes == 0) {
+    return Status::InvalidArgument("ExecConfig.batch_bytes must be nonzero");
+  }
+  if (config.batch_bytes > (1ull << 30)) {
+    return Status::InvalidArgument(
+        "ExecConfig.batch_bytes is absurd (> 1 GiB); the value-level "
+        "operators size ColumnBatches from it");
+  }
+  if (config.min_batch_rows == 0 ||
+      config.min_batch_rows > config.max_batch_rows) {
+    return Status::InvalidArgument(
+        "ExecConfig batch-row clamp is inverted: need 1 <= min_batch_rows "
+        "<= max_batch_rows");
+  }
+  if (config.worker_threads > 64) {
+    return Status::InvalidArgument(
+        "ExecConfig.worker_threads > 64: morsel shards would be smaller "
+        "than a cache line's worth of useful work");
+  }
+  return Status::OK();
+}
+
 Status Operator::Open() {
   for (auto& child : children_) {
     GHOSTDB_RETURN_NOT_OK(child->Open());

@@ -40,6 +40,7 @@
 #include "device/secure_device.h"
 #include "exec/bloom.h"
 #include "exec/merge.h"
+#include "exec/thread_pool.h"
 #include "plan/physical_plan.h"
 #include "sql/binder.h"
 #include "storage/page_allocator.h"
@@ -84,7 +85,18 @@ struct ExecConfig {
   bool spill_enabled = true;
   /// Planner rewrite: fuse Sort -> Limit k into a bounded top-K heap.
   bool topk_fusion = true;
+  /// Parallelism degree for morsel-driven host-side work (visible scans,
+  /// spill-generation sorts, batch key extraction). 0 = inherit the
+  /// database-wide GhostDBConfig::worker_threads (stamped by
+  /// GhostDB::Build); nonzero = explicit override for standalone-executor
+  /// tests. Thread count never changes results or the channel transcript.
+  uint32_t worker_threads = 0;
 };
+
+/// Rejects nonsensical knob combinations (zero/absurd batch_bytes, inverted
+/// batch-row clamps, worker_threads past the supported ceiling) with
+/// InvalidArgument instead of letting them silently misbehave downstream.
+Status ValidateExecConfig(const ExecConfig& config);
 
 /// Observable per-query costs.
 struct QueryMetrics {
@@ -232,6 +244,13 @@ struct ExecContext {
   /// result_row_limit so the projection skips encoding rows nobody will
   /// see (counts stay exact via ColumnBatch::skipped_rows).
   uint64_t rows_demanded = UINT64_MAX;
+  /// Worker pool for morsel-parallel host compute (may be null: run
+  /// inline). Workers obey the thread_pool.h contract — pure host value
+  /// work, never device state, deterministic shard boundaries.
+  ThreadPool* pool = nullptr;
+  /// Effective parallelism degree for this query: min(plan.parallelism if
+  /// set, pool width), 1 without a pool.
+  uint32_t parallelism = 1;
 
   SimClock& clock() { return device->clock(); }
   device::RamManager& ram() { return device->ram(); }

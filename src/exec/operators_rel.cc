@@ -63,6 +63,38 @@ void AppendSpillRow(ColumnBatch* out, const std::vector<uint32_t>& offsets,
   out->CommitRow();
 }
 
+/// Morsel-parallel canonical-key extraction for the hash phases of
+/// Distinct/GroupAggregate: keys of every live row land in index-addressed
+/// slots of `keys` (reused across batches), computed across the pool.
+/// `key_items` selects the key columns (null = whole row). The fold loop
+/// that consumes the keys stays sequential — the spill-trip row, the
+/// first-arrival group order, and the FP accumulation order are observable
+/// contract, so only this pure per-row compute may fan out.
+void ExtractKeys(ExecContext* ctx, const ColumnBatch& batch,
+                 const std::vector<size_t>* key_items,
+                 std::vector<std::string>* keys) {
+  size_t n = batch.live();
+  keys->resize(n);
+  auto body = [&](uint32_t /*shard*/, uint64_t begin, uint64_t end) {
+    for (uint64_t r = begin; r < end; ++r) {
+      std::string& key = (*keys)[r];
+      key.clear();
+      uint32_t row = batch.row_at(r);
+      if (key_items == nullptr) {
+        batch.RowKey(row, &key);
+      } else {
+        for (size_t i : *key_items) batch.AppendCellKey(i, row, &key);
+      }
+    }
+  };
+  constexpr uint64_t kKeyGrain = 256;
+  if (ctx->pool != nullptr && ctx->pool->ShardCount(n, kKeyGrain) > 1) {
+    ctx->pool->ParallelShards(n, kKeyGrain, body);
+  } else {
+    body(0, 0, n);
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -306,15 +338,16 @@ Result<ColumnBatch> GroupAggregateOp::Emit() {
 Result<ColumnBatch> GroupAggregateOp::Next() {
   if (done_) return ColumnBatch{};
   if (emitting_) return Emit();
-  std::string key;
   while (true) {
     GHOSTDB_ASSIGN_OR_RETURN(ColumnBatch batch, child()->Next());
     if (batch.empty()) break;
+    // Keys precomputed morsel-parallel; the fold below is sequential so
+    // the budget trips at the exact same row for every thread count.
+    ExtractKeys(ctx_, batch, &key_items_, &key_scratch_);
     for (size_t r = 0; r < batch.live(); ++r) {
       uint32_t row = batch.row_at(r);
       uint64_t seq = seq_++;
-      key.clear();
-      for (size_t i : key_items_) batch.AppendCellKey(i, row, &key);
+      const std::string& key = key_scratch_[r];
       // Known groups — frozen or not — keep folding in place: no new
       // memory either way.
       auto it = index_.find(std::string_view(key));
@@ -401,12 +434,11 @@ Status DistinctOp::StartSpill() {
 }
 
 Status DistinctOp::SpillRow(const ColumnBatch& batch, uint32_t row,
-                            std::string* key) {
+                            const std::string& key) {
   uint64_t seq = seq_++;
-  batch.RowKey(row, key);
   // Keys emitted by the hash phase stay authoritative: anything already in
   // the frozen set is a duplicate of a row that already left the operator.
-  if (seen_.find(std::string_view(*key)) != seen_.end()) return Status::OK();
+  if (seen_.find(std::string_view(key)) != seen_.end()) return Status::OK();
   PackRow(batch, row, offsets_, seq, row_buf_.data());
   return by_value_->Add(row_buf_.data());
 }
@@ -449,7 +481,6 @@ Result<ColumnBatch> DistinctOp::Next() {
   // bytes are new, as a selection over the same batch (RowKey keeps byte
   // equality aligned with value equality). Loop past all-duplicate batches
   // — an empty batch would end the stream.
-  std::string key;
   while (!child_done_) {
     GHOSTDB_ASSIGN_OR_RETURN(ColumnBatch batch, child()->Next());
     if (batch.empty()) {
@@ -457,14 +488,17 @@ Result<ColumnBatch> DistinctOp::Next() {
       break;
     }
     if (layout_ == nullptr) BindLayout(batch);
+    // Keys precomputed morsel-parallel; the sequential pass below keeps
+    // the budget trip and output order identical for every thread count.
+    ExtractKeys(ctx_, batch, nullptr, &key_scratch_);
     std::vector<uint32_t> keep;
     for (size_t r = 0; r < batch.live(); ++r) {
       uint32_t row = batch.row_at(r);
+      const std::string& key = key_scratch_[r];
       if (spilling_) {
-        GHOSTDB_RETURN_NOT_OK(SpillRow(batch, row, &key));
+        GHOSTDB_RETURN_NOT_OK(SpillRow(batch, row, key));
         continue;
       }
-      batch.RowKey(row, &key);
       if (seen_.find(std::string_view(key)) != seen_.end()) {
         seq_ += 1;
         continue;
@@ -478,7 +512,7 @@ Result<ColumnBatch> DistinctOp::Next() {
         }
         GHOSTDB_RETURN_NOT_OK(StartSpill());
         spilling_ = true;
-        GHOSTDB_RETURN_NOT_OK(SpillRow(batch, row, &key));
+        GHOSTDB_RETURN_NOT_OK(SpillRow(batch, row, key));
         continue;
       }
       seen_.insert(key);  // only genuinely new keys allocate

@@ -117,6 +117,9 @@ class GroupAggregateOp final : public Operator {
   std::vector<uint8_t> row_buf_;  ///< one packed input row + sequence
   std::vector<uint8_t> out_buf_;  ///< one folded output row + sequence
   uint64_t seq_ = 0;  ///< arrival sequence across all input rows
+  /// Per-batch canonical keys, extracted morsel-parallel before the
+  /// sequential fold (reused across batches).
+  std::vector<std::string> key_scratch_;
 
   /// Hash phase: canonical key bytes -> index into groups_ (first-arrival
   /// order).
@@ -158,8 +161,9 @@ class DistinctOp final : public Operator {
   /// Enters spill mode: remaining input flows through value-sorted dedup.
   Status StartSpill();
   /// Routes one live row into the spill sorter (unless its key is in the
-  /// frozen hash set). `key` is scratch.
-  Status SpillRow(const ColumnBatch& batch, uint32_t row, std::string* key);
+  /// frozen hash set). `key` is the row's precomputed canonical key.
+  Status SpillRow(const ColumnBatch& batch, uint32_t row,
+                  const std::string& key);
   /// Drains phase A (value order, deduped) into phase B (arrival order)
   /// and starts emitting.
   Status FinishSpill();
@@ -172,6 +176,9 @@ class DistinctOp final : public Operator {
   const BatchLayout* layout_ = nullptr;
   std::vector<uint32_t> offsets_;  ///< per-column byte offsets in a row
   std::vector<uint8_t> row_buf_;   ///< one spill row (cells + sequence)
+  /// Per-batch row keys, extracted morsel-parallel before the sequential
+  /// dedup pass (reused across batches).
+  std::vector<std::string> key_scratch_;
   std::unique_ptr<ExternalRowSorter> by_value_;    ///< spill phase A
   std::unique_ptr<ExternalRowSorter> by_arrival_;  ///< spill phase B
   bool child_done_ = false;

@@ -1,0 +1,410 @@
+// SIMD kernels over encoded cells — the vectorized inner loops of the
+// visible/hidden predicate scans, selection compaction, and projection cell
+// gathering.
+//
+// Everything operates on the fixed-width on-flash encodings
+// (catalog::Value::Encode: little-endian numerics, space-padded strings),
+// which is exactly the layout vectorized engines want: a predicate scan is
+// a strided gather + lane compare + mask compaction, with no Value ever
+// materialized. Semantics are bit-for-bit those of the scalar path
+// (CompareEncoded + EvalCompareResult): every kernel here has a reference
+// implementation in simd::scalar that the dispatching entry points fall
+// back to, that the micro benches measure against, and that the tests
+// cross-check on random data.
+//
+// Dispatch is compile-time: with AVX2 enabled (the build probes the host
+// and adds -mavx2 when it runs there; see CMakeLists), __AVX2__ selects
+// the vector bodies, otherwise the portable scalar bodies compile in.
+// Either way the kernels are pure functions of host memory — no device
+// state, no allocation beyond the caller's output span — so they are safe
+// from worker threads and can never perturb the channel transcript.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "catalog/stats.h"
+#include "catalog/value.h"
+#include "common/coding.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define GHOSTDB_SIMD_AVX2 1
+#else
+#define GHOSTDB_SIMD_AVX2 0
+#endif
+
+// GCC's srcless _mm256_i32gather_* are defined in terms of a deliberately
+// uninitialized pass-through operand, which -Wmaybe-uninitialized flags at
+// every inlined use (GCC bug 105593). Nothing of ours is uninitialized.
+#if GHOSTDB_SIMD_AVX2 && defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#define GHOSTDB_SIMD_DIAG_PUSHED 1
+#endif
+
+namespace ghostdb::exec::simd {
+
+/// True when the vector bodies are compiled in (compile-time dispatch).
+constexpr bool kAccelerated = GHOSTDB_SIMD_AVX2 != 0;
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels (always available; the fallback and the bench
+// baseline).
+// ---------------------------------------------------------------------------
+
+namespace scalar {
+
+/// Appends id_base + i to `out` for every i in [0, n) whose encoded cell at
+/// base + i*stride satisfies (cell `op` literal); returns the count. The
+/// literal must be encoded at the column's exact type/width from a value of
+/// that type (strings: un-truncated) — the CompareEncoded fast-path guard
+/// the callers already enforce.
+inline size_t FilterEncoded(catalog::DataType type, uint32_t width,
+                            const uint8_t* base, size_t stride, size_t n,
+                            const uint8_t* literal, catalog::CompareOp op,
+                            uint32_t id_base, uint32_t* out) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    int cmp = catalog::CompareEncoded(type, width, base + i * stride, literal);
+    if (catalog::EvalCompareResult(cmp, op)) {
+      out[count++] = id_base + static_cast<uint32_t>(i);
+    }
+  }
+  return count;
+}
+
+/// flags[i] &= (cell_i `op` literal) for i in [0, n): the conjunctive
+/// predicate refinement over a 0/1 flag vector.
+inline void RefineEncoded(catalog::DataType type, uint32_t width,
+                          const uint8_t* base, size_t stride, size_t n,
+                          const uint8_t* literal, catalog::CompareOp op,
+                          uint8_t* flags) {
+  for (size_t i = 0; i < n; ++i) {
+    int cmp = catalog::CompareEncoded(type, width, base + i * stride, literal);
+    flags[i] &= catalog::EvalCompareResult(cmp, op) ? 1 : 0;
+  }
+}
+
+/// Selection-vector compaction: appends id_base + i to `out` for every set
+/// flag; returns the count.
+inline size_t CompactFlags(const uint8_t* flags, size_t n, uint32_t id_base,
+                           uint32_t* out) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (flags[i]) out[count++] = id_base + static_cast<uint32_t>(i);
+  }
+  return count;
+}
+
+/// Projection cell moves: for j in [0, n), copies `width` bytes from
+/// src + idx[j]*stride + offset to dst + j*dst_stride.
+inline void GatherCells(const uint8_t* src, size_t stride, size_t offset,
+                        uint32_t width, const uint32_t* idx, size_t n,
+                        uint8_t* dst, size_t dst_stride) {
+  for (size_t j = 0; j < n; ++j) {
+    std::memcpy(dst + j * dst_stride,
+                src + static_cast<size_t>(idx[j]) * stride + offset, width);
+  }
+}
+
+}  // namespace scalar
+
+// ---------------------------------------------------------------------------
+// AVX2 bodies
+// ---------------------------------------------------------------------------
+
+#if GHOSTDB_SIMD_AVX2
+
+namespace detail {
+
+/// Appends id_base + bit for every set bit of `mask`; returns new count.
+inline size_t AppendMask(uint32_t mask, uint32_t id_base, uint32_t* out,
+                         size_t count) {
+  while (mask != 0) {
+    out[count++] = id_base + static_cast<uint32_t>(__builtin_ctz(mask));
+    mask &= mask - 1;
+  }
+  return count;
+}
+
+/// 8-lane i32 compare mask (bit i = lane i satisfies op).
+inline uint32_t MaskI32(__m256i x, __m256i lit, catalog::CompareOp op) {
+  using catalog::CompareOp;
+  __m256i m = _mm256_setzero_si256();
+  bool invert = false;
+  switch (op) {
+    case CompareOp::kEq: m = _mm256_cmpeq_epi32(x, lit); break;
+    case CompareOp::kNe: m = _mm256_cmpeq_epi32(x, lit); invert = true; break;
+    case CompareOp::kLt: m = _mm256_cmpgt_epi32(lit, x); break;
+    case CompareOp::kGe: m = _mm256_cmpgt_epi32(lit, x); invert = true; break;
+    case CompareOp::kGt: m = _mm256_cmpgt_epi32(x, lit); break;
+    case CompareOp::kLe: m = _mm256_cmpgt_epi32(x, lit); invert = true; break;
+  }
+  uint32_t bits = static_cast<uint32_t>(
+      _mm256_movemask_ps(_mm256_castsi256_ps(m)));
+  return invert ? bits ^ 0xffu : bits;
+}
+
+/// 4-lane i64 compare mask.
+inline uint32_t MaskI64(__m256i x, __m256i lit, catalog::CompareOp op) {
+  using catalog::CompareOp;
+  __m256i m = _mm256_setzero_si256();
+  bool invert = false;
+  switch (op) {
+    case CompareOp::kEq: m = _mm256_cmpeq_epi64(x, lit); break;
+    case CompareOp::kNe: m = _mm256_cmpeq_epi64(x, lit); invert = true; break;
+    case CompareOp::kLt: m = _mm256_cmpgt_epi64(lit, x); break;
+    case CompareOp::kGe: m = _mm256_cmpgt_epi64(lit, x); invert = true; break;
+    case CompareOp::kGt: m = _mm256_cmpgt_epi64(x, lit); break;
+    case CompareOp::kLe: m = _mm256_cmpgt_epi64(x, lit); invert = true; break;
+  }
+  uint32_t bits = static_cast<uint32_t>(
+      _mm256_movemask_pd(_mm256_castsi256_pd(m)));
+  return invert ? bits ^ 0xfu : bits;
+}
+
+/// 4-lane f64 compare mask. Ordered (NaN-false) predicates for everything
+/// except kNe, matching scalar <,<=,>,>=,== / != semantics.
+inline uint32_t MaskF64(__m256d x, __m256d lit, catalog::CompareOp op) {
+  using catalog::CompareOp;
+  __m256d m = _mm256_setzero_pd();
+  switch (op) {
+    case CompareOp::kEq: m = _mm256_cmp_pd(x, lit, _CMP_EQ_OQ); break;
+    case CompareOp::kNe: m = _mm256_cmp_pd(x, lit, _CMP_NEQ_UQ); break;
+    case CompareOp::kLt: m = _mm256_cmp_pd(x, lit, _CMP_LT_OQ); break;
+    case CompareOp::kLe: m = _mm256_cmp_pd(x, lit, _CMP_LE_OQ); break;
+    case CompareOp::kGt: m = _mm256_cmp_pd(x, lit, _CMP_GT_OQ); break;
+    case CompareOp::kGe: m = _mm256_cmp_pd(x, lit, _CMP_GE_OQ); break;
+  }
+  return static_cast<uint32_t>(_mm256_movemask_pd(m));
+}
+
+/// Per 8-row block the gather offsets stay in [0, 8*stride), so the i32
+/// offset lanes never overflow no matter how long the scan is: the base
+/// pointer advances instead.
+inline __m256i StrideOffsets8(size_t stride) {
+  int32_t s = static_cast<int32_t>(stride);
+  return _mm256_setr_epi32(0, s, 2 * s, 3 * s, 4 * s, 5 * s, 6 * s, 7 * s);
+}
+
+inline __m128i StrideOffsets4(size_t stride) {
+  int32_t s = static_cast<int32_t>(stride);
+  return _mm_setr_epi32(0, s, 2 * s, 3 * s);
+}
+
+}  // namespace detail
+
+#endif  // GHOSTDB_SIMD_AVX2
+
+// ---------------------------------------------------------------------------
+// Dispatching entry points
+// ---------------------------------------------------------------------------
+
+/// See scalar::FilterEncoded. `out` needs room for n ids.
+inline size_t FilterEncoded(catalog::DataType type, uint32_t width,
+                            const uint8_t* base, size_t stride, size_t n,
+                            const uint8_t* literal, catalog::CompareOp op,
+                            uint32_t id_base, uint32_t* out) {
+#if GHOSTDB_SIMD_AVX2
+  using catalog::DataType;
+  size_t count = 0;
+  size_t i = 0;
+  // Strides must fit the per-block i32 offset lanes (they are row widths —
+  // a few hundred bytes — but stay defensive).
+  if (stride <= (1u << 24)) {
+    switch (type) {
+      case DataType::kInt32: {
+        __m256i lit = _mm256_set1_epi32(
+            static_cast<int32_t>(DecodeFixed32(literal)));
+        __m256i off = detail::StrideOffsets8(stride);
+        for (; i + 8 <= n; i += 8) {
+          __m256i x = _mm256_i32gather_epi32(
+              reinterpret_cast<const int*>(base + i * stride), off, 1);
+          count = detail::AppendMask(detail::MaskI32(x, lit, op),
+                                     id_base + static_cast<uint32_t>(i), out,
+                                     count);
+        }
+        break;
+      }
+      case DataType::kInt64: {
+        __m256i lit = _mm256_set1_epi64x(
+            static_cast<int64_t>(DecodeFixed64(literal)));
+        __m128i off = detail::StrideOffsets4(stride);
+        for (; i + 4 <= n; i += 4) {
+          __m256i x = _mm256_i32gather_epi64(
+              reinterpret_cast<const long long*>(base + i * stride), off, 1);
+          count = detail::AppendMask(detail::MaskI64(x, lit, op),
+                                     id_base + static_cast<uint32_t>(i), out,
+                                     count);
+        }
+        break;
+      }
+      case DataType::kDouble: {
+        __m256d lit = _mm256_set1_pd(DecodeDouble(literal));
+        __m128i off = detail::StrideOffsets4(stride);
+        for (; i + 4 <= n; i += 4) {
+          __m256d x = _mm256_i32gather_pd(
+              reinterpret_cast<const double*>(base + i * stride), off, 1);
+          count = detail::AppendMask(detail::MaskF64(x, lit, op),
+                                     id_base + static_cast<uint32_t>(i), out,
+                                     count);
+        }
+        break;
+      }
+      case DataType::kString:
+        break;  // memcmp path below
+    }
+  }
+  count += scalar::FilterEncoded(type, width, base + i * stride, stride,
+                                 n - i, literal, op,
+                                 id_base + static_cast<uint32_t>(i),
+                                 out + count);
+  return count;
+#else
+  return scalar::FilterEncoded(type, width, base, stride, n, literal, op,
+                               id_base, out);
+#endif
+}
+
+/// See scalar::RefineEncoded.
+inline void RefineEncoded(catalog::DataType type, uint32_t width,
+                          const uint8_t* base, size_t stride, size_t n,
+                          const uint8_t* literal, catalog::CompareOp op,
+                          uint8_t* flags) {
+#if GHOSTDB_SIMD_AVX2
+  using catalog::DataType;
+  size_t i = 0;
+  if (stride <= (1u << 24)) {
+    switch (type) {
+      case DataType::kInt32: {
+        __m256i lit = _mm256_set1_epi32(
+            static_cast<int32_t>(DecodeFixed32(literal)));
+        __m256i off = detail::StrideOffsets8(stride);
+        for (; i + 8 <= n; i += 8) {
+          __m256i x = _mm256_i32gather_epi32(
+              reinterpret_cast<const int*>(base + i * stride), off, 1);
+          uint32_t mask = detail::MaskI32(x, lit, op);
+          for (uint32_t b = 0; b < 8; ++b) {
+            flags[i + b] &= static_cast<uint8_t>((mask >> b) & 1u);
+          }
+        }
+        break;
+      }
+      case DataType::kInt64: {
+        __m256i lit = _mm256_set1_epi64x(
+            static_cast<int64_t>(DecodeFixed64(literal)));
+        __m128i off = detail::StrideOffsets4(stride);
+        for (; i + 4 <= n; i += 4) {
+          __m256i x = _mm256_i32gather_epi64(
+              reinterpret_cast<const long long*>(base + i * stride), off, 1);
+          uint32_t mask = detail::MaskI64(x, lit, op);
+          for (uint32_t b = 0; b < 4; ++b) {
+            flags[i + b] &= static_cast<uint8_t>((mask >> b) & 1u);
+          }
+        }
+        break;
+      }
+      case DataType::kDouble: {
+        __m256d lit = _mm256_set1_pd(DecodeDouble(literal));
+        __m128i off = detail::StrideOffsets4(stride);
+        for (; i + 4 <= n; i += 4) {
+          __m256d x = _mm256_i32gather_pd(
+              reinterpret_cast<const double*>(base + i * stride), off, 1);
+          uint32_t mask = detail::MaskF64(x, lit, op);
+          for (uint32_t b = 0; b < 4; ++b) {
+            flags[i + b] &= static_cast<uint8_t>((mask >> b) & 1u);
+          }
+        }
+        break;
+      }
+      case DataType::kString:
+        break;
+    }
+  }
+  scalar::RefineEncoded(type, width, base + i * stride, stride, n - i,
+                        literal, op, flags + i);
+#else
+  scalar::RefineEncoded(type, width, base, stride, n, literal, op, flags);
+#endif
+}
+
+/// See scalar::CompactFlags. `out` needs room for n ids.
+inline size_t CompactFlags(const uint8_t* flags, size_t n, uint32_t id_base,
+                           uint32_t* out) {
+#if GHOSTDB_SIMD_AVX2
+  size_t count = 0;
+  size_t i = 0;
+  __m256i zero = _mm256_setzero_si256();
+  for (; i + 32 <= n; i += 32) {
+    __m256i f = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(flags + i));
+    // Set flags (0/1 bytes) -> per-byte 0xff via compare against zero.
+    uint32_t mask = ~static_cast<uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(f, zero)));
+    count = detail::AppendMask(mask, id_base + static_cast<uint32_t>(i), out,
+                               count);
+  }
+  count += scalar::CompactFlags(flags + i, n - i,
+                                id_base + static_cast<uint32_t>(i),
+                                out + count);
+  return count;
+#else
+  return scalar::CompactFlags(flags, n, id_base, out);
+#endif
+}
+
+/// See scalar::GatherCells. AVX2 vectorizes the 4/8-byte cell loads via
+/// gathers; every source offset idx[j]*stride + offset + width must fit in
+/// a signed 32-bit lane (callers check their partition byte size).
+inline void GatherCells(const uint8_t* src, size_t stride, size_t offset,
+                        uint32_t width, const uint32_t* idx, size_t n,
+                        uint8_t* dst, size_t dst_stride) {
+#if GHOSTDB_SIMD_AVX2
+  size_t j = 0;
+  if (width == 4 && stride <= (1u << 24)) {
+    __m256i vstride = _mm256_set1_epi32(static_cast<int32_t>(stride));
+    __m256i voffset = _mm256_set1_epi32(static_cast<int32_t>(offset));
+    alignas(32) int32_t cells[8];
+    for (; j + 8 <= n; j += 8) {
+      __m256i vidx = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(idx + j));
+      __m256i off = _mm256_add_epi32(_mm256_mullo_epi32(vidx, vstride),
+                                     voffset);
+      __m256i x = _mm256_i32gather_epi32(
+          reinterpret_cast<const int*>(src), off, 1);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(cells), x);
+      for (int k = 0; k < 8; ++k) {
+        std::memcpy(dst + (j + k) * dst_stride, &cells[k], 4);
+      }
+    }
+  } else if (width == 8 && stride <= (1u << 24)) {
+    __m128i vstride = _mm_set1_epi32(static_cast<int32_t>(stride));
+    __m128i voffset = _mm_set1_epi32(static_cast<int32_t>(offset));
+    alignas(32) int64_t cells[4];
+    for (; j + 4 <= n; j += 4) {
+      __m128i vidx = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(idx + j));
+      __m128i off = _mm_add_epi32(_mm_mullo_epi32(vidx, vstride), voffset);
+      __m256i x = _mm256_i32gather_epi64(
+          reinterpret_cast<const long long*>(src), off, 1);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(cells), x);
+      for (int k = 0; k < 4; ++k) {
+        std::memcpy(dst + (j + k) * dst_stride, &cells[k], 8);
+      }
+    }
+  }
+  scalar::GatherCells(src, stride, offset, width, idx + j, n - j,
+                      dst + j * dst_stride, dst_stride);
+#else
+  scalar::GatherCells(src, stride, offset, width, idx, n, dst, dst_stride);
+#endif
+}
+
+}  // namespace ghostdb::exec::simd
+
+#ifdef GHOSTDB_SIMD_DIAG_PUSHED
+#pragma GCC diagnostic pop
+#undef GHOSTDB_SIMD_DIAG_PUSHED
+#endif

@@ -123,6 +123,8 @@ Result<PhysicalPlan> Planner::PlanQuery(
   // derived from) stays cacheable.
   plan.value_layout = exec::BatchLayout::Projection(*schema_, query);
   plan.batch_rows = exec::SizeBatchRows(plan.value_layout, exec_config);
+  // Parallelism degree: visible config only, so it caches with the plan.
+  plan.parallelism = exec_config.worker_threads;
   return plan;
 }
 

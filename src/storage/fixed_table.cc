@@ -1,5 +1,6 @@
 #include "storage/fixed_table.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace ghostdb::storage {
@@ -107,6 +108,28 @@ Status FixedTableReader::ReadRow(catalog::RowId row, uint8_t* dst) {
   uint32_t slot = row % ref_.rows_per_page;
   std::memcpy(dst, buffer_ + slot * ref_.row_width, ref_.row_width);
   return Status::OK();
+}
+
+Result<FixedTableReader::Span> FixedTableReader::RowSpan(catalog::RowId row) {
+  if (row >= ref_.row_count) {
+    return Status::OutOfRange("row " + std::to_string(row) + " past end (" +
+                              std::to_string(ref_.row_count) + " rows)");
+  }
+  int64_t page = row / ref_.rows_per_page;
+  if (page != buffered_page_) {
+    GHOSTDB_RETURN_NOT_OK(device_->ReadFullPage(
+        ref_.run.PageAt(static_cast<uint32_t>(page)), buffer_));
+    buffered_page_ = page;
+    pages_touched_ += 1;
+  }
+  uint32_t slot = row % ref_.rows_per_page;
+  uint64_t first_on_page = static_cast<uint64_t>(page) * ref_.rows_per_page;
+  uint64_t rows_on_page =
+      std::min<uint64_t>(ref_.rows_per_page, ref_.row_count - first_on_page);
+  Span span;
+  span.data = buffer_ + slot * ref_.row_width;
+  span.rows = static_cast<uint32_t>(rows_on_page - slot);
+  return span;
 }
 
 }  // namespace ghostdb::storage

@@ -81,6 +81,19 @@ class FixedTableReader {
   /// Reads row `row` into `dst` (row_width bytes).
   Status ReadRow(catalog::RowId row, uint8_t* dst);
 
+  /// A window of contiguous rows inside the cached page, starting at the
+  /// requested row. Valid until the next ReadRow/RowSpan call.
+  struct Span {
+    const uint8_t* data = nullptr;  ///< first requested row's bytes
+    uint32_t rows = 0;              ///< contiguous rows available from it
+  };
+
+  /// Loads (if needed) the page holding `row` and exposes it as a span, so
+  /// sequential scans can run SIMD kernels over whole pages instead of
+  /// copying row by row. Touches pages in exactly the order a row-by-row
+  /// ascending scan would.
+  Result<Span> RowSpan(catalog::RowId row);
+
   /// Number of distinct pages loaded so far.
   uint64_t pages_touched() const { return pages_touched_; }
 

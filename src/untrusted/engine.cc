@@ -21,7 +21,7 @@ Result<VisPrefetch> UntrustedEngine::PrefetchVisible(
     if (query.HasVisiblePredicateOn(t)) {
       GHOSTDB_ASSIGN_OR_RETURN(
           std::vector<catalog::RowId> ids,
-          store_.SelectIds(t, query.VisiblePredicatesOn(t)));
+          store_.SelectIds(t, query.VisiblePredicatesOn(t), pool_));
       prefetch.ids.emplace(t, std::move(ids));
     }
     // Projection payloads: requested by the projection operators for every
@@ -34,7 +34,7 @@ Result<VisPrefetch> UntrustedEngine::PrefetchVisible(
     if (!cols.empty()) {
       GHOSTDB_ASSIGN_OR_RETURN(
           ProjectionPayload payload,
-          store_.Project(t, query.VisiblePredicatesOn(t), cols));
+          store_.Project(t, query.VisiblePredicatesOn(t), cols, pool_));
       prefetch.projections.emplace(
           t, std::make_pair(std::move(cols), std::move(payload)));
     }
@@ -57,7 +57,8 @@ Result<std::vector<catalog::RowId>> UntrustedEngine::ServeVisibleIds(
   }
   if (!prefetched) {
     GHOSTDB_ASSIGN_OR_RETURN(
-        ids, store_.SelectIds(table, query.VisiblePredicatesOn(table)));
+        ids,
+        store_.SelectIds(table, query.VisiblePredicatesOn(table), pool_));
   }
   // Ship the sorted id list: 4 bytes per id. The message is identical
   // whether the answer was speculative or inline.
@@ -87,7 +88,8 @@ Result<ProjectionPayload> UntrustedEngine::ServeProjection(
   if (!prefetched) {
     GHOSTDB_ASSIGN_OR_RETURN(
         payload,
-        store_.Project(table, query.VisiblePredicatesOn(table), columns));
+        store_.Project(table, query.VisiblePredicatesOn(table), columns,
+                       pool_));
   }
   channel_->Transfer(Direction::kToSecure,
                      "vis-vals:" + schema_->table(table).name,
@@ -110,7 +112,7 @@ Result<uint64_t> UntrustedEngine::ServeVisibleCount(
   if (!prefetched) {
     GHOSTDB_ASSIGN_OR_RETURN(
         std::vector<catalog::RowId> ids,
-        store_.SelectIds(table, query.VisiblePredicatesOn(table)));
+        store_.SelectIds(table, query.VisiblePredicatesOn(table), pool_));
     count = ids.size();
   }
   uint8_t payload[8];

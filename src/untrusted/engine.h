@@ -46,6 +46,12 @@ class UntrustedEngine {
   VisibleStore& store() { return store_; }
   const VisibleStore& store() const { return store_; }
 
+  /// Worker pool for sharding visible scans/projections (null = inline).
+  /// The PC is "fast and free" in the paper's cost model; the pool makes
+  /// it so in wall-clock too. Workers touch only the visible partitions —
+  /// never the channel.
+  void set_pool(exec::ThreadPool* pool) { pool_ = pool; }
+
   /// Secure announces the query (the only information that ever leaves the
   /// key). Charged as a Secure -> Untrusted transfer.
   void ReceiveQuery(const std::string& sql);
@@ -86,6 +92,7 @@ class UntrustedEngine {
   const catalog::Schema* schema_;
   device::Channel* channel_;
   VisibleStore store_;
+  exec::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace ghostdb::untrusted

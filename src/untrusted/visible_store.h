@@ -17,6 +17,7 @@
 #include "catalog/stats.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "exec/thread_pool.h"
 #include "sql/binder.h"
 
 namespace ghostdb::untrusted {
@@ -44,17 +45,25 @@ class VisibleStore {
   }
 
   /// Ids (ascending) of rows satisfying every predicate. All predicates
-  /// must be on visible columns (or the id) of `table`.
+  /// must be on visible columns (or the id) of `table`. With `pool`, the
+  /// scan shards across workers (contiguous row ranges, results
+  /// concatenated in shard order — same ascending id list for every
+  /// width); the inner loops run the SIMD kernels over the packed rows
+  /// either way.
   Result<std::vector<catalog::RowId>> SelectIds(
       catalog::TableId table,
-      const std::vector<sql::BoundPredicate>& predicates) const;
+      const std::vector<sql::BoundPredicate>& predicates,
+      exec::ThreadPool* pool = nullptr) const;
 
   /// Packed [id | columns...] rows (ascending id) for rows satisfying the
-  /// predicates, carrying the requested visible columns.
+  /// predicates, carrying the requested visible columns. `pool` as in
+  /// SelectIds: the match scan and the cell gather both shard; the payload
+  /// bytes are identical for every width.
   Result<ProjectionPayload> Project(
       catalog::TableId table,
       const std::vector<sql::BoundPredicate>& predicates,
-      const std::vector<catalog::ColumnId>& columns) const;
+      const std::vector<catalog::ColumnId>& columns,
+      exec::ThreadPool* pool = nullptr) const;
 
   /// Decodes one visible column of one row (used by tests and the oracle).
   Result<catalog::Value> GetValue(catalog::TableId table, catalog::RowId row,
@@ -67,6 +76,12 @@ class VisibleStore {
  private:
   bool RowMatches(catalog::TableId table, catalog::RowId row,
                   const std::vector<sql::BoundPredicate>& predicates) const;
+  /// Appends the ids in [begin, end) matching every predicate to `out`
+  /// (the SIMD inner loop of SelectIds/Project; one shard's work).
+  void ScanRange(catalog::TableId table,
+                 const std::vector<sql::BoundPredicate>& predicates,
+                 catalog::RowId begin, catalog::RowId end,
+                 std::vector<catalog::RowId>* out) const;
 
   const catalog::Schema* schema_;
   std::vector<std::vector<uint8_t>> partitions_;  // per table, packed rows

@@ -126,7 +126,10 @@ TEST(DifferentialFuzzTest, GhostDBMatchesOracleOnRandomQueries) {
   for (uint64_t d = 0; d < dbs && ran < iters; ++d) {
     uint64_t visible_seed = base_seed + 1000 * d;
     uint64_t hidden_seed = base_seed + 1000 * d + 1;
-    GhostDB db(fuzztest::FuzzConfig(visible_seed, /*retain_staged=*/true));
+    // Alternate the morsel width so half the sweep runs every parallel
+    // site at 4 workers — answers must stay oracle-exact at any width.
+    GhostDB db(fuzztest::FuzzConfig(visible_seed, /*retain_staged=*/true,
+                                    /*worker_threads=*/d % 2 == 0 ? 1 : 4));
     Status built = fuzztest::BuildFuzzDb(&db, visible_seed, hidden_seed);
     ASSERT_TRUE(built.ok()) << "db build failed for visible_seed="
                             << visible_seed << ": " << built.ToString();
@@ -173,7 +176,8 @@ TEST(DifferentialFuzzTest, MatchesOracleUnderForcedTinySortBudget) {
   for (uint64_t d = 0; d < dbs && ran < iters; ++d) {
     uint64_t visible_seed = base_seed + 2000 * d + 7;
     uint64_t hidden_seed = visible_seed + 1;
-    auto cfg = fuzztest::FuzzConfig(visible_seed, /*retain_staged=*/true);
+    auto cfg = fuzztest::FuzzConfig(visible_seed, /*retain_staged=*/true,
+                                    /*worker_threads=*/d % 2 == 0 ? 4 : 1);
     cfg.exec.sort_budget_buffers = 1;
     GhostDB db(cfg);
     ASSERT_TRUE(fuzztest::BuildFuzzDb(&db, visible_seed, hidden_seed).ok());
@@ -219,7 +223,9 @@ TEST(DifferentialFuzzTest, InterleavedSessionsMatchOraclePerSession) {
   for (uint64_t round = 0; round < rounds; ++round) {
     uint64_t visible_seed = base_seed + 500 * round + 17;
     uint64_t hidden_seed = visible_seed + 1;
-    GhostDB db(fuzztest::FuzzConfig(visible_seed, /*retain_staged=*/true));
+    GhostDB db(fuzztest::FuzzConfig(visible_seed, /*retain_staged=*/true,
+                                    /*worker_threads=*/round % 2 == 0 ? 1
+                                                                      : 4));
     ASSERT_TRUE(fuzztest::BuildFuzzDb(&db, visible_seed, hidden_seed).ok());
     fuzztest::FuzzShape shape = fuzztest::MakeShape(visible_seed);
     Rng rng(visible_seed ^ 0xdeadbeefULL);

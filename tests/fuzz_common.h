@@ -73,10 +73,12 @@ inline FuzzShape MakeShape(uint64_t visible_seed) {
 /// climbing indexes (drawn from the visible seed — index choice is visible
 /// metadata), so both the indexed and the scan selection paths are hit.
 inline core::GhostDBConfig FuzzConfig(uint64_t visible_seed,
-                                      bool retain_staged) {
+                                      bool retain_staged,
+                                      uint32_t worker_threads = 1) {
   core::GhostDBConfig cfg;
   cfg.device.flash.logical_pages = 32 * 1024;
   cfg.retain_staged_data = retain_staged;
+  cfg.worker_threads = worker_threads;
   Rng rng(visible_seed ^ 0xc0ffeeULL);
   std::map<std::string, std::vector<std::string>> indexed;
   const std::pair<const char*, const char*> candidates[] = {

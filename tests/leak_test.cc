@@ -386,24 +386,34 @@ TEST(LeakTest, FuzzedInterleavedSessionsAreTranscriptInvariant) {
     uint64_t visible_seed = base_seed + 700 * round + 23;
     GhostDB db1(fuzztest::FuzzConfig(visible_seed, /*retain_staged=*/false));
     GhostDB db2(fuzztest::FuzzConfig(visible_seed, /*retain_staged=*/false));
+    // A third database varying BOTH axes at once — hidden data and morsel
+    // width — pins the interleaved transcript against the worker pool too.
+    GhostDB db3(fuzztest::FuzzConfig(visible_seed, /*retain_staged=*/false,
+                                     /*worker_threads=*/4));
     ASSERT_TRUE(fuzztest::BuildFuzzDb(&db1, visible_seed, 111).ok());
     ASSERT_TRUE(fuzztest::BuildFuzzDb(&db2, visible_seed, 999).ok());
+    ASSERT_TRUE(fuzztest::BuildFuzzDb(&db3, visible_seed, 999).ok());
     fuzztest::FuzzShape shape = fuzztest::MakeShape(visible_seed);
-    // One deal (visible information) replayed against both databases.
+    // One deal (visible information) replayed against all databases.
     Rng rng(visible_seed ^ 0xabcddcbaULL);
     auto deal = fuzztest::DealQueries(rng, shape, kQueries, kSessions);
     auto s1 = fuzztest::OpenFuzzSessions(&db1, deal);
     auto s2 = fuzztest::OpenFuzzSessions(&db2, deal);
-    ASSERT_TRUE(s1.ok() && s2.ok());
-    std::vector<core::Session*> raw1, raw2;
+    auto s3 = fuzztest::OpenFuzzSessions(&db3, deal);
+    ASSERT_TRUE(s1.ok() && s2.ok() && s3.ok());
+    std::vector<core::Session*> raw1, raw2, raw3;
     for (auto& s : *s1) raw1.push_back(s.get());
     for (auto& s : *s2) raw2.push_back(s.get());
+    for (auto& s : *s3) raw3.push_back(s.get());
     db1.device().channel().ClearTranscript();
     db2.device().channel().ClearTranscript();
+    db3.device().channel().ClearTranscript();
     auto r1 = db1.DrainSessions(raw1);
     auto r2 = db2.DrainSessions(raw2);
+    auto r3 = db3.DrainSessions(raw3);
     ASSERT_TRUE(r1.ok()) << r1.status().ToString();
     ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+    ASSERT_TRUE(r3.ok()) << r3.status().ToString();
     std::string repro = "visible_seed=" + std::to_string(visible_seed) +
                         " sessions=" + std::to_string(kSessions) +
                         " queries=" + std::to_string(kQueries);
@@ -411,9 +421,129 @@ TEST(LeakTest, FuzzedInterleavedSessionsAreTranscriptInvariant) {
     bool had_failure = ::testing::Test::HasFailure();
     ExpectIdenticalTranscripts(db1.device().channel().transcript(),
                                db2.device().channel().transcript());
+    ExpectIdenticalTranscripts(db1.device().channel().transcript(),
+                               db3.device().channel().transcript());
     if (!had_failure && ::testing::Test::HasFailure()) {
       std::ofstream out(fuzztest::FailureFile(), std::ios::app);
       out << "[session-leak] " << repro << "\n";
+    }
+  }
+}
+
+// The worker pool's determinism contract: the morsel width is performance
+// tuning, never semantics. Everything observable — the channel transcript
+// AND the answer — must be byte-identical across worker_threads counts.
+void ExpectSameAnswer(const exec::QueryResult& a, const exec::QueryResult& b,
+                      const std::string& sql) {
+  EXPECT_EQ(a.total_rows, b.total_rows) << sql;
+  ASSERT_EQ(a.rows.size(), b.rows.size()) << sql;
+  for (size_t r = 0; r < a.rows.size(); ++r) {
+    ASSERT_EQ(a.rows[r].size(), b.rows[r].size()) << sql << " row " << r;
+    for (size_t c = 0; c < a.rows[r].size(); ++c) {
+      EXPECT_TRUE(a.rows[r][c] == b.rows[r][c])
+          << sql << " row " << r << " col " << c << ": "
+          << a.rows[r][c].ToString() << " vs " << b.rows[r][c].ToString();
+    }
+  }
+}
+
+TEST(LeakTest, WorkerCountIsTranscriptAndAnswerInvariant) {
+  // Same database, worker_threads 1 vs 4: every query shape that crosses a
+  // parallel site (visible scans/projections, sorts, DISTINCT, GROUP BY)
+  // must produce identical transcripts and identical answers, including
+  // under the forced-spill budget (parallel run generation and merges).
+  for (bool forced_spill : {false, true}) {
+    GhostDBConfig serial = Config(), wide = Config();
+    if (forced_spill) {
+      serial.exec.sort_budget_buffers = 1;
+      wide.exec.sort_budget_buffers = 1;
+    }
+    wide.worker_threads = 4;
+    GhostDB db1(serial), db4(wide);
+    BuildDb(&db1, /*hidden_seed=*/42);
+    BuildDb(&db4, /*hidden_seed=*/42);
+    for (const char* sql : {
+             "SELECT Fact.id, Fact.v FROM Fact WHERE Fact.v < 70",
+             "SELECT Fact.id, Fact.h FROM Fact WHERE Fact.v < 80 AND "
+             "Fact.h < 60 ORDER BY Fact.h DESC",
+             "SELECT DISTINCT Fact.v FROM Fact WHERE Fact.h < 50",
+             "SELECT Fact.v, COUNT(*), SUM(Fact.h) FROM Fact WHERE "
+             "Fact.h < 80 GROUP BY Fact.v",
+             "SELECT Fact.id, Dim.v FROM Fact, Dim WHERE Fact.fk = Dim.id "
+             "AND Fact.v < 60 AND Dim.h < 70 ORDER BY Fact.id LIMIT 9",
+         }) {
+      SCOPED_TRACE(std::string(sql) +
+                   (forced_spill ? " [forced spill]" : ""));
+      db1.device().channel().ClearTranscript();
+      db4.device().channel().ClearTranscript();
+      auto r1 = db1.Query(sql);
+      auto r4 = db4.Query(sql);
+      ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+      ASSERT_TRUE(r4.ok()) << r4.status().ToString();
+      ExpectSameAnswer(*r1, *r4, sql);
+      ExpectIdenticalTranscripts(db1.device().channel().transcript(),
+                                 db4.device().channel().transcript());
+    }
+  }
+}
+
+TEST(LeakTest, FuzzedShapesAreWorkerCountInvariant) {
+  // The two invariance axes composed, over the fuzz generator's query
+  // space: db(workers=1, hidden=111) vs db(workers=4, hidden=999). A
+  // byte-identical transcript here means the morsel width neither changes
+  // any message NOR opens a hidden-data channel that only shows at one
+  // width. Same-hidden-seed pairs additionally pin the answers equal.
+  uint64_t queries = fuzztest::EnvOr("GHOSTDB_WORKER_FUZZ_ITERS", 30);
+  uint64_t base_seed = fuzztest::EnvOr("GHOSTDB_LEAK_FUZZ_SEED", 20070611,
+                                       /*allow_zero=*/true);
+  const uint64_t kQueriesPerShape = 15;
+  for (uint64_t done = 0; done < queries;) {
+    uint64_t visible_seed = base_seed + 5000 * (done / kQueriesPerShape) + 7;
+    auto cfg1 = fuzztest::FuzzConfig(visible_seed, /*retain_staged=*/false,
+                                     /*worker_threads=*/1);
+    auto cfg4 = fuzztest::FuzzConfig(visible_seed, /*retain_staged=*/false,
+                                     /*worker_threads=*/4);
+    // Half the shapes under the forced-spill budget: parallel spill-run
+    // sorts and merges are the most structure-sensitive site.
+    if ((done / kQueriesPerShape) % 2 == 1) {
+      cfg1.exec.sort_budget_buffers = 1;
+      cfg4.exec.sort_budget_buffers = 1;
+    }
+    GhostDB same1(cfg1), same4(cfg4);   // same hidden data, widths 1 vs 4
+    GhostDB other4(cfg4);               // different hidden data, width 4
+    ASSERT_TRUE(fuzztest::BuildFuzzDb(&same1, visible_seed, 111).ok());
+    ASSERT_TRUE(fuzztest::BuildFuzzDb(&same4, visible_seed, 111).ok());
+    ASSERT_TRUE(fuzztest::BuildFuzzDb(&other4, visible_seed, 999).ok());
+    fuzztest::FuzzShape shape = fuzztest::MakeShape(visible_seed);
+    for (uint64_t i = 0; i < kQueriesPerShape && done < queries;
+         ++i, ++done) {
+      uint64_t query_seed = visible_seed ^ (i * 0x61C88647ULL);
+      Rng rng(query_seed);
+      std::string sql = fuzztest::GenerateQuery(rng, shape);
+      std::string repro = "visible_seed=" + std::to_string(visible_seed) +
+                          " query_seed=" + std::to_string(query_seed) +
+                          " sql=" + sql;
+      SCOPED_TRACE(repro);
+      same1.device().channel().ClearTranscript();
+      same4.device().channel().ClearTranscript();
+      other4.device().channel().ClearTranscript();
+      auto r1 = same1.Query(sql);
+      auto r4 = same4.Query(sql);
+      auto ro = other4.Query(sql);
+      ASSERT_EQ(r1.ok(), r4.ok()) << r1.status().ToString() << " vs "
+                                  << r4.status().ToString();
+      if (r1.ok()) ExpectSameAnswer(*r1, *r4, sql);
+      (void)ro;  // its status reflects its hidden data; only the
+                 // transcript is constrained
+      bool had_failure = ::testing::Test::HasFailure();
+      ExpectIdenticalTranscripts(same1.device().channel().transcript(),
+                                 same4.device().channel().transcript());
+      ExpectIdenticalTranscripts(same1.device().channel().transcript(),
+                                 other4.device().channel().transcript());
+      if (!had_failure && ::testing::Test::HasFailure()) {
+        std::ofstream out(fuzztest::FailureFile(), std::ios::app);
+        out << "[worker-leak] " << repro << "\n";
+      }
     }
   }
 }
