@@ -128,16 +128,19 @@ class JsonReporter {
               const exec::QueryMetrics& m,
               const std::string& status = "ok") {
     if (!enabled()) return;
-    char buf[640];
+    char buf[768];
     std::snprintf(
         buf, sizeof(buf),
         "  {\"name\": \"%s\", \"status\": \"%s\", \"wall_ms\": %.3f, "
         "\"sim_seconds\": %.6f, \"result_rows\": %llu, "
+        "\"observed_volume\": %llu, \"padding_rows\": %llu, "
         "\"flash_pages_read\": %llu, \"flash_pages_written\": %llu, "
         "\"sort_spill_runs\": %llu, \"sort_spill_pages\": %llu, "
         "\"topk_short_circuits\": %llu, \"peak_ram_buffers\": %u}",
         name.c_str(), status.c_str(), wall_ms, sim_seconds,
         static_cast<unsigned long long>(m.result_rows),
+        static_cast<unsigned long long>(m.observed_volume),
+        static_cast<unsigned long long>(m.padding_rows),
         static_cast<unsigned long long>(m.flash.pages_read),
         static_cast<unsigned long long>(m.flash.pages_written),
         static_cast<unsigned long long>(m.sort_spill_runs),
@@ -145,6 +148,15 @@ class JsonReporter {
         static_cast<unsigned long long>(m.topk_short_circuits),
         m.peak_ram_buffers);
     entries_.push_back(buf);
+  }
+
+  /// One free-form measurement: `fields` is the inner JSON of the object
+  /// after its "name" key (caller formats its own keys). Used by entries
+  /// that aren't a single query's metrics — e.g. the leakage bench's
+  /// attack-accuracy records.
+  void RecordCustom(const std::string& name, const std::string& fields) {
+    if (!enabled()) return;
+    entries_.push_back("  {\"name\": \"" + name + "\", " + fields + "}");
   }
 
   void Write() {

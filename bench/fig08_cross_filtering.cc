@@ -2,8 +2,10 @@
 // T1.v1 swept over sV, hidden selection on T12.h2 at sH = 0.1, joins to
 // T0), comparing Pre-Filter vs Cross-Pre-Filter and Post-Filter vs
 // Cross-Post-Filter.
+#include <chrono>
 #include <cstdio>
 #include <memory>
+#include <utility>
 
 #include "bench_common.h"
 
@@ -12,22 +14,34 @@ using plan::VisStrategy;
 
 int main(int argc, char** argv) {
   double scale = bench::ScaleArg(argc, argv, 0.2);
+  bench::JsonReporter reporter(argc, argv);
   bench::Banner("Figure 8", "Filtering vs Cross-Filtering (QEP_SJ of "
                 "Query Q, sH=0.1)", scale);
   std::unique_ptr<core::GhostDB> db(bench::BuildSyntheticDb(scale));
 
+  const std::pair<VisStrategy, const char*> kStrategies[] = {
+      {VisStrategy::kPreFilter, "PreFilter"},
+      {VisStrategy::kCrossPreFilter, "CrossPreFilter"},
+      {VisStrategy::kPostFilter, "PostFilter"},
+      {VisStrategy::kCrossPostFilter, "CrossPostFilter"},
+  };
   std::printf("%-8s %12s %16s %12s %17s\n", "sV", "Pre-Filter",
               "Cross-Pre-Filter", "Post-Filter", "Cross-Post-Filter");
   for (double sv : bench::SvSweep()) {
     std::string sql = workload::QueryQ(sv, 0.1);
     double t[4];
     int i = 0;
-    for (auto strategy :
-         {VisStrategy::kPreFilter, VisStrategy::kCrossPreFilter,
-          VisStrategy::kPostFilter, VisStrategy::kCrossPostFilter}) {
+    for (const auto& [strategy, name] : kStrategies) {
+      auto start = std::chrono::steady_clock::now();
       auto metrics =
           bench::Run(*db, sql, bench::Pin(*db, "T1", strategy));
+      double wall_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
       t[i++] = bench::Sec(metrics.total_ns);
+      char entry[64];
+      std::snprintf(entry, sizeof(entry), "fig08.sv%.3f.%s", sv, name);
+      reporter.Record(entry, wall_ms, bench::Sec(metrics.total_ns), metrics);
     }
     std::printf("%-8.3f %12.3f %16.3f %12.3f %17.3f\n", sv, t[0], t[1],
                 t[2], t[3]);

@@ -6,6 +6,7 @@
 // To disable Cross, the query places the hidden selection OUTSIDE T1's
 // subtree (on T2), so the Visible selection on T1 cannot be intersected
 // early.
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -17,6 +18,7 @@ using plan::VisStrategy;
 
 int main(int argc, char** argv) {
   double scale = bench::ScaleArg(argc, argv, 0.3);
+  bench::JsonReporter reporter(argc, argv);
   bench::Banner("Figure 10",
                 "Pre vs Post filtering, Cross not applicable (hidden "
                 "selection on T2, visible on T1, sH=0.1)", scale);
@@ -30,15 +32,29 @@ int main(int argc, char** argv) {
         "T0.fk1 = T1.id AND T0.fk2 = T2.id AND T1.v1 < " +
         workload::Dial(sv).ToString() + " AND T2.h1 < " +
         workload::Dial(0.1).ToString();
-    auto pre =
-        bench::Run(*db, sql, bench::Pin(*db, "T1", VisStrategy::kPreFilter));
-    auto post = bench::Run(*db, sql,
-                           bench::Pin(*db, "T1", VisStrategy::kPostFilter));
-    auto nof = bench::Run(*db, sql,
-                          bench::Pin(*db, "T1", VisStrategy::kNoFilter));
+    auto timed = [&](VisStrategy strategy, double* wall_ms) {
+      auto start = std::chrono::steady_clock::now();
+      auto metrics = bench::Run(*db, sql, bench::Pin(*db, "T1", strategy));
+      *wall_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+      return metrics;
+    };
+    double pre_ms, post_ms, nof_ms;
+    auto pre = timed(VisStrategy::kPreFilter, &pre_ms);
+    auto post = timed(VisStrategy::kPostFilter, &post_ms);
+    auto nof = timed(VisStrategy::kNoFilter, &nof_ms);
     // When the bloom was infeasible the executor fell back to NoFilter
     // behaviour; report it the way the paper plots it (curve stops).
     bool bloom_used = post.bloom_fpr_estimate > 0.0;
+    char entry[64];
+    std::snprintf(entry, sizeof(entry), "fig10.sv%.3f.PreFilter", sv);
+    reporter.Record(entry, pre_ms, bench::Sec(pre.total_ns), pre);
+    std::snprintf(entry, sizeof(entry), "fig10.sv%.3f.PostFilter", sv);
+    reporter.Record(entry, post_ms, bench::Sec(post.total_ns), post,
+                    bloom_used ? "ok" : "n/a");
+    std::snprintf(entry, sizeof(entry), "fig10.sv%.3f.NoFilter", sv);
+    reporter.Record(entry, nof_ms, bench::Sec(nof.total_ns), nof);
     std::printf("%-8.3f %12.3f ", sv, bench::Sec(pre.total_ns));
     if (bloom_used) {
       std::printf("%12.3f ", bench::Sec(post.total_ns));

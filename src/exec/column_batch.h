@@ -69,6 +69,11 @@ struct ColumnBatch {
   /// consumer's demand (ExecContext::rows_demanded) is already met. They
   /// still count toward total_rows.
   uint64_t skipped_rows = 0;
+  /// Nonzero marks an all-dummy batch from the VolumePad operator
+  /// (padding_rows == live()): its rows pad the observed result volume and
+  /// are stripped at the QueryResult boundary. VolumePad is the plan root,
+  /// so real and dummy rows never mix within one batch.
+  uint64_t padding_rows = 0;
 
   /// An empty batch bound to `layout` with per-column space reserved for
   /// `reserve_rows` rows.

@@ -36,9 +36,11 @@ Result<QueryResult> SecureExecutor::Execute(const BoundQuery& query,
                                             const plan::PlanChoice& choice,
                                             const MetricSnapshot* baseline,
                                             const SessionBinding* session) {
-  return Execute(query,
-                 plan::BuildPhysicalPlan(query, choice, config_.topk_fusion),
-                 baseline, session);
+  return Execute(
+      query,
+      plan::BuildPhysicalPlan(query, choice, config_.topk_fusion,
+                              config_.volume_padding != VolumePadding::kOff),
+      baseline, session);
 }
 
 Result<QueryResult> SecureExecutor::Execute(const BoundQuery& query,
@@ -148,6 +150,12 @@ Result<QueryResult> SecureExecutor::ExecuteTree(
     ctx.batch_rows =
         std::max<uint32_t>(1, static_cast<uint32_t>(*query.limit));
   }
+  // Volume defense: the padding operators target the visible worst case —
+  // one result row per anchor-table row (metadata, identical across hidden
+  // variants, same bound PostSelect already relies on).
+  if (config_.volume_padding != VolumePadding::kOff) {
+    ctx.padding_row_bound = store_->tables[query.anchor].row_count;
+  }
 
   GHOSTDB_ASSIGN_OR_RETURN(std::unique_ptr<Operator> root,
                            BuildOperatorTree(&ctx, plan));
@@ -159,6 +167,13 @@ Result<QueryResult> SecureExecutor::ExecuteTree(
   while (true) {
     GHOSTDB_ASSIGN_OR_RETURN(ColumnBatch batch, root->Next());
     if (batch.empty()) break;
+    if (batch.padding_rows > 0) {
+      // The QueryResult boundary strips volume-padding dummies: they count
+      // toward the observed volume only, never toward the answer, and are
+      // never materialized or deferred.
+      metrics.padding_rows += batch.padding_rows;
+      continue;
+    }
     result.total_rows += batch.live() + batch.skipped_rows;
     // The secure rendering surface. In deferred mode only the encoded
     // cells are captured (memcpy) — the caller decodes after releasing
@@ -190,6 +205,7 @@ Result<QueryResult> SecureExecutor::ExecuteTree(
   snap.Delta(device_, &metrics);
   metrics.peak_ram_buffers = ram.peak_used_buffers();
   metrics.result_rows = result.total_rows;
+  metrics.observed_volume = result.total_rows + metrics.padding_rows;
 
   // Temporary flash space must all be returned: leaks here would slowly
   // fill the key. The check runs per session-query so a leak is pinned on

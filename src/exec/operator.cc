@@ -26,6 +26,20 @@ Status ValidateExecConfig(const ExecConfig& config) {
         "ExecConfig.worker_threads > 64: morsel shards would be smaller "
         "than a cache line's worth of useful work");
   }
+  if (config.pad_spill_runs &&
+      config.volume_padding == VolumePadding::kOff) {
+    return Status::InvalidArgument(
+        "ExecConfig.pad_spill_runs requires a volume_padding mode: padding "
+        "spill-run counts while exposing exact result volumes defends the "
+        "narrow channel and leaves the wide one open");
+  }
+  if (config.volume_padding != VolumePadding::kOff &&
+      config.padding_dummy_row_cap == 0) {
+    return Status::InvalidArgument(
+        "ExecConfig.padding_dummy_row_cap must be nonzero when a "
+        "volume_padding mode is on: a zero cap silently disables the "
+        "defense the mode promises");
+  }
   return Status::OK();
 }
 
@@ -91,6 +105,9 @@ void QueryMetrics::Accumulate(const QueryMetrics& other) {
   sort_spill_runs += other.sort_spill_runs;
   sort_spill_pages += other.sort_spill_pages;
   topk_short_circuits += other.topk_short_circuits;
+  observed_volume += other.observed_volume;
+  padding_rows += other.padding_rows;
+  padding_spill_runs += other.padding_spill_runs;
 }
 
 void MetricSnapshot::Delta(device::SecureDevice* device,
@@ -182,6 +199,9 @@ Result<std::unique_ptr<Operator>> BuildNode(ExecContext* ctx,
       // normalized) must take it from the live bound query.
       op = std::make_unique<LimitOp>(
           ctx, ctx->query->limit.value_or(node.limit));
+      break;
+    case plan::PhysicalOp::kVolumePad:
+      op = std::make_unique<VolumePadOp>(ctx);
       break;
   }
   if (op == nullptr) {

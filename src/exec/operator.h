@@ -49,6 +49,34 @@
 
 namespace ghostdb::exec {
 
+/// \brief Result-volume defense modes (PAPERS.md: "Practical Volume-Based
+/// Attacks on Encrypted Databases"; ObliDB's padding-mode operators).
+///
+/// The transcript never carries result rows, but an honest-but-curious
+/// observer of the secure display (or of any downstream consumer) still
+/// sees *how many* rows each query produced — enough to run
+/// volume-frequency and co-occurrence attacks against hidden predicates.
+/// Padding inserts dummy rows above the relational tail that are stripped
+/// at the QueryResult boundary, so answers never change; only the observed
+/// volume does.
+enum class VolumePadding : uint8_t {
+  kOff,       ///< exact volumes (the attack surface the harness measures)
+  kQuantize,  ///< round observed volume up to the next power of two
+  /// Pad every query to its visible worst case: the anchor table's row
+  /// count (bounded by LIMIT k / the 0-or-1 aggregate row). Two databases
+  /// differing only in hidden data then show identical volumes.
+  kWorstCase,
+};
+
+/// Smallest power of two >= max(n, 1). The quantized-volume bucket
+/// function, shared by the padding operator, the spill-run padding, and
+/// the tests asserting both.
+inline uint64_t NextPowerOfTwo(uint64_t n) {
+  uint64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
 /// Execution knobs (defaults follow the paper).
 struct ExecConfig {
   MergeOverflowPolicy merge_policy = MergeOverflowPolicy::kReduction;
@@ -91,6 +119,19 @@ struct ExecConfig {
   /// GhostDB::Build); nonzero = explicit override for standalone-executor
   /// tests. Thread count never changes results or the channel transcript.
   uint32_t worker_threads = 0;
+  /// Result-volume defense (see VolumePadding). Dummy rows are synthesized
+  /// by a planner-emitted VolumePad root operator and stripped at the
+  /// QueryResult boundary; answers are oracle-exact in every mode.
+  VolumePadding volume_padding = VolumePadding::kOff;
+  /// Also pad the relational tail's flash spill-run counts (per sorter,
+  /// same mode as volume_padding): dummy one-page runs written and freed
+  /// alongside the real ones, reducing the resolution of the spill-count
+  /// side channel. Requires volume_padding != kOff.
+  bool pad_spill_runs = false;
+  /// Safety ceiling on dummy rows synthesized per query. Worst-case
+  /// padding of a huge anchor table is real work; past the cap the pad
+  /// truncates (weakening the defense) instead of running away.
+  uint64_t padding_dummy_row_cap = 1ull << 20;
 };
 
 /// Rejects nonsensical knob combinations (zero/absurd batch_bytes, inverted
@@ -124,6 +165,16 @@ struct QueryMetrics {
   /// Rows the fused top-K sort rejected against the heap top without
   /// buffering — the work a full sort would have materialized.
   uint64_t topk_short_circuits = 0;
+  /// Result volume a downstream observer sees: result_rows plus the dummy
+  /// rows the padding mode emitted (== result_rows with padding off). The
+  /// attack harness reads only this, never result_rows.
+  uint64_t observed_volume = 0;
+  /// Dummy rows synthesized by the VolumePad operator and stripped at the
+  /// QueryResult boundary — the volume-defense overhead.
+  uint64_t padding_rows = 0;
+  /// Dummy spill runs the relational tail wrote (and freed) to pad its
+  /// flash run counts (ExecConfig::pad_spill_runs).
+  uint64_t padding_spill_runs = 0;
 
   /// Folds another query's metrics into this one (counters sum, peaks
   /// take the max) — the single place the field list is walked, used by
@@ -244,6 +295,12 @@ struct ExecContext {
   /// result_row_limit so the projection skips encoding rows nobody will
   /// see (counts stay exact via ColumnBatch::skipped_rows).
   uint64_t rows_demanded = UINT64_MAX;
+  /// Visible worst-case result bound for the padding modes: the anchor
+  /// table's row count (every result row corresponds to one anchor row).
+  /// Set by the executor iff volume padding is on; 0 otherwise. A pure
+  /// function of visible metadata, so padding targets derived from it are
+  /// identical across hidden variants.
+  uint64_t padding_row_bound = 0;
   /// Worker pool for morsel-parallel host compute (may be null: run
   /// inline). Workers obey the thread_pool.h contract — pure host value
   /// work, never device state, deterministic shard boundaries.

@@ -299,6 +299,7 @@ Status GroupAggregateOp::FinishSpill() {
   }
   ctx_->metrics->sort_spill_runs += by_key_->stats().runs_written;
   ctx_->metrics->sort_spill_pages += by_key_->stats().pages_written;
+  ctx_->metrics->padding_spill_runs += by_key_->stats().padding_runs_written;
   GHOSTDB_RETURN_NOT_OK(by_key_->Close());  // phase A flash freed here
   by_key_.reset();
   return by_arrival_->Finish();
@@ -401,6 +402,7 @@ Status GroupAggregateOp::Close() {
     if (sorter == nullptr) continue;
     ctx_->metrics->sort_spill_runs += sorter->stats().runs_written;
     ctx_->metrics->sort_spill_pages += sorter->stats().pages_written;
+    ctx_->metrics->padding_spill_runs += sorter->stats().padding_runs_written;
     GHOSTDB_RETURN_NOT_OK(sorter->Close());
   }
   return Operator::Close();
@@ -459,6 +461,7 @@ Status DistinctOp::FinishSpill() {
   }
   ctx_->metrics->sort_spill_runs += by_value_->stats().runs_written;
   ctx_->metrics->sort_spill_pages += by_value_->stats().pages_written;
+  ctx_->metrics->padding_spill_runs += by_value_->stats().padding_runs_written;
   GHOSTDB_RETURN_NOT_OK(by_value_->Close());  // phase A flash freed here
   by_value_.reset();
   return by_arrival_->Finish();
@@ -540,6 +543,7 @@ Status DistinctOp::Close() {
     if (sorter == nullptr) continue;
     ctx_->metrics->sort_spill_runs += sorter->stats().runs_written;
     ctx_->metrics->sort_spill_pages += sorter->stats().pages_written;
+    ctx_->metrics->padding_spill_runs += sorter->stats().padding_runs_written;
     GHOSTDB_RETURN_NOT_OK(sorter->Close());
   }
   return Operator::Close();
@@ -600,6 +604,7 @@ Status SortOp::Close() {
   if (sorter_ != nullptr) {
     ctx_->metrics->sort_spill_runs += sorter_->stats().runs_written;
     ctx_->metrics->sort_spill_pages += sorter_->stats().pages_written;
+    ctx_->metrics->padding_spill_runs += sorter_->stats().padding_runs_written;
     GHOSTDB_RETURN_NOT_OK(sorter_->Close());
   }
   return Operator::Close();
@@ -715,9 +720,87 @@ Status TopKSortOp::Close() {
   if (sorter_ != nullptr) {
     ctx_->metrics->sort_spill_runs += sorter_->stats().runs_written;
     ctx_->metrics->sort_spill_pages += sorter_->stats().pages_written;
+    ctx_->metrics->padding_spill_runs += sorter_->stats().padding_runs_written;
     GHOSTDB_RETURN_NOT_OK(sorter_->Close());
   }
   return Operator::Close();
+}
+
+// ---------------------------------------------------------------------------
+// VolumePadOp
+// ---------------------------------------------------------------------------
+
+uint64_t VolumePadOp::PaddedTarget(uint64_t real) const {
+  switch (ctx_->config->volume_padding) {
+    case VolumePadding::kOff:
+      return real;
+    case VolumePadding::kQuantize:
+      // Buckets are powers of two; an empty result pads into the first
+      // bucket, so emptiness is only distinguishable from volumes > 1.
+      return NextPowerOfTwo(real);
+    case VolumePadding::kWorstCase: {
+      // Visible worst case: one result row per anchor-table row. A
+      // non-grouped aggregate emits 0 or 1 rows; LIMIT caps the stream
+      // above us. All three bounds are visible, so the target — and with
+      // it the observed volume — is identical across hidden variants.
+      uint64_t bound = ctx_->padding_row_bound;
+      if (ctx_->query->HasAggregates() && !ctx_->query->grouped()) {
+        bound = 1;
+      }
+      if (ctx_->query->limit.has_value()) {
+        bound = std::min<uint64_t>(bound, *ctx_->query->limit);
+      }
+      return std::max(bound, real);
+    }
+  }
+  return real;
+}
+
+ColumnBatch VolumePadOp::DummyBatch(uint64_t rows) {
+  ColumnBatch out = ColumnBatch::Make(layout_, rows);
+  for (uint64_t r = 0; r < rows; ++r) {
+    // Zero cells, really written: dummy rows cost the same secure-memory
+    // work per row as real ones, which is the point of the defense.
+    for (size_t c = 0; c < layout_->cols.size(); ++c) out.AppendCell(c);
+    out.CommitRow();
+  }
+  out.padding_rows = rows;
+  return out;
+}
+
+Result<ColumnBatch> VolumePadOp::Next() {
+  if (done_) return ColumnBatch{};
+  if (!draining_) {
+    GHOSTDB_ASSIGN_OR_RETURN(ColumnBatch batch, child()->Next());
+    if (!batch.empty()) {
+      if (layout_ == nullptr) layout_ = batch.layout;
+      real_rows_ += batch.live() + batch.skipped_rows;
+      return batch;
+    }
+    draining_ = true;
+    if (layout_ == nullptr) layout_ = ctx_->value_layout;
+    uint64_t target = PaddedTarget(real_rows_);
+    dummies_left_ = std::min(target - real_rows_,
+                             ctx_->config->padding_dummy_row_cap);
+    if (dummies_left_ > 0) {
+      // Charge the dummies as if they crossed the padded result link at
+      // channel throughput — the simulated-cost overhead the leakage
+      // bench reports. Clock time is secure-side (the transcript records
+      // no timestamps), so the charge itself leaks nothing.
+      auto scope = ctx_->clock().Enter("padding");
+      double bps = ctx_->device->channel().throughput();
+      uint64_t bytes = dummies_left_ * layout_->row_width;
+      ctx_->clock().Advance(static_cast<SimNanos>(
+          static_cast<double>(bytes) * 1e9 / bps));
+    }
+  }
+  if (dummies_left_ == 0) {
+    done_ = true;
+    return ColumnBatch{};
+  }
+  uint64_t rows = std::min<uint64_t>(dummies_left_, ctx_->batch_rows);
+  dummies_left_ -= rows;
+  return DummyBatch(rows);
 }
 
 // ---------------------------------------------------------------------------

@@ -250,6 +250,39 @@ class TopKSortOp final : public Operator {
   bool done_ = false;
 };
 
+/// \brief The volume defense root (ExecConfig::volume_padding): forwards
+/// the child stream untouched while counting its real volume (live +
+/// skipped rows), then emits all-dummy batches (zero-filled cells,
+/// padding_rows == live()) until the observed volume reaches the mode's
+/// target — the next power of two of the real volume (kQuantize) or the
+/// visible worst case (kWorstCase: the anchor table's row count, clamped
+/// by LIMIT k / the 0-or-1 aggregate row). Dummies are stripped at the
+/// QueryResult boundary, so answers are unchanged in every mode; their
+/// synthesis cost is charged to the "padding" clock category at channel
+/// throughput, modeling the padded result link a deployment would pay.
+class VolumePadOp final : public Operator {
+ public:
+  explicit VolumePadOp(ExecContext* ctx) : Operator(ctx) {}
+  std::string_view name() const override { return "VolumePad"; }
+  Result<ColumnBatch> Next() override;
+
+ private:
+  /// The mode's observed-volume target for a stream of `real` rows.
+  uint64_t PaddedTarget(uint64_t real) const;
+  /// One all-dummy batch of `rows` zero rows in the output layout.
+  ColumnBatch DummyBatch(uint64_t rows);
+
+  /// Output layout: bound to the first real child batch (the dummy rows
+  /// must be indistinguishable in shape), ctx->value_layout when the
+  /// stream was empty — dummies are stripped unread, so only the width of
+  /// the synthesized bytes depends on it.
+  const BatchLayout* layout_ = nullptr;
+  uint64_t real_rows_ = 0;
+  uint64_t dummies_left_ = 0;
+  bool draining_ = false;
+  bool done_ = false;
+};
+
 /// \brief Truncates the stream after `limit` rows and stops pulling its
 /// child — the only operator that ends a query early. Truncation trims the
 /// selection vector; cells are not touched.

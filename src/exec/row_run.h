@@ -67,6 +67,11 @@ class RowComparator {
 struct SpillStats {
   uint64_t runs_written = 0;   ///< RunWriter::Finish calls (spills + merges)
   uint64_t pages_written = 0;  ///< flash pages those runs occupy
+  /// Dummy runs/pages written only to pad the run count toward the volume
+  /// defense's target (ExecConfig::pad_spill_runs); never read or merged,
+  /// freed with the real runs.
+  uint64_t padding_runs_written = 0;
+  uint64_t padding_pages_written = 0;
 };
 
 /// \brief Streams fixed-stride rows out of a run, with lookahead on the

@@ -115,12 +115,51 @@ Status ExternalRowSorter::SpillGeneration() {
   return Status::OK();
 }
 
+Status ExternalRowSorter::PadSpillRuns() {
+  const ExecConfig& cfg = *ctx_->config;
+  if (!cfg.pad_spill_runs || cfg.volume_padding == VolumePadding::kOff) {
+    return Status::OK();
+  }
+  uint64_t real = stats_.runs_written;
+  uint64_t target = real;
+  if (cfg.volume_padding == VolumePadding::kQuantize) {
+    target = real == 0 ? 0 : NextPowerOfTwo(real);
+  } else {
+    // Worst case: every sorter this operator instantiated writes the run
+    // count a full anchor-sized input would have spilled (generation runs
+    // of budget_rows each). Both inputs are visible.
+    uint64_t bound = ctx_->padding_row_bound;
+    uint64_t worst =
+        bound == 0 ? 0 : (bound + budget_rows_ - 1) / budget_rows_;
+    target = std::max(real, worst);
+  }
+  // Dummy runs cost one real flash page each; cap the defense's write
+  // amplification at something sane rather than letting a tiny budget
+  // against a huge table erase the key.
+  constexpr uint64_t kMaxDummyRuns = 256;
+  uint64_t dummies = std::min(target - real, kMaxDummyRuns);
+  if (dummies == 0) return Status::OK();
+  std::vector<uint8_t> zero_row(row_width_, 0);
+  GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle buf,
+                           ctx_->ram().AcquireOne(tag_ + "-pad"));
+  for (uint64_t i = 0; i < dummies; ++i) {
+    storage::RunWriter writer(&ctx_->flash(), ctx_->allocator, buf.data(),
+                              tag_);
+    GHOSTDB_RETURN_NOT_OK(writer.Append(zero_row.data(), row_width_));
+    GHOSTDB_ASSIGN_OR_RETURN(storage::RunRef run, writer.Finish());
+    stats_.padding_runs_written += 1;
+    stats_.padding_pages_written += run.page_count();
+    dummy_runs_.push_back(std::move(run));
+  }
+  return Status::OK();
+}
+
 Status ExternalRowSorter::Finish() {
   if (finished_) return Status::Internal("Finish() called twice");
   finished_ = true;
   if (runs_.empty()) {
     SortGeneration();  // pure in-memory sort, emitted from the arena
-    return Status::OK();
+    return PadSpillRuns();
   }
   GHOSTDB_RETURN_NOT_OK(SpillGeneration());
   // The final merge streams one reader buffer per run; merge down first if
@@ -139,6 +178,9 @@ Status ExternalRowSorter::Finish() {
                                          fan_in, tag_, cmp_, dedup_,
                                          &stats_));
   }
+  // Pad after the merge-down so the target covers merge-written runs too,
+  // and before the reader buffers pin the remaining RAM.
+  GHOSTDB_RETURN_NOT_OK(PadSpillRuns());
   GHOSTDB_ASSIGN_OR_RETURN(
       reader_bufs_,
       ram.Acquire(static_cast<uint32_t>(runs_.size()), tag_));
@@ -204,6 +246,11 @@ Status ExternalRowSorter::Close() {
     if (status.ok()) status = freed;
   }
   runs_.clear();
+  for (const storage::RunRef& run : dummy_runs_) {
+    Status freed = storage::FreeRun(ctx_->allocator, run, tag_);
+    if (status.ok()) status = freed;
+  }
+  dummy_runs_.clear();
   return status;
 }
 

@@ -72,6 +72,16 @@ class ExternalRowSorter {
   void SortGeneration();
   /// Sorts and writes the current generation as one run, then resets it.
   Status SpillGeneration();
+  /// Volume defense (ExecConfig::pad_spill_runs): writes one-row dummy
+  /// runs until the total run count reaches the padding mode's target —
+  /// next power of two of the real count (kQuantize) or the visible
+  /// worst-case generation count ceil(padding_row_bound / budget_rows)
+  /// (kWorstCase). Dummies are never read or merged and are freed in
+  /// Close(); they reduce the resolution of the per-sorter spill-count
+  /// side channel (exact invariance would need every operator to
+  /// instantiate its sorters unconditionally — the volume channel, not
+  /// this one, carries the strict guarantee).
+  Status PadSpillRuns();
   const uint8_t* GenRow(uint32_t index) const {
     return arena_.data() + static_cast<size_t>(index) * row_width_;
   }
@@ -87,6 +97,7 @@ class ExternalRowSorter {
   uint32_t gen_rows_ = 0;
   std::vector<uint32_t> perm_;  ///< sorted order of the generation
   std::vector<storage::RunRef> runs_;
+  std::vector<storage::RunRef> dummy_runs_;  ///< spill-count padding
   SpillStats stats_;
   bool finished_ = false;
   bool closed_ = false;

@@ -20,12 +20,14 @@ std::string_view PhysicalOpName(PhysicalOp op) {
     case PhysicalOp::kSort: return "Sort";
     case PhysicalOp::kLimit: return "Limit";
     case PhysicalOp::kTopKSort: return "TopKSort";
+    case PhysicalOp::kVolumePad: return "VolumePad";
   }
   return "?";
 }
 
 PhysicalPlan BuildPhysicalPlan(const sql::BoundQuery& query,
-                               PlanChoice choice, bool fuse_topk) {
+                               PlanChoice choice, bool fuse_topk,
+                               bool pad_volume) {
   PhysicalPlan plan;
   plan.choice = std::move(choice);
   auto add = [&](PhysicalOp op, int child) {
@@ -75,6 +77,9 @@ PhysicalPlan BuildPhysicalPlan(const sql::BoundQuery& query,
       plan.nodes.back().limit = *query.limit;
     }
   }
+  // The volume defense pads *observed* volume, so it must sit above every
+  // row-count-changing operator — including LIMIT.
+  if (pad_volume) node = add(PhysicalOp::kVolumePad, node);
   plan.root = node;
   return plan;
 }

@@ -41,6 +41,10 @@ enum class PhysicalOp : uint8_t {
   kSort,               ///< ORDER BY over select-list columns
   kLimit,              ///< truncate the stream after N rows
   kTopKSort,           ///< fused Sort -> Limit k: bounded k-row heap
+  /// Volume defense root: forwards the stream, then emits dummy rows until
+  /// the observed volume hits the padding mode's target (quantized or
+  /// visible-worst-case). Dummies are stripped at the QueryResult boundary.
+  kVolumePad,
 };
 
 std::string_view PhysicalOpName(PhysicalOp op);
@@ -82,7 +86,12 @@ struct PhysicalPlan {
 /// fused TopKSort node — O(k) secure memory instead of a full materialized
 /// sort. The fusion keys on the *presence* of ORDER BY and LIMIT (shape
 /// information); k itself stays a literal the executor re-binds.
+///
+/// With `pad_volume` (ExecConfig::volume_padding != kOff) a VolumePad node
+/// caps the tree: config is visible information, so padded plans cache
+/// like any other.
 PhysicalPlan BuildPhysicalPlan(const sql::BoundQuery& query,
-                               PlanChoice choice, bool fuse_topk = true);
+                               PlanChoice choice, bool fuse_topk = true,
+                               bool pad_volume = false);
 
 }  // namespace ghostdb::plan

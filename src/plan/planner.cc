@@ -116,8 +116,9 @@ Result<PhysicalPlan> Planner::PlanQuery(
     const exec::ExecConfig& exec_config) const {
   GHOSTDB_ASSIGN_OR_RETURN(PlanChoice choice,
                            Choose(query, vis_counts, exec_config));
-  PhysicalPlan plan = BuildPhysicalPlan(query, std::move(choice),
-                                        exec_config.topk_fusion);
+  PhysicalPlan plan = BuildPhysicalPlan(
+      query, std::move(choice), exec_config.topk_fusion,
+      exec_config.volume_padding != exec::VolumePadding::kOff);
   // Batch sizing: a byte budget over the output row width. Widths are
   // schema metadata (visible), so the sized plan (and the layout it was
   // derived from) stays cacheable.

@@ -179,6 +179,16 @@ TEST(DifferentialFuzzTest, MatchesOracleUnderForcedTinySortBudget) {
     auto cfg = fuzztest::FuzzConfig(visible_seed, /*retain_staged=*/true,
                                     /*worker_threads=*/d % 2 == 0 ? 4 : 1);
     cfg.exec.sort_budget_buffers = 1;
+    // Cycle the volume-padding defense through the sweep: padded databases
+    // must stay oracle-exact (every dummy row stripped before the result
+    // surface), including on the spill paths this test forces.
+    cfg.exec.volume_padding = (d + 1) % 3 == 0
+                                  ? exec::VolumePadding::kOff
+                                  : ((d + 1) % 3 == 1
+                                         ? exec::VolumePadding::kQuantize
+                                         : exec::VolumePadding::kWorstCase);
+    cfg.exec.pad_spill_runs =
+        cfg.exec.volume_padding != exec::VolumePadding::kOff;
     GhostDB db(cfg);
     ASSERT_TRUE(fuzztest::BuildFuzzDb(&db, visible_seed, hidden_seed).ok());
     fuzztest::FuzzShape shape = fuzztest::MakeShape(visible_seed);
@@ -193,8 +203,9 @@ TEST(DifferentialFuzzTest, MatchesOracleUnderForcedTinySortBudget) {
         std::string repro =
             "[tiny-sort-budget] visible_seed=" + std::to_string(visible_seed) +
             " hidden_seed=" + std::to_string(hidden_seed) +
-            " query_seed=" + std::to_string(query_seed) + " sql=" + sql +
-            " | " + why;
+            " query_seed=" + std::to_string(query_seed) + " padding=" +
+            std::to_string(static_cast<int>(cfg.exec.volume_padding)) +
+            " sql=" + sql + " | " + why;
         RecordFailure(repro);
         ADD_FAILURE() << repro;
         if (failures >= 10) {

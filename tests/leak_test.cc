@@ -19,6 +19,7 @@
 #include "device/channel.h"
 #include "fuzz_common.h"
 #include "plan/strategy.h"
+#include "transcript_common.h"
 
 namespace ghostdb {
 namespace {
@@ -73,25 +74,9 @@ void BuildDb(GhostDB* db, uint64_t hidden_seed) {
   ASSERT_TRUE(db->Build().ok());
 }
 
-// Transcript equality: direction, label, size, content digest, and session
-// tag of every message, in order. Including the session tag makes this the
-// multi-session property: not just each message but the *interleaving* —
-// which session's message sits at position i — must be hidden-independent.
-void ExpectIdenticalTranscripts(const std::vector<ChannelMessage>& a,
-                                const std::vector<ChannelMessage>& b) {
-  ASSERT_EQ(a.size(), b.size()) << "different number of channel messages";
-  for (size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(static_cast<int>(a[i].direction),
-              static_cast<int>(b[i].direction))
-        << "message " << i;
-    EXPECT_EQ(a[i].label, b[i].label) << "message " << i;
-    EXPECT_EQ(a[i].bytes, b[i].bytes) << "message " << i;
-    EXPECT_EQ(a[i].content_digest, b[i].content_digest)
-        << "message " << i << " (" << a[i].label << ")";
-    EXPECT_EQ(a[i].session, b[i].session)
-        << "message " << i << " (" << a[i].label << ")";
-  }
-}
+// Transcript equality lives in transcript_common.h, shared with the attack
+// harness (which feeds the same observer view into inference procedures).
+using transcript::ExpectIdenticalTranscripts;
 
 void RunAndCompare(const std::string& sql,
                    const GhostDBConfig& config = Config()) {

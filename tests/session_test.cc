@@ -14,6 +14,7 @@
 #include "reference/oracle.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
+#include "transcript_common.h"
 
 namespace ghostdb {
 namespace {
@@ -209,10 +210,8 @@ TEST(SessionTest, DrainInterleavingIsDeterministic) {
     auto ran = db->DrainSessions({a->get(), b->get()});
     ASSERT_TRUE(ran.ok());
     EXPECT_EQ(*ran, 10u);
-    for (const auto& m : db->device().channel().transcript()) {
-      labels->push_back(std::to_string(m.session) + ":" + m.label + ":" +
-                        std::to_string(m.bytes));
-    }
+    *labels =
+        transcript::TranscriptSignature(db->device().channel().transcript());
   };
   GhostDB db1(Config()), db2(Config());
   std::vector<std::string> t1, t2;

@@ -1,0 +1,56 @@
+// Shared transcript-observation helpers for the security tests.
+//
+// Everything here models the honest-but-curious channel observer: a party
+// that sees every message crossing the Untrusted<->Secure wire (direction,
+// order, label, size, payload digest, session tag) but cannot open the
+// Secure key. The leak tests assert transcripts are *identical* across
+// hidden-data variants; the attack tests feed the same observation into
+// inference procedures and measure what they recover.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "device/channel.h"
+
+namespace ghostdb::transcript {
+
+/// Transcript equality: direction, label, size, content digest, and session
+/// tag of every message, in order. Including the session tag makes this the
+/// multi-session property: not just each message but the *interleaving* —
+/// which session's message sits at position i — must be hidden-independent.
+inline void ExpectIdenticalTranscripts(
+    const std::vector<device::ChannelMessage>& a,
+    const std::vector<device::ChannelMessage>& b) {
+  ASSERT_EQ(a.size(), b.size()) << "different number of channel messages";
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(a[i].direction),
+              static_cast<int>(b[i].direction))
+        << "message " << i;
+    EXPECT_EQ(a[i].label, b[i].label) << "message " << i;
+    EXPECT_EQ(a[i].bytes, b[i].bytes) << "message " << i;
+    EXPECT_EQ(a[i].content_digest, b[i].content_digest)
+        << "message " << i << " (" << a[i].label << ")";
+    EXPECT_EQ(a[i].session, b[i].session)
+        << "message " << i << " (" << a[i].label << ")";
+  }
+}
+
+/// Flattens a transcript to the wire-pattern view ("session:label:bytes"
+/// per message, in order) — the traffic-analysis granularity an observer
+/// gets without decrypting payloads. Two transcripts with equal signatures
+/// have the same message count, sizes, ordering, and session interleaving.
+inline std::vector<std::string> TranscriptSignature(
+    const std::vector<device::ChannelMessage>& transcript) {
+  std::vector<std::string> out;
+  out.reserve(transcript.size());
+  for (const auto& m : transcript) {
+    out.push_back(std::to_string(m.session) + ":" + m.label + ":" +
+                  std::to_string(m.bytes));
+  }
+  return out;
+}
+
+}  // namespace ghostdb::transcript
