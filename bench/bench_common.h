@@ -112,9 +112,9 @@ inline bool HasFlag(int argc, char** argv, const char* flag) {
 /// is a no-op, so benches can Record() unconditionally.
 class JsonReporter {
  public:
-  JsonReporter(int argc, char** argv) {
+  JsonReporter(int argc, char** argv, const char* flag = "--json") {
     for (int i = 1; i + 1 < argc; ++i) {
-      if (std::strcmp(argv[i], "--json") == 0) path_ = argv[i + 1];
+      if (std::strcmp(argv[i], flag) == 0) path_ = argv[i + 1];
     }
   }
   ~JsonReporter() { Write(); }

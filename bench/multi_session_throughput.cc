@@ -15,8 +15,16 @@
 // channel) stays serial under the arbiter, so the workload leans on
 // visible columns. Needs >1 host core for the widths to separate.
 //
+//  * the sharded-fleet scaling win: the same drain over a store
+//    hash-partitioned across shard_count 1 / 2 / 4 SecureDevices.
+//    Scatter-gather divides the per-query device work (hidden scans,
+//    flash, projection streaming) across per-shard clocks, so *simulated*
+//    serving time — a deterministic function of the cost model — must
+//    drop monotonically and reach >= 1.5x at 4 shards (asserted, with the
+//    answers pinned to the serial baseline).
+//
 // Usage: bench_multi_session_throughput [sessions=4] [stmts/session=40]
-//                                       [--json FILE]
+//                                       [--json FILE] [--shard-json FILE]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -114,10 +122,11 @@ std::vector<std::string> SessionWorkload(int session, int statements) {
   return sqls;
 }
 
-core::GhostDBConfig Config(uint32_t workers) {
+core::GhostDBConfig Config(uint32_t workers, uint32_t shards = 1) {
   core::GhostDBConfig cfg;
   cfg.device.flash.logical_pages = 256 * 1024;
   cfg.worker_threads = workers;
+  cfg.shard_count = shards;
   // Row counts stay exact; capping materialization keeps the serial
   // decode-to-Values tail from flattening the scaling signal.
   cfg.exec.result_row_limit = 64;
@@ -135,10 +144,12 @@ struct DrainOutcome {
   exec::QueryMetrics totals;
 };
 
-// Builds a fresh shared store with `workers` pool width, opens K sessions,
-// queues every workload, and drains under the deterministic scheduler.
-DrainOutcome RunSharedStore(int sessions, int per_session, uint32_t workers) {
-  core::GhostDB db(Config(workers));
+// Builds a fresh shared store with `workers` pool width (partitioned across
+// `shards` devices), opens K sessions, queues every workload, and drains
+// under the deterministic scheduler.
+DrainOutcome RunSharedStore(int sessions, int per_session, uint32_t workers,
+                            uint32_t shards = 1) {
+  core::GhostDB db(Config(workers, shards));
   BuildDb(&db);
   std::vector<std::unique_ptr<core::Session>> handles;
   for (int s = 0; s < sessions; ++s) {
@@ -243,5 +254,61 @@ int main(int argc, char** argv) {
               std::thread::hardware_concurrency() < 4
                   ? "  (needs >=4 host cores to mean anything)"
                   : "");
-  return 0;
+
+  // ---- Sharded fleet axis: shard_count 1 / 2 / 4 ------------------------
+  // One logical store hash-partitioned across N simulated SecureDevices;
+  // the same K-session drain. Root-anchored statements scatter across the
+  // fleet (each shard's device does ~1/N of the hidden scans, flash reads,
+  // and projection streaming on its own clock) and gather on shard 0, so
+  // the *simulated* serving time — max over scatter legs plus the gather
+  // tail, summed over statements — is the scaling signal. It is a pure
+  // function of the cost model, so the monotonicity and speedup criteria
+  // below are deterministic, unlike wall-clock. Answers must not move.
+  bench::JsonReporter shard_json(argc, argv, "--shard-json");
+  double sim_s1 = 0.0, sim_s4 = 0.0;
+  bool shard_scaling_ok = true;
+  double prev_sim = 0.0;
+  for (uint32_t shards : {1u, 2u, 4u}) {
+    DrainOutcome out = RunSharedStore(sessions, per_session, /*workers=*/1,
+                                      shards);
+    double sim = bench::Sec(out.totals.total_ns);
+    shard_json.Record("shards_" + std::to_string(shards), out.wall_s * 1e3,
+                      sim, out.totals);
+    std::printf("  %u-shard fleet:              serve %.3f s sim "
+                "(%.0f stmts/sim-s; wall %.3f s, %llu rows)\n",
+                shards, sim, total / sim, out.wall_s,
+                static_cast<unsigned long long>(out.rows));
+    if (out.rows != serial_rows) {
+      std::fprintf(stderr,
+                   "row mismatch vs serial baseline at %u shards: "
+                   "%llu vs %llu\n",
+                   shards, static_cast<unsigned long long>(out.rows),
+                   static_cast<unsigned long long>(serial_rows));
+      return 1;
+    }
+    if (prev_sim > 0.0 && sim > prev_sim) {
+      std::fprintf(stderr,
+                   "shard scaling not monotonic: %u shards took %.6f "
+                   "sim-s after %.6f\n",
+                   shards, sim, prev_sim);
+      shard_scaling_ok = false;
+    }
+    prev_sim = sim;
+    if (shards == 1) sim_s1 = sim;
+    if (shards == 4) sim_s4 = sim;
+  }
+  double shard_speedup = sim_s1 / sim_s4;
+  shard_json.RecordCustom(
+      "shard_scaling",
+      "\"speedup_4v1\": " + std::to_string(shard_speedup) +
+          ", \"criterion\": 1.5");
+  std::printf("  shard-fleet scaling (1/4):   %.2fx simulated (criterion "
+              ">= 1.50x, monotonic)\n", shard_speedup);
+  if (shard_speedup < 1.5) {
+    std::fprintf(stderr,
+                 "shard scaling criterion failed: %.2fx < 1.5x at 4 "
+                 "shards\n", shard_speedup);
+    shard_scaling_ok = false;
+  }
+  return shard_scaling_ok ? 0 : 1;
 }

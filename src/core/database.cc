@@ -1,6 +1,7 @@
 #include "core/database.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "crypto/sha256.h"
 #include "sql/binder.h"
@@ -8,6 +9,47 @@
 namespace ghostdb::core {
 
 using catalog::TableId;
+
+namespace {
+
+/// Merges per-shard partial-aggregate groups by canonical key: aggregates
+/// fold via Aggregator::MergeFrom, first_seq takes the minimum (the
+/// group's first global arrival), and the raw key cells follow the
+/// first-arriving shard — the cells a single device would have rendered
+/// (canonically equal keys can differ in raw bytes, e.g. -0.0 vs 0.0).
+/// The result is ordered by first_seq, reproducing the single-device
+/// first-arrival group emission order.
+Result<std::vector<exec::PartialAggGroup>> CombineShardPartials(
+    std::vector<std::vector<exec::PartialAggGroup>>* shards) {
+  std::vector<exec::PartialAggGroup> out;
+  std::map<std::string, size_t> index;
+  for (auto& shard : *shards) {
+    for (exec::PartialAggGroup& pg : shard) {
+      auto [it, inserted] = index.try_emplace(pg.key, out.size());
+      if (inserted) {
+        out.push_back(std::move(pg));
+        continue;
+      }
+      exec::PartialAggGroup& acc = out[it->second];
+      for (size_t i = 0; i < acc.aggs.size(); ++i) {
+        GHOSTDB_RETURN_NOT_OK(acc.aggs[i].MergeFrom(pg.aggs[i]));
+      }
+      if (pg.first_seq < acc.first_seq) {
+        acc.first_seq = pg.first_seq;
+        acc.key_cells = std::move(pg.key_cells);
+      }
+    }
+    shard.clear();
+  }
+  std::sort(out.begin(), out.end(),
+            [](const exec::PartialAggGroup& a,
+               const exec::PartialAggGroup& b) {
+              return a.first_seq < b.first_seq;
+            });
+  return out;
+}
+
+}  // namespace
 
 uint32_t DeclaredShapeWeight(const sql::BoundQuery& query) {
   // Visible information only: the arbiter's fairness unit is the number of
@@ -88,6 +130,15 @@ Status GhostDB::Build() {
         "GhostDBConfig.worker_threads > 64 is absurd for a PC-side morsel "
         "pool");
   }
+  if (config_.shard_count == 0) {
+    return Status::InvalidArgument(
+        "GhostDBConfig.shard_count must be >= 1 (1 = single device)");
+  }
+  if (config_.shard_count > 16) {
+    return Status::InvalidArgument(
+        "GhostDBConfig.shard_count > 16 is absurd for a simulated fleet of "
+        "smart USB keys on one host");
+  }
   GHOSTDB_RETURN_NOT_OK(exec::ValidateExecConfig(config_.exec));
   // Effective width: the explicit ExecConfig override if set, else the
   // database-wide knob. Stamp it back into the exec config so the planner
@@ -126,12 +177,60 @@ Status GhostDB::Build() {
     }
     config_.loader.indexed_attrs = std::move(resolved);
   }
-  Loader loader(&schema_, device_.get(), allocator_.get(), untrusted_.get(),
-                config_.loader);
-  GHOSTDB_ASSIGN_OR_RETURN(store_, loader.Load(staged_));
+  // Sharded fleets: hash-partition the root's rows across the devices
+  // (every other table replicates) and install each shard's local→global
+  // id map on both sides of its channel — Secure renders global anchor
+  // ids, Untrusted evaluates id predicates against them.
+  ShardedStaging parts;
+  const std::vector<TableData>* shard0_staged = &staged_;
+  if (config_.shard_count > 1) {
+    GHOSTDB_ASSIGN_OR_RETURN(
+        parts,
+        PartitionStagedByRoot(schema_, staged_, config_.shard_count));
+    shard0_staged = &parts.shards[0];
+    if (schema_.table_count() > 0) {
+      fleet_anchor_rows_ = staged_[schema_.root()].row_count();
+    }
+  }
+  {
+    Loader loader(&schema_, device_.get(), allocator_.get(),
+                  untrusted_.get(), config_.loader);
+    GHOSTDB_ASSIGN_OR_RETURN(store_, loader.Load(*shard0_staged));
+  }
+  if (config_.shard_count > 1 && schema_.table_count() > 0) {
+    TableId root = schema_.root();
+    store_.tables[root].global_ids = parts.root_global_ids[0];
+    GHOSTDB_RETURN_NOT_OK(untrusted_->store().SetGlobalIds(
+        root, parts.root_global_ids[0]));
+  }
   executor_ = std::make_unique<exec::SecureExecutor>(
       device_.get(), allocator_.get(), &schema_, &store_, untrusted_.get(),
       config_.exec, pool_.get());
+  for (uint32_t s = 1; s < config_.shard_count; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->device = std::make_unique<device::SecureDevice>(config_.device);
+    shard->allocator =
+        std::make_unique<storage::PageAllocator>(&shard->device->flash());
+    shard->untrusted = std::make_unique<untrusted::UntrustedEngine>(
+        &schema_, &shard->device->channel());
+    shard->untrusted->set_pool(pool_.get());
+    Loader loader(&schema_, shard->device.get(), shard->allocator.get(),
+                  shard->untrusted.get(), config_.loader);
+    GHOSTDB_ASSIGN_OR_RETURN(shard->store, loader.Load(parts.shards[s]));
+    if (schema_.table_count() > 0) {
+      TableId root = schema_.root();
+      shard->store.tables[root].global_ids = parts.root_global_ids[s];
+      GHOSTDB_RETURN_NOT_OK(shard->untrusted->store().SetGlobalIds(
+          root, parts.root_global_ids[s]));
+    }
+    shard->executor = std::make_unique<exec::SecureExecutor>(
+        shard->device.get(), shard->allocator.get(), &schema_,
+        &shard->store, shard->untrusted.get(), config_.exec, pool_.get());
+    extra_shards_.push_back(std::move(shard));
+  }
+  // The planner reads shard 0's store (statistics differ per shard only in
+  // their samples; the plan is shared fleet-wide through the plan cache).
+  config_.planner.shard_count = config_.shard_count;
   planner_ =
       std::make_unique<plan::Planner>(&schema_, &store_, config_.planner);
   if (!config_.retain_staged_data) {
@@ -154,37 +253,53 @@ Result<std::unique_ptr<Session>> GhostDB::OpenSession(
   }
   std::string name =
       options.name.empty() ? "s" + std::to_string(id) : options.name;
-  auto& ram = device_->ram();
   uint32_t quota = options.ram_quota_buffers;
   if (quota == SessionOptions::kDefaultRamQuota) {
-    quota = std::max<uint32_t>(1, ram.total_buffers() / 4);
+    quota = std::max<uint32_t>(1, device_->ram().total_buffers() / 4);
   }
-  device::RamPartitionId partition = device::kSharedRamPartition;
-  if (quota > 0) {
-    // The partition pledge mutates the RAM manager, so take an admission:
-    // device state only ever changes under the arbiter's exclusion.
-    device::ChannelArbiter::Admission admission(&device_->arbiter(), -1, 1);
-    GHOSTDB_ASSIGN_OR_RETURN(partition, ram.CreatePartition(name, quota));
+  // A session spans the fleet: the same quota is pledged on every shard's
+  // RAM manager and the session registers with every shard's arbiter, so
+  // its scatter legs are admitted and charged on each device identically.
+  std::vector<device::RamPartitionId> partitions;
+  partitions.reserve(shard_count());
+  for (uint32_t s = 0; s < shard_count(); ++s) {
+    device::SecureDevice& dev = shard_device(s);
+    device::RamPartitionId partition = device::kSharedRamPartition;
+    if (quota > 0) {
+      // The partition pledge mutates the RAM manager, so take an
+      // admission: device state only ever changes under the arbiter's
+      // exclusion.
+      device::ChannelArbiter::Admission admission(&dev.arbiter(), -1, 1);
+      GHOSTDB_ASSIGN_OR_RETURN(partition,
+                               dev.ram().CreatePartition(name, quota));
+    }
+    dev.arbiter().Register(id, name);
+    partitions.push_back(partition);
   }
-  device_->arbiter().Register(id, name);
   {
     std::lock_guard<std::mutex> lk(sessions_mu_);
     open_sessions_ += 1;
   }
   return std::unique_ptr<Session>(
-      new Session(this, id, std::move(name), partition));
+      new Session(this, id, std::move(name), std::move(partitions)));
 }
 
 void GhostDB::CloseSession(Session* session) {
-  if (session->partition_ != device::kSharedRamPartition) {
-    device::ChannelArbiter::Admission admission(&device_->arbiter(),
-                                                session->id_, 1);
-    // A failure here means the session still holds buffers — impossible
-    // once its last query finished (all operator handles are RAII); there
-    // is nothing useful to do with it in a destructor path.
-    device_->ram().ReleasePartition(session->partition_).ok();
+  for (uint32_t s = 0; s < shard_count() &&
+                       s < static_cast<uint32_t>(session->bindings_.size());
+       ++s) {
+    device::SecureDevice& dev = shard_device(s);
+    device::RamPartitionId partition = session->bindings_[s].ram_partition;
+    if (partition != device::kSharedRamPartition) {
+      device::ChannelArbiter::Admission admission(&dev.arbiter(),
+                                                  session->id_, 1);
+      // A failure here means the session still holds buffers — impossible
+      // once its last query finished (all operator handles are RAII);
+      // there is nothing useful to do with it in a destructor path.
+      dev.ram().ReleasePartition(partition).ok();
+    }
+    dev.arbiter().Unregister(session->id_);
   }
-  device_->arbiter().Unregister(session->id_);
   std::lock_guard<std::mutex> lk(sessions_mu_);
   open_sessions_ -= 1;
 }
@@ -251,14 +366,26 @@ Result<std::shared_ptr<const PreparedQuery>> GhostDB::Prepare(
   return PrepareBound(query, nullptr, nullptr);
 }
 
-Result<exec::QueryResult> GhostDB::RunSelect(
-    const sql::BoundQuery& query, const plan::PlanChoice* pinned,
-    const exec::SessionBinding* session) {
+bool GhostDB::ShardFanout(const sql::BoundQuery& query) const {
+  // Visible inputs only (fleet size, anchor table, EXPLAIN flag): whether
+  // a statement scatters is as observable as the statement itself. A
+  // non-root anchor reads only fully replicated tables, so shard 0 alone
+  // holds the complete answer; EXPLAIN renders the plan without touching
+  // data.
+  return !extra_shards_.empty() && !query.explain &&
+         schema_.table_count() > 0 && query.anchor == schema_.root();
+}
+
+Result<exec::QueryResult> GhostDB::RunSelect(const sql::BoundQuery& query,
+                                             const plan::PlanChoice* pinned,
+                                             const Session* session) {
   if (!built_) {
     return Status::InvalidArgument("call Build() before querying");
   }
+  if (ShardFanout(query)) return RunSelectSharded(query, pinned, session);
   static const exec::SessionBinding kMainSession;
-  if (session == nullptr) session = &kMainSession;
+  const exec::SessionBinding* binding =
+      session != nullptr ? &session->bindings_[0] : &kMainSession;
   exec::EncodedRows deferred;
   PlanCache::Outcome outcome;
   bool cached_path = pinned == nullptr;
@@ -277,7 +404,7 @@ Result<exec::QueryResult> GhostDB::RunSelect(
     // snapshot, announcement, planning round-trips, execution — runs with
     // exclusive device access under this session's transcript tag.
     device::ChannelArbiter::Admission admission(&device_->arbiter(),
-                                                session->id,
+                                                binding->id,
                                                 DeclaredShapeWeight(query));
     exec::MetricSnapshot baseline =
         exec::MetricSnapshot::Take(device_.get());
@@ -322,7 +449,7 @@ Result<exec::QueryResult> GhostDB::RunSelect(
                                PrepareBound(query, &prefetch, &outcome));
       plan = &prepared->plan;  // the held snapshot keeps the plan alive
     }
-    return executor_->Execute(query, *plan, &baseline, session, &deferred,
+    return executor_->Execute(query, *plan, &baseline, binding, &deferred,
                               &prefetch);
   }();
   if (!result.ok() || query.explain) return result;
@@ -330,6 +457,164 @@ Result<exec::QueryResult> GhostDB::RunSelect(
   // Values *after* the admission released, so one session's rendering
   // overlaps the next session's device work. Purely local — the decode
   // can touch nothing observable.
+  deferred.DecodeInto(&result.ValueUnsafe());
+  if (cached_path) {
+    result.ValueUnsafe().metrics.plan_cache_hits = outcome.hit ? 1 : 0;
+    result.ValueUnsafe().metrics.plan_cache_replans =
+        outcome.replanned ? 1 : 0;
+    result.ValueUnsafe().metrics.plan_cache_misses =
+        outcome.hit || outcome.replanned ? 0 : 1;
+  }
+  return result;
+}
+
+Result<exec::QueryResult> GhostDB::RunSelectSharded(
+    const sql::BoundQuery& query, const plan::PlanChoice* pinned,
+    const Session* session) {
+  static const exec::SessionBinding kMainSession;
+  const uint32_t shards = shard_count();
+  auto binding_for = [&](uint32_t s) -> const exec::SessionBinding* {
+    return session != nullptr ? &session->bindings_[s] : &kMainSession;
+  };
+  auto executor_for = [&](uint32_t s) -> exec::SecureExecutor* {
+    return s == 0 ? executor_.get() : extra_shards_[s - 1]->executor.get();
+  };
+  const uint32_t weight = DeclaredShapeWeight(query);
+  PlanCache::Outcome outcome;
+  bool cached_path = pinned == nullptr;
+
+  // PC-side speculation, per shard: each Untrusted holds its own visible
+  // slice, so each one pre-evaluates the visible answers its device will
+  // request — before any admission, exactly like the single-device path.
+  std::vector<untrusted::VisPrefetch> prefetch(shards);
+  for (uint32_t s = 0; s < shards; ++s) {
+    GHOSTDB_ASSIGN_OR_RETURN(prefetch[s],
+                             shard_untrusted(s).PrefetchVisible(query));
+  }
+
+  std::vector<std::vector<exec::PartialAggGroup>> shard_partials(shards);
+  std::vector<exec::EncodedRows> shard_rows(shards);
+  exec::EncodedRows deferred;  // the gather pass's rendering surface
+  Result<exec::QueryResult> result = [&]() -> Result<exec::QueryResult> {
+    // Shard 0 is the coordinator: one admission covers its announcement,
+    // the (shared) planning round-trips, its own scatter leg, and the
+    // gather pass, so its transcript is a single deterministic block.
+    device::ChannelArbiter::Admission admission(&device_->arbiter(),
+                                                binding_for(0)->id, weight);
+    exec::MetricSnapshot baseline0 =
+        exec::MetricSnapshot::Take(device_.get());
+    untrusted_->ReceiveQuery(query.sql);
+
+    plan::PhysicalPlan pinned_plan;
+    std::shared_ptr<const PreparedQuery> prepared;
+    const plan::PhysicalPlan* plan = nullptr;
+    if (pinned != nullptr) {
+      std::map<TableId, uint64_t> vis_counts;
+      GHOSTDB_RETURN_NOT_OK(ServeVisCounts(query, &prefetch[0],
+                                           &vis_counts));
+      pinned_plan = plan::BuildPhysicalPlan(
+          query, *pinned, config_.exec.topk_fusion,
+          config_.exec.volume_padding != exec::VolumePadding::kOff);
+      pinned_plan.shard_fanout = true;
+      plan = &pinned_plan;
+    } else {
+      GHOSTDB_ASSIGN_OR_RETURN(prepared,
+                               PrepareBound(query, &prefetch[0], &outcome));
+      plan = &prepared->plan;
+    }
+    int boundary = exec::FindFanoutBoundary(*plan);
+    if (boundary < 0) {
+      return Status::Internal("sharded plan has no fan-out boundary");
+    }
+    bool agg_boundary =
+        plan->nodes[boundary].op == plan::PhysicalOp::kAggregate ||
+        plan->nodes[boundary].op == plan::PhysicalOp::kGroupAggregate;
+
+    // Scatter: every shard runs the plan's subtree at/below the boundary
+    // over its own slice. Shards 1..N-1 go on their own threads under
+    // their own arbiters (independent devices admit independently); the
+    // coordinator runs shard 0's leg on this thread under the admission
+    // already held.
+    std::vector<Result<exec::QueryResult>> legs(
+        shards,
+        Result<exec::QueryResult>(Status::Internal("scatter leg unset")));
+    auto run_leg = [&](uint32_t s) {
+      exec::FanoutParams params;
+      params.role = exec::FanoutParams::Role::kScatter;
+      if (agg_boundary) params.partials_out = &shard_partials[s];
+      exec::EncodedRows* rows_out =
+          agg_boundary ? nullptr : &shard_rows[s];
+      if (s == 0) {
+        legs[0] = executor_for(0)->Execute(query, *plan, &baseline0,
+                                           binding_for(0), rows_out,
+                                           &prefetch[0], &params);
+        return;
+      }
+      device::SecureDevice& dev = shard_device(s);
+      device::ChannelArbiter::Admission leg_admission(&dev.arbiter(),
+                                                      binding_for(s)->id,
+                                                      weight);
+      exec::MetricSnapshot base = exec::MetricSnapshot::Take(&dev);
+      shard_untrusted(s).ReceiveQuery(query.sql);
+      legs[s] = executor_for(s)->Execute(query, *plan, &base,
+                                         binding_for(s), rows_out,
+                                         &prefetch[s], &params);
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(shards - 1);
+    for (uint32_t s = 1; s < shards; ++s) threads.emplace_back(run_leg, s);
+    run_leg(0);
+    for (auto& t : threads) t.join();
+    for (uint32_t s = 0; s < shards; ++s) {
+      GHOSTDB_RETURN_NOT_OK(legs[s].status());
+    }
+
+    // Combine the shard outputs into the gather pass's input.
+    exec::FanoutParams gparams;
+    gparams.role = exec::FanoutParams::Role::kGather;
+    gparams.padding_row_bound_override = fleet_anchor_rows_;
+    std::vector<exec::PartialAggGroup> combined;
+    exec::GatherInput gather_input;
+    if (agg_boundary) {
+      GHOSTDB_ASSIGN_OR_RETURN(combined,
+                               CombineShardPartials(&shard_partials));
+      gparams.gather_partials = &combined;
+    } else {
+      uint64_t skipped = 0;
+      for (uint32_t s = 0; s < shards; ++s) {
+        skipped += legs[s]->total_rows - shard_rows[s].row_count;
+      }
+      gather_input.rows = exec::MergeEncodedRowsBySeq(std::move(shard_rows));
+      gather_input.skipped_rows = skipped;
+      gparams.gather_rows = &gather_input;
+    }
+
+    // Gather on the coordinator: the plan's tail over the combined
+    // stream, measured from its own baseline.
+    GHOSTDB_ASSIGN_OR_RETURN(
+        exec::QueryResult gathered,
+        executor_->Execute(query, *plan, nullptr, binding_for(0), &deferred,
+                           nullptr, &gparams));
+
+    // Fleet metrics: channel/flash/QEP counters sum over every leg;
+    // wall-clock is the slowest scatter leg plus the gather tail (the
+    // legs' device clocks tick concurrently); the answer-volume fields
+    // are the gather's alone — scatter outputs are intermediate.
+    exec::QueryMetrics total;
+    SimNanos slowest_leg = 0;
+    for (uint32_t s = 0; s < shards; ++s) {
+      total.Accumulate(legs[s]->metrics);
+      slowest_leg = std::max(slowest_leg, legs[s]->metrics.total_ns);
+    }
+    total.Accumulate(gathered.metrics);
+    total.total_ns = slowest_leg + gathered.metrics.total_ns;
+    total.result_rows = gathered.metrics.result_rows;
+    total.observed_volume = gathered.metrics.observed_volume;
+    total.padding_rows = gathered.metrics.padding_rows;
+    gathered.metrics = std::move(total);
+    return gathered;
+  }();
+  if (!result.ok()) return result;
   deferred.DecodeInto(&result.ValueUnsafe());
   if (cached_path) {
     result.ValueUnsafe().metrics.plan_cache_hits = outcome.hit ? 1 : 0;
@@ -408,7 +693,13 @@ Result<BatchResult> GhostDB::QueryBatch(const std::vector<std::string>& sqls) {
     batch.total.Accumulate(r->metrics);
     batch.results.push_back(std::move(*r));
   }
-  baseline.Delta(device_.get(), &batch.total);
+  // Device-derived batch totals come from the baseline delta on a single
+  // device. A sharded fleet has N independent clocks and channels, so the
+  // per-statement sums (already fleet-wide: every leg's counters fold into
+  // its statement's metrics) stand as the batch totals instead.
+  if (extra_shards_.empty()) {
+    baseline.Delta(device_.get(), &batch.total);
+  }
   return batch;
 }
 

@@ -47,6 +47,17 @@ namespace ghostdb::core {
 
 struct GhostDBConfig {
   device::DeviceConfig device;
+  /// Simulated SecureDevices the logical database shards across. The
+  /// loader hash-partitions the schema root's rows over the fleet (every
+  /// other table replicates in full, so parent→child foreign keys stay
+  /// local); root-anchored queries scatter the plan's per-shard subtree
+  /// across all devices concurrently and combine on a gather pass —
+  /// merge-by-global-id for row streams, a partial-aggregate combine for
+  /// aggregation roots. Answers are byte-identical for every value; each
+  /// device keeps its own channel, flash, clock, RAM partition pool, and
+  /// arbiter, so the per-device transcript contract is unchanged. 1 = the
+  /// classic single device.
+  uint32_t shard_count = 1;
   /// Encrypt external NAND pages (the chip sits outside the secure
   /// perimeter, Fig 2). Zero simulated-time cost; real crypto exercised.
   bool encrypt_external_flash = true;
@@ -158,6 +169,22 @@ class GhostDB {
   storage::PageAllocator& allocator() { return *allocator_; }
   untrusted::UntrustedEngine& untrusted() { return *untrusted_; }
   const SecureStore& store() const { return store_; }
+
+  /// Devices in the fleet (1 until Build() under a sharded config).
+  uint32_t shard_count() const {
+    return static_cast<uint32_t>(1 + extra_shards_.size());
+  }
+  /// Shard s's device / store / engine (shard 0 is the primary device the
+  /// unsharded accessors above return).
+  device::SecureDevice& shard_device(uint32_t s) {
+    return s == 0 ? *device_ : *extra_shards_[s - 1]->device;
+  }
+  const SecureStore& shard_store(uint32_t s) const {
+    return s == 0 ? store_ : extra_shards_[s - 1]->store;
+  }
+  untrusted::UntrustedEngine& shard_untrusted(uint32_t s) {
+    return s == 0 ? *untrusted_ : *extra_shards_[s - 1]->untrusted;
+  }
   /// Staged data (only if retain_staged_data).
   const std::vector<TableData>& staged() const { return staged_; }
 
@@ -182,13 +209,38 @@ class GhostDB {
  private:
   friend class Session;
 
+  /// One non-primary device of a sharded fleet: a full vertical stack —
+  /// device, allocator, Untrusted engine over its visible slice, Secure
+  /// store, executor. (Shard 0 lives in the primary members so the
+  /// unsharded accessors and single-device paths are untouched.)
+  struct Shard {
+    std::unique_ptr<device::SecureDevice> device;
+    std::unique_ptr<storage::PageAllocator> allocator;
+    std::unique_ptr<untrusted::UntrustedEngine> untrusted;
+    SecureStore store;
+    std::unique_ptr<exec::SecureExecutor> executor;
+  };
+
   Result<sql::BoundQuery> BindSelect(const std::string& sql, bool* explain);
+  /// True when `query` must scatter-gather across the fleet: only
+  /// root-anchored statements read the partitioned table (a pure function
+  /// of the visible query shape, mirrored by PhysicalPlan::shard_fanout).
+  bool ShardFanout(const sql::BoundQuery& query) const;
   /// Full arbitrated execution of a bound SELECT: admission, baseline,
   /// announcement, plan-cache consult (unless `pinned`), execution under
   /// `session`'s identity (nullptr = the "main" pseudo-session).
   Result<exec::QueryResult> RunSelect(const sql::BoundQuery& query,
                                       const plan::PlanChoice* pinned,
-                                      const exec::SessionBinding* session);
+                                      const Session* session);
+  /// The scatter-gather orchestration of RunSelect for sharded fleets:
+  /// shard 0 (the coordinator) announces, plans, and runs its scatter leg
+  /// under one admission while shards 1..N-1 run theirs concurrently under
+  /// their own arbiters; the combined outputs (seq-merged rows or
+  /// key-merged partial aggregates) then drive the plan's tail on the
+  /// coordinator as the gather pass.
+  Result<exec::QueryResult> RunSelectSharded(const sql::BoundQuery& query,
+                                             const plan::PlanChoice* pinned,
+                                             const Session* session);
   /// Plan-cache lookup / fill for an already-bound (and announced) query.
   /// Caller holds the channel admission. `outcome` reports hit/replan.
   Result<std::shared_ptr<const PreparedQuery>> PrepareBound(
@@ -212,6 +264,10 @@ class GhostDB {
   std::unique_ptr<untrusted::UntrustedEngine> untrusted_;
   SecureStore store_;
   std::unique_ptr<exec::SecureExecutor> executor_;
+  std::vector<std::unique_ptr<Shard>> extra_shards_;  ///< shards 1..N-1
+  /// Fleet-wide root-table row count: the gather pass's volume-padding
+  /// bound (each shard's local store only knows its own slice).
+  uint64_t fleet_anchor_rows_ = 0;
   std::unique_ptr<plan::Planner> planner_;
   PlanCache plan_cache_;
   std::atomic<uint64_t> stats_version_{1};

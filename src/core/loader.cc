@@ -28,7 +28,54 @@ crypto::DeviceKeys Keys() {
       sizeof(kMasterSecret) - 1);
 }
 
+// splitmix64: a full-avalanche mix so consecutive ids spread uniformly
+// across shards (modulo alone would stripe them).
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
+
+Result<ShardedStaging> PartitionStagedByRoot(
+    const catalog::Schema& schema, const std::vector<TableData>& staged,
+    uint32_t shard_count) {
+  if (shard_count == 0) {
+    return Status::InvalidArgument("shard_count must be >= 1");
+  }
+  if (staged.size() != schema.table_count()) {
+    return Status::InvalidArgument("staged data must cover every table");
+  }
+  ShardedStaging out;
+  out.shards.resize(shard_count);
+  out.root_global_ids.resize(shard_count);
+  if (shard_count == 1) {
+    out.shards[0] = staged;  // identity global-id maps stay empty
+    return out;
+  }
+  TableId root = schema.root();
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    out.shards[s].reserve(staged.size());
+    for (TableId t = 0; t < schema.table_count(); ++t) {
+      if (t == root) {
+        out.shards[s].emplace_back(&schema, t);
+      } else {
+        out.shards[s].push_back(staged[t]);  // full replica
+      }
+    }
+  }
+  const TableData& root_data = staged[root];
+  uint32_t width = root_data.row_width();
+  for (RowId r = 0; r < root_data.row_count(); ++r) {
+    uint32_t s = static_cast<uint32_t>(SplitMix64(r) % shard_count);
+    out.shards[s][root].AppendPackedRow(
+        root_data.bytes().data() + static_cast<uint64_t>(r) * width);
+    out.root_global_ids[s].push_back(r);
+  }
+  return out;
+}
 
 Result<SecureStore> Loader::Load(const std::vector<TableData>& staged) {
   if (staged.size() != schema_->table_count()) {

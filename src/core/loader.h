@@ -34,6 +34,33 @@ struct LoaderConfig {
       indexed_attrs;
 };
 
+/// \brief One shard's slice of a staged database, ready for its Loader.
+///
+/// Only the schema root's rows are partitioned (hash on the visible global
+/// id); every other table is replicated in full, so all parent→child
+/// foreign keys stay valid with local ids unchanged. Root rows are
+/// assigned in ascending global-id order, so each shard's local ids are
+/// dense and order-preserving — the property the scatter-gather merge
+/// relies on to reconstruct the single-device row order from per-row
+/// global ids.
+struct ShardedStaging {
+  /// shards[s] is the full TableData vector (indexed by TableId) of shard
+  /// s: the root's slice plus replicas of everything else.
+  std::vector<std::vector<TableData>> shards;
+  /// root_global_ids[s][local] = the global root id of shard s's local row
+  /// `local` (strictly ascending).
+  std::vector<std::vector<catalog::RowId>> root_global_ids;
+};
+
+/// Hash-partitions `staged` across `shard_count` devices (splitmix64 over
+/// the global root id — a pure function of visible information, so the
+/// assignment is identical across hidden-data variants). shard_count == 1
+/// degenerates to one shard holding everything with an empty (identity)
+/// global-id map.
+Result<ShardedStaging> PartitionStagedByRoot(
+    const catalog::Schema& schema, const std::vector<TableData>& staged,
+    uint32_t shard_count);
+
 /// \brief Builds the Untrusted and Secure images of a staged database.
 class Loader {
  public:

@@ -19,6 +19,14 @@ namespace ghostdb::core {
 struct TableImage {
   uint64_t row_count = 0;
 
+  /// Sharded fleets: global id of each local row (empty = identity, the
+  /// unsharded store and fully replicated tables). Only the schema root is
+  /// hash-partitioned across shards; local ids stay dense and
+  /// order-preserving (ascending global order), so projection streams stay
+  /// sorted under the global order and the gather merge can reconstruct
+  /// the exact single-device row sequence.
+  std::vector<catalog::RowId> global_ids;
+
   /// Hidden columns packed by id (absent when the table has none).
   std::optional<storage::FixedTableRef> hidden_image;
   /// Byte offset of each hidden column within a hidden row (by ColumnId;

@@ -7,11 +7,16 @@
 namespace ghostdb::core {
 
 Session::Session(GhostDB* db, int32_t id, std::string name,
-                 device::RamPartitionId partition)
-    : db_(db), id_(id), name_(std::move(name)), partition_(partition) {
-  binding_.id = id_;
-  binding_.name = name_;
-  binding_.ram_partition = partition_;
+                 std::vector<device::RamPartitionId> partitions)
+    : db_(db), id_(id), name_(std::move(name)) {
+  bindings_.reserve(partitions.size());
+  for (device::RamPartitionId partition : partitions) {
+    exec::SessionBinding binding;
+    binding.id = id_;
+    binding.name = name_;
+    binding.ram_partition = partition;
+    bindings_.push_back(std::move(binding));
+  }
 }
 
 Session::~Session() { db_->CloseSession(this); }
@@ -22,8 +27,7 @@ Result<exec::QueryResult> Session::Query(const std::string& sql) {
   // serializes.
   GHOSTDB_ASSIGN_OR_RETURN(sql::BoundQuery query,
                            db_->BindSelect(sql, nullptr));
-  Result<exec::QueryResult> result =
-      db_->RunSelect(query, nullptr, &binding_);
+  Result<exec::QueryResult> result = db_->RunSelect(query, nullptr, this);
   std::lock_guard<std::mutex> lk(mu_);
   executed_ += 1;
   if (result.ok()) totals_.Accumulate(result->metrics);
@@ -97,7 +101,7 @@ void Session::RunHead() {
     queue_.pop_front();
   }
   Result<exec::QueryResult> result =
-      db_->RunSelect(*head.bound, nullptr, &binding_);
+      db_->RunSelect(*head.bound, nullptr, this);
   std::lock_guard<std::mutex> lk(mu_);
   executed_ += 1;
   if (result.ok()) {

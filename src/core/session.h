@@ -64,7 +64,11 @@ class Session {
 
   int32_t id() const { return id_; }
   const std::string& name() const { return name_; }
-  device::RamPartitionId ram_partition() const { return partition_; }
+  /// The session's RAM partition on shard 0 (sharded fleets pledge a
+  /// sibling partition of the same quota on every shard).
+  device::RamPartitionId ram_partition() const {
+    return bindings_[0].ram_partition;
+  }
 
   /// Runs a SELECT for this session, blocking until the arbiter admits it.
   /// Distinct sessions may call this from distinct threads concurrently.
@@ -92,8 +96,10 @@ class Session {
     uint32_t weight = 1;
   };
 
+  /// `partitions` is the session's RAM partition on each shard (index =
+  /// shard; size = the fleet's shard count).
   Session(GhostDB* db, int32_t id, std::string name,
-          device::RamPartitionId partition);
+          std::vector<device::RamPartitionId> partitions);
 
   /// Binds the head of the queue (recording bind errors as results and
   /// popping, until a statement binds). Returns false when the queue is
@@ -108,8 +114,9 @@ class Session {
   GhostDB* db_;
   int32_t id_;
   std::string name_;
-  device::RamPartitionId partition_;
-  exec::SessionBinding binding_;
+  /// One binding per shard (shard 0 first): same identity everywhere,
+  /// each carrying that shard's RAM partition.
+  std::vector<exec::SessionBinding> bindings_;
 
   mutable std::mutex mu_;  // queue_, results_, totals_, executed_
   std::deque<Queued> queue_;

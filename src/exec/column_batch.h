@@ -74,6 +74,12 @@ struct ColumnBatch {
   /// are stripped at the QueryResult boundary. VolumePad is the plan root,
   /// so real and dummy rows never mix within one batch.
   uint64_t padding_rows = 0;
+  /// Per-physical-row global ordering keys, populated only when
+  /// ExecContext::emit_row_seq is set (sharded scatter runs): the global
+  /// anchor id of each projected row. The gather phase k-way merges
+  /// per-shard streams on this key to reconstruct the exact single-device
+  /// arrival order. Empty otherwise.
+  std::vector<uint64_t> seqs;
 
   /// An empty batch bound to `layout` with per-column space reserved for
   /// `reserve_rows` rows.

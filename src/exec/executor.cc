@@ -15,7 +15,56 @@ void EncodedRows::AppendRow(const ColumnBatch& batch,
     const uint8_t* src = batch.cell(c, physical_row);
     cells.insert(cells.end(), src, src + layout.cols[c].width);
   }
+  if (!batch.seqs.empty()) seqs.push_back(batch.seqs[physical_row]);
   row_count += 1;
+}
+
+EncodedRows MergeEncodedRowsBySeq(std::vector<EncodedRows> parts) {
+  EncodedRows out;
+  std::vector<uint64_t> cursor(parts.size(), 0);
+  for (const EncodedRows& p : parts) {
+    if (out.layout.cols.empty() && !p.layout.cols.empty()) {
+      out.layout = p.layout;
+    }
+    out.cells.reserve(out.cells.size() + p.cells.size());
+  }
+  while (true) {
+    int best = -1;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      if (cursor[i] >= parts[i].row_count) continue;
+      if (best < 0 ||
+          parts[i].seqs[cursor[i]] < parts[best].seqs[cursor[best]]) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    const EncodedRows& p = parts[best];
+    const uint8_t* src =
+        p.cells.data() +
+        static_cast<size_t>(cursor[best]) * p.layout.row_width;
+    out.cells.insert(out.cells.end(), src, src + p.layout.row_width);
+    out.row_count += 1;
+    cursor[best] += 1;
+  }
+  return out;
+}
+
+int FindFanoutBoundary(const plan::PhysicalPlan& plan) {
+  int project = -1;
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    switch (plan.nodes[i].op) {
+      case plan::PhysicalOp::kAggregate:
+      case plan::PhysicalOp::kGroupAggregate:
+        return static_cast<int>(i);
+      case plan::PhysicalOp::kProject:
+      case plan::PhysicalOp::kBruteForceProject:
+        project = static_cast<int>(i);
+        break;
+      default:
+        break;
+    }
+  }
+  return project;
 }
 
 void EncodedRows::DecodeInto(QueryResult* out) const {
@@ -48,7 +97,8 @@ Result<QueryResult> SecureExecutor::Execute(const BoundQuery& query,
                                             const MetricSnapshot* baseline,
                                             const SessionBinding* session,
                                             EncodedRows* deferred,
-                                            untrusted::VisPrefetch* prefetch) {
+                                            untrusted::VisPrefetch* prefetch,
+                                            const FanoutParams* fanout) {
   static const SessionBinding kMainSession;
   if (session == nullptr) session = &kMainSession;
   auto& ram = device_->ram();
@@ -58,7 +108,7 @@ Result<QueryResult> SecureExecutor::Execute(const BoundQuery& query,
   device::RamManager::PartitionScope partition_scope(&ram,
                                                      session->ram_partition);
   Result<QueryResult> result =
-      ExecuteTree(query, plan, baseline, session, deferred, prefetch);
+      ExecuteTree(query, plan, baseline, session, deferred, prefetch, fanout);
   if (!result.ok() && result.status().IsResourceExhausted()) {
     // Out-of-RAM is a per-session condition under partitioning: annotate
     // the operator's error with whose budget ran dry and what it was, so
@@ -78,7 +128,12 @@ Result<QueryResult> SecureExecutor::Execute(const BoundQuery& query,
 Result<QueryResult> SecureExecutor::ExecuteTree(
     const BoundQuery& query, const plan::PhysicalPlan& plan,
     const MetricSnapshot* baseline, const SessionBinding* session,
-    EncodedRows* deferred, untrusted::VisPrefetch* prefetch) {
+    EncodedRows* deferred, untrusted::VisPrefetch* prefetch,
+    const FanoutParams* fanout) {
+  bool scatter =
+      fanout != nullptr && fanout->role == FanoutParams::Role::kScatter;
+  bool gather =
+      fanout != nullptr && fanout->role == FanoutParams::Role::kGather;
   auto& ram = device_->ram();
   MetricSnapshot snap =
       baseline != nullptr ? *baseline : MetricSnapshot::Take(device_);
@@ -113,6 +168,24 @@ Result<QueryResult> SecureExecutor::ExecuteTree(
                           query.limit.has_value();
   ctx.rows_demanded =
       needs_all_values ? UINT64_MAX : config_.result_row_limit;
+  // How many rows this run may materialize (render or defer). Scatter legs
+  // whose tail operators reorder or cut the stream (DISTINCT / ORDER BY /
+  // LIMIT) must ship *every* local row to the gather merge, so the
+  // per-shard cap lifts; plain scans keep it — any row of the global
+  // first-L prefix lies within its own shard's first-L, so per-shard
+  // prefix materialization plus skip counting reconstructs the answer.
+  uint64_t materialize_cap = config_.result_row_limit;
+  if (scatter) {
+    ctx.emit_row_seq = true;
+    ctx.partials_out = fanout->partials_out;
+    if (fanout->partials_out == nullptr && needs_all_values) {
+      materialize_cap = UINT64_MAX;
+    }
+  }
+  if (gather) {
+    ctx.gather_partials = fanout->gather_partials;
+    ctx.gather_rows = fanout->gather_rows;
+  }
   // Planner-sized batches + cached layout; pinned plans lowered without a
   // planner fall back to computing both here (same pure function of the
   // visible shape).
@@ -155,10 +228,32 @@ Result<QueryResult> SecureExecutor::ExecuteTree(
   // variants, same bound PostSelect already relies on).
   if (config_.volume_padding != VolumePadding::kOff) {
     ctx.padding_row_bound = store_->tables[query.anchor].row_count;
+    // Gather legs pad against the fleet-wide anchor row count, not the
+    // gather shard's local slice — the observed volume must be
+    // byte-identical across shard counts.
+    if (gather && fanout->padding_row_bound_override != 0) {
+      ctx.padding_row_bound = fanout->padding_row_bound_override;
+    }
+  }
+
+  // Scatter legs execute only the subtree at/below the fan-out boundary;
+  // the tail above it runs once on the gather device over the merged
+  // stream, where its arrival-order tie-breaks see the exact row order a
+  // single unsharded device would have produced.
+  const plan::PhysicalPlan* exec_plan = &plan;
+  plan::PhysicalPlan scatter_plan;
+  if (scatter) {
+    int boundary = FindFanoutBoundary(plan);
+    if (boundary < 0) {
+      return Status::Internal("scatter plan has no fan-out boundary");
+    }
+    scatter_plan = plan;
+    scatter_plan.root = boundary;
+    exec_plan = &scatter_plan;
   }
 
   GHOSTDB_ASSIGN_OR_RETURN(std::unique_ptr<Operator> root,
-                           BuildOperatorTree(&ctx, plan));
+                           BuildOperatorTree(&ctx, *exec_plan));
   GHOSTDB_RETURN_NOT_OK(root->Open());
   metrics.qepsj_rows = ctx.pipeline.sj.rows;
 
@@ -181,7 +276,7 @@ Result<QueryResult> SecureExecutor::ExecuteTree(
     for (size_t i = 0; i < batch.live(); ++i) {
       uint64_t materialized =
           deferred != nullptr ? deferred->row_count : result.rows.size();
-      if (materialized >= config_.result_row_limit) break;
+      if (materialized >= materialize_cap) break;
       uint32_t r = batch.row_at(i);
       if (deferred != nullptr) {
         deferred->AppendRow(batch, r);

@@ -27,6 +27,10 @@ struct EncodedRows {
   BatchLayout layout;
   std::vector<uint8_t> cells;  ///< row-major: row_count × layout.row_width
   uint64_t row_count = 0;
+  /// Global ordering key per row, captured from ColumnBatch::seqs when the
+  /// producing run had ExecContext::emit_row_seq set (sharded scatter
+  /// runs). Parallel to the rows; empty on ordinary runs.
+  std::vector<uint64_t> seqs;
 
   /// Copies the live physical row `r` of `batch` (binding the layout on
   /// first use).
@@ -34,6 +38,58 @@ struct EncodedRows {
   /// Decodes everything into `out->rows` (the one place cells become
   /// Values on this path).
   void DecodeInto(QueryResult* out) const;
+};
+
+/// \brief The combined row stream a gather run consumes (declared in
+/// operator.h, defined here because it owns EncodedRows).
+///
+/// `rows` holds every shard's projection output k-way merged ascending on
+/// the per-row seq (the global anchor id), which reconstructs the exact
+/// row arrival order a single unsharded device would have produced.
+/// `skipped_rows` sums the shards' demand-skipped counts (rows that passed
+/// all filters but were beyond the materialization demand) so result
+/// totals still count every qualifying row.
+struct GatherInput {
+  EncodedRows rows;
+  uint64_t skipped_rows = 0;
+};
+
+/// K-way merges per-shard scatter outputs ascending on their seqs. Each
+/// input stream is already seq-sorted (shards hold ascending global-id
+/// slices and project in local order) and seqs are globally unique, so
+/// this is a plain pick-min merge with a deterministic result.
+EncodedRows MergeEncodedRowsBySeq(std::vector<EncodedRows> parts);
+
+/// The scatter/gather split point of `plan`: the node index of the
+/// aggregation root (kAggregate / kGroupAggregate) if the plan has one,
+/// else the projection root (kProject / kBruteForceProject). Everything at
+/// or below the boundary runs per shard; everything above it runs once on
+/// the gather device over the merged stream.
+int FindFanoutBoundary(const plan::PhysicalPlan& plan);
+
+/// \brief Scatter-gather role of one Execute() call on a sharded fleet.
+///
+/// GhostDB (core/database.cc) orchestrates: each shard executes the plan
+/// re-rooted at the fan-out boundary (kScatter), then the gather device
+/// executes the full plan with the per-shard outputs substituted for the
+/// subtree below the boundary (kGather). A null FanoutParams is the
+/// ordinary single-device run.
+struct FanoutParams {
+  enum class Role : uint8_t { kScatter, kGather };
+  Role role = Role::kScatter;
+  /// kScatter, aggregate boundary: receives this shard's partial groups
+  /// (set on ExecContext::partials_out). Null for row boundaries.
+  std::vector<PartialAggGroup>* partials_out = nullptr;
+  /// kGather, aggregate boundary: the shard partials, combined by group
+  /// key and ordered by first global arrival.
+  const std::vector<PartialAggGroup>* gather_partials = nullptr;
+  /// kGather, row boundary: the seq-merged row stream.
+  const GatherInput* gather_rows = nullptr;
+  /// kGather: overrides ExecContext::padding_row_bound with the *global*
+  /// anchor row count — the gather device's local store holds only its
+  /// own shard, but volume padding must target the fleet-wide worst case
+  /// so the observed volume is byte-identical across shard counts.
+  uint64_t padding_row_bound_override = 0;
 };
 
 /// \brief Executes bound queries on the Secure device.
@@ -66,12 +122,18 @@ class SecureExecutor {
   /// encoded cells in `deferred`, for the caller to DecodeInto() once it
   /// has released its channel admission. `prefetch` (optional) carries the
   /// PC's speculatively evaluated visible answers into the operators.
+  /// `fanout` (optional) runs this call as one leg of a sharded
+  /// scatter-gather: kScatter executes the plan re-rooted at the fan-out
+  /// boundary and emits seq-stamped rows (into `deferred`) or partial
+  /// aggregates; kGather executes the tail of the plan over the combined
+  /// shard outputs.
   Result<QueryResult> Execute(const sql::BoundQuery& query,
                               const plan::PhysicalPlan& plan,
                               const MetricSnapshot* baseline = nullptr,
                               const SessionBinding* session = nullptr,
                               EncodedRows* deferred = nullptr,
-                              untrusted::VisPrefetch* prefetch = nullptr);
+                              untrusted::VisPrefetch* prefetch = nullptr,
+                              const FanoutParams* fanout = nullptr);
 
   /// Convenience overload: lowers a bare PlanChoice first (benches and
   /// tests pin strategy choices without building trees by hand).
@@ -88,7 +150,8 @@ class SecureExecutor {
                                   const MetricSnapshot* baseline,
                                   const SessionBinding* session,
                                   EncodedRows* deferred,
-                                  untrusted::VisPrefetch* prefetch);
+                                  untrusted::VisPrefetch* prefetch,
+                                  const FanoutParams* fanout);
 
   device::SecureDevice* device_;
   storage::PageAllocator* allocator_;

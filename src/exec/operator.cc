@@ -137,7 +137,26 @@ Result<std::unique_ptr<Operator>> BuildNode(ExecContext* ctx,
     return Status::Internal("physical plan node index out of range");
   }
   const plan::PhysicalNode& node = plan.nodes[idx];
+  // Gather legs of a sharded scatter-gather: the subtree below the fan-out
+  // boundary already ran per shard, so substitute its combined output —
+  // the projection becomes a GatherSourceOp over the seq-merged row
+  // stream, and an aggregation root is built childless (it seeds from the
+  // combined shard partials instead of pulling input).
+  if (ctx->gather_rows != nullptr &&
+      (node.op == plan::PhysicalOp::kProject ||
+       node.op == plan::PhysicalOp::kBruteForceProject)) {
+    return std::unique_ptr<Operator>(std::make_unique<GatherSourceOp>(ctx));
+  }
+  bool gather_agg_leaf = ctx->gather_partials != nullptr &&
+                         (node.op == plan::PhysicalOp::kAggregate ||
+                          node.op == plan::PhysicalOp::kGroupAggregate);
   std::vector<std::unique_ptr<Operator>> kids;
+  if (gather_agg_leaf) {
+    if (node.op == plan::PhysicalOp::kAggregate) {
+      return std::unique_ptr<Operator>(std::make_unique<AggregateOp>(ctx));
+    }
+    return std::unique_ptr<Operator>(std::make_unique<GroupAggregateOp>(ctx));
+  }
   for (int c : node.children) {
     GHOSTDB_ASSIGN_OR_RETURN(std::unique_ptr<Operator> kid,
                              BuildNode(ctx, plan, c));

@@ -330,6 +330,9 @@ Status ProjectOp::CompileCellSources() {
   const SjState& sj = ctx_->pipeline.sj;
   TableId anchor = query.anchor;
   const core::TableImage& anchor_image = ctx_->store->tables[anchor];
+  if (!anchor_image.global_ids.empty()) {
+    anchor_global_ids_ = &anchor_image.global_ids;
+  }
   for (const auto& item : query.select) {
     const auto& cols = ctx_->schema->table(item.table).columns;
     CellSource src;
@@ -458,6 +461,12 @@ Result<ColumnBatch> ProjectOp::Next() {
         GHOSTDB_RETURN_NOT_OK(
             anchor_hid_reader_->ReadRow(anchor_id, anchor_hid_row_.data()));
       }
+      // A sharded store surfaces global anchor ids: projected id cells and
+      // the per-row ordering seq both use the global id, so the merged
+      // gather stream is byte-identical to the unsharded engine's.
+      RowId global_id = anchor_global_ids_ != nullptr
+                            ? (*anchor_global_ids_)[anchor_id]
+                            : anchor_id;
       if (emitted_ >= ctx_->rows_demanded) {
         batch.skipped_rows += 1;
       } else {
@@ -466,7 +475,7 @@ Result<ColumnBatch> ProjectOp::Next() {
           switch (src.kind) {
             case CellSource::Kind::kAnchorId: {
               uint8_t enc[4];
-              EncodeFixed32(enc, anchor_id);
+              EncodeFixed32(enc, global_id);
               batch.AppendBytes(i, enc);
               break;
             }
@@ -486,6 +495,7 @@ Result<ColumnBatch> ProjectOp::Next() {
           }
         }
         batch.CommitRow();
+        if (ctx_->emit_row_seq) batch.seqs.push_back(global_id);
         emitted_ += 1;
       }
     }
@@ -562,6 +572,11 @@ Status BruteForceProjectOp::Open() {
   GHOSTDB_ASSIGN_OR_RETURN(probe_buf_, ram.AcquireOne("brute-probe"));
   fprime_.emplace(&ctx_->flash(), sj.fprime, sj.row_width, fbuf_.data());
   GHOSTDB_RETURN_NOT_OK(fprime_->Prime());
+
+  const core::TableImage& anchor_image = ctx_->store->tables[query.anchor];
+  if (!anchor_image.global_ids.empty()) {
+    anchor_global_ids_ = &anchor_image.global_ids;
+  }
 
   // Compile one cell source per SELECT item (offsets into the per-table
   // resolved vis/hid rows), so Next() emits encoded cells by memcpy.
@@ -685,6 +700,10 @@ Result<ColumnBatch> BruteForceProjectOp::Next() {
     }
 
     if (!drop) {
+      // Same local-to-global id surfacing as ProjectOp::Next.
+      RowId global_id = anchor_global_ids_ != nullptr
+                            ? (*anchor_global_ids_)[anchor_id]
+                            : anchor_id;
       if (emitted_ >= ctx_->rows_demanded) {
         batch.skipped_rows += 1;
       } else {
@@ -693,7 +712,7 @@ Result<ColumnBatch> BruteForceProjectOp::Next() {
           switch (src.kind) {
             case CellSource::Kind::kAnchorId: {
               uint8_t enc[4];
-              EncodeFixed32(enc, anchor_id);
+              EncodeFixed32(enc, global_id);
               batch.AppendBytes(i, enc);
               break;
             }
@@ -712,6 +731,7 @@ Result<ColumnBatch> BruteForceProjectOp::Next() {
           }
         }
         batch.CommitRow();
+        if (ctx_->emit_row_seq) batch.seqs.push_back(global_id);
         emitted_ += 1;
       }
     }

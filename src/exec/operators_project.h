@@ -88,6 +88,10 @@ class ProjectOp final : public Operator {
   std::vector<std::vector<uint8_t>> mjoin_row_copies_;
   uint32_t pos_ = 0;
   uint64_t emitted_ = 0;
+  /// Local-to-global anchor id map of a sharded store (null = identity):
+  /// projected anchor ids and per-row seqs surface global ids so sharded
+  /// answers are byte-identical to the unsharded engine.
+  const std::vector<catalog::RowId>* anchor_global_ids_ = nullptr;
 };
 
 /// \brief Brute-Force projection baseline: streams F' once, random-accessing
@@ -124,6 +128,8 @@ class BruteForceProjectOp final : public Operator {
   std::vector<const uint8_t*> vis_rows_;
   std::vector<const uint8_t*> hid_rows_;
   uint64_t emitted_ = 0;
+  /// Local-to-global anchor id map (see ProjectOp::anchor_global_ids_).
+  const std::vector<catalog::RowId>* anchor_global_ids_ = nullptr;
 };
 
 }  // namespace ghostdb::exec

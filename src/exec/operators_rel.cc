@@ -4,6 +4,8 @@
 #include <cstring>
 #include <numeric>
 
+#include "exec/executor.h"
+
 namespace ghostdb::exec {
 
 using catalog::Value;
@@ -95,7 +97,81 @@ void ExtractKeys(ExecContext* ctx, const ColumnBatch& batch,
   }
 }
 
+/// ColumnBatch::AppendCellKey over a raw encoded cell (the spill-row path,
+/// where no batch exists): identical canonicalization, so keys recovered
+/// from spilled partial rows land in the same equivalence classes as the
+/// hash phase's.
+void AppendCanonicalCellKey(catalog::DataType type, uint32_t width,
+                            const uint8_t* src, std::string* out) {
+  if (type == catalog::DataType::kDouble && DecodeDouble(src) == 0.0) {
+    uint8_t zero[8];
+    EncodeDouble(zero, 0.0);
+    out->append(reinterpret_cast<const char*>(zero), 8);
+    return;
+  }
+  out->append(reinterpret_cast<const char*>(src), width);
+}
+
+/// Row width of the batches a tail operator (Sort/Distinct/TopK) consumes:
+/// the (group-)aggregate output width when the plan aggregates below the
+/// tail, else the projection's value layout. A pure function of the
+/// visible query shape — the strict spill-run padding passes must size
+/// their dummy rows from this, never from a live batch, or the padding
+/// itself would become hidden-dependent (an empty hidden-filtered stream
+/// binds no live layout).
+uint32_t TailInputRowWidth(const ExecContext* ctx) {
+  const sql::BoundQuery& q = *ctx->query;
+  if (!q.HasAggregates()) return ctx->value_layout->row_width;
+  uint32_t width = 0;
+  for (size_t i = 0; i < q.select.size(); ++i) {
+    const BatchColumn& in = ctx->value_layout->cols[i];
+    if (q.select[i].agg == AggFunc::kNone) {
+      width += in.width;
+      continue;
+    }
+    Aggregator probe(q.select[i].agg, in.type, in.width);
+    catalog::DataType out_type = probe.OutputType();
+    width += out_type == in.type ? in.width : catalog::FixedWidth(out_type);
+  }
+  return width;
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// GatherSourceOp
+// ---------------------------------------------------------------------------
+
+Result<ColumnBatch> GatherSourceOp::Next() {
+  if (done_) return ColumnBatch{};
+  const GatherInput& in = *ctx_->gather_rows;
+  // An all-empty merge has no bound layout; dummy-free emptiness still
+  // needs a layout for the trailing skipped-row batch.
+  const BatchLayout* layout =
+      in.rows.row_count > 0 ? &in.rows.layout : ctx_->value_layout;
+  if (offsets_.empty()) offsets_ = ColumnOffsets(*layout);
+  uint64_t n = std::min<uint64_t>(ctx_->batch_rows, in.rows.row_count - pos_);
+  ColumnBatch out = ColumnBatch::Make(layout, n);
+  for (uint64_t r = 0; r < n; ++r, ++pos_) {
+    if (emitted_ >= ctx_->rows_demanded) {
+      out.skipped_rows += 1;
+      continue;
+    }
+    const uint8_t* base =
+        in.rows.cells.data() + pos_ * static_cast<size_t>(layout->row_width);
+    for (size_t c = 0; c < layout->cols.size(); ++c) {
+      out.AppendBytes(c, base + offsets_[c]);
+    }
+    out.CommitRow();
+    emitted_ += 1;
+  }
+  if (pos_ >= in.rows.row_count) {
+    done_ = true;
+    out.skipped_rows += in.skipped_rows;  // the shards' demand-skipped rows
+  }
+  if (out.empty()) done_ = true;
+  return out;
+}
 
 // ---------------------------------------------------------------------------
 // AggregateOp
@@ -121,22 +197,41 @@ Status AggregateOp::Open() {
 Result<ColumnBatch> AggregateOp::Next() {
   if (done_) return ColumnBatch{};
   const auto& select = ctx_->query->select;
-  while (true) {
-    GHOSTDB_ASSIGN_OR_RETURN(ColumnBatch batch, child()->Next());
-    if (batch.empty()) break;
-    for (size_t r = 0; r < batch.live(); ++r) {
-      uint32_t row = batch.row_at(r);
-      for (size_t i = 0; i < select.size(); ++i) {
-        if (select[i].agg == AggFunc::kCountStar) {
-          aggregators_[i].AccumulateRow();
-        } else {
-          GHOSTDB_RETURN_NOT_OK(
-              aggregators_[i].AccumulateEncoded(batch.cell(i, row)));
+  if (ctx_->gather_partials != nullptr) {
+    // Gather leg of a sharded aggregate: this op was built childless; its
+    // input is the shard accumulators, merged exactly (ExactDoubleSum
+    // makes double sums independent of the partition).
+    for (const PartialAggGroup& pg : *ctx_->gather_partials) {
+      for (size_t i = 0; i < aggregators_.size(); ++i) {
+        GHOSTDB_RETURN_NOT_OK(aggregators_[i].MergeFrom(pg.aggs[i]));
+      }
+    }
+  } else {
+    while (true) {
+      GHOSTDB_ASSIGN_OR_RETURN(ColumnBatch batch, child()->Next());
+      if (batch.empty()) break;
+      for (size_t r = 0; r < batch.live(); ++r) {
+        uint32_t row = batch.row_at(r);
+        for (size_t i = 0; i < select.size(); ++i) {
+          if (select[i].agg == AggFunc::kCountStar) {
+            aggregators_[i].AccumulateRow();
+          } else {
+            GHOSTDB_RETURN_NOT_OK(
+                aggregators_[i].AccumulateEncoded(batch.cell(i, row)));
+          }
         }
       }
     }
   }
   done_ = true;
+  if (ctx_->partials_out != nullptr) {
+    // Scatter leg: ship the local accumulators; the empty-input rule below
+    // must apply to the *merged* count at gather, never to one shard's.
+    PartialAggGroup pg;
+    pg.aggs = std::move(aggregators_);
+    ctx_->partials_out->push_back(std::move(pg));
+    return ColumnBatch{};
+  }
   // GhostDB has no NULLs, so SQL's "one row of NULLs" for value aggregates
   // over an empty input becomes an empty result instead: SUM/AVG/MIN/MAX
   // with nothing to fold emit no row (COUNT-only selects keep their zero
@@ -190,14 +285,30 @@ Status GroupAggregateOp::Open() {
     }
   }
   out_offsets_ = ColumnOffsets(out_layout_);
-  row_buf_.resize(in_layout_->row_width + kSpillSeqWidth);
+  // Partial spill-row layout: key cells, then each aggregate's encoded
+  // partial state, then the arrival sequence. All widths are pure
+  // functions of the visible query shape.
+  uint32_t off = 0;
+  for (size_t i : key_items_) {
+    spill_key_offsets_.push_back(off);
+    off += in_layout_->cols[i].width;
+  }
+  for (size_t i : agg_items_) {
+    spill_agg_offsets_.push_back(off);
+    off += Aggregator::PartialWidth(select[i].agg, in_layout_->cols[i].type,
+                                    in_layout_->cols[i].width);
+  }
+  spill_seq_offset_ = off;
+  spill_stride_ = off + kSpillSeqWidth;
+  row_buf_.resize(spill_stride_);
   out_buf_.resize(out_layout_.row_width + kSpillSeqWidth);
   std::vector<RowComparator::Key> keys;
-  for (size_t i : key_items_) {
-    keys.push_back({in_offsets_[i], in_layout_->cols[i].type,
+  for (size_t k = 0; k < key_items_.size(); ++k) {
+    size_t i = key_items_[k];
+    keys.push_back({spill_key_offsets_[k], in_layout_->cols[i].type,
                     in_layout_->cols[i].width, false});
   }
-  key_cmp_ = RowComparator::ByKeys(std::move(keys), in_layout_->row_width);
+  key_cmp_ = RowComparator::ByKeys(std::move(keys), spill_seq_offset_);
   return Status::OK();
 }
 
@@ -224,49 +335,80 @@ Status GroupAggregateOp::AccumulateInto(Group* g, const ColumnBatch& batch,
   return Status::OK();
 }
 
-Status GroupAggregateOp::AccumulatePacked(std::vector<Aggregator>* aggs,
-                                          const uint8_t* row) {
+Status GroupAggregateOp::StartSpill() {
+  // Phase A clusters rows of one group adjacently (key cells ascending;
+  // CompareEncoded makes ±0.0 doubles one group, matching the canonical
+  // hash key) with arrival ties, so each group's partials fold in arrival
+  // order and the group's first row (whose raw key cells the output shows,
+  // and whose sequence the group keeps) pops first. The sorter folds
+  // key-equal rows at run-write time, so each spill run holds at most one
+  // partial row per group — spill volume scales with distinct groups, not
+  // input rows.
+  by_key_ = std::make_unique<ExternalRowSorter>(
+      ctx_, spill_stride_, key_cmp_, BudgetRows(ctx_, spill_stride_),
+      /*drop_key_duplicates=*/false, "group-spill");
+  by_key_->set_fold([this](uint8_t* acc, const uint8_t* row) {
+    return FoldPartialRow(acc, row);
+  });
+  return Status::OK();
+}
+
+Status GroupAggregateOp::PackPartialRow(const ColumnBatch& batch,
+                                        uint32_t row, uint64_t seq) {
+  for (size_t k = 0; k < key_items_.size(); ++k) {
+    size_t i = key_items_[k];
+    std::memcpy(row_buf_.data() + spill_key_offsets_[k], batch.cell(i, row),
+                in_layout_->cols[i].width);
+  }
   for (size_t j = 0; j < agg_items_.size(); ++j) {
     size_t i = agg_items_[j];
+    Aggregator a(ctx_->query->select[i].agg, in_layout_->cols[i].type,
+                 in_layout_->cols[i].width);
     if (ctx_->query->select[i].agg == AggFunc::kCountStar) {
-      (*aggs)[j].AccumulateRow();
+      a.AccumulateRow();
     } else {
-      GHOSTDB_RETURN_NOT_OK(
-          (*aggs)[j].AccumulateEncoded(row + in_offsets_[i]));
+      GHOSTDB_RETURN_NOT_OK(a.AccumulateEncoded(batch.cell(i, row)));
     }
+    a.EncodePartial(row_buf_.data() + spill_agg_offsets_[j]);
+  }
+  EncodeFixed64(row_buf_.data() + spill_seq_offset_, seq);
+  return Status::OK();
+}
+
+Status GroupAggregateOp::FoldPartialRow(uint8_t* acc, const uint8_t* row) {
+  for (size_t j = 0; j < agg_items_.size(); ++j) {
+    size_t i = agg_items_[j];
+    Aggregator a(ctx_->query->select[i].agg, in_layout_->cols[i].type,
+                 in_layout_->cols[i].width);
+    GHOSTDB_RETURN_NOT_OK(a.AccumulatePartial(acc + spill_agg_offsets_[j]));
+    GHOSTDB_RETURN_NOT_OK(a.AccumulatePartial(row + spill_agg_offsets_[j]));
+    a.EncodePartial(acc + spill_agg_offsets_[j]);
   }
   return Status::OK();
 }
 
-Status GroupAggregateOp::StartSpill() {
-  // Phase A clusters rows of one group adjacently (key cells ascending;
-  // CompareEncoded makes ±0.0 doubles one group, matching the canonical
-  // hash key) with arrival ties, so each group's rows stream out in
-  // arrival order — aggregates fold in exactly the order the hash path
-  // folds them, and the group's first row (whose raw key cells the output
-  // shows) pops first.
-  uint32_t stride = in_layout_->row_width + kSpillSeqWidth;
-  by_key_ = std::make_unique<ExternalRowSorter>(
-      ctx_, stride, key_cmp_, BudgetRows(ctx_, stride),
-      /*drop_key_duplicates=*/false, "group-spill");
-  return Status::OK();
-}
-
-Status GroupAggregateOp::FlushSpillGroup(const uint8_t* first_row,
-                                         std::vector<Aggregator>* aggs) {
-  size_t agg_idx = 0;
+Status GroupAggregateOp::FlushSpillGroup(const uint8_t* partial) {
+  size_t key_idx = 0, agg_idx = 0;
   for (size_t i = 0; i < out_layout_.cols.size(); ++i) {
     if (ctx_->query->select[i].agg == AggFunc::kNone) {
       std::memcpy(out_buf_.data() + out_offsets_[i],
-                  first_row + in_offsets_[i], in_layout_->cols[i].width);
+                  partial + spill_key_offsets_[key_idx],
+                  in_layout_->cols[i].width);
+      key_idx += 1;
     } else {
-      GHOSTDB_ASSIGN_OR_RETURN(Value v, (*aggs)[agg_idx++].Finish());
+      size_t j = agg_idx++;
+      size_t si = agg_items_[j];
+      Aggregator a(ctx_->query->select[si].agg, in_layout_->cols[si].type,
+                   in_layout_->cols[si].width);
+      GHOSTDB_RETURN_NOT_OK(
+          a.AccumulatePartial(partial + spill_agg_offsets_[j]));
+      GHOSTDB_ASSIGN_OR_RETURN(Value v, a.Finish());
       v.Encode(out_buf_.data() + out_offsets_[i], out_layout_.cols[i].width);
     }
   }
   // Phase B restores first-arrival order over the folded groups.
   EncodeFixed64(out_buf_.data() + out_layout_.row_width,
-                DecodeFixed64(first_row + in_layout_->row_width));
+                DecodeFixed64(partial + spill_seq_offset_));
   return by_arrival_->Add(out_buf_.data());
 }
 
@@ -277,32 +419,89 @@ Status GroupAggregateOp::FinishSpill() {
       ctx_, out_stride, RowComparator::ByKeys({}, out_layout_.row_width),
       BudgetRows(ctx_, out_stride), /*drop_key_duplicates=*/false,
       "group-arrival");
-  std::vector<uint8_t> first_row;  // current group's first packed row
-  std::vector<Aggregator> aggs;
+  // Cross-run duplicates emerge key-adjacent (each run was folded at
+  // write time, so at most one partial per group per run remains).
+  std::vector<uint8_t> acc;  // current group's folded partial row
   while (true) {
     GHOSTDB_ASSIGN_OR_RETURN(const uint8_t* row, by_key_->Next());
     if (row == nullptr) break;
-    if (!first_row.empty() &&
-        key_cmp_.CompareKeys(row, first_row.data()) == 0) {
-      GHOSTDB_RETURN_NOT_OK(AccumulatePacked(&aggs, row));
+    if (!acc.empty() && key_cmp_.CompareKeys(row, acc.data()) == 0) {
+      GHOSTDB_RETURN_NOT_OK(FoldPartialRow(acc.data(), row));
       continue;
     }
-    if (!first_row.empty()) {
-      GHOSTDB_RETURN_NOT_OK(FlushSpillGroup(first_row.data(), &aggs));
-    }
-    first_row.assign(row, row + row_buf_.size());
-    aggs = MakeAggregators();
-    GHOSTDB_RETURN_NOT_OK(AccumulatePacked(&aggs, row));
+    if (!acc.empty()) GHOSTDB_RETURN_NOT_OK(FlushSpillGroup(acc.data()));
+    acc.assign(row, row + spill_stride_);
   }
-  if (!first_row.empty()) {
-    GHOSTDB_RETURN_NOT_OK(FlushSpillGroup(first_row.data(), &aggs));
-  }
+  if (!acc.empty()) GHOSTDB_RETURN_NOT_OK(FlushSpillGroup(acc.data()));
   ctx_->metrics->sort_spill_runs += by_key_->stats().runs_written;
   ctx_->metrics->sort_spill_pages += by_key_->stats().pages_written;
   ctx_->metrics->padding_spill_runs += by_key_->stats().padding_runs_written;
   GHOSTDB_RETURN_NOT_OK(by_key_->Close());  // phase A flash freed here
   by_key_.reset();
   return by_arrival_->Finish();
+}
+
+Status GroupAggregateOp::FinishSpillPartials() {
+  GHOSTDB_RETURN_NOT_OK(by_key_->Finish());
+  std::vector<uint8_t> acc;  // current group's folded partial row
+  auto flush = [&]() -> Status {
+    if (acc.empty()) return Status::OK();
+    PartialAggGroup pg;
+    pg.first_seq = DecodeFixed64(acc.data() + spill_seq_offset_);
+    pg.aggs = MakeAggregators();
+    for (size_t j = 0; j < agg_items_.size(); ++j) {
+      GHOSTDB_RETURN_NOT_OK(
+          pg.aggs[j].AccumulatePartial(acc.data() + spill_agg_offsets_[j]));
+    }
+    for (size_t k = 0; k < key_items_.size(); ++k) {
+      size_t i = key_items_[k];
+      const uint8_t* src = acc.data() + spill_key_offsets_[k];
+      pg.key_cells.insert(pg.key_cells.end(), src,
+                          src + in_layout_->cols[i].width);
+      AppendCanonicalCellKey(in_layout_->cols[i].type,
+                             in_layout_->cols[i].width, src, &pg.key);
+    }
+    ctx_->partials_out->push_back(std::move(pg));
+    return Status::OK();
+  };
+  while (true) {
+    GHOSTDB_ASSIGN_OR_RETURN(const uint8_t* row, by_key_->Next());
+    if (row == nullptr) break;
+    if (!acc.empty() && key_cmp_.CompareKeys(row, acc.data()) == 0) {
+      GHOSTDB_RETURN_NOT_OK(FoldPartialRow(acc.data(), row));
+      continue;
+    }
+    GHOSTDB_RETURN_NOT_OK(flush());
+    acc.assign(row, row + spill_stride_);
+  }
+  GHOSTDB_RETURN_NOT_OK(flush());
+  ctx_->metrics->sort_spill_runs += by_key_->stats().runs_written;
+  ctx_->metrics->sort_spill_pages += by_key_->stats().pages_written;
+  ctx_->metrics->padding_spill_runs += by_key_->stats().padding_runs_written;
+  GHOSTDB_RETURN_NOT_OK(by_key_->Close());
+  by_key_.reset();
+  return Status::OK();
+}
+
+Status GroupAggregateOp::DumpPartials() {
+  // Hash groups first: recover each group's canonical key from the index
+  // (groups_ order is first arrival, but the combiner re-orders by
+  // first_seq anyway).
+  std::vector<const std::string*> keys(groups_.size(), nullptr);
+  for (const auto& [key, idx] : index_) keys[idx] = &key;
+  for (size_t gi = 0; gi < groups_.size(); ++gi) {
+    Group& g = groups_[gi];
+    PartialAggGroup pg;
+    if (keys[gi] != nullptr) pg.key = *keys[gi];
+    pg.key_cells = std::move(g.key_cells);
+    pg.aggs = std::move(g.aggs);
+    pg.first_seq = g.first_seq;
+    ctx_->partials_out->push_back(std::move(pg));
+  }
+  groups_.clear();
+  index_.clear();
+  if (spilling_) GHOSTDB_RETURN_NOT_OK(FinishSpillPartials());
+  return Status::OK();
 }
 
 Result<ColumnBatch> GroupAggregateOp::Emit() {
@@ -339,6 +538,23 @@ Result<ColumnBatch> GroupAggregateOp::Emit() {
 Result<ColumnBatch> GroupAggregateOp::Next() {
   if (done_) return ColumnBatch{};
   if (emitting_) return Emit();
+  if (ctx_->gather_partials != nullptr) {
+    // Gather leg of a sharded fleet: this op was built childless; seed the
+    // group table from the combined shard partials, already merged by key
+    // and ordered by first global arrival. Budget bookkeeping is skipped —
+    // the combined set is exactly the single-device group set, whose
+    // emission the budget already sized.
+    groups_.reserve(ctx_->gather_partials->size());
+    for (const PartialAggGroup& pg : *ctx_->gather_partials) {
+      Group g;
+      g.key_cells = pg.key_cells;
+      g.aggs = pg.aggs;
+      g.first_seq = pg.first_seq;
+      groups_.push_back(std::move(g));
+    }
+    emitting_ = true;
+    return Emit();
+  }
   while (true) {
     GHOSTDB_ASSIGN_OR_RETURN(ColumnBatch batch, child()->Next());
     if (batch.empty()) break;
@@ -347,7 +563,9 @@ Result<ColumnBatch> GroupAggregateOp::Next() {
     ExtractKeys(ctx_, batch, &key_items_, &key_scratch_);
     for (size_t r = 0; r < batch.live(); ++r) {
       uint32_t row = batch.row_at(r);
-      uint64_t seq = seq_++;
+      // Scatter runs stamp the global anchor id per row; it replaces the
+      // local counter so group first-arrival order merges globally.
+      uint64_t seq = !batch.seqs.empty() ? batch.seqs[row] : seq_++;
       const std::string& key = key_scratch_[r];
       // Known groups — frozen or not — keep folding in place: no new
       // memory either way.
@@ -377,6 +595,7 @@ Result<ColumnBatch> GroupAggregateOp::Next() {
                                src + in_layout_->cols[i].width);
           }
           g.aggs = MakeAggregators();
+          g.first_seq = seq;
           GHOSTDB_RETURN_NOT_OK(AccumulateInto(&g, batch, row));
           index_.emplace(key, groups_.size());
           groups_.push_back(std::move(g));
@@ -385,10 +604,16 @@ Result<ColumnBatch> GroupAggregateOp::Next() {
         }
       }
       // A new group past the budget: reroute the row through sort-based
-      // grouping.
-      PackRow(batch, row, in_offsets_, seq, row_buf_.data());
+      // grouping as a single-row partial.
+      GHOSTDB_RETURN_NOT_OK(PackPartialRow(batch, row, seq));
       GHOSTDB_RETURN_NOT_OK(by_key_->Add(row_buf_.data()));
     }
+  }
+  if (ctx_->partials_out != nullptr) {
+    // Scatter leg: ship the local groups instead of rendering rows.
+    GHOSTDB_RETURN_NOT_OK(DumpPartials());
+    done_ = true;
+    return ColumnBatch{};
   }
   if (spilling_) GHOSTDB_RETURN_NOT_OK(FinishSpill());
   emitting_ = true;
@@ -404,6 +629,19 @@ Status GroupAggregateOp::Close() {
     ctx_->metrics->sort_spill_pages += sorter->stats().pages_written;
     ctx_->metrics->padding_spill_runs += sorter->stats().padding_runs_written;
     GHOSTDB_RETURN_NOT_OK(sorter->Close());
+  }
+  // Strict spill-run padding: whether this operator spills depends on the
+  // hidden-filtered group count, so a never-spilled run must still write
+  // both phases' padded dummy-run signatures (a scatter leg skips phase B
+  // for every variant — a visible, structural property — so only phase A
+  // pads there).
+  if (!spilling_ && ctx_->config->pad_spill_runs && spill_stride_ != 0) {
+    GHOSTDB_RETURN_NOT_OK(
+        PadUnspilledSorter(ctx_, spill_stride_, "group-spill"));
+    if (ctx_->partials_out == nullptr) {
+      GHOSTDB_RETURN_NOT_OK(PadUnspilledSorter(
+          ctx_, out_layout_.row_width + kSpillSeqWidth, "group-arrival"));
+    }
   }
   return Operator::Close();
 }
@@ -546,6 +784,15 @@ Status DistinctOp::Close() {
     ctx_->metrics->padding_spill_runs += sorter->stats().padding_runs_written;
     GHOSTDB_RETURN_NOT_OK(sorter->Close());
   }
+  // Strict spill-run padding: the distinct set tripping the budget is
+  // hidden-dependent, so a run that never spilled still writes both
+  // phases' padded dummy-run signatures.
+  if (!spilling_ && ctx_->config->pad_spill_runs) {
+    uint32_t stride = TailInputRowWidth(ctx_) + kSpillSeqWidth;
+    GHOSTDB_RETURN_NOT_OK(PadUnspilledSorter(ctx_, stride, "distinct-spill"));
+    GHOSTDB_RETURN_NOT_OK(
+        PadUnspilledSorter(ctx_, stride, "distinct-arrival"));
+  }
   return Operator::Close();
 }
 
@@ -606,6 +853,12 @@ Status SortOp::Close() {
     ctx_->metrics->sort_spill_pages += sorter_->stats().pages_written;
     ctx_->metrics->padding_spill_runs += sorter_->stats().padding_runs_written;
     GHOSTDB_RETURN_NOT_OK(sorter_->Close());
+  } else if (ctx_->config->pad_spill_runs) {
+    // Strict spill-run padding: an empty (hidden-filtered) input never
+    // instantiated the sorter; write the padded dummy-run signature a real
+    // sorter over zero rows would have.
+    GHOSTDB_RETURN_NOT_OK(PadUnspilledSorter(
+        ctx_, TailInputRowWidth(ctx_) + kSpillSeqWidth, "sort-spill"));
   }
   return Operator::Close();
 }
@@ -722,6 +975,15 @@ Status TopKSortOp::Close() {
     ctx_->metrics->sort_spill_pages += sorter_->stats().pages_written;
     ctx_->metrics->padding_spill_runs += sorter_->stats().padding_runs_written;
     GHOSTDB_RETURN_NOT_OK(sorter_->Close());
+  } else if (ctx_->config->pad_spill_runs && k_ > 0) {
+    // Strict spill-run padding for the visible spilling-sort fallback
+    // (k past the budget — both visible): an empty input never
+    // instantiated the sorter. The in-budget heap mode uses no sorter for
+    // any variant, so it pads nothing.
+    uint32_t stride = TailInputRowWidth(ctx_) + kSpillSeqWidth;
+    if (k_ > BudgetRows(ctx_, stride)) {
+      GHOSTDB_RETURN_NOT_OK(PadUnspilledSorter(ctx_, stride, "topk-spill"));
+    }
   }
   return Operator::Close();
 }

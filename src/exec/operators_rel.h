@@ -36,10 +36,36 @@ struct TransparentStringHash {
   }
 };
 
+/// \brief Gather-leg source of a sharded scatter-gather over a row-boundary
+/// plan: emits the seq-merged union of the per-shard projection outputs
+/// (ExecContext::gather_rows), batch-wise in the merged stream's layout, so
+/// the unmodified relational tail above runs once over the exact
+/// single-device global row stream. Honors rows_demanded like the
+/// projection (undemanded rows stay counted via skipped_rows) and surfaces
+/// the shards' own demand-skipped counts once at end of stream.
+class GatherSourceOp final : public Operator {
+ public:
+  explicit GatherSourceOp(ExecContext* ctx) : Operator(ctx) {}
+  std::string_view name() const override { return "GatherSource"; }
+  Result<ColumnBatch> Next() override;
+
+ private:
+  std::vector<uint32_t> offsets_;  ///< per-column offsets in a merged row
+  uint64_t pos_ = 0;               ///< next merged row to emit
+  uint64_t emitted_ = 0;           ///< rows materialized so far
+  bool done_ = false;
+};
+
 /// \brief Folds the child stream into one row of aggregate values.
 /// Per-row data never leaves the key; only the final aggregate values reach
 /// the secure display. Inputs are accumulated from their encoded cells;
 /// the single output row uses this operator's own aggregate layout.
+///
+/// Sharded fleets: on a scatter leg (ExecContext::partials_out) the folded
+/// accumulators ship as one keyless PartialAggGroup instead of rendering a
+/// row; on the gather leg (ExecContext::gather_partials, built childless)
+/// the shard partials merge via Aggregator::MergeFrom and the empty-input
+/// rule applies to the *merged* count — so an empty shard never decides it.
 class AggregateOp final : public Operator {
  public:
   explicit AggregateOp(ExecContext* ctx) : Operator(ctx) {}
@@ -66,11 +92,24 @@ class AggregateOp final : public Operator {
 /// known groups fold into their Aggregators in O(1) extra memory. Past the
 /// budget the group table freezes: rows of frozen groups keep folding in
 /// place, rows of new groups reroute through ExternalRowSorter sort-based
-/// grouping — sorted by key cells with arrival ties, folded key-adjacent
-/// on the way out, then re-sorted by first-arrival sequence. Every frozen
-/// group's first arrival precedes every rerouted group's, so the
-/// concatenated output (frozen groups, then rerouted ones) is byte-
-/// identical to the pure hash path's.
+/// grouping — packed as single-row *partial-aggregate* spill rows (key
+/// cells + per-aggregate encoded partial state + arrival seq) that the
+/// sorter folds key-adjacent at run-write time (set_fold), so each spill
+/// run carries at most one row per group; the drain folds the per-run
+/// partials again, renders each group, and re-sorts by first-arrival
+/// sequence. Every frozen group's first arrival precedes every rerouted
+/// group's, so the concatenated output (frozen groups, then rerouted ones)
+/// is byte-identical to the pure hash path's. (Integer-SUM overflow is
+/// detected on partial subtotals rather than per input row, so a transient
+/// mid-group overflow that cancels within one spill segment no longer
+/// errors — the same granularity the sharded partial combine has.)
+///
+/// Sharded fleets: a scatter leg (ExecContext::partials_out) dumps every
+/// local group — hash and spilled — as PartialAggGroups (canonical key,
+/// raw key cells, accumulators, smallest global arrival seq) instead of
+/// rendering rows; the gather leg (ExecContext::gather_partials, built
+/// childless) seeds its group table from the combined partials, already in
+/// global first-arrival order, and just emits.
 class GroupAggregateOp final : public Operator {
  public:
   explicit GroupAggregateOp(ExecContext* ctx) : Operator(ctx) {}
@@ -81,28 +120,40 @@ class GroupAggregateOp final : public Operator {
 
  private:
   /// One group of the hash phase: the raw key cells of its first-arrival
-  /// row (what the group's output row shows) plus one accumulator per
-  /// aggregate select item.
+  /// row (what the group's output row shows), one accumulator per
+  /// aggregate select item, and the first-arrival sequence (the smallest
+  /// global anchor id under sharding — the gather combiner's order key).
   struct Group {
     std::vector<uint8_t> key_cells;
     std::vector<Aggregator> aggs;
+    uint64_t first_seq = 0;
   };
 
   /// Fresh accumulators, one per aggregate select item.
   std::vector<Aggregator> MakeAggregators() const;
   /// Folds one live input row into a group's accumulators.
   Status AccumulateInto(Group* g, const ColumnBatch& batch, uint32_t row);
-  /// Same, from a packed spill row.
-  Status AccumulatePacked(std::vector<Aggregator>* aggs, const uint8_t* row);
   /// Enters spill mode: new-group rows flow through sort-based grouping.
   Status StartSpill();
-  /// Drains phase A (key order, folding adjacent equal keys) into phase B
-  /// (first-arrival order) and seals it.
+  /// Packs one input row as a single-row partial spill row into row_buf_:
+  /// key cells, per-aggregate EncodePartial state, arrival sequence.
+  Status PackPartialRow(const ColumnBatch& batch, uint32_t row, uint64_t seq);
+  /// ExternalRowSorter fold hook: merges `row`'s per-item partial state
+  /// into `acc`'s (keys equal; acc keeps its own smaller sequence).
+  Status FoldPartialRow(uint8_t* acc, const uint8_t* row);
+  /// Drains phase A (key order, folding key-adjacent partials) into phase
+  /// B (first-arrival order) and seals it.
   Status FinishSpill();
-  /// Renders one folded group as an output-layout row + first-arrival
-  /// sequence and hands it to phase B.
-  Status FlushSpillGroup(const uint8_t* first_row,
-                         std::vector<Aggregator>* aggs);
+  /// Renders one fully folded partial spill row as an output-layout row +
+  /// first-arrival sequence and hands it to phase B.
+  Status FlushSpillGroup(const uint8_t* partial);
+  /// Scatter-shard mode: dumps every local group (hash table + spilled) as
+  /// PartialAggGroups into ctx->partials_out instead of rendering rows.
+  Status DumpPartials();
+  /// DumpPartials' spill side: drains phase A, folds key-adjacent
+  /// partials, and emits each folded group as a PartialAggGroup (phase B
+  /// never runs — the gather combiner orders globally).
+  Status FinishSpillPartials();
   /// Streams the grouped output: hash groups first, then spilled ones.
   Result<ColumnBatch> Emit();
 
@@ -113,8 +164,14 @@ class GroupAggregateOp final : public Operator {
   std::vector<uint32_t> out_offsets_;
   const BatchLayout* in_layout_ = nullptr;
   std::vector<uint32_t> in_offsets_;
+  // Partial spill-row layout: [key cells | per-aggregate partial state |
+  // u64 seq]. A pure function of the visible query shape.
+  std::vector<uint32_t> spill_key_offsets_;  ///< per key_items_ entry
+  std::vector<uint32_t> spill_agg_offsets_;  ///< per agg_items_ entry
+  uint32_t spill_seq_offset_ = 0;
+  uint32_t spill_stride_ = 0;
   RowComparator key_cmp_;  ///< spill order: key cells, ties by arrival
-  std::vector<uint8_t> row_buf_;  ///< one packed input row + sequence
+  std::vector<uint8_t> row_buf_;  ///< one packed partial row + sequence
   std::vector<uint8_t> out_buf_;  ///< one folded output row + sequence
   uint64_t seq_ = 0;  ///< arrival sequence across all input rows
   /// Per-batch canonical keys, extracted morsel-parallel before the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <numeric>
 
 namespace ghostdb::exec {
 
@@ -52,14 +53,33 @@ Status MergeRowRunsBy(flash::FlashDevice* device, device::RamManager* ram,
     if (free < 3) {
       return Status::ResourceExhausted("row-run merge needs 3 buffers");
     }
-    size_t take = std::min<size_t>(free - 1, runs->size());
+    // Cost-chosen merge width: one round merging `take` runs into one
+    // shrinks the count by take - 1, so merging more than (excess + 1)
+    // runs rewrites pages that could have streamed straight into the final
+    // fan-in merge. Take exactly what reaching target_count needs (capped
+    // by the reader buffers available), and take the *smallest* runs so
+    // the rewritten page count per round is minimal. The selection depends
+    // only on run page counts already on this device's flash — never on
+    // row values — so the merge structure stays deterministic and off the
+    // channel.
+    size_t excess = runs->size() - target_count;
+    size_t take = std::min<size_t>(free - 1, excess + 1);
+    std::vector<size_t> order(runs->size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return (*runs)[a].page_count() < (*runs)[b].page_count();
+    });
+    std::vector<size_t> picked(order.begin(),
+                               order.begin() + static_cast<long>(take));
+    std::sort(picked.begin(), picked.end());
     GHOSTDB_ASSIGN_OR_RETURN(
         device::BufferHandle bufs,
         ram->Acquire(static_cast<uint32_t>(take) + 1, "rowrun-merge"));
     std::vector<std::unique_ptr<RowRunReader>> readers;
     for (size_t i = 0; i < take; ++i) {
       readers.push_back(std::make_unique<RowRunReader>(
-          device, (*runs)[i], width, bufs.data() + i * ram->buffer_size()));
+          device, (*runs)[picked[i]], width,
+          bufs.data() + i * ram->buffer_size()));
       GHOSTDB_RETURN_NOT_OK(readers.back()->Prime());
     }
     storage::RunWriter writer(device, allocator,
@@ -93,10 +113,11 @@ Status MergeRowRunsBy(flash::FlashDevice* device, device::RamManager* ram,
       stats->runs_written += 1;
       stats->pages_written += merged.page_count();
     }
-    for (size_t i = 0; i < take; ++i) {
-      GHOSTDB_RETURN_NOT_OK(storage::FreeRun(allocator, (*runs)[i], tag));
+    for (size_t i = take; i-- > 0;) {
+      GHOSTDB_RETURN_NOT_OK(storage::FreeRun(allocator, (*runs)[picked[i]],
+                                             tag));
+      runs->erase(runs->begin() + static_cast<long>(picked[i]));
     }
-    runs->erase(runs->begin(), runs->begin() + static_cast<long>(take));
     runs->push_back(std::move(merged));
   }
   return Status::OK();

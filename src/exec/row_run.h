@@ -111,8 +111,11 @@ class RowRunReader {
 };
 
 /// Merges row runs (each sorted under `cmp`) down to at most `target_count`
-/// runs, within the current free-buffer budget. Consumed runs are freed
-/// under `tag`. With `drop_key_duplicates`, rows comparing equal on the
+/// runs, within the current free-buffer budget. Each round merges the
+/// minimal number of runs that reaches the target (never more than the
+/// free buffers allow), choosing the smallest runs by page count so the
+/// pages rewritten per round are as few as possible. Consumed runs are
+/// freed under `tag`. With `drop_key_duplicates`, rows comparing equal on the
 /// declared keys collapse to the earliest (smallest tie-break) one — the
 /// sort-based DISTINCT. `stats` (optional) accumulates the flash work.
 Status MergeRowRunsBy(flash::FlashDevice* device, device::RamManager* ram,

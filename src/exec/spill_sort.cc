@@ -95,8 +95,25 @@ Status ExternalRowSorter::SpillGeneration() {
   storage::RunWriter writer(&ctx_->flash(), ctx_->allocator, buf.data(),
                             tag_);
   const uint8_t* prev = nullptr;
+  // Run-write partial fold: hold one pending row; key-equal successors
+  // fold into it (the permutation is total-ordered, so the pending row is
+  // the group's earliest arrival and keeps the group's smallest sequence).
+  std::vector<uint8_t> pending;
+  bool have_pending = false;
   for (uint32_t index : perm_) {
     const uint8_t* row = GenRow(index);
+    if (fold_ != nullptr) {
+      if (have_pending && cmp_.CompareKeys(row, pending.data()) == 0) {
+        GHOSTDB_RETURN_NOT_OK(fold_(pending.data(), row));
+        continue;
+      }
+      if (have_pending) {
+        GHOSTDB_RETURN_NOT_OK(writer.Append(pending.data(), row_width_));
+      }
+      pending.assign(row, row + row_width_);
+      have_pending = true;
+      continue;
+    }
     // The permutation is total-ordered (ties by arrival), so the first of
     // a duplicate group is its earliest arrival.
     if (dedup_ && prev != nullptr && cmp_.CompareKeys(row, prev) == 0) {
@@ -104,6 +121,9 @@ Status ExternalRowSorter::SpillGeneration() {
     }
     GHOSTDB_RETURN_NOT_OK(writer.Append(row, row_width_));
     prev = row;
+  }
+  if (have_pending) {
+    GHOSTDB_RETURN_NOT_OK(writer.Append(pending.data(), row_width_));
   }
   GHOSTDB_ASSIGN_OR_RETURN(storage::RunRef run, writer.Finish());
   stats_.runs_written += 1;
@@ -163,15 +183,23 @@ Status ExternalRowSorter::Finish() {
   }
   GHOSTDB_RETURN_NOT_OK(SpillGeneration());
   // The final merge streams one reader buffer per run; merge down first if
-  // the session's free buffers cannot cover the fan-in. Keep two buffers
-  // of headroom: the reader set is held while the consumer drains the
-  // stream, and that consumer may itself need to spill (DistinctOp's
-  // arrival-order phase feeds off this merge) — taking every free buffer
-  // here would starve it at exactly the input sizes where the run count
-  // matches the free-buffer count.
+  // the session's free buffers cannot cover the fan-in. The fan-in is
+  // cost-derived from the partition's buffer pool rather than fixed: every
+  // reserved buffer forces extra merge-down rounds (each rewrites the
+  // merged pages once at row_width_ stride), so the reserve is exactly
+  // what the stream's consumer needs while the reader set stays pinned —
+  // one generation-spill buffer (the arrival-order phase of Distinct /
+  // GroupAggregate keeps absorbing this stream and may itself spill) plus
+  // one run-writer buffer for its merge or padding writes. Everything
+  // else becomes merge width; with MergeRowRunsBy's minimal-merge policy,
+  // wider fan-in strictly reduces rewritten pages. All inputs (budget,
+  // stride, buffer counts) are visible, so the merge structure cannot
+  // depend on hidden data.
   auto& ram = ctx_->ram();
   uint32_t free = ram.free_buffers();
-  size_t fan_in = std::max<size_t>(1, free > 2 ? free - 2 : 1);
+  constexpr uint32_t kConsumerReserveBuffers = 2;
+  size_t fan_in = std::max<size_t>(
+      1, free > kConsumerReserveBuffers ? free - kConsumerReserveBuffers : 1);
   if (runs_.size() > fan_in) {
     GHOSTDB_RETURN_NOT_OK(MergeRowRunsBy(&ctx_->flash(), &ram,
                                          ctx_->allocator, &runs_, row_width_,
@@ -252,6 +280,27 @@ Status ExternalRowSorter::Close() {
   }
   dummy_runs_.clear();
   return status;
+}
+
+Status PadUnspilledSorter(ExecContext* ctx, uint32_t stride,
+                          const std::string& tag) {
+  const ExecConfig& cfg = *ctx->config;
+  if (!cfg.pad_spill_runs || cfg.volume_padding == VolumePadding::kOff) {
+    return Status::OK();
+  }
+  uint64_t budget_rows = std::max<uint64_t>(
+      1, ctx->sort_budget_bytes / std::max<uint32_t>(1, stride));
+  // A zero-row sorter: Finish() writes only the padding mode's dummy-run
+  // signature (kWorstCase; kQuantize of 0 real runs stays 0 — its bucket
+  // function cannot hide emptiness, a documented resolution limit).
+  ExternalRowSorter sorter(ctx, stride,
+                           RowComparator::ByKeys({}, stride - kSpillSeqWidth),
+                           budget_rows, /*drop_key_duplicates=*/false, tag);
+  GHOSTDB_RETURN_NOT_OK(sorter.Finish());
+  ctx->metrics->sort_spill_runs += sorter.stats().runs_written;
+  ctx->metrics->sort_spill_pages += sorter.stats().pages_written;
+  ctx->metrics->padding_spill_runs += sorter.stats().padding_runs_written;
+  return sorter.Close();
 }
 
 }  // namespace ghostdb::exec

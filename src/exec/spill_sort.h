@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,6 +48,21 @@ class ExternalRowSorter {
 
   ExternalRowSorter(const ExternalRowSorter&) = delete;
   ExternalRowSorter& operator=(const ExternalRowSorter&) = delete;
+
+  /// Partial-aggregation hook: folds `row` into `acc_row` (both row_width
+  /// bytes, equal under cmp's keys), combining their aggregate state in
+  /// place. acc_row keeps its own non-aggregate bytes — in particular its
+  /// (smaller) arrival sequence.
+  using FoldFn = std::function<Status(uint8_t* acc_row, const uint8_t* row)>;
+
+  /// Enables run-write-time folding: when a generation spills, key-equal
+  /// adjacent rows collapse into one via `fold` before hitting flash, so a
+  /// run carries at most one row per distinct key — the sort-spill analog
+  /// of hash-side partial aggregation. Rows with equal keys from
+  /// *different* runs (and the never-spilled in-memory path) still emerge
+  /// adjacent from Next(); the consumer folds those on the way out.
+  /// Mutually exclusive with drop_key_duplicates.
+  void set_fold(FoldFn fold) { fold_ = std::move(fold); }
 
   /// Appends one row (row_width bytes). Past the budget: spills the
   /// current generation (spill_enabled) or fails with ResourceExhausted.
@@ -91,6 +107,7 @@ class ExternalRowSorter {
   RowComparator cmp_;
   uint64_t budget_rows_;
   bool dedup_;
+  FoldFn fold_;  ///< run-write partial fold (null = write rows verbatim)
   std::string tag_;
 
   std::vector<uint8_t> arena_;  ///< current generation, row-major
@@ -110,5 +127,16 @@ class ExternalRowSorter {
   std::vector<uint8_t> last_emitted_;       // dedup reference
   bool have_last_ = false;
 };
+
+/// Strict spill-run padding (ExecConfig::pad_spill_runs): writes the
+/// padded-mode dummy-run signature of a sorter that never materialized —
+/// an operator whose plan *could* spill but whose live input never tripped
+/// the budget (or was empty), which would otherwise distinguish itself on
+/// flash from an input that spilled and padded. `stride` must be the row
+/// width the real sorter would have used — a pure function of the visible
+/// plan, never of the live row count. No-op unless pad_spill_runs is on.
+/// Folds the dummy-run stats into ctx->metrics.
+Status PadUnspilledSorter(ExecContext* ctx, uint32_t stride,
+                          const std::string& tag);
 
 }  // namespace ghostdb::exec

@@ -24,6 +24,7 @@ VisibleStore::VisibleStore(const catalog::Schema* schema) : schema_(schema) {
   partitions_.resize(n);
   row_counts_.assign(n, 0);
   row_widths_.assign(n, 0);
+  global_ids_.resize(n);
   column_offsets_.resize(n);
   for (TableId t = 0; t < n; ++t) {
     const auto& cols = schema->table(t).columns;
@@ -53,6 +54,15 @@ Status VisibleStore::LoadTable(TableId table, std::vector<uint8_t> packed,
   return Status::OK();
 }
 
+Status VisibleStore::SetGlobalIds(TableId table, std::vector<RowId> ids) {
+  if (!ids.empty() && ids.size() != row_counts_[table]) {
+    return Status::InvalidArgument(
+        "global id map does not cover the loaded partition");
+  }
+  global_ids_[table] = std::move(ids);
+  return Status::OK();
+}
+
 bool VisibleStore::RowMatches(
     TableId table, RowId row,
     const std::vector<sql::BoundPredicate>& predicates) const {
@@ -62,7 +72,8 @@ bool VisibleStore::RowMatches(
                                       row_widths_[table];
   for (const auto& p : predicates) {
     if (p.on_id) {
-      if (!catalog::EvalCompare(Value::Int32(static_cast<int32_t>(row)), p.op,
+      RowId gid = GlobalId(table, row);
+      if (!catalog::EvalCompare(Value::Int32(static_cast<int32_t>(gid)), p.op,
                                 p.value)) {
         return false;
       }
@@ -130,7 +141,8 @@ void VisibleStore::ScanRange(
       RowId row = begin + static_cast<RowId>(i);
       bool keep;
       if (p.on_id) {
-        keep = catalog::EvalCompare(Value::Int32(static_cast<int32_t>(row)),
+        RowId gid = GlobalId(table, row);
+        keep = catalog::EvalCompare(Value::Int32(static_cast<int32_t>(gid)),
                                     p.op, p.value);
       } else {
         const auto& col = cols[p.column];

@@ -40,6 +40,15 @@ class VisibleStore {
   Status LoadTable(catalog::TableId table, std::vector<uint8_t> packed,
                    uint64_t count);
 
+  /// Installs the local→global id map of a sharded table (row i of this
+  /// device's partition is global row ids[i]). Id predicates evaluate
+  /// against the *global* id so `id < 100` selects the same logical rows
+  /// on every shard; an empty map (the default, and every unsharded
+  /// table) keeps the identity local == global. Payload id headers stay
+  /// local — Secure owns the translation back to global on its side.
+  Status SetGlobalIds(catalog::TableId table,
+                      std::vector<catalog::RowId> ids);
+
   uint64_t row_count(catalog::TableId table) const {
     return row_counts_[table];
   }
@@ -83,9 +92,16 @@ class VisibleStore {
                  catalog::RowId begin, catalog::RowId end,
                  std::vector<catalog::RowId>* out) const;
 
+  /// The id an on_id predicate sees for `row` (global under sharding).
+  catalog::RowId GlobalId(catalog::TableId table, catalog::RowId row) const {
+    return global_ids_[table].empty() ? row : global_ids_[table][row];
+  }
+
   const catalog::Schema* schema_;
   std::vector<std::vector<uint8_t>> partitions_;  // per table, packed rows
   std::vector<uint64_t> row_counts_;
+  // Per table: local→global id map (empty = identity; see SetGlobalIds).
+  std::vector<std::vector<catalog::RowId>> global_ids_;
   std::vector<uint32_t> row_widths_;
   // Per table: byte offset of each visible column within a packed row
   // (indexed by ColumnId; hidden columns map to UINT32_MAX).

@@ -219,6 +219,61 @@ TEST(DifferentialFuzzTest, MatchesOracleUnderForcedTinySortBudget) {
   EXPECT_EQ(failures, 0u);
 }
 
+TEST(DifferentialFuzzTest, ShardedFleetsMatchOracleAcrossShardCounts) {
+  // Sharding axis: the same random sweep with the fleet size alternating
+  // 2 / 4 / 3 across database rounds (shard_count 1 is the baseline every
+  // other test runs). The oracle evaluates the *logical* staged data, so a
+  // match here pins the whole scatter-gather path — global-id predicate
+  // substitution, per-shard legs, partial-aggregate combine, and the
+  // merge-by-seq reassembly — to the single-device semantics.
+  const uint64_t iters = EnvOr("GHOSTDB_SHARD_DIFF_ITERS", 150);
+  const uint64_t base_seed =
+      EnvOr("GHOSTDB_FUZZ_SEED", 20070611, /*allow_zero=*/true);
+  const uint64_t kQueriesPerDb = 75;
+  const uint64_t dbs = (iters + kQueriesPerDb - 1) / kQueriesPerDb;
+  const uint32_t kShardCycle[] = {2, 4, 3};
+
+  uint64_t ran = 0, failures = 0;
+  for (uint64_t d = 0; d < dbs && ran < iters; ++d) {
+    uint64_t visible_seed = base_seed + 4000 * d + 13;
+    uint64_t hidden_seed = visible_seed + 1;
+    auto cfg = fuzztest::FuzzConfig(visible_seed, /*retain_staged=*/true,
+                                    /*worker_threads=*/d % 2 == 0 ? 1 : 4);
+    cfg.shard_count = kShardCycle[d % 3];
+    // Alternate the forced-spill budget so scatter legs and the gather
+    // tail exercise both the in-memory and the spill paths.
+    if (d % 2 == 1) cfg.exec.sort_budget_buffers = 1;
+    GhostDB db(cfg);
+    ASSERT_TRUE(fuzztest::BuildFuzzDb(&db, visible_seed, hidden_seed).ok());
+    ASSERT_EQ(db.shard_count(), kShardCycle[d % 3]);
+    fuzztest::FuzzShape shape = fuzztest::MakeShape(visible_seed);
+    for (uint64_t q = 0; q < kQueriesPerDb && ran < iters; ++q, ++ran) {
+      uint64_t query_seed =
+          (base_seed + 131) ^ (d << 32) ^ (q * 0x9E3779B9ULL);
+      Rng rng(query_seed);
+      std::string sql = fuzztest::GenerateQuery(rng, shape);
+      std::string why;
+      if (!CheckQuery(&db, sql, /*brute_force=*/(q % 6) == 5, &why)) {
+        failures += 1;
+        std::string repro =
+            "[sharded] shards=" + std::to_string(cfg.shard_count) +
+            " visible_seed=" + std::to_string(visible_seed) +
+            " hidden_seed=" + std::to_string(hidden_seed) +
+            " query_seed=" + std::to_string(query_seed) + " sql=" + sql +
+            " | " + why;
+        RecordFailure(repro);
+        ADD_FAILURE() << repro;
+        if (failures >= 10) {
+          FAIL() << "too many divergences; stopping early (see "
+                 << FailureFile() << ")";
+        }
+      }
+    }
+  }
+  EXPECT_EQ(ran, iters);
+  EXPECT_EQ(failures, 0u);
+}
+
 TEST(DifferentialFuzzTest, InterleavedSessionsMatchOraclePerSession) {
   // Multi-session mode: random queries dealt to K sessions, drained under
   // the arbiter's interleaving (which varies with the deal), each

@@ -533,6 +533,66 @@ TEST(LeakTest, FuzzedShapesAreWorkerCountInvariant) {
   }
 }
 
+TEST(LeakTest, ShardedFleetPerShardTranscriptsAreHiddenInvariant) {
+  // The sharding axis of the leak property: a fleet of N devices must not
+  // leak more than one device does. Rows shard by a hash of the *visible*
+  // global id, every scatter leg announces and executes under its own
+  // arbiter, and volume padding targets the fleet-wide bound — so EACH
+  // shard's channel transcript, taken separately, must be byte-identical
+  // across databases differing only in hidden data. (A single combined
+  // check could mask a leak that moved bytes between shards.)
+  uint64_t queries = fuzztest::EnvOr("GHOSTDB_SHARD_LEAK_ITERS", 15);
+  uint64_t base_seed = fuzztest::EnvOr("GHOSTDB_LEAK_FUZZ_SEED", 20070611,
+                                       /*allow_zero=*/true);
+  for (uint32_t shards : {1u, 2u, 4u}) {
+    uint64_t visible_seed = base_seed + 11 * shards;
+    auto cfg = fuzztest::FuzzConfig(visible_seed, /*retain_staged=*/false);
+    cfg.shard_count = shards;
+    // Half the sweep under the forced-spill budget + worst-case padding:
+    // per-shard spill counts and padded volumes are the newest surfaces.
+    auto padded = cfg;
+    padded.exec.sort_budget_buffers = 1;
+    padded.exec.volume_padding = exec::VolumePadding::kWorstCase;
+    padded.exec.pad_spill_runs = true;
+    for (const auto& config : {cfg, padded}) {
+      GhostDB db1(config), db2(config);
+      ASSERT_TRUE(fuzztest::BuildFuzzDb(&db1, visible_seed, 111).ok());
+      ASSERT_TRUE(fuzztest::BuildFuzzDb(&db2, visible_seed, 999).ok());
+      ASSERT_EQ(db1.shard_count(), shards);
+      fuzztest::FuzzShape shape = fuzztest::MakeShape(visible_seed);
+      for (uint64_t i = 0; i < queries; ++i) {
+        uint64_t query_seed = visible_seed ^ (i * 0x9E3779B9ULL);
+        Rng rng(query_seed);
+        std::string sql = fuzztest::GenerateQuery(rng, shape);
+        std::string repro =
+            "shards=" + std::to_string(shards) +
+            " visible_seed=" + std::to_string(visible_seed) +
+            " query_seed=" + std::to_string(query_seed) + " sql=" + sql;
+        SCOPED_TRACE(repro);
+        for (uint32_t s = 0; s < shards; ++s) {
+          db1.shard_device(s).channel().ClearTranscript();
+          db2.shard_device(s).channel().ClearTranscript();
+        }
+        auto r1 = db1.Query(sql);
+        auto r2 = db2.Query(sql);
+        (void)r1;  // statuses reflect hidden answers; transcripts may not
+        (void)r2;
+        bool had_failure = ::testing::Test::HasFailure();
+        for (uint32_t s = 0; s < shards; ++s) {
+          SCOPED_TRACE("shard " + std::to_string(s));
+          ExpectIdenticalTranscripts(
+              db1.shard_device(s).channel().transcript(),
+              db2.shard_device(s).channel().transcript());
+        }
+        if (!had_failure && ::testing::Test::HasFailure()) {
+          std::ofstream out(fuzztest::FailureFile(), std::ios::app);
+          out << "[shard-leak] " << repro << "\n";
+        }
+      }
+    }
+  }
+}
+
 TEST(LeakTest, SessionTagsPartitionTheTranscriptByPrincipal) {
   // Sanity on the tagging itself: in a drained two-session run, every
   // query-time message carries one of the two session ids, and both appear.
