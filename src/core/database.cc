@@ -1,7 +1,9 @@
 #include "core/database.h"
 
 #include <algorithm>
+#include <optional>
 #include <thread>
+#include <utility>
 
 #include "crypto/sha256.h"
 #include "sql/binder.h"
@@ -70,6 +72,10 @@ GhostDB::GhostDB(GhostDBConfig config)
     std::copy(digest.begin(), digest.end(), key.begin());
     config_.device.flash.cipher_key = key;
   }
+  // Every shard device (this one and the ones Build() creates) carries the
+  // same fault schedule; Build() reseeds each onto its own lane and arms
+  // them once loading is done.
+  config_.device.fault = config_.fault_config;
   device_ = std::make_unique<device::SecureDevice>(config_.device);
   allocator_ = std::make_unique<storage::PageAllocator>(&device_->flash());
 }
@@ -140,6 +146,7 @@ Status GhostDB::Build() {
         "smart USB keys on one host");
   }
   GHOSTDB_RETURN_NOT_OK(exec::ValidateExecConfig(config_.exec));
+  GHOSTDB_RETURN_NOT_OK(device::ValidateFaultConfig(config_.fault_config));
   // Effective width: the explicit ExecConfig override if set, else the
   // database-wide knob. Stamp it back into the exec config so the planner
   // and executor see one value.
@@ -236,6 +243,16 @@ Status GhostDB::Build() {
   if (!config_.retain_staged_data) {
     staged_.clear();
     staged_.shrink_to_fit();
+  }
+  // Arm the fault schedule only now: the load phase above must always run
+  // fault-free (a half-built store is not a scenario the paper's device
+  // would ship). Each shard draws from its own seed lane so a fleet run
+  // doesn't replay shard 0's schedule N times.
+  for (uint32_t s = 0; s < config_.shard_count; ++s) {
+    device::FaultInjector& injector = shard_device(s).fault_injector();
+    injector.Reseed(config_.fault_config.seed +
+                    0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(s));
+    injector.set_armed(true);
   }
   built_ = true;
   return Status::OK();
@@ -433,24 +450,63 @@ Result<exec::QueryResult> GhostDB::RunSelect(const sql::BoundQuery& query,
       return result;
     }
 
-    plan::PhysicalPlan pinned_plan;
-    std::shared_ptr<const PreparedQuery> prepared;
-    const plan::PhysicalPlan* plan = nullptr;
-    if (pinned != nullptr) {
-      // Pinned runs serve the Vis counts like a planner run would, so
-      // their transcripts and metrics stay comparable across strategies.
-      std::map<TableId, uint64_t> vis_counts;
-      GHOSTDB_RETURN_NOT_OK(ServeVisCounts(query, &prefetch, &vis_counts));
-      pinned_plan = plan::BuildPhysicalPlan(query, *pinned,
-                                            config_.exec.topk_fusion);
-      plan = &pinned_plan;
-    } else {
-      GHOSTDB_ASSIGN_OR_RETURN(prepared,
-                               PrepareBound(query, &prefetch, &outcome));
-      plan = &prepared->plan;  // the held snapshot keeps the plan alive
+    // Messages before this index (the announcement) survive a fault
+    // recovery; everything after belongs to the attempt being replayed.
+    const size_t transcript0 = device_->channel().transcript_size();
+
+    auto attempt = [&](bool replay) -> Result<exec::QueryResult> {
+      plan::PhysicalPlan local_plan;
+      std::shared_ptr<const PreparedQuery> prepared;
+      const plan::PhysicalPlan* plan = nullptr;
+      if (pinned != nullptr) {
+        // Pinned runs serve the Vis counts like a planner run would, so
+        // their transcripts and metrics stay comparable across strategies.
+        std::map<TableId, uint64_t> vis_counts;
+        GHOSTDB_RETURN_NOT_OK(ServeVisCounts(query, &prefetch, &vis_counts));
+        local_plan = plan::BuildPhysicalPlan(query, *pinned,
+                                             config_.exec.topk_fusion);
+        plan = &local_plan;
+      } else if (replay && !outcome.hit) {
+        // The failed attempt already filled (miss) or re-stamped (replan)
+        // the plan cache, so a plain re-Prepare would hit and skip the
+        // vis-count exchange the fault-free transcript contains. Serve the
+        // counts and plan directly, bypassing the cache, to re-emit the
+        // exact wire sequence of the first attempt.
+        std::map<TableId, uint64_t> vis_counts;
+        GHOSTDB_RETURN_NOT_OK(ServeVisCounts(query, &prefetch, &vis_counts));
+        GHOSTDB_ASSIGN_OR_RETURN(
+            local_plan, planner_->PlanQuery(query, vis_counts, config_.exec));
+        plan = &local_plan;
+      } else {
+        GHOSTDB_ASSIGN_OR_RETURN(
+            prepared,
+            PrepareBound(query, &prefetch, replay ? nullptr : &outcome));
+        plan = &prepared->plan;  // the held snapshot keeps the plan alive
+      }
+      return executor_->Execute(query, *plan, &baseline, binding, &deferred,
+                                &prefetch);
+    };
+
+    Result<exec::QueryResult> r = attempt(false);
+    if (!r.ok() &&
+        config_.exec.volume_padding != exec::VolumePadding::kOff &&
+        device::FaultInjector::IsInjectedFault(r.status())) {
+      // No-leak recovery: under the padded volume modes an injected fault
+      // must be invisible on the wire, because whether it fired depends on
+      // the flash-op count — hidden data. Erase the failed attempt's
+      // recorded span and replay with the injector masked: the replay is a
+      // deterministic function of visible inputs, so the surviving
+      // transcript and padded volume are exactly the fault-free ones. The
+      // metrics baseline predates the fault, so faults_injected /
+      // flash_retries still record what really happened.
+      device::Channel& channel = device_->channel();
+      channel.EraseTranscript(transcript0,
+                              channel.transcript_size() - transcript0);
+      deferred = exec::EncodedRows{};
+      device::FaultInjector::MaskScope mask(&device_->fault_injector());
+      r = attempt(true);
     }
-    return executor_->Execute(query, *plan, &baseline, binding, &deferred,
-                              &prefetch);
+    return r;
   }();
   if (!result.ok() || query.explain) return result;
   // The rendering half of the surface: decode the captured cells to
@@ -538,34 +594,76 @@ Result<exec::QueryResult> GhostDB::RunSelectSharded(
     std::vector<Result<exec::QueryResult>> legs(
         shards,
         Result<exec::QueryResult>(Status::Internal("scatter leg unset")));
-    auto run_leg = [&](uint32_t s) {
+    // Per-leg recovery state: the metrics baseline a masked re-run reuses
+    // (so the fault counters and clock still cover the failed attempt) and
+    // the [first, end) span of the leg's messages in its shard's
+    // transcript (what a recovery erases).
+    std::vector<exec::MetricSnapshot> leg_base(shards);
+    std::vector<std::pair<size_t, size_t>> leg_span(shards, {0, 0});
+    auto run_leg = [&](uint32_t s, bool masked) {
       exec::FanoutParams params;
       params.role = exec::FanoutParams::Role::kScatter;
       if (agg_boundary) params.partials_out = &shard_partials[s];
       exec::EncodedRows* rows_out =
           agg_boundary ? nullptr : &shard_rows[s];
-      if (s == 0) {
-        legs[0] = executor_for(0)->Execute(query, *plan, &baseline0,
-                                           binding_for(0), rows_out,
-                                           &prefetch[0], &params);
+      device::SecureDevice& dev = shard_device(s);
+      std::optional<device::ChannelArbiter::Admission> leg_admission;
+      if (s != 0) {
+        leg_admission.emplace(&dev.arbiter(), binding_for(s)->id, weight);
+      }
+      std::optional<device::FaultInjector::MaskScope> mask;
+      if (masked) {
+        // Masked recovery re-run (sequential, on the coordinator thread):
+        // wipe the failed attempt's wire image first — under the
+        // admission, so no other session can be touching the channel —
+        // then replay with the schedule suppressed.
+        dev.channel().EraseTranscript(
+            leg_span[s].first, leg_span[s].second - leg_span[s].first);
+        mask.emplace(&dev.fault_injector());
+      } else {
+        leg_base[s] = s == 0 ? baseline0 : exec::MetricSnapshot::Take(&dev);
+      }
+      leg_span[s].first = dev.channel().transcript_size();
+      // Whole-shard reset: the device drops out before a byte moves — the
+      // leg dies with an empty transcript span and a tagged error while
+      // its neighbors keep running.
+      if (dev.fault_injector().DrawShardReset()) {
+        leg_span[s].second = leg_span[s].first;
+        legs[s] = Status::IOError(std::string(device::FaultInjector::kTag) +
+                                  " shard " + std::to_string(s) +
+                                  " reset during scatter");
         return;
       }
-      device::SecureDevice& dev = shard_device(s);
-      device::ChannelArbiter::Admission leg_admission(&dev.arbiter(),
-                                                      binding_for(s)->id,
-                                                      weight);
-      exec::MetricSnapshot base = exec::MetricSnapshot::Take(&dev);
-      shard_untrusted(s).ReceiveQuery(query.sql);
-      legs[s] = executor_for(s)->Execute(query, *plan, &base,
+      if (s != 0) shard_untrusted(s).ReceiveQuery(query.sql);
+      legs[s] = executor_for(s)->Execute(query, *plan, &leg_base[s],
                                          binding_for(s), rows_out,
                                          &prefetch[s], &params);
+      leg_span[s].second = dev.channel().transcript_size();
     };
     std::vector<std::thread> threads;
     threads.reserve(shards - 1);
-    for (uint32_t s = 1; s < shards; ++s) threads.emplace_back(run_leg, s);
-    run_leg(0);
+    for (uint32_t s = 1; s < shards; ++s) {
+      threads.emplace_back(run_leg, s, /*masked=*/false);
+    }
+    run_leg(0, /*masked=*/false);
     for (auto& t : threads) t.join();
     for (uint32_t s = 0; s < shards; ++s) {
+      if (legs[s].ok()) continue;
+      if (config_.exec.volume_padding == exec::VolumePadding::kOff ||
+          !device::FaultInjector::IsInjectedFault(legs[s].status())) {
+        // Graceful degradation without padding (or on a genuine error):
+        // the query fails with the leg's clean per-session Status; every
+        // other leg already finished, and nothing below holds resources.
+        return legs[s].status();
+      }
+      // Under padded modes a dead leg must be invisible: only this shard
+      // re-runs, masked, re-emitting its deterministic fault-free span.
+      if (agg_boundary) {
+        shard_partials[s].clear();
+      } else {
+        shard_rows[s] = exec::EncodedRows{};
+      }
+      run_leg(s, /*masked=*/true);
       GHOSTDB_RETURN_NOT_OK(legs[s].status());
     }
 
@@ -590,11 +688,29 @@ Result<exec::QueryResult> GhostDB::RunSelectSharded(
     }
 
     // Gather on the coordinator: the plan's tail over the combined
-    // stream, measured from its own baseline.
-    GHOSTDB_ASSIGN_OR_RETURN(
-        exec::QueryResult gathered,
-        executor_->Execute(query, *plan, nullptr, binding_for(0), &deferred,
-                           nullptr, &gparams));
+    // stream, measured from its own baseline. The baseline is taken once
+    // so a masked recovery re-run still reports the failed attempt's
+    // fault counters and clock; the gather inputs are const, so the tail
+    // is re-runnable after erasing the failed span.
+    exec::MetricSnapshot gather_base =
+        exec::MetricSnapshot::Take(device_.get());
+    const size_t gather0 = device_->channel().transcript_size();
+    Result<exec::QueryResult> gathered_r =
+        executor_->Execute(query, *plan, &gather_base, binding_for(0),
+                           &deferred, nullptr, &gparams);
+    if (!gathered_r.ok() &&
+        config_.exec.volume_padding != exec::VolumePadding::kOff &&
+        device::FaultInjector::IsInjectedFault(gathered_r.status())) {
+      device_->channel().EraseTranscript(
+          gather0, device_->channel().transcript_size() - gather0);
+      deferred = exec::EncodedRows{};
+      device::FaultInjector::MaskScope mask(&device_->fault_injector());
+      gathered_r =
+          executor_->Execute(query, *plan, &gather_base, binding_for(0),
+                             &deferred, nullptr, &gparams);
+    }
+    GHOSTDB_ASSIGN_OR_RETURN(exec::QueryResult gathered,
+                             std::move(gathered_r));
 
     // Fleet metrics: channel/flash/QEP counters sum over every leg;
     // wall-clock is the slowest scatter leg plus the gather tail (the

@@ -47,6 +47,10 @@ namespace ghostdb::core {
 
 struct GhostDBConfig {
   device::DeviceConfig device;
+  /// Seeded fault schedule, applied to every shard's device (each on its
+  /// own seed lane). Inert by default; validated and armed by Build() so
+  /// the load phase always runs fault-free.
+  device::FaultConfig fault_config;
   /// Simulated SecureDevices the logical database shards across. The
   /// loader hash-partitions the schema root's rows over the fleet (every
   /// other table replicates in full, so parent→child foreign keys stay

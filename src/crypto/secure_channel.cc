@@ -39,9 +39,11 @@ SealedBlob Seal(const DeviceKeys& keys, const std::vector<uint8_t>& plaintext,
       HmacSha256::Mac(keys.mac_key, sizeof(keys.mac_key), seed_bytes, 8);
   std::memcpy(blob.bytes.data(), nonce_digest.data(), kNonceSize);
 
-  // Encrypt.
-  std::memcpy(blob.bytes.data() + kNonceSize, plaintext.data(),
-              plaintext.size());
+  // Encrypt. (Empty payloads still seal to nonce || tag.)
+  if (!plaintext.empty()) {
+    std::memcpy(blob.bytes.data() + kNonceSize, plaintext.data(),
+                plaintext.size());
+  }
   Aes128Ctr ctr(keys.encryption_key, blob.bytes.data());
   ctr.Crypt(blob.bytes.data() + kNonceSize, plaintext.size());
 

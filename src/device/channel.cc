@@ -1,6 +1,10 @@
 #include "device/channel.h"
 
+#include <algorithm>
+#include <cstddef>
+
 #include "crypto/hash.h"
+#include "device/fault_injector.h"
 
 namespace ghostdb::device {
 
@@ -17,6 +21,17 @@ void Channel::Transfer(Direction direction, const std::string& label,
     clock_->Advance(static_cast<SimNanos>(
         static_cast<double>(bytes) / throughput_ * kSecond));
   }
+  if (injector_ != nullptr) {
+    injector_->MaybeStallChannel();
+  }
+}
+
+void Channel::EraseTranscript(size_t first, size_t count) {
+  first = std::min(first, transcript_.size());
+  count = std::min(count, transcript_.size() - first);
+  transcript_.erase(
+      transcript_.begin() + static_cast<std::ptrdiff_t>(first),
+      transcript_.begin() + static_cast<std::ptrdiff_t>(first + count));
 }
 
 uint64_t Channel::BytesMoved(Direction direction) const {

@@ -19,6 +19,8 @@
 
 namespace ghostdb::device {
 
+class FaultInjector;
+
 /// Transfer direction over the USB link.
 enum class Direction { kToSecure, kToUntrusted };
 
@@ -55,6 +57,13 @@ class Channel {
 
   const std::vector<ChannelMessage>& transcript() const { return transcript_; }
   void ClearTranscript() { transcript_.clear(); }
+  size_t transcript_size() const { return transcript_.size(); }
+
+  /// Removes exactly the `count` messages starting at index `first` — the
+  /// recovery path erases a failed attempt's recorded span before the
+  /// masked replay re-emits the fault-free sequence. Clamped to the
+  /// transcript bounds.
+  void EraseTranscript(size_t first, size_t count);
 
   /// Session new transfers are attributed to. Set by the ChannelArbiter on
   /// admission (and only then — the channel is exclusive to the admitted
@@ -68,10 +77,16 @@ class Channel {
   double throughput() const { return throughput_; }
   void set_throughput(double bytes_per_sec) { throughput_ = bytes_per_sec; }
 
+  /// Optional fault source consulted after each recorded transfer (stalls
+  /// cost simulated time only; the transcript never sees them). Owned by
+  /// the enclosing SecureDevice; may be null.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
  private:
   SimClock* clock_;
   double throughput_;
   int32_t current_session_ = -1;
+  FaultInjector* injector_ = nullptr;
   std::vector<ChannelMessage> transcript_;
 };
 

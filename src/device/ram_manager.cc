@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "device/fault_injector.h"
+
 namespace ghostdb::device {
 
 BufferHandle& BufferHandle::operator=(BufferHandle&& other) noexcept {
@@ -128,6 +130,11 @@ const std::string& RamManager::partition_name(RamPartitionId id) const {
 Result<BufferHandle> RamManager::Acquire(uint32_t buffers, std::string owner) {
   if (buffers == 0) {
     return Status::InvalidArgument("cannot acquire zero buffers");
+  }
+  if (injector_ != nullptr) {
+    GHOSTDB_RETURN_NOT_OK(injector_->CheckSite(
+        FaultSite::kRamAcquire, "RAM acquire of " + std::to_string(buffers) +
+                                    " buffers ('" + owner + "')"));
   }
   if (buffers > HeadroomOf(active_)) {
     // The active partition is out of budget: a per-session condition, not a

@@ -24,6 +24,7 @@
 
 namespace ghostdb::device {
 
+class FaultInjector;
 class RamManager;
 
 /// Identifies a RAM partition. 0 is the shared reserve (no quota of its
@@ -155,6 +156,11 @@ class RamManager {
   /// Zeros the peak-usage watermark (between queries).
   void ResetPeak() { peak_used_buffers_ = used_buffers_; }
 
+  /// Optional fault source consulted at the top of Acquire (an injected
+  /// RAM fault is a tagged ResourceExhausted, the same shape as a real
+  /// quota exhaustion). Owned by the enclosing SecureDevice; may be null.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
   /// Diagnostic: current owners and their buffer counts (live allocations
   /// only, in arena order).
   std::vector<std::pair<std::string, uint32_t>> Owners() const;
@@ -188,6 +194,7 @@ class RamManager {
   uint32_t pledged_ = 0;      ///< sum of live partition quotas
   uint32_t shared_used_ = 0;  ///< buffers held by shared-partition owners
   RamPartitionId active_ = kSharedRamPartition;
+  FaultInjector* injector_ = nullptr;
   std::vector<uint8_t> arena_;
   std::vector<bool> buffer_used_;  // per-buffer occupancy
   std::vector<Partition> partitions_;  // id - 1 indexes this

@@ -8,6 +8,7 @@
 #include "common/units.h"
 #include "device/channel.h"
 #include "device/channel_arbiter.h"
+#include "device/fault_injector.h"
 #include "device/ram_manager.h"
 #include "flash/flash.h"
 
@@ -20,6 +21,9 @@ struct DeviceConfig {
   /// USB 2.0 full speed = 12 Mb/s = 1.5 MB/s.
   double channel_throughput_bytes_per_sec = 1.5e6;
   flash::FlashConfig flash;
+  /// Seeded fault schedule; inert by default (enabled=false, all
+  /// probabilities zero).
+  FaultConfig fault;
 };
 
 /// \brief The smart USB key: owns the simulated clock and all device
@@ -33,11 +37,15 @@ class SecureDevice {
         ram_(config.ram_bytes, config.buffer_size),
         flash_(config.flash, clock_.get()),
         channel_(clock_.get(), config.channel_throughput_bytes_per_sec),
-        arbiter_(&channel_) {
+        arbiter_(&channel_),
+        injector_(config.fault, clock_.get()) {
     // The "main" pseudo-session (-1): direct Query()/Prepare() calls and
     // other pre-session surfaces arbitrate like everyone else, so all
     // query-time device access is serialized through one gate.
     arbiter_.Register(-1, "main");
+    flash_.set_fault_injector(&injector_);
+    channel_.set_fault_injector(&injector_);
+    ram_.set_fault_injector(&injector_);
   }
 
   const DeviceConfig& config() const { return config_; }
@@ -46,6 +54,9 @@ class SecureDevice {
   flash::FlashDevice& flash() { return flash_; }
   Channel& channel() { return channel_; }
   ChannelArbiter& arbiter() { return arbiter_; }
+  /// Only touch under this device's arbiter admission (or before Build()
+  /// completes): the injector has no internal synchronization.
+  FaultInjector& fault_injector() { return injector_; }
 
  private:
   DeviceConfig config_;
@@ -54,6 +65,7 @@ class SecureDevice {
   flash::FlashDevice flash_;
   Channel channel_;
   ChannelArbiter arbiter_;
+  FaultInjector injector_;
 };
 
 }  // namespace ghostdb::device

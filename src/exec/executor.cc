@@ -252,50 +252,64 @@ Result<QueryResult> SecureExecutor::ExecuteTree(
     exec_plan = &scatter_plan;
   }
 
-  GHOSTDB_ASSIGN_OR_RETURN(std::unique_ptr<Operator> root,
-                           BuildOperatorTree(&ctx, *exec_plan));
-  GHOSTDB_RETURN_NOT_OK(root->Open());
-  metrics.qepsj_rows = ctx.pipeline.sj.rows;
-
   QueryResult result;
   for (const auto& c : query.select) result.columns.push_back(c.display);
-  while (true) {
-    GHOSTDB_ASSIGN_OR_RETURN(ColumnBatch batch, root->Next());
-    if (batch.empty()) break;
-    if (batch.padding_rows > 0) {
-      // The QueryResult boundary strips volume-padding dummies: they count
-      // toward the observed volume only, never toward the answer, and are
-      // never materialized or deferred.
-      metrics.padding_rows += batch.padding_rows;
-      continue;
-    }
-    result.total_rows += batch.live() + batch.skipped_rows;
-    // The secure rendering surface. In deferred mode only the encoded
-    // cells are captured (memcpy) — the caller decodes after releasing
-    // its channel admission, off the device's critical section.
-    for (size_t i = 0; i < batch.live(); ++i) {
-      uint64_t materialized =
-          deferred != nullptr ? deferred->row_count : result.rows.size();
-      if (materialized >= materialize_cap) break;
-      uint32_t r = batch.row_at(i);
-      if (deferred != nullptr) {
-        deferred->AppendRow(batch, r);
+
+  // Build + open + pull in a scope whose failure still reaches the cleanup
+  // below: whatever the query did before faulting — opened operators,
+  // spilled runs, the F' run, VisTable state — must be released, and the
+  // page-leak check must run, on the error path too.
+  std::unique_ptr<Operator> root;
+  Status run_status = [&]() -> Status {
+    GHOSTDB_ASSIGN_OR_RETURN(root, BuildOperatorTree(&ctx, *exec_plan));
+    GHOSTDB_RETURN_NOT_OK(root->Open());
+    metrics.qepsj_rows = ctx.pipeline.sj.rows;
+    while (true) {
+      GHOSTDB_ASSIGN_OR_RETURN(ColumnBatch batch, root->Next());
+      if (batch.empty()) break;
+      if (batch.padding_rows > 0) {
+        // The QueryResult boundary strips volume-padding dummies: they
+        // count toward the observed volume only, never toward the answer,
+        // and are never materialized or deferred.
+        metrics.padding_rows += batch.padding_rows;
         continue;
       }
-      std::vector<catalog::Value> row;
-      row.reserve(batch.layout->cols.size());
-      for (size_t c = 0; c < batch.layout->cols.size(); ++c) {
-        row.push_back(batch.DecodeCell(c, r));
+      result.total_rows += batch.live() + batch.skipped_rows;
+      // The secure rendering surface. In deferred mode only the encoded
+      // cells are captured (memcpy) — the caller decodes after releasing
+      // its channel admission, off the device's critical section.
+      for (size_t i = 0; i < batch.live(); ++i) {
+        uint64_t materialized =
+            deferred != nullptr ? deferred->row_count : result.rows.size();
+        if (materialized >= materialize_cap) break;
+        uint32_t r = batch.row_at(i);
+        if (deferred != nullptr) {
+          deferred->AppendRow(batch, r);
+          continue;
+        }
+        std::vector<catalog::Value> row;
+        row.reserve(batch.layout->cols.size());
+        for (size_t c = 0; c < batch.layout->cols.size(); ++c) {
+          row.push_back(batch.DecodeCell(c, r));
+        }
+        result.rows.push_back(std::move(row));
       }
-      result.rows.push_back(std::move(row));
     }
-  }
-  GHOSTDB_RETURN_NOT_OK(root->Close());
-  root.reset();
+    return Status::OK();
+  }();
 
+  Status close_status;
+  if (root != nullptr) {
+    close_status = root->Close();
+    root.reset();
+  }
   ctx.pipeline.vis_tables.clear();
-  GHOSTDB_RETURN_NOT_OK(
-      storage::FreeRun(allocator_, ctx.pipeline.sj.fprime, "fprime"));
+  Status free_status =
+      storage::FreeRun(allocator_, ctx.pipeline.sj.fprime, "fprime");
+  if (run_status.ok()) {
+    GHOSTDB_RETURN_NOT_OK(close_status);
+    GHOSTDB_RETURN_NOT_OK(free_status);
+  }
 
   snap.Delta(device_, &metrics);
   metrics.peak_ram_buffers = ram.peak_used_buffers();
@@ -303,14 +317,19 @@ Result<QueryResult> SecureExecutor::ExecuteTree(
   metrics.observed_volume = result.total_rows + metrics.padding_rows;
 
   // Temporary flash space must all be returned: leaks here would slowly
-  // fill the key. The check runs per session-query so a leak is pinned on
-  // the session that caused it, not on whoever runs next.
+  // fill the key — after a fault just as much as after a success. The
+  // check runs per session-query so a leak is pinned on the session that
+  // caused it, not on whoever runs next.
   if (allocator_->used_pages() != pages0) {
-    return Status::Internal(
-        "query leaked " +
-        std::to_string(allocator_->used_pages() - pages0) +
-        " flash pages (session '" + session->name + "')");
+    std::string leak = "query leaked " +
+                       std::to_string(allocator_->used_pages() - pages0) +
+                       " flash pages (session '" + session->name + "')";
+    if (!run_status.ok()) {
+      leak += " while failing with: " + run_status.ToString();
+    }
+    return Status::Internal(std::move(leak));
   }
+  GHOSTDB_RETURN_NOT_OK(run_status);
   result.metrics = metrics;
   return result;
 }

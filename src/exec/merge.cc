@@ -17,6 +17,11 @@ uint64_t MergeGroup::TotalIds() const {
 
 Status MergeExec::ReduceGroup(MergeGroup* group, size_t target_streams) {
   stats_.reduction_rounds += 1;
+  // Reduction runs created this round. Declared outside the body scope so
+  // the error path below can hand survivors back to the group for
+  // reclamation — a faulted reduction must not strand merge-tmp extents.
+  std::vector<storage::RunRef> new_runs;
+  Status status = [&]() -> Status {
   // Workspace: every free buffer minus one reader and one writer.
   uint32_t free = ram_->free_buffers();
   if (free < 3) {
@@ -37,7 +42,6 @@ Status MergeExec::ReduceGroup(MergeGroup* group, size_t target_streams) {
   // what the device would pay.)
   std::vector<RowId> staging;
   staging.reserve(capacity_ids);
-  std::vector<storage::RunRef> new_runs;
 
   auto flush_staging = [&]() -> Status {
     if (staging.empty()) return Status::OK();
@@ -70,10 +74,11 @@ Status MergeExec::ReduceGroup(MergeGroup* group, size_t target_streams) {
     PostingIdSource src(device_, area, range, read_buf.data());
     GHOSTDB_RETURN_NOT_OK(drain_source(&src));
   }
-  for (const auto& run : group->runs) {
+  for (auto& run : group->runs) {
     RunIdSource src(device_, run, read_buf.data());
     GHOSTDB_RETURN_NOT_OK(drain_source(&src));
     GHOSTDB_RETURN_NOT_OK(storage::FreeRun(allocator_, run, "merge-tmp"));
+    run = storage::RunRef{};  // freed: the error-path sweep must skip it
   }
   GHOSTDB_RETURN_NOT_OK(flush_staging());
   group->sublists.clear();
@@ -119,16 +124,26 @@ Status MergeExec::ReduceGroup(MergeGroup* group, size_t target_streams) {
       }
     }
     GHOSTDB_ASSIGN_OR_RETURN(storage::RunRef merged, writer.Finish());
+    new_runs.push_back(std::move(merged));  // owned before inputs are freed
     for (size_t i = 0; i < take; ++i) {
       GHOSTDB_RETURN_NOT_OK(
           storage::FreeRun(allocator_, new_runs[i], "merge-tmp"));
+      new_runs[i] = storage::RunRef{};
     }
     new_runs.erase(new_runs.begin(),
                    new_runs.begin() + static_cast<long>(take));
-    new_runs.push_back(std::move(merged));
   }
   group->runs = std::move(new_runs);
   return Status::OK();
+  }();
+  if (!status.ok()) {
+    // Hand surviving reduction runs back to the group: Run()'s cleanup
+    // sweep reclaims whatever is still attached there.
+    for (auto& run : new_runs) {
+      if (!run.extents.empty()) group->runs.push_back(std::move(run));
+    }
+  }
+  return status;
 }
 
 Status MergeExec::StreamingMerge(
@@ -241,6 +256,7 @@ Status MergeExec::Run(std::vector<MergeGroup> groups,
                       const std::function<Status(RowId)>& sink,
                       uint32_t reserve_buffers) {
   if (groups.empty()) return Status::OK();
+  Status status = [&]() -> Status {
   if (ram_->free_buffers() <= reserve_buffers) {
     return Status::ResourceExhausted("merge has no usable RAM buffers");
   }
@@ -276,15 +292,21 @@ Status MergeExec::Run(std::vector<MergeGroup> groups,
     }
   }
 
-  GHOSTDB_RETURN_NOT_OK(StreamingMerge(groups, sink, usable));
+  return StreamingMerge(groups, sink, usable);
+  }();
 
-  // Consume input runs (reduction already freed what it replaced).
+  // Consume input runs — reached on error paths too, so a faulted merge
+  // reclaims every merge-tmp extent (reduction already freed and zeroed
+  // what it replaced). The first error wins; the sweep always finishes.
   for (auto& g : groups) {
-    for (const auto& run : g.runs) {
-      GHOSTDB_RETURN_NOT_OK(storage::FreeRun(allocator_, run, "merge-tmp"));
+    for (auto& run : g.runs) {
+      if (run.extents.empty()) continue;
+      Status freed = storage::FreeRun(allocator_, run, "merge-tmp");
+      if (status.ok() && !freed.ok()) status = std::move(freed);
     }
+    g.runs.clear();
   }
-  return Status::OK();
+  return status;
 }
 
 }  // namespace ghostdb::exec

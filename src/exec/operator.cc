@@ -75,6 +75,8 @@ MetricSnapshot MetricSnapshot::Take(device::SecureDevice* device) {
       device->channel().BytesMoved(device::Direction::kToSecure);
   snap.bytes_to_untrusted =
       device->channel().BytesMoved(device::Direction::kToUntrusted);
+  snap.flash_retries = device->fault_injector().flash_retries();
+  snap.faults_injected = device->fault_injector().faults_injected();
   return snap;
 }
 
@@ -108,6 +110,8 @@ void QueryMetrics::Accumulate(const QueryMetrics& other) {
   observed_volume += other.observed_volume;
   padding_rows += other.padding_rows;
   padding_spill_runs += other.padding_spill_runs;
+  flash_retries += other.flash_retries;
+  faults_injected += other.faults_injected;
 }
 
 void MetricSnapshot::Delta(device::SecureDevice* device,
@@ -126,6 +130,10 @@ void MetricSnapshot::Delta(device::SecureDevice* device,
   metrics->bytes_to_untrusted =
       device->channel().BytesMoved(device::Direction::kToUntrusted) -
       bytes_to_untrusted;
+  metrics->flash_retries =
+      device->fault_injector().flash_retries() - flash_retries;
+  metrics->faults_injected =
+      device->fault_injector().faults_injected() - faults_injected;
 }
 
 namespace {

@@ -176,6 +176,12 @@ struct QueryMetrics {
   /// Dummy spill runs the relational tail wrote (and freed) to pad its
   /// flash run counts (ExecConfig::pad_spill_runs).
   uint64_t padding_spill_runs = 0;
+  /// Transient flash faults the device absorbed by retrying (the backoff
+  /// is charged to the "fault-retry" clock category).
+  uint64_t flash_retries = 0;
+  /// Faults the injector fired during this query, retried or not —
+  /// includes the ones a padded-mode masked replay recovered from.
+  uint64_t faults_injected = 0;
 
   /// Folds another query's metrics into this one (counters sum, peaks
   /// take the max) — the single place the field list is walked, used by
@@ -209,6 +215,8 @@ struct MetricSnapshot {
   flash::FlashStats flash;
   uint64_t bytes_to_secure = 0;
   uint64_t bytes_to_untrusted = 0;
+  uint64_t flash_retries = 0;
+  uint64_t faults_injected = 0;
 
   static MetricSnapshot Take(device::SecureDevice* device);
   /// Fills the delta since this snapshot into `metrics`.

@@ -229,10 +229,12 @@ Status ProjectOp::Open() {
         if (it != chunk_ids.end() && *it == id) {
           size_t idx = static_cast<size_t>(it - chunk_ids.begin());
           EncodeFixed32(out_row.data(), pos);
-          std::memcpy(out_row.data() + 4,
-                      chunk_values.data() + idx * (mt.vis_width +
-                                                   mt.hid_width),
-                      mt.vis_width + mt.hid_width);
+          if (mt.vis_width + mt.hid_width > 0) {
+            std::memcpy(out_row.data() + 4,
+                        chunk_values.data() + idx * (mt.vis_width +
+                                                     mt.hid_width),
+                        mt.vis_width + mt.hid_width);
+          }
           GHOSTDB_RETURN_NOT_OK(out.Append(out_row.data(), mt.out_width));
           emitted += 1;
         }
@@ -507,15 +509,27 @@ Result<ColumnBatch> ProjectOp::Next() {
 
 Status ProjectOp::Close() {
   // Cleanup projection temporaries (the stream may have been cut short by
-  // a Limit upstream).
+  // a Limit upstream, or Open itself by a fault). Every table's runs are
+  // released even if one release errors — the first error is reported
+  // after the sweep.
+  Status first;
+  auto keep = [&first](Status s) {
+    if (first.ok() && !s.ok()) first = std::move(s);
+  };
   for (auto& mt : mjoin_) {
     for (auto& run : mt.pass_runs) {
-      GHOSTDB_RETURN_NOT_OK(
-          storage::FreeRun(ctx_->allocator, run, "project-out"));
+      keep(storage::FreeRun(ctx_->allocator, run, "project-out"));
     }
     mt.pass_runs.clear();
+    // Normally freed inline once the table's MJoin passes finish; still
+    // live when Open faulted between vertical partitioning and that point.
+    if (!mt.column_run.extents.empty()) {
+      keep(storage::FreeRun(ctx_->allocator, mt.column_run, "project-col"));
+      mt.column_run = storage::RunRef{};
+    }
   }
-  return Operator::Close();
+  keep(Operator::Close());
+  return first;
 }
 
 // ---------------------------------------------------------------------------
@@ -741,14 +755,16 @@ Result<ColumnBatch> BruteForceProjectOp::Next() {
 }
 
 Status BruteForceProjectOp::Close() {
+  Status first;
   for (auto& bt : tables_) {
     if (!bt.spool.extents.empty()) {
-      GHOSTDB_RETURN_NOT_OK(
-          storage::FreeRun(ctx_->allocator, bt.spool, "brute-spool"));
+      Status freed = storage::FreeRun(ctx_->allocator, bt.spool, "brute-spool");
+      if (first.ok() && !freed.ok()) first = std::move(freed);
       bt.spool = storage::RunRef{};
     }
   }
-  return Operator::Close();
+  Status children = Operator::Close();
+  return first.ok() ? children : first;
 }
 
 }  // namespace ghostdb::exec

@@ -622,28 +622,35 @@ Result<ColumnBatch> GroupAggregateOp::Next() {
 
 Status GroupAggregateOp::Close() {
   // by_key_ outlives FinishSpill only when the stream was abandoned early;
-  // fold whatever spill work actually happened either way.
+  // fold whatever spill work actually happened either way. A failing step
+  // must not strand the other phase's runs or the children's resources, so
+  // the first error is deferred rather than returned.
+  Status first;
+  auto keep = [&first](Status s) {
+    if (first.ok() && !s.ok()) first = std::move(s);
+  };
   for (auto* sorter : {by_key_.get(), by_arrival_.get()}) {
     if (sorter == nullptr) continue;
     ctx_->metrics->sort_spill_runs += sorter->stats().runs_written;
     ctx_->metrics->sort_spill_pages += sorter->stats().pages_written;
     ctx_->metrics->padding_spill_runs += sorter->stats().padding_runs_written;
-    GHOSTDB_RETURN_NOT_OK(sorter->Close());
+    keep(sorter->Close());
   }
   // Strict spill-run padding: whether this operator spills depends on the
   // hidden-filtered group count, so a never-spilled run must still write
   // both phases' padded dummy-run signatures (a scatter leg skips phase B
   // for every variant — a visible, structural property — so only phase A
   // pads there).
-  if (!spilling_ && ctx_->config->pad_spill_runs && spill_stride_ != 0) {
-    GHOSTDB_RETURN_NOT_OK(
-        PadUnspilledSorter(ctx_, spill_stride_, "group-spill"));
-    if (ctx_->partials_out == nullptr) {
-      GHOSTDB_RETURN_NOT_OK(PadUnspilledSorter(
+  if (first.ok() && !spilling_ && ctx_->config->pad_spill_runs &&
+      spill_stride_ != 0) {
+    keep(PadUnspilledSorter(ctx_, spill_stride_, "group-spill"));
+    if (first.ok() && ctx_->partials_out == nullptr) {
+      keep(PadUnspilledSorter(
           ctx_, out_layout_.row_width + kSpillSeqWidth, "group-arrival"));
     }
   }
-  return Operator::Close();
+  keep(Operator::Close());
+  return first;
 }
 
 // ---------------------------------------------------------------------------
@@ -776,24 +783,32 @@ Result<ColumnBatch> DistinctOp::Next() {
 
 Status DistinctOp::Close() {
   // by_value_ outlives FinishSpill only when the stream was abandoned
-  // early; fold whatever spill work actually happened either way.
+  // early; fold whatever spill work actually happened either way. Defer
+  // the first error so a failing phase cannot strand the other phase's
+  // runs or skip the children's Close.
+  Status first;
+  auto keep = [&first](Status s) {
+    if (first.ok() && !s.ok()) first = std::move(s);
+  };
   for (auto* sorter : {by_value_.get(), by_arrival_.get()}) {
     if (sorter == nullptr) continue;
     ctx_->metrics->sort_spill_runs += sorter->stats().runs_written;
     ctx_->metrics->sort_spill_pages += sorter->stats().pages_written;
     ctx_->metrics->padding_spill_runs += sorter->stats().padding_runs_written;
-    GHOSTDB_RETURN_NOT_OK(sorter->Close());
+    keep(sorter->Close());
   }
   // Strict spill-run padding: the distinct set tripping the budget is
   // hidden-dependent, so a run that never spilled still writes both
   // phases' padded dummy-run signatures.
-  if (!spilling_ && ctx_->config->pad_spill_runs) {
+  if (first.ok() && !spilling_ && ctx_->config->pad_spill_runs) {
     uint32_t stride = TailInputRowWidth(ctx_) + kSpillSeqWidth;
-    GHOSTDB_RETURN_NOT_OK(PadUnspilledSorter(ctx_, stride, "distinct-spill"));
-    GHOSTDB_RETURN_NOT_OK(
-        PadUnspilledSorter(ctx_, stride, "distinct-arrival"));
+    keep(PadUnspilledSorter(ctx_, stride, "distinct-spill"));
+    if (first.ok()) {
+      keep(PadUnspilledSorter(ctx_, stride, "distinct-arrival"));
+    }
   }
-  return Operator::Close();
+  keep(Operator::Close());
+  return first;
 }
 
 // ---------------------------------------------------------------------------
@@ -848,19 +863,22 @@ Result<ColumnBatch> SortOp::Next() {
 }
 
 Status SortOp::Close() {
+  Status first;
   if (sorter_ != nullptr) {
     ctx_->metrics->sort_spill_runs += sorter_->stats().runs_written;
     ctx_->metrics->sort_spill_pages += sorter_->stats().pages_written;
     ctx_->metrics->padding_spill_runs += sorter_->stats().padding_runs_written;
-    GHOSTDB_RETURN_NOT_OK(sorter_->Close());
+    first = sorter_->Close();
   } else if (ctx_->config->pad_spill_runs) {
     // Strict spill-run padding: an empty (hidden-filtered) input never
     // instantiated the sorter; write the padded dummy-run signature a real
     // sorter over zero rows would have.
-    GHOSTDB_RETURN_NOT_OK(PadUnspilledSorter(
-        ctx_, TailInputRowWidth(ctx_) + kSpillSeqWidth, "sort-spill"));
+    first = PadUnspilledSorter(
+        ctx_, TailInputRowWidth(ctx_) + kSpillSeqWidth, "sort-spill");
   }
-  return Operator::Close();
+  // Children close even when the sorter's teardown failed.
+  Status children = Operator::Close();
+  return first.ok() ? children : first;
 }
 
 // ---------------------------------------------------------------------------
@@ -970,11 +988,12 @@ Result<ColumnBatch> TopKSortOp::Next() {
 
 Status TopKSortOp::Close() {
   ctx_->metrics->topk_short_circuits += short_circuits_;
+  Status first;
   if (sorter_ != nullptr) {
     ctx_->metrics->sort_spill_runs += sorter_->stats().runs_written;
     ctx_->metrics->sort_spill_pages += sorter_->stats().pages_written;
     ctx_->metrics->padding_spill_runs += sorter_->stats().padding_runs_written;
-    GHOSTDB_RETURN_NOT_OK(sorter_->Close());
+    first = sorter_->Close();
   } else if (ctx_->config->pad_spill_runs && k_ > 0) {
     // Strict spill-run padding for the visible spilling-sort fallback
     // (k past the budget — both visible): an empty input never
@@ -982,10 +1001,11 @@ Status TopKSortOp::Close() {
     // any variant, so it pads nothing.
     uint32_t stride = TailInputRowWidth(ctx_) + kSpillSeqWidth;
     if (k_ > BudgetRows(ctx_, stride)) {
-      GHOSTDB_RETURN_NOT_OK(PadUnspilledSorter(ctx_, stride, "topk-spill"));
+      first = PadUnspilledSorter(ctx_, stride, "topk-spill");
     }
   }
-  return Operator::Close();
+  Status children = Operator::Close();
+  return first.ok() ? children : first;
 }
 
 // ---------------------------------------------------------------------------

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "crypto/chacha20.h"
+#include "device/fault_injector.h"
 
 namespace ghostdb::flash {
 
@@ -112,6 +113,9 @@ Status FlashDevice::ReadPage(uint32_t lpn, uint8_t* dst, uint32_t offset,
   if (offset + len > config_.page_size) {
     return Status::InvalidArgument("flash read crosses page boundary");
   }
+  if (injector_ != nullptr) {
+    GHOSTDB_RETURN_NOT_OK(injector_->OnFlashOp(device::FaultSite::kFlashRead));
+  }
   stats_.pages_read += 1;
   stats_.bytes_transferred += len;
   clock_->Advance(config_.read_page_latency +
@@ -160,6 +164,9 @@ Status FlashDevice::WritePage(uint32_t lpn, const uint8_t* src) {
   if (lpn >= config_.logical_pages) {
     return Status::OutOfRange("flash write: logical page " +
                               std::to_string(lpn) + " out of range");
+  }
+  if (injector_ != nullptr) {
+    GHOSTDB_RETURN_NOT_OK(injector_->OnFlashOp(device::FaultSite::kFlashWrite));
   }
 
   // Ensure the frontier has a free page; garbage-collect if not.

@@ -28,6 +28,10 @@
 #include "common/status.h"
 #include "common/units.h"
 
+namespace ghostdb::device {
+class FaultInjector;
+}  // namespace ghostdb::device
+
 namespace ghostdb::flash {
 
 /// Geometry and timing of the simulated NAND device (Table 1 defaults).
@@ -93,12 +97,21 @@ class FlashDevice {
   /// Number of live (mapped) logical pages.
   uint32_t live_pages() const;
 
+  /// Optional fault source consulted at the top of ReadPage/WritePage
+  /// (after argument validation, before any cost is charged). Owned by the
+  /// enclosing SecureDevice; may be null (standalone flash tests).
+  void set_fault_injector(device::FaultInjector* injector) {
+    injector_ = injector;
+  }
+  device::FaultInjector* fault_injector() const { return injector_; }
+
  private:
   struct Impl;
 
   FlashConfig config_;
   SimClock* clock_;
   FlashStats stats_;
+  device::FaultInjector* injector_ = nullptr;
   std::unique_ptr<Impl> impl_;
 };
 

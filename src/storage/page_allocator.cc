@@ -2,11 +2,18 @@
 
 #include <algorithm>
 
+#include "device/fault_injector.h"
+
 namespace ghostdb::storage {
 
 Result<uint32_t> PageAllocator::Alloc(uint32_t count, const std::string& tag) {
   if (count == 0) {
     return Status::InvalidArgument("cannot allocate zero pages");
+  }
+  if (device_->fault_injector() != nullptr) {
+    GHOSTDB_RETURN_NOT_OK(device_->fault_injector()->CheckSite(
+        device::FaultSite::kPageAlloc,
+        "alloc of " + std::to_string(count) + " pages (tag " + tag + ")"));
   }
   // First fit in the free list.
   for (size_t i = 0; i < free_list_.size(); ++i) {

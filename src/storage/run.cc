@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/coding.h"
+#include "device/fault_injector.h"
 
 namespace ghostdb::storage {
 
@@ -19,6 +20,25 @@ RunWriter::RunWriter(flash::FlashDevice* device, PageAllocator* allocator,
       buffer_(buffer),
       tag_(std::move(tag)),
       page_size_(device->config().page_size) {}
+
+RunWriter::~RunWriter() {
+  // Best-effort: Free only fails on out-of-range trims, which cannot happen
+  // for extents this writer allocated.
+  Abort().ok();
+}
+
+Status RunWriter::Abort() {
+  Status status;
+  for (const auto& e : extents_) {
+    Status s = allocator_->Free(e.first, e.second, tag_);
+    if (status.ok() && !s.ok()) status = s;
+  }
+  extents_.clear();
+  pages_used_ = 0;
+  fill_ = 0;
+  bytes_ = 0;
+  return status;
+}
 
 Status RunWriter::Append(const uint8_t* data, size_t len) {
   while (len > 0) {
@@ -66,6 +86,13 @@ Status RunWriter::FlushPage() {
   }
   if (fill_ < page_size_) {
     std::memset(buffer_ + fill_, 0, page_size_ - fill_);
+  }
+  // Torn-run-write site: the run is left mid-write holding allocated
+  // extents, exactly the state Abort()/the destructor must reclaim.
+  if (device_->fault_injector() != nullptr) {
+    GHOSTDB_RETURN_NOT_OK(device_->fault_injector()->CheckSite(
+        device::FaultSite::kRunWrite,
+        "run page " + std::to_string(pages_used_) + " (tag " + tag_ + ")"));
   }
   GHOSTDB_RETURN_NOT_OK(device_->WritePage(lpn, buffer_));
   pages_used_ += 1;

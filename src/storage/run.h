@@ -44,11 +44,23 @@ struct RunRef {
 };
 
 /// \brief Appends bytes to freshly allocated pages.
+///
+/// Abandoning a writer mid-run — an Append/Finish error, or simply going
+/// out of scope without Finish() — reclaims every extent it still holds
+/// (the destructor runs Abort()), so a torn run write cannot leak flash
+/// pages. Finish() moves the extents into the returned RunRef, after which
+/// the destructor is a no-op.
 class RunWriter {
  public:
   /// `buffer` must hold one flash page and stays owned by the caller.
   RunWriter(flash::FlashDevice* device, PageAllocator* allocator,
             uint8_t* buffer, std::string tag);
+
+  /// Frees any extents still held (best-effort; see Abort()).
+  ~RunWriter();
+
+  RunWriter(const RunWriter&) = delete;
+  RunWriter& operator=(const RunWriter&) = delete;
 
   /// Appends raw bytes.
   Status Append(const uint8_t* data, size_t len);
@@ -59,6 +71,11 @@ class RunWriter {
   /// Flushes the tail page and returns the run. The writer must not be
   /// reused afterwards.
   Result<RunRef> Finish();
+
+  /// Releases every page extent allocated so far back to the allocator and
+  /// resets the writer to empty. Safe to call at any point (idempotent);
+  /// the abandoned-run cleanup path after a failed spill.
+  Status Abort();
 
   uint64_t bytes_written() const { return bytes_; }
 

@@ -260,6 +260,50 @@ TEST(ChannelArbiterTest, AdmissionIsExclusiveUnderContention) {
   for (int32_t s = 0; s < 4; ++s) EXPECT_EQ(arbiter.admissions(s), 50u);
 }
 
+TEST(ChannelArbiterTest, ErroringSessionDoesNotStarveNeighbors) {
+  // A session whose query errors under admission (the fault-injection
+  // paths end this way) must still release its ticket on every exit —
+  // Admission is RAII, so the error return is just another unwind. If any
+  // error path leaked a ticket, the neighbors would block forever and this
+  // test would hang rather than fail.
+  SimClock clock;
+  Channel ch(&clock, 1e6);
+  ChannelArbiter arbiter(&ch);
+  for (int32_t s = 0; s < 3; ++s) {
+    arbiter.Register(s, "s" + std::to_string(s));
+  }
+  std::atomic<int> errors{0};
+  std::atomic<int> successes{0};
+  auto query_under_admission = [&](int32_t s, int i) -> Status {
+    ChannelArbiter::Admission admission(&arbiter, s, 1);
+    // Session 0 fails every other statement mid-"query", after taking the
+    // device; the Status return path must drop the ticket.
+    if (s == 0 && i % 2 == 0) {
+      return Status::IOError("simulated mid-query device fault");
+    }
+    return Status::OK();
+  };
+  std::vector<std::thread> threads;
+  for (int32_t s = 0; s < 3; ++s) {
+    threads.emplace_back([&, s] {
+      for (int i = 0; i < 40; ++i) {
+        if (query_under_admission(s, i).ok()) {
+          successes.fetch_add(1);
+        } else {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 20);
+  EXPECT_EQ(successes.load(), 100);
+  // Every request — failed or not — was admitted exactly once, and the
+  // erroring session kept its full share.
+  EXPECT_EQ(arbiter.total_admissions(), 120u);
+  for (int32_t s = 0; s < 3; ++s) EXPECT_EQ(arbiter.admissions(s), 40u);
+}
+
 TEST(ChannelTest, TransferChargesCommTime) {
   SimClock clock;
   Channel ch(&clock, 1.5e6);  // 1.5 MB/s

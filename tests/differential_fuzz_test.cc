@@ -19,6 +19,7 @@
 
 #include "common/rng.h"
 #include "core/database.h"
+#include "device/fault_injector.h"
 #include "fuzz_common.h"
 #include "reference/oracle.h"
 #include "sql/binder.h"
@@ -259,6 +260,96 @@ TEST(DifferentialFuzzTest, ShardedFleetsMatchOracleAcrossShardCounts) {
             "[sharded] shards=" + std::to_string(cfg.shard_count) +
             " visible_seed=" + std::to_string(visible_seed) +
             " hidden_seed=" + std::to_string(hidden_seed) +
+            " query_seed=" + std::to_string(query_seed) + " sql=" + sql +
+            " | " + why;
+        RecordFailure(repro);
+        ADD_FAILURE() << repro;
+        if (failures >= 10) {
+          FAIL() << "too many divergences; stopping early (see "
+                 << FailureFile() << ")";
+        }
+      }
+    }
+  }
+  EXPECT_EQ(ran, iters);
+  EXPECT_EQ(failures, 0u);
+}
+
+TEST(DifferentialFuzzTest, MatchesOracleUnderInjectedFaultSchedules) {
+  // Fault-schedule dimension: the random query sweep with a live seeded
+  // fault schedule. Padded rounds must absorb every injected fault (masked
+  // replay) and stay oracle-exact; unpadded rounds may surface cleanly
+  // tagged injected errors, after which the SAME query must answer
+  // oracle-exactly on retry with the schedule rolling forward — faults
+  // never corrupt, they only fail.
+  const uint64_t iters = EnvOr("GHOSTDB_FAULT_FUZZ_ITERS", 120);
+  const uint64_t base_seed =
+      EnvOr("GHOSTDB_FUZZ_SEED", 20070611, /*allow_zero=*/true);
+  const uint64_t kQueriesPerDb = 60;
+  const uint64_t dbs = (iters + kQueriesPerDb - 1) / kQueriesPerDb;
+  const uint32_t kShardCycle[] = {1, 3, 2};
+
+  uint64_t ran = 0, failures = 0, injected_errors = 0;
+  for (uint64_t d = 0; d < dbs && ran < iters; ++d) {
+    uint64_t visible_seed = base_seed + 6000 * d + 29;
+    uint64_t hidden_seed = visible_seed + 1;
+    auto cfg = fuzztest::FuzzConfig(visible_seed, /*retain_staged=*/true);
+    cfg.shard_count = kShardCycle[d % 3];
+    bool padded = d % 2 == 0;
+    if (padded) {
+      cfg.exec.volume_padding = exec::VolumePadding::kQuantize;
+      cfg.exec.pad_spill_runs = true;
+    }
+    if (d % 2 == 1) cfg.exec.sort_budget_buffers = 1;
+    cfg.fault_config.enabled = true;
+    cfg.fault_config.seed = visible_seed * 31 + d;
+    cfg.fault_config.flash_read_p = 0.002;
+    cfg.fault_config.flash_write_p = 0.002;
+    cfg.fault_config.run_write_p = 0.01;
+    cfg.fault_config.ram_acquire_p = 0.01;
+    cfg.fault_config.channel_stall_p = 0.01;
+    cfg.fault_config.shard_reset_p = 0.02;
+    cfg.fault_config.transient_fraction = 0.5;
+    GhostDB db(cfg);
+    ASSERT_TRUE(fuzztest::BuildFuzzDb(&db, visible_seed, hidden_seed).ok());
+    fuzztest::FuzzShape shape = fuzztest::MakeShape(visible_seed);
+    for (uint64_t q = 0; q < kQueriesPerDb && ran < iters; ++q, ++ran) {
+      uint64_t query_seed =
+          (base_seed + 211) ^ (d << 32) ^ (q * 0x9E3779B9ULL);
+      Rng rng(query_seed);
+      std::string sql = fuzztest::GenerateQuery(rng, shape);
+      auto got = db.Query(sql);
+      if (!got.ok() &&
+          device::FaultInjector::IsInjectedFault(got.status())) {
+        if (padded) {
+          // A tagged error surfacing under padding means the masked
+          // replay failed its one job.
+          failures += 1;
+          std::string repro =
+              "[fault-fuzz] padded injected error leaked: visible_seed=" +
+              std::to_string(visible_seed) + " query_seed=" +
+              std::to_string(query_seed) + " sql=" + sql + " | " +
+              got.status().ToString();
+          RecordFailure(repro);
+          ADD_FAILURE() << repro;
+          continue;
+        }
+        injected_errors += 1;
+        got = db.Query(sql);  // serviceability: the retry must be clean
+        if (!got.ok() &&
+            device::FaultInjector::IsInjectedFault(got.status())) {
+          // The schedule may fire again; tolerate, but don't loop.
+          continue;
+        }
+      }
+      std::string why;
+      if (!CheckAgainstOracle(&db, sql, got, &why)) {
+        failures += 1;
+        std::string repro =
+            "[fault-fuzz] shards=" + std::to_string(cfg.shard_count) +
+            " padded=" + std::to_string(padded) +
+            " visible_seed=" + std::to_string(visible_seed) +
+            " fault_seed=" + std::to_string(cfg.fault_config.seed) +
             " query_seed=" + std::to_string(query_seed) + " sql=" + sql +
             " | " + why;
         RecordFailure(repro);

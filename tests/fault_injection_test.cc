@@ -1,0 +1,548 @@
+// Deterministic fault injection — the chaos harness for the failure model:
+// seeded fault schedules drive flash read/write faults (transient and
+// permanent), torn run writes, RAM-acquire failures, channel stalls, and
+// whole-shard resets through the full query stack, asserting the hardening
+// invariants:
+//
+//  * clean Status on every error path (tagged with FaultInjector::kTag so
+//    a scheduled fault is distinguishable from a genuine one);
+//  * zero flash-page and RAM leaks after a fault (the executor's per-query
+//    leak check runs on error paths too, and these tests double-check the
+//    allocator/RAM levels directly);
+//  * the store stays serviceable after any fault — the same query reruns
+//    cleanly and answers exactly;
+//  * under padded volume modes, faults are invisible on the wire: the
+//    failed attempt's transcript span is erased and the query deterministically
+//    replayed with the injector masked, so transcripts stay byte-identical
+//    across hidden-data variants AND across fault/no-fault schedules.
+//
+// Budget knobs (environment):
+//   GHOSTDB_CHAOS_ROUNDS       chaos-sweep schedule rounds (default 6)
+//   GHOSTDB_FUZZ_SEED          base seed (default 20070611)
+//   GHOSTDB_FUZZ_FAILURE_FILE  failing-schedule log (default fuzz_failures.txt)
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/database.h"
+#include "device/channel.h"
+#include "device/fault_injector.h"
+#include "fuzz_common.h"
+#include "transcript_common.h"
+
+namespace ghostdb {
+namespace {
+
+using core::GhostDB;
+using core::GhostDBConfig;
+using device::FaultInjector;
+using device::FaultKind;
+using device::FaultSite;
+
+using transcript::ExpectIdenticalTranscripts;
+
+// A small Fig-3 fuzz database under a fixed visible seed: big enough that
+// every query touches flash, small enough to rebuild per test.
+constexpr uint64_t kVisibleSeed = 20070611;
+
+GhostDBConfig BaseConfig() {
+  auto cfg = fuzztest::FuzzConfig(kVisibleSeed, /*retain_staged=*/true);
+  return cfg;
+}
+
+std::unique_ptr<GhostDB> MakeDb(const GhostDBConfig& cfg,
+                                uint64_t hidden_seed = 111) {
+  auto db = std::make_unique<GhostDB>(cfg);
+  Status built = fuzztest::BuildFuzzDb(db.get(), kVisibleSeed, hidden_seed);
+  EXPECT_TRUE(built.ok()) << built.ToString();
+  return db;
+}
+
+// A query that sorts (acquires RAM, and spills under a tiny sort budget)
+// and reads both visible and hidden columns of the anchor table.
+const char* kSortQuery =
+    "SELECT T0.id, T0.v, T0.h FROM T0 WHERE T0.v < 150 ORDER BY T0.h DESC";
+// A root-anchored join: fans out across a sharded fleet.
+const char* kFanoutQuery =
+    "SELECT T0.id, T1.v FROM T0, T1 WHERE T0.fk1 = T1.id AND T0.v < 120 "
+    "ORDER BY T0.id";
+
+// ---------------------------------------------------------------------------
+// Config validation
+// ---------------------------------------------------------------------------
+
+TEST(FaultConfigTest, BuildRejectsMalformedSchedules) {
+  auto expect_rejected = [](device::FaultConfig fault, const char* what) {
+    GhostDBConfig cfg;
+    cfg.fault_config = fault;
+    GhostDB db(cfg);
+    ASSERT_TRUE(db.Execute("CREATE TABLE T (id INT, v INT)").ok());
+    Status built = db.Build();
+    EXPECT_EQ(built.code(), StatusCode::kInvalidArgument) << what;
+    EXPECT_FALSE(db.built()) << what;
+  };
+  device::FaultConfig negative;
+  negative.flash_read_p = -0.25;
+  expect_rejected(negative, "negative probability");
+  device::FaultConfig over_one;
+  over_one.ram_acquire_p = 1.5;
+  expect_rejected(over_one, "probability > 1");
+  device::FaultConfig bad_fraction;
+  bad_fraction.transient_fraction = 2.0;
+  expect_rejected(bad_fraction, "transient fraction > 1");
+  device::FaultConfig zero_budget;
+  zero_budget.retry_enabled = true;
+  zero_budget.flash_retry_budget = 0;
+  expect_rejected(zero_budget, "zero retry budget with retries enabled");
+  device::FaultConfig absurd_budget;
+  absurd_budget.flash_retry_budget = 1000;
+  expect_rejected(absurd_budget, "absurd retry budget");
+
+  // The same shapes are rejected directly (unit surface of the validator),
+  // and the all-defaults schedule is accepted.
+  EXPECT_TRUE(device::ValidateFaultConfig(device::FaultConfig{}).ok());
+  EXPECT_FALSE(device::ValidateFaultConfig(negative).ok());
+}
+
+TEST(FaultConfigTest, DisabledScheduleInjectsNothing) {
+  // Non-zero probabilities but enabled=false: the master switch wins and
+  // the whole sweep is fault-free.
+  auto cfg = BaseConfig();
+  cfg.fault_config.enabled = false;
+  cfg.fault_config.flash_read_p = 1.0;
+  cfg.fault_config.ram_acquire_p = 1.0;
+  auto db = MakeDb(cfg);
+  auto r = db->Query(kSortQuery);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->metrics.faults_injected, 0u);
+  EXPECT_EQ(db->device().fault_injector().faults_injected(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-site behavior (one-shot schedules: exact, config-independent)
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectionTest, TransientFlashFaultIsRetriedAndCharged) {
+  auto db = MakeDb(BaseConfig());
+  db->device().fault_injector().ArmOnce(FaultSite::kFlashRead,
+                                        FaultKind::kTransient);
+  auto r = db->Query(kSortQuery);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The fault was absorbed: one retry, one injected fault, and the backoff
+  // shows up as simulated time in its own cost category.
+  EXPECT_EQ(r->metrics.flash_retries, 1u);
+  EXPECT_EQ(r->metrics.faults_injected, 1u);
+  auto it = r->metrics.categories.find("fault-retry");
+  ASSERT_NE(it, r->metrics.categories.end());
+  EXPECT_GE(it->second, db->device().fault_injector().config().retry_backoff);
+}
+
+TEST(FaultInjectionTest, PermanentFlashFaultFailsCleanlyAndStoreServes) {
+  auto db = MakeDb(BaseConfig());
+  auto expected = db->Query(kSortQuery);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  const uint32_t pages0 = db->allocator().used_pages();
+  const uint32_t ram0 = db->device().ram().physical_free_buffers();
+  db->device().fault_injector().ArmOnce(FaultSite::kFlashRead,
+                                        FaultKind::kPermanent);
+  auto r = db->Query(kSortQuery);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(FaultInjector::IsInjectedFault(r.status()))
+      << r.status().ToString();
+  // The error is the injected fault, not a downstream leak report.
+  EXPECT_EQ(r.status().message().find("leaked"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_EQ(db->allocator().used_pages(), pages0);
+  EXPECT_EQ(db->device().ram().physical_free_buffers(), ram0);
+
+  // Serviceable and exact afterwards.
+  auto again = db->Query(kSortQuery);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->rows, expected->rows);
+}
+
+TEST(FaultInjectionTest, TornRunWriteReclaimsSpilledExtents) {
+  // Force the external sorter to spill, then tear one of its run-page
+  // writes. The abort path must hand every allocated extent back.
+  auto cfg = BaseConfig();
+  cfg.exec.sort_budget_buffers = 1;
+  auto db = MakeDb(cfg);
+  auto expected = db->Query(kSortQuery);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  const uint32_t pages0 = db->allocator().used_pages();
+  // Skip a couple of run-write draws so the tear lands mid-run, after
+  // extents were already allocated.
+  db->device().fault_injector().ArmOnce(FaultSite::kRunWrite,
+                                        FaultKind::kPermanent,
+                                        /*after_draws=*/2);
+  auto r = db->Query(kSortQuery);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(FaultInjector::IsInjectedFault(r.status()))
+      << r.status().ToString();
+  EXPECT_EQ(r.status().message().find("leaked"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_EQ(db->allocator().used_pages(), pages0);
+
+  auto again = db->Query(kSortQuery);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->rows, expected->rows);
+}
+
+TEST(FaultInjectionTest, PageAllocFaultFailsCleanly) {
+  auto cfg = BaseConfig();
+  cfg.exec.sort_budget_buffers = 1;  // spills allocate pages
+  auto db = MakeDb(cfg);
+  const uint32_t pages0 = db->allocator().used_pages();
+  db->device().fault_injector().ArmOnce(FaultSite::kPageAlloc,
+                                        FaultKind::kPermanent);
+  auto r = db->Query(kSortQuery);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(FaultInjector::IsInjectedFault(r.status()))
+      << r.status().ToString();
+  EXPECT_EQ(db->allocator().used_pages(), pages0);
+  EXPECT_TRUE(db->Query(kSortQuery).ok());
+}
+
+TEST(FaultInjectionTest, RamAcquireFaultIsAResourceErrorScopedToTheQuery) {
+  auto db = MakeDb(BaseConfig());
+  db->device().fault_injector().ArmOnce(FaultSite::kRamAcquire,
+                                        FaultKind::kPermanent);
+  auto r = db->Query(kSortQuery);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(FaultInjector::IsInjectedFault(r.status()))
+      << r.status().ToString();
+  // Every buffer came back; the next query has the full arena again.
+  EXPECT_EQ(db->device().ram().physical_free_buffers(),
+            db->device().ram().total_buffers());
+  EXPECT_TRUE(db->Query(kSortQuery).ok());
+}
+
+TEST(FaultInjectionTest, ChannelStallCostsTimeButNotWire) {
+  auto cfg = BaseConfig();
+  auto stalled = MakeDb(cfg);
+  auto smooth = MakeDb(cfg);
+  stalled->device().channel().ClearTranscript();
+  smooth->device().channel().ClearTranscript();
+  stalled->device().fault_injector().ArmOnce(FaultSite::kChannelStall,
+                                             FaultKind::kPermanent);
+  auto r1 = stalled->Query(kSortQuery);
+  auto r2 = smooth->Query(kSortQuery);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(r1->rows, r2->rows);
+  // Same wire image; the stall exists only in the simulated-time ledger.
+  ExpectIdenticalTranscripts(stalled->device().channel().transcript(),
+                             smooth->device().channel().transcript());
+  EXPECT_EQ(stalled->device().fault_injector().channel_stalls(), 1u);
+  auto it = r1->metrics.categories.find("fault-stall");
+  ASSERT_NE(it, r1->metrics.categories.end());
+  EXPECT_EQ(it->second, stalled->device().fault_injector().config().channel_stall);
+}
+
+// ---------------------------------------------------------------------------
+// No-leak error paths: padded modes mask faults on the wire
+// ---------------------------------------------------------------------------
+
+GhostDBConfig PaddedConfig() {
+  auto cfg = BaseConfig();
+  cfg.exec.volume_padding = exec::VolumePadding::kWorstCase;
+  cfg.exec.pad_spill_runs = true;
+  cfg.exec.sort_budget_buffers = 1;
+  return cfg;
+}
+
+TEST(FaultInjectionTest, PaddedModeRecoversInvisiblyFromAFault) {
+  // Same padded config, one db with a scheduled permanent flash fault, one
+  // without: the faulted query must still SUCCEED (masked replay), answer
+  // exactly, and leave a byte-identical transcript — fault occurrence is
+  // not observable.
+  auto faulted = MakeDb(PaddedConfig());
+  auto clean = MakeDb(PaddedConfig());
+  faulted->device().channel().ClearTranscript();
+  clean->device().channel().ClearTranscript();
+  faulted->device().fault_injector().ArmOnce(FaultSite::kFlashRead,
+                                             FaultKind::kPermanent,
+                                             /*after_draws=*/5);
+  auto r1 = faulted->Query(kSortQuery);
+  auto r2 = clean->Query(kSortQuery);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(r1->rows, r2->rows);
+  ExpectIdenticalTranscripts(faulted->device().channel().transcript(),
+                             clean->device().channel().transcript());
+  // The recovery is visible in the (secure-side) metrics, not on the wire.
+  EXPECT_GE(r1->metrics.faults_injected, 1u);
+  EXPECT_EQ(r2->metrics.faults_injected, 0u);
+}
+
+TEST(FaultInjectionTest, PaddedRecoveryIsHiddenDataInvariant) {
+  // The tentpole property: with a live probabilistic fault schedule under a
+  // padded mode, transcripts stay byte-identical across databases that
+  // differ only in hidden data. Faults may fire at different operations in
+  // the two databases (hidden values steer index probes); erase-and-replay
+  // must still converge both to the canonical fault-free wire image.
+  auto cfg = PaddedConfig();
+  cfg.fault_config.enabled = true;
+  cfg.fault_config.seed = 1234;
+  cfg.fault_config.flash_read_p = 0.003;
+  cfg.fault_config.flash_write_p = 0.003;
+  cfg.fault_config.run_write_p = 0.01;
+  cfg.fault_config.ram_acquire_p = 0.02;
+  cfg.fault_config.channel_stall_p = 0.02;
+  cfg.fault_config.transient_fraction = 0.5;
+  auto db1 = MakeDb(cfg, /*hidden_seed=*/111);
+  auto db2 = MakeDb(cfg, /*hidden_seed=*/999);
+  auto clean_cfg = PaddedConfig();
+  auto db3 = MakeDb(clean_cfg, /*hidden_seed=*/111);
+
+  fuzztest::FuzzShape shape = fuzztest::MakeShape(kVisibleSeed);
+  uint64_t recovered = 0;
+  for (uint64_t i = 0; i < 20; ++i) {
+    Rng rng(kVisibleSeed ^ (i * 0x9E3779B9ULL));
+    std::string sql = fuzztest::GenerateQuery(rng, shape);
+    SCOPED_TRACE("query " + std::to_string(i) + ": " + sql);
+    db1->device().channel().ClearTranscript();
+    db2->device().channel().ClearTranscript();
+    db3->device().channel().ClearTranscript();
+    auto r1 = db1->Query(sql);
+    auto r2 = db2->Query(sql);
+    auto r3 = db3->Query(sql);
+    // Injected faults never surface under a padded mode: a failing status
+    // must be a genuine (data-dependent) error, same as the fault-free db.
+    if (!r1.ok()) {
+      EXPECT_FALSE(FaultInjector::IsInjectedFault(r1.status()))
+          << r1.status().ToString();
+    }
+    ASSERT_EQ(r1.ok(), r3.ok()) << (r1.ok() ? r3.status().ToString()
+                                            : r1.status().ToString());
+    if (r1.ok() && r3.ok()) {
+      EXPECT_EQ(r1->rows, r3->rows);
+      recovered += r1->metrics.faults_injected;
+    }
+    ExpectIdenticalTranscripts(db1->device().channel().transcript(),
+                               db2->device().channel().transcript());
+    ExpectIdenticalTranscripts(db1->device().channel().transcript(),
+                               db3->device().channel().transcript());
+  }
+  // The schedule must actually have fired somewhere, or this test is
+  // vacuous.
+  EXPECT_GT(db1->device().fault_injector().faults_injected() +
+                db2->device().fault_injector().faults_injected(),
+            0u);
+  (void)recovered;
+}
+
+// ---------------------------------------------------------------------------
+// Sharded fleet: leg death, graceful degradation, recovery
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectionTest, ShardLegDeathIsACleanErrorWithoutPadding) {
+  auto cfg = BaseConfig();
+  cfg.shard_count = 3;
+  auto db = MakeDb(cfg);
+  ASSERT_EQ(db->shard_count(), 3u);
+  auto expected = db->Query(kFanoutQuery);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  db->shard_device(1).fault_injector().ArmOnce(FaultSite::kShardReset,
+                                               FaultKind::kPermanent);
+  auto r = db->Query(kFanoutQuery);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(FaultInjector::IsInjectedFault(r.status()))
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("shard 1"), std::string::npos)
+      << r.status().ToString();
+
+  // The fleet stays serviceable and oracle-exact after the reset.
+  auto again = db->Query(kFanoutQuery);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->rows, expected->rows);
+}
+
+TEST(FaultInjectionTest, ShardLegDeathIsInvisibleUnderPadding) {
+  auto cfg = PaddedConfig();
+  cfg.shard_count = 3;
+  auto faulted = MakeDb(cfg);
+  auto clean = MakeDb(cfg);
+  ASSERT_EQ(faulted->shard_count(), 3u);
+  for (uint32_t s = 0; s < 3; ++s) {
+    faulted->shard_device(s).channel().ClearTranscript();
+    clean->shard_device(s).channel().ClearTranscript();
+  }
+  faulted->shard_device(2).fault_injector().ArmOnce(FaultSite::kShardReset,
+                                                    FaultKind::kPermanent);
+  auto r1 = faulted->Query(kFanoutQuery);
+  auto r2 = clean->Query(kFanoutQuery);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(r1->rows, r2->rows);
+  EXPECT_GE(r1->metrics.faults_injected, 1u);
+  // Per-shard wire images — including the shard that died and replayed —
+  // match the never-faulted fleet's.
+  for (uint32_t s = 0; s < 3; ++s) {
+    SCOPED_TRACE("shard " + std::to_string(s));
+    ExpectIdenticalTranscripts(faulted->shard_device(s).channel().transcript(),
+                               clean->shard_device(s).channel().transcript());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics accumulate across sessions and shards
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectionTest, RetryMetricsAccumulateAcrossSessionsAndShards) {
+  auto cfg = BaseConfig();
+  cfg.shard_count = 2;
+  cfg.fault_config.enabled = true;
+  cfg.fault_config.seed = 77;
+  cfg.fault_config.flash_read_p = 0.01;
+  cfg.fault_config.transient_fraction = 1.0;  // retries always absorb
+  cfg.fault_config.flash_retry_budget = 16;
+  auto db = MakeDb(cfg);
+
+  core::SessionOptions a, b;
+  a.name = "alice";
+  b.name = "bob";
+  auto sa = db->OpenSession(a);
+  auto sb = db->OpenSession(b);
+  ASSERT_TRUE(sa.ok() && sb.ok());
+  for (int i = 0; i < 3; ++i) {
+    (*sa)->Enqueue(kFanoutQuery);
+    (*sb)->Enqueue(kSortQuery);
+  }
+  auto ran = db->DrainSessions({sa->get(), sb->get()});
+  ASSERT_TRUE(ran.ok()) << ran.status().ToString();
+  EXPECT_EQ(*ran, 6u);
+
+  uint64_t query_faults = 0, query_retries = 0;
+  for (auto* session : {sa->get(), sb->get()}) {
+    for (auto& r : session->TakeResults()) {
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      query_faults += r->metrics.faults_injected;
+      query_retries += r->metrics.flash_retries;
+    }
+  }
+  // Per-query deltas tile the device counters exactly: nothing double
+  // counted across scatter legs / the gather tail, nothing dropped.
+  uint64_t device_faults = 0, device_retries = 0;
+  for (uint32_t s = 0; s < db->shard_count(); ++s) {
+    device_faults += db->shard_device(s).fault_injector().faults_injected();
+    device_retries += db->shard_device(s).fault_injector().flash_retries();
+  }
+  EXPECT_EQ(query_faults, device_faults);
+  EXPECT_EQ(query_retries, device_retries);
+  EXPECT_GT(query_retries, 0u) << "schedule never fired; test is vacuous";
+}
+
+// ---------------------------------------------------------------------------
+// Chaos sweep: randomized schedules x shard counts x padding modes
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectionTest, ChaosSweepStaysServiceableExactAndLeakFree) {
+  // Randomized fault schedules over randomized queries. Invariants per
+  // round: padded rounds succeed (or fail exactly like the fault-free
+  // oracle db) and answer identically; unpadded rounds may surface tagged
+  // injected errors, but always with a clean Status; flash pages return to
+  // the pre-query level after every statement; the db answers the full
+  // query list exactly once the schedule is disarmed.
+  const uint64_t rounds = fuzztest::EnvOr("GHOSTDB_CHAOS_ROUNDS", 6);
+  const uint64_t base_seed =
+      fuzztest::EnvOr("GHOSTDB_FUZZ_SEED", 20070611, /*allow_zero=*/true);
+  const uint32_t kShardCycle[] = {1, 2, 3};
+  fuzztest::FuzzShape shape = fuzztest::MakeShape(kVisibleSeed);
+
+  for (uint64_t round = 0; round < rounds; ++round) {
+    Rng dice(base_seed ^ (0xC4A05ULL + round * 0x9E3779B97F4A7C15ULL));
+    auto cfg = BaseConfig();
+    cfg.shard_count = kShardCycle[round % 3];
+    bool padded = round % 2 == 0;
+    if (padded) {
+      cfg.exec.volume_padding = round % 4 == 0
+                                    ? exec::VolumePadding::kWorstCase
+                                    : exec::VolumePadding::kQuantize;
+      cfg.exec.pad_spill_runs = true;
+    }
+    if (dice.Chance(0.5)) cfg.exec.sort_budget_buffers = 1;
+    cfg.fault_config.enabled = true;
+    cfg.fault_config.seed = dice.Uniform(1u << 30);
+    cfg.fault_config.flash_read_p = 0.002 * static_cast<double>(dice.Uniform(4));
+    cfg.fault_config.flash_write_p = 0.002 * static_cast<double>(dice.Uniform(4));
+    cfg.fault_config.page_alloc_p = 0.005 * static_cast<double>(dice.Uniform(3));
+    cfg.fault_config.run_write_p = 0.01 * static_cast<double>(dice.Uniform(3));
+    cfg.fault_config.channel_stall_p = 0.01 * static_cast<double>(dice.Uniform(4));
+    cfg.fault_config.ram_acquire_p = 0.01 * static_cast<double>(dice.Uniform(3));
+    cfg.fault_config.shard_reset_p = 0.05 * static_cast<double>(dice.Uniform(3));
+    cfg.fault_config.transient_fraction = 0.25 * static_cast<double>(dice.Uniform(5));
+    std::string repro = "[chaos] round=" + std::to_string(round) +
+                        " shards=" + std::to_string(cfg.shard_count) +
+                        " padded=" + std::to_string(padded) +
+                        " fault_seed=" + std::to_string(cfg.fault_config.seed);
+    SCOPED_TRACE(repro);
+
+    auto db = MakeDb(cfg);
+    auto oracle_cfg = cfg;
+    oracle_cfg.fault_config = device::FaultConfig{};
+    auto oracle = MakeDb(oracle_cfg);
+    bool had_failure = ::testing::Test::HasFailure();
+
+    for (uint64_t q = 0; q < 12; ++q) {
+      Rng rng(base_seed ^ (round << 32) ^ (q * 0x9E3779B9ULL));
+      std::string sql = fuzztest::GenerateQuery(rng, shape);
+      SCOPED_TRACE("query " + std::to_string(q) + ": " + sql);
+      const uint32_t pages0 = db->allocator().used_pages();
+      auto got = db->Query(sql);
+      auto want = oracle->Query(sql);
+      EXPECT_EQ(db->allocator().used_pages(), pages0)
+          << "flash page leak\n"
+          << db->StorageReport();
+      if (!got.ok()) {
+        if (padded) {
+          // Padded modes recover every injected fault; a failure must be
+          // genuine and must match the fault-free db's failure.
+          EXPECT_FALSE(FaultInjector::IsInjectedFault(got.status()))
+              << got.status().ToString();
+          EXPECT_FALSE(want.ok());
+        } else if (FaultInjector::IsInjectedFault(got.status())) {
+          // Tolerated: a clean tagged error. The leak check above already
+          // ran; serviceability is asserted by the disarmed pass below.
+          EXPECT_EQ(got.status().message().find("leaked"), std::string::npos)
+              << got.status().ToString();
+          continue;
+        }
+      }
+      if (want.ok()) {
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        EXPECT_EQ(got->rows, want->rows);
+        EXPECT_EQ(got->total_rows, want->total_rows);
+      } else {
+        ASSERT_FALSE(got.ok());
+        EXPECT_EQ(got.status().code(), want.status().code());
+      }
+    }
+
+    // Disarm and re-verify: the store must be fully serviceable and exact
+    // after the whole chaos schedule.
+    for (uint32_t s = 0; s < db->shard_count(); ++s) {
+      db->shard_device(s).fault_injector().set_armed(false);
+    }
+    auto got = db->Query(kFanoutQuery);
+    auto want = oracle->Query(kFanoutQuery);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    EXPECT_EQ(got->rows, want->rows);
+
+    if (!had_failure && ::testing::Test::HasFailure()) {
+      std::ofstream out(fuzztest::FailureFile(), std::ios::app);
+      out << repro << "\n";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ghostdb
