@@ -20,7 +20,7 @@ namespace ghostdb {
 /// \endcode
 /// or with the GHOSTDB_ASSIGN_OR_RETURN macro.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs an errored result. `status` must not be OK.
   Result(Status status)  // NOLINT(google-explicit-constructor)

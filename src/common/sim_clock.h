@@ -10,6 +10,7 @@
 #include <string>
 
 #include "common/units.h"
+#include "core/annotations.h"
 
 namespace ghostdb {
 
@@ -20,8 +21,9 @@ namespace ghostdb {
 class SimClock {
  public:
   /// Adds `ns` simulated nanoseconds to the running total and the current
-  /// category.
-  void Advance(SimNanos ns) {
+  /// category. Transcript sink: simulated time is observable cost, so
+  /// leakcheck rejects hidden-derived charges.
+  GHOSTDB_TRANSCRIPT_SINK void Advance(SimNanos ns) {
     now_ += ns;
     categories_[current_] += ns;
   }

@@ -26,7 +26,11 @@ enum class StatusCode : int {
 
 /// \brief Outcome of a fallible operation: a code plus a human-readable
 /// message. Cheap to copy when OK (no allocation).
-class Status {
+///
+/// `[[nodiscard]]` on the type makes every discarded Status-returning call a
+/// compiler warning (gcc/clang) and a leakcheck finding; deliberate discards
+/// go through GHOSTDB_IGNORE_STATUS below.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -101,7 +105,20 @@ class Status {
 /// Human-readable name of a status code ("OK", "NotFound", ...).
 std::string_view StatusCodeName(StatusCode code);
 
+namespace internal {
+/// Sink for deliberately discarded statuses; only call through
+/// GHOSTDB_IGNORE_STATUS so the discard carries its justification.
+inline void ConsumeStatus(const Status& /*status*/) {}
+}  // namespace internal
+
 }  // namespace ghostdb
+
+/// Deliberately discards a Status (or a Result's status) with a reason.
+/// Satisfies both the [[nodiscard]] warning and the leakcheck
+/// status-discipline rule; use only where failure is genuinely benign
+/// (best-effort cleanup in destructors, already-failing error paths).
+#define GHOSTDB_IGNORE_STATUS(expr, reason) \
+  ::ghostdb::internal::ConsumeStatus((expr))
 
 /// Propagates a non-OK Status to the caller.
 #define GHOSTDB_RETURN_NOT_OK(expr)            \

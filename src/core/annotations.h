@@ -1,0 +1,47 @@
+#ifndef GHOSTDB_CORE_ANNOTATIONS_H_
+#define GHOSTDB_CORE_ANNOTATIONS_H_
+
+/// \file
+/// Source-level annotations consumed by `tools/leakcheck`, the static
+/// analyzer that machine-checks GhostDB's leakage, resource, and threading
+/// disciplines (see ARCHITECTURE.md, "Static leakage discipline").
+///
+/// Under clang the macros expand to `[[clang::annotate(...)]]` attributes
+/// that leakcheck reads off the AST; under gcc they expand to nothing, so
+/// the regular build is unaffected.
+
+#if defined(__clang__)
+#define GHOSTDB_ANNOTATE(tag) [[clang::annotate(tag)]]
+#else
+#define GHOSTDB_ANNOTATE(tag)
+#endif
+
+/// Rule 1 (hidden-taint), sources: fields and functions whose values derive
+/// from hidden data — hidden-image cells, hidden fks (SKT / climbing-index
+/// postings), per-hidden-column statistics. Values flowing out of these must
+/// never reach a transcript sink, nor the condition of a branch guarding one.
+#define GHOSTDB_HIDDEN GHOSTDB_ANNOTATE("ghostdb::hidden")
+
+/// Rule 1 (hidden-taint), sinks: calls whose arguments, and fields whose
+/// stored values, are observable by the untrusted host — wire transfer
+/// sizes, simulated-clock charges, flash page counts, volume-pad bounds.
+#define GHOSTDB_TRANSCRIPT_SINK GHOSTDB_ANNOTATE("ghostdb::transcript_sink")
+
+/// Rule 3 (paired resources): the only functions allowed to call the raw
+/// paired primitives (PageAllocator::Alloc/Free, RamManager::Acquire/...,
+/// ChannelArbiter::Admit/Release). Everything else goes through the RAII
+/// guards in device/guards.h, which carry this annotation.
+#define GHOSTDB_RESOURCE_IMPL GHOSTDB_ANNOTATE("ghostdb::resource_impl")
+
+/// Rule 4 (worker purity): roots of the morsel-worker call graph. Lambdas
+/// passed to ThreadPool::ParallelShards are treated as implicitly annotated;
+/// named helpers they call get the macro explicitly. Nothing reachable from
+/// a host-compute root may touch the clock, channel, RAM manager, arbiter,
+/// or per-query metrics.
+#define GHOSTDB_HOST_COMPUTE GHOSTDB_ANNOTATE("ghostdb::host_compute")
+
+/// Rule 4 escape hatch: a function that name-matches a forbidden component
+/// but is verified safe from workers (pure, no shared mutable state).
+#define GHOSTDB_WORKER_SAFE GHOSTDB_ANNOTATE("ghostdb::worker_safe")
+
+#endif  // GHOSTDB_CORE_ANNOTATIONS_H_

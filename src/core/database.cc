@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "crypto/sha256.h"
+#include "device/guards.h"
 #include "sql/binder.h"
 
 namespace ghostdb::core {
@@ -286,7 +287,7 @@ Result<std::unique_ptr<Session>> GhostDB::OpenSession(
       // The partition pledge mutates the RAM manager, so take an
       // admission: device state only ever changes under the arbiter's
       // exclusion.
-      device::ChannelArbiter::Admission admission(&dev.arbiter(), -1, 1);
+      device::AdmissionGuard admission(&dev.arbiter(), -1, 1);
       GHOSTDB_ASSIGN_OR_RETURN(partition,
                                dev.ram().CreatePartition(name, quota));
     }
@@ -308,12 +309,13 @@ void GhostDB::CloseSession(Session* session) {
     device::SecureDevice& dev = shard_device(s);
     device::RamPartitionId partition = session->bindings_[s].ram_partition;
     if (partition != device::kSharedRamPartition) {
-      device::ChannelArbiter::Admission admission(&dev.arbiter(),
+      device::AdmissionGuard admission(&dev.arbiter(),
                                                   session->id_, 1);
       // A failure here means the session still holds buffers — impossible
       // once its last query finished (all operator handles are RAII);
       // there is nothing useful to do with it in a destructor path.
-      dev.ram().ReleasePartition(partition).ok();
+      GHOSTDB_IGNORE_STATUS(dev.ram().ReleasePartition(partition),
+                            "session teardown is a destructor path");
     }
     dev.arbiter().Unregister(session->id_);
   }
@@ -375,7 +377,7 @@ Result<std::shared_ptr<const PreparedQuery>> GhostDB::Prepare(
     return Status::InvalidArgument("call Build() before Prepare()");
   }
   GHOSTDB_ASSIGN_OR_RETURN(sql::BoundQuery query, BindSelect(sql, nullptr));
-  device::ChannelArbiter::Admission admission(&device_->arbiter(), -1,
+  device::AdmissionGuard admission(&device_->arbiter(), -1,
                                               DeclaredShapeWeight(query));
   // Planning consults Untrusted's visible counts, so the statement is
   // announced exactly as at execution time.
@@ -420,7 +422,7 @@ Result<exec::QueryResult> GhostDB::RunSelect(const sql::BoundQuery& query,
     // Admission = the device. Everything in this scope — baseline
     // snapshot, announcement, planning round-trips, execution — runs with
     // exclusive device access under this session's transcript tag.
-    device::ChannelArbiter::Admission admission(&device_->arbiter(),
+    device::AdmissionGuard admission(&device_->arbiter(),
                                                 binding->id,
                                                 DeclaredShapeWeight(query));
     exec::MetricSnapshot baseline =
@@ -555,7 +557,7 @@ Result<exec::QueryResult> GhostDB::RunSelectSharded(
     // Shard 0 is the coordinator: one admission covers its announcement,
     // the (shared) planning round-trips, its own scatter leg, and the
     // gather pass, so its transcript is a single deterministic block.
-    device::ChannelArbiter::Admission admission(&device_->arbiter(),
+    device::AdmissionGuard admission(&device_->arbiter(),
                                                 binding_for(0)->id, weight);
     exec::MetricSnapshot baseline0 =
         exec::MetricSnapshot::Take(device_.get());
@@ -607,7 +609,7 @@ Result<exec::QueryResult> GhostDB::RunSelectSharded(
       exec::EncodedRows* rows_out =
           agg_boundary ? nullptr : &shard_rows[s];
       device::SecureDevice& dev = shard_device(s);
-      std::optional<device::ChannelArbiter::Admission> leg_admission;
+      std::optional<device::AdmissionGuard> leg_admission;
       if (s != 0) {
         leg_admission.emplace(&dev.arbiter(), binding_for(s)->id, weight);
       }

@@ -10,6 +10,7 @@
 
 #include "catalog/schema.h"
 #include "catalog/stats.h"
+#include "core/annotations.h"
 #include "storage/btree.h"
 #include "storage/fixed_table.h"
 
@@ -28,26 +29,30 @@ struct TableImage {
   std::vector<catalog::RowId> global_ids;
 
   /// Hidden columns packed by id (absent when the table has none).
-  std::optional<storage::FixedTableRef> hidden_image;
+  /// GHOSTDB_HIDDEN: leakcheck's taint rule rejects values derived from
+  /// these fields reaching transcript sinks (channel sizes, clock charges,
+  /// page counts, padding bounds) or branches guarding one.
+  GHOSTDB_HIDDEN std::optional<storage::FixedTableRef> hidden_image;
   /// Byte offset of each hidden column within a hidden row (by ColumnId;
   /// UINT32_MAX for visible columns).
   std::vector<uint32_t> hidden_offsets;
 
   /// Subtree Key Table: one row per tuple, 4-byte id per descendant table
   /// in pre-order (absent for leaf tables).
-  std::optional<storage::FixedTableRef> skt;
+  GHOSTDB_HIDDEN std::optional<storage::FixedTableRef> skt;
   /// Which table each SKT column refers to (pre-order descendants).
   std::vector<catalog::TableId> skt_columns;
 
   /// Climbing indexes on hidden attributes; levels = [self, ancestors...].
-  std::map<catalog::ColumnId, storage::BTreeRef> attr_indexes;
+  GHOSTDB_HIDDEN std::map<catalog::ColumnId, storage::BTreeRef> attr_indexes;
 
   /// Climbing index on the table id; levels = [ancestors...] (absent for
   /// the root, which has no ancestors).
-  std::optional<storage::BTreeRef> id_index;
+  GHOSTDB_HIDDEN std::optional<storage::BTreeRef> id_index;
 
   /// Planner statistics for hidden columns.
-  std::map<catalog::ColumnId, catalog::ColumnStats> hidden_stats;
+  GHOSTDB_HIDDEN std::map<catalog::ColumnId, catalog::ColumnStats>
+      hidden_stats;
 
   /// SKT column slot of `table`, or nullopt.
   std::optional<uint32_t> SktSlotOf(catalog::TableId table) const {

@@ -16,6 +16,7 @@
 
 #include "common/sim_clock.h"
 #include "common/units.h"
+#include "core/annotations.h"
 
 namespace ghostdb::device {
 
@@ -45,13 +46,17 @@ class Channel {
       : clock_(clock), throughput_(throughput_bytes_per_sec) {}
 
   /// Records a transfer of `payload` and charges `bytes / throughput` of
-  /// simulated time to the "comm" category.
-  void Transfer(Direction direction, const std::string& label,
-                const uint8_t* payload, uint64_t bytes);
+  /// simulated time to the "comm" category. Transcript sink: leakcheck
+  /// rejects hidden-derived sizes/payloads reaching this call.
+  GHOSTDB_TRANSCRIPT_SINK void Transfer(Direction direction,
+                                        const std::string& label,
+                                        const uint8_t* payload,
+                                        uint64_t bytes);
 
   /// Convenience for size-only accounting (payload digest of empty data).
-  void TransferSized(Direction direction, const std::string& label,
-                     uint64_t bytes) {
+  GHOSTDB_TRANSCRIPT_SINK void TransferSized(Direction direction,
+                                             const std::string& label,
+                                             uint64_t bytes) {
     Transfer(direction, label, nullptr, bytes);
   }
 

@@ -75,21 +75,8 @@ class ChannelArbiter {
   /// Releases the device and hands it to the next waiter (if any).
   void Release(int32_t session);
 
-  /// RAII admission.
-  class Admission {
-   public:
-    Admission(ChannelArbiter* arbiter, int32_t session, uint32_t weight)
-        : arbiter_(arbiter), session_(session) {
-      arbiter_->Admit(session_, weight);
-    }
-    ~Admission() { arbiter_->Release(session_); }
-    Admission(const Admission&) = delete;
-    Admission& operator=(const Admission&) = delete;
-
-   private:
-    ChannelArbiter* arbiter_;
-    int32_t session_;
-  };
+  // RAII admission lives in device/guards.h (AdmissionGuard): leakcheck's
+  // paired-resource rule only permits Admit/Release through it.
 
   /// Queries admitted for `session` so far.
   uint64_t admissions(int32_t session) const;

@@ -19,8 +19,8 @@ Result<BloomFilter> BloomFilter::Create(device::RamManager* ram,
       (want_bits / 8 + ram->buffer_size() - 1) / ram->buffer_size();
   uint32_t buffers = static_cast<uint32_t>(std::min<uint64_t>(
       std::max<uint64_t>(want_buffers, 1), max_buffers));
-  GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle handle,
-                           ram->Acquire(buffers, "bloom"));
+  GHOSTDB_ASSIGN_OR_RETURN(device::RamGuard handle,
+                           device::RamGuard::Acquire(ram, buffers, "bloom"));
   std::memset(handle.data(), 0, handle.size());
   uint64_t m_bits = static_cast<uint64_t>(handle.size()) * 8;
   // Optimal k = ln2 * m/n, clamped to [1, 8].

@@ -13,7 +13,7 @@
 #include "catalog/schema.h"
 #include "common/result.h"
 #include "common/status.h"
-#include "device/ram_manager.h"
+#include "device/guards.h"
 
 namespace ghostdb::exec {
 
@@ -48,10 +48,10 @@ class BloomFilter {
   }
 
  private:
-  BloomFilter(device::BufferHandle bits, uint64_t m_bits, uint32_t k)
+  BloomFilter(device::RamGuard bits, uint64_t m_bits, uint32_t k)
       : bits_(std::move(bits)), m_bits_(m_bits), k_(k) {}
 
-  device::BufferHandle bits_;
+  device::RamGuard bits_;
   uint64_t m_bits_;
   uint32_t k_;
   uint64_t inserted_ = 0;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <memory>
 #include <utility>
+#include <vector>
+
+#include "device/guards.h"
 
 namespace ghostdb::exec {
 
@@ -138,6 +141,16 @@ Result<QueryResult> SecureExecutor::ExecuteTree(
   MetricSnapshot snap =
       baseline != nullptr ? *baseline : MetricSnapshot::Take(device_);
   uint32_t pages0 = allocator_->used_pages();
+  {
+    // Pre-flight probe against the session's RAM partition: a session whose
+    // quota is already exhausted (a leaked handle, a runaway concurrent
+    // query) fails here with a crisp error instead of half-opening the
+    // operator tree. The guard returns the buffer before anything runs.
+    GHOSTDB_ASSIGN_OR_RETURN(
+        device::RamGuard preflight,
+        device::RamGuard::AcquireOne(&ram, "exec-preflight"));
+    (void)preflight;
+  }
   ram.ResetPeak();
 
   QueryMetrics metrics;
@@ -304,8 +317,24 @@ Result<QueryResult> SecureExecutor::ExecuteTree(
     root.reset();
   }
   ctx.pipeline.vis_tables.clear();
-  Status free_status =
-      storage::FreeRun(allocator_, ctx.pipeline.sj.fprime, "fprime");
+  // Reclaim the pipeline's materialized F' run through page guards: every
+  // extent is adopted before any is freed, so one failing Free cannot
+  // strand the remaining extents (the guards' destructors return them).
+  Status free_status;
+  {
+    const storage::RunRef& fprime = ctx.pipeline.sj.fprime;
+    const std::string& ftag = fprime.tag.empty() ? "fprime" : fprime.tag;
+    std::vector<device::PageGuard> fprime_pages;
+    fprime_pages.reserve(fprime.extents.size());
+    for (const auto& e : fprime.extents) {
+      fprime_pages.push_back(
+          device::PageGuard::Adopt(allocator_, e.first, e.second, ftag));
+    }
+    for (auto& guard : fprime_pages) {
+      Status s = guard.Free();
+      if (free_status.ok() && !s.ok()) free_status = s;
+    }
+  }
   if (run_status.ok()) {
     GHOSTDB_RETURN_NOT_OK(close_status);
     GHOSTDB_RETURN_NOT_OK(free_status);

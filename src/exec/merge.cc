@@ -28,13 +28,13 @@ Status MergeExec::ReduceGroup(MergeGroup* group, size_t target_streams) {
     return Status::ResourceExhausted(
         "merge reduction needs at least 3 free buffers");
   }
-  GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle read_buf,
-                           ram_->AcquireOne("merge-reduce-read"));
-  GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle write_buf,
-                           ram_->AcquireOne("merge-reduce-write"));
+  GHOSTDB_ASSIGN_OR_RETURN(device::RamGuard read_buf,
+                           device::RamGuard::AcquireOne(ram_, "merge-reduce-read"));
+  GHOSTDB_ASSIGN_OR_RETURN(device::RamGuard write_buf,
+                           device::RamGuard::AcquireOne(ram_, "merge-reduce-write"));
   GHOSTDB_ASSIGN_OR_RETURN(
-      device::BufferHandle sort_area,
-      ram_->Acquire(ram_->free_buffers(), "merge-reduce-sort"));
+      device::RamGuard sort_area,
+      device::RamGuard::Acquire(ram_, ram_->free_buffers(), "merge-reduce-sort"));
   size_t capacity_ids = sort_area.size() / 4;
 
   // Pass 1: stream every sublist and run of the group, chunk-sort-write.
@@ -93,8 +93,8 @@ Status MergeExec::ReduceGroup(MergeGroup* group, size_t target_streams) {
       return Status::ResourceExhausted("merge reduction cannot make progress");
     }
     GHOSTDB_ASSIGN_OR_RETURN(
-        device::BufferHandle stream_bufs,
-        ram_->Acquire(static_cast<uint32_t>(take), "merge-reduce-fanin"));
+        device::RamGuard stream_bufs,
+        device::RamGuard::Acquire(ram_, static_cast<uint32_t>(take), "merge-reduce-fanin"));
     std::vector<std::unique_ptr<RunIdSource>> sources;
     for (size_t i = 0; i < take; ++i) {
       sources.push_back(std::make_unique<RunIdSource>(
@@ -155,7 +155,7 @@ Status MergeExec::StreamingMerge(
       std::max<uint32_t>(stats_.peak_streams,
                          static_cast<uint32_t>(total_streams));
 
-  device::BufferHandle stream_bufs;
+  device::RamGuard stream_bufs;
   size_t window = ram_->buffer_size();
   if (total_streams > 0) {
     uint32_t buffers_needed = static_cast<uint32_t>(total_streams);
@@ -168,7 +168,7 @@ Status MergeExec::StreamingMerge(
       window = std::max<size_t>(64, bytes & ~size_t{3});
     }
     GHOSTDB_ASSIGN_OR_RETURN(stream_bufs,
-                             ram_->Acquire(buffers_needed, "merge-streams"));
+                             device::RamGuard::Acquire(ram_, buffers_needed, "merge-streams"));
   }
 
   // Wire up sources, slicing the buffer arena into windows.

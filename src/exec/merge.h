@@ -19,7 +19,7 @@
 #include "common/result.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
-#include "device/ram_manager.h"
+#include "device/guards.h"
 #include "exec/id_source.h"
 #include "flash/flash.h"
 #include "storage/btree.h"

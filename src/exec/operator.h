@@ -325,8 +325,9 @@ struct ExecContext {
   /// table's row count (every result row corresponds to one anchor row).
   /// Set by the executor iff volume padding is on; 0 otherwise. A pure
   /// function of visible metadata, so padding targets derived from it are
-  /// identical across hidden variants.
-  uint64_t padding_row_bound = 0;
+  /// identical across hidden variants. Transcript sink: the bound decides
+  /// the padded result volume, so leakcheck rejects hidden-derived stores.
+  GHOSTDB_TRANSCRIPT_SINK uint64_t padding_row_bound = 0;
   /// Worker pool for morsel-parallel host compute (may be null: run
   /// inline). Workers obey the thread_pool.h contract — pure host value
   /// work, never device state, deterministic shard boundaries.

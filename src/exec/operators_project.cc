@@ -67,8 +67,8 @@ Status ProjectOp::Open() {
   // Ti.id column run (root-order, duplicates preserved).
   if (!mjoin_.empty()) {
     GHOSTDB_ASSIGN_OR_RETURN(
-        device::BufferHandle bufs,
-        ram.Acquire(static_cast<uint32_t>(mjoin_.size()) + 1,
+        device::RamGuard bufs,
+        device::RamGuard::Acquire(&ram, static_cast<uint32_t>(mjoin_.size()) + 1,
                     "project-partition"));
     RowRunReader reader(&ctx_->flash(), sj.fprime, sj.row_width,
                         bufs.data());
@@ -119,8 +119,8 @@ Status ProjectOp::Open() {
           BloomFilter bf,
           BloomFilter::Create(&ram, sj.rows, max_buffers,
                               ctx_->config->bloom_target_bpe));
-      GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle col_buf,
-                               ram.AcquireOne("project-bf-scan"));
+      GHOSTDB_ASSIGN_OR_RETURN(device::RamGuard col_buf,
+                               device::RamGuard::AcquireOne(&ram, "project-bf-scan"));
       storage::IdRunReader ids(&ctx_->flash(), mt.column_run,
                                col_buf.data());
       GHOSTDB_RETURN_NOT_OK(ids.Prime());
@@ -138,10 +138,10 @@ Status ProjectOp::Open() {
       return Status::ResourceExhausted("mjoin needs more buffers");
     }
     GHOSTDB_ASSIGN_OR_RETURN(
-        device::BufferHandle chunk_buf,
-        ram.Acquire(ram.free_buffers() - reserve, "mjoin-chunk"));
-    GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle io_bufs,
-                             ram.Acquire(3, "mjoin-io"));
+        device::RamGuard chunk_buf,
+        device::RamGuard::Acquire(&ram, ram.free_buffers() - reserve, "mjoin-chunk"));
+    GHOSTDB_ASSIGN_OR_RETURN(device::RamGuard io_bufs,
+                             device::RamGuard::Acquire(&ram, 3, "mjoin-io"));
     uint32_t entry_width = 4 + mt.vis_width + mt.hid_width;
     size_t chunk_capacity =
         std::max<size_t>(1, chunk_buf.size() / entry_width);
@@ -290,7 +290,7 @@ Status ProjectOp::Open() {
     final_buffers += static_cast<uint32_t>(mt.pass_runs.size());
   }
   if (!anchor_hid_cols_.empty()) final_buffers += 1;
-  GHOSTDB_ASSIGN_OR_RETURN(bufs_, ram.Acquire(final_buffers, "final-merge"));
+  GHOSTDB_ASSIGN_OR_RETURN(bufs_, device::RamGuard::Acquire(&ram, final_buffers, "final-merge"));
   size_t buf_idx = 0;
   auto next_buf = [&]() {
     return bufs_.data() + (buf_idx++) * ram.buffer_size();
@@ -561,8 +561,8 @@ Status BruteForceProjectOp::Open() {
                                            ctx_->vis_prefetch));
       // Spool to flash: Brute-Force random-accesses vlist there (paper
       // section 6.5).
-      GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle wbuf,
-                               ram.AcquireOne("brute-spool"));
+      GHOSTDB_ASSIGN_OR_RETURN(device::RamGuard wbuf,
+                               device::RamGuard::AcquireOne(&ram, "brute-spool"));
       storage::RunWriter writer(&ctx_->flash(), ctx_->allocator,
                                 wbuf.data(), "brute-spool");
       GHOSTDB_RETURN_NOT_OK(
@@ -574,7 +574,7 @@ Status BruteForceProjectOp::Open() {
       if (!image.hidden_image.has_value()) {
         return Status::Internal("hidden projection without image");
       }
-      GHOSTDB_ASSIGN_OR_RETURN(bt.probe_buf, ram.AcquireOne("brute-hid"));
+      GHOSTDB_ASSIGN_OR_RETURN(bt.probe_buf, device::RamGuard::AcquireOne(&ram, "brute-hid"));
       bt.hid_reader.emplace(&ctx_->flash(), image.hidden_image.value(),
                             bt.probe_buf.data());
       bt.hid_row.resize(image.hidden_image->row_width);
@@ -582,8 +582,8 @@ Status BruteForceProjectOp::Open() {
     tables_.push_back(std::move(bt));
   }
 
-  GHOSTDB_ASSIGN_OR_RETURN(fbuf_, ram.AcquireOne("brute-fprime"));
-  GHOSTDB_ASSIGN_OR_RETURN(probe_buf_, ram.AcquireOne("brute-probe"));
+  GHOSTDB_ASSIGN_OR_RETURN(fbuf_, device::RamGuard::AcquireOne(&ram, "brute-fprime"));
+  GHOSTDB_ASSIGN_OR_RETURN(probe_buf_, device::RamGuard::AcquireOne(&ram, "brute-probe"));
   fprime_.emplace(&ctx_->flash(), sj.fprime, sj.row_width, fbuf_.data());
   GHOSTDB_RETURN_NOT_OK(fprime_->Prime());
 

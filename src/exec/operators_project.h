@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "device/guards.h"
 #include "exec/operator.h"
 #include "exec/row_run.h"
 #include "storage/fixed_table.h"
@@ -78,7 +79,7 @@ class ProjectOp final : public Operator {
   std::vector<CellSource> cell_sources_;
 
   // Final-merge streaming state (set up at the end of Open()).
-  device::BufferHandle bufs_;
+  device::RamGuard bufs_;
   std::optional<RowRunReader> fprime_;
   std::vector<TableReaders> table_readers_;
   std::optional<storage::FixedTableReader> anchor_hid_reader_;
@@ -116,12 +117,12 @@ class BruteForceProjectOp final : public Operator {
     bool exact = false;
     std::optional<storage::FixedTableReader> hid_reader;
     std::vector<uint8_t> hid_row;
-    device::BufferHandle probe_buf;
+    device::RamGuard probe_buf;
   };
 
   std::vector<BruteTable> tables_;
-  device::BufferHandle fbuf_;
-  device::BufferHandle probe_buf_;
+  device::RamGuard fbuf_;
+  device::RamGuard probe_buf_;
   std::optional<RowRunReader> fprime_;
   std::vector<CellSource> cell_sources_;
   /// Per-tables_ resolved source rows for the row under the F' cursor.

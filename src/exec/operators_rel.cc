@@ -72,9 +72,10 @@ void AppendSpillRow(ColumnBatch* out, const std::vector<uint32_t>& offsets,
 /// that consumes the keys stays sequential — the spill-trip row, the
 /// first-arrival group order, and the FP accumulation order are observable
 /// contract, so only this pure per-row compute may fan out.
-void ExtractKeys(ExecContext* ctx, const ColumnBatch& batch,
-                 const std::vector<size_t>* key_items,
-                 std::vector<std::string>* keys) {
+GHOSTDB_HOST_COMPUTE void ExtractKeys(ExecContext* ctx,
+                                      const ColumnBatch& batch,
+                                      const std::vector<size_t>* key_items,
+                                      std::vector<std::string>* keys) {
   size_t n = batch.live();
   keys->resize(n);
   auto body = [&](uint32_t /*shard*/, uint64_t begin, uint64_t end) {

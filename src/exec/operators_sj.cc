@@ -60,8 +60,8 @@ Status HiddenSelector::CollectPredicateSublists(const BoundPredicate& pred,
         CollectPredicateSublists(pred, pred.table, &self_group));
     std::vector<RowId> ids;
     {
-      GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle buf,
-                               ctx_->ram().AcquireOne("cascade"));
+      GHOSTDB_ASSIGN_OR_RETURN(device::RamGuard buf,
+                               device::RamGuard::AcquireOne(&ctx_->ram(), "cascade"));
       for (const auto& [area, range] : self_group.sublists) {
         storage::PostingCursor cursor(&ctx_->flash(), area, range,
                                       buf.data());
@@ -187,8 +187,8 @@ Result<std::vector<RowId>> HiddenSelector::ScanHiddenPredicate(
   }
   const auto& col = ctx_->schema->table(pred.table).columns[pred.column];
   uint32_t offset = image.hidden_offsets[pred.column];
-  GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle buf,
-                           ctx_->ram().AcquireOne("hidden-scan"));
+  GHOSTDB_ASSIGN_OR_RETURN(device::RamGuard buf,
+                           device::RamGuard::AcquireOne(&ctx_->ram(), "hidden-scan"));
   storage::FixedTableReader reader(&ctx_->flash(),
                                    image.hidden_image.value(), buf.data());
   std::vector<uint8_t> row(image.hidden_image->row_width);
@@ -490,8 +490,8 @@ Status SJoinOp::Open() {
     vt.probe_offset = *off;
   }
 
-  GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle out_buf,
-                           ram.AcquireOne("fprime-writer"));
+  GHOSTDB_ASSIGN_OR_RETURN(device::RamGuard out_buf,
+                           device::RamGuard::AcquireOne(&ram, "fprime-writer"));
   storage::RunWriter writer(&ctx_->flash(), ctx_->allocator, out_buf.data(),
                             "fprime");
 
@@ -507,8 +507,8 @@ Status SJoinOp::Open() {
       }
       slots.push_back(*slot);
     }
-    GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle skt_buf,
-                             ram.AcquireOne("sjoin-skt"));
+    GHOSTDB_ASSIGN_OR_RETURN(device::RamGuard skt_buf,
+                             device::RamGuard::AcquireOne(&ram, "sjoin-skt"));
     SJoinStage sjoin(
         &ctx_->flash(), &anchor_image.skt.value(), slots, skt_buf.data(),
         [&](const uint8_t* row, uint32_t width) -> Status {
@@ -579,11 +579,11 @@ Result<SjState> PostSelectOp::Filter(const SjState& sj, uint32_t probe_offset,
   if (free < 4) {
     return Status::ResourceExhausted("post-select needs 4 buffers");
   }
-  GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle chunk_buf,
-                           ram.Acquire(free - 3, "post-select-chunk"));
+  GHOSTDB_ASSIGN_OR_RETURN(device::RamGuard chunk_buf,
+                           device::RamGuard::Acquire(&ram, free - 3, "post-select-chunk"));
   size_t chunk_capacity = chunk_buf.size() / 4;
-  GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle io_bufs,
-                           ram.Acquire(2, "post-select-io"));
+  GHOSTDB_ASSIGN_OR_RETURN(device::RamGuard io_bufs,
+                           device::RamGuard::Acquire(&ram, 2, "post-select-io"));
 
   std::vector<storage::RunRef> chunk_runs;
   uint64_t kept = 0;

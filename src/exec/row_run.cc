@@ -73,8 +73,8 @@ Status MergeRowRunsBy(flash::FlashDevice* device, device::RamManager* ram,
                                order.begin() + static_cast<long>(take));
     std::sort(picked.begin(), picked.end());
     GHOSTDB_ASSIGN_OR_RETURN(
-        device::BufferHandle bufs,
-        ram->Acquire(static_cast<uint32_t>(take) + 1, "rowrun-merge"));
+        device::RamGuard bufs,
+        device::RamGuard::Acquire(ram, static_cast<uint32_t>(take) + 1, "rowrun-merge"));
     std::vector<std::unique_ptr<RowRunReader>> readers;
     for (size_t i = 0; i < take; ++i) {
       readers.push_back(std::make_unique<RowRunReader>(

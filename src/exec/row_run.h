@@ -16,7 +16,7 @@
 #include "common/coding.h"
 #include "common/result.h"
 #include "common/status.h"
-#include "device/ram_manager.h"
+#include "device/guards.h"
 #include "storage/page_allocator.h"
 #include "storage/run.h"
 

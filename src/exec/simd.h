@@ -27,6 +27,7 @@
 #include "catalog/stats.h"
 #include "catalog/value.h"
 #include "common/coding.h"
+#include "core/annotations.h"
 
 #if defined(__AVX2__)
 #include <immintrin.h>
@@ -89,8 +90,9 @@ inline void RefineEncoded(catalog::DataType type, uint32_t width,
 
 /// Selection-vector compaction: appends id_base + i to `out` for every set
 /// flag; returns the count.
-inline size_t CompactFlags(const uint8_t* flags, size_t n, uint32_t id_base,
-                           uint32_t* out) {
+GHOSTDB_WORKER_SAFE inline size_t CompactFlags(const uint8_t* flags, size_t n,
+                                               uint32_t id_base,
+                                               uint32_t* out) {
   size_t count = 0;
   for (size_t i = 0; i < n; ++i) {
     if (flags[i]) out[count++] = id_base + static_cast<uint32_t>(i);
@@ -100,9 +102,10 @@ inline size_t CompactFlags(const uint8_t* flags, size_t n, uint32_t id_base,
 
 /// Projection cell moves: for j in [0, n), copies `width` bytes from
 /// src + idx[j]*stride + offset to dst + j*dst_stride.
-inline void GatherCells(const uint8_t* src, size_t stride, size_t offset,
-                        uint32_t width, const uint32_t* idx, size_t n,
-                        uint8_t* dst, size_t dst_stride) {
+GHOSTDB_WORKER_SAFE inline void GatherCells(const uint8_t* src, size_t stride,
+                                            size_t offset, uint32_t width,
+                                            const uint32_t* idx, size_t n,
+                                            uint8_t* dst, size_t dst_stride) {
   for (size_t j = 0; j < n; ++j) {
     std::memcpy(dst + j * dst_stride,
                 src + static_cast<size_t>(idx[j]) * stride + offset, width);

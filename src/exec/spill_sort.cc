@@ -19,7 +19,10 @@ ExternalRowSorter::ExternalRowSorter(ExecContext* ctx, uint32_t row_width,
 ExternalRowSorter::~ExternalRowSorter() {
   // Abandoned stream (LIMIT above, error unwind): free flash best-effort —
   // the executor's page-leak check runs after the tree is destroyed.
-  if (!closed_) Close();  // nothing useful to do with a late free failure
+  if (!closed_) {
+    GHOSTDB_IGNORE_STATUS(Close(),
+                          "nothing useful to do with a late free failure");
+  }
 }
 
 Status ExternalRowSorter::Add(const uint8_t* row) {
@@ -90,8 +93,8 @@ void ExternalRowSorter::SortGeneration() {
 Status ExternalRowSorter::SpillGeneration() {
   if (gen_rows_ == 0) return Status::OK();
   SortGeneration();
-  GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle buf,
-                           ctx_->ram().AcquireOne(tag_));
+  GHOSTDB_ASSIGN_OR_RETURN(device::RamGuard buf,
+                           device::RamGuard::AcquireOne(&ctx_->ram(), tag_));
   storage::RunWriter writer(&ctx_->flash(), ctx_->allocator, buf.data(),
                             tag_);
   const uint8_t* prev = nullptr;
@@ -160,8 +163,8 @@ Status ExternalRowSorter::PadSpillRuns() {
   uint64_t dummies = std::min(target - real, kMaxDummyRuns);
   if (dummies == 0) return Status::OK();
   std::vector<uint8_t> zero_row(row_width_, 0);
-  GHOSTDB_ASSIGN_OR_RETURN(device::BufferHandle buf,
-                           ctx_->ram().AcquireOne(tag_ + "-pad"));
+  GHOSTDB_ASSIGN_OR_RETURN(device::RamGuard buf,
+                           device::RamGuard::AcquireOne(&ctx_->ram(), tag_ + "-pad"));
   for (uint64_t i = 0; i < dummies; ++i) {
     storage::RunWriter writer(&ctx_->flash(), ctx_->allocator, buf.data(),
                               tag_);
@@ -211,7 +214,7 @@ Status ExternalRowSorter::Finish() {
   GHOSTDB_RETURN_NOT_OK(PadSpillRuns());
   GHOSTDB_ASSIGN_OR_RETURN(
       reader_bufs_,
-      ram.Acquire(static_cast<uint32_t>(runs_.size()), tag_));
+      device::RamGuard::Acquire(&ram, static_cast<uint32_t>(runs_.size()), tag_));
   for (size_t i = 0; i < runs_.size(); ++i) {
     readers_.push_back(std::make_unique<RowRunReader>(
         &ctx_->flash(), runs_[i], row_width_,

@@ -25,6 +25,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "device/guards.h"
 #include "exec/operator.h"
 #include "exec/row_run.h"
 
@@ -121,7 +122,7 @@ class ExternalRowSorter {
 
   // Emission state (after Finish()).
   size_t emit_pos_ = 0;                     // in-memory mode cursor
-  device::BufferHandle reader_bufs_;        // one buffer per final run
+  device::RamGuard reader_bufs_;        // one buffer per final run
   std::vector<std::unique_ptr<RowRunReader>> readers_;
   std::vector<uint8_t> current_;            // merge-mode output row
   std::vector<uint8_t> last_emitted_;       // dedup reference

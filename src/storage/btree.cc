@@ -176,7 +176,7 @@ Result<std::unique_ptr<BTreeReader>> BTreeReader::Open(
   auto reader = std::unique_ptr<BTreeReader>(new BTreeReader(device, ref));
   uint32_t buffers = std::max<uint32_t>(ref->height, 1);
   GHOSTDB_ASSIGN_OR_RETURN(reader->buffers_,
-                           ram->Acquire(buffers, "btree-path"));
+                           device::RamGuard::Acquire(ram, buffers, "btree-path"));
   reader->loaded_page_.assign(buffers, -1);
   return reader;
 }

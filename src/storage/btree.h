@@ -29,7 +29,7 @@
 #include "catalog/value.h"
 #include "common/result.h"
 #include "common/status.h"
-#include "device/ram_manager.h"
+#include "device/guards.h"
 #include "flash/flash.h"
 #include "storage/page_allocator.h"
 #include "storage/run.h"
@@ -151,7 +151,7 @@ class BTreeReader {
 
   flash::FlashDevice* device_;
   const BTreeRef* ref_;
-  device::BufferHandle buffers_;      // height contiguous buffers
+  device::RamGuard buffers_;      // height contiguous buffers
   std::vector<int64_t> loaded_page_;  // per level: run page index or -1
   uint64_t pages_loaded_ = 0;
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "device/guards.h"
+
 namespace ghostdb::storage {
 
 namespace {
@@ -38,13 +40,17 @@ Status FixedTableBuilder::FlushPage() {
   uint32_t have = 0;
   for (auto& e : extents_) have += e.second;
   if (pages_used_ == have) {
-    GHOSTDB_ASSIGN_OR_RETURN(uint32_t first,
-                             allocator_->Alloc(kExtentPages, tag_));
+    GHOSTDB_ASSIGN_OR_RETURN(
+        device::PageGuard extent,
+        device::PageGuard::Alloc(allocator_, kExtentPages, tag_));
+    // Joins the builder's extent list; Finish() hands it to the table ref
+    // (build-time only, so there is no abort path to reclaim on).
+    auto [first, count] = extent.Detach();
     if (!extents_.empty() &&
         extents_.back().first + extents_.back().second == first) {
-      extents_.back().second += kExtentPages;
+      extents_.back().second += count;
     } else {
-      extents_.emplace_back(first, kExtentPages);
+      extents_.emplace_back(first, count);
     }
   }
   uint32_t idx = pages_used_;
@@ -76,7 +82,9 @@ Result<FixedTableRef> FixedTableBuilder::Finish() {
     uint32_t extra = have - pages_used_;
     auto& last = extents_.back();
     GHOSTDB_RETURN_NOT_OK(
-        allocator_->Free(last.first + last.second - extra, extra, tag_));
+        device::PageGuard::Adopt(allocator_, last.first + last.second - extra,
+                                 extra, tag_)
+            .Free());
     last.second -= extra;
     if (last.second == 0) extents_.pop_back();
   }

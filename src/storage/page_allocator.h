@@ -11,6 +11,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "core/annotations.h"
 #include "flash/flash.h"
 
 namespace ghostdb::storage {
@@ -22,10 +23,16 @@ class PageAllocator {
       : device_(device), limit_(device->config().logical_pages) {}
 
   /// Allocates `count` contiguous pages; `tag` labels usage for accounting.
-  Result<uint32_t> Alloc(uint32_t count, const std::string& tag);
+  /// Transcript sink: page counts show in the storage report and FTL trim
+  /// stream, so hidden-derived extents are a leak. Call through PageGuard
+  /// (device/guards.h) — leakcheck's paired-resource rule enforces it.
+  GHOSTDB_TRANSCRIPT_SINK Result<uint32_t> Alloc(uint32_t count,
+                                                 const std::string& tag);
 
-  /// Returns a range; the pages are trimmed on the device.
-  Status Free(uint32_t first, uint32_t count, const std::string& tag);
+  /// Returns a range; the pages are trimmed on the device. Same sink and
+  /// guard discipline as Alloc.
+  GHOSTDB_TRANSCRIPT_SINK Status Free(uint32_t first, uint32_t count,
+                                      const std::string& tag);
 
   uint32_t used_pages() const { return used_pages_; }
   uint32_t high_water_pages() const { return high_water_; }

@@ -5,6 +5,7 @@
 
 #include "common/coding.h"
 #include "device/fault_injector.h"
+#include "device/guards.h"
 
 namespace ghostdb::storage {
 
@@ -24,13 +25,14 @@ RunWriter::RunWriter(flash::FlashDevice* device, PageAllocator* allocator,
 RunWriter::~RunWriter() {
   // Best-effort: Free only fails on out-of-range trims, which cannot happen
   // for extents this writer allocated.
-  Abort().ok();
+  GHOSTDB_IGNORE_STATUS(Abort(), "destructor cleanup cannot fail usefully");
 }
 
 Status RunWriter::Abort() {
   Status status;
   for (const auto& e : extents_) {
-    Status s = allocator_->Free(e.first, e.second, tag_);
+    Status s =
+        device::PageGuard::Adopt(allocator_, e.first, e.second, tag_).Free();
     if (status.ok() && !s.ok()) status = s;
   }
   extents_.clear();
@@ -65,13 +67,17 @@ Status RunWriter::FlushPage() {
   uint32_t have = 0;
   for (auto& e : extents_) have += e.second;
   if (pages_used_ == have) {
-    GHOSTDB_ASSIGN_OR_RETURN(uint32_t first,
-                             allocator_->Alloc(kExtentPages, tag_));
+    GHOSTDB_ASSIGN_OR_RETURN(
+        device::PageGuard extent,
+        device::PageGuard::Alloc(allocator_, kExtentPages, tag_));
+    // The extent outlives this scope: it joins the writer's extent list,
+    // which Abort()/Finish() reclaim or hand to the RunRef.
+    auto [first, count] = extent.Detach();
     if (!extents_.empty() &&
         extents_.back().first + extents_.back().second == first) {
-      extents_.back().second += kExtentPages;  // coalesce
+      extents_.back().second += count;  // coalesce
     } else {
-      extents_.emplace_back(first, kExtentPages);
+      extents_.emplace_back(first, count);
     }
   }
   // Locate the logical page for run-relative index pages_used_.
@@ -115,7 +121,9 @@ Result<RunRef> RunWriter::Finish() {
     uint32_t extra = have - pages_used_;
     auto& last = extents_.back();
     GHOSTDB_RETURN_NOT_OK(
-        allocator_->Free(last.first + last.second - extra, extra, tag_));
+        device::PageGuard::Adopt(allocator_, last.first + last.second - extra,
+                                 extra, tag_)
+            .Free());
     last.second -= extra;
     if (last.second == 0) extents_.pop_back();
   }
@@ -188,7 +196,8 @@ Status FreeRun(PageAllocator* allocator, const RunRef& ref,
                const std::string& fallback_tag) {
   const std::string& tag = ref.tag.empty() ? fallback_tag : ref.tag;
   for (const auto& e : ref.extents) {
-    GHOSTDB_RETURN_NOT_OK(allocator->Free(e.first, e.second, tag));
+    GHOSTDB_RETURN_NOT_OK(
+        device::PageGuard::Adopt(allocator, e.first, e.second, tag).Free());
   }
   return Status::OK();
 }

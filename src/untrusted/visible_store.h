@@ -17,6 +17,7 @@
 #include "catalog/stats.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "core/annotations.h"
 #include "exec/thread_pool.h"
 #include "sql/binder.h"
 
@@ -87,7 +88,9 @@ class VisibleStore {
                   const std::vector<sql::BoundPredicate>& predicates) const;
   /// Appends the ids in [begin, end) matching every predicate to `out`
   /// (the SIMD inner loop of SelectIds/Project; one shard's work).
-  void ScanRange(catalog::TableId table,
+  /// GHOSTDB_HOST_COMPUTE: runs on pool workers — leakcheck's purity rule
+  /// bars it (and everything it calls) from device/clock/RAM state.
+  GHOSTDB_HOST_COMPUTE void ScanRange(catalog::TableId table,
                  const std::vector<sql::BoundPredicate>& predicates,
                  catalog::RowId begin, catalog::RowId end,
                  std::vector<catalog::RowId>* out) const;

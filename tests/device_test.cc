@@ -9,6 +9,7 @@
 
 #include "device/channel.h"
 #include "device/channel_arbiter.h"
+#include "device/guards.h"
 #include "device/ram_manager.h"
 #include "device/secure_device.h"
 
@@ -243,7 +244,7 @@ TEST(ChannelArbiterTest, AdmissionIsExclusiveUnderContention) {
   for (int32_t s = 0; s < 4; ++s) {
     threads.emplace_back([&, s] {
       for (int i = 0; i < 50; ++i) {
-        ChannelArbiter::Admission admission(&arbiter, s, 1 + s % 3);
+        device::AdmissionGuard admission(&arbiter, s, 1 + s % 3);
         int now = inside.fetch_add(1) + 1;
         int seen = max_inside.load();
         while (now > seen && !max_inside.compare_exchange_weak(seen, now)) {
@@ -275,7 +276,7 @@ TEST(ChannelArbiterTest, ErroringSessionDoesNotStarveNeighbors) {
   std::atomic<int> errors{0};
   std::atomic<int> successes{0};
   auto query_under_admission = [&](int32_t s, int i) -> Status {
-    ChannelArbiter::Admission admission(&arbiter, s, 1);
+    device::AdmissionGuard admission(&arbiter, s, 1);
     // Session 0 fails every other statement mid-"query", after taking the
     // device; the Status return path must drop the ticket.
     if (s == 0 && i % 2 == 0) {

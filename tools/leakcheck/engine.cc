@@ -1,0 +1,264 @@
+#include "engine.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace leakcheck {
+
+namespace {
+
+bool InFilter(const SourceLoc& loc, const EngineOptions& options) {
+  return options.filter.empty() ||
+         loc.file.find(options.filter) != std::string::npos;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// The class prefix of a qualified member name ("a::b::C::m" -> "a::b::C").
+std::string ClassOf(const std::string& qualified) {
+  size_t pos = qualified.rfind("::");
+  return pos == std::string::npos ? std::string() : qualified.substr(0, pos);
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: hidden-taint
+// ---------------------------------------------------------------------------
+
+/// Flow-insensitive fixpoint: a variable is tainted when any assignment (or
+/// call-result binding, or by-reference argument position) anywhere in the
+/// function can derive it from a hidden source or from another tainted
+/// variable. Flow-insensitivity over-approximates, which is the right
+/// polarity for a leak lint.
+std::set<std::string> TaintedVars(const FunctionFacts& fn) {
+  std::set<std::string> tainted;
+  bool changed = true;
+  auto any_tainted = [&](const std::vector<std::string>& vars) {
+    return std::any_of(vars.begin(), vars.end(), [&](const std::string& v) {
+      return tainted.count(v) != 0;
+    });
+  };
+  while (changed) {
+    changed = false;
+    for (const AssignFacts& a : fn.assigns) {
+      if (a.lhs.empty() || tainted.count(a.lhs)) continue;
+      if (a.rhs_hidden || any_tainted(a.rhs_vars)) {
+        tainted.insert(a.lhs);
+        changed = true;
+      }
+    }
+    for (const CallFacts& c : fn.calls) {
+      if (c.assigned_to.empty() || tainted.count(c.assigned_to)) continue;
+      bool arg_taint = false;
+      for (size_t i = 0; i < c.arg_vars.size(); ++i) {
+        bool hidden_arg = i < c.arg_hidden.size() && c.arg_hidden[i];
+        if (hidden_arg || any_tainted(c.arg_vars[i])) {
+          arg_taint = true;
+          break;
+        }
+      }
+      if (c.callee_hidden || arg_taint) {
+        tainted.insert(c.assigned_to);
+        changed = true;
+      }
+    }
+  }
+  return tainted;
+}
+
+void RunHiddenTaint(const FunctionFacts& fn, const EngineOptions& options,
+                    std::vector<Finding>* out) {
+  std::set<std::string> tainted = TaintedVars(fn);
+  auto any_tainted = [&](const std::vector<std::string>& vars) {
+    return std::any_of(vars.begin(), vars.end(), [&](const std::string& v) {
+      return tainted.count(v) != 0;
+    });
+  };
+  // Branch ids whose condition is hidden-derived.
+  std::set<int> tainted_branches;
+  for (size_t i = 0; i < fn.branches.size(); ++i) {
+    const BranchFacts& b = fn.branches[i];
+    if (b.cond_hidden || any_tainted(b.cond_vars)) {
+      tainted_branches.insert(static_cast<int>(i));
+    }
+  }
+  auto guarded_by_tainted = [&](int branch_id) -> int {
+    for (int id = branch_id; id != -1;
+         id = fn.branches[static_cast<size_t>(id)].parent_id) {
+      if (tainted_branches.count(id)) return id;
+    }
+    return -1;
+  };
+
+  for (const CallFacts& c : fn.calls) {
+    if (!c.callee_sink) continue;
+    if (!InFilter(c.loc, options)) continue;
+    // Hidden value as a sink argument.
+    for (size_t i = 0; i < c.arg_vars.size(); ++i) {
+      bool hidden_arg = i < c.arg_hidden.size() && c.arg_hidden[i];
+      if (hidden_arg || any_tainted(c.arg_vars[i])) {
+        out->push_back(
+            {"hidden-taint", c.loc,
+             "hidden-derived value reaches transcript sink '" + c.callee +
+                 "' (argument " + std::to_string(i + 1) + ") in '" +
+                 fn.qualified_name + "'"});
+        break;
+      }
+    }
+    // Sink under a hidden-dependent branch.
+    int guard = guarded_by_tainted(c.branch_id);
+    if (guard != -1) {
+      out->push_back(
+          {"hidden-taint", fn.branches[static_cast<size_t>(guard)].loc,
+           "hidden-dependent branch guards transcript sink '" + c.callee +
+               "' in '" + fn.qualified_name + "'"});
+    }
+  }
+  for (const AssignFacts& a : fn.assigns) {
+    if (!a.lhs_is_sink_field) continue;
+    if (!InFilter(a.loc, options)) continue;
+    if (a.rhs_hidden || any_tainted(a.rhs_vars)) {
+      out->push_back({"hidden-taint", a.loc,
+                      "hidden-derived value stored into transcript-sink "
+                      "field '" +
+                          a.lhs + "' in '" + fn.qualified_name + "'"});
+    }
+    int guard = -1;
+    for (int id = a.branch_id; id != -1;
+         id = fn.branches[static_cast<size_t>(id)].parent_id) {
+      if (tainted_branches.count(id)) {
+        guard = id;
+        break;
+      }
+    }
+    if (guard != -1) {
+      out->push_back(
+          {"hidden-taint", fn.branches[static_cast<size_t>(guard)].loc,
+           "hidden-dependent branch guards transcript-sink field '" + a.lhs +
+               "' in '" + fn.qualified_name + "'"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: status-discipline
+// ---------------------------------------------------------------------------
+
+void RunStatusDiscipline(const FunctionFacts& fn,
+                         const EngineOptions& options,
+                         std::vector<Finding>* out) {
+  for (const CallFacts& c : fn.calls) {
+    if (!c.returns_status || !c.result_discarded) continue;
+    if (!InFilter(c.loc, options)) continue;
+    out->push_back({"status-discipline", c.loc,
+                    "result of Status/Result-returning call '" + c.callee +
+                        "' is discarded in '" + fn.qualified_name +
+                        "' (check it, propagate it, or use "
+                        "GHOSTDB_IGNORE_STATUS)"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: paired-resource discipline
+// ---------------------------------------------------------------------------
+
+void RunPairedResource(const FunctionFacts& fn, const EngineOptions& options,
+                       std::vector<Finding>* out) {
+  if (fn.is_resource_impl) return;
+  for (const CallFacts& c : fn.calls) {
+    if (!InFilter(c.loc, options)) continue;
+    for (const std::string& raw : options.raw_pairs) {
+      if (c.callee != raw) continue;
+      // The resource class's own members (incl. nested classes) are the
+      // implementation; everything else goes through the guards.
+      if (StartsWith(fn.qualified_name, ClassOf(raw) + "::")) continue;
+      out->push_back({"paired-resource", c.loc,
+                      "raw paired-resource call '" + c.callee + "' in '" +
+                          fn.qualified_name +
+                          "' (use PageGuard/RamGuard/AdmissionGuard from "
+                          "device/guards.h)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: worker-purity
+// ---------------------------------------------------------------------------
+
+void RunWorkerPurity(const TranslationUnitFacts& tu,
+                     const EngineOptions& options,
+                     std::vector<Finding>* out) {
+  std::map<std::string, const FunctionFacts*> by_name;
+  for (const FunctionFacts& fn : tu.functions) {
+    by_name.emplace(fn.qualified_name, &fn);
+  }
+  // Reachability from host-compute roots, following intra-TU edges.
+  std::set<const FunctionFacts*> reachable;
+  std::vector<const FunctionFacts*> work;
+  for (const FunctionFacts& fn : tu.functions) {
+    if (fn.is_host_compute) {
+      reachable.insert(&fn);
+      work.push_back(&fn);
+    }
+  }
+  while (!work.empty()) {
+    const FunctionFacts* fn = work.back();
+    work.pop_back();
+    for (const CallFacts& c : fn->calls) {
+      auto it = by_name.find(c.callee);
+      if (it == by_name.end()) continue;
+      if (it->second->is_worker_safe) continue;
+      if (reachable.insert(it->second).second) work.push_back(it->second);
+    }
+  }
+  for (const FunctionFacts* fn : reachable) {
+    if (fn->is_worker_safe) continue;
+    for (const CallFacts& c : fn->calls) {
+      if (c.callee_worker_safe) continue;
+      auto callee_it = by_name.find(c.callee);
+      if (callee_it != by_name.end() && callee_it->second->is_worker_safe) {
+        continue;
+      }
+      for (const std::string& prefix : options.worker_forbidden) {
+        if (!StartsWith(c.callee, prefix)) continue;
+        if (!InFilter(c.loc, options)) continue;
+        out->push_back(
+            {"worker-purity", c.loc,
+             "'" + fn->qualified_name +
+                 "' is reachable from a ParallelShards body but calls '" +
+                 c.callee +
+                 "' (workers may only do host-memory value compute)"});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> Analyze(const TranslationUnitFacts& tu,
+                             const EngineOptions& options) {
+  std::vector<Finding> findings;
+  for (const FunctionFacts& fn : tu.functions) {
+    RunHiddenTaint(fn, options, &findings);
+    RunStatusDiscipline(fn, options, &findings);
+    RunPairedResource(fn, options, &findings);
+  }
+  RunWorkerPurity(tu, options, &findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.loc.file != b.loc.file) return a.loc.file < b.loc.file;
+              if (a.loc.line != b.loc.line) return a.loc.line < b.loc.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::string FormatFinding(const Finding& finding) {
+  return finding.loc.file + ":" + std::to_string(finding.loc.line) + ": [" +
+         finding.rule + "] " + finding.message;
+}
+
+}  // namespace leakcheck

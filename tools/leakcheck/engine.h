@@ -1,0 +1,59 @@
+// The rule engine: pure-C++ analysis over the facts model.
+//
+// Four rules (ARCHITECTURE.md, "Static leakage discipline"):
+//   1. hidden-taint        — hidden values must not reach transcript sinks,
+//                            nor the condition of a branch guarding one
+//                            (flow-insensitive intra-procedural fixpoint).
+//   2. status-discipline   — no Status/Result-returning call discarded.
+//   3. paired-resource     — raw Alloc/Free, Acquire, Admit/Release only
+//                            inside GHOSTDB_RESOURCE_IMPL functions (the
+//                            RAII guards) or the resource class itself.
+//   4. worker-purity       — nothing reachable from a GHOSTDB_HOST_COMPUTE
+//                            root may touch clock/channel/RAM/arbiter/
+//                            metrics (intra-TU call-graph walk).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "facts.h"
+
+namespace leakcheck {
+
+struct EngineOptions {
+  /// Findings are only reported for locations whose file path contains
+  /// this substring (default: the project's src tree). Facts from headers
+  /// outside it still feed the call graph and taint propagation.
+  std::string filter = "/src/";
+
+  /// Rule 3: the raw paired primitives. Callers outside the owning class
+  /// and not annotated GHOSTDB_RESOURCE_IMPL may not call these.
+  std::vector<std::string> raw_pairs = {
+      "ghostdb::storage::PageAllocator::Alloc",
+      "ghostdb::storage::PageAllocator::Free",
+      "ghostdb::device::RamManager::Acquire",
+      "ghostdb::device::RamManager::AcquireOne",
+      "ghostdb::device::ChannelArbiter::Admit",
+      "ghostdb::device::ChannelArbiter::Release",
+  };
+
+  /// Rule 4: forbidden callee prefixes for worker-reachable code.
+  std::vector<std::string> worker_forbidden = {
+      "ghostdb::device::Channel::",
+      "ghostdb::device::RamManager::",
+      "ghostdb::device::ChannelArbiter::",
+      "ghostdb::device::SecureDevice::",
+      "ghostdb::SimClock::",
+      "ghostdb::flash::FlashDevice::",
+      "ghostdb::exec::QueryMetrics::",
+  };
+};
+
+/// Runs all four rules over one translation unit's facts.
+std::vector<Finding> Analyze(const TranslationUnitFacts& tu,
+                             const EngineOptions& options);
+
+/// Renders one finding as "file:line: [rule] message".
+std::string FormatFinding(const Finding& finding);
+
+}  // namespace leakcheck

@@ -1,0 +1,350 @@
+// Unit tests for the leakcheck rule engine over hand-built facts. These run
+// in the regular build (no clang needed), so the analysis logic is covered
+// by tier-1 ctest even on machines without libclang; the fixture self-test
+// (leakcheck_selftest, CI only) covers the clang frontend lowering.
+#include "engine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "facts.h"
+
+namespace leakcheck {
+namespace {
+
+SourceLoc Loc(unsigned line) { return {"/repo/src/test.cc", line}; }
+
+FunctionFacts Fn(const std::string& name) {
+  FunctionFacts fn;
+  fn.qualified_name = name;
+  fn.loc = Loc(1);
+  return fn;
+}
+
+CallFacts Call(const std::string& callee, unsigned line) {
+  CallFacts c;
+  c.callee = callee;
+  c.loc = Loc(line);
+  return c;
+}
+
+std::vector<std::string> Rules(const std::vector<Finding>& findings) {
+  std::vector<std::string> out;
+  for (const Finding& f : findings) out.push_back(f.rule);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: hidden-taint
+// ---------------------------------------------------------------------------
+
+TEST(HiddenTaint, DirectHiddenArgToSink) {
+  TranslationUnitFacts tu;
+  FunctionFacts fn = Fn("ghostdb::exec::Leak");
+  CallFacts sink = Call("ghostdb::device::Channel::TransferSized", 10);
+  sink.callee_sink = true;
+  sink.arg_vars = {{}};
+  sink.arg_hidden = {true};  // hidden field referenced in the size expr
+  fn.calls.push_back(sink);
+  tu.functions.push_back(fn);
+
+  auto findings = Analyze(tu, EngineOptions{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "hidden-taint");
+  EXPECT_EQ(findings[0].loc.line, 10u);
+}
+
+TEST(HiddenTaint, TaintPropagatesThroughAssignments) {
+  // a = hidden; b = a + 1; sink(b)  — two hops.
+  TranslationUnitFacts tu;
+  FunctionFacts fn = Fn("ghostdb::exec::Leak");
+  fn.assigns.push_back({"a", {}, /*rhs_hidden=*/true, false, Loc(5), -1});
+  fn.assigns.push_back({"b", {"a"}, false, false, Loc(6), -1});
+  CallFacts sink = Call("ghostdb::SimClock::Advance", 7);
+  sink.callee_sink = true;
+  sink.arg_vars = {{"b"}};
+  sink.arg_hidden = {false};
+  fn.calls.push_back(sink);
+  tu.functions.push_back(fn);
+
+  EXPECT_EQ(Rules(Analyze(tu, EngineOptions{})),
+            (std::vector<std::string>{"hidden-taint"}));
+}
+
+TEST(HiddenTaint, TaintPropagatesThroughCallResults) {
+  // n = CountRows(hidden_ref); sink(n) — call result binding.
+  TranslationUnitFacts tu;
+  FunctionFacts fn = Fn("ghostdb::exec::Leak");
+  CallFacts count = Call("ghostdb::storage::CountRows", 5);
+  count.arg_vars = {{}};
+  count.arg_hidden = {true};
+  count.assigned_to = "n";
+  fn.calls.push_back(count);
+  CallFacts sink = Call("ghostdb::device::Channel::Transfer", 6);
+  sink.callee_sink = true;
+  sink.arg_vars = {{"n"}};
+  sink.arg_hidden = {false};
+  fn.calls.push_back(sink);
+  tu.functions.push_back(fn);
+
+  EXPECT_EQ(Rules(Analyze(tu, EngineOptions{})),
+            (std::vector<std::string>{"hidden-taint"}));
+}
+
+TEST(HiddenTaint, HiddenBranchGuardingSink) {
+  // if (hidden) { sink(constant); } — the branch is the leak.
+  TranslationUnitFacts tu;
+  FunctionFacts fn = Fn("ghostdb::exec::Leak");
+  BranchFacts branch;
+  branch.cond_hidden = true;
+  branch.loc = Loc(8);
+  fn.branches.push_back(branch);
+  CallFacts sink = Call("ghostdb::device::Channel::TransferSized", 9);
+  sink.callee_sink = true;
+  sink.branch_id = 0;
+  fn.calls.push_back(sink);
+  tu.functions.push_back(fn);
+
+  auto findings = Analyze(tu, EngineOptions{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "hidden-taint");
+  EXPECT_EQ(findings[0].loc.line, 8u);  // reported at the branch
+}
+
+TEST(HiddenTaint, NestedBranchChainIsSearched) {
+  // if (hidden) { if (visible) { sink(); } } — outer guard still flagged.
+  TranslationUnitFacts tu;
+  FunctionFacts fn = Fn("ghostdb::exec::Leak");
+  BranchFacts outer;
+  outer.cond_hidden = true;
+  outer.loc = Loc(3);
+  fn.branches.push_back(outer);
+  BranchFacts inner;
+  inner.cond_vars = {"visible"};
+  inner.loc = Loc(4);
+  inner.parent_id = 0;
+  fn.branches.push_back(inner);
+  CallFacts sink = Call("ghostdb::SimClock::Advance", 5);
+  sink.callee_sink = true;
+  sink.branch_id = 1;
+  fn.calls.push_back(sink);
+  tu.functions.push_back(fn);
+
+  auto findings = Analyze(tu, EngineOptions{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].loc.line, 3u);
+}
+
+TEST(HiddenTaint, SinkFieldStore) {
+  // ctx->padding_row_bound = hidden_count;
+  TranslationUnitFacts tu;
+  FunctionFacts fn = Fn("ghostdb::exec::Leak");
+  fn.assigns.push_back({"a", {}, /*rhs_hidden=*/true, false, Loc(5), -1});
+  fn.assigns.push_back({"ghostdb::exec::ExecContext::padding_row_bound",
+                        {"a"},
+                        false,
+                        /*lhs_is_sink_field=*/true,
+                        Loc(6),
+                        -1});
+  tu.functions.push_back(fn);
+
+  EXPECT_EQ(Rules(Analyze(tu, EngineOptions{})),
+            (std::vector<std::string>{"hidden-taint"}));
+}
+
+TEST(HiddenTaint, VisibleFlowsAreClean) {
+  // n = row_count (visible); sink(n); if (visible) sink(constant).
+  TranslationUnitFacts tu;
+  FunctionFacts fn = Fn("ghostdb::exec::Pad");
+  fn.assigns.push_back({"n", {"row_count"}, false, false, Loc(5), -1});
+  BranchFacts branch;
+  branch.cond_vars = {"n"};
+  branch.loc = Loc(6);
+  fn.branches.push_back(branch);
+  CallFacts sink = Call("ghostdb::device::Channel::TransferSized", 7);
+  sink.callee_sink = true;
+  sink.arg_vars = {{"n"}};
+  sink.arg_hidden = {false};
+  sink.branch_id = 0;
+  fn.calls.push_back(sink);
+  tu.functions.push_back(fn);
+
+  EXPECT_TRUE(Analyze(tu, EngineOptions{}).empty());
+}
+
+TEST(HiddenTaint, FilterSuppressesOutOfTreeFindings) {
+  TranslationUnitFacts tu;
+  FunctionFacts fn = Fn("leakcheck::SelfTest");
+  fn.loc = {"/repo/tools/other.cc", 1};
+  CallFacts sink = Call("ghostdb::device::Channel::Transfer", 10);
+  sink.callee_sink = true;
+  sink.loc = {"/repo/tools/other.cc", 10};
+  sink.arg_vars = {{}};
+  sink.arg_hidden = {true};
+  fn.calls.push_back(sink);
+  tu.functions.push_back(fn);
+
+  EXPECT_TRUE(Analyze(tu, EngineOptions{}).empty());  // default filter /src/
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: status-discipline
+// ---------------------------------------------------------------------------
+
+TEST(StatusDiscipline, DiscardedStatusIsFlagged) {
+  TranslationUnitFacts tu;
+  FunctionFacts fn = Fn("ghostdb::exec::Close");
+  CallFacts c = Call("ghostdb::storage::RunWriter::Finish", 12);
+  c.returns_status = true;
+  c.result_discarded = true;
+  fn.calls.push_back(c);
+  tu.functions.push_back(fn);
+
+  auto findings = Analyze(tu, EngineOptions{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "status-discipline");
+}
+
+TEST(StatusDiscipline, CheckedAndVoidCallsAreClean) {
+  TranslationUnitFacts tu;
+  FunctionFacts fn = Fn("ghostdb::exec::Close");
+  CallFacts checked = Call("ghostdb::storage::RunWriter::Finish", 12);
+  checked.returns_status = true;
+  checked.assigned_to = "status";  // bound, not discarded
+  fn.calls.push_back(checked);
+  CallFacts void_call = Call("ghostdb::exec::QueryMetrics::Bump", 13);
+  void_call.result_discarded = true;  // discarded but not Status-typed
+  fn.calls.push_back(void_call);
+  tu.functions.push_back(fn);
+
+  EXPECT_TRUE(Analyze(tu, EngineOptions{}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: paired-resource
+// ---------------------------------------------------------------------------
+
+TEST(PairedResource, RawCallOutsideGuardIsFlagged) {
+  TranslationUnitFacts tu;
+  FunctionFacts fn = Fn("ghostdb::exec::SpillPath");
+  fn.calls.push_back(Call("ghostdb::device::RamManager::Acquire", 20));
+  fn.calls.push_back(Call("ghostdb::storage::PageAllocator::Alloc", 21));
+  fn.calls.push_back(Call("ghostdb::device::ChannelArbiter::Admit", 22));
+  tu.functions.push_back(fn);
+
+  EXPECT_EQ(Rules(Analyze(tu, EngineOptions{})),
+            (std::vector<std::string>{"paired-resource", "paired-resource",
+                                      "paired-resource"}));
+}
+
+TEST(PairedResource, ResourceImplFunctionsAreExempt) {
+  TranslationUnitFacts tu;
+  FunctionFacts guard = Fn("ghostdb::device::RamGuard::Acquire");
+  guard.is_resource_impl = true;  // GHOSTDB_RESOURCE_IMPL
+  guard.calls.push_back(Call("ghostdb::device::RamManager::Acquire", 30));
+  tu.functions.push_back(guard);
+
+  EXPECT_TRUE(Analyze(tu, EngineOptions{}).empty());
+}
+
+TEST(PairedResource, OwningClassMembersAreExempt) {
+  // RamManager::AcquireOne forwards to Acquire; the class implements its
+  // own primitive.
+  TranslationUnitFacts tu;
+  FunctionFacts member = Fn("ghostdb::device::RamManager::AcquireOne");
+  member.calls.push_back(Call("ghostdb::device::RamManager::Acquire", 40));
+  tu.functions.push_back(member);
+
+  EXPECT_TRUE(Analyze(tu, EngineOptions{}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: worker-purity
+// ---------------------------------------------------------------------------
+
+TEST(WorkerPurity, ForbiddenCallInWorkerBodyIsFlagged) {
+  TranslationUnitFacts tu;
+  FunctionFacts body = Fn("ghostdb::exec::Sort::lambda@64");
+  body.is_host_compute = true;
+  body.calls.push_back(Call("ghostdb::SimClock::Advance", 64));
+  tu.functions.push_back(body);
+
+  auto findings = Analyze(tu, EngineOptions{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "worker-purity");
+}
+
+TEST(WorkerPurity, TransitiveCalleesAreWalked) {
+  // worker body -> Helper -> RamManager::Acquire: flagged two hops deep
+  // (the raw Acquire is also a rule-3 finding — both fire).
+  TranslationUnitFacts tu;
+  FunctionFacts body = Fn("ghostdb::exec::Scan::lambda@178");
+  body.is_host_compute = true;
+  body.calls.push_back(Call("ghostdb::exec::Helper", 50));
+  tu.functions.push_back(body);
+  FunctionFacts helper = Fn("ghostdb::exec::Helper");
+  helper.calls.push_back(Call("ghostdb::device::RamManager::Acquire", 60));
+  tu.functions.push_back(helper);
+
+  auto rules = Rules(Analyze(tu, EngineOptions{}));
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0], "paired-resource");
+  EXPECT_EQ(rules[1], "worker-purity");
+}
+
+TEST(WorkerPurity, WorkerSafeCalleeStopsTheWalk) {
+  TranslationUnitFacts tu;
+  FunctionFacts body = Fn("ghostdb::exec::Scan::lambda@178");
+  body.is_host_compute = true;
+  CallFacts safe = Call("ghostdb::exec::simd::scalar::GatherCells", 50);
+  safe.callee_worker_safe = true;
+  body.calls.push_back(safe);
+  tu.functions.push_back(body);
+  // GatherCells body does something that would look forbidden; the
+  // worker-safe annotation vouches for it, so the walk must not descend.
+  FunctionFacts cells = Fn("ghostdb::exec::simd::scalar::GatherCells");
+  cells.is_worker_safe = true;
+  cells.calls.push_back(Call("ghostdb::SimClock::Advance", 60));
+  tu.functions.push_back(cells);
+
+  EXPECT_TRUE(Analyze(tu, EngineOptions{}).empty());
+}
+
+TEST(WorkerPurity, NonWorkerCodeMayTouchTheDevice) {
+  TranslationUnitFacts tu;
+  FunctionFacts fn = Fn("ghostdb::exec::Executor::ExecuteTree");
+  fn.calls.push_back(Call("ghostdb::device::SecureDevice::clock", 70));
+  fn.calls.push_back(Call("ghostdb::SimClock::Advance", 71));
+  tu.functions.push_back(fn);
+
+  EXPECT_TRUE(Analyze(tu, EngineOptions{}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Output format
+// ---------------------------------------------------------------------------
+
+TEST(Format, FindingRendersAsFileLineRuleMessage) {
+  Finding f{"hidden-taint", {"src/a.cc", 12}, "boom"};
+  EXPECT_EQ(FormatFinding(f), "src/a.cc:12: [hidden-taint] boom");
+}
+
+TEST(Analyze, FindingsAreSortedByLocation) {
+  TranslationUnitFacts tu;
+  FunctionFacts fn = Fn("ghostdb::exec::Messy");
+  CallFacts late = Call("ghostdb::device::RamManager::Acquire", 90);
+  fn.calls.push_back(late);
+  CallFacts early = Call("ghostdb::storage::PageAllocator::Free", 10);
+  fn.calls.push_back(early);
+  tu.functions.push_back(fn);
+
+  auto findings = Analyze(tu, EngineOptions{});
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].loc.line, 10u);
+  EXPECT_EQ(findings[1].loc.line, 90u);
+}
+
+}  // namespace
+}  // namespace leakcheck

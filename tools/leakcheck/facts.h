@@ -1,0 +1,100 @@
+// The facts model: what leakcheck's clang frontend extracts from each
+// translation unit, and what the rule engine (engine.h) consumes.
+//
+// Keeping the model free of clang types splits the tool into a frontend
+// that needs libclang headers (frontend.cc, built only where clang dev
+// packages exist — in the static-analysis CI job) and a rule engine that
+// is plain C++ and unit-tested in the regular build (leakcheck_engine_test
+// runs under ctest everywhere, so the analysis logic itself cannot rot on
+// machines without clang).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace leakcheck {
+
+struct SourceLoc {
+  std::string file;
+  unsigned line = 0;
+};
+
+/// One call expression inside a function body.
+struct CallFacts {
+  /// Fully qualified callee name ("ghostdb::device::Channel::Transfer");
+  /// empty for indirect calls.
+  std::string callee;
+  SourceLoc loc;
+
+  bool callee_hidden = false;       ///< callee annotated GHOSTDB_HIDDEN
+  bool callee_sink = false;         ///< callee annotated GHOSTDB_TRANSCRIPT_SINK
+  bool callee_worker_safe = false;  ///< callee annotated GHOSTDB_WORKER_SAFE
+
+  /// Per argument: names of local variables/parameters referenced.
+  std::vector<std::vector<std::string>> arg_vars;
+  /// Per argument: whether the expression references a GHOSTDB_HIDDEN
+  /// field or calls a GHOSTDB_HIDDEN function directly.
+  std::vector<bool> arg_hidden;
+
+  /// Variable the result is stored into ("" when none).
+  std::string assigned_to;
+  /// True when the callee returns Status/Result and the value is used as a
+  /// full-expression statement (discarded).
+  bool result_discarded = false;
+  /// True when the callee's return type is Status or Result<T>.
+  bool returns_status = false;
+
+  /// Innermost enclosing branch id (index into FunctionFacts::branches),
+  /// -1 at function top level.
+  int branch_id = -1;
+};
+
+/// One assignment or initialization: lhs <- rhs.
+struct AssignFacts {
+  std::string lhs;
+  std::vector<std::string> rhs_vars;
+  /// RHS mentions a GHOSTDB_HIDDEN field or GHOSTDB_HIDDEN call directly.
+  bool rhs_hidden = false;
+  /// LHS is a field annotated GHOSTDB_TRANSCRIPT_SINK (e.g. a padding
+  /// bound): storing into it is a sink.
+  bool lhs_is_sink_field = false;
+  SourceLoc loc;
+  int branch_id = -1;
+};
+
+/// One branch condition (if/while/for/switch/ternary).
+struct BranchFacts {
+  std::vector<std::string> cond_vars;
+  bool cond_hidden = false;  ///< condition mentions a hidden field/call
+  SourceLoc loc;
+  int parent_id = -1;  ///< enclosing branch, -1 at top level
+};
+
+/// One function definition (or lambda) in the translation unit.
+struct FunctionFacts {
+  /// Fully qualified name; lambdas get "<qualified-enclosing>::lambda@line".
+  std::string qualified_name;
+  SourceLoc loc;
+
+  bool is_host_compute = false;   ///< GHOSTDB_HOST_COMPUTE / ParallelShards body
+  bool is_resource_impl = false;  ///< GHOSTDB_RESOURCE_IMPL
+  bool is_worker_safe = false;    ///< GHOSTDB_WORKER_SAFE
+
+  std::vector<CallFacts> calls;
+  std::vector<AssignFacts> assigns;
+  std::vector<BranchFacts> branches;
+};
+
+struct TranslationUnitFacts {
+  std::vector<FunctionFacts> functions;
+};
+
+/// A rule violation.
+struct Finding {
+  std::string rule;  ///< "hidden-taint" | "status-discipline" |
+                     ///< "paired-resource" | "worker-purity"
+  SourceLoc loc;
+  std::string message;
+};
+
+}  // namespace leakcheck

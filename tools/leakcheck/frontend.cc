@@ -1,0 +1,471 @@
+// Lowers a clang AST into the leakcheck facts model (facts.h).
+//
+// Written against the stable subset of the clang C++ API (tested on the
+// clang the static-analysis CI job installs; avoids the matcher DSL and
+// anything that churned between clang 14 and 18). The walk is a manual
+// recursion over statement children rather than RecursiveASTVisitor so the
+// enclosing-branch id and assignment targets can be threaded through
+// explicitly.
+
+#include "frontend.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/Stmt.h"
+#include "clang/AST/StmtCXX.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace leakcheck {
+namespace {
+
+using clang::ASTContext;
+using clang::BinaryOperator;
+using clang::CallExpr;
+using clang::CompoundStmt;
+using clang::ConditionalOperator;
+using clang::CXXForRangeStmt;
+using clang::CXXMemberCallExpr;
+using clang::CXXMethodDecl;
+using clang::CXXRecordDecl;
+using clang::Decl;
+using clang::DeclRefExpr;
+using clang::DeclStmt;
+using clang::DoStmt;
+using clang::Expr;
+using clang::FieldDecl;
+using clang::ForStmt;
+using clang::FunctionDecl;
+using clang::IfStmt;
+using clang::LambdaExpr;
+using clang::MemberExpr;
+using clang::QualType;
+using clang::SourceManager;
+using clang::Stmt;
+using clang::SwitchStmt;
+using clang::ValueDecl;
+using clang::VarDecl;
+using clang::WhileStmt;
+
+constexpr llvm::StringRef kHidden = "ghostdb::hidden";
+constexpr llvm::StringRef kSink = "ghostdb::transcript_sink";
+constexpr llvm::StringRef kResourceImpl = "ghostdb::resource_impl";
+constexpr llvm::StringRef kHostCompute = "ghostdb::host_compute";
+constexpr llvm::StringRef kWorkerSafe = "ghostdb::worker_safe";
+
+bool HasAnnotation(const Decl* decl, llvm::StringRef tag) {
+  if (decl == nullptr) return false;
+  for (const auto* attr : decl->specific_attrs<clang::AnnotateAttr>()) {
+    if (attr->getAnnotation() == tag) return true;
+  }
+  return false;
+}
+
+/// Annotations may sit on any redeclaration (header declaration vs .cc
+/// definition); check them all.
+bool FunctionHasAnnotation(const FunctionDecl* fn, llvm::StringRef tag) {
+  if (fn == nullptr) return false;
+  for (const FunctionDecl* redecl : fn->redecls()) {
+    if (HasAnnotation(redecl, tag)) return true;
+  }
+  return false;
+}
+
+bool IsStatusType(QualType type) {
+  if (type.isNull()) return false;
+  const CXXRecordDecl* record = type->getAsCXXRecordDecl();
+  if (record == nullptr) return false;
+  const std::string name = record->getQualifiedNameAsString();
+  return name == "ghostdb::Status" || name == "ghostdb::Result";
+}
+
+SourceLoc LocOf(clang::SourceLocation loc, const SourceManager& sm) {
+  SourceLoc out;
+  if (loc.isInvalid()) return out;
+  clang::PresumedLoc presumed = sm.getPresumedLoc(sm.getExpansionLoc(loc));
+  if (presumed.isValid()) {
+    out.file = presumed.getFilename();
+    out.line = presumed.getLine();
+  }
+  return out;
+}
+
+/// Collects variable/field names referenced anywhere under `stmt`, and
+/// whether a GHOSTDB_HIDDEN field or call is mentioned directly.
+void CollectVars(const Stmt* stmt, std::vector<std::string>* vars,
+                 bool* hidden) {
+  if (stmt == nullptr) return;
+  if (const auto* ref = llvm::dyn_cast<DeclRefExpr>(stmt)) {
+    if (const auto* var = llvm::dyn_cast<VarDecl>(ref->getDecl())) {
+      vars->push_back(var->getNameAsString());
+    }
+    if (HasAnnotation(ref->getDecl(), kHidden)) *hidden = true;
+  } else if (const auto* member = llvm::dyn_cast<MemberExpr>(stmt)) {
+    const ValueDecl* decl = member->getMemberDecl();
+    if (llvm::isa<FieldDecl>(decl)) {
+      vars->push_back(decl->getQualifiedNameAsString());
+    }
+    if (HasAnnotation(decl, kHidden)) *hidden = true;
+  } else if (const auto* call = llvm::dyn_cast<CallExpr>(stmt)) {
+    if (FunctionHasAnnotation(call->getDirectCallee(), kHidden)) {
+      *hidden = true;
+    }
+  }
+  for (const Stmt* child : stmt->children()) CollectVars(child, vars, hidden);
+}
+
+/// Finds a lambda expression anywhere under `stmt` (ParallelShards
+/// arguments arrive wrapped in materialization/conversion nodes). Bodies
+/// passed by name (`auto body = [&]...; pool->ParallelShards(n, g, body)`)
+/// resolve through the named variable's initializer.
+const LambdaExpr* FindLambda(const Stmt* stmt) {
+  if (stmt == nullptr) return nullptr;
+  if (const auto* lambda = llvm::dyn_cast<LambdaExpr>(stmt)) return lambda;
+  if (const auto* ref = llvm::dyn_cast<DeclRefExpr>(stmt)) {
+    if (const auto* var = llvm::dyn_cast<VarDecl>(ref->getDecl())) {
+      if (var->hasInit()) return FindLambda(var->getInit());
+    }
+    return nullptr;
+  }
+  for (const Stmt* child : stmt->children()) {
+    if (const LambdaExpr* found = FindLambda(child)) return found;
+  }
+  return nullptr;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+class Extractor {
+ public:
+  explicit Extractor(ASTContext& context)
+      : context_(context), sm_(context.getSourceManager()) {}
+
+  TranslationUnitFacts Run() {
+    WalkDecl(context_.getTranslationUnitDecl());
+    // Lambdas handed to ThreadPool::ParallelShards are worker bodies:
+    // mark their facts host-compute so the purity walk roots there.
+    for (const CXXMethodDecl* op : shard_lambdas_) {
+      auto it = lambda_index_.find(op);
+      if (it != lambda_index_.end()) {
+        tu_.functions[it->second].is_host_compute = true;
+      }
+    }
+    return std::move(tu_);
+  }
+
+ private:
+  // -- declaration walk ----------------------------------------------------
+
+  void WalkDecl(const Decl* decl) {
+    if (decl == nullptr) return;
+    if (const auto* fn = llvm::dyn_cast<FunctionDecl>(decl)) {
+      HandleFunction(fn);
+    }
+    if (const auto* dc = llvm::dyn_cast<clang::DeclContext>(decl)) {
+      for (const Decl* child : dc->decls()) WalkDecl(child);
+    }
+  }
+
+  void HandleFunction(const FunctionDecl* fn) {
+    if (!fn->doesThisDeclarationHaveABody()) return;
+    if (fn->isDependentContext()) return;  // uninstantiated templates
+    clang::SourceLocation loc = fn->getLocation();
+    if (loc.isInvalid() || sm_.isInSystemHeader(loc)) return;
+    // Lambda call operators are walked from their LambdaExpr so they get
+    // the synthetic name and host-compute marking.
+    if (const auto* method = llvm::dyn_cast<CXXMethodDecl>(fn)) {
+      if (method->getParent()->isLambda()) return;
+    }
+    ExtractFunction(fn, fn->getQualifiedNameAsString());
+  }
+
+  size_t ExtractFunction(const FunctionDecl* fn, const std::string& name) {
+    FunctionFacts facts;
+    facts.qualified_name = name;
+    facts.loc = LocOf(fn->getLocation(), sm_);
+    facts.is_host_compute = FunctionHasAnnotation(fn, kHostCompute);
+    facts.is_resource_impl = FunctionHasAnnotation(fn, kResourceImpl);
+    facts.is_worker_safe = FunctionHasAnnotation(fn, kWorkerSafe);
+    size_t index = tu_.functions.size();
+    tu_.functions.push_back(std::move(facts));
+    // Walk with an explicit current-function index: lambdas nested in this
+    // body append their own FunctionFacts, so pointers would dangle.
+    size_t saved = current_;
+    current_ = index;
+    WalkStmt(fn->getBody(), /*branch_id=*/-1);
+    current_ = saved;
+    return index;
+  }
+
+  FunctionFacts& Current() { return tu_.functions[current_]; }
+
+  // -- statement walk ------------------------------------------------------
+
+  void WalkStmt(const Stmt* stmt, int branch_id) {
+    if (stmt == nullptr) return;
+
+    if (const auto* compound = llvm::dyn_cast<CompoundStmt>(stmt)) {
+      for (const Stmt* child : compound->body()) {
+        WalkFullExpr(child, branch_id);
+      }
+      return;
+    }
+    if (const auto* ifs = llvm::dyn_cast<IfStmt>(stmt)) {
+      WalkStmt(ifs->getInit(), branch_id);
+      int id = AddBranch(ifs->getCond(), branch_id);
+      WalkExpr(ifs->getCond(), branch_id, "", false);
+      WalkStmt(ifs->getThen(), id);
+      WalkStmt(ifs->getElse(), id);
+      return;
+    }
+    if (const auto* whiles = llvm::dyn_cast<WhileStmt>(stmt)) {
+      int id = AddBranch(whiles->getCond(), branch_id);
+      WalkExpr(whiles->getCond(), branch_id, "", false);
+      WalkStmt(whiles->getBody(), id);
+      return;
+    }
+    if (const auto* dos = llvm::dyn_cast<DoStmt>(stmt)) {
+      int id = AddBranch(dos->getCond(), branch_id);
+      WalkExpr(dos->getCond(), branch_id, "", false);
+      WalkStmt(dos->getBody(), id);
+      return;
+    }
+    if (const auto* fors = llvm::dyn_cast<ForStmt>(stmt)) {
+      WalkStmt(fors->getInit(), branch_id);
+      int id = branch_id;
+      if (fors->getCond() != nullptr) {
+        id = AddBranch(fors->getCond(), branch_id);
+        WalkExpr(fors->getCond(), branch_id, "", false);
+      }
+      WalkExpr(fors->getInc(), id, "", false);
+      WalkStmt(fors->getBody(), id);
+      return;
+    }
+    if (const auto* range = llvm::dyn_cast<CXXForRangeStmt>(stmt)) {
+      // The range expression drives the trip count: model it as a branch
+      // condition so iterating over a hidden-derived container guards the
+      // body.
+      int id = AddBranch(range->getRangeInit(), branch_id);
+      WalkExpr(range->getRangeInit(), branch_id, "", false);
+      WalkStmt(range->getBody(), id);
+      return;
+    }
+    if (const auto* sw = llvm::dyn_cast<SwitchStmt>(stmt)) {
+      WalkStmt(sw->getInit(), branch_id);
+      int id = AddBranch(sw->getCond(), branch_id);
+      WalkExpr(sw->getCond(), branch_id, "", false);
+      WalkStmt(sw->getBody(), id);
+      return;
+    }
+    if (const auto* decls = llvm::dyn_cast<DeclStmt>(stmt)) {
+      for (const Decl* d : decls->decls()) {
+        const auto* var = llvm::dyn_cast<VarDecl>(d);
+        if (var == nullptr || !var->hasInit()) continue;
+        RecordAssign(var->getNameAsString(), var->getInit(),
+                     /*lhs_is_sink_field=*/false, var->getLocation(),
+                     branch_id);
+        WalkExpr(var->getInit(), branch_id, var->getNameAsString(), false);
+      }
+      return;
+    }
+    if (const auto* expr = llvm::dyn_cast<Expr>(stmt)) {
+      WalkExpr(expr, branch_id, "", false);
+      return;
+    }
+    for (const Stmt* child : stmt->children()) WalkStmt(child, branch_id);
+  }
+
+  /// A statement at full-expression position: a discarded Status/Result
+  /// call here is a status-discipline violation.
+  void WalkFullExpr(const Stmt* stmt, int branch_id) {
+    const auto* expr = llvm::dyn_cast_or_null<Expr>(stmt);
+    if (expr == nullptr) {
+      WalkStmt(stmt, branch_id);
+      return;
+    }
+    WalkExpr(expr, branch_id, "", /*discarded=*/true);
+  }
+
+  /// Walks an expression tree. `assigned_to` names the variable a
+  /// top-level call result binds to; `discarded` marks full-expression
+  /// position.
+  void WalkExpr(const Expr* expr, int branch_id, const std::string& assigned_to,
+                bool discarded) {
+    if (expr == nullptr) return;
+    // IgnoreImplicit strips ExprWithCleanups/CXXBindTemporaryExpr (how a
+    // by-value Status call appears at statement position); then parens and
+    // implicit casts.
+    const Expr* core = expr->IgnoreImplicit()->IgnoreParenImpCasts();
+
+    if (const auto* lambda = llvm::dyn_cast<LambdaExpr>(core)) {
+      HandleLambda(lambda);
+      return;
+    }
+    if (const auto* binop = llvm::dyn_cast<BinaryOperator>(core)) {
+      if (binop->isAssignmentOp()) {
+        HandleAssignment(binop, branch_id);
+        return;
+      }
+    }
+    if (const auto* cond = llvm::dyn_cast<ConditionalOperator>(core)) {
+      int id = AddBranch(cond->getCond(), branch_id);
+      WalkExpr(cond->getCond(), branch_id, "", false);
+      WalkExpr(cond->getTrueExpr(), id, assigned_to, false);
+      WalkExpr(cond->getFalseExpr(), id, assigned_to, false);
+      return;
+    }
+    if (const auto* call = llvm::dyn_cast<CallExpr>(core)) {
+      HandleCall(call, branch_id, assigned_to, discarded);
+      return;
+    }
+    // Generic node: recurse; children are value-position subexpressions.
+    for (const Stmt* child : core->children()) {
+      if (const auto* sub = llvm::dyn_cast_or_null<Expr>(child)) {
+        WalkExpr(sub, branch_id, "", false);
+      } else {
+        WalkStmt(child, branch_id);
+      }
+    }
+  }
+
+  void HandleAssignment(const BinaryOperator* binop, int branch_id) {
+    const Expr* lhs = binop->getLHS()->IgnoreParenImpCasts();
+    std::string lhs_name;
+    bool sink_field = false;
+    if (const auto* ref = llvm::dyn_cast<DeclRefExpr>(lhs)) {
+      lhs_name = ref->getDecl()->getNameAsString();
+    } else if (const auto* member = llvm::dyn_cast<MemberExpr>(lhs)) {
+      lhs_name = member->getMemberDecl()->getQualifiedNameAsString();
+      sink_field = HasAnnotation(member->getMemberDecl(), kSink);
+    }
+    RecordAssign(lhs_name, binop->getRHS(), sink_field,
+                 binop->getOperatorLoc(), branch_id);
+    WalkExpr(binop->getRHS(), branch_id, lhs_name, false);
+    WalkExpr(lhs, branch_id, "", false);
+  }
+
+  void HandleCall(const CallExpr* call, int branch_id,
+                  const std::string& assigned_to, bool discarded) {
+    const FunctionDecl* callee = call->getDirectCallee();
+
+    // `foo().ok();` — the classic nodiscard escape. Attribute the discard
+    // to the inner Status-returning call.
+    if (discarded && callee != nullptr &&
+        EndsWith(callee->getQualifiedNameAsString(), "::ok")) {
+      if (const auto* member = llvm::dyn_cast<CXXMemberCallExpr>(call)) {
+        const Expr* object = member->getImplicitObjectArgument()
+                                 ->IgnoreImplicit()
+                                 ->IgnoreParenImpCasts();
+        if (const auto* inner = llvm::dyn_cast<CallExpr>(object)) {
+          if (IsStatusType(inner->getType())) {
+            HandleCall(inner, branch_id, "", /*discarded=*/true);
+            return;
+          }
+        }
+      }
+    }
+
+    CallFacts facts;
+    facts.loc = LocOf(call->getExprLoc(), sm_);
+    facts.branch_id = branch_id;
+    facts.assigned_to = assigned_to;
+    if (callee != nullptr) {
+      facts.callee = callee->getQualifiedNameAsString();
+      facts.callee_hidden = FunctionHasAnnotation(callee, kHidden);
+      facts.callee_sink = FunctionHasAnnotation(callee, kSink);
+      facts.callee_worker_safe = FunctionHasAnnotation(callee, kWorkerSafe);
+    }
+    facts.returns_status = IsStatusType(call->getType());
+    facts.result_discarded = discarded && facts.returns_status;
+
+    bool shards_call = EndsWith(facts.callee, "ThreadPool::ParallelShards");
+    for (const Expr* arg : call->arguments()) {
+      std::vector<std::string> vars;
+      bool hidden = false;
+      CollectVars(arg, &vars, &hidden);
+      facts.arg_vars.push_back(std::move(vars));
+      facts.arg_hidden.push_back(hidden);
+      if (shards_call) {
+        if (const LambdaExpr* lambda = FindLambda(arg)) {
+          shard_lambdas_.push_back(lambda->getCallOperator());
+        }
+      }
+    }
+    // The object a member call runs on participates in taint like an
+    // argument (`writer.Finish()` is tainted when `writer` is).
+    if (const auto* member = llvm::dyn_cast<CXXMemberCallExpr>(call)) {
+      std::vector<std::string> vars;
+      bool hidden = false;
+      CollectVars(member->getImplicitObjectArgument(), &vars, &hidden);
+      facts.arg_vars.push_back(std::move(vars));
+      facts.arg_hidden.push_back(hidden);
+    }
+    Current().calls.push_back(std::move(facts));
+
+    for (const Expr* arg : call->arguments()) {
+      WalkExpr(arg, branch_id, "", false);
+    }
+    if (const auto* member = llvm::dyn_cast<CXXMemberCallExpr>(call)) {
+      WalkExpr(member->getImplicitObjectArgument(), branch_id, "", false);
+    }
+  }
+
+  void HandleLambda(const LambdaExpr* lambda) {
+    const CXXMethodDecl* op = lambda->getCallOperator();
+    if (op == nullptr || !op->hasBody()) return;
+    SourceLoc loc = LocOf(lambda->getBeginLoc(), sm_);
+    std::string name = Current().qualified_name + "::lambda@" +
+                       std::to_string(loc.line);
+    size_t index = ExtractFunction(op, name);
+    lambda_index_[op] = index;
+  }
+
+  void RecordAssign(const std::string& lhs, const Expr* rhs, bool sink_field,
+                    clang::SourceLocation loc, int branch_id) {
+    AssignFacts facts;
+    facts.lhs = lhs;
+    facts.lhs_is_sink_field = sink_field;
+    facts.loc = LocOf(loc, sm_);
+    facts.branch_id = branch_id;
+    CollectVars(rhs, &facts.rhs_vars, &facts.rhs_hidden);
+    Current().assigns.push_back(std::move(facts));
+  }
+
+  int AddBranch(const Expr* cond, int parent_id) {
+    BranchFacts facts;
+    facts.parent_id = parent_id;
+    if (cond != nullptr) {
+      facts.loc = LocOf(cond->getExprLoc(), sm_);
+      CollectVars(cond, &facts.cond_vars, &facts.cond_hidden);
+    }
+    int id = static_cast<int>(Current().branches.size());
+    Current().branches.push_back(std::move(facts));
+    return id;
+  }
+
+  ASTContext& context_;
+  const SourceManager& sm_;
+  TranslationUnitFacts tu_;
+  size_t current_ = 0;
+  std::vector<const CXXMethodDecl*> shard_lambdas_;
+  std::map<const CXXMethodDecl*, size_t> lambda_index_;
+};
+
+}  // namespace
+
+TranslationUnitFacts ExtractFacts(ASTContext& context) {
+  return Extractor(context).Run();
+}
+
+}  // namespace leakcheck

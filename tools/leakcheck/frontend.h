@@ -1,0 +1,18 @@
+// The clang side of leakcheck: lowers one parsed translation unit into the
+// facts model. Everything that needs clang headers lives behind this
+// boundary; the rule engine and its tests never see clang types.
+#pragma once
+
+#include "facts.h"
+
+namespace clang {
+class ASTContext;
+}  // namespace clang
+
+namespace leakcheck {
+
+/// Walks every function definition in `context` (excluding system headers)
+/// and extracts calls, assignments, branches, and annotations.
+TranslationUnitFacts ExtractFacts(clang::ASTContext& context);
+
+}  // namespace leakcheck

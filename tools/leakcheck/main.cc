@@ -1,0 +1,209 @@
+// leakcheck: GhostDB's static analyzer for leakage, resource, and
+// threading disciplines.
+//
+// Usage (over a CMake compilation database):
+//   leakcheck -p build src/exec/executor.cc ...
+// Self-test mode (fixtures carry "// expect-finding: <rule>" markers):
+//   leakcheck --verify-expectations --filter=testdata <fixtures> -- <flags>
+//
+// Exit status: 0 when clean (or, under --verify-expectations, when the
+// findings match the markers exactly), 1 otherwise.
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "clang/AST/ASTConsumer.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/Frontend/CompilerInstance.h"
+#include "clang/Frontend/FrontendAction.h"
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/CommandLine.h"
+#include "llvm/Support/Error.h"
+#include "llvm/Support/raw_ostream.h"
+
+#include "engine.h"
+#include "frontend.h"
+
+namespace {
+
+llvm::cl::OptionCategory kLeakcheckCategory("leakcheck options");
+
+llvm::cl::opt<std::string> kFilter(
+    "filter",
+    llvm::cl::desc("Only report findings whose file path contains this "
+                   "substring (default: /src/)"),
+    llvm::cl::init("/src/"), llvm::cl::cat(kLeakcheckCategory));
+
+llvm::cl::opt<std::string> kFindingsOut(
+    "findings-out",
+    llvm::cl::desc("Also write findings to this file (one per line)"),
+    llvm::cl::init(""), llvm::cl::cat(kLeakcheckCategory));
+
+llvm::cl::opt<bool> kVerifyExpectations(
+    "verify-expectations",
+    llvm::cl::desc("Self-test mode: compare findings against "
+                   "'// expect-finding: <rule>' markers in the sources"),
+    llvm::cl::init(false), llvm::cl::cat(kLeakcheckCategory));
+
+std::mutex g_mutex;
+std::vector<leakcheck::Finding> g_findings;
+
+class FactsConsumer : public clang::ASTConsumer {
+ public:
+  void HandleTranslationUnit(clang::ASTContext& context) override {
+    leakcheck::TranslationUnitFacts facts = leakcheck::ExtractFacts(context);
+    leakcheck::EngineOptions options;
+    options.filter = kFilter;
+    std::vector<leakcheck::Finding> findings =
+        leakcheck::Analyze(facts, options);
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_findings.insert(g_findings.end(), findings.begin(), findings.end());
+  }
+};
+
+class FactsAction : public clang::ASTFrontendAction {
+ public:
+  std::unique_ptr<clang::ASTConsumer> CreateASTConsumer(
+      clang::CompilerInstance& /*compiler*/, llvm::StringRef /*file*/) override {
+    return std::make_unique<FactsConsumer>();
+  }
+};
+
+/// Per (file, line): expected rule names from "// expect-finding:" markers.
+std::map<std::pair<std::string, unsigned>, std::set<std::string>>
+ReadExpectations(const std::vector<std::string>& files) {
+  std::map<std::pair<std::string, unsigned>, std::set<std::string>> out;
+  const std::string marker = "// expect-finding:";
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    std::string line;
+    unsigned lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      size_t pos = line.find(marker);
+      if (pos == std::string::npos) continue;
+      std::istringstream rules(line.substr(pos + marker.size()));
+      std::string rule;
+      while (rules >> rule) {
+        if (!rule.empty() && rule.back() == ',') rule.pop_back();
+        out[{file, lineno}].insert(rule);
+      }
+    }
+  }
+  return out;
+}
+
+/// Dedupes findings (the same header-located finding repeats across TUs).
+std::vector<leakcheck::Finding> Dedupe(
+    const std::vector<leakcheck::Finding>& findings) {
+  std::vector<leakcheck::Finding> out;
+  std::set<std::string> seen;
+  for (const leakcheck::Finding& f : findings) {
+    if (seen.insert(leakcheck::FormatFinding(f)).second) out.push_back(f);
+  }
+  return out;
+}
+
+int VerifyExpectations(const std::vector<std::string>& sources,
+                       const std::vector<leakcheck::Finding>& findings) {
+  auto expected = ReadExpectations(sources);
+  // A finding's file path may be absolute while the expectation key is the
+  // path as passed on the command line; match on suffix.
+  auto match_key = [&](const leakcheck::Finding& f)
+      -> const std::pair<const std::pair<std::string, unsigned>,
+                         std::set<std::string>>* {
+    for (const auto& entry : expected) {
+      const std::string& file = entry.first.first;
+      if (entry.first.second != f.loc.line) continue;
+      if (f.loc.file == file ||
+          (f.loc.file.size() > file.size() &&
+           f.loc.file.compare(f.loc.file.size() - file.size(), file.size(),
+                              file) == 0) ||
+          (file.size() > f.loc.file.size() &&
+           file.compare(file.size() - f.loc.file.size(), f.loc.file.size(),
+                        f.loc.file) == 0)) {
+        return &entry;
+      }
+    }
+    return nullptr;
+  };
+
+  int failures = 0;
+  std::set<const void*> satisfied;
+  for (const leakcheck::Finding& f : findings) {
+    const auto* entry = match_key(f);
+    if (entry == nullptr || entry->second.count(f.rule) == 0) {
+      std::fprintf(stderr, "UNEXPECTED: %s\n",
+                   leakcheck::FormatFinding(f).c_str());
+      ++failures;
+      continue;
+    }
+    satisfied.insert(entry);
+  }
+  for (const auto& entry : expected) {
+    if (satisfied.count(&entry) == 0) {
+      std::fprintf(stderr, "MISSING: %s:%u: expected finding(s):",
+                   entry.first.first.c_str(), entry.first.second);
+      for (const std::string& rule : entry.second) {
+        std::fprintf(stderr, " %s", rule.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      ++failures;
+    }
+  }
+  std::fprintf(stderr,
+               "leakcheck self-test: %zu findings, %zu expectation sites, "
+               "%d failure(s)\n",
+               findings.size(), expected.size(), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  auto options_parser = clang::tooling::CommonOptionsParser::create(
+      argc, argv, kLeakcheckCategory);
+  if (!options_parser) {
+    llvm::errs() << llvm::toString(options_parser.takeError()) << "\n";
+    return 1;
+  }
+  clang::tooling::ClangTool tool(options_parser->getCompilations(),
+                                 options_parser->getSourcePathList());
+  int tool_status = tool.run(
+      clang::tooling::newFrontendActionFactory<FactsAction>().get());
+  if (tool_status != 0) {
+    std::fprintf(stderr, "leakcheck: clang reported parse errors\n");
+    return 1;
+  }
+
+  std::vector<leakcheck::Finding> findings = Dedupe(g_findings);
+
+  if (!kFindingsOut.empty()) {
+    std::ofstream out(kFindingsOut);
+    for (const leakcheck::Finding& f : findings) {
+      out << leakcheck::FormatFinding(f) << "\n";
+    }
+  }
+
+  if (kVerifyExpectations) {
+    return VerifyExpectations(options_parser->getSourcePathList(), findings);
+  }
+
+  for (const leakcheck::Finding& f : findings) {
+    std::fprintf(stderr, "%s\n", leakcheck::FormatFinding(f).c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "leakcheck: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  std::fprintf(stderr, "leakcheck: clean\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// leakcheck self-test fixture: rule 3 (paired-resource discipline).
+//
+// Raw Alloc/Free, Acquire, Admit/Release pairings belong inside the RAII
+// guards (device/guards.h); everywhere else they are findings, annotated
+// or not — the rule is name-driven so a forgotten annotation cannot
+// silence it.
+#include <cstdint>
+#include <string>
+
+#include "core/annotations.h"
+
+namespace ghostdb {
+namespace storage {
+class PageAllocator {
+ public:
+  uint32_t Alloc(uint32_t count, const std::string& tag);
+  void Free(uint32_t first, uint32_t count, const std::string& tag);
+};
+}  // namespace storage
+
+namespace device {
+class RamManager {
+ public:
+  uint8_t* Acquire(uint32_t buffers, const std::string& owner);
+
+  // Negative: the resource class's own convenience wrapper is the
+  // implementation, not a client.
+  uint8_t* AcquireOne(const std::string& owner) { return Acquire(1, owner); }
+};
+
+class ChannelArbiter {
+ public:
+  void Admit(int32_t session, uint32_t weight);
+  void Release(int32_t session);
+};
+
+// Negative: guard implementations are exempt via GHOSTDB_RESOURCE_IMPL.
+class PageGuard {
+ public:
+  GHOSTDB_RESOURCE_IMPL static uint32_t Wrap(storage::PageAllocator* alloc) {
+    return alloc->Alloc(4, "guard");
+  }
+};
+}  // namespace device
+
+namespace exec {
+
+// Violation: a raw Alloc/Free pairing in operator code — exactly the
+// leak-on-error-path shape the guards were introduced to kill.
+uint32_t RawSpill(storage::PageAllocator* alloc) {
+  uint32_t first = alloc->Alloc(16, "spill");  // expect-finding: paired-resource
+  alloc->Free(first, 16, "spill");  // expect-finding: paired-resource
+  return first;
+}
+
+// Violation: raw RAM acquisition and a hand-rolled admission pairing.
+void RawSession(device::RamManager* ram, device::ChannelArbiter* arbiter) {
+  arbiter->Admit(1, 1);  // expect-finding: paired-resource
+  ram->Acquire(2, "raw");  // expect-finding: paired-resource
+  arbiter->Release(1);  // expect-finding: paired-resource
+}
+
+}  // namespace exec
+}  // namespace ghostdb

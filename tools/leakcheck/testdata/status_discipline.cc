@@ -1,0 +1,44 @@
+// leakcheck self-test fixture: rule 2 (status-discipline).
+//
+// Uses the real Status/GHOSTDB_IGNORE_STATUS from common/status.h so the
+// fixture exercises exactly the escape hatch src/ uses.
+#include "common/status.h"
+
+namespace ghostdb {
+namespace storage {
+class RunWriter {
+ public:
+  Status Finish();
+  Status Abort();
+};
+}  // namespace storage
+
+namespace exec {
+
+// Violation: plainly dropped Status.
+Status CloseAll(storage::RunWriter* w) {
+  w->Finish();  // expect-finding: status-discipline
+  return Status::OK();
+}
+
+// Violation: the `.ok()` discard — calling ok() and ignoring the bool
+// defeats [[nodiscard]], so leakcheck attributes the discard to the
+// Status-returning call underneath.
+Status CloseQuietly(storage::RunWriter* w) {
+  w->Finish().ok();  // expect-finding: status-discipline
+  return Status::OK();
+}
+
+// Negatives: bound-and-checked, propagated, and deliberately ignored via
+// the audited macro — all clean.
+Status CloseChecked(storage::RunWriter* w) {
+  Status finish = w->Finish();
+  if (!finish.ok()) {
+    GHOSTDB_IGNORE_STATUS(w->Abort(), "already failing; report Finish");
+    return finish;
+  }
+  return w->Abort();
+}
+
+}  // namespace exec
+}  // namespace ghostdb

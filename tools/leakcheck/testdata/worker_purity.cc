@@ -1,0 +1,80 @@
+// leakcheck self-test fixture: rule 4 (worker-purity).
+//
+// Lambdas handed to ThreadPool::ParallelShards run on pool workers;
+// everything reachable from them must stay pure host-memory compute. The
+// frontend roots shard lambdas automatically (inline or passed by name)
+// plus anything annotated GHOSTDB_HOST_COMPUTE, then walks the intra-TU
+// call graph.
+#include <cstdint>
+
+#include "core/annotations.h"
+
+namespace ghostdb {
+
+class SimClock {
+ public:
+  GHOSTDB_TRANSCRIPT_SINK void Advance(uint64_t ns);
+};
+
+namespace device {
+class Channel {
+ public:
+  GHOSTDB_TRANSCRIPT_SINK void TransferSized(int direction, const char* label,
+                                             uint64_t bytes);
+};
+}  // namespace device
+
+namespace exec {
+
+class ThreadPool {
+ public:
+  template <typename Body>
+  void ParallelShards(uint64_t items, uint64_t grain, Body body) {
+    body(0u, uint64_t{0}, items);
+  }
+};
+
+// Pure helper: a declared-only callee; the walk stops at the TU edge.
+uint64_t Checksum(const uint8_t* data, uint64_t n);
+
+// A helper a worker body calls transitively; its transfer is the finding.
+void FlushProgress(device::Channel* chan, uint64_t done) {
+  chan->TransferSized(1, "progress", done);  // expect-finding: worker-purity
+}
+
+// Fixture contrivance: worker-safe vouches for a callee, so the walk must
+// not descend into it even though its body touches the clock.
+GHOSTDB_WORKER_SAFE void TrustedKernel(SimClock* clock) {
+  clock->Advance(1);
+}
+
+// Violation: a shard body charging the simulated clock directly.
+void SortShards(ThreadPool* pool, SimClock* clock, uint64_t n) {
+  pool->ParallelShards(n, 64, [clock](uint32_t, uint64_t, uint64_t) {
+    clock->Advance(50);  // expect-finding: worker-purity
+  });
+}
+
+// Violation: the body is bound to a named variable and the forbidden call
+// sits one level down the call graph.
+void ScanShards(ThreadPool* pool, device::Channel* chan, uint64_t n) {
+  auto body = [chan](uint32_t, uint64_t end, uint64_t) {
+    FlushProgress(chan, end);
+  };
+  pool->ParallelShards(n, 64, body);
+}
+
+// Negative: pure compute and worker-safe callees — clean.
+void HashShards(ThreadPool* pool, SimClock* clock, const uint8_t* data,
+                uint64_t n) {
+  pool->ParallelShards(n, 64, [=](uint32_t, uint64_t begin, uint64_t end) {
+    Checksum(data + begin, end - begin);
+    TrustedKernel(clock);
+  });
+}
+
+// Negative: non-worker code may of course touch the device.
+void HostSide(SimClock* clock) { clock->Advance(10); }
+
+}  // namespace exec
+}  // namespace ghostdb
